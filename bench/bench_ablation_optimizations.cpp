@@ -1,0 +1,106 @@
+// Ablation of the §4.5 optimizations — the breakdown the paper's §6 lists as
+// "next step" future work ("break down and study the impact of the HJlib
+// runtime and the optimizations introduced in Section 4.5"). Each row
+// disables one optimization relative to the fully-optimized engine;
+// `bare_alg2` is Algorithm 2 with none of them (per-node locks, per-node
+// priority queues, unconditional re-spawns, unordered acquisition).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hjdes;
+using namespace hjdes::bench;
+
+struct ConfigRow {
+  const char* name;
+  des::HjEngineConfig cfg;
+};
+
+std::vector<ConfigRow> config_rows(int workers) {
+  auto base = [&](bool port, bool temp, bool avoid, bool ordered) {
+    des::HjEngineConfig c;
+    c.workers = workers;
+    c.per_port_queues = port;
+    c.temp_ready_queue = temp;
+    c.avoid_redundant_async = avoid;
+    c.ordered_locks = ordered;
+    return c;
+  };
+  return {
+      {"full-opt (paper)", base(true, true, true, true)},
+      {"no temp queue", base(true, false, true, true)},
+      {"no redundant-async avoidance", base(true, true, false, true)},
+      {"no per-port queues (node PQ)", base(false, false, true, true)},
+      {"bare Algorithm 2", base(false, false, false, false)},
+  };
+}
+
+void print_ablation() {
+  const int reps = repetitions();
+  const int workers = worker_counts().back();
+  Workload w = make_ks64_workload();
+  des::SimInput input(w.netlist, w.stimulus);
+
+  std::printf("\n=== Ablation: §4.5 optimizations on %s at %d workers "
+              "(%d reps) ===\n",
+              w.name.c_str(), workers, reps);
+  TextTable t;
+  t.header({"configuration", "min ms", "vs full-opt", "tasks spawned",
+            "lock failures", "spawn skips"});
+  double full_min = 0.0;
+  for (ConfigRow& row : config_rows(workers)) {
+    hj::Runtime rt(workers);
+    row.cfg.runtime = &rt;
+    des::SimResult last;
+    Summary s = measure([&] { last = des::run_hj(input, row.cfg); }, reps);
+    if (full_min == 0.0) full_min = s.min;
+    t.row({row.name, TextTable::fmt(s.min * 1e3),
+           TextTable::fmt(s.min / full_min, 2) + "x",
+           TextTable::fmt_int(static_cast<long long>(last.tasks_spawned)),
+           TextTable::fmt_int(static_cast<long long>(last.lock_failures)),
+           TextTable::fmt_int(static_cast<long long>(last.spawn_skips))});
+  }
+  // Sequential anchors.
+  Summary sd = measure([&] { des::run_sequential(input); }, reps);
+  Summary sp = measure([&] { des::run_sequential_pq(input); }, reps);
+  t.row({"sequential deque (ref)", TextTable::fmt(sd.min * 1e3),
+         TextTable::fmt(sd.min / full_min, 2) + "x", "-", "-", "-"});
+  t.row({"sequential PQ (ref)", TextTable::fmt(sp.min * 1e3),
+         TextTable::fmt(sp.min / full_min, 2) + "x", "-", "-", "-"});
+  std::printf("%s\n", t.render().c_str());
+}
+
+void BM_Config(benchmark::State& state, int config_index) {
+  static Workload w = make_ks64_workload();
+  des::SimInput input(w.netlist, w.stimulus);
+  const int workers = worker_counts().back();
+  auto rows = config_rows(workers);
+  des::HjEngineConfig cfg = rows[static_cast<std::size_t>(config_index)].cfg;
+  hj::Runtime rt(workers);
+  cfg.runtime = &rt;
+  for (auto _ : state) {
+    des::SimResult r = des::run_hj(input, cfg);
+    benchmark::DoNotOptimize(r.events_processed);
+  }
+  state.SetLabel(rows[static_cast<std::size_t>(config_index)].name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* names[] = {"full_opt", "no_temp", "no_avoid_async", "node_pq",
+                         "bare_alg2"};
+  for (int i = 0; i < 5; ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("ablation/") + names[i]).c_str(), BM_Config, i)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_ablation();
+  return 0;
+}

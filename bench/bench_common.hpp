@@ -1,0 +1,113 @@
+#pragma once
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Scaling: the paper runs 56-103M-event simulations on a 32-core POWER7 for
+// 20 repetitions. This container is far smaller, so the default workloads
+// are scaled-down versions of the same circuits; set HJDES_PAPER_SCALE=1 to
+// run the paper-sized inputs (12-bit multiplier, KS-64, KS-128 with
+// comparable initial-event counts) and HJDES_REPS / HJDES_MAX_WORKERS to
+// control repetitions and the worker sweep.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/engines.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace hjdes::bench {
+
+inline bool paper_scale() {
+  const char* v = std::getenv("HJDES_PAPER_SCALE");
+  return v != nullptr && std::string(v) != "0";
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+/// Repetitions per configuration (paper: 20).
+inline int repetitions() {
+  return env_int("HJDES_REPS", paper_scale() ? 20 : 3);
+}
+
+/// Worker counts for the Figure 4-6 sweeps (paper: 1..32 on 32 cores).
+inline std::vector<int> worker_counts() {
+  int max_workers = env_int("HJDES_MAX_WORKERS", paper_scale() ? 32 : 8);
+  std::vector<int> counts;
+  for (int w = 1; w <= max_workers; w *= 2) counts.push_back(w);
+  if (counts.back() != max_workers) counts.push_back(max_workers);
+  return counts;
+}
+
+/// A named circuit + stimulus, ready to simulate.
+struct Workload {
+  std::string name;
+  circuit::Netlist netlist;
+  circuit::Stimulus stimulus;
+};
+
+/// The paper's 12-bit tree multiplier (Table 1 column 1). The paper feeds it
+/// 49 initial events; we apply 2 random vectors (= 2 events per input).
+inline Workload make_multiplier_workload() {
+  const int bits = paper_scale() ? 12 : 8;
+  Workload w;
+  w.name = "multiplier-" + std::to_string(bits) + "bit";
+  w.netlist = circuit::tree_multiplier(bits);
+  w.stimulus = circuit::random_stimulus(w.netlist, 2, 1000, 0xA11CE);
+  return w;
+}
+
+/// The paper's 64-bit Kogge-Stone adder (Table 1 column 2; ~1k vectors).
+inline Workload make_ks64_workload() {
+  const int bits = paper_scale() ? 64 : 32;
+  const std::size_t vectors = paper_scale() ? 994 : 40;
+  Workload w;
+  w.name = "kogge-stone-" + std::to_string(bits) + "bit";
+  w.netlist = circuit::kogge_stone_adder(bits);
+  w.stimulus = circuit::random_stimulus(w.netlist, vectors, 100, 0xB0B);
+  return w;
+}
+
+/// The paper's 128-bit Kogge-Stone adder (Table 1 column 3; ~257 vectors).
+inline Workload make_ks128_workload() {
+  const int bits = paper_scale() ? 128 : 48;
+  const std::size_t vectors = paper_scale() ? 257 : 30;
+  Workload w;
+  w.name = "kogge-stone-" + std::to_string(bits) + "bit";
+  w.netlist = circuit::kogge_stone_adder(bits);
+  w.stimulus = circuit::random_stimulus(w.netlist, vectors, 100, 0xCAFE);
+  return w;
+}
+
+inline std::vector<Workload> all_workloads() {
+  std::vector<Workload> ws;
+  ws.push_back(make_multiplier_workload());
+  ws.push_back(make_ks64_workload());
+  ws.push_back(make_ks128_workload());
+  return ws;
+}
+
+/// Time one engine invocation in seconds.
+template <typename Fn>
+double time_run(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.seconds();
+}
+
+/// Run `fn` `reps` times and summarize the wall times.
+template <typename Fn>
+Summary measure(Fn&& fn, int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(time_run(fn));
+  return summarize(samples);
+}
+
+}  // namespace hjdes::bench

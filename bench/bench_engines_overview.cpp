@@ -1,0 +1,77 @@
+// Cross-engine overview (beyond the paper's two versions): sequential deque,
+// sequential PQ, HJ parallel, Galois optimistic, and the §6 future-work
+// actor engine on one circuit — the summary table a downstream user wants
+// first.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hjdes;
+using namespace hjdes::bench;
+
+void print_overview() {
+  const int reps = repetitions();
+  const int workers = worker_counts().back();
+  std::printf("\n=== Engine overview at %d workers (%d reps) ===\n", workers,
+              reps);
+  TextTable t;
+  t.header({"circuit", "engine", "min ms", "avg ms", "events"});
+  for (Workload& w : all_workloads()) {
+    des::SimInput input(w.netlist, w.stimulus);
+    des::SimResult last;
+
+    Summary sd = measure([&] { last = des::run_sequential(input); }, reps);
+    t.row({w.name, "sequential (deque)", TextTable::fmt(sd.min * 1e3),
+           TextTable::fmt(sd.mean * 1e3),
+           TextTable::fmt_int(static_cast<long long>(last.events_processed))});
+
+    Summary sp = measure([&] { last = des::run_sequential_pq(input); }, reps);
+    t.row({w.name, "sequential (PQ)", TextTable::fmt(sp.min * 1e3),
+           TextTable::fmt(sp.mean * 1e3), ""});
+
+    hj::Runtime rt(workers);
+    des::HjEngineConfig hj_cfg;
+    hj_cfg.workers = workers;
+    hj_cfg.runtime = &rt;
+    Summary h = measure([&] { last = des::run_hj(input, hj_cfg); }, reps);
+    t.row({w.name, "hj (Alg 2 + 4.5)", TextTable::fmt(h.min * 1e3),
+           TextTable::fmt(h.mean * 1e3), ""});
+
+    des::GaloisEngineConfig g_cfg;
+    g_cfg.threads = workers;
+    Summary g = measure([&] { last = des::run_galois(input, g_cfg); }, reps);
+    t.row({w.name, "galois (Alg 3)", TextTable::fmt(g.min * 1e3),
+           TextTable::fmt(g.mean * 1e3), ""});
+
+    des::ActorEngineConfig a_cfg;
+    a_cfg.workers = workers;
+    Summary a = measure([&] { last = des::run_actor(input, a_cfg); }, reps);
+    t.row({w.name, "actor (§6)", TextTable::fmt(a.min * 1e3),
+           TextTable::fmt(a.mean * 1e3), ""});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void BM_Overview(benchmark::State& state) {
+  Workload w = make_ks64_workload();
+  des::SimInput input(w.netlist, w.stimulus);
+  for (auto _ : state) {
+    des::SimResult r = des::run_sequential(input);
+    benchmark::DoNotOptimize(r.events_processed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("overview/anchor_seq", BM_Overview)
+      ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_overview();
+  return 0;
+}

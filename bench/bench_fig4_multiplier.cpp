@@ -1,0 +1,8 @@
+// Figure 4: performance for the 12-bit tree multiplier circuit —
+// (a) minimum execution time vs workers, (b) speedup vs sequential Galois.
+#include "figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return hjdes::bench::figure_main(argc, argv, "Figure 4",
+                                   &hjdes::bench::make_multiplier_workload);
+}

@@ -1,0 +1,8 @@
+// Figure 5: performance for the 64-bit Kogge-Stone tree adder circuit —
+// (a) minimum execution time vs workers, (b) speedup vs sequential Galois.
+#include "figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return hjdes::bench::figure_main(argc, argv, "Figure 5",
+                                   &hjdes::bench::make_ks64_workload);
+}

@@ -1,0 +1,88 @@
+// Figure 7: average execution time with 95% confidence intervals of both
+// Galois and HJlib versions at the maximum worker count, for all three input
+// circuits.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hjdes;
+using namespace hjdes::bench;
+
+void print_figure7() {
+  const int reps = repetitions();
+  const int workers = worker_counts().back();
+  std::printf("\n=== Figure 7: average execution time at %d workers "
+              "(%d reps, 95%% CI) ===\n",
+              workers, reps);
+  TextTable t;
+  t.header({"circuit", "engine", "avg ms", "95% CI +- ms", "min ms",
+            "stddev ms"});
+  for (Workload& w : all_workloads()) {
+    des::SimInput input(w.netlist, w.stimulus);
+
+    hj::Runtime rt(workers);
+    des::HjEngineConfig hj_cfg;
+    hj_cfg.workers = workers;
+    hj_cfg.runtime = &rt;
+    Summary hj = measure([&] { des::run_hj(input, hj_cfg); }, reps);
+
+    des::GaloisEngineConfig g_cfg;
+    g_cfg.threads = workers;
+    Summary gal = measure([&] { des::run_galois(input, g_cfg); }, reps);
+
+    t.row({w.name, "HJlib", TextTable::fmt(hj.mean * 1e3),
+           TextTable::fmt(hj.ci95_half * 1e3), TextTable::fmt(hj.min * 1e3),
+           TextTable::fmt(hj.stddev * 1e3)});
+    t.row({w.name, "Galois", TextTable::fmt(gal.mean * 1e3),
+           TextTable::fmt(gal.ci95_half * 1e3), TextTable::fmt(gal.min * 1e3),
+           TextTable::fmt(gal.stddev * 1e3)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("Paper shape: HJlib average below Galois average for every "
+              "circuit at 32 workers.\n\n");
+}
+
+void BM_Fig7Hj(benchmark::State& state, Workload* w) {
+  const int workers = worker_counts().back();
+  des::SimInput input(w->netlist, w->stimulus);
+  hj::Runtime rt(workers);
+  des::HjEngineConfig cfg;
+  cfg.workers = workers;
+  cfg.runtime = &rt;
+  for (auto _ : state) {
+    des::SimResult r = des::run_hj(input, cfg);
+    benchmark::DoNotOptimize(r.events_processed);
+  }
+}
+
+void BM_Fig7Galois(benchmark::State& state, Workload* w) {
+  const int workers = worker_counts().back();
+  des::SimInput input(w->netlist, w->stimulus);
+  des::GaloisEngineConfig cfg;
+  cfg.threads = workers;
+  for (auto _ : state) {
+    des::SimResult r = des::run_galois(input, cfg);
+    benchmark::DoNotOptimize(r.events_processed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static std::vector<Workload> ws = all_workloads();
+  for (Workload& w : ws) {
+    benchmark::RegisterBenchmark(("fig7/hj/" + w.name).c_str(), BM_Fig7Hj, &w)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("fig7/galois/" + w.name).c_str(),
+                                 BM_Fig7Galois, &w)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_figure7();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Extension bench (paper §6): the conservative null-message engine on
+// network workloads — null-message overhead ratio and worker scaling, the
+// quantities the PDES literature tracks for CMB.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "netsim/netsim.hpp"
+
+namespace {
+
+using namespace hjdes;
+using namespace hjdes::bench;
+namespace ns = hjdes::netsim;
+
+struct NetWorkload {
+  std::string name;
+  ns::Topology topo;
+  ns::Traffic traffic;
+  ns::Time end_time;
+};
+
+/// Tight horizon: just past the last packet delivery. Simulating an empty
+/// virtual-time tail only generates null-message chatter (the watermarks
+/// must still climb to end_time in lookahead-sized steps).
+void fit_end_time(NetWorkload& w) {
+  ns::NetSimResult probe =
+      ns::run_global_list(w.topo, w.traffic, 100'000'000);
+  ns::Time last = 0;
+  for (const ns::PacketRecord& p : probe.packets) {
+    last = std::max(last, p.delivered);
+  }
+  w.end_time = last + 1;
+}
+
+std::vector<NetWorkload> net_workloads() {
+  std::vector<NetWorkload> out;
+  {
+    NetWorkload w;
+    w.name = "torus-6x6";
+    w.topo = ns::torus_topology(6, 2, 3);
+    w.traffic = ns::random_traffic(w.topo, 20000, 20000, 11);
+    out.push_back(std::move(w));
+  }
+  {
+    NetWorkload w;
+    w.name = "random-40";
+    w.topo = ns::random_topology(40, 80, 3, 4, 23);
+    w.traffic = ns::random_traffic(w.topo, 20000, 20000, 13);
+    out.push_back(std::move(w));
+  }
+  {
+    NetWorkload w;
+    w.name = "star-hotspot-24";
+    w.topo = ns::star_topology(24, 2, 2);
+    w.traffic = ns::hotspot_traffic(w.topo, 0, 400, 3);
+    out.push_back(std::move(w));
+  }
+  for (NetWorkload& w : out) fit_end_time(w);
+  return out;
+}
+
+void print_tables() {
+  const int reps = repetitions();
+  std::printf("\n=== netsim: global event list vs CMB null-message engine "
+              "(%d reps) ===\n",
+              reps);
+  TextTable t;
+  t.header({"workload", "engine", "min ms", "events", "nulls/event",
+            "delivered"});
+  for (NetWorkload& w : net_workloads()) {
+    ns::NetSimResult ref;
+    Summary sg = measure(
+        [&] { ref = ns::run_global_list(w.topo, w.traffic, w.end_time); },
+        reps);
+    t.row({w.name, "global list", TextTable::fmt(sg.min * 1e3),
+           TextTable::fmt_int(static_cast<long long>(ref.events_processed)),
+           "-",
+           TextTable::fmt_int(static_cast<long long>(ref.delivered_count()))});
+    for (int workers : worker_counts()) {
+      ns::NetSimResult r;
+      Summary sc = measure(
+          [&] {
+            r = ns::run_cmb(w.topo, w.traffic, w.end_time,
+                            ns::CmbConfig{.workers = workers});
+          },
+          reps);
+      const bool ok = ns::same_behaviour(ref, r);
+      t.row({w.name, "cmb w=" + std::to_string(workers) +
+                         (ok ? "" : " MISMATCH!"),
+             TextTable::fmt(sc.min * 1e3),
+             TextTable::fmt_int(static_cast<long long>(r.events_processed)),
+             TextTable::fmt(static_cast<double>(r.null_messages) /
+                                static_cast<double>(r.events_processed
+                                                        ? r.events_processed
+                                                        : 1),
+                            2),
+             TextTable::fmt_int(static_cast<long long>(r.delivered_count()))});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void BM_Cmb(benchmark::State& state) {
+  static std::vector<NetWorkload> ws = net_workloads();
+  NetWorkload& w = ws[0];
+  ns::CmbConfig cfg;
+  cfg.workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ns::NetSimResult r = ns::run_cmb(w.topo, w.traffic, w.end_time, cfg);
+    benchmark::DoNotOptimize(r.events_processed);
+    state.counters["null_ratio"] =
+        static_cast<double>(r.null_messages) /
+        static_cast<double>(r.events_processed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int workers : hjdes::bench::worker_counts()) {
+    benchmark::RegisterBenchmark("netsim/cmb_torus", BM_Cmb)
+        ->Arg(workers)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_tables();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks of the hj runtime primitives: the per-task cost the paper
+// credits for HJlib's advantage ("the runtime overhead of task management
+// inside HJlib is lower than that in the Galois system"), plus the §4.5.2
+// claim that CAS/AtomicBoolean locks are cheaper than heavier mutexes.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "galois/context.hpp"
+#include "galois/for_each.hpp"
+#include "hj/chase_lev_deque.hpp"
+#include "hj/isolated.hpp"
+#include "hj/locks.hpp"
+#include "hj/runtime.hpp"
+
+namespace {
+
+using namespace hjdes;
+
+void BM_AsyncFinishPerTask(benchmark::State& state) {
+  hj::Runtime rt(static_cast<int>(state.range(0)));
+  constexpr int kTasks = 10000;
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    rt.run([&sink] {
+      for (int i = 0; i < kTasks; ++i) {
+        hj::async([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_AsyncFinishPerTask)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GaloisForEachPerItem(benchmark::State& state) {
+  constexpr int kItems = 10000;
+  std::vector<int> initial(kItems, 1);
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    galois::for_each<int>(
+        initial,
+        [&sink](int, galois::UserContext<int>&) {
+          sink.fetch_add(1, std::memory_order_relaxed);
+        },
+        galois::ForEachConfig{.threads = static_cast<int>(state.range(0))});
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_GaloisForEachPerItem)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ChaseLevPushPop(benchmark::State& state) {
+  hj::ChaseLevDeque<int> deque;
+  int item = 0;
+  for (auto _ : state) {
+    deque.push(&item);
+    benchmark::DoNotOptimize(deque.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+void BM_TryLockReleaseAll(benchmark::State& state) {
+  hj::HjLock lock;
+  for (auto _ : state) {
+    bool ok = hj::try_lock(lock);
+    benchmark::DoNotOptimize(ok);
+    hj::release_all_locks();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TryLockReleaseAll);
+
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::ClobberMemory();
+    mu.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_TryLockBatchOf4(benchmark::State& state) {
+  // The engine's hot pattern: lock self + neighbors, then release all.
+  hj::HjLock locks[4];
+  for (auto _ : state) {
+    for (auto& l : locks) {
+      bool ok = hj::try_lock(l);
+      benchmark::DoNotOptimize(ok);
+    }
+    hj::release_all_locks();
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_TryLockBatchOf4);
+
+void BM_IsolatedGlobal(benchmark::State& state) {
+  long counter = 0;
+  for (auto _ : state) {
+    hj::isolated([&counter] { ++counter; });
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_IsolatedGlobal);
+
+void BM_IsolatedObject(benchmark::State& state) {
+  long counter = 0;
+  for (auto _ : state) {
+    hj::isolated_on([&counter] { ++counter; }, &counter);
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_IsolatedObject);
+
+void BM_GaloisAcquireCommit(benchmark::State& state) {
+  galois::Lockable obj;
+  galois::Context ctx;
+  for (auto _ : state) {
+    ctx.acquire(obj);
+    ctx.commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaloisAcquireCommit);
+
+void BM_GaloisUndoLogAppend(benchmark::State& state) {
+  galois::Context ctx;
+  long value = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      ctx.add_undo([&value] { --value; });
+      ++value;
+    }
+    ctx.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_GaloisUndoLogAppend);
+
+}  // namespace
+
+BENCHMARK_MAIN();

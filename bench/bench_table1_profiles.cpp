@@ -1,0 +1,70 @@
+// Reproduces Table 1: profiles of the input circuits (# nodes, # edges,
+// # initial events, # total events). Total events are obtained by running
+// the sequential simulation and counting processed events, exactly as the
+// amplification arises in the paper's workloads. Paper reference values are
+// printed alongside for comparison (our generators differ in gate-level
+// detail, so node/edge counts match in magnitude, not exactly).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hjdes;
+using namespace hjdes::bench;
+
+void BM_ProfileCircuit(benchmark::State& state, Workload (*make)()) {
+  for (auto _ : state) {
+    Workload w = make();
+    des::SimInput input(w.netlist, w.stimulus);
+    des::SimResult r = des::run_sequential(input);
+    benchmark::DoNotOptimize(r.events_processed);
+    state.counters["nodes"] = static_cast<double>(w.netlist.node_count());
+    state.counters["edges"] = static_cast<double>(w.netlist.edge_count());
+    state.counters["initial_events"] =
+        static_cast<double>(w.stimulus.total_events());
+    state.counters["total_events"] =
+        static_cast<double>(r.events_processed);
+  }
+}
+
+void print_table1() {
+  TextTable t;
+  t.header({"circuit", "# nodes", "# edges", "# initial events",
+            "# total events"});
+  for (Workload& w : all_workloads()) {
+    des::SimInput input(w.netlist, w.stimulus);
+    des::SimResult r = des::run_sequential(input);
+    t.row({w.name, TextTable::fmt_int(static_cast<long long>(w.netlist.node_count())),
+           TextTable::fmt_int(static_cast<long long>(w.netlist.edge_count())),
+           TextTable::fmt_int(static_cast<long long>(w.stimulus.total_events())),
+           TextTable::fmt_int(static_cast<long long>(r.events_processed))});
+  }
+  std::printf("\n=== Table 1: Profiles of the input circuits ===\n%s",
+              t.render().c_str());
+  std::printf(
+      "Paper reference (full scale): multiplier-12bit 2,731 nodes / 5,100 "
+      "edges / 49 initial / 56,035,581 total;\n  KS-64 1,306 / 2,289 / "
+      "128,258 / 89,683,016; KS-128 2,973 / 5,303 / 66,050 / 102,591,960.\n"
+      "Run with HJDES_PAPER_SCALE=1 for full-size circuits.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("table1/multiplier", BM_ProfileCircuit,
+                               &hjdes::bench::make_multiplier_workload)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("table1/ks64", BM_ProfileCircuit,
+                               &hjdes::bench::make_ks64_workload)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("table1/ks128", BM_ProfileCircuit,
+                               &hjdes::bench::make_ks128_workload)
+      ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table1();
+  return 0;
+}

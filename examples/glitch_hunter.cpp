@@ -1,0 +1,89 @@
+// Domain example 3 — what waveform-level DES gives you that functional
+// evaluation cannot: hazard (glitch) detection. A static-1 hazard circuit
+// (out = (a AND b) OR (NOT a AND c)) momentarily drops to 0 when `a`
+// switches while b = c = 1, because the two product terms race through paths
+// of different delay. The simulator exposes the transient pulse in the
+// output waveform; zero-delay evaluation would call the circuit glitch-free.
+//
+//   $ ./glitch_hunter [--workers 4]
+#include <cstdio>
+
+#include "circuit/netlist.hpp"
+#include "des/engines.hpp"
+#include "support/cli.hpp"
+
+using namespace hjdes;
+
+namespace {
+
+/// Count transitions (value changes) in a waveform; a glitch is any pair of
+/// transitions closer together than `pulse_width`.
+int count_glitches(const std::vector<des::OutputRecord>& wave,
+                   des::Time pulse_width) {
+  int glitches = 0;
+  for (std::size_t i = 2; i < wave.size(); ++i) {
+    const bool changed_now = wave[i].value != wave[i - 1].value;
+    const bool changed_prev = wave[i - 1].value != wave[i - 2].value;
+    if (changed_now && changed_prev &&
+        wave[i].time - wave[i - 1].time <= pulse_width) {
+      ++glitches;
+      std::printf("  glitch: output pulsed to %d for %lld time units at "
+                  "t=%lld\n",
+                  wave[i - 1].value,
+                  static_cast<long long>(wave[i].time - wave[i - 1].time),
+                  static_cast<long long>(wave[i - 1].time));
+    }
+  }
+  return glitches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int workers = static_cast<int>(cli.get_int("workers", 4));
+
+  // out = (a AND b) OR (NOT a AND c): logically constant 1 while b=c=1,
+  // but the NOT path is one gate longer than the direct path.
+  circuit::NetlistBuilder nb;
+  circuit::NodeId a = nb.add_input("a");
+  circuit::NodeId b = nb.add_input("b");
+  circuit::NodeId c = nb.add_input("c");
+  circuit::NodeId na = nb.add_gate(circuit::GateKind::Not, a);
+  circuit::NodeId t1 = nb.add_gate(circuit::GateKind::And, a, b);
+  circuit::NodeId t2 = nb.add_gate(circuit::GateKind::And, na, c);
+  circuit::NodeId out = nb.add_gate(circuit::GateKind::Or, t1, t2);
+  nb.add_output(out, "out");
+  circuit::Netlist netlist = nb.build();
+
+  // Hold b = c = 1; toggle a repeatedly. Every 1 -> 0 transition of `a`
+  // opens a window where t1 has already fallen but t2 has not yet risen.
+  circuit::Stimulus stim;
+  stim.initial.resize(3);
+  for (int k = 0; k < 8; ++k) {
+    stim.initial[0].push_back({k * 50, k % 2 == 0});  // a toggles
+  }
+  stim.initial[1] = {{0, true}};
+  stim.initial[2] = {{0, true}};
+  des::SimInput input(netlist, stim);
+
+  des::HjEngineConfig cfg;
+  cfg.workers = workers;
+  des::SimResult r = des::run_hj(input, cfg);
+  des::SimResult seq = des::run_sequential(input);
+  if (!des::same_behaviour(seq, r)) {
+    std::printf("engine mismatch: %s\n", des::diff_behaviour(seq, r).c_str());
+    return 1;
+  }
+
+  std::printf("out waveform:");
+  for (const des::OutputRecord& rec : r.waveforms[0]) {
+    std::printf(" %lld:%d", static_cast<long long>(rec.time), rec.value);
+  }
+  std::printf("\n\nhazard scan (pulse width <= 3):\n");
+  int glitches = count_glitches(r.waveforms[0], 3);
+  std::printf("\n%d static-1 hazard pulse(s) found — invisible to zero-delay "
+              "functional evaluation, visible to the DES.\n",
+              glitches);
+  return glitches > 0 ? 0 : 1;  // the demo is supposed to find them
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, regenerate every table/figure.
+#
+#   scripts/reproduce.sh              # scaled workloads (minutes)
+#   scripts/reproduce.sh --paper      # paper-sized workloads (hours on a laptop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--paper" ]]; then
+  export HJDES_PAPER_SCALE=1
+  echo "== paper-scale mode: 56-140M-event simulations, 20 reps =="
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+echo "== benches (tables & figures) =="
+for b in build/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  echo "===== $b"
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "== done: see test_output.txt, bench_output.txt, EXPERIMENTS.md =="

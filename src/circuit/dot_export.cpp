@@ -1,0 +1,35 @@
+#include "circuit/dot_export.hpp"
+
+#include <sstream>
+
+namespace hjdes::circuit {
+
+std::string to_dot(const Netlist& netlist, const std::string& graph_name) {
+  std::ostringstream out;
+  out << "digraph \"" << graph_name << "\" {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const auto kind = netlist.kind(id);
+    const std::string& name = netlist.name(id);
+    out << "  n" << id << " [label=\"";
+    if (!name.empty()) out << name << ":";
+    out << gate_name(kind) << "\"";
+    if (kind == GateKind::Input) out << ", shape=invhouse";
+    if (kind == GateKind::Output) out << ", shape=house";
+    out << "];\n";
+  }
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    for (const FanoutEdge& e : netlist.fanout(id)) {
+      out << "  n" << id << " -> n" << e.target;
+      if (netlist.num_inputs(e.target) > 1) {
+        out << " [label=\"p" << static_cast<int>(e.port) << "\"]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,16 @@
+#pragma once
+// Graphviz DOT export of a netlist, mirroring the paper's Figure 3 style
+// (gates as nodes, port connections as directed edges). Used by examples and
+// documentation; not on any hot path.
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace hjdes::circuit {
+
+/// Render the netlist as a DOT digraph. Node labels are "<name or id>:KIND";
+/// edge labels carry the destination port index for two-input gates.
+std::string to_dot(const Netlist& netlist, const std::string& graph_name);
+
+}  // namespace hjdes::circuit

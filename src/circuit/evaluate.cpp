@@ -1,0 +1,37 @@
+#include "circuit/evaluate.hpp"
+
+namespace hjdes::circuit {
+
+std::vector<bool> evaluate_all_nodes(const Netlist& netlist,
+                                     const std::vector<bool>& input_values) {
+  std::vector<bool> value(netlist.node_count(), false);
+  std::size_t next_input = 0;
+  for (NodeId id : netlist.topo_order()) {
+    const Netlist::Node& n = netlist.node(id);
+    if (n.kind == GateKind::Input) {
+      // topo order preserves creation order, so inputs appear in
+      // netlist.inputs() order.
+      bool v = next_input < input_values.size() && input_values[next_input];
+      ++next_input;
+      value[static_cast<std::size_t>(id)] = v;
+      continue;
+    }
+    bool a = value[static_cast<std::size_t>(n.fanin[0])];
+    bool b = n.num_inputs > 1 && value[static_cast<std::size_t>(n.fanin[1])];
+    value[static_cast<std::size_t>(id)] = gate_eval(n.kind, a, b);
+  }
+  return value;
+}
+
+std::vector<bool> evaluate(const Netlist& netlist,
+                           const std::vector<bool>& input_values) {
+  std::vector<bool> all = evaluate_all_nodes(netlist, input_values);
+  std::vector<bool> out;
+  out.reserve(netlist.outputs().size());
+  for (NodeId id : netlist.outputs()) {
+    out.push_back(all[static_cast<std::size_t>(id)]);
+  }
+  return out;
+}
+
+}  // namespace hjdes::circuit

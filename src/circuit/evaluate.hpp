@@ -1,0 +1,25 @@
+#pragma once
+// Functional (zero-delay, levelized) circuit evaluation. This is the golden
+// reference the DES engines are validated against: after a simulation in
+// which every input node's last event carries value v_i, the final latched
+// value at every output equals evaluate(netlist, {v_i}) — because events per
+// port arrive in timestamp order and every event propagates.
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace hjdes::circuit {
+
+/// Evaluate the circuit with `input_values[i]` applied to netlist.inputs()[i].
+/// Inputs with no supplied value default to false (matching the engines'
+/// zero-initialized latches). Returns one value per netlist.outputs() entry.
+std::vector<bool> evaluate(const Netlist& netlist,
+                           const std::vector<bool>& input_values);
+
+/// Evaluate and also return the stable value of every node (index = NodeId);
+/// used by property tests to cross-check internal latches.
+std::vector<bool> evaluate_all_nodes(const Netlist& netlist,
+                                     const std::vector<bool>& input_values);
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,31 @@
+#include "circuit/gate.hpp"
+
+namespace hjdes::circuit {
+
+std::string_view gate_name(GateKind k) noexcept {
+  switch (k) {
+    case GateKind::Input:
+      return "INPUT";
+    case GateKind::Output:
+      return "OUTPUT";
+    case GateKind::Buf:
+      return "BUF";
+    case GateKind::Not:
+      return "NOT";
+    case GateKind::And:
+      return "AND";
+    case GateKind::Or:
+      return "OR";
+    case GateKind::Xor:
+      return "XOR";
+    case GateKind::Nand:
+      return "NAND";
+    case GateKind::Nor:
+      return "NOR";
+    case GateKind::Xnor:
+      return "XNOR";
+  }
+  return "?";
+}
+
+}  // namespace hjdes::circuit

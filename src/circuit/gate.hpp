@@ -1,0 +1,93 @@
+#pragma once
+// Gate model for the logic circuit simulation (paper §4.1): gates have one
+// output port and one or two input ports; each gate type carries a constant
+// processing delay, and signal propagation time is folded into it.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hjdes::circuit {
+
+/// Node kinds in the circuit graph. `Input`/`Output` are the paper's input
+/// and output nodes (circuit boundary); the rest are logic gates.
+enum class GateKind : std::uint8_t {
+  Input,   ///< circuit input; no input ports, emits the initial events
+  Output,  ///< circuit output; one input port, records arriving signals
+  Buf,
+  Not,
+  And,
+  Or,
+  Xor,
+  Nand,
+  Nor,
+  Xnor,
+};
+
+/// Number of input ports for a node of kind `k` (0, 1, or 2).
+constexpr int gate_arity(GateKind k) noexcept {
+  switch (k) {
+    case GateKind::Input:
+      return 0;
+    case GateKind::Output:
+    case GateKind::Buf:
+    case GateKind::Not:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+/// Boolean function of the gate. For arity-1 kinds `b` is ignored; Input and
+/// Output pass `a` through (Output's "function" is what gets recorded).
+constexpr bool gate_eval(GateKind k, bool a, bool b) noexcept {
+  switch (k) {
+    case GateKind::Input:
+    case GateKind::Output:
+    case GateKind::Buf:
+      return a;
+    case GateKind::Not:
+      return !a;
+    case GateKind::And:
+      return a && b;
+    case GateKind::Or:
+      return a || b;
+    case GateKind::Xor:
+      return a != b;
+    case GateKind::Nand:
+      return !(a && b);
+    case GateKind::Nor:
+      return !(a || b);
+    case GateKind::Xnor:
+      return a == b;
+  }
+  return false;
+}
+
+/// Constant per-kind processing+propagation delay in simulated time units
+/// (paper §4.1: "for each type of logic gate, a constant processing delay is
+/// assigned in the program"). Values mimic relative CMOS costs.
+constexpr std::int64_t gate_delay(GateKind k) noexcept {
+  switch (k) {
+    case GateKind::Input:
+      return 0;
+    case GateKind::Output:
+      return 0;
+    case GateKind::Buf:
+    case GateKind::Not:
+      return 1;
+    case GateKind::And:
+    case GateKind::Or:
+    case GateKind::Nand:
+    case GateKind::Nor:
+      return 2;
+    case GateKind::Xor:
+    case GateKind::Xnor:
+      return 3;
+  }
+  return 1;
+}
+
+/// Human-readable kind name, for DOT export and diagnostics.
+std::string_view gate_name(GateKind k) noexcept;
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,55 @@
+#pragma once
+// Circuit generators for the paper's three evaluation inputs (12-bit tree
+// multiplier, 64/128-bit Kogge-Stone adders) plus auxiliary circuits used by
+// tests and ablations.
+
+#include <cstdint>
+
+#include "circuit/netlist.hpp"
+
+namespace hjdes::circuit {
+
+/// N-bit Kogge-Stone parallel-prefix adder [Kogge & Stone 1973] with carry-in
+/// and carry-out. Inputs: a0..a(n-1), b0..b(n-1), cin. Outputs: s0..s(n-1),
+/// cout. The paper's 64-bit and 128-bit evaluation circuits.
+Netlist kogge_stone_adder(int bits);
+
+/// N-bit tree multiplier: AND-array partial products, Wallace-style
+/// carry-save reduction tree, ripple final stage. Inputs: a0.., b0..;
+/// outputs p0..p(2n-1). The paper's 12-bit evaluation circuit.
+Netlist tree_multiplier(int bits);
+
+/// N-bit ripple-carry adder (full-adder chain): same function as the
+/// Kogge-Stone adder but with a long critical path and minimal available
+/// parallelism — the contrast case for the Figure 1 profile.
+Netlist ripple_carry_adder(int bits);
+
+/// Parameters for random_dag().
+struct RandomDagParams {
+  int num_inputs = 8;
+  int num_gates = 64;
+  int num_outputs = 8;
+  /// Bias toward recent nodes when choosing fanins (higher = deeper DAGs).
+  double locality = 0.5;
+  /// Cap on per-node event amplification. In this DES every event a node
+  /// processes yields one event per fanout edge, so a node's event count per
+  /// input vector is the sum of its fanins' counts — unconstrained random
+  /// reconvergence grows it exponentially (Fibonacci-style). The generator
+  /// redirects fanins so no node exceeds this factor, which bounds the total
+  /// events of a simulation by roughly vectors * gates * cap.
+  std::uint64_t max_node_amplification = 256;
+  std::uint64_t seed = 1;
+};
+
+/// Random acyclic gate network; the workhorse of the property-test suite.
+Netlist random_dag(const RandomDagParams& params);
+
+/// Chain of `length` inverters between one input and one output. Serial
+/// workload: zero available parallelism.
+Netlist inverter_chain(int length);
+
+/// One input fanning out through `depth` levels of `fanout`-way buffer trees
+/// to fanout^depth outputs. Maximal available parallelism.
+Netlist buffer_tree(int depth, int fanout);
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,41 @@
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+
+Netlist inverter_chain(int length) {
+  HJDES_CHECK(length >= 1, "chain needs at least one inverter");
+  NetlistBuilder nb;
+  NodeId cur = nb.add_input("in");
+  for (int i = 0; i < length; ++i) {
+    cur = nb.add_gate(GateKind::Not, cur);
+  }
+  nb.add_output(cur, "out");
+  return nb.build();
+}
+
+Netlist buffer_tree(int depth, int fanout) {
+  HJDES_CHECK(depth >= 1, "buffer tree needs depth >= 1");
+  HJDES_CHECK(fanout >= 2, "buffer tree needs fanout >= 2");
+  NetlistBuilder nb;
+  std::vector<NodeId> frontier{nb.add_input("in")};
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(fanout));
+    for (NodeId src : frontier) {
+      for (int k = 0; k < fanout; ++k) {
+        next.push_back(nb.add_gate(GateKind::Buf, src));
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    nb.add_output(frontier[i], "out" + std::to_string(i));
+  }
+  return nb.build();
+}
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,59 @@
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+
+Netlist kogge_stone_adder(int bits) {
+  HJDES_CHECK(bits >= 1, "adder needs at least one bit");
+  NetlistBuilder nb;
+  const std::size_t n = static_cast<std::size_t>(bits);
+
+  std::vector<NodeId> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = nb.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) b[i] = nb.add_input("b" + std::to_string(i));
+  NodeId cin = nb.add_input("cin");
+
+  // Bit-level propagate/generate.
+  std::vector<NodeId> p(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = nb.add_gate(GateKind::Xor, a[i], b[i]);
+    g[i] = nb.add_gate(GateKind::And, a[i], b[i]);
+  }
+
+  // Kogge-Stone prefix tree: after the pass with distance d, (G[i], P[i])
+  // covers bit span [i-2d+1, i] clamped at 0.
+  std::vector<NodeId> G = g, P = p;
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    std::vector<NodeId> nextG = G, nextP = P;
+    for (std::size_t i = n - 1; i >= d; --i) {
+      NodeId t = nb.add_gate(GateKind::And, P[i], G[i - d]);
+      nextG[i] = nb.add_gate(GateKind::Or, G[i], t);
+      nextP[i] = nb.add_gate(GateKind::And, P[i], P[i - d]);
+      if (i == d) break;  // avoid size_t underflow
+    }
+    G = std::move(nextG);
+    P = std::move(nextP);
+  }
+
+  // Carries: c0 = cin; c(i) = G[i-1] | (P[i-1] & cin) for i in [1, n].
+  std::vector<NodeId> carry(n + 1);
+  carry[0] = cin;
+  for (std::size_t i = 1; i <= n; ++i) {
+    NodeId t = nb.add_gate(GateKind::And, P[i - 1], cin);
+    carry[i] = nb.add_gate(GateKind::Or, G[i - 1], t);
+  }
+
+  // Sums and boundary outputs.
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId s = nb.add_gate(GateKind::Xor, p[i], carry[i]);
+    nb.add_output(s, "s" + std::to_string(i));
+  }
+  nb.add_output(carry[n], "cout");
+
+  return nb.build();
+}
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,80 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "support/platform.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::circuit {
+
+Netlist random_dag(const RandomDagParams& params) {
+  HJDES_CHECK(params.num_inputs >= 1, "random_dag needs inputs");
+  HJDES_CHECK(params.num_outputs >= 1, "random_dag needs outputs");
+  HJDES_CHECK(params.locality >= 0.0 && params.locality <= 1.0,
+              "locality must be in [0,1]");
+  HJDES_CHECK(params.max_node_amplification >= 2,
+              "amplification cap must allow a two-input gate");
+  Xoshiro256 rng(params.seed);
+  NetlistBuilder nb;
+
+  std::vector<NodeId> pool;        // nodes eligible as fanins
+  std::vector<std::uint64_t> amp;  // events-per-vector estimate per pool node
+  for (int i = 0; i < params.num_inputs; ++i) {
+    pool.push_back(nb.add_input("in" + std::to_string(i)));
+    amp.push_back(1);
+  }
+
+  // Pick a fanin index: with probability `locality` from the most recent
+  // quarter of the pool (deep, chain-like DAGs), otherwise uniformly.
+  auto pick = [&]() -> std::size_t {
+    const std::size_t n = pool.size();
+    if (params.locality > 0.0 && rng.uniform01() < params.locality && n > 4) {
+      const std::size_t window = std::max<std::size_t>(1, n / 4);
+      return n - 1 - rng.below(window);
+    }
+    return rng.below(n);
+  };
+
+  // Pick a fanin whose amplification keeps `budget`; falls back to an input
+  // node (amp == 1) when random retries keep busting the cap.
+  auto pick_within = [&](std::uint64_t budget) -> std::size_t {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::size_t idx = pick();
+      if (amp[idx] <= budget) return idx;
+    }
+    return rng.below(static_cast<std::uint64_t>(params.num_inputs));
+  };
+
+  static constexpr GateKind kTwoInput[] = {GateKind::And,  GateKind::Or,
+                                           GateKind::Xor,  GateKind::Nand,
+                                           GateKind::Nor,  GateKind::Xnor};
+  const std::uint64_t cap = params.max_node_amplification;
+  for (int g = 0; g < params.num_gates; ++g) {
+    if (rng.below(8) == 0) {  // 1-in-8 gates are inverters/buffers
+      GateKind kind = rng.coin() ? GateKind::Not : GateKind::Buf;
+      std::size_t a = pick_within(cap);
+      pool.push_back(nb.add_gate(kind, pool[a]));
+      amp.push_back(amp[a]);
+    } else {
+      GateKind kind = kTwoInput[rng.below(6)];
+      std::size_t a = pick_within(cap - 1);
+      std::size_t b = pick_within(cap - amp[a]);
+      pool.push_back(nb.add_gate(kind, pool[a], pool[b]));
+      amp.push_back(amp[a] + amp[b]);
+    }
+  }
+
+  // Attach outputs, preferring the most recent gates so most of the circuit
+  // is observed.
+  for (int o = 0; o < params.num_outputs; ++o) {
+    const std::size_t n = pool.size();
+    const std::size_t window = std::max<std::size_t>(1, n / 2);
+    NodeId src = pool[n - 1 - rng.below(window)];
+    nb.add_output(src, "out" + std::to_string(o));
+  }
+
+  return nb.build();
+}
+
+}  // namespace hjdes::circuit

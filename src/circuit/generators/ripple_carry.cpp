@@ -1,0 +1,32 @@
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+
+Netlist ripple_carry_adder(int bits) {
+  HJDES_CHECK(bits >= 1, "adder needs at least one bit");
+  NetlistBuilder nb;
+  const std::size_t n = static_cast<std::size_t>(bits);
+
+  std::vector<NodeId> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = nb.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) b[i] = nb.add_input("b" + std::to_string(i));
+  NodeId carry = nb.add_input("cin");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId x = nb.add_gate(GateKind::Xor, a[i], b[i]);
+    NodeId s = nb.add_gate(GateKind::Xor, x, carry);
+    NodeId t1 = nb.add_gate(GateKind::And, a[i], b[i]);
+    NodeId t2 = nb.add_gate(GateKind::And, x, carry);
+    carry = nb.add_gate(GateKind::Or, t1, t2);
+    nb.add_output(s, "s" + std::to_string(i));
+  }
+  nb.add_output(carry, "cout");
+
+  return nb.build();
+}
+
+}  // namespace hjdes::circuit

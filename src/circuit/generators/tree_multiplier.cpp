@@ -1,0 +1,123 @@
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+namespace {
+
+struct SumCarry {
+  NodeId sum;
+  NodeId carry;
+};
+
+SumCarry half_adder(NetlistBuilder& nb, NodeId a, NodeId b) {
+  return {nb.add_gate(GateKind::Xor, a, b), nb.add_gate(GateKind::And, a, b)};
+}
+
+SumCarry full_adder(NetlistBuilder& nb, NodeId a, NodeId b, NodeId c) {
+  NodeId x = nb.add_gate(GateKind::Xor, a, b);
+  NodeId s = nb.add_gate(GateKind::Xor, x, c);
+  NodeId t1 = nb.add_gate(GateKind::And, a, b);
+  NodeId t2 = nb.add_gate(GateKind::And, x, c);
+  return {s, nb.add_gate(GateKind::Or, t1, t2)};
+}
+
+using Columns = std::vector<std::vector<NodeId>>;
+
+void push_col(Columns& cols, std::size_t w, NodeId id) {
+  if (w >= cols.size()) cols.resize(w + 1);
+  cols[w].push_back(id);
+}
+
+}  // namespace
+
+Netlist tree_multiplier(int bits) {
+  HJDES_CHECK(bits >= 1, "multiplier needs at least one bit");
+  NetlistBuilder nb;
+  const std::size_t n = static_cast<std::size_t>(bits);
+
+  std::vector<NodeId> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = nb.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) b[i] = nb.add_input("b" + std::to_string(i));
+
+  // Partial-product array: columns[w] holds the bits of weight 2^w.
+  Columns columns(2 * n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      columns[i + j].push_back(nb.add_gate(GateKind::And, a[i], b[j]));
+    }
+  }
+
+  // Wallace-style carry-save reduction: compress every column to <= 2 bits
+  // using 3:2 (full adder) and 2:2 (half adder) counters, tree fashion.
+  // Bits at weights >= 2n are structurally possible (carry gates whose value
+  // is provably 0 for an n x n product); they are kept so the DAG stays
+  // well-formed, and simply not emitted as outputs.
+  for (;;) {
+    bool all_small = true;
+    for (const auto& col : columns) all_small = all_small && col.size() <= 2;
+    if (all_small) break;
+
+    Columns next;
+    for (std::size_t w = 0; w < columns.size(); ++w) {
+      const auto& col = columns[w];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        SumCarry sc = full_adder(nb, col[i], col[i + 1], col[i + 2]);
+        push_col(next, w, sc.sum);
+        push_col(next, w + 1, sc.carry);
+        i += 3;
+      }
+      if (col.size() - i == 2 && col.size() > 2) {
+        SumCarry sc = half_adder(nb, col[i], col[i + 1]);
+        push_col(next, w, sc.sum);
+        push_col(next, w + 1, sc.carry);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) push_col(next, w, col[i]);
+    }
+    columns = std::move(next);
+  }
+
+  // Final carry-propagate stage over the (at most two) remaining rows.
+  std::vector<NodeId> product;
+  NodeId carry = kNoNode;
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    const auto& col = columns[w];
+    HJDES_CHECK(col.size() <= 2, "reduction left a column wider than 2");
+    if (col.empty()) {
+      product.push_back(carry);
+      carry = kNoNode;
+    } else if (col.size() == 1) {
+      if (carry == kNoNode) {
+        product.push_back(col[0]);
+      } else {
+        SumCarry sc = half_adder(nb, col[0], carry);
+        product.push_back(sc.sum);
+        carry = sc.carry;
+      }
+    } else {
+      SumCarry sc = (carry == kNoNode) ? half_adder(nb, col[0], col[1])
+                                       : full_adder(nb, col[0], col[1], carry);
+      product.push_back(sc.sum);
+      carry = sc.carry;
+    }
+  }
+  if (carry != kNoNode) product.push_back(carry);
+
+  // Emit exactly 2n product outputs; structural bits beyond that are
+  // arithmetically zero and intentionally unobserved.
+  for (std::size_t w = 0; w < 2 * n; ++w) {
+    NodeId bit = (w < product.size() && product[w] != kNoNode)
+                     ? product[w]
+                     : nb.add_gate(GateKind::Xor, a[0], a[0]);  // constant 0
+    nb.add_output(bit, "p" + std::to_string(w));
+  }
+
+  return nb.build();
+}
+
+}  // namespace hjdes::circuit

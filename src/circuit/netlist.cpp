@@ -1,0 +1,139 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+
+namespace hjdes::circuit {
+
+std::size_t Netlist::max_fanout() const noexcept {
+  std::size_t best = 0;
+  for (const Node& n : nodes_) {
+    best = std::max(best,
+                    static_cast<std::size_t>(n.fanout_end - n.fanout_begin));
+  }
+  return best;
+}
+
+std::size_t Netlist::depth() const noexcept {
+  std::vector<std::size_t> level(nodes_.size(), 0);
+  std::size_t best = 0;
+  for (NodeId id : topo_) {
+    const Node& n = node(id);
+    std::size_t lvl = 0;
+    for (int p = 0; p < n.num_inputs; ++p) {
+      lvl = std::max(lvl, level[static_cast<std::size_t>(n.fanin[p])] + 1);
+    }
+    level[static_cast<std::size_t>(id)] = lvl;
+    best = std::max(best, lvl);
+  }
+  return best;
+}
+
+NodeId NetlistBuilder::add_input(std::string name) {
+  NodeId id = add_node(GateKind::Input, kNoNode, kNoNode, std::move(name));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId NetlistBuilder::add_output(NodeId driver, std::string name) {
+  NodeId id = add_node(GateKind::Output, driver, kNoNode, std::move(name));
+  outputs_.push_back(id);
+  return id;
+}
+
+NodeId NetlistBuilder::add_gate(GateKind kind, NodeId a, std::string name) {
+  HJDES_CHECK(gate_arity(kind) == 1, "gate kind requires two fanins");
+  return add_node(kind, a, kNoNode, std::move(name));
+}
+
+NodeId NetlistBuilder::add_gate(GateKind kind, NodeId a, NodeId b,
+                                std::string name) {
+  HJDES_CHECK(gate_arity(kind) == 2, "gate kind takes a single fanin");
+  return add_node(kind, a, b, std::move(name));
+}
+
+void NetlistBuilder::set_delay(NodeId id, std::int64_t delay) {
+  HJDES_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "set_delay: node id out of range");
+  HJDES_CHECK(delay >= 0, "set_delay: negative delay");
+  nodes_[static_cast<std::size_t>(id)].delay = delay;
+}
+
+NodeId NetlistBuilder::add_node(GateKind kind, NodeId a, NodeId b,
+                                std::string name) {
+  const int arity = gate_arity(kind);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto check_fanin = [&](NodeId f) {
+    HJDES_CHECK(f >= 0 && f < id,
+                "fanin must reference an existing earlier node");
+    HJDES_CHECK(nodes_[static_cast<std::size_t>(f)].kind != GateKind::Output,
+                "output nodes cannot drive anything");
+  };
+  if (arity >= 1) check_fanin(a);
+  if (arity >= 2) check_fanin(b);
+  nodes_.push_back(ProtoNode{kind, {arity >= 1 ? a : kNoNode,
+                                    arity >= 2 ? b : kNoNode},
+                             gate_delay(kind)});
+  names_.push_back(std::move(name));
+  return id;
+}
+
+Netlist NetlistBuilder::build() {
+  Netlist out;
+  const std::size_t n = nodes_.size();
+  out.nodes_.resize(n);
+  out.names_ = std::move(names_);
+  out.inputs_ = std::move(inputs_);
+  out.outputs_ = std::move(outputs_);
+
+  // Count fanouts, then fill the CSR edge array.
+  std::vector<std::uint32_t> degree(n, 0);
+  std::size_t total_edges = 0;
+  for (const ProtoNode& p : nodes_) {
+    for (NodeId f : p.fanin) {
+      if (f != kNoNode) {
+        ++degree[static_cast<std::size_t>(f)];
+        ++total_edges;
+      }
+    }
+  }
+  out.edges_.resize(total_edges);
+  std::uint32_t offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Netlist::Node& node = out.nodes_[i];
+    const ProtoNode& p = nodes_[i];
+    node.kind = p.kind;
+    node.num_inputs = static_cast<std::uint8_t>(gate_arity(p.kind));
+    node.delay = p.delay;
+    node.fanin[0] = p.fanin[0];
+    node.fanin[1] = p.fanin[1];
+    node.fanout_begin = offset;
+    node.fanout_end = offset;  // advanced below
+    offset += degree[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProtoNode& p = nodes_[i];
+    for (int port = 0; port < gate_arity(p.kind); ++port) {
+      NodeId f = p.fanin[port];
+      Netlist::Node& src = out.nodes_[static_cast<std::size_t>(f)];
+      out.edges_[src.fanout_end++] = FanoutEdge{
+          static_cast<NodeId>(i), static_cast<std::uint8_t>(port)};
+    }
+  }
+
+  // Builder construction already forbids forward references, so the identity
+  // order is topological; keep an explicit order array for evaluator use and
+  // validate the invariant defensively.
+  out.topo_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.topo_[i] = static_cast<NodeId>(i);
+    for (NodeId f : nodes_[i].fanin) {
+      HJDES_CHECK(f == kNoNode || f < static_cast<NodeId>(i),
+                  "netlist contains a forward edge (cycle)");
+    }
+  }
+
+  nodes_.clear();
+  return out;
+}
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,134 @@
+#pragma once
+// Circuit graph representation (paper §4.1, Figure 3): a DAG whose nodes are
+// gates plus boundary input/output nodes. Every input port has exactly one
+// driver; a node's output may fan out to many input ports; the graph is
+// acyclic. Built through NetlistBuilder, then frozen into an immutable,
+// CSR-packed Netlist the simulation engines read concurrently.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+
+/// Dense node identifier; also the paper's "unique node ID" used for ordered
+/// lock acquisition (§4.3 livelock avoidance).
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// One fanout connection: the driven node and which of its input ports.
+struct FanoutEdge {
+  NodeId target;
+  std::uint8_t port;
+};
+
+/// Immutable circuit graph. Thread-safe for concurrent reads.
+class Netlist {
+ public:
+  /// Per-node static description.
+  struct Node {
+    GateKind kind;
+    std::uint8_t num_inputs;      ///< gate_arity(kind)
+    std::int64_t delay;           ///< simulated processing delay
+    NodeId fanin[2];              ///< driver node per input port, kNoNode if none
+    std::uint32_t fanout_begin;   ///< index range into the edge array
+    std::uint32_t fanout_end;
+  };
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  const Node& node(NodeId id) const noexcept {
+    HJDES_DCHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                 "node id out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  GateKind kind(NodeId id) const noexcept { return node(id).kind; }
+  int num_inputs(NodeId id) const noexcept { return node(id).num_inputs; }
+  std::int64_t delay(NodeId id) const noexcept { return node(id).delay; }
+
+  /// Fanout edges of `id` (input ports this node drives).
+  std::span<const FanoutEdge> fanout(NodeId id) const noexcept {
+    const Node& n = node(id);
+    return {edges_.data() + n.fanout_begin, edges_.data() + n.fanout_end};
+  }
+
+  /// Circuit input nodes in creation order.
+  const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
+  /// Circuit output nodes in creation order.
+  const std::vector<NodeId>& outputs() const noexcept { return outputs_; }
+
+  /// Node ids in a topological order (drivers before driven); used by the
+  /// functional evaluator and by tests.
+  const std::vector<NodeId>& topo_order() const noexcept { return topo_; }
+
+  /// Optional debug name ("" when unnamed).
+  const std::string& name(NodeId id) const noexcept {
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  /// Maximum fanout degree across nodes (profile statistic).
+  std::size_t max_fanout() const noexcept;
+
+  /// Length (#gates) of the longest input-to-output path (profile statistic).
+  std::size_t depth() const noexcept;
+
+ private:
+  friend class NetlistBuilder;
+
+  std::vector<Node> nodes_;
+  std::vector<FanoutEdge> edges_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> topo_;
+  std::vector<std::string> names_;
+};
+
+/// Incremental construction of a Netlist. All connections are expressed as
+/// fanins at node-creation time, so the one-driver-per-port invariant holds
+/// by construction; build() validates acyclicity and completeness.
+class NetlistBuilder {
+ public:
+  /// Add a circuit input node.
+  NodeId add_input(std::string name = "");
+
+  /// Add a circuit output node observing `driver`.
+  NodeId add_output(NodeId driver, std::string name = "");
+
+  /// Add a one-input gate (Buf/Not) driven by `a`.
+  NodeId add_gate(GateKind kind, NodeId a, std::string name = "");
+
+  /// Add a two-input gate driven by `a` (port 0) and `b` (port 1).
+  NodeId add_gate(GateKind kind, NodeId a, NodeId b, std::string name = "");
+
+  /// Override the default per-kind delay for the most recently added node.
+  void set_delay(NodeId id, std::int64_t delay);
+
+  /// Number of nodes added so far.
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Validate and freeze. Aborts (HJDES_CHECK) on cycles, dangling fanins,
+  /// or gates with no path to an output-side use. The builder is left empty.
+  Netlist build();
+
+ private:
+  NodeId add_node(GateKind kind, NodeId a, NodeId b, std::string name);
+
+  struct ProtoNode {
+    GateKind kind;
+    NodeId fanin[2];
+    std::int64_t delay;
+  };
+  std::vector<ProtoNode> nodes_;
+  std::vector<std::string> names_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace hjdes::circuit

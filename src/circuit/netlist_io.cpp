@@ -1,0 +1,125 @@
+#include "circuit/netlist_io.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+namespace {
+
+const std::map<std::string, GateKind>& kind_by_name() {
+  static const std::map<std::string, GateKind> table = {
+      {"BUF", GateKind::Buf},   {"NOT", GateKind::Not},
+      {"AND", GateKind::And},   {"OR", GateKind::Or},
+      {"XOR", GateKind::Xor},   {"NAND", GateKind::Nand},
+      {"NOR", GateKind::Nor},   {"XNOR", GateKind::Xnor},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string to_text(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "# hjdes netlist: " << netlist.node_count() << " nodes, "
+      << netlist.edge_count() << " edges\n";
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const Netlist::Node& n = netlist.node(id);
+    const std::string& name = netlist.name(id);
+    switch (n.kind) {
+      case GateKind::Input:
+        out << "input";
+        if (!name.empty()) out << " " << name;
+        out << "\n";
+        break;
+      case GateKind::Output:
+        out << "output " << n.fanin[0];
+        if (!name.empty()) out << " name=" << name;
+        out << "\n";
+        break;
+      default:
+        out << "gate " << gate_name(n.kind) << " " << n.fanin[0];
+        if (n.num_inputs > 1) out << " " << n.fanin[1];
+        if (n.delay != gate_delay(n.kind)) out << " delay=" << n.delay;
+        if (!name.empty()) out << " name=" << name;
+        out << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+Netlist parse_netlist(const std::string& text) {
+  NetlistBuilder nb;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and leading whitespace.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank line
+
+    auto parse_tail = [&ls](std::int64_t* delay, std::string* name) {
+      std::string token;
+      while (ls >> token) {
+        if (token.rfind("delay=", 0) == 0) {
+          *delay = std::stoll(token.substr(6));
+        } else if (token.rfind("name=", 0) == 0) {
+          *name = token.substr(5);
+        } else {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (verb == "input") {
+      std::string name;
+      ls >> name;  // optional
+      nb.add_input(name);
+    } else if (verb == "output") {
+      NodeId driver = kNoNode;
+      HJDES_CHECK(static_cast<bool>(ls >> driver),
+                  "netlist parse: output needs a driver id");
+      std::int64_t delay = -1;
+      std::string name;
+      HJDES_CHECK(parse_tail(&delay, &name),
+                  "netlist parse: unexpected token on output line");
+      nb.add_output(driver, name);
+    } else if (verb == "gate") {
+      std::string kind_name;
+      HJDES_CHECK(static_cast<bool>(ls >> kind_name),
+                  "netlist parse: gate needs a kind");
+      auto it = kind_by_name().find(kind_name);
+      HJDES_CHECK(it != kind_by_name().end(),
+                  "netlist parse: unknown gate kind");
+      const GateKind kind = it->second;
+      NodeId a = kNoNode, b = kNoNode;
+      HJDES_CHECK(static_cast<bool>(ls >> a),
+                  "netlist parse: gate needs a fanin");
+      if (gate_arity(kind) == 2) {
+        HJDES_CHECK(static_cast<bool>(ls >> b),
+                    "netlist parse: two-input gate needs a second fanin");
+      }
+      std::int64_t delay = -1;
+      std::string name;
+      HJDES_CHECK(parse_tail(&delay, &name),
+                  "netlist parse: unexpected token on gate line");
+      NodeId id = gate_arity(kind) == 2 ? nb.add_gate(kind, a, b, name)
+                                        : nb.add_gate(kind, a, name);
+      if (delay >= 0) nb.set_delay(id, delay);
+    } else {
+      HJDES_CHECK(false, "netlist parse: unknown directive");
+    }
+  }
+  return nb.build();
+}
+
+}  // namespace hjdes::circuit

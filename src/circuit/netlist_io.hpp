@@ -1,0 +1,25 @@
+#pragma once
+// Plain-text netlist serialization: a line-oriented format so circuits can
+// be saved, versioned, and exchanged without rebuilding generators.
+//
+//   # comment
+//   input <name>
+//   gate <KIND> <fanin0> [<fanin1>] [delay=<d>] [name=<name>]
+//   output <driver> [name=<name>]
+//
+// Nodes are referenced by declaration index (0-based), matching NodeId.
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace hjdes::circuit {
+
+/// Serialize a netlist to the text format. Round-trips through parse_netlist.
+std::string to_text(const Netlist& netlist);
+
+/// Parse the text format. Aborts (HJDES_CHECK) with a line diagnostic on
+/// malformed input.
+Netlist parse_netlist(const std::string& text);
+
+}  // namespace hjdes::circuit

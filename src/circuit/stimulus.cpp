@@ -1,0 +1,68 @@
+#include "circuit/stimulus.hpp"
+
+#include "support/platform.hpp"
+
+namespace hjdes::circuit {
+
+std::size_t Stimulus::total_events() const {
+  std::size_t n = 0;
+  for (const auto& train : initial) n += train.size();
+  return n;
+}
+
+std::vector<bool> Stimulus::final_values() const {
+  std::vector<bool> out(initial.size(), false);
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    if (!initial[i].empty()) out[i] = initial[i].back().value;
+  }
+  return out;
+}
+
+Stimulus single_vector_stimulus(const Netlist& netlist,
+                                const std::vector<bool>& values) {
+  HJDES_CHECK(values.size() == netlist.inputs().size(),
+              "one value per circuit input required");
+  Stimulus s;
+  s.initial.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.initial[i].push_back(SignalChange{0, values[i]});
+  }
+  return s;
+}
+
+Stimulus random_stimulus(const Netlist& netlist, std::size_t num_vectors,
+                         std::int64_t interval, std::uint64_t seed) {
+  HJDES_CHECK(interval > 0, "stimulus interval must be positive");
+  Xoshiro256 rng(seed);
+  Stimulus s;
+  const std::size_t num_inputs = netlist.inputs().size();
+  s.initial.resize(num_inputs);
+  for (auto& train : s.initial) train.reserve(num_vectors);
+  for (std::size_t v = 0; v < num_vectors; ++v) {
+    const std::int64_t t = static_cast<std::int64_t>(v) * interval;
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      s.initial[i].push_back(SignalChange{t, rng.coin()});
+    }
+  }
+  return s;
+}
+
+Stimulus skewed_random_stimulus(const Netlist& netlist,
+                                std::size_t num_vectors, std::int64_t interval,
+                                std::uint64_t seed) {
+  HJDES_CHECK(interval > 1, "skewed stimulus needs interval > 1");
+  Xoshiro256 rng(seed);
+  Stimulus s;
+  const std::size_t num_inputs = netlist.inputs().size();
+  s.initial.resize(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    std::int64_t t = rng.range(0, interval - 1);
+    for (std::size_t v = 0; v < num_vectors; ++v) {
+      s.initial[i].push_back(SignalChange{t, rng.coin()});
+      t += rng.range(1, interval);  // strictly increasing per input
+    }
+  }
+  return s;
+}
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,49 @@
+#pragma once
+// Stimulus: the per-input-node lists of initial events a simulation starts
+// from (paper §4.1: "a logic circuit ... along with a list of initial events
+// for each input node are given as the input to the simulation").
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::circuit {
+
+/// One signal change at a circuit input.
+struct SignalChange {
+  std::int64_t time;
+  bool value;
+};
+
+/// Initial events for every input node, ascending in time per input.
+struct Stimulus {
+  /// initial[i] belongs to netlist.inputs()[i].
+  std::vector<std::vector<SignalChange>> initial;
+
+  /// Total number of initial events (Table 1's "# initial events").
+  std::size_t total_events() const;
+
+  /// The last value applied to each input (what the final latched state of
+  /// the circuit corresponds to); inputs with no events report false.
+  std::vector<bool> final_values() const;
+};
+
+/// A single input vector applied at time 0 (values[i] -> inputs()[i]).
+Stimulus single_vector_stimulus(const Netlist& netlist,
+                                const std::vector<bool>& values);
+
+/// `num_vectors` uniformly random input vectors applied at times
+/// 0, interval, 2*interval, ... — the workload shape of the paper's
+/// Kogge-Stone runs (many initial events per input).
+Stimulus random_stimulus(const Netlist& netlist, std::size_t num_vectors,
+                         std::int64_t interval, std::uint64_t seed);
+
+/// Like random_stimulus but each input gets an independently jittered event
+/// train (tests the engines' handling of per-port skew).
+Stimulus skewed_random_stimulus(const Netlist& netlist,
+                                std::size_t num_vectors, std::int64_t interval,
+                                std::uint64_t seed);
+
+}  // namespace hjdes::circuit

@@ -1,0 +1,201 @@
+#include "des/actor_engine.hpp"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/port_merge.hpp"
+#include "hj/actor.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/// Actor message: either a signal/NULL event for an input port, or the
+/// kick-off message that tells an input-node actor to emit its initial
+/// events.
+struct Msg {
+  Event event{0, 0};
+  std::uint8_t port = 0;
+  bool start = false;
+};
+
+class ActorEngineImpl;
+
+/// One circuit node as an actor. All state is actor-private: the hj::Actor
+/// contract guarantees process() calls for one actor never overlap.
+class NodeActor final : public hj::Actor<Msg> {
+ public:
+  void init(ActorEngineImpl* engine, NodeId id) {
+    engine_ = engine;
+    id_ = id;
+  }
+
+  // Actor-private simulation state (public for result collection after the
+  // run has quiesced).
+  RingDeque<Event> queue[2];
+  Time last_received[2] = {kNeverReceived, kNeverReceived};
+  bool latch[2] = {false, false};
+  std::uint8_t nulls_popped = 0;
+  bool done = false;
+  std::vector<OutputRecord> waveform;
+  std::int32_t output_index = -1;
+  std::uint64_t events_processed = 0;
+  std::uint64_t nulls_received = 0;
+
+ protected:
+  void process(Msg msg) override;
+
+ private:
+  friend class ActorEngineImpl;
+  ActorEngineImpl* engine_ = nullptr;
+  NodeId id_ = 0;
+};
+
+class ActorEngineImpl {
+ public:
+  ActorEngineImpl(const SimInput& input, const ActorEngineConfig& config)
+      : input_(input),
+        netlist_(input.netlist()),
+        cfg_(config),
+        actors_(netlist_.node_count()) {
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      actors_[i].init(this, static_cast<NodeId>(i));
+    }
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      actors_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+          static_cast<std::int32_t>(i);
+    }
+    input_index_.resize(netlist_.node_count(), -1);
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  SimResult run() {
+    std::unique_ptr<hj::Runtime> owned;
+    hj::Runtime* rt = cfg_.runtime;
+    if (rt == nullptr) {
+      owned = std::make_unique<hj::Runtime>(cfg_.workers);
+      rt = owned.get();
+    }
+    HJDES_CHECK(rt->workers() == cfg_.workers,
+                "provided runtime has a different worker count");
+
+    // Kick every input actor; the enclosing finish waits for quiescence of
+    // the entire actor system (all mailboxes drained).
+    rt->run([this] {
+      for (NodeId id : netlist_.inputs()) {
+        send(id, Msg{Event{0, 0}, 0, true});
+      }
+    });
+
+    SimResult result;
+    result.waveforms.resize(netlist_.outputs().size());
+    result.messages_sent = stat_messages_.load();
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      HJDES_CHECK(actors_[i].done,
+                  "actor simulation quiesced with an unfinished node");
+      result.events_processed += actors_[i].events_processed;
+      result.null_messages += actors_[i].nulls_received;
+    }
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      result.waveforms[i] = std::move(
+          actors_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
+    }
+    return result;
+  }
+
+  void send(NodeId target, Msg msg) {
+    stat_messages_.fetch_add(1, std::memory_order_relaxed);
+    actors_[static_cast<std::size_t>(target)].send(msg);
+  }
+
+  void emit(NodeId source, Event e) {
+    for (const FanoutEdge& edge : netlist_.fanout(source)) {
+      send(edge.target, Msg{e, edge.port, false});
+    }
+  }
+
+  const Netlist& netlist() const { return netlist_; }
+
+  const std::vector<Event>& initial_for(NodeId id) const {
+    return input_.initial_events(
+        static_cast<std::size_t>(input_index_[static_cast<std::size_t>(id)]));
+  }
+
+ private:
+  const SimInput& input_;
+  const Netlist& netlist_;
+  const ActorEngineConfig cfg_;
+  std::vector<NodeActor> actors_;
+  std::vector<std::int32_t> input_index_;
+  std::atomic<std::uint64_t> stat_messages_{0};
+};
+
+void NodeActor::process(Msg msg) {
+  const Netlist::Node& meta = engine_->netlist().node(id_);
+
+  if (msg.start) {
+    // Input node: forward all initial events, then NULL.
+    for (const Event& e : engine_->initial_for(id_)) {
+      engine_->emit(id_, e);
+      ++events_processed;
+    }
+    engine_->emit(id_, Event::null_message());
+    done = true;
+    return;
+  }
+
+  // Enqueue the delivery, then drain whatever became processable.
+  HJDES_DCHECK(msg.event.time >= last_received[msg.port],
+               "causality violation: out-of-order delivery on a port");
+  queue[msg.port].push_back(msg.event);
+  last_received[msg.port] = msg.event.time;
+  if (msg.event.is_null()) ++nulls_received;
+
+  for (;;) {
+    Time head[2], lr[2];
+    for (int p = 0; p < meta.num_inputs; ++p) {
+      head[p] = queue[p].empty() ? kEmptyQueue : queue[p].front().time;
+      lr[p] = last_received[p];
+    }
+    const int p = next_ready_port(head, lr, meta.num_inputs);
+    if (p < 0) break;
+    Event e = queue[p].pop_front();
+    if (e.is_null()) {
+      ++nulls_popped;
+      continue;
+    }
+    ++events_processed;
+    if (meta.kind == GateKind::Output) {
+      waveform.push_back(OutputRecord{e.time, e.value});
+      continue;
+    }
+    latch[p] = e.value != 0;
+    const bool out = circuit::gate_eval(meta.kind, latch[0], latch[1]);
+    engine_->emit(id_, Event{e.time + meta.delay,
+                             static_cast<std::uint8_t>(out ? 1 : 0)});
+  }
+
+  if (nulls_popped == meta.num_inputs && !done) {
+    engine_->emit(id_, Event::null_message());
+    done = true;
+  }
+}
+
+}  // namespace
+
+SimResult run_actor(const SimInput& input, const ActorEngineConfig& config) {
+  return ActorEngineImpl(input, config).run();
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,26 @@
+#pragma once
+// Actor-model parallel DES — the paper's §6 future-work direction ("the use
+// of HJlib actor model for parallelizing DES applications"), built on
+// hj::Actor. Each circuit node is an actor owning its queues, latches and
+// waveform outright: message processing per actor is serialized by the actor
+// runtime, so the engine needs no user-visible locks at all (contrast with
+// Algorithm 2's trylock choreography).
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+#include "hj/runtime.hpp"
+
+namespace hjdes::des {
+
+/// Configuration of the actor engine.
+struct ActorEngineConfig {
+  int workers = 1;
+  /// Optional externally-owned runtime to reuse across runs.
+  hj::Runtime* runtime = nullptr;
+};
+
+/// Run the actor-based parallel simulation. Produces waveforms bit-identical
+/// to run_sequential for any worker count.
+SimResult run_actor(const SimInput& input, const ActorEngineConfig& config);
+
+}  // namespace hjdes::des

@@ -1,0 +1,20 @@
+#pragma once
+// Umbrella header: every simulation engine of the reproduction.
+//
+//   run_sequential     — Algorithm 1, per-port deques (§4.5.1 structure)
+//   run_sequential_pq  — Algorithm 1, per-node priority queue (Galois-Java)
+//   run_hj             — Algorithm 2 on the hj runtime (+ §4.5 toggles)
+//   run_galois         — Algorithm 3 on the optimistic galois runtime
+//   run_actor          — §6 future work: actor-per-node engine
+//   run_timewarp       — §2.1 related work: Jefferson-style optimistic PDES
+//
+// All engines produce bit-identical waveforms for the same SimInput.
+
+#include "des/actor_engine.hpp"
+#include "des/galois_engine.hpp"
+#include "des/hj_engine.hpp"
+#include "des/parallelism_profile.hpp"
+#include "des/seq_engine.hpp"
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+#include "des/timewarp_engine.hpp"

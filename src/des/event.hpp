@@ -1,0 +1,63 @@
+#pragma once
+// Event model for the conservative (Chandy-Misra) logic circuit DES
+// (paper §4.1). Every electric signal is a timestamped event; NULL messages
+// (timestamp "infinity") announce that a port will receive no further events,
+// providing distributed termination without global control.
+
+#include <cstdint>
+#include <limits>
+
+namespace hjdes::des {
+
+/// Simulated (virtual) time.
+using Time = std::int64_t;
+
+/// Timestamp of a NULL message — "infinity". Real events must be strictly
+/// below this; kept away from the integer maximum so `ts + delay` can never
+/// overflow into it.
+inline constexpr Time kNullTs = std::numeric_limits<Time>::max() / 2;
+
+/// Sentinel for "no event received yet on this port": the local clock of a
+/// node with an untouched port stays below every real timestamp.
+inline constexpr Time kNeverReceived = -1;
+
+/// Sentinel for "port queue empty" in head-timestamp hints; above kNullTs so
+/// an empty queue never looks ready.
+inline constexpr Time kEmptyQueue = std::numeric_limits<Time>::max();
+
+/// One signal event (or NULL message when time == kNullTs).
+struct Event {
+  Time time;
+  std::uint8_t value;  ///< 0 or 1; unspecified for NULL messages
+
+  bool is_null() const noexcept { return time == kNullTs; }
+
+  static Event null_message() noexcept { return Event{kNullTs, 0}; }
+
+  friend bool operator==(const Event& a, const Event& b) noexcept {
+    return a.time == b.time && a.value == b.value;
+  }
+};
+
+/// Event tagged with its destination port — the element type of per-node
+/// priority queues in the Galois-style engines, where a single heap holds
+/// events for both input ports. Ordered by (time, port, seq): the port tie
+/// break matches the per-port engines' merge rule, and the per-node sequence
+/// number restores FIFO order among same-port same-time events (binary heaps
+/// are not stable).
+struct PortEvent {
+  Time time;
+  std::uint8_t value;
+  std::uint8_t port;
+  std::uint32_t seq;
+
+  bool is_null() const noexcept { return time == kNullTs; }
+
+  friend bool operator<(const PortEvent& a, const PortEvent& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.port != b.port) return a.port < b.port;
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace hjdes::des

@@ -1,0 +1,233 @@
+#include "des/galois_engine.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/port_merge.hpp"
+#include "galois/for_each.hpp"
+#include "support/binary_heap.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/// Per-node state with the Galois-Java structure: a single priority queue per
+/// node plus the abstract lock (Lockable) the runtime uses for conflict
+/// detection. All fields are guarded by ownership of the Lockable.
+struct GNode : galois::Lockable {
+  BinaryHeap<PortEvent> heap;
+  std::uint32_t seq_counter = 0;
+  std::uint32_t pending[2] = {0, 0};
+  Time last_received[2] = {kNeverReceived, kNeverReceived};
+  bool latch[2] = {false, false};
+  std::uint8_t nulls_popped = 0;
+  bool done = false;
+  std::size_t next_initial = 0;
+  std::int32_t output_index = -1;
+  std::vector<OutputRecord> waveform;
+};
+
+bool top_ready(const GNode& n, int ports) {
+  if (n.heap.empty()) return false;
+  const PortEvent& top = n.heap.top();
+  for (int q = 0; q < ports; ++q) {
+    if (q == top.port || n.pending[q] > 0) continue;
+    if (!empty_port_safe(top.time, top.port, q, n.last_received[q])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class GaloisEngine {
+ public:
+  GaloisEngine(const SimInput& input, const GaloisEngineConfig& config)
+      : input_(input),
+        netlist_(input.netlist()),
+        cfg_(config),
+        nodes_(netlist_.node_count()) {
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+          static_cast<std::int32_t>(i);
+    }
+    input_index_.resize(netlist_.node_count(), -1);
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  SimResult run() {
+    std::vector<NodeId> initial(netlist_.inputs());
+    galois::ForEachConfig fec;
+    fec.threads = cfg_.threads;
+    fec.max_backoff_spins = cfg_.max_backoff_spins;
+
+    galois::ForEachStats fes = galois::for_each<NodeId>(
+        initial,
+        [this](NodeId id, galois::UserContext<NodeId>& ctx) {
+          operate(id, ctx);
+        },
+        fec);
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      HJDES_CHECK(nodes_[i].done,
+                  "galois simulation drained with an unfinished node");
+    }
+
+    SimResult result;
+    result.waveforms.resize(netlist_.outputs().size());
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      result.waveforms[i] = std::move(
+          nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
+    }
+    result.events_processed = stat_events_.load();
+    result.null_messages = stat_nulls_.load();
+    result.commits = fes.committed;
+    result.aborts = fes.aborted;
+    return result;
+  }
+
+ private:
+  GNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  /// Speculative delivery with full rollback support.
+  void deliver(galois::UserContext<NodeId>& ctx, NodeId target,
+               std::uint8_t port, Event e, std::uint64_t& local_nulls) {
+    GNode& m = node(target);
+    ctx.acquire(m);  // may throw ConflictException -> abort
+    const std::uint32_t seq = m.seq_counter++;
+    m.heap.push(PortEvent{e.time, e.value, port, seq});
+    ++m.pending[port];
+    const Time old_lr = m.last_received[port];
+    m.last_received[port] = e.time;
+    ctx.add_undo([&m, port, seq, old_lr] {
+      bool erased = m.heap.erase_first(
+          [seq, port](const PortEvent& pe) {
+            return pe.seq == seq && pe.port == port;
+          });
+      HJDES_CHECK(erased, "undo could not find the speculative event");
+      --m.pending[port];
+      m.last_received[port] = old_lr;
+      --m.seq_counter;
+    });
+    if (e.is_null()) ++local_nulls;
+  }
+
+  void emit(galois::UserContext<NodeId>& ctx, NodeId source, Event e,
+            std::uint64_t& local_nulls) {
+    for (const FanoutEdge& edge : netlist_.fanout(source)) {
+      deliver(ctx, edge.target, edge.port, e, local_nulls);
+    }
+  }
+
+  /// The foreach operator (Algorithm 3 body): SIMULATE + neighborhood
+  /// re-activation, all under runtime conflict detection.
+  void operate(NodeId id, galois::UserContext<NodeId>& ctx) {
+    GNode& n = node(id);
+    ctx.acquire(n);
+    std::uint64_t local_events = 0;
+    std::uint64_t local_nulls = 0;
+    const Netlist::Node& meta = netlist_.node(id);
+
+    if (!n.done) {
+      if (meta.kind == GateKind::Input) {
+        const auto& events = input_.initial_events(static_cast<std::size_t>(
+            input_index_[static_cast<std::size_t>(id)]));
+        const std::size_t old_cursor = n.next_initial;
+        for (; n.next_initial < events.size(); ++n.next_initial) {
+          emit(ctx, id, events[n.next_initial], local_nulls);
+          ++local_events;
+        }
+        emit(ctx, id, Event::null_message(), local_nulls);
+        n.done = true;
+        ctx.add_undo([&n, old_cursor] {
+          n.next_initial = old_cursor;
+          n.done = false;
+        });
+      } else {
+        while (top_ready(n, meta.num_inputs)) {
+          const PortEvent e = n.heap.top();
+          n.heap.pop();
+          --n.pending[e.port];
+          ctx.add_undo([&n, e] {
+            n.heap.push(e);
+            ++n.pending[e.port];
+          });
+          if (e.is_null()) {
+            ++n.nulls_popped;
+            ctx.add_undo([&n] { --n.nulls_popped; });
+            continue;
+          }
+          ++local_events;
+          if (meta.kind == GateKind::Output) {
+            n.waveform.push_back(OutputRecord{e.time, e.value});
+            ctx.add_undo([&n] { n.waveform.pop_back(); });
+            continue;
+          }
+          const bool old_latch = n.latch[e.port];
+          n.latch[e.port] = e.value != 0;
+          ctx.add_undo([&n, e, old_latch] { n.latch[e.port] = old_latch; });
+          const bool out =
+              circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+          emit(ctx, id,
+               Event{e.time + meta.delay,
+                     static_cast<std::uint8_t>(out ? 1 : 0)},
+               local_nulls);
+        }
+        if (n.nulls_popped == meta.num_inputs && !n.done) {
+          emit(ctx, id, Event::null_message(), local_nulls);
+          n.done = true;
+          ctx.add_undo([&n] { n.done = false; });
+        }
+      }
+    }
+
+    // Re-activation over n and its fanout targets (Algorithm 3 lines 5-9).
+    // Checking a neighbor requires acquiring it — in the Galois model even a
+    // read participates in conflict detection.
+    if (is_active(ctx, id)) ctx.push(id);
+    for (const FanoutEdge& e : netlist_.fanout(id)) {
+      if (is_active(ctx, e.target)) ctx.push(e.target);
+    }
+
+    // Commit point is after the operator returns; stats flushed here are
+    // never observed for aborted iterations because the throw above skips
+    // this code.
+    stat_events_.fetch_add(local_events, std::memory_order_relaxed);
+    stat_nulls_.fetch_add(local_nulls, std::memory_order_relaxed);
+  }
+
+  bool is_active(galois::UserContext<NodeId>& ctx, NodeId id) {
+    GNode& n = node(id);
+    ctx.acquire(n);
+    if (n.done) return false;
+    const Netlist::Node& meta = netlist_.node(id);
+    if (meta.kind == GateKind::Input) return true;
+    if (n.nulls_popped == meta.num_inputs) return true;
+    return top_ready(n, meta.num_inputs);
+  }
+
+  const SimInput& input_;
+  const Netlist& netlist_;
+  const GaloisEngineConfig cfg_;
+  std::vector<GNode> nodes_;
+  std::vector<std::int32_t> input_index_;
+
+  std::atomic<std::uint64_t> stat_events_{0};
+  std::atomic<std::uint64_t> stat_nulls_{0};
+};
+
+}  // namespace
+
+SimResult run_galois(const SimInput& input, const GaloisEngineConfig& config) {
+  return GaloisEngine(input, config).run();
+}
+
+}  // namespace hjdes::des

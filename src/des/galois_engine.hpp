@@ -1,0 +1,26 @@
+#pragma once
+// The Galois-style parallel DES baseline (paper Algorithm 3 / §2.2): workset
+// elements execute as optimistic activities under the galois runtime, which
+// acquires an abstract per-node lock on every touched node and aborts + rolls
+// back + retries the activity on conflict. Event storage is the per-node
+// priority queue of the downloaded Galois-Java benchmark. The user operator
+// cannot perform the paper's cautious trylock optimization — that asymmetry
+// is the paper's core comparison.
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+
+namespace hjdes::des {
+
+/// Configuration of the Galois-baseline engine.
+struct GaloisEngineConfig {
+  int threads = 1;
+  /// Abort backoff cap, in spin iterations (see galois::ForEachConfig).
+  int max_backoff_spins = 1024;
+};
+
+/// Run the optimistic parallel simulation. Produces waveforms bit-identical
+/// to run_sequential for any thread count.
+SimResult run_galois(const SimInput& input, const GaloisEngineConfig& config);
+
+}  // namespace hjdes::des

@@ -1,0 +1,614 @@
+#include "des/hj_engine.hpp"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/port_merge.hpp"
+#include "hj/locks.hpp"
+#include "support/binary_heap.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+#include "support/small_vector.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+// All cross-task hint fields use seq_cst. The §4.5.3 protocol relies on
+// Dekker-style reasoning: a producer writes its hints and then checks whether
+// the consumer is running/locked, while the consumer clears its running flag
+// and then re-reads the hints — with seq_cst at least one side observes the
+// other, so an active node is never permanently forgotten.
+constexpr auto kSC = std::memory_order_seq_cst;
+
+/// Per-node parallel state. Field groups and their guards:
+///  * queue[] / heap / latch / nulls_popped / temp / waveform / next_initial
+///    — mutable state, guarded by the mode's locking protocol;
+///  * a_* atomics — racy activity hints, written under the protocol's locks,
+///    read by anyone;
+///  * port_lock / node_lock / run_flag — the locks themselves.
+struct ParNode {
+  // Storage, per-port flavor (per_port_queues).
+  RingDeque<Event> queue[2];
+  hj::HjLock port_lock[2];
+
+  // Storage, per-node priority-queue flavor (Algorithm 2 baseline).
+  BinaryHeap<PortEvent> heap;
+  std::uint32_t seq_counter = 0;
+  hj::HjLock node_lock;
+
+  // Node-private mutable state.
+  bool latch[2] = {false, false};
+  std::uint8_t nulls_popped = 0;
+  std::size_t next_initial = 0;
+  RingDeque<PortEvent> temp;  // §4.5.1 temporary ready-event queue
+  std::vector<OutputRecord> waveform;
+  std::int32_t output_index = -1;
+
+  // Activity hints.
+  std::atomic<Time> a_last_received[2];
+  std::atomic<Time> a_head[2];       // per-port queue head ts (port modes)
+  std::atomic<Time> a_top_time;      // heap top ts (pq mode)
+  std::atomic<std::int32_t> a_top_port;
+  std::atomic<std::uint32_t> a_pending[2];  // heap events per port (pq mode)
+  std::atomic<std::uint32_t> a_temp_size{0};
+  std::atomic<bool> a_null_ready{false};  // NULL popped from every port
+  std::atomic<bool> a_done{false};
+
+  // Run exclusion for the temp-queue protocol (engine machinery, not one of
+  // the paper's user-level locks — see run_port_temp).
+  std::atomic<bool> run_flag{false};
+
+  ParNode() {
+    for (int p = 0; p < 2; ++p) {
+      a_last_received[p].store(kNeverReceived, std::memory_order_relaxed);
+      a_head[p].store(kEmptyQueue, std::memory_order_relaxed);
+      a_pending[p].store(0, std::memory_order_relaxed);
+    }
+    a_top_time.store(kEmptyQueue, std::memory_order_relaxed);
+    a_top_port.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Per-activation local statistics, flushed to engine atomics once per task.
+struct LocalStats {
+  std::uint64_t events = 0;
+  std::uint64_t nulls = 0;
+  std::uint64_t spawned = 0;
+  std::uint64_t lock_failures = 0;
+  std::uint64_t spawn_skips = 0;
+};
+
+class HjEngine {
+ public:
+  HjEngine(const SimInput& input, const HjEngineConfig& config)
+      : input_(input),
+        netlist_(input.netlist()),
+        cfg_(config),
+        nodes_(netlist_.node_count()) {
+    HJDES_CHECK(cfg_.workers >= 1, "workers must be >= 1");
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+          static_cast<std::int32_t>(i);
+    }
+    input_index_.resize(netlist_.node_count(), -1);
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  SimResult run() {
+    std::unique_ptr<hj::Runtime> owned;
+    hj::Runtime* rt = cfg_.runtime;
+    if (rt == nullptr) {
+      owned = std::make_unique<hj::Runtime>(cfg_.workers);
+      rt = owned.get();
+    }
+    HJDES_CHECK(rt->workers() == cfg_.workers,
+                "provided runtime has a different worker count");
+
+    // finish { for n in I: async RUNNODE(n) }  (Algorithm 2 lines 1-6)
+    rt->run([this] {
+      for (NodeId id : netlist_.inputs()) {
+        stat_spawned_.fetch_add(1, std::memory_order_relaxed);
+        hj::async([this, id] { run_node(id); });
+      }
+    });
+
+    // The finish drained: every node must have terminated.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      HJDES_CHECK(nodes_[i].a_done.load(kSC),
+                  "parallel simulation drained with an unfinished node "
+                  "(lost-wakeup bug)");
+    }
+
+    SimResult result;
+    result.waveforms.resize(netlist_.outputs().size());
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      result.waveforms[i] = std::move(
+          nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
+    }
+    result.events_processed = stat_events_.load();
+    result.null_messages = stat_nulls_.load();
+    result.tasks_spawned = stat_spawned_.load();
+    result.lock_failures = stat_lock_failures_.load();
+    result.spawn_skips = stat_spawn_skips_.load();
+    return result;
+  }
+
+ private:
+  ParNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  // ---------------------------------------------------------------- spawn --
+
+  /// Racy activity check from hint atomics only (no locks held).
+  bool hint_active(NodeId id) {
+    ParNode& n = node(id);
+    if (n.a_done.load(kSC)) return false;
+    const Netlist::Node& meta = netlist_.node(id);
+    if (meta.kind == GateKind::Input) return true;  // active until done
+    if (n.a_null_ready.load(kSC)) return true;      // NULL emission pending
+    if (cfg_.per_port_queues) {
+      if (n.a_temp_size.load(kSC) > 0) return true;
+      Time head[2], lr[2];
+      for (int p = 0; p < meta.num_inputs; ++p) {
+        head[p] = n.a_head[p].load(kSC);
+        lr[p] = n.a_last_received[p].load(kSC);
+      }
+      return next_ready_port(head, lr, meta.num_inputs) >= 0;
+    }
+    const Time t = n.a_top_time.load(kSC);
+    if (t == kEmptyQueue) return false;
+    const int p = static_cast<int>(n.a_top_port.load(kSC));
+    for (int q = 0; q < meta.num_inputs; ++q) {
+      if (q == p || n.a_pending[q].load(kSC) > 0) continue;
+      if (!empty_port_safe(t, p, q, n.a_last_received[q].load(kSC))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// §4.5.3: spawn a task for `id` unless it is inactive or (with the
+  /// optimization on) another task currently holds its locks — that holder
+  /// re-runs this check after releasing, so responsibility transfers.
+  void maybe_spawn(NodeId id, LocalStats& stats) {
+    if (!hint_active(id)) return;
+    if (cfg_.avoid_redundant_async) {
+      ParNode& n = node(id);
+      bool busy = n.run_flag.load(kSC);
+      if (!busy) {
+        if (cfg_.per_port_queues) {
+          const int ports = netlist_.num_inputs(id);
+          for (int p = 0; p < ports && !busy; ++p) {
+            busy = n.port_lock[p].is_held();
+          }
+        } else {
+          busy = n.node_lock.is_held();
+        }
+      }
+      if (busy) {
+        ++stats.spawn_skips;
+        return;
+      }
+    }
+    ++stats.spawned;
+    hj::async([this, id] { run_node(id); });
+  }
+
+  // ------------------------------------------------------------- delivery --
+
+  /// Deliver to a per-port queue. Caller holds the target's port lock.
+  void deliver_port(NodeId target, std::uint8_t port, Event e,
+                    LocalStats& stats) {
+    ParNode& n = node(target);
+    HJDES_DCHECK(e.time >= n.a_last_received[port].load(kSC),
+                 "causality violation: out-of-order delivery on a port");
+    const bool was_empty = n.queue[port].empty();
+    n.queue[port].push_back(e);
+    if (was_empty) n.a_head[port].store(e.time, kSC);
+    n.a_last_received[port].store(e.time, kSC);
+    if (e.is_null()) ++stats.nulls;
+  }
+
+  /// Deliver to a per-node heap. Caller holds the target's node lock.
+  void deliver_pq(NodeId target, std::uint8_t port, Event e,
+                  LocalStats& stats) {
+    ParNode& n = node(target);
+    n.heap.push(PortEvent{e.time, e.value, port, n.seq_counter++});
+    n.a_pending[port].fetch_add(1, kSC);
+    n.a_last_received[port].store(e.time, kSC);
+    n.a_top_time.store(n.heap.top().time, kSC);
+    n.a_top_port.store(n.heap.top().port, kSC);
+    if (e.is_null()) ++stats.nulls;
+  }
+
+  void emit(NodeId source, Event e, LocalStats& stats) {
+    for (const FanoutEdge& edge : netlist_.fanout(source)) {
+      if (cfg_.per_port_queues) {
+        deliver_port(edge.target, edge.port, e, stats);
+      } else {
+        deliver_pq(edge.target, edge.port, e, stats);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- locking --
+
+  using LockList = SmallVector<hj::HjLock*, 16>;
+
+  void collect_own_locks(NodeId id, LockList& out) {
+    ParNode& n = node(id);
+    if (cfg_.per_port_queues) {
+      for (int p = 0; p < netlist_.num_inputs(id); ++p) {
+        out.push_back(&n.port_lock[p]);
+      }
+    } else {
+      out.push_back(&n.node_lock);
+    }
+  }
+
+  void collect_fanout_locks(NodeId id, LockList& out) {
+    for (const FanoutEdge& e : netlist_.fanout(id)) {
+      ParNode& m = node(e.target);
+      out.push_back(cfg_.per_port_queues ? &m.port_lock[e.port]
+                                         : &m.node_lock);
+    }
+  }
+
+  /// Deduplicate and (with ordered_locks) sort by address — ParNodes live in
+  /// one contiguous vector, so address order equals (node id, port) order,
+  /// giving the paper's ascending-ID acquisition.
+  static void prepare_locks(LockList& locks, bool ordered) {
+    if (ordered) {
+      std::sort(locks.begin(), locks.end());
+      hj::HjLock** last = std::unique(locks.begin(), locks.end());
+      while (locks.end() != last) locks.pop_back();
+    } else {
+      // Preserve natural order; drop duplicates with a quadratic scan
+      // (fanout lists are short).
+      LockList unique;
+      for (hj::HjLock* l : locks) {
+        bool seen = false;
+        for (hj::HjLock* u : unique) seen = seen || (u == l);
+        if (!seen) unique.push_back(l);
+      }
+      locks = std::move(unique);
+    }
+  }
+
+  /// Try to acquire every lock; on failure releases everything acquired so
+  /// far (RELEASEALLLOCKS) and reports which lock failed.
+  bool try_lock_all(const LockList& locks, hj::HjLock** failed,
+                    LocalStats& stats) {
+    for (hj::HjLock* l : locks) {
+      if (!hj::try_lock(*l)) {
+        ++stats.lock_failures;
+        if (failed != nullptr) *failed = l;
+        hj::release_all_locks();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---------------------------------------------------------- node runs ---
+
+  /// RUNNODE(n): dispatch to the configured protocol, then run the common
+  /// epilogue (self/fanout re-activation) required for lost-wakeup freedom.
+  void run_node(NodeId id) {
+    LocalStats stats;
+    const Netlist::Node& meta = netlist_.node(id);
+    if (meta.kind == GateKind::Input) {
+      run_input(id, stats);
+    } else if (!cfg_.per_port_queues) {
+      run_pq_node(id, stats);
+    } else if (cfg_.temp_ready_queue) {
+      run_port_temp(id, stats);
+    } else {
+      run_port_locked(id, stats);
+    }
+    // Epilogue: after all locks are released, re-check the fanout targets
+    // and the node itself. Combined with the seq_cst hints this guarantees
+    // some task eventually runs every active node (see DESIGN.md §4.4).
+    for (const FanoutEdge& e : netlist_.fanout(id)) {
+      maybe_spawn(e.target, stats);
+    }
+    maybe_spawn(id, stats);
+    flush(stats);
+  }
+
+  /// Input nodes: forward (a batch of) initial events, then NULL (§4.1).
+  void run_input(NodeId id, LocalStats& stats) {
+    ParNode& n = node(id);
+    if (n.a_done.load(kSC)) return;
+    if (n.run_flag.exchange(true, kSC)) return;  // someone else is running it
+
+    LockList locks;
+    collect_fanout_locks(id, locks);
+    prepare_locks(locks, cfg_.ordered_locks);
+    hj::HjLock* failed = nullptr;
+    if (!try_lock_all(locks, &failed, stats)) {
+      n.run_flag.store(false, kSC);
+      ++stats.spawned;  // unconditional retry (Algorithm 2 line 12)
+      hj::async([this, id] { run_node(id); });
+      return;
+    }
+
+    const auto& events = input_.initial_events(static_cast<std::size_t>(
+        input_index_[static_cast<std::size_t>(id)]));
+    const std::size_t limit =
+        cfg_.input_batch == 0
+            ? events.size()
+            : std::min(events.size(), n.next_initial + cfg_.input_batch);
+    for (; n.next_initial < limit; ++n.next_initial) {
+      emit(id, events[n.next_initial], stats);
+      ++stats.events;
+    }
+    if (n.next_initial == events.size()) {
+      emit(id, Event::null_message(), stats);
+      n.a_done.store(true, kSC);
+    }
+    hj::release_all_locks();
+    n.run_flag.store(false, kSC);
+  }
+
+  /// §4.5.1 full protocol: drain ready events to the temp queue under the
+  /// node's own port locks, release them, then process the temp queue while
+  /// holding only the fanout port locks — upstream producers can deliver to
+  /// this node concurrently with its own event processing.
+  void run_port_temp(NodeId id, LocalStats& stats) {
+    ParNode& n = node(id);
+    if (n.a_done.load(kSC)) return;
+    // Run exclusion: the temp queue, latches and waveform are node-private
+    // and must be touched by one task at a time. This flag is engine
+    // machinery (the paper's port locks double as run exclusion only while
+    // held; the temp optimization releases them early).
+    if (n.run_flag.exchange(true, kSC)) return;
+
+    const Netlist::Node& meta = netlist_.node(id);
+
+    // Phase A: drain under own port locks.
+    {
+      LockList own;
+      collect_own_locks(id, own);
+      prepare_locks(own, cfg_.ordered_locks);
+      if (!try_lock_all(own, nullptr, stats)) {
+        // An upstream producer holds one of our ports; it will re-check our
+        // activity after releasing. The epilogue also re-checks.
+        n.run_flag.store(false, kSC);
+        return;
+      }
+      drain_to_temp(id, n, meta);
+      hj::release_all_locks();
+    }
+
+    // Phase B: process the temp queue under the fanout port locks.
+    const bool null_due = n.a_null_ready.load(kSC) && !n.a_done.load(kSC);
+    if (!n.temp.empty() || null_due) {
+      LockList fan;
+      collect_fanout_locks(id, fan);
+      prepare_locks(fan, cfg_.ordered_locks);
+      hj::HjLock* failed = nullptr;
+      if (!try_lock_all(fan, &failed, stats)) {
+        // Conflict on a neighbor: retry later (Algorithm 2 line 12). The
+        // drained events stay in temp and are picked up by the retry.
+        n.run_flag.store(false, kSC);
+        ++stats.spawned;
+        hj::async([this, id] { run_node(id); });
+        return;
+      }
+      process_temp(id, n, meta, stats);
+      if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
+        emit(id, Event::null_message(), stats);
+        n.a_done.store(true, kSC);
+      }
+      hj::release_all_locks();
+    }
+    n.run_flag.store(false, kSC);
+  }
+
+  /// §4.5.1 first half only: per-port queues and locks, but no temp queue —
+  /// the node holds its own port locks and the fanout port locks for the
+  /// whole run, processing straight out of the port queues.
+  void run_port_locked(NodeId id, LocalStats& stats) {
+    ParNode& n = node(id);
+    if (n.a_done.load(kSC)) return;
+
+    const Netlist::Node& meta = netlist_.node(id);
+    LockList own, all;
+    collect_own_locks(id, own);
+    collect_own_locks(id, all);
+    collect_fanout_locks(id, all);
+    prepare_locks(all, cfg_.ordered_locks);
+    hj::HjLock* failed = nullptr;
+    if (!try_lock_all(all, &failed, stats)) {
+      bool failed_own = false;
+      for (hj::HjLock* l : own) failed_own = failed_own || (l == failed);
+      if (!failed_own) {
+        // Conflict on a neighbor: retry later (Algorithm 2 lines 11-14).
+        ++stats.spawned;
+        hj::async([this, id] { run_node(id); });
+      }
+      // Conflict on an own port: an upstream producer holds it and will
+      // re-check this node's activity (no respawn, §4.5.3 reasoning).
+      return;
+    }
+
+    for (;;) {
+      Time head[2], lr[2];
+      for (int p = 0; p < meta.num_inputs; ++p) {
+        head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+        lr[p] = n.a_last_received[p].load(kSC);
+      }
+      const int p = next_ready_port(head, lr, meta.num_inputs);
+      if (p < 0) break;
+      Event e = n.queue[p].pop_front();
+      n.a_head[p].store(n.queue[p].empty() ? kEmptyQueue
+                                           : n.queue[p].front().time,
+                        kSC);
+      if (e.is_null()) {
+        if (++n.nulls_popped == meta.num_inputs) {
+          n.a_null_ready.store(true, kSC);
+        }
+        continue;
+      }
+      process_event(id, n, meta, PortEvent{e.time, e.value,
+                                           static_cast<std::uint8_t>(p), 0},
+                    stats);
+    }
+
+    if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
+      emit(id, Event::null_message(), stats);
+      n.a_done.store(true, kSC);
+    }
+    hj::release_all_locks();
+  }
+
+  /// Algorithm 2 baseline: node-granularity locks, per-node priority queue.
+  void run_pq_node(NodeId id, LocalStats& stats) {
+    ParNode& n = node(id);
+    if (n.a_done.load(kSC)) return;
+
+    const Netlist::Node& meta = netlist_.node(id);
+    LockList all;
+    all.push_back(&n.node_lock);
+    collect_fanout_locks(id, all);
+    prepare_locks(all, cfg_.ordered_locks);
+    hj::HjLock* failed = nullptr;
+    if (!try_lock_all(all, &failed, stats)) {
+      if (failed != &n.node_lock) {
+        ++stats.spawned;
+        hj::async([this, id] { run_node(id); });
+      }
+      return;
+    }
+
+    while (pq_top_ready(n, meta.num_inputs)) {
+      PortEvent e = n.heap.pop();
+      n.a_pending[e.port].fetch_sub(1, kSC);
+      if (n.heap.empty()) {
+        n.a_top_time.store(kEmptyQueue, kSC);
+      } else {
+        n.a_top_time.store(n.heap.top().time, kSC);
+        n.a_top_port.store(n.heap.top().port, kSC);
+      }
+      if (e.is_null()) {
+        if (++n.nulls_popped == meta.num_inputs) {
+          n.a_null_ready.store(true, kSC);
+        }
+        continue;
+      }
+      process_event(id, n, meta, e, stats);
+    }
+
+    if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
+      emit(id, Event::null_message(), stats);
+      n.a_done.store(true, kSC);
+    }
+    hj::release_all_locks();
+  }
+
+  // ------------------------------------------------------------ helpers ---
+
+  /// Heap-top readiness under the deterministic merge rule (pq mode).
+  bool pq_top_ready(const ParNode& n, int ports) {
+    if (n.heap.empty()) return false;
+    const PortEvent& top = n.heap.top();
+    for (int q = 0; q < ports; ++q) {
+      if (q == top.port || n.a_pending[q].load(kSC) > 0) continue;
+      if (!empty_port_safe(top.time, top.port, q,
+                           n.a_last_received[q].load(kSC))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Phase A of run_port_temp: move every processable event into temp and
+  /// account popped NULLs. Caller holds all of the node's own port locks.
+  void drain_to_temp(NodeId id, ParNode& n, const Netlist::Node& meta) {
+    (void)id;
+    for (;;) {
+      Time head[2], lr[2];
+      for (int p = 0; p < meta.num_inputs; ++p) {
+        head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+        lr[p] = n.a_last_received[p].load(kSC);
+      }
+      const int p = next_ready_port(head, lr, meta.num_inputs);
+      if (p < 0) break;
+      Event e = n.queue[p].pop_front();
+      n.a_head[p].store(n.queue[p].empty() ? kEmptyQueue
+                                           : n.queue[p].front().time,
+                        kSC);
+      if (e.is_null()) {
+        if (++n.nulls_popped == meta.num_inputs) {
+          n.a_null_ready.store(true, kSC);
+        }
+        continue;
+      }
+      n.temp.push_back(
+          PortEvent{e.time, e.value, static_cast<std::uint8_t>(p), 0});
+      n.a_temp_size.fetch_add(1, kSC);
+    }
+  }
+
+  /// Phase B of run_port_temp. Caller holds the fanout port locks.
+  void process_temp(NodeId id, ParNode& n, const Netlist::Node& meta,
+                    LocalStats& stats) {
+    while (!n.temp.empty()) {
+      PortEvent e = n.temp.pop_front();
+      n.a_temp_size.fetch_sub(1, kSC);
+      process_event(id, n, meta, e, stats);
+    }
+  }
+
+  void process_event(NodeId id, ParNode& n, const Netlist::Node& meta,
+                     const PortEvent& e, LocalStats& stats) {
+    ++stats.events;
+    if (meta.kind == GateKind::Output) {
+      n.waveform.push_back(OutputRecord{e.time, e.value});
+      return;
+    }
+    n.latch[e.port] = e.value != 0;
+    const bool out = circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+    emit(id, Event{e.time + meta.delay, static_cast<std::uint8_t>(out ? 1 : 0)},
+         stats);
+  }
+
+  void flush(const LocalStats& stats) {
+    stat_events_.fetch_add(stats.events, std::memory_order_relaxed);
+    stat_nulls_.fetch_add(stats.nulls, std::memory_order_relaxed);
+    stat_spawned_.fetch_add(stats.spawned, std::memory_order_relaxed);
+    stat_lock_failures_.fetch_add(stats.lock_failures,
+                                  std::memory_order_relaxed);
+    stat_spawn_skips_.fetch_add(stats.spawn_skips, std::memory_order_relaxed);
+  }
+
+  const SimInput& input_;
+  const Netlist& netlist_;
+  const HjEngineConfig cfg_;
+  std::vector<ParNode> nodes_;
+  std::vector<std::int32_t> input_index_;
+
+  HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> stat_events_{0};
+  std::atomic<std::uint64_t> stat_nulls_{0};
+  std::atomic<std::uint64_t> stat_spawned_{0};
+  std::atomic<std::uint64_t> stat_lock_failures_{0};
+  std::atomic<std::uint64_t> stat_spawn_skips_{0};
+};
+
+}  // namespace
+
+SimResult run_hj(const SimInput& input, const HjEngineConfig& config) {
+  return HjEngine(input, config).run();
+}
+
+}  // namespace hjdes::des

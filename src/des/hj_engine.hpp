@@ -1,0 +1,48 @@
+#pragma once
+// Parallel logic-circuit DES on the hj runtime (paper Algorithm 2 + the §4.5
+// optimizations). One async task per node activation; tasks acquire
+// fine-grained non-blocking locks (hj::try_lock / hj::release_all_locks) on
+// the nodes/ports they touch, process ready events, and spawn tasks for
+// newly-active nodes. The engine is deadlock-free (no task ever blocks on a
+// lock) and, with ordered_locks, livelock-free (§4.3).
+//
+// Every §4.5 optimization is independently toggleable so the ablation
+// benches can attribute the speedup:
+//   per_port_queues   — §4.5.1: per-input-port array deques + per-port locks
+//                       instead of one per-node priority queue + node lock.
+//   temp_ready_queue  — §4.5.1: drain ready events to a node-private queue
+//                       under the port locks, release them, then process, so
+//                       upstream producers can deliver concurrently.
+//   avoid_redundant_async — §4.5.3: skip spawning a task for a node whose
+//                       locks are held by another task (the holder is
+//                       responsible for re-activating it).
+//   ordered_locks     — §4.3: acquire locks in ascending global ID order to
+//                       guarantee one contender always wins.
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+#include "hj/runtime.hpp"
+
+namespace hjdes::des {
+
+/// Configuration of the HJ parallel engine.
+struct HjEngineConfig {
+  int workers = 1;
+  bool per_port_queues = true;
+  bool temp_ready_queue = true;
+  bool avoid_redundant_async = true;
+  bool ordered_locks = true;
+
+  /// Initial events an input node forwards per activation; 0 = all at once.
+  std::size_t input_batch = 0;
+
+  /// Optional externally-owned runtime to reuse across runs (must have
+  /// `workers` workers). When null the engine creates its own.
+  hj::Runtime* runtime = nullptr;
+};
+
+/// Run the parallel simulation. Produces waveforms bit-identical to
+/// run_sequential for any worker count and configuration.
+SimResult run_hj(const SimInput& input, const HjEngineConfig& config);
+
+}  // namespace hjdes::des

@@ -1,0 +1,162 @@
+#include "des/parallelism_profile.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/port_merge.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+
+namespace hjdes::des {
+
+std::uint64_t ParallelismProfile::total_events() const {
+  std::uint64_t n = 0;
+  for (const ProfileRound& r : rounds) n += r.events_processed;
+  return n;
+}
+
+std::uint64_t ParallelismProfile::peak_parallelism() const {
+  std::uint64_t best = 0;
+  for (const ProfileRound& r : rounds) best = std::max(best, r.active_nodes);
+  return best;
+}
+
+double ParallelismProfile::average_parallelism() const {
+  if (rounds.empty()) return 0.0;
+  std::uint64_t sum = 0;
+  for (const ProfileRound& r : rounds) sum += r.active_nodes;
+  return static_cast<double>(sum) / static_cast<double>(rounds.size());
+}
+
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+struct ProfNode {
+  RingDeque<Event> queue[2];
+  Time last_received[2] = {kNeverReceived, kNeverReceived};
+  bool latch[2] = {false, false};
+  std::uint8_t nulls_popped = 0;
+  bool done = false;
+  bool in_set = false;
+  std::size_t next_initial = 0;
+};
+
+}  // namespace
+
+ParallelismProfile profile_parallelism(const SimInput& input) {
+  const Netlist& netlist = input.netlist();
+  std::vector<ProfNode> nodes(netlist.node_count());
+  std::vector<std::int32_t> input_index(netlist.node_count(), -1);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+    input_index[static_cast<std::size_t>(netlist.inputs()[i])] =
+        static_cast<std::int32_t>(i);
+  }
+
+  auto deliver = [&nodes](NodeId target, std::uint8_t port, Event e) {
+    ProfNode& n = nodes[static_cast<std::size_t>(target)];
+    n.queue[port].push_back(e);
+    n.last_received[port] = e.time;
+  };
+  auto emit = [&netlist, &deliver](NodeId source, Event e) {
+    for (const FanoutEdge& edge : netlist.fanout(source)) {
+      deliver(edge.target, edge.port, e);
+    }
+  };
+  auto is_active = [&](NodeId id) {
+    const ProfNode& n = nodes[static_cast<std::size_t>(id)];
+    if (n.done) return false;
+    const Netlist::Node& meta = netlist.node(id);
+    if (meta.kind == GateKind::Input) return true;
+    if (n.nulls_popped == meta.num_inputs) return true;
+    Time head[2], lr[2];
+    for (int p = 0; p < meta.num_inputs; ++p) {
+      head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+      lr[p] = n.last_received[p];
+    }
+    return next_ready_port(head, lr, meta.num_inputs) >= 0;
+  };
+
+  ParallelismProfile profile;
+  std::vector<NodeId> current(netlist.inputs());
+  for (NodeId id : current) {
+    nodes[static_cast<std::size_t>(id)].in_set = true;
+  }
+
+  while (!current.empty()) {
+    ProfileRound round;
+    round.active_nodes = current.size();
+    std::vector<NodeId> touched;  // nodes whose activity may have changed
+
+    for (NodeId id : current) {
+      ProfNode& n = nodes[static_cast<std::size_t>(id)];
+      n.in_set = false;
+      const Netlist::Node& meta = netlist.node(id);
+
+      if (meta.kind == GateKind::Input) {
+        const auto& events = input.initial_events(static_cast<std::size_t>(
+            input_index[static_cast<std::size_t>(id)]));
+        for (; n.next_initial < events.size(); ++n.next_initial) {
+          emit(id, events[n.next_initial]);
+          ++round.events_processed;
+        }
+        emit(id, Event::null_message());
+        n.done = true;
+      } else {
+        for (;;) {
+          Time head[2], lr[2];
+          for (int p = 0; p < meta.num_inputs; ++p) {
+            head[p] =
+                n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+            lr[p] = n.last_received[p];
+          }
+          const int p = next_ready_port(head, lr, meta.num_inputs);
+          if (p < 0) break;
+          Event e = n.queue[p].pop_front();
+          if (e.is_null()) {
+            ++n.nulls_popped;
+            continue;
+          }
+          ++round.events_processed;
+          if (meta.kind != GateKind::Output) {
+            n.latch[p] = e.value != 0;
+            const bool out =
+                circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+            emit(id, Event{e.time + meta.delay,
+                           static_cast<std::uint8_t>(out ? 1 : 0)});
+          }
+        }
+        if (n.nulls_popped == meta.num_inputs && !n.done) {
+          emit(id, Event::null_message());
+          n.done = true;
+        }
+      }
+      touched.push_back(id);
+      for (const FanoutEdge& e : netlist.fanout(id)) {
+        touched.push_back(e.target);
+      }
+    }
+
+    std::vector<NodeId> next;
+    for (NodeId id : touched) {
+      ProfNode& n = nodes[static_cast<std::size_t>(id)];
+      if (!n.in_set && is_active(id)) {
+        n.in_set = true;
+        next.push_back(id);
+      }
+    }
+    profile.rounds.push_back(round);
+    current = std::move(next);
+  }
+
+  for (const ProfNode& n : nodes) {
+    HJDES_CHECK(n.done, "profiler drained with an unfinished node");
+  }
+  return profile;
+}
+
+}  // namespace hjdes::des

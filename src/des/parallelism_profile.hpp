@@ -1,0 +1,34 @@
+#pragma once
+// Available-parallelism profiling (paper Figure 1, after the Galois project's
+// ParaMeter methodology): execute the simulation in BSP-style rounds — each
+// round processes every currently-active node once — and record how many
+// independent node activations each round offered. The hump-shaped profile
+// (small at the input boundary, large through the circuit middle, small at
+// the outputs) explains the limited speedups of §5.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/sim_input.hpp"
+
+namespace hjdes::des {
+
+/// One BSP round of the profiled execution.
+struct ProfileRound {
+  std::uint64_t active_nodes = 0;      ///< independently runnable activations
+  std::uint64_t events_processed = 0;  ///< real events processed this round
+};
+
+/// Full profile of a run.
+struct ParallelismProfile {
+  std::vector<ProfileRound> rounds;
+
+  std::uint64_t total_events() const;
+  std::uint64_t peak_parallelism() const;
+  double average_parallelism() const;  ///< mean active nodes per round
+};
+
+/// Profile the available parallelism of simulating `input`.
+ParallelismProfile profile_parallelism(const SimInput& input);
+
+}  // namespace hjdes::des

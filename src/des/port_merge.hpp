@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic ready-event selection shared by every engine.
+//
+// The classic Chandy-Misra rule (process events with ts <= local clock,
+// where clock = min over ports of last-received ts) admits ties: two ready
+// events with equal timestamps on different ports may be processed in either
+// order. The paper accepts that nondeterminism ("two ready events with the
+// same timestamp can be processed in any order"). We strengthen the rule so
+// every engine — sequential, HJ, Galois, actor — produces bit-identical
+// waveforms, which the test suite exploits:
+//
+//   Node-local processing order is the unique merge of the per-port event
+//   sequences by (timestamp, port index, per-port arrival order). A candidate
+//   event (t, p) is processed only when no event ordering before it can still
+//   arrive: every other port q either has a queued event (whose head is
+//   already >= (t, p) in merge order), or provably cannot produce one
+//   ordering before (t, p).
+//
+// Strictly stronger than the clock rule, so it is still conservative/correct;
+// the deferred cases are ties that resolve at the next activation.
+
+#include "des/event.hpp"
+
+namespace hjdes::des {
+
+/// May port q — currently holding no queued events and having last received
+/// an event at time lr_q — still deliver an event ordering before candidate
+/// (t, p) in (time, port) merge order? Returns true when it provably cannot
+/// (i.e. the candidate is safe with respect to q).
+inline bool empty_port_safe(Time t, int p, int q, Time lr_q) noexcept {
+  // Future events on q carry ts >= lr_q (per-port FIFO timestamp order).
+  if (lr_q == kNullTs) return true;         // q is finished (NULL received)
+  if (lr_q > t) return true;                // future q events order after t
+  if (lr_q == t && q > p) return true;      // equal-time ties resolve to p
+  return false;
+}
+
+/// Select the next processable event among per-port FIFO queues.
+/// `head[p]` is the head timestamp of port p's queue or kEmptyQueue;
+/// `last_received[p]` the timestamp of the last event delivered to p.
+/// Returns the port to pop from, or -1 when nothing is processable yet.
+inline int next_ready_port(const Time* head, const Time* last_received,
+                           int ports) noexcept {
+  int best = -1;
+  for (int p = 0; p < ports; ++p) {
+    if (head[p] == kEmptyQueue) continue;
+    if (best == -1 || head[p] < head[best]) best = p;
+  }
+  if (best == -1) return -1;
+  const Time t = head[best];
+  for (int q = 0; q < ports; ++q) {
+    if (q == best || head[q] != kEmptyQueue) continue;
+    if (!empty_port_safe(t, best, q, last_received[q])) return -1;
+  }
+  return best;
+}
+
+}  // namespace hjdes::des

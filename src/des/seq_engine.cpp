@@ -1,0 +1,178 @@
+#include "des/seq_engine.hpp"
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/port_merge.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/// Per-node simulation state, per-port deque flavor (§4.5.1).
+struct SeqNode {
+  RingDeque<Event> queue[2];
+  Time last_received[2] = {kNeverReceived, kNeverReceived};
+  bool latch[2] = {false, false};
+  std::uint8_t nulls_popped = 0;
+  bool done = false;
+  bool in_workset = false;
+  std::size_t next_initial = 0;  ///< input nodes: cursor into initial events
+  std::int32_t output_index = -1;
+};
+
+class SeqEngine {
+ public:
+  explicit SeqEngine(const SimInput& input)
+      : input_(input), netlist_(input.netlist()) {
+    nodes_.resize(netlist_.node_count());
+    result_.waveforms.resize(netlist_.outputs().size());
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+          static_cast<std::int32_t>(i);
+    }
+    input_index_.resize(netlist_.node_count(), -1);
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  SimResult run() {
+    // WS <- I: seed the workset with the input nodes.
+    for (NodeId id : netlist_.inputs()) push_workset(id);
+    while (!workset_.empty()) {
+      NodeId n = workset_.pop_front();
+      nodes_[static_cast<std::size_t>(n)].in_workset = false;
+      simulate(n);
+      // Re-activation check over n and its fanout targets.
+      if (is_active(n)) push_workset(n);
+      for (const FanoutEdge& e : netlist_.fanout(n)) {
+        if (is_active(e.target)) push_workset(e.target);
+      }
+    }
+    // Sanity: the conservative algorithm must have terminated every node.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      HJDES_CHECK(nodes_[i].done, "simulation drained with an unfinished node");
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void push_workset(NodeId id) {
+    SeqNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (!n.in_workset) {
+      n.in_workset = true;
+      workset_.push_back(id);
+    }
+  }
+
+  void deliver(NodeId target, std::uint8_t port, Event e) {
+    SeqNode& n = nodes_[static_cast<std::size_t>(target)];
+    HJDES_DCHECK(e.time >= n.last_received[port],
+                 "causality violation: out-of-order delivery on a port");
+    n.queue[port].push_back(e);
+    n.last_received[port] = e.time;
+    if (e.is_null()) ++result_.null_messages;
+  }
+
+  void emit(NodeId source, Event e) {
+    for (const FanoutEdge& edge : netlist_.fanout(source)) {
+      deliver(edge.target, edge.port, e);
+    }
+  }
+
+  /// SIMULATE(n): process all currently-processable events of node n.
+  void simulate(NodeId id) {
+    SeqNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.done) return;
+    const Netlist::Node& meta = netlist_.node(id);
+
+    if (meta.kind == GateKind::Input) {
+      // Input nodes: all initial events are ready; send them, then NULL.
+      const auto& events = input_.initial_events(static_cast<std::size_t>(
+          input_index_[static_cast<std::size_t>(id)]));
+      for (; n.next_initial < events.size(); ++n.next_initial) {
+        emit(id, events[n.next_initial]);
+        ++result_.events_processed;
+      }
+      emit(id, Event::null_message());
+      n.done = true;
+      return;
+    }
+
+    const int ports = meta.num_inputs;
+    for (;;) {
+      Time head[2], lr[2];
+      snapshot(n, ports, head, lr);
+      const int p = next_ready_port(head, lr, ports);
+      if (p < 0) break;
+      Event e = n.queue[p].pop_front();
+      if (e.is_null()) {
+        ++n.nulls_popped;
+        continue;
+      }
+      process(id, n, meta, static_cast<std::uint8_t>(p), e);
+    }
+
+    // Termination: NULL popped from every port (all real events drained, as
+    // NULLs order last).
+    if (n.nulls_popped == ports) {
+      emit(id, Event::null_message());
+      n.done = true;
+    }
+  }
+
+  void process(NodeId id, SeqNode& n, const Netlist::Node& meta,
+               std::uint8_t port, const Event& e) {
+    ++result_.events_processed;
+    if (meta.kind == GateKind::Output) {
+      result_.waveforms[static_cast<std::size_t>(n.output_index)].push_back(
+          OutputRecord{e.time, e.value});
+      return;
+    }
+    n.latch[port] = e.value != 0;
+    const bool out = circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+    emit(id, Event{e.time + meta.delay,
+                   static_cast<std::uint8_t>(out ? 1 : 0)});
+  }
+
+  static void snapshot(const SeqNode& n, int ports, Time* head, Time* lr) {
+    for (int p = 0; p < ports; ++p) {
+      head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+      lr[p] = n.last_received[p];
+    }
+  }
+
+  bool is_active(NodeId id) const {
+    const SeqNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.done) return false;
+    const Netlist::Node& meta = netlist_.node(id);
+    if (meta.kind == GateKind::Input) return true;  // never yet run
+    if (n.nulls_popped == meta.num_inputs) return true;  // NULL emission due
+    Time head[2], lr[2];
+    snapshot(n, meta.num_inputs, head, lr);
+    return next_ready_port(head, lr, meta.num_inputs) >= 0;
+  }
+
+  const SimInput& input_;
+  const Netlist& netlist_;
+  std::vector<SeqNode> nodes_;
+  RingDeque<NodeId> workset_;
+  SimResult result_;
+  std::vector<std::int32_t> input_index_;
+};
+
+}  // namespace
+
+SimResult run_sequential(const SimInput& input) {
+  return SeqEngine(input).run();
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,27 @@
+#pragma once
+// Sequential logic-circuit DES (paper Algorithm 1): a workset of active nodes
+// processed one at a time; each run drains a node's ready events in timestamp
+// order, forwards generated events to the fanout, and re-activates neighbors.
+//
+// Two variants reproduce Table 2's comparison:
+//   run_sequential    — per-input-port RingDeques (the paper's optimized
+//                       "HJlib" sequential baseline, §4.5.1),
+//   run_sequential_pq — one binary heap per node (the downloaded Galois-Java
+//                       structure the paper attributes ~50% overhead to).
+//
+// Both produce identical SimResults; only the event-storage layer differs.
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+
+namespace hjdes::des {
+
+/// Algorithm 1 with per-port array deques. The reference implementation all
+/// parallel engines are validated against.
+SimResult run_sequential(const SimInput& input);
+
+/// Algorithm 1 with a per-node priority queue (java.util.PriorityQueue
+/// analog), the Galois-Java sequential structure.
+SimResult run_sequential_pq(const SimInput& input);
+
+}  // namespace hjdes::des

@@ -1,0 +1,173 @@
+// Sequential Algorithm 1 with the Galois-Java event storage: one priority
+// queue (binary heap) per node holding events of all its ports, ordered by
+// (time, port, seq). Behaviourally identical to run_sequential; structurally
+// it carries the O(log n) heap cost per event that §4.5.1 eliminates.
+#include "des/seq_engine.hpp"
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/port_merge.hpp"
+#include "support/binary_heap.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+struct PqNode {
+  BinaryHeap<PortEvent> heap;
+  std::uint32_t seq_counter = 0;
+  std::uint32_t pending[2] = {0, 0};  ///< queued events per port
+  Time last_received[2] = {kNeverReceived, kNeverReceived};
+  bool latch[2] = {false, false};
+  std::uint8_t nulls_popped = 0;
+  bool done = false;
+  bool in_workset = false;
+  std::size_t next_initial = 0;
+  std::int32_t output_index = -1;
+};
+
+/// Is the heap's minimum (t, p) processable now? Mirrors next_ready_port:
+/// ports with queued events are covered by the heap-min property; empty
+/// ports must be provably unable to deliver anything ordering before (t, p).
+bool pq_top_ready(const PqNode& n, int ports) {
+  if (n.heap.empty()) return false;
+  const PortEvent& top = n.heap.top();
+  for (int q = 0; q < ports; ++q) {
+    if (q == top.port || n.pending[q] > 0) continue;
+    if (!empty_port_safe(top.time, top.port, q, n.last_received[q])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class SeqPqEngine {
+ public:
+  explicit SeqPqEngine(const SimInput& input)
+      : input_(input), netlist_(input.netlist()) {
+    nodes_.resize(netlist_.node_count());
+    result_.waveforms.resize(netlist_.outputs().size());
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+          static_cast<std::int32_t>(i);
+    }
+    input_index_.resize(netlist_.node_count(), -1);
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  SimResult run() {
+    for (NodeId id : netlist_.inputs()) push_workset(id);
+    while (!workset_.empty()) {
+      NodeId n = workset_.pop_front();
+      nodes_[static_cast<std::size_t>(n)].in_workset = false;
+      simulate(n);
+      if (is_active(n)) push_workset(n);
+      for (const FanoutEdge& e : netlist_.fanout(n)) {
+        if (is_active(e.target)) push_workset(e.target);
+      }
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      HJDES_CHECK(nodes_[i].done, "simulation drained with an unfinished node");
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void push_workset(NodeId id) {
+    PqNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (!n.in_workset) {
+      n.in_workset = true;
+      workset_.push_back(id);
+    }
+  }
+
+  void deliver(NodeId target, std::uint8_t port, Event e) {
+    PqNode& n = nodes_[static_cast<std::size_t>(target)];
+    n.heap.push(PortEvent{e.time, e.value, port, n.seq_counter++});
+    ++n.pending[port];
+    n.last_received[port] = e.time;
+    if (e.is_null()) ++result_.null_messages;
+  }
+
+  void emit(NodeId source, Event e) {
+    for (const FanoutEdge& edge : netlist_.fanout(source)) {
+      deliver(edge.target, edge.port, e);
+    }
+  }
+
+  void simulate(NodeId id) {
+    PqNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.done) return;
+    const Netlist::Node& meta = netlist_.node(id);
+
+    if (meta.kind == GateKind::Input) {
+      const auto& events = input_.initial_events(static_cast<std::size_t>(
+          input_index_[static_cast<std::size_t>(id)]));
+      for (; n.next_initial < events.size(); ++n.next_initial) {
+        emit(id, events[n.next_initial]);
+        ++result_.events_processed;
+      }
+      emit(id, Event::null_message());
+      n.done = true;
+      return;
+    }
+
+    while (pq_top_ready(n, meta.num_inputs)) {
+      PortEvent e = n.heap.pop();
+      --n.pending[e.port];
+      if (e.is_null()) {
+        ++n.nulls_popped;
+        continue;
+      }
+      ++result_.events_processed;
+      if (meta.kind == GateKind::Output) {
+        result_.waveforms[static_cast<std::size_t>(n.output_index)].push_back(
+            OutputRecord{e.time, e.value});
+        continue;
+      }
+      n.latch[e.port] = e.value != 0;
+      const bool out = circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+      emit(id, Event{e.time + meta.delay,
+                     static_cast<std::uint8_t>(out ? 1 : 0)});
+    }
+
+    if (n.nulls_popped == meta.num_inputs) {
+      emit(id, Event::null_message());
+      n.done = true;
+    }
+  }
+
+  bool is_active(NodeId id) const {
+    const PqNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.done) return false;
+    const Netlist::Node& meta = netlist_.node(id);
+    if (meta.kind == GateKind::Input) return true;
+    if (n.nulls_popped == meta.num_inputs) return true;
+    return pq_top_ready(n, meta.num_inputs);
+  }
+
+  const SimInput& input_;
+  const Netlist& netlist_;
+  std::vector<PqNode> nodes_;
+  RingDeque<NodeId> workset_;
+  SimResult result_;
+  std::vector<std::int32_t> input_index_;
+};
+
+}  // namespace
+
+SimResult run_sequential_pq(const SimInput& input) {
+  return SeqPqEngine(input).run();
+}
+
+}  // namespace hjdes::des

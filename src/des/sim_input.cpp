@@ -1,0 +1,31 @@
+#include "des/sim_input.hpp"
+
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+
+SimInput::SimInput(const circuit::Netlist& netlist,
+                   const circuit::Stimulus& stimulus)
+    : netlist_(&netlist) {
+  HJDES_CHECK(stimulus.initial.size() == netlist.inputs().size(),
+              "stimulus must cover every circuit input");
+  initial_.resize(stimulus.initial.size());
+  for (std::size_t i = 0; i < stimulus.initial.size(); ++i) {
+    const auto& train = stimulus.initial[i];
+    auto& events = initial_[i];
+    events.reserve(train.size());
+    Time prev = kNeverReceived;
+    for (const circuit::SignalChange& change : train) {
+      HJDES_CHECK(change.time >= 0, "initial event times must be >= 0");
+      HJDES_CHECK(change.time < kNullTs, "initial event time overflows");
+      HJDES_CHECK(change.time >= prev,
+                  "initial events must be time-ordered per input");
+      prev = change.time;
+      events.push_back(
+          Event{change.time, static_cast<std::uint8_t>(change.value ? 1 : 0)});
+    }
+    total_ += events.size();
+  }
+}
+
+}  // namespace hjdes::des

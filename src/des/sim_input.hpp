@@ -1,0 +1,37 @@
+#pragma once
+// Validated simulation input: a circuit plus per-input initial event trains.
+// All engines consume this one type, so cross-engine comparisons are over
+// byte-identical inputs.
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/event.hpp"
+
+namespace hjdes::des {
+
+/// Immutable input to a simulation run. Does not own the netlist.
+class SimInput {
+ public:
+  /// Validate and adapt a stimulus: per-input times must be non-decreasing,
+  /// non-negative, and below kNullTs. Aborts (HJDES_CHECK) otherwise.
+  SimInput(const circuit::Netlist& netlist, const circuit::Stimulus& stimulus);
+
+  const circuit::Netlist& netlist() const noexcept { return *netlist_; }
+
+  /// Initial events of netlist().inputs()[i], ascending in time.
+  const std::vector<Event>& initial_events(std::size_t input_index) const {
+    return initial_[input_index];
+  }
+
+  /// Total number of initial events (Table 1's "# initial events").
+  std::size_t total_initial_events() const noexcept { return total_; }
+
+ private:
+  const circuit::Netlist* netlist_;
+  std::vector<std::vector<Event>> initial_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hjdes::des

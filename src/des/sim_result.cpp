@@ -1,0 +1,43 @@
+#include "des/sim_result.hpp"
+
+#include <sstream>
+
+namespace hjdes::des {
+
+bool same_behaviour(const SimResult& a, const SimResult& b) {
+  return a.waveforms == b.waveforms && a.events_processed == b.events_processed;
+}
+
+std::string diff_behaviour(const SimResult& a, const SimResult& b) {
+  std::ostringstream out;
+  if (a.waveforms.size() != b.waveforms.size()) {
+    out << "output count differs: " << a.waveforms.size() << " vs "
+        << b.waveforms.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < a.waveforms.size(); ++i) {
+    const auto& wa = a.waveforms[i];
+    const auto& wb = b.waveforms[i];
+    if (wa.size() != wb.size()) {
+      out << "output " << i << ": record count " << wa.size() << " vs "
+          << wb.size();
+      return out.str();
+    }
+    for (std::size_t k = 0; k < wa.size(); ++k) {
+      if (!(wa[k] == wb[k])) {
+        out << "output " << i << " record " << k << ": (t=" << wa[k].time
+            << ",v=" << static_cast<int>(wa[k].value) << ") vs (t="
+            << wb[k].time << ",v=" << static_cast<int>(wb[k].value) << ")";
+        return out.str();
+      }
+    }
+  }
+  if (a.events_processed != b.events_processed) {
+    out << "events_processed differs: " << a.events_processed << " vs "
+        << b.events_processed;
+    return out.str();
+  }
+  return "";
+}
+
+}  // namespace hjdes::des

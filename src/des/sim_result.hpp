@@ -1,0 +1,69 @@
+#pragma once
+// Simulation results and their comparison. Determinism is a theorem for this
+// DES (one driver per port + timestamp-order processing + (time, port) tie
+// break), so engines are validated by exact waveform equality.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/event.hpp"
+
+namespace hjdes::des {
+
+/// One recorded signal arrival at a circuit output node.
+struct OutputRecord {
+  Time time;
+  std::uint8_t value;
+
+  friend bool operator==(const OutputRecord& a,
+                         const OutputRecord& b) noexcept {
+    return a.time == b.time && a.value == b.value;
+  }
+};
+
+/// Complete result of one simulation run.
+struct SimResult {
+  /// waveforms[i] = every event recorded at netlist.outputs()[i], in arrival
+  /// (= timestamp) order.
+  std::vector<std::vector<OutputRecord>> waveforms;
+
+  /// Real (non-NULL) events processed across all nodes, including initial
+  /// events — Table 1's "# total events".
+  std::uint64_t events_processed = 0;
+
+  /// NULL messages delivered during termination.
+  std::uint64_t null_messages = 0;
+
+  // Engine-specific diagnostics (zero when not applicable).
+  std::uint64_t tasks_spawned = 0;     ///< HJ engine: async calls issued
+  std::uint64_t lock_failures = 0;     ///< HJ engine: failed try_lock calls
+  std::uint64_t spawn_skips = 0;       ///< HJ engine: §4.5.3 avoided spawns
+  std::uint64_t aborts = 0;            ///< Galois engine: rolled-back iterations
+  std::uint64_t commits = 0;           ///< Galois engine: committed iterations
+  std::uint64_t messages_sent = 0;     ///< Actor engine: actor messages
+  std::uint64_t rollbacks = 0;         ///< Time Warp: rollback episodes
+  std::uint64_t anti_messages = 0;     ///< Time Warp: cancellations sent
+  std::uint64_t speculative_events = 0;  ///< Time Warp: processings incl. undone
+  std::uint64_t gvt_sweeps = 0;        ///< Time Warp: GVT computations run
+  std::uint64_t fossil_collected = 0;  ///< Time Warp: log entries reclaimed
+
+  /// Final latched value of each output (convenience for functional checks).
+  std::vector<bool> final_output_values() const {
+    std::vector<bool> out(waveforms.size(), false);
+    for (std::size_t i = 0; i < waveforms.size(); ++i) {
+      if (!waveforms[i].empty()) out[i] = waveforms[i].back().value != 0;
+    }
+    return out;
+  }
+};
+
+/// True when the observable simulation behaviour (waveforms and real event
+/// count) is identical. Diagnostic counters are intentionally excluded.
+bool same_behaviour(const SimResult& a, const SimResult& b);
+
+/// Human-readable description of the first waveform difference, or "" when
+/// behaviourally equal. Test failure messages use this.
+std::string diff_behaviour(const SimResult& a, const SimResult& b);
+
+}  // namespace hjdes::des

@@ -1,0 +1,477 @@
+#include "des/timewarp_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "support/binary_heap.hpp"
+#include "support/chunked_workset.hpp"
+#include "support/platform.hpp"
+#include "support/small_vector.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/// A positive message in a node's input set. Committed order per node is
+/// (ts, port, lseq): lseq is the per-node arrival counter, which restores
+/// FIFO order among equal-(ts, port) events (same-port events always arrive
+/// in their driver's final generation order because rollback cancels before
+/// it replays).
+struct TwMsg {
+  Time ts;
+  std::uint8_t value;
+  std::uint8_t port;
+  std::uint64_t id;    ///< globally unique; anti-messages reference it
+  std::uint64_t lseq;  ///< per-target arrival sequence
+
+  friend bool operator<(const TwMsg& a, const TwMsg& b) noexcept {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.port != b.port) return a.port < b.port;
+    return a.lseq < b.lseq;
+  }
+};
+
+/// True when `a` must commit strictly after `b` (straggler test; lseq is
+/// deliberately excluded — an arriving message always has the largest lseq,
+/// so equal (ts, port) never counts as a straggler).
+bool orders_after(const TwMsg& a, const TwMsg& b) noexcept {
+  if (a.ts != b.ts) return a.ts > b.ts;
+  return a.port > b.port;
+}
+
+/// One message this node sent while processing an event (anti-message
+/// target information).
+struct SentRec {
+  NodeId target;
+  std::uint8_t port;
+  std::uint64_t id;
+};
+
+/// A processed event together with everything needed to roll it back.
+struct ProcessedRec {
+  TwMsg msg;
+  bool prev_latch;
+  SmallVector<SentRec, 4> sent;
+};
+
+struct TwNode {
+  Spinlock lock;
+  BinaryHeap<TwMsg> pending;
+  std::vector<ProcessedRec> processed;  ///< ascending in (ts, port, lseq)
+  bool latch[2] = {false, false};
+  std::uint64_t lseq_counter = 0;
+  std::uint64_t send_counter = 0;
+  std::size_t next_initial = 0;  ///< input nodes: events injected so far
+  std::int32_t output_index = -1;
+  // Fossil-collected prefix: permanently committed, reclaimed from the log.
+  std::uint64_t committed_freed = 0;
+  std::vector<OutputRecord> waveform;  ///< output nodes: freed records
+};
+
+struct TwLocalStats {
+  std::uint64_t speculative = 0;
+  std::uint64_t rollback_episodes = 0;
+  std::uint64_t antis = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t fossil = 0;
+  std::uint64_t since_sweep_check = 0;  ///< events since last counter flush
+};
+
+class TwEngine {
+ public:
+  TwEngine(const SimInput& input, const TimeWarpConfig& config)
+      : input_(input),
+        netlist_(input.netlist()),
+        cfg_(config),
+        nodes_(netlist_.node_count()) {
+    HJDES_CHECK(cfg_.workers >= 1, "workers must be >= 1");
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+          static_cast<std::int32_t>(i);
+    }
+    input_index_.resize(netlist_.node_count(), -1);
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  SimResult run() {
+    // `live_` counts work that still exists anywhere: pending (delivered,
+    // unprocessed) messages plus not-yet-injected initial events. Workers
+    // may terminate exactly when it reaches zero.
+    std::int64_t initial_total = 0;
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      initial_total +=
+          static_cast<std::int64_t>(input_.initial_events(i).size());
+    }
+    live_.store(initial_total, std::memory_order_seq_cst);
+    for (NodeId id : netlist_.inputs()) workset_.push_global(id);
+
+    auto worker = [this](int index) {
+      (void)index;
+      typename ChunkedWorkset<NodeId>::ThreadSlot slot(workset_);
+      TwLocalStats stats;
+      for (;;) {
+        auto id = slot.pop();
+        if (id.has_value()) {
+          run_lp(*id, stats);
+          maybe_sweep(stats);  // holds no locks here
+          continue;
+        }
+        if (live_.load(std::memory_order_seq_cst) == 0) break;
+        std::this_thread::yield();
+      }
+      stat_speculative_.fetch_add(stats.speculative,
+                                  std::memory_order_relaxed);
+      stat_rollbacks_.fetch_add(stats.rollback_episodes,
+                                std::memory_order_relaxed);
+      stat_antis_.fetch_add(stats.antis, std::memory_order_relaxed);
+      stat_sweeps_.fetch_add(stats.sweeps, std::memory_order_relaxed);
+      stat_fossil_.fetch_add(stats.fossil, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 1; i < cfg_.workers; ++i) threads.emplace_back(worker, i);
+    worker(0);
+    for (auto& t : threads) t.join();
+
+    // Quiescence checks: nothing pending, every committed log is sorted.
+    SimResult result;
+    result.waveforms.resize(netlist_.outputs().size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      TwNode& n = nodes_[i];
+      HJDES_CHECK(n.pending.empty(), "time warp finished with pending events");
+      const GateKind kind = netlist_.kind(static_cast<NodeId>(i));
+      if (kind == GateKind::Input) {
+        const std::size_t total = input_.initial_events(
+            static_cast<std::size_t>(input_index_[i])).size();
+        HJDES_CHECK(n.next_initial == total, "input node never finished");
+        result.events_processed += total;
+        continue;
+      }
+      result.events_processed += n.committed_freed + n.processed.size();
+      for (std::size_t k = 1; k < n.processed.size(); ++k) {
+        HJDES_CHECK(n.processed[k - 1].msg < n.processed[k].msg,
+                    "committed event log is out of order");
+      }
+      if (kind == GateKind::Output) {
+        auto& wave = result.waveforms[static_cast<std::size_t>(n.output_index)];
+        wave = std::move(n.waveform);  // fossil-collected prefix
+        wave.reserve(wave.size() + n.processed.size());
+        for (const ProcessedRec& rec : n.processed) {
+          wave.push_back(OutputRecord{rec.msg.ts, rec.msg.value});
+        }
+      }
+    }
+    result.speculative_events = stat_speculative_.load();
+    result.rollbacks = stat_rollbacks_.load();
+    result.anti_messages = stat_antis_.load();
+    result.gvt_sweeps = stat_sweeps_.load();
+    result.fossil_collected = stat_fossil_.load();
+    return result;
+  }
+
+ private:
+  TwNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  std::uint64_t make_id(NodeId sender, TwNode& n) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender))
+            << 32) |
+           n.send_counter++;
+  }
+
+  /// Undo the most recent processed event of `n` (caller holds n.lock):
+  /// restore the latch, cancel everything it sent, and optionally put the
+  /// message back into the pending set for re-execution.
+  void rollback_one(NodeId id, TwNode& n, bool requeue, TwLocalStats& stats) {
+    HJDES_DCHECK(!n.processed.empty(), "rollback on empty log");
+    ProcessedRec rec = std::move(n.processed.back());
+    n.processed.pop_back();
+    if (netlist_.kind(id) != GateKind::Output) {
+      n.latch[rec.msg.port] = rec.prev_latch;
+    }
+    for (const SentRec& s : rec.sent) {
+      ++stats.antis;
+      deliver_anti(s.target, s.id, stats);
+    }
+    if (requeue) {
+      n.pending.push(rec.msg);
+      live_.fetch_add(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Deliver a positive message. Acquires the target's lock (strictly
+  /// downstream of every lock currently held — the circuit is a DAG).
+  void deliver_positive(NodeId target, std::uint8_t port, Time ts,
+                        std::uint8_t value, std::uint64_t id,
+                        TwLocalStats& stats) {
+    TwNode& n = node(target);
+    std::scoped_lock guard(n.lock);
+    note_delivery(ts);  // GVT: deliveries during a sweep window are counted
+    TwMsg msg{ts, value, port, id, n.lseq_counter++};
+    if (!n.processed.empty() && orders_after(n.processed.back().msg, msg)) {
+      // Straggler: roll the suffix that must re-execute after msg back into
+      // the pending set.
+      ++stats.rollback_episodes;
+      while (!n.processed.empty() &&
+             orders_after(n.processed.back().msg, msg)) {
+        rollback_one(target, n, /*requeue=*/true, stats);
+      }
+    }
+    n.pending.push(msg);
+    live_.fetch_add(1, std::memory_order_seq_cst);
+    workset_.push_global(target);
+  }
+
+  /// Deliver an anti-message: annihilate the positive message `id` at
+  /// `target`, rolling back past it if it was already processed.
+  void deliver_anti(NodeId target, std::uint64_t id, TwLocalStats& stats) {
+    TwNode& n = node(target);
+    std::scoped_lock guard(n.lock);
+    Time found_ts = kNullTs;
+    if (n.pending.erase_first([id, &found_ts](const TwMsg& m) {
+          if (m.id != id) return false;
+          found_ts = m.ts;
+          return true;
+        })) {
+      note_delivery(found_ts);  // GVT: see deliver_positive
+      live_.fetch_sub(1, std::memory_order_seq_cst);
+      return;
+    }
+    // The positive was processed: roll back until it is the newest entry,
+    // then undo it without requeueing. Requeued suffix events all order at
+    // or after the cancelled one, so recording its timestamp covers them
+    // for the in-flight GVT sweep.
+    ++stats.rollback_episodes;
+    while (!n.processed.empty() && n.processed.back().msg.id != id) {
+      rollback_one(target, n, /*requeue=*/true, stats);
+    }
+    HJDES_CHECK(!n.processed.empty(),
+                "anti-message found neither pending nor processed event");
+    note_delivery(n.processed.back().msg.ts);
+    rollback_one(target, n, /*requeue=*/false, stats);
+    workset_.push_global(target);
+  }
+
+  /// Drain one logical process: optimistically execute everything pending,
+  /// in (ts, port, lseq) order.
+  void run_lp(NodeId id, TwLocalStats& stats) {
+    TwNode& n = node(id);
+    const Netlist::Node& meta = netlist_.node(id);
+
+    if (meta.kind == GateKind::Input) {
+      inject_input(id, n, stats);
+      return;
+    }
+
+    std::scoped_lock guard(n.lock);
+    while (!n.pending.empty()) {
+      TwMsg msg = n.pending.pop();
+      ++stats.speculative;
+      ++stats.since_sweep_check;
+      ProcessedRec rec;
+      rec.msg = msg;
+      rec.prev_latch = false;
+      if (meta.kind != GateKind::Output) {
+        rec.prev_latch = n.latch[msg.port];
+        n.latch[msg.port] = msg.value != 0;
+        const bool out =
+            circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+        const Time ts_out = msg.ts + meta.delay;
+        const auto value =
+            static_cast<std::uint8_t>(out ? 1 : 0);
+        for (const FanoutEdge& e : netlist_.fanout(id)) {
+          rec.sent.push_back(SentRec{e.target, e.port, make_id(id, n)});
+        }
+        n.processed.push_back(std::move(rec));
+        // Send after logging so a recursive rollback (via a downstream
+        // anti-message chain) can never observe an unlogged send.
+        const ProcessedRec& logged = n.processed.back();
+        for (const SentRec& s : logged.sent) {
+          deliver_positive(s.target, s.port, ts_out, value, s.id, stats);
+        }
+      } else {
+        n.processed.push_back(std::move(rec));
+      }
+      live_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Input nodes have no in-edges, so they can never roll back: send every
+  /// initial event exactly once (possibly in batches, possibly newest-first
+  /// under reverse_injection — Time Warp tolerates any delivery order). No
+  /// NULL messages exist in Time Warp — termination is global quiescence
+  /// (live_ == 0, counting undelivered initial events).
+  void inject_input(NodeId id, TwNode& n, TwLocalStats& stats) {
+    std::scoped_lock guard(n.lock);
+    const auto& events = input_.initial_events(static_cast<std::size_t>(
+        input_index_[static_cast<std::size_t>(id)]));
+    if (n.next_initial >= events.size()) return;
+    if (cfg_.reverse_injection && n.next_initial == 0) {
+      // Reversed delivery flips the arrival order of equal-timestamp events
+      // on one port, which would change the committed tie order; require
+      // strictly increasing trains in this mode.
+      for (std::size_t k = 1; k < events.size(); ++k) {
+        HJDES_CHECK(events[k].time > events[k - 1].time,
+                    "reverse_injection requires strictly increasing trains");
+      }
+    }
+    const std::size_t batch =
+        cfg_.input_batch == 0 ? events.size() : cfg_.input_batch;
+    // Re-activate ourselves *before* delivering, so (with the LIFO workset)
+    // downstream nodes drain between batches — maximizing mis-speculation.
+    if (events.size() - n.next_initial > batch) workset_.push_global(id);
+    const std::size_t limit =
+        std::min(events.size(), n.next_initial + batch);
+    for (; n.next_initial < limit; ++n.next_initial) {
+      const std::size_t idx = cfg_.reverse_injection
+                                  ? events.size() - 1 - n.next_initial
+                                  : n.next_initial;
+      const Event& e = events[idx];
+      ++stats.speculative;
+      for (const FanoutEdge& edge : netlist_.fanout(id)) {
+        deliver_positive(edge.target, edge.port, e.time, e.value,
+                         make_id(id, n), stats);
+      }
+      live_.fetch_sub(1, std::memory_order_seq_cst);  // one injection done
+    }
+  }
+
+  // ------------------------------------------------- GVT & fossil ---------
+
+  /// Record a delivery for an in-flight GVT sweep. Called with the target's
+  /// lock held, which is what makes the flush barrier in sweep() sound.
+  void note_delivery(Time ts) {
+    if (!sweep_active_.load(std::memory_order_seq_cst)) return;
+    Time cur = min_sent_.load(std::memory_order_seq_cst);
+    while (ts < cur && !min_sent_.compare_exchange_weak(
+                           cur, ts, std::memory_order_seq_cst)) {
+    }
+  }
+
+  /// Periodically (from the worker top loop, holding no locks) claim and run
+  /// one GVT sweep + fossil collection.
+  void maybe_sweep(TwLocalStats& stats) {
+    if (cfg_.gvt_interval == 0) return;
+    if (stats.since_sweep_check != 0) {
+      events_since_gvt_.fetch_add(stats.since_sweep_check,
+                                  std::memory_order_relaxed);
+      stats.since_sweep_check = 0;
+    }
+    if (events_since_gvt_.load(std::memory_order_relaxed) <
+        cfg_.gvt_interval) {
+      return;
+    }
+    bool expected = false;
+    if (!sweep_claim_.compare_exchange_strong(expected, true,
+                                              std::memory_order_seq_cst)) {
+      return;  // another worker is sweeping
+    }
+    events_since_gvt_.store(0, std::memory_order_relaxed);
+    sweep(stats);
+    sweep_claim_.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Compute a sound lower bound on every current and future unprocessed
+  /// timestamp: per-node pending minima and un-injected initial events,
+  /// plus min_sent_ covering every delivery performed while the sweep was
+  /// marked active (two-cut idea à la Mattern; delivery here is synchronous
+  /// under the target's lock, so a lock-pass after clearing the flag flushes
+  /// all racing recorders).
+  void sweep(TwLocalStats& stats) {
+    ++stats.sweeps;
+    min_sent_.store(kNullTs, std::memory_order_seq_cst);
+    sweep_active_.store(true, std::memory_order_seq_cst);
+
+    Time bound = kNullTs;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      TwNode& n = nodes_[i];
+      std::scoped_lock guard(n.lock);
+      if (!n.pending.empty()) {
+        bound = std::min(bound, n.pending.top().ts);
+      }
+      if (netlist_.kind(static_cast<NodeId>(i)) == GateKind::Input) {
+        const auto& events = input_.initial_events(static_cast<std::size_t>(
+            input_index_[i]));
+        if (n.next_initial < events.size()) {
+          // Remaining minimum: forward injection is time-sorted, reversed
+          // injection leaves the oldest (smallest) events for last.
+          bound = std::min(bound, cfg_.reverse_injection
+                                      ? events.front().time
+                                      : events[n.next_initial].time);
+        }
+      }
+    }
+
+    sweep_active_.store(false, std::memory_order_seq_cst);
+    // Flush barrier: every deliverer that saw the flag set holds some node
+    // lock while recording; walking all locks guarantees their records are
+    // visible before we read min_sent_.
+    for (auto& n : nodes_) {
+      n.lock.lock();
+      n.lock.unlock();
+    }
+    bound = std::min(bound, min_sent_.load(std::memory_order_seq_cst));
+    gvt_.store(bound, std::memory_order_seq_cst);
+    if (bound > 0) fossil_collect(bound, stats);
+  }
+
+  /// Reclaim committed log entries below `bound`: no straggler or
+  /// anti-message with timestamp >= bound can ever require rolling them
+  /// back (see docs/PROTOCOLS.md §4).
+  void fossil_collect(Time bound, TwLocalStats& stats) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      TwNode& n = nodes_[i];
+      std::scoped_lock guard(n.lock);
+      std::size_t k = 0;
+      while (k < n.processed.size() && n.processed[k].msg.ts < bound) ++k;
+      if (k == 0) continue;
+      if (n.output_index >= 0) {
+        for (std::size_t j = 0; j < k; ++j) {
+          n.waveform.push_back(OutputRecord{n.processed[j].msg.ts,
+                                            n.processed[j].msg.value});
+        }
+      }
+      n.processed.erase(n.processed.begin(),
+                        n.processed.begin() + static_cast<std::ptrdiff_t>(k));
+      n.committed_freed += k;
+      stats.fossil += k;
+    }
+  }
+
+  const SimInput& input_;
+  const Netlist& netlist_;
+  const TimeWarpConfig cfg_;
+  std::vector<TwNode> nodes_;
+  std::vector<std::int32_t> input_index_;
+  ChunkedWorkset<NodeId> workset_;
+
+  HJDES_CACHE_ALIGNED std::atomic<std::int64_t> live_{0};
+  HJDES_CACHE_ALIGNED std::atomic<bool> sweep_active_{false};
+  std::atomic<bool> sweep_claim_{false};
+  std::atomic<Time> min_sent_{kNullTs};
+  std::atomic<Time> gvt_{kNeverReceived};
+  std::atomic<std::uint64_t> events_since_gvt_{0};
+  std::atomic<std::uint64_t> stat_speculative_{0};
+  std::atomic<std::uint64_t> stat_rollbacks_{0};
+  std::atomic<std::uint64_t> stat_antis_{0};
+  std::atomic<std::uint64_t> stat_sweeps_{0};
+  std::atomic<std::uint64_t> stat_fossil_{0};
+};
+
+}  // namespace
+
+SimResult run_timewarp(const SimInput& input, const TimeWarpConfig& config) {
+  return TwEngine(input, config).run();
+}
+
+}  // namespace hjdes::des

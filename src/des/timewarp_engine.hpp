@@ -1,0 +1,62 @@
+#pragma once
+// Optimistic (Time Warp) parallel DES — the other algorithm class of the
+// paper's related work (§2.1: Jefferson & Sowizral's rollback mechanism).
+// Where the conservative engines block events behind the local-clock safety
+// rule and exchange NULL messages, Time Warp logical processes execute
+// events as soon as they arrive; a straggler (an event ordering before
+// already-processed work) triggers a rollback that restores saved state and
+// cancels previously-sent events with anti-messages.
+//
+// Implementation notes:
+//  * State saving is per processed event (the overwritten input latch), so
+//    rollback cost is proportional to rollback depth.
+//  * Cancellation is aggressive: anti-messages are sent immediately during
+//    rollback. Because the circuit is a DAG, message and anti-message
+//    delivery only ever acquires locks "downstream", so the per-node
+//    spinlocks cannot deadlock.
+//  * GVT + fossil collection (TimeWarpConfig::gvt_interval): a periodic
+//    two-cut sweep computes a sound lower bound on all current and future
+//    unprocessed timestamps (per-node pending minima + a min over messages
+//    delivered while the sweep is in flight), then reclaims committed log
+//    entries below it. See docs/PROTOCOLS.md §4.
+//  * The committed event order per node is the same deterministic
+//    (timestamp, port, per-port arrival) merge as every other engine, so
+//    waveforms are bit-identical to run_sequential.
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+
+namespace hjdes::des {
+
+/// Configuration of the Time Warp engine.
+struct TimeWarpConfig {
+  int workers = 1;
+
+  /// Initial events an input node sends per activation; 0 = all at once.
+  /// Small batches interleave injection with gate processing, creating
+  /// genuine optimistic mis-speculation even on one worker.
+  std::size_t input_batch = 0;
+
+  /// Inject each input's event train newest-first. Time Warp (unlike the
+  /// conservative engines) does not require in-order delivery: reversed
+  /// injection maximizes straggler pressure while the committed result
+  /// stays bit-identical — the engine's order-independence property, used
+  /// by the stress tests and the rollback ablation bench.
+  bool reverse_injection = false;
+
+  /// Events processed between GVT sweeps; 0 disables GVT/fossil collection
+  /// (processed-event logs are then retained for the whole run). A sweep
+  /// computes a sound lower bound on every current and future unprocessed
+  /// timestamp (per-node pending minima + a min over messages delivered
+  /// while the sweep is in flight, Mattern-style) and then reclaims
+  /// committed log entries below it — records that no rollback or
+  /// anti-message can ever reach again.
+  std::size_t gvt_interval = 65536;
+};
+
+/// Run the optimistic parallel simulation. Produces waveforms bit-identical
+/// to run_sequential; additionally reports rollbacks / anti_messages /
+/// speculative_events diagnostics.
+SimResult run_timewarp(const SimInput& input, const TimeWarpConfig& config);
+
+}  // namespace hjdes::des

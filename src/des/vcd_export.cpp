@@ -1,0 +1,93 @@
+#include "des/vcd_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, multi-character base-94.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+struct Change {
+  Time time;
+  std::uint8_t value;
+  std::size_t wire;
+};
+
+}  // namespace
+
+std::string to_vcd(const SimInput& input, const SimResult& result,
+                   const VcdOptions& options) {
+  const circuit::Netlist& nl = input.netlist();
+  HJDES_CHECK(result.waveforms.size() == nl.outputs().size(),
+              "result does not match the input's netlist");
+
+  std::ostringstream out;
+  out << "$date reproduction run $end\n";
+  out << "$version hjdes 1.0 $end\n";
+  out << "$timescale " << options.timescale << " $end\n";
+  out << "$scope module " << options.module << " $end\n";
+
+  std::vector<Change> changes;
+  std::size_t wire_count = 0;
+
+  auto declare = [&out, &wire_count](const std::string& name) {
+    std::string id = vcd_id(wire_count++);
+    out << "$var wire 1 " << id << " " << name << " $end\n";
+    return id;
+  };
+
+  std::vector<std::string> ids;
+  if (options.include_inputs) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      const std::string& nm = nl.name(nl.inputs()[i]);
+      std::size_t wire = wire_count;
+      ids.push_back(declare(nm.empty() ? "in" + std::to_string(i) : nm));
+      for (const Event& e : input.initial_events(i)) {
+        changes.push_back(Change{e.time, e.value, wire});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const std::string& nm = nl.name(nl.outputs()[i]);
+    std::size_t wire = wire_count;
+    ids.push_back(declare(nm.empty() ? "out" + std::to_string(i) : nm));
+    for (const OutputRecord& r : result.waveforms[i]) {
+      changes.push_back(Change{r.time, r.value, wire});
+    }
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  // Initial values: every wire starts at x.
+  out << "$dumpvars\n";
+  for (const std::string& id : ids) out << "x" << id << "\n";
+  out << "$end\n";
+
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) {
+                     return a.time < b.time;
+                   });
+  Time current = -1;
+  for (const Change& c : changes) {
+    if (c.time != current) {
+      out << "#" << c.time << "\n";
+      current = c.time;
+    }
+    out << static_cast<int>(c.value != 0) << ids[c.wire] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hjdes::des

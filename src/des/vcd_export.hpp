@@ -1,0 +1,29 @@
+#pragma once
+// Value Change Dump (IEEE 1364) export of simulation waveforms, so runs can
+// be inspected in standard waveform viewers (GTKWave etc.). Emits one wire
+// per circuit output; optionally the input stimulus as well.
+
+#include <string>
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+
+namespace hjdes::des {
+
+/// Options for VCD rendering.
+struct VcdOptions {
+  /// Module name in the $scope section.
+  std::string module = "hjdes";
+  /// Also emit the input-node stimulus as wires.
+  bool include_inputs = true;
+  /// Timescale string (VCD header).
+  std::string timescale = "1ns";
+};
+
+/// Render `result`'s waveforms (and optionally `input`'s stimulus) as a VCD
+/// document. Output wires are named after the netlist's output node names
+/// (falling back to "out<i>"), inputs after input node names.
+std::string to_vcd(const SimInput& input, const SimResult& result,
+                   const VcdOptions& options = {});
+
+}  // namespace hjdes::des

@@ -1,0 +1,7 @@
+// Context and Lockable are header-only; this TU anchors the library and its
+// vtable-free exception type.
+#include "galois/context.hpp"
+
+namespace hjdes::galois {
+// Intentionally empty.
+}  // namespace hjdes::galois

@@ -1,0 +1,103 @@
+#pragma once
+// Galois-analog speculative iteration machinery (paper §2.2). The Galois
+// system runs workset elements as optimistic parallel activities: the runtime
+// acquires an abstract lock on every shared object an activity touches, and
+// on conflict aborts the activity — rolling back its side effects via undo
+// actions — and retries it later. Users cannot see lock ownership, which is
+// exactly why the paper's "cautious" trylock pattern (§4.4) cannot be
+// expressed in user code here.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "support/platform.hpp"
+#include "support/unique_function.hpp"
+
+namespace hjdes::galois {
+
+class Context;
+
+/// Mix-in ownership word for objects participating in conflict detection
+/// (the analog of Galois' Lockable / abstract locks).
+class Lockable {
+ public:
+  Lockable() = default;
+  Lockable(const Lockable&) = delete;
+  Lockable& operator=(const Lockable&) = delete;
+
+  /// Owning context, nullptr when free. For stats/tests only.
+  const Context* owner() const noexcept {
+    return owner_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Context;
+  std::atomic<Context*> owner_{nullptr};
+};
+
+/// Thrown by Context::acquire on a conflicting access. Deliberately empty:
+/// it is control flow for the abort path, caught by the for_each executor.
+struct ConflictException : std::exception {
+  const char* what() const noexcept override {
+    return "galois iteration conflict";
+  }
+};
+
+/// Per-activity iteration context: tracks acquired objects and undo actions.
+/// One context is reused across iterations of the owning executor thread.
+class Context {
+ public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Acquire the abstract lock on `obj` for this iteration. Idempotent for
+  /// objects already held. Throws ConflictException when another in-flight
+  /// iteration holds the object.
+  void acquire(Lockable& obj) {
+    Context* cur = obj.owner_.load(std::memory_order_acquire);
+    if (cur == this) return;
+    if (cur != nullptr) throw ConflictException{};
+    if (!obj.owner_.compare_exchange_strong(cur, this,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      throw ConflictException{};
+    }
+    owned_.push_back(&obj);
+  }
+
+  /// Register a compensation action undoing one speculative side effect.
+  /// Undo actions run in reverse registration order on abort.
+  void add_undo(Thunk undo) { undo_.push_back(std::move(undo)); }
+
+  /// Commit: discard undo log and release every owned object.
+  void commit() noexcept {
+    undo_.clear();
+    release_all();
+  }
+
+  /// Abort: run the undo log in reverse, then release every owned object.
+  void abort() noexcept {
+    for (std::size_t i = undo_.size(); i > 0; --i) undo_[i - 1]();
+    undo_.clear();
+    release_all();
+  }
+
+  std::size_t owned_count() const noexcept { return owned_.size(); }
+  std::size_t undo_count() const noexcept { return undo_.size(); }
+
+ private:
+  void release_all() noexcept {
+    for (Lockable* obj : owned_) {
+      obj->owner_.store(nullptr, std::memory_order_release);
+    }
+    owned_.clear();
+  }
+
+  std::vector<Lockable*> owned_;
+  std::vector<Thunk> undo_;
+};
+
+}  // namespace hjdes::galois

@@ -1,0 +1,134 @@
+#pragma once
+// The Galois-analog `foreach` operator (paper Alg. 3): execute workset
+// elements as speculative parallel activities with conflict detection,
+// rollback, and re-execution handled by the runtime — the user operator
+// cannot observe lock ownership or skip work on contention.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "galois/context.hpp"
+#include "support/chunked_workset.hpp"
+#include "support/platform.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::galois {
+
+/// Outcome counters for one for_each execution.
+struct ForEachStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+/// Executor configuration.
+struct ForEachConfig {
+  int threads = 1;
+  /// Upper bound of the exponential backoff applied after an abort, in
+  /// spin-loop iterations (reduces livelock under heavy contention).
+  int max_backoff_spins = 1024;
+};
+
+/// Per-thread handle the operator uses to add new workset elements. Pushes
+/// are speculative: they are buffered in the context and only published when
+/// the iteration commits (aborted iterations publish nothing).
+template <typename T>
+class UserContext {
+ public:
+  UserContext(Context& ctx, std::vector<T>& pending)
+      : ctx_(ctx), pending_(pending) {}
+
+  /// Acquire the abstract lock on a shared object (conflict => abort+retry).
+  void acquire(Lockable& obj) { ctx_.acquire(obj); }
+
+  /// Register an undo action for a speculative mutation.
+  void add_undo(Thunk undo) { ctx_.add_undo(std::move(undo)); }
+
+  /// Add an element to the workset, visible after commit.
+  void push(T item) { pending_.push_back(std::move(item)); }
+
+ private:
+  Context& ctx_;
+  std::vector<T>& pending_;
+};
+
+/// Run `op(item, UserContext&)` over `initial` and everything pushed during
+/// execution, on `config.threads` threads, until the workset drains.
+///
+/// Operator contract: all shared-object access goes through
+/// UserContext::acquire, all shared-state mutation registers an undo, and the
+/// operator itself is re-executable (idempotent up to its undo log).
+template <typename T, typename Op>
+ForEachStats for_each(const std::vector<T>& initial, Op op,
+                      const ForEachConfig& config) {
+  HJDES_CHECK(config.threads >= 1, "for_each requires at least one thread");
+
+  ChunkedWorkset<T> workset;
+  // `live` counts items that exist in the system (queued or in flight).
+  // A worker observing live == 0 can safely terminate: nothing is queued and
+  // no in-flight iteration can push more.
+  std::atomic<std::int64_t> live{static_cast<std::int64_t>(initial.size())};
+  for (const T& item : initial) workset.push_global(item);
+
+  std::atomic<std::uint64_t> total_committed{0};
+  std::atomic<std::uint64_t> total_aborted{0};
+
+  auto body = [&](int thread_index) {
+    (void)thread_index;
+    typename ChunkedWorkset<T>::ThreadSlot slot(workset);
+    Context ctx;
+    std::vector<T> pending_pushes;
+    Xoshiro256 backoff_rng(0x51ed270b0903cf1bULL + thread_index);
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    int backoff = 1;
+
+    while (live.load(std::memory_order_acquire) > 0) {
+      auto item = slot.pop();
+      if (!item.has_value()) {
+        std::this_thread::yield();
+        continue;
+      }
+      pending_pushes.clear();
+      try {
+        UserContext<T> user(ctx, pending_pushes);
+        op(*item, user);
+        ctx.commit();
+        // Publish speculative pushes only after a successful commit.
+        live.fetch_add(static_cast<std::int64_t>(pending_pushes.size()),
+                       std::memory_order_acq_rel);
+        for (T& p : pending_pushes) slot.push(std::move(p));
+        slot.flush();
+        live.fetch_sub(1, std::memory_order_acq_rel);
+        ++committed;
+        backoff = 1;
+      } catch (const ConflictException&) {
+        ctx.abort();
+        ++aborted;
+        // Requeue globally so another thread may pick the item up, then back
+        // off to let the conflicting iteration finish.
+        workset.push_global(std::move(*item));
+        for (int i = 0; i < backoff; ++i) cpu_relax();
+        backoff = static_cast<int>(
+            std::min<std::int64_t>(config.max_backoff_spins,
+                                   backoff * 2 + static_cast<int>(
+                                       backoff_rng.below(8))));
+      }
+    }
+    total_committed.fetch_add(committed, std::memory_order_relaxed);
+    total_aborted.fetch_add(aborted, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.threads - 1));
+  for (int i = 1; i < config.threads; ++i) threads.emplace_back(body, i);
+  body(0);
+  for (auto& t : threads) t.join();
+
+  return ForEachStats{total_committed.load(), total_aborted.load()};
+}
+
+}  // namespace hjdes::galois

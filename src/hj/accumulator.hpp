@@ -1,0 +1,100 @@
+#pragma once
+// Finish-scoped reduction accumulators in the HJlib style: tasks `put`
+// contributions with low contention (striped per-worker cells); the owner
+// reads the combined value with `get` after the enclosing finish completes.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "hj/runtime.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::hj {
+
+/// Reduction operations supported by Accumulator.
+enum class Reduction { Sum, Min, Max };
+
+/// Striped numeric accumulator. T must be an integral type (the atomics use
+/// fetch_add / CAS loops).
+template <typename T>
+class Accumulator {
+ public:
+  /// `identity` seeds every stripe (0 for Sum, +inf-ish for Min, ...).
+  Accumulator(Reduction op, T identity, int stripes = 64)
+      : op_(op), identity_(identity),
+        cells_(static_cast<std::size_t>(stripes)) {
+    for (auto& c : cells_) c.value.store(identity, std::memory_order_relaxed);
+  }
+
+  /// Contribute a value. Callable from any task or thread.
+  void put(T v) {
+    Cell& cell = cells_[stripe_index()];
+    switch (op_) {
+      case Reduction::Sum:
+        cell.value.fetch_add(v, std::memory_order_relaxed);
+        break;
+      case Reduction::Min: {
+        T cur = cell.value.load(std::memory_order_relaxed);
+        while (v < cur && !cell.value.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+      case Reduction::Max: {
+        T cur = cell.value.load(std::memory_order_relaxed);
+        while (v > cur && !cell.value.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    }
+  }
+
+  /// Combine all stripes. Only meaningful once contributing tasks have been
+  /// joined (e.g. after the enclosing finish).
+  T get() const {
+    T acc = identity_;
+    for (const auto& c : cells_) {
+      T v = c.value.load(std::memory_order_acquire);
+      switch (op_) {
+        case Reduction::Sum:
+          acc = static_cast<T>(acc + v);
+          break;
+        case Reduction::Min:
+          acc = v < acc ? v : acc;
+          break;
+        case Reduction::Max:
+          acc = v > acc ? v : acc;
+          break;
+      }
+    }
+    return acc;
+  }
+
+  /// Reset every stripe to the identity (between phases).
+  void reset() {
+    for (auto& c : cells_) c.value.store(identity_, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<T> value;
+  };
+
+  std::size_t stripe_index() const {
+    int id = current_worker_id();
+    if (id >= 0) return static_cast<std::size_t>(id) % cells_.size();
+    // External threads hash their id.
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+           cells_.size();
+  }
+
+  const Reduction op_;
+  const T identity_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace hjdes::hj

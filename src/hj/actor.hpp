@@ -1,0 +1,93 @@
+#pragma once
+// A minimal actor library over async/finish — the direction the paper's §6
+// names as future work ("the use of HJlib actor model for parallelizing DES
+// applications"). Each actor owns a mailbox; message processing for one actor
+// is serialized without user-visible locks, so actor state needs no
+// synchronization. des/ActorEngine builds a lock-free DES variant on this.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "hj/runtime.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::hj {
+
+/// Base class for actors processing messages of type `M`.
+///
+/// send() may be called from any task (or several concurrently). Delivery
+/// schedules at most one drain task per actor at a time ("scheduled" flag),
+/// so process() invocations for one actor never overlap and observe messages
+/// from any single sender in send order. Drain tasks are ordinary asyncs:
+/// enclosing them in a finish waits for quiescence of the whole actor system.
+template <typename M>
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Deliver one message. Thread-safe.
+  void send(M message) {
+    {
+      std::scoped_lock guard(mailbox_lock_);
+      mailbox_.push_back(std::move(message));
+    }
+    schedule();
+  }
+
+  /// Number of messages processed so far (reads are racy; test aid).
+  std::uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Handle one message. Runs on some worker; never concurrently with
+  /// another process() of the same actor.
+  virtual void process(M message) = 0;
+
+ private:
+  void schedule() {
+    // Only one drain task may be in flight. exchange(true) both checks and
+    // claims; the drain loop re-checks the mailbox after releasing the claim
+    // to close the send-after-empty-check window.
+    if (!scheduled_.exchange(true, std::memory_order_acq_rel)) {
+      async([this] { drain(); });
+    }
+  }
+
+  void drain() {
+    for (;;) {
+      for (;;) {
+        std::optional<M> msg;
+        {
+          std::scoped_lock guard(mailbox_lock_);
+          if (!mailbox_.empty()) msg.emplace(mailbox_.pop_front());
+        }
+        if (!msg.has_value()) break;
+        process(std::move(*msg));
+        processed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      scheduled_.store(false, std::memory_order_seq_cst);
+      // A sender may have enqueued between our empty check and the store
+      // above and seen scheduled_ == true (so it did not spawn a drain).
+      // Re-claim and continue if so; otherwise we are done.
+      bool maybe_more = [&] {
+        std::scoped_lock guard(mailbox_lock_);
+        return !mailbox_.empty();
+      }();
+      if (!maybe_more) return;
+      if (scheduled_.exchange(true, std::memory_order_acq_rel)) return;
+    }
+  }
+
+  Spinlock mailbox_lock_;
+  RingDeque<M> mailbox_;
+  std::atomic<bool> scheduled_{false};
+  std::atomic<std::uint64_t> processed_{0};
+};
+
+}  // namespace hjdes::hj

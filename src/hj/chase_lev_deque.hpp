@@ -1,0 +1,133 @@
+#pragma once
+// Chase–Lev work-stealing deque (Chase & Lev 2005, with the C11 memory-order
+// discipline of Lê/Pop/Cohen/Nardelli 2013). The owner pushes and pops at the
+// bottom; thieves steal from the top with a CAS. This is the data structure
+// behind HJlib's "task deques" (paper §4.3: "Upon the creation of a task, the
+// task is pushed into a deque and waits for future execution").
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes::hj {
+
+/// Lock-free work-stealing deque of pointers. Single owner thread calls
+/// push()/pop(); any number of thief threads call steal(). Grows unboundedly;
+/// retired buffers are kept alive until destruction so racing thieves never
+/// dereference freed memory.
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 256)
+      : buffer_(new Buffer(round_up(initial_capacity))) {
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() = default;
+
+  /// Owner only: push one element at the bottom.
+  void push(T* item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop the most recently pushed element, nullptr when empty.
+  T* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = buf->get(b);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal the oldest element, nullptr when empty or on a lost
+  /// race (callers treat both as "try elsewhere").
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T* item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Racy size estimate, for stats and idle heuristics only.
+  std::int64_t size_estimate() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    T* get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t cap = 8;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    Buffer* raw = fresh.get();
+    retired_.push_back(std::move(fresh));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  HJDES_CACHE_ALIGNED std::atomic<std::int64_t> top_{0};
+  HJDES_CACHE_ALIGNED std::atomic<std::int64_t> bottom_{0};
+  HJDES_CACHE_ALIGNED std::atomic<Buffer*> buffer_;
+  // Owner-only; old buffers stay alive for the deque's lifetime so thieves
+  // holding stale buffer pointers remain safe (grow is rare and bounded).
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace hjdes::hj

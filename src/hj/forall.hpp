@@ -1,0 +1,46 @@
+#pragma once
+// Data-parallel loops in the HJlib style (§3: "data parallelism, ...,
+// divide-and-conquer parallelism"): forall = finish { forasync }, with
+// recursive binary splitting down to a grain size so the work-stealing
+// scheduler load-balances the range.
+
+#include <cstdint>
+
+#include "hj/runtime.hpp"
+
+namespace hjdes::hj {
+
+namespace detail {
+
+template <typename Body>
+void forasync_range(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                    const Body& body) {
+  while (hi - lo > grain) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    async([mid, hi, grain, body] { forasync_range(mid, hi, grain, body); });
+    hi = mid;
+  }
+  for (std::int64_t i = lo; i < hi; ++i) body(i);
+}
+
+}  // namespace detail
+
+/// Spawn the iterations of [lo, hi) under the current finish scope without
+/// waiting (HJlib's forasync). `grain` iterations run sequentially per task.
+template <typename Body>
+void forasync(std::int64_t lo, std::int64_t hi, const Body& body,
+              std::int64_t grain = 1) {
+  if (lo >= hi) return;
+  detail::forasync_range(lo, hi, grain < 1 ? 1 : grain, body);
+}
+
+/// Parallel loop over [lo, hi): runs body(i) for every i and waits for all
+/// iterations (HJlib's forall = finish + forasync).
+template <typename Body>
+void forall(std::int64_t lo, std::int64_t hi, const Body& body,
+            std::int64_t grain = 1) {
+  if (lo >= hi) return;
+  finish([lo, hi, grain, &body] { forasync(lo, hi, body, grain); });
+}
+
+}  // namespace hjdes::hj

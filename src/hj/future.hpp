@@ -1,0 +1,78 @@
+#pragma once
+// HJlib-style futures layered on async/finish. `async_future(fn)` spawns fn
+// and returns a handle whose get() blocks — productively: a worker waiting on
+// an unresolved future executes other tasks, preserving the busy-leaves
+// property (and hence deadlock freedom for acyclic future graphs).
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "hj/runtime.hpp"
+#include "support/platform.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::hj {
+
+/// Shared state + handle for a value produced by an async task.
+template <typename T>
+class Future {
+ public:
+  /// True once the producing task has stored the value.
+  bool ready() const { return state_->ready.load(std::memory_order_acquire); }
+
+  /// Wait for and return a reference to the value. Callable from worker or
+  /// external threads; worker threads help execute tasks while waiting.
+  T& get() {
+    wait();
+    return *state_->value;
+  }
+
+  /// Block until ready() without consuming the value. Worker threads help
+  /// execute other tasks while waiting (so the producing task can run even
+  /// on a single-worker runtime); external threads yield.
+  void wait() {
+    int spins = 0;
+    while (!ready()) {
+      if (help_one()) {
+        spins = 0;
+        continue;
+      }
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      } else {
+        cpu_relax();
+      }
+    }
+  }
+
+ private:
+  template <typename U, typename F>
+  friend Future<U> async_future(F&& fn);
+
+  struct State {
+    std::atomic<bool> ready{false};
+    std::optional<T> value;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Spawn `fn` as an async task; the returned future resolves to its result.
+/// The spawned task is governed by the current finish scope like any async.
+template <typename T, typename F>
+Future<T> async_future(F&& fn) {
+  auto state = std::make_shared<typename Future<T>::State>();
+  async([state, fn = std::forward<F>(fn)]() mutable {
+    state->value.emplace(fn());
+    state->ready.store(true, std::memory_order_release);
+  });
+  return Future<T>(state);
+}
+
+}  // namespace hjdes::hj

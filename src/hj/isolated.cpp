@@ -1,0 +1,45 @@
+#include "hj/isolated.hpp"
+
+#include <mutex>
+
+namespace hjdes::hj {
+namespace detail {
+
+IsolatedTable& IsolatedTable::instance() {
+  static IsolatedTable table;
+  return table;
+}
+
+void isolated_impl(const void* const* objs, std::size_t count, Thunk body) {
+  IsolatedTable& table = IsolatedTable::instance();
+  std::shared_lock gate(table.gate);
+
+  // Sorted, deduplicated stripe acquisition: two isolated blocks sharing any
+  // stripe acquire their common prefix in the same order, so no cycle forms.
+  std::size_t stripe_ids[16];
+  HJDES_CHECK(count <= 16, "isolated_on supports at most 16 objects");
+  for (std::size_t i = 0; i < count; ++i) {
+    stripe_ids[i] = IsolatedTable::stripe_of(objs[i]);
+  }
+  std::sort(stripe_ids, stripe_ids + count);
+  std::size_t unique = static_cast<std::size_t>(
+      std::unique(stripe_ids, stripe_ids + count) - stripe_ids);
+
+  for (std::size_t i = 0; i < unique; ++i) {
+    table.stripes[stripe_ids[i]].lock();
+  }
+  body();
+  for (std::size_t i = unique; i > 0; --i) {
+    table.stripes[stripe_ids[i - 1]].unlock();
+  }
+}
+
+}  // namespace detail
+
+void isolated(Thunk body) {
+  detail::IsolatedTable& table = detail::IsolatedTable::instance();
+  std::unique_lock gate(table.gate);
+  body();
+}
+
+}  // namespace hjdes::hj

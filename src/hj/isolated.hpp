@@ -1,0 +1,60 @@
+#pragma once
+// HJlib's `isolated` construct (paper §3.2): weak isolation / mutual
+// exclusion between potentially-parallel isolated blocks.
+//
+//   isolated(fn)                 — global: excludes every other isolated.
+//   isolated(obj..., fn)         — object-based: excludes isolated blocks
+//                                  whose participant sets intersect.
+//
+// Implementation: a striped spinlock table keyed by object address. Object
+// variants take the global gate in shared mode plus their stripes in sorted
+// order (deadlock-free); the no-object variant takes the gate exclusively.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <shared_mutex>
+
+#include "support/platform.hpp"
+#include "support/spinlock.hpp"
+#include "support/unique_function.hpp"
+
+namespace hjdes::hj {
+
+namespace detail {
+
+inline constexpr std::size_t kIsolatedStripes = 1024;
+
+struct IsolatedTable {
+  std::shared_mutex gate;
+  std::array<Spinlock, kIsolatedStripes> stripes;
+
+  static IsolatedTable& instance();
+
+  static std::size_t stripe_of(const void* obj) noexcept {
+    auto p = reinterpret_cast<std::uintptr_t>(obj);
+    // Fibonacci hash of the address, discarding low alignment bits.
+    return static_cast<std::size_t>(((p >> 4) * 0x9e3779b97f4a7c15ULL) >>
+                                    (64 - 10)) %
+           kIsolatedStripes;
+  }
+};
+
+void isolated_impl(const void* const* objs, std::size_t count, Thunk body);
+
+}  // namespace detail
+
+/// Global isolated: run `body` in mutual exclusion with all other isolated
+/// instances.
+void isolated(Thunk body);
+
+/// Object-based isolated: run `body` in mutual exclusion with isolated
+/// instances naming any of the same objects (conservatively, any object
+/// hashing to the same stripe).
+template <typename... Objs>
+void isolated_on(Thunk body, const Objs*... objs) {
+  const void* ptrs[] = {static_cast<const void*>(objs)...};
+  detail::isolated_impl(ptrs, sizeof...(objs), std::move(body));
+}
+
+}  // namespace hjdes::hj

@@ -1,0 +1,40 @@
+#include "hj/locks.hpp"
+
+#include "support/small_vector.hpp"
+
+namespace hjdes::hj {
+namespace {
+
+// The held set lives in thread-local storage: an hj task runs to completion
+// on one worker thread and (by the runtime's debug assertion) never ends
+// while holding locks, so thread == task for lock-ownership purposes.
+thread_local SmallVector<HjLock*, 16> tls_held_locks;
+
+}  // namespace
+
+bool try_lock(HjLock& lock) noexcept {
+  bool expected = false;
+  // seq_cst matches the paper's AtomicBoolean.compareAndSet and is load-
+  // bearing for the §4.5.3 Dekker-style activity checks (see des/HjEngine).
+  if (lock.held_.compare_exchange_strong(expected, true,
+                                         std::memory_order_seq_cst)) {
+    tls_held_locks.push_back(&lock);
+    return true;
+  }
+  return false;
+}
+
+void release_all_locks() noexcept {
+  for (std::size_t i = tls_held_locks.size(); i > 0; --i) {
+    tls_held_locks[i - 1]->held_.store(false, std::memory_order_seq_cst);
+  }
+  tls_held_locks.clear();
+}
+
+std::size_t held_lock_count() noexcept { return tls_held_locks.size(); }
+
+namespace detail {
+bool current_thread_holds_locks() noexcept { return !tls_held_locks.empty(); }
+}  // namespace detail
+
+}  // namespace hjdes::hj

@@ -1,0 +1,60 @@
+#pragma once
+// The two lock APIs this paper added to the Habanero execution model (§3.2):
+//
+//   * TRYLOCK(var)        -> hj::try_lock(lock)
+//   * RELEASEALLLOCKS()   -> hj::release_all_locks()
+//
+// Exactly as in the paper, each lock is a CAS-managed boolean (the
+// AtomicBoolean of §4.5.2). try_lock never blocks, and release_all_locks
+// releases everything the current task holds, so no waits-for cycle can form:
+// the extension preserves Habanero's deadlock-freedom guarantee. Livelock is
+// possible and must be avoided by the caller through ordered acquisition
+// (§4.3 uses ascending node IDs; see des/HjEngine).
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/platform.hpp"
+
+namespace hjdes::hj {
+
+/// A non-blocking, runtime-managed lock (the paper's AtomicBoolean lock).
+/// Acquire through hj::try_lock so the per-task registry can release it.
+class HjLock {
+ public:
+  HjLock() = default;
+  HjLock(const HjLock&) = delete;
+  HjLock& operator=(const HjLock&) = delete;
+
+  /// True when some task currently holds the lock. Racy by nature; intended
+  /// for the §4.5.3 "held by others" heuristics, never for synchronization.
+  bool is_held() const noexcept {
+    return held_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  friend bool try_lock(HjLock& lock) noexcept;
+  friend void release_all_locks() noexcept;
+  friend class LockRegistry;
+
+  std::atomic<bool> held_{false};
+};
+
+/// Attempt to acquire `lock` for the current task without blocking.
+/// On success the lock is recorded in the task's held set and true is
+/// returned; on failure the task state is unchanged and false is returned.
+bool try_lock(HjLock& lock) noexcept;
+
+/// Release every lock the current task acquired via try_lock, in reverse
+/// acquisition order.
+void release_all_locks() noexcept;
+
+/// Number of locks the current task holds (test/debug aid).
+std::size_t held_lock_count() noexcept;
+
+namespace detail {
+/// Used by the runtime to assert that tasks do not finish holding locks.
+bool current_thread_holds_locks() noexcept;
+}  // namespace detail
+
+}  // namespace hjdes::hj

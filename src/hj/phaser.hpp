@@ -1,0 +1,84 @@
+#pragma once
+// HJlib-style phasers — the point-to-point/barrier synchronization construct
+// the paper lists among HJlib's deadlock-free primitives (§3.2). This is the
+// pedagogic barrier subset: a fixed number of registered parties, each
+// calling next() per phase (or signal() for SIG-mode producers).
+//
+// IMPORTANT — blocking semantics: tasks in this runtime run to completion,
+// so a party blocked in next() pins its worker thread. It deliberately does
+// NOT execute other tasks while waiting (unlike Future::wait): helping could
+// nest another party of the same phaser under the blocked frame, which can
+// never complete — the classic help-first barrier deadlock. Consequently a
+// phaser requires `parties <= workers` with one task per party; HJlib proper
+// lifts this restriction with suspendable continuations.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "support/platform.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::hj {
+
+/// Cyclic barrier over `parties` participants with cooperative waiting.
+class Phaser {
+ public:
+  explicit Phaser(int parties) : parties_(parties) {
+    HJDES_CHECK(parties >= 1, "Phaser needs at least one party");
+  }
+
+  Phaser(const Phaser&) = delete;
+  Phaser& operator=(const Phaser&) = delete;
+
+  /// Current phase number (starts at 0, increments when all parties arrive).
+  std::uint64_t phase() const {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  /// SIG mode: arrive at the current phase without waiting for it to
+  /// complete. The caller must not signal the same phase twice.
+  void signal() { arrive(); }
+
+  /// SIG_WAIT mode: arrive and wait until every party has arrived, then
+  /// proceed into the next phase.
+  void next() {
+    const std::uint64_t my_phase = arrive();
+    await(my_phase);
+  }
+
+  /// WAIT-only mode: wait for the given phase to complete without arriving.
+  /// Useful for observers; `target_phase` is typically the value phase()
+  /// returned before the signalers ran.
+  void await(std::uint64_t target_phase) {
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) <= target_phase) {
+      if (++spins > 32) {
+        std::this_thread::yield();  // see the blocking-semantics note above
+        spins = 0;
+      } else {
+        cpu_relax();
+      }
+    }
+  }
+
+ private:
+  /// Record one arrival; returns the phase arrived at. The last arriver
+  /// resets the count and advances the phase.
+  std::uint64_t arrive() {
+    const std::uint64_t my_phase = phase_.load(std::memory_order_acquire);
+    const int arrived = arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    HJDES_DCHECK(arrived <= parties_, "more arrivals than registered parties");
+    if (arrived == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(my_phase + 1, std::memory_order_release);
+    }
+    return my_phase;
+  }
+
+  const int parties_;
+  HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> phase_{0};
+  HJDES_CACHE_ALIGNED std::atomic<int> arrived_{0};
+};
+
+}  // namespace hjdes::hj

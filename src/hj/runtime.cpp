@@ -1,0 +1,286 @@
+#include "hj/runtime.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "hj/chase_lev_deque.hpp"
+#include "hj/locks.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::hj {
+namespace {
+
+/// One dynamic finish scope. Lives on the stack of the task that executes the
+/// finish statement; `pending` counts direct and transitively re-registered
+/// children that have not yet completed.
+struct FinishScope {
+  std::atomic<std::int64_t> pending{0};
+};
+
+}  // namespace
+
+/// Heap task record. Recycled through a per-worker freelist because the DES
+/// engines spawn one task per node activation (10^5..10^7 per run).
+struct Task {
+  Thunk fn;
+  FinishScope* ief = nullptr;
+  Task* pool_next = nullptr;
+};
+
+namespace {
+
+struct WakeGate {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+thread_local Worker* tls_worker = nullptr;
+thread_local FinishScope* tls_finish = nullptr;
+thread_local Runtime* tls_runtime = nullptr;
+
+}  // namespace
+
+/// Per-worker state: deque, PRNG for victim selection, task freelist, stats.
+class Worker {
+ public:
+  Worker(Runtime* rt, int index)
+      : runtime(rt), index(index), rng(0x9e3779b9u + index * 0x85ebca6bu) {}
+
+  ~Worker() {
+    while (free_list != nullptr) {
+      Task* next = free_list->pool_next;
+      delete free_list;
+      free_list = next;
+    }
+  }
+
+  Task* allocate() {
+    ++stat_spawned;
+    if (free_list != nullptr) {
+      Task* t = free_list;
+      free_list = t->pool_next;
+      return t;
+    }
+    return new Task();
+  }
+
+  void recycle(Task* t) {
+    t->fn.reset();
+    t->ief = nullptr;
+    t->pool_next = free_list;
+    free_list = t;
+  }
+
+  Runtime* const runtime;
+  const int index;
+  ChaseLevDeque<Task> deque;
+  Xoshiro256 rng;
+  Task* free_list = nullptr;
+  std::uint64_t stat_executed = 0;
+  std::uint64_t stat_spawned = 0;
+  std::uint64_t stat_steals = 0;
+  std::uint64_t stat_failed_rounds = 0;
+  WakeGate gate;
+};
+
+namespace {
+
+/// Execute one task with its IEF installed, then signal completion.
+void execute_task(Worker* w, Task* t) {
+  FinishScope* prev = tls_finish;
+  tls_finish = t->ief;
+  t->fn();
+  HJDES_DCHECK(!detail::current_thread_holds_locks(),
+               "task finished while still holding try_lock locks");
+  tls_finish = prev;
+  t->ief->pending.fetch_sub(1, std::memory_order_acq_rel);
+  ++w->stat_executed;
+  w->recycle(t);
+}
+
+/// Try to obtain a task: own deque first, then random victims, then a sweep
+/// over every worker. Returns nullptr when nothing was found this round.
+Task* find_task(Runtime* rt, Worker* w,
+                std::vector<std::unique_ptr<Worker>>& workers) {
+  if (Task* t = w->deque.pop()) return t;
+  const int n = static_cast<int>(workers.size());
+  if (n == 1) return nullptr;
+  for (int attempt = 0; attempt < 2 * n; ++attempt) {
+    int victim = static_cast<int>(w->rng.below(static_cast<std::uint64_t>(n)));
+    if (victim == w->index) continue;
+    if (Task* t = workers[static_cast<std::size_t>(victim)]->deque.steal()) {
+      ++w->stat_steals;
+      return t;
+    }
+  }
+  for (int victim = 0; victim < n; ++victim) {
+    if (victim == w->index) continue;
+    if (Task* t = workers[static_cast<std::size_t>(victim)]->deque.steal()) {
+      ++w->stat_steals;
+      return t;
+    }
+  }
+  ++w->stat_failed_rounds;
+  (void)rt;
+  return nullptr;
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config)
+    : spin_before_park_(config.spin_before_park) {
+  HJDES_CHECK(config.workers >= 1, "Runtime requires at least one worker");
+  workers_.reserve(static_cast<std::size_t>(config.workers));
+  for (int i = 0; i < config.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i));
+  }
+  threads_.reserve(static_cast<std::size_t>(config.workers - 1));
+  for (int i = 1; i < config.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Runtime::~Runtime() {
+  shutdown_.store(true, std::memory_order_seq_cst);
+  wake_all();
+  for (auto& t : threads_) t.join();
+}
+
+Runtime* Runtime::current() { return tls_runtime; }
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s;
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->stat_executed;
+    s.tasks_spawned += w->stat_spawned;
+    s.steals += w->stat_steals;
+    s.failed_steal_rounds += w->stat_failed_rounds;
+  }
+  return s;
+}
+
+void Runtime::wake_all() {
+  // Bump the epoch before notifying: a worker that re-scanned and saw empty
+  // deques recorded the pre-bump epoch, so its wait predicate fails and it
+  // re-scans instead of sleeping through this wakeup.
+  wake_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (idle_workers_.load(std::memory_order_seq_cst) > 0) {
+    for (auto& w : workers_) {
+      std::scoped_lock guard(w->gate.mu);
+      w->gate.cv.notify_all();
+    }
+  }
+}
+
+void Runtime::run(Thunk root) {
+  HJDES_CHECK(tls_worker == nullptr, "nested Runtime::run is not allowed");
+  HJDES_CHECK(!running_.exchange(true, std::memory_order_acq_rel),
+              "Runtime::run is not reentrant");
+  Worker* self = workers_[0].get();
+  tls_worker = self;
+  tls_runtime = this;
+  finish(std::move(root));
+  tls_worker = nullptr;
+  tls_runtime = nullptr;
+  running_.store(false, std::memory_order_release);
+}
+
+void Runtime::worker_main(int index) {
+  Worker* self = workers_[static_cast<std::size_t>(index)].get();
+  tls_worker = self;
+  tls_runtime = this;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    Task* t = find_task(this, self, workers_);
+    if (t != nullptr) {
+      execute_task(self, t);
+      continue;
+    }
+    // Idle path: spin briefly, then park until the wake epoch changes.
+    int spins = 0;
+    std::uint64_t epoch = wake_epoch_.load(std::memory_order_seq_cst);
+    bool got_work = false;
+    while (spins++ < spin_before_park_) {
+      if ((t = find_task(this, self, workers_)) != nullptr) {
+        got_work = true;
+        break;
+      }
+      if (spins % 16 == 0) std::this_thread::yield();
+      cpu_relax();
+    }
+    if (got_work) {
+      execute_task(self, t);
+      continue;
+    }
+    idle_workers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock guard(self->gate.mu);
+      self->gate.cv.wait_for(guard, std::chrono::milliseconds(1), [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               wake_epoch_.load(std::memory_order_seq_cst) != epoch;
+      });
+    }
+    idle_workers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  tls_worker = nullptr;
+  tls_runtime = nullptr;
+}
+
+void async(Thunk fn) {
+  Worker* w = tls_worker;
+  HJDES_CHECK(w != nullptr, "async() outside of a Runtime::run worker");
+  FinishScope* scope = tls_finish;
+  HJDES_CHECK(scope != nullptr, "async() with no enclosing finish");
+  scope->pending.fetch_add(1, std::memory_order_acq_rel);
+  Task* t = w->allocate();
+  t->fn = std::move(fn);
+  t->ief = scope;
+  w->deque.push(t);
+  w->runtime->wake_all();
+}
+
+void finish(Thunk body) {
+  Worker* w = tls_worker;
+  HJDES_CHECK(w != nullptr, "finish() outside of a Runtime::run worker");
+  Runtime* rt = w->runtime;
+  FinishScope scope;
+  FinishScope* prev = tls_finish;
+  tls_finish = &scope;
+  body();
+  tls_finish = prev;
+  // Help-first join: execute available tasks until every transitive child
+  // of this scope has completed. Tasks from unrelated scopes may run here;
+  // that only accelerates their finishes.
+  int idle_spins = 0;
+  while (scope.pending.load(std::memory_order_acquire) != 0) {
+    Task* t = find_task(rt, w, rt->workers_);
+    if (t != nullptr) {
+      // execute_task needs tls_finish to be irrelevant: it installs t->ief.
+      execute_task(w, t);
+      idle_spins = 0;
+    } else if (++idle_spins < 128) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+      idle_spins = 0;
+    }
+  }
+}
+
+bool help_one() {
+  Worker* w = tls_worker;
+  if (w == nullptr) return false;
+  Task* t = find_task(w->runtime, w, w->runtime->workers_);
+  if (t == nullptr) return false;
+  execute_task(w, t);
+  return true;
+}
+
+bool in_worker() { return tls_worker != nullptr; }
+
+int current_worker_id() {
+  return tls_worker == nullptr ? -1 : tls_worker->index;
+}
+
+}  // namespace hjdes::hj

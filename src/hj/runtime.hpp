@@ -1,0 +1,122 @@
+#pragma once
+// The HJlib-analog task runtime: async/finish over a work-stealing scheduler.
+//
+// Programming model (paper §3.1):
+//   * `async(fn)`  — spawn fn as a child task of the current task, to run
+//     before / after / in parallel with the parent's continuation.
+//   * `finish(fn)` — run fn and wait until every async transitively spawned
+//     inside it has completed (fn's Immediately Enclosing Finish).
+//
+// Scheduling: every worker owns a Chase–Lev deque; `async` pushes onto the
+// calling worker's deque; idle workers steal from random victims. A task
+// blocked at `finish` executes other tasks while waiting (help-first join),
+// which preserves HJlib's property that an unbounded number of dynamic tasks
+// runs on a fixed number of worker threads.
+//
+// Deadlock freedom: async/finish alone cannot deadlock (the finish-scope tree
+// is acyclic and helping keeps every worker productive); `isolated` uses
+// address-ordered acquisition; `try_lock` never blocks (see locks.hpp). These
+// are the same arguments as paper §3.2/§4.3.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "support/platform.hpp"
+#include "support/unique_function.hpp"
+
+namespace hjdes::hj {
+
+class Worker;
+struct Task;
+
+/// Aggregate scheduler statistics, summed over workers after a run.
+struct RuntimeStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_rounds = 0;
+};
+
+/// Configuration for a Runtime instance.
+struct RuntimeConfig {
+  /// Number of worker threads, including the thread that calls run().
+  int workers = 1;
+  /// Spin iterations before an idle worker parks on the wake condvar.
+  int spin_before_park = 256;
+};
+
+/// A fixed pool of workers executing dynamically created tasks.
+///
+/// The thread calling run() becomes worker 0 for the duration of the call;
+/// `workers - 1` additional threads are spawned at construction and parked
+/// between runs. Runtimes may be created and destroyed repeatedly; nested
+/// run() calls are not allowed.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+  explicit Runtime(int workers) : Runtime(RuntimeConfig{.workers = workers}) {}
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute `root` to completion, including all tasks it transitively
+  /// spawns (an implicit top-level finish). Must not be called from inside
+  /// a task or concurrently from two threads.
+  void run(Thunk root);
+
+  /// Number of workers (>= 1).
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Statistics accumulated since construction.
+  RuntimeStats stats() const;
+
+  /// The runtime driving the calling thread, or nullptr outside run().
+  static Runtime* current();
+
+ private:
+  friend class Worker;
+  friend void async(Thunk fn);
+  friend void finish(Thunk body);
+  friend bool help_one();
+
+  void worker_main(int index);
+  void wake_all();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  HJDES_CACHE_ALIGNED std::atomic<bool> shutdown_{false};
+  HJDES_CACHE_ALIGNED std::atomic<bool> running_{false};
+  // Wake epoch: bumped whenever new work may exist; parked workers wait for
+  // a change. See runtime.cpp for the lost-wakeup argument.
+  HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> wake_epoch_{0};
+  HJDES_CACHE_ALIGNED std::atomic<int> idle_workers_{0};
+
+  const int spin_before_park_;
+};
+
+/// Spawn `fn` as an async child of the current task. Must be called from a
+/// worker thread (i.e. inside Runtime::run()).
+void async(Thunk fn);
+
+/// Run `body` and wait for all asyncs transitively spawned within it.
+/// While waiting, the calling worker executes other available tasks.
+void finish(Thunk body);
+
+/// Cooperative helping: if the calling thread is a worker, try to execute
+/// one available task (own deque first, then stealing). Returns true when a
+/// task was executed. Blocking constructs (e.g. Future::wait) use this to
+/// keep the busy-leaves property instead of spinning.
+bool help_one();
+
+/// True when the calling thread is currently an hj worker.
+bool in_worker();
+
+/// Index of the calling worker in [0, workers), or -1 outside run().
+int current_worker_id();
+
+}  // namespace hjdes::hj

@@ -1,0 +1,322 @@
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hj/runtime.hpp"
+#include "netsim/engines.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+#include "support/small_vector.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::netsim {
+namespace {
+
+inline constexpr Time kFarFuture = std::numeric_limits<Time>::max() / 2;
+
+/// A packet in flight.
+struct Pkt {
+  Time t;
+  std::uint32_t packet_id;
+  NodeId dst;
+  std::uint32_t hops;
+};
+
+/// Per-node CMB state. All fields are guarded by `lock` except `scheduled`.
+struct CmbNode {
+  Spinlock lock;
+  /// queues[p] for p < in_links: link ports; queues[in_links] = injections.
+  std::vector<RingDeque<Pkt>> queues;
+  /// Watermark per link port: no future arrival on port p is below
+  /// last_received[p]. (The injection port needs none: fully pre-queued.)
+  std::vector<Time> last_received;
+  std::vector<Time> last_null_sent;  ///< per out-link index
+  Time busy_until = 0;
+  bool done = false;
+  std::atomic<bool> scheduled{false};
+};
+
+/// Buffered message, sent after the sender's node lock is released so at
+/// most one node lock is ever held per thread (cycles are safe).
+struct OutMsg {
+  NodeId target;
+  std::int32_t port;  ///< in-port index at the target
+  Time t;
+  bool is_null;       ///< null message: watermark only, no packet
+  Pkt pkt{};          ///< valid when !is_null
+};
+
+class CmbEngine {
+ public:
+  CmbEngine(const Topology& topology, const Traffic& traffic, Time end_time,
+            const CmbConfig& config)
+      : topo_(topology),
+        end_time_(end_time),
+        cfg_(config),
+        nodes_(topology.node_count()) {
+    HJDES_CHECK(end_time > 0, "end_time must be positive");
+    HJDES_CHECK(cfg_.workers >= 1, "workers must be >= 1");
+    result_.packets.resize(traffic.injections.size());
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      CmbNode& n = nodes_[i];
+      const std::size_t ports = topo_.in_links(id).size();
+      n.queues.resize(ports + 1);  // + injection pseudo-port
+      n.last_received.assign(ports, 0);
+      n.last_null_sent.assign(topo_.out_links(id).size(),
+                              std::numeric_limits<Time>::min());
+    }
+    // Pre-queue every injection on its source's injection pseudo-port
+    // (traffic is time-sorted, so per-port FIFO order holds).
+    Time prev = 0;
+    for (const Injection& inj : traffic.injections) {
+      HJDES_CHECK(inj.src != inj.dst, "src == dst injection");
+      HJDES_CHECK(inj.at >= 0, "negative injection time");
+      HJDES_CHECK(inj.at >= prev, "traffic must be sorted by time");
+      prev = inj.at;
+      PacketRecord& rec =
+          result_.packets[static_cast<std::size_t>(inj.packet_id)];
+      HJDES_CHECK(rec.src == kNoNode, "duplicate packet id");
+      rec.packet_id = inj.packet_id;
+      rec.src = inj.src;
+      rec.dst = inj.dst;
+      rec.injected = inj.at;
+      CmbNode& src = nodes_[static_cast<std::size_t>(inj.src)];
+      src.queues.back().push_back(Pkt{inj.at, inj.packet_id, inj.dst, 0});
+    }
+  }
+
+  NetSimResult run() {
+    hj::Runtime rt(cfg_.workers);
+    rt.run([this] {
+      // Kick every node once: inject, emit initial null promises.
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        schedule(static_cast<NodeId>(i));
+      }
+    });
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      HJDES_CHECK(nodes_[i].done,
+                  "CMB quiesced before every node reached end_time "
+                  "(null-message protocol bug)");
+    }
+    result_.events_processed = stat_events_.load();
+    result_.forwards = stat_forwards_.load();
+    result_.null_messages = stat_nulls_.load();
+    result_.tasks_spawned = stat_tasks_.load();
+    return result_;
+  }
+
+ private:
+  CmbNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  void schedule(NodeId id) {
+    // `scheduled` doubles as drain ownership (actor protocol): it is set by
+    // the spawner, held through processing AND outbox flushing, and released
+    // only after a locked recheck finds no work. This serializes flushes per
+    // node, preserving link FIFO order.
+    CmbNode& n = node(id);
+    if (!n.scheduled.exchange(true, std::memory_order_seq_cst)) {
+      stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+      hj::async([this, id] { drain(id); });
+    }
+  }
+
+  /// Candidate (t, p) is processable iff no other port can still deliver an
+  /// event ordering before it — same merge discipline as the circuit DES.
+  /// The injection pseudo-port is always fully materialized, so when its
+  /// queue is empty it can never interfere.
+  bool candidate_safe(const CmbNode& n, std::size_t link_ports, Time t,
+                      std::size_t p) const {
+    for (std::size_t q = 0; q <= link_ports; ++q) {
+      if (q == p || !n.queues[q].empty()) continue;
+      const Time lr = q == link_ports ? kFarFuture : n.last_received[q];
+      if (lr > t) continue;
+      if (lr == t && q > p) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void drain(NodeId id) {
+    CmbNode& n = node(id);
+    for (;;) {
+      pass(id);
+      n.scheduled.store(false, std::memory_order_seq_cst);
+      if (!work_pending(id)) return;
+      // Re-claim; if a deliverer spawned a fresh drain in the gap, it owns
+      // the node now.
+      if (n.scheduled.exchange(true, std::memory_order_seq_cst)) return;
+    }
+  }
+
+  /// One processing pass: drain processable events, emit null promises,
+  /// flush the outbox. Caller owns the node via `scheduled`.
+  void pass(NodeId id) {
+    CmbNode& n = node(id);
+    SmallVector<OutMsg, 8> outbox;
+    std::uint64_t local_events = 0;
+    std::uint64_t local_forwards = 0;
+
+    {
+      std::scoped_lock guard(n.lock);
+      if (n.done) return;
+      const std::size_t link_ports = topo_.in_links(id).size();
+      const Time service = topo_.service(id);
+
+      for (;;) {
+        // Smallest (head time, port) across all ports incl. injections.
+        std::size_t best = SIZE_MAX;
+        for (std::size_t p = 0; p <= link_ports; ++p) {
+          if (n.queues[p].empty()) continue;
+          if (best == SIZE_MAX ||
+              n.queues[p].front().t < n.queues[best].front().t) {
+            best = p;
+          }
+        }
+        if (best == SIZE_MAX) break;
+        const Time t = n.queues[best].front().t;
+        if (t >= end_time_) break;  // beyond horizon: leave unprocessed
+        if (!candidate_safe(n, link_ports, t, best)) break;
+
+        Pkt pkt = n.queues[best].pop_front();
+        ++local_events;
+        if (id == pkt.dst) {
+          PacketRecord& rec =
+              result_.packets[static_cast<std::size_t>(pkt.packet_id)];
+          rec.delivered = pkt.t;
+          rec.hops = pkt.hops;
+          continue;
+        }
+        LinkId li = topo_.next_hop(id, pkt.dst);
+        if (li < 0) continue;  // unreachable: drop
+        const Time depart = std::max(pkt.t, n.busy_until) + service;
+        n.busy_until = depart;
+        const Link& link = topo_.link(li);
+        ++local_forwards;
+        outbox.push_back(OutMsg{link.to, topo_.in_port(li),
+                                depart + link.latency, false,
+                                Pkt{depart + link.latency, pkt.packet_id,
+                                    pkt.dst, pkt.hops + 1}});
+      }
+
+      // Null promises: a lower bound on anything this node may still send —
+      // it processes no further event before `horizon`, its server is busy
+      // until busy_until, and each hop adds service + latency.
+      const Time horizon = node_horizon(n, link_ports);
+      auto out_links = topo_.out_links(id);
+      for (std::size_t k = 0; k < out_links.size(); ++k) {
+        const Link& link = topo_.link(out_links[k]);
+        const Time null_ts = std::min<Time>(
+            end_time_, std::max(horizon, n.busy_until) + service +
+                           link.latency);
+        if (null_ts > n.last_null_sent[k]) {
+          n.last_null_sent[k] = null_ts;
+          outbox.push_back(OutMsg{link.to, topo_.in_port(out_links[k]),
+                                  null_ts, true, Pkt{}});
+        }
+      }
+      if (horizon >= end_time_) n.done = true;
+    }
+
+    // Deliver outside our own lock: one lock at a time, cycles are safe.
+    for (const OutMsg& m : outbox) {
+      deliver(m);
+      schedule(m.target);
+    }
+    if (local_events != 0) {
+      stat_events_.fetch_add(local_events, std::memory_order_relaxed);
+    }
+    if (local_forwards != 0) {
+      stat_forwards_.fetch_add(local_forwards, std::memory_order_relaxed);
+    }
+  }
+
+  void deliver(const OutMsg& m) {
+    CmbNode& n = node(m.target);
+    std::scoped_lock guard(n.lock);
+    const auto p = static_cast<std::size_t>(m.port);
+    if (m.is_null) {
+      stat_nulls_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      HJDES_DCHECK(n.queues[p].empty() || n.queues[p].back().t <= m.t,
+                   "link FIFO violated");
+      n.queues[p].push_back(m.pkt);
+    }
+    Time& lr = n.last_received[p];
+    lr = std::max(lr, m.t);
+  }
+
+  /// Earliest time this node could still process an event at.
+  Time node_horizon(const CmbNode& n, std::size_t link_ports) const {
+    Time horizon = kFarFuture;
+    for (std::size_t p = 0; p <= link_ports; ++p) {
+      Time bound;
+      if (!n.queues[p].empty()) {
+        bound = n.queues[p].front().t;
+      } else {
+        bound = p == link_ports ? kFarFuture : n.last_received[p];
+      }
+      horizon = std::min(horizon, bound);
+    }
+    return horizon;
+  }
+
+  /// Locked recheck used by the drain loop after releasing ownership: is
+  /// there a processable event, or an unsent (improved) null promise?
+  bool work_pending(NodeId id) {
+    CmbNode& n = node(id);
+    std::scoped_lock guard(n.lock);
+    if (n.done) return false;
+    const std::size_t link_ports = topo_.in_links(id).size();
+    std::size_t best = SIZE_MAX;
+    for (std::size_t p = 0; p <= link_ports; ++p) {
+      if (n.queues[p].empty()) continue;
+      if (best == SIZE_MAX ||
+          n.queues[p].front().t < n.queues[best].front().t) {
+        best = p;
+      }
+    }
+    if (best != SIZE_MAX) {
+      const Time t = n.queues[best].front().t;
+      if (t < end_time_ && candidate_safe(n, link_ports, t, best)) {
+        return true;
+      }
+    }
+    const Time horizon = node_horizon(n, link_ports);
+    if (horizon >= end_time_) return true;  // done-marking still pending
+    const Time service = topo_.service(id);
+    auto out_links = topo_.out_links(id);
+    for (std::size_t k = 0; k < out_links.size(); ++k) {
+      const Link& link = topo_.link(out_links[k]);
+      const Time null_ts = std::min<Time>(
+          end_time_,
+          std::max(horizon, n.busy_until) + service + link.latency);
+      if (null_ts > n.last_null_sent[k]) return true;
+    }
+    return false;
+  }
+
+  const Topology& topo_;
+  const Time end_time_;
+  const CmbConfig cfg_;
+  std::vector<CmbNode> nodes_;
+  NetSimResult result_;
+
+  std::atomic<std::uint64_t> stat_events_{0};
+  std::atomic<std::uint64_t> stat_forwards_{0};
+  std::atomic<std::uint64_t> stat_nulls_{0};
+  std::atomic<std::uint64_t> stat_tasks_{0};
+};
+
+}  // namespace
+
+NetSimResult run_cmb(const Topology& topology, const Traffic& traffic,
+                     Time end_time, const CmbConfig& config) {
+  return CmbEngine(topology, traffic, end_time, config).run();
+}
+
+}  // namespace hjdes::netsim

@@ -1,0 +1,43 @@
+#pragma once
+// The netsim engines. Shared node semantics (identical in both engines, and
+// the reason their outputs are bit-comparable):
+//
+//  * every node is a single-server FIFO: a packet arriving at t departs at
+//    max(t, busy_until) + service, advancing busy_until;
+//  * routing follows the topology's deterministic next-hop table;
+//  * per-node processing order is the (time, in-port, arrival-order) merge,
+//    injections arriving on a pseudo-port ordered after all link ports;
+//  * arrivals at or after `end_time` are not processed (open horizon).
+//
+// run_global_list — the related-work approach #4 of the paper (§2): one
+//   global event list processed in timestamp order. Reference engine.
+// run_cmb — approach #5 (what the paper does for circuits): space
+//   decomposition with Chandy-Misra-Bryant conservative synchronization.
+//   Because network topologies have cycles, termination cannot rely on
+//   "final NULL" messages as the circuit DES does; instead nodes exchange
+//   *progressive* null messages carrying lower bounds
+//   max(horizon, busy_until) + service + latency (positive lookahead), so
+//   local clocks provably reach end_time. Runs on the hj runtime with
+//   actor-style node activation.
+
+#include "netsim/result.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/traffic.hpp"
+
+namespace hjdes::netsim {
+
+/// Sequential global-event-list simulation up to `end_time`.
+NetSimResult run_global_list(const Topology& topology, const Traffic& traffic,
+                             Time end_time);
+
+/// Configuration for the conservative parallel engine.
+struct CmbConfig {
+  int workers = 1;
+};
+
+/// Conservative (CMB) parallel simulation up to `end_time`. Produces
+/// per-packet records bit-identical to run_global_list.
+NetSimResult run_cmb(const Topology& topology, const Traffic& traffic,
+                     Time end_time, const CmbConfig& config);
+
+}  // namespace hjdes::netsim

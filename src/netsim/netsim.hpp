@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the netsim substrate: topology + traffic + engines.
+// See engines.hpp for the node semantics shared by both engines.
+
+#include "netsim/engines.hpp"
+#include "netsim/result.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/traffic.hpp"

@@ -1,0 +1,58 @@
+#include "netsim/result.hpp"
+
+#include <sstream>
+
+namespace hjdes::netsim {
+
+std::uint64_t NetSimResult::delivered_count() const {
+  std::uint64_t n = 0;
+  for (const PacketRecord& p : packets) n += (p.delivered >= 0);
+  return n;
+}
+
+double NetSimResult::average_latency() const {
+  std::uint64_t n = 0;
+  std::uint64_t sum = 0;
+  for (const PacketRecord& p : packets) {
+    if (p.delivered >= 0) {
+      ++n;
+      sum += static_cast<std::uint64_t>(p.delivered - p.injected);
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+bool same_behaviour(const NetSimResult& a, const NetSimResult& b) {
+  return a.packets == b.packets && a.events_processed == b.events_processed &&
+         a.forwards == b.forwards;
+}
+
+std::string diff_behaviour(const NetSimResult& a, const NetSimResult& b) {
+  std::ostringstream out;
+  if (a.packets.size() != b.packets.size()) {
+    out << "packet count differs: " << a.packets.size() << " vs "
+        << b.packets.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    const PacketRecord& pa = a.packets[i];
+    const PacketRecord& pb = b.packets[i];
+    if (!(pa == pb)) {
+      out << "packet " << i << ": delivered " << pa.delivered << " vs "
+          << pb.delivered << ", hops " << pa.hops << " vs " << pb.hops;
+      return out.str();
+    }
+  }
+  if (a.events_processed != b.events_processed) {
+    out << "events_processed differs: " << a.events_processed << " vs "
+        << b.events_processed;
+    return out.str();
+  }
+  if (a.forwards != b.forwards) {
+    out << "forwards differs: " << a.forwards << " vs " << b.forwards;
+    return out.str();
+  }
+  return "";
+}
+
+}  // namespace hjdes::netsim

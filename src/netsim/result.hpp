@@ -1,0 +1,53 @@
+#pragma once
+// Results of a network simulation run and their comparison. As with the
+// circuit DES, per-node processing order is the deterministic
+// (time, in-port, arrival) merge, so independent engines must agree on every
+// per-packet record bit-for-bit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace hjdes::netsim {
+
+/// Fate of one injected packet.
+struct PacketRecord {
+  std::uint32_t packet_id = 0;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Time injected = 0;
+  Time delivered = -1;  ///< arrival time at dst; -1 if still in flight at end
+  std::uint32_t hops = 0;
+
+  friend bool operator==(const PacketRecord& a,
+                         const PacketRecord& b) noexcept {
+    return a.packet_id == b.packet_id && a.src == b.src && a.dst == b.dst &&
+           a.injected == b.injected && a.delivered == b.delivered &&
+           a.hops == b.hops;
+  }
+};
+
+/// Complete result of one network simulation.
+struct NetSimResult {
+  /// One record per injection, indexed by packet id.
+  std::vector<PacketRecord> packets;
+
+  std::uint64_t events_processed = 0;  ///< packet arrivals processed
+  std::uint64_t forwards = 0;          ///< store-and-forward hops taken
+  std::uint64_t null_messages = 0;     ///< CMB engine only
+  std::uint64_t tasks_spawned = 0;     ///< CMB engine only
+
+  std::uint64_t delivered_count() const;
+  double average_latency() const;  ///< over delivered packets
+};
+
+/// True when the observable behaviour (per-packet records and event/forward
+/// counts) is identical.
+bool same_behaviour(const NetSimResult& a, const NetSimResult& b);
+
+/// Human-readable first difference, "" when behaviourally equal.
+std::string diff_behaviour(const NetSimResult& a, const NetSimResult& b);
+
+}  // namespace hjdes::netsim

@@ -1,0 +1,183 @@
+#include "netsim/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "support/rng.hpp"
+
+namespace hjdes::netsim {
+
+bool Topology::strongly_connected() const noexcept {
+  const std::size_t n = node_count();
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (from != dst &&
+          next_hop_[from * n + dst] == static_cast<LinkId>(-1)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+NodeId TopologyBuilder::add_node(Time service_time) {
+  HJDES_CHECK(service_time > 0, "service time must be positive (lookahead)");
+  service_.push_back(service_time);
+  return static_cast<NodeId>(service_.size() - 1);
+}
+
+LinkId TopologyBuilder::add_link(NodeId from, NodeId to, Time latency) {
+  HJDES_CHECK(latency > 0, "link latency must be positive (lookahead)");
+  HJDES_CHECK(from >= 0 && static_cast<std::size_t>(from) < service_.size(),
+              "link source out of range");
+  HJDES_CHECK(to >= 0 && static_cast<std::size_t>(to) < service_.size(),
+              "link target out of range");
+  HJDES_CHECK(from != to, "self-loop links are not allowed");
+  links_.push_back(Link{from, to, latency});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+Topology TopologyBuilder::build() {
+  Topology t;
+  t.service_ = std::move(service_);
+  t.links_ = std::move(links_);
+  const std::size_t n = t.service_.size();
+  const std::size_t m = t.links_.size();
+
+  // CSR adjacency, preserving link-id order within each node.
+  t.out_begin_.assign(n + 1, 0);
+  t.in_begin_.assign(n + 1, 0);
+  for (const Link& l : t.links_) {
+    ++t.out_begin_[static_cast<std::size_t>(l.from) + 1];
+    ++t.in_begin_[static_cast<std::size_t>(l.to) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    t.out_begin_[i + 1] += t.out_begin_[i];
+    t.in_begin_[i + 1] += t.in_begin_[i];
+  }
+  t.out_.resize(m);
+  t.in_.resize(m);
+  t.in_port_.resize(m);
+  std::vector<std::uint32_t> out_fill(t.out_begin_.begin(),
+                                      t.out_begin_.end() - 1);
+  std::vector<std::uint32_t> in_fill(t.in_begin_.begin(),
+                                     t.in_begin_.end() - 1);
+  for (std::size_t li = 0; li < m; ++li) {
+    const Link& l = t.links_[li];
+    t.out_[out_fill[static_cast<std::size_t>(l.from)]++] =
+        static_cast<LinkId>(li);
+    const std::uint32_t slot = in_fill[static_cast<std::size_t>(l.to)]++;
+    t.in_[slot] = static_cast<LinkId>(li);
+    t.in_port_[li] = static_cast<int>(
+        slot - t.in_begin_[static_cast<std::size_t>(l.to)]);
+  }
+
+  // All-pairs next-hop via Dijkstra from every source. Cost of traversing a
+  // link = service(from) + latency; ties resolved toward smaller node ids so
+  // routing (and therefore the whole simulation) is deterministic.
+  t.next_hop_.assign(n * n, static_cast<LinkId>(-1));
+  using QEntry = std::pair<Time, NodeId>;  // (dist, node)
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<Time> dist(n, std::numeric_limits<Time>::max());
+    std::vector<LinkId> first_link(n, static_cast<LinkId>(-1));
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.push({0, static_cast<NodeId>(src)});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      for (LinkId li : t.out_links(u)) {
+        const Link& l = t.links_[static_cast<std::size_t>(li)];
+        const Time nd = d + t.service_[static_cast<std::size_t>(u)] +
+                        l.latency;
+        LinkId via = static_cast<std::size_t>(u) == src
+                         ? li
+                         : first_link[static_cast<std::size_t>(u)];
+        auto& cur = dist[static_cast<std::size_t>(l.to)];
+        auto& cur_link = first_link[static_cast<std::size_t>(l.to)];
+        if (nd < cur || (nd == cur && via < cur_link)) {
+          cur = nd;
+          cur_link = via;
+          pq.push({nd, l.to});
+        }
+      }
+    }
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst != src) t.next_hop_[src * n + dst] = first_link[dst];
+    }
+  }
+  return t;
+}
+
+Topology ring_topology(int n, Time service_time, Time latency) {
+  HJDES_CHECK(n >= 2, "ring needs at least 2 nodes");
+  TopologyBuilder tb;
+  for (int i = 0; i < n; ++i) tb.add_node(service_time);
+  for (int i = 0; i < n; ++i) {
+    tb.add_link(i, (i + 1) % n, latency);
+    tb.add_link((i + 1) % n, i, latency);
+  }
+  return tb.build();
+}
+
+Topology torus_topology(int side, Time service_time, Time latency) {
+  HJDES_CHECK(side >= 2, "torus needs side >= 2");
+  TopologyBuilder tb;
+  for (int i = 0; i < side * side; ++i) tb.add_node(service_time);
+  auto id = [side](int x, int y) {
+    return ((y + side) % side) * side + ((x + side) % side);
+  };
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      tb.add_link(id(x, y), id(x + 1, y), latency);
+      tb.add_link(id(x + 1, y), id(x, y), latency);
+      tb.add_link(id(x, y), id(x, y + 1), latency);
+      tb.add_link(id(x, y + 1), id(x, y), latency);
+    }
+  }
+  return tb.build();
+}
+
+Topology star_topology(int leaves, Time service_time, Time latency) {
+  HJDES_CHECK(leaves >= 1, "star needs at least one leaf");
+  TopologyBuilder tb;
+  NodeId hub = tb.add_node(service_time);
+  for (int i = 0; i < leaves; ++i) {
+    NodeId leaf = tb.add_node(service_time);
+    tb.add_link(hub, leaf, latency);
+    tb.add_link(leaf, hub, latency);
+  }
+  return tb.build();
+}
+
+Topology random_topology(int nodes, int extra, Time max_service,
+                         Time max_latency, std::uint64_t seed) {
+  HJDES_CHECK(nodes >= 2, "random topology needs >= 2 nodes");
+  HJDES_CHECK(max_service >= 1 && max_latency >= 1, "positive bounds needed");
+  Xoshiro256 rng(seed);
+  TopologyBuilder tb;
+  for (int i = 0; i < nodes; ++i) {
+    tb.add_node(1 + static_cast<Time>(rng.below(
+                        static_cast<std::uint64_t>(max_service))));
+  }
+  // Directed ring backbone guarantees strong connectivity.
+  for (int i = 0; i < nodes; ++i) {
+    tb.add_link(i, (i + 1) % nodes,
+                1 + static_cast<Time>(
+                        rng.below(static_cast<std::uint64_t>(max_latency))));
+  }
+  for (int e = 0; e < extra; ++e) {
+    NodeId a = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+    NodeId b = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+    if (a == b) continue;
+    tb.add_link(a, b,
+                1 + static_cast<Time>(
+                        rng.below(static_cast<std::uint64_t>(max_latency))));
+  }
+  return tb.build();
+}
+
+}  // namespace hjdes::netsim

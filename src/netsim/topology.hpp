@@ -1,0 +1,119 @@
+#pragma once
+// Network topology for the netsim substrate — the paper's §6 direction
+// ("exploring larger-scale DES application, such as wireless mobile ad hoc
+// network simulation"). Unlike circuits, network graphs may contain cycles;
+// conservative simulation then relies on per-link lookahead (service +
+// latency > 0) to keep null-message timestamps advancing.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes::netsim {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+using Time = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// One directed FIFO link.
+struct Link {
+  NodeId from;
+  NodeId to;
+  Time latency;  ///< > 0
+};
+
+/// Immutable network graph with per-node store-and-forward service times and
+/// precomputed shortest-path routing. Thread-safe for concurrent reads.
+class Topology {
+ public:
+  std::size_t node_count() const noexcept { return service_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  /// Per-packet service (processing) time of a node; > 0.
+  Time service(NodeId n) const noexcept {
+    return service_[static_cast<std::size_t>(n)];
+  }
+
+  const Link& link(LinkId l) const noexcept {
+    return links_[static_cast<std::size_t>(l)];
+  }
+
+  /// Outgoing link ids of `n`.
+  std::span<const LinkId> out_links(NodeId n) const noexcept {
+    return {out_.data() + out_begin_[static_cast<std::size_t>(n)],
+            out_.data() + out_begin_[static_cast<std::size_t>(n) + 1]};
+  }
+
+  /// Incoming link ids of `n`. The in-port index of a link at its target is
+  /// its position in this span.
+  std::span<const LinkId> in_links(NodeId n) const noexcept {
+    return {in_.data() + in_begin_[static_cast<std::size_t>(n)],
+            in_.data() + in_begin_[static_cast<std::size_t>(n) + 1]};
+  }
+
+  /// Position of link `l` within in_links(link(l).to) — the stable in-port
+  /// index used for deterministic merge ordering.
+  int in_port(LinkId l) const noexcept {
+    return in_port_[static_cast<std::size_t>(l)];
+  }
+
+  /// Next-hop link from `from` toward `dst` along the minimum-cost path
+  /// (cost = service + latency per hop; ties broken by smaller node id, so
+  /// routing is deterministic). Returns -1 when unreachable or from == dst.
+  LinkId next_hop(NodeId from, NodeId dst) const noexcept {
+    return next_hop_[static_cast<std::size_t>(from) * node_count() +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  /// True when every node can reach every other node.
+  bool strongly_connected() const noexcept;
+
+ private:
+  friend class TopologyBuilder;
+  std::vector<Time> service_;
+  std::vector<Link> links_;
+  std::vector<std::uint32_t> out_begin_, in_begin_;
+  std::vector<LinkId> out_, in_;
+  std::vector<int> in_port_;
+  std::vector<LinkId> next_hop_;  // [from * N + dst]
+};
+
+/// Incremental construction + routing precomputation.
+class TopologyBuilder {
+ public:
+  /// Add a node with the given per-packet service time (> 0).
+  NodeId add_node(Time service_time);
+
+  /// Add a directed link (latency > 0). Self-loops are rejected.
+  LinkId add_link(NodeId from, NodeId to, Time latency);
+
+  /// Freeze: builds CSR adjacency and all-pairs next-hop routing (Dijkstra
+  /// from every node; fine for the topology sizes simulated here).
+  Topology build();
+
+ private:
+  std::vector<Time> service_;
+  std::vector<Link> links_;
+};
+
+/// Bidirectional ring of `n` nodes.
+Topology ring_topology(int n, Time service_time, Time latency);
+
+/// Bidirectional torus grid, side x side.
+Topology torus_topology(int side, Time service_time, Time latency);
+
+/// Star: hub node 0, `leaves` spokes (bidirectional).
+Topology star_topology(int leaves, Time service_time, Time latency);
+
+/// Random strongly-connected graph: a directed ring backbone plus `extra`
+/// random shortcut links; per-node service and per-link latency randomized
+/// within [1, max_service] / [1, max_latency].
+Topology random_topology(int nodes, int extra, Time max_service,
+                         Time max_latency, std::uint64_t seed);
+
+}  // namespace hjdes::netsim

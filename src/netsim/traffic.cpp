@@ -1,0 +1,52 @@
+#include "netsim/traffic.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace hjdes::netsim {
+
+Traffic random_traffic(const Topology& topology, std::size_t packets,
+                       Time horizon, std::uint64_t seed) {
+  HJDES_CHECK(topology.node_count() >= 2, "traffic needs >= 2 nodes");
+  HJDES_CHECK(horizon > 0, "horizon must be positive");
+  Xoshiro256 rng(seed);
+  const auto n = static_cast<std::uint64_t>(topology.node_count());
+  Traffic t;
+  t.injections.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    NodeId src = static_cast<NodeId>(rng.below(n));
+    NodeId dst = static_cast<NodeId>(rng.below(n - 1));
+    if (dst >= src) ++dst;  // uniform over dst != src
+    t.injections.push_back(Injection{
+        0, src, dst,
+        static_cast<Time>(rng.below(static_cast<std::uint64_t>(horizon)))});
+  }
+  std::sort(t.injections.begin(), t.injections.end(),
+            [](const Injection& a, const Injection& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  for (std::size_t i = 0; i < t.injections.size(); ++i) {
+    t.injections[i].packet_id = static_cast<std::uint32_t>(i);
+  }
+  return t;
+}
+
+Traffic hotspot_traffic(const Topology& topology, NodeId sink,
+                        std::size_t per_node, Time interval) {
+  HJDES_CHECK(interval > 0, "interval must be positive");
+  Traffic t;
+  std::uint32_t id = 0;
+  for (std::size_t k = 0; k < per_node; ++k) {
+    for (std::size_t n = 0; n < topology.node_count(); ++n) {
+      if (static_cast<NodeId>(n) == sink) continue;
+      t.injections.push_back(Injection{id++, static_cast<NodeId>(n), sink,
+                                       static_cast<Time>(k) * interval});
+    }
+  }
+  return t;
+}
+
+}  // namespace hjdes::netsim

@@ -1,0 +1,35 @@
+#pragma once
+// Traffic descriptions for the netsim substrate: which packets enter the
+// network where and when.
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace hjdes::netsim {
+
+/// One packet to inject.
+struct Injection {
+  std::uint32_t packet_id;
+  NodeId src;
+  NodeId dst;  ///< != src
+  Time at;     ///< injection (virtual) time, >= 0
+};
+
+/// A full workload: injections with unique ids, per-source non-decreasing
+/// times (validated by the engines).
+struct Traffic {
+  std::vector<Injection> injections;
+};
+
+/// `packets` uniform random (src != dst) injections with times uniform in
+/// [0, horizon). Ids are 0..packets-1 in time order.
+Traffic random_traffic(const Topology& topology, std::size_t packets,
+                       Time horizon, std::uint64_t seed);
+
+/// All-to-one hotspot: every node sends `per_node` packets to `sink`.
+Traffic hotspot_traffic(const Topology& topology, NodeId sink,
+                        std::size_t per_node, Time interval);
+
+}  // namespace hjdes::netsim

@@ -1,0 +1,101 @@
+#pragma once
+// Binary min-heap — the analog of java.util.PriorityQueue that the Galois-Java
+// DES implementation used per node (paper Table 2 attributes ~50% of the
+// sequential gap to it). Unlike std::priority_queue it exposes erase-by-
+// predicate so the optimistic Galois runtime can undo speculative insertions
+// on abort.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+/// Min-heap keyed by `Less` (defaults to operator<, smallest element on top).
+template <typename T, typename Less = std::less<T>>
+class BinaryHeap {
+ public:
+  BinaryHeap() = default;
+  explicit BinaryHeap(Less less) : less_(std::move(less)) {}
+
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  /// Smallest element. Precondition: !empty().
+  const T& top() const noexcept {
+    HJDES_DCHECK(!data_.empty(), "top() on empty BinaryHeap");
+    return data_.front();
+  }
+
+  /// Insert a value, O(log n).
+  void push(T value) {
+    data_.push_back(std::move(value));
+    sift_up(data_.size() - 1);
+  }
+
+  /// Remove and return the smallest element, O(log n). Precondition: !empty().
+  T pop() {
+    HJDES_DCHECK(!data_.empty(), "pop() on empty BinaryHeap");
+    T out = std::move(data_.front());
+    data_.front() = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+    return out;
+  }
+
+  /// Remove the first element matching `pred` (linear scan + O(log n) fixup).
+  /// Returns true when an element was removed. Used only on the optimistic
+  /// engine's abort path, which is expected to be rare.
+  template <typename Pred>
+  bool erase_first(Pred pred) {
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (pred(data_[i])) {
+        data_[i] = std::move(data_.back());
+        data_.pop_back();
+        if (i < data_.size()) {
+          sift_down(i);
+          sift_up(i);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() noexcept { data_.clear(); }
+
+  /// Heap storage in unspecified order; used by tests to validate invariants.
+  const std::vector<T>& raw() const noexcept { return data_; }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!less_(data_[i], data_[parent])) break;
+      std::swap(data_[i], data_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    for (;;) {
+      std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      std::size_t right = left + 1;
+      std::size_t smallest = left;
+      if (right < n && less_(data_[right], data_[left])) smallest = right;
+      if (!less_(data_[smallest], data_[i])) break;
+      std::swap(data_[i], data_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<T> data_;
+  Less less_{};
+};
+
+}  // namespace hjdes

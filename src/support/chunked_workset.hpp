@@ -1,0 +1,105 @@
+#pragma once
+// Concurrent chunked workset — the analog of Galois' chunked FIFO worklists.
+// Threads operate on private chunks and exchange full/empty chunks through a
+// global mutex-protected pool, so contention is amortized over ChunkSize items.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "support/platform.hpp"
+#include "support/small_vector.hpp"
+
+namespace hjdes {
+
+/// Multi-producer multi-consumer unordered workset. Each registered thread
+/// gets a ThreadSlot; pushes fill a private chunk that is published when full,
+/// pops drain the private chunk and fetch published chunks when empty.
+template <typename T, std::size_t ChunkSize = 64>
+class ChunkedWorkset {
+ public:
+  using Chunk = SmallVector<T, ChunkSize>;
+
+  /// Per-thread handle. Create one per worker thread; not thread-safe itself.
+  class ThreadSlot {
+   public:
+    explicit ThreadSlot(ChunkedWorkset& owner) : owner_(owner) {}
+
+    /// Add an item to this thread's private chunk, publishing when full.
+    void push(T item) {
+      local_.push_back(std::move(item));
+      if (local_.size() >= ChunkSize) {
+        owner_.publish(std::move(local_));
+        local_ = Chunk{};
+      }
+    }
+
+    /// Take one item: private chunk first, then the global pool.
+    std::optional<T> pop() {
+      if (local_.empty() && !owner_.fetch(local_)) return std::nullopt;
+      T out = std::move(local_.back());
+      local_.pop_back();
+      return out;
+    }
+
+    /// Publish any privately-held items so other threads can see them.
+    void flush() {
+      if (!local_.empty()) {
+        owner_.publish(std::move(local_));
+        local_ = Chunk{};
+      }
+    }
+
+    bool local_empty() const { return local_.empty(); }
+
+   private:
+    ChunkedWorkset& owner_;
+    Chunk local_;
+  };
+
+  /// Push from outside any ThreadSlot (e.g. while seeding the initial work).
+  void push_global(T item) {
+    std::scoped_lock guard(mu_);
+    if (pool_.empty() || pool_.back().size() >= ChunkSize)
+      pool_.emplace_back();
+    pool_.back().push_back(std::move(item));
+  }
+
+  /// Approximate count of globally visible items (excludes private chunks).
+  std::size_t published_size() const {
+    std::scoped_lock guard(mu_);
+    std::size_t n = 0;
+    for (const auto& c : pool_) n += c.size();
+    return n;
+  }
+
+  /// True when no chunk is published. Private chunks are not visible; callers
+  /// must flush() slots before using this for termination.
+  bool published_empty() const {
+    std::scoped_lock guard(mu_);
+    return pool_.empty();
+  }
+
+ private:
+  friend class ThreadSlot;
+
+  void publish(Chunk&& chunk) {
+    std::scoped_lock guard(mu_);
+    pool_.push_back(std::move(chunk));
+  }
+
+  bool fetch(Chunk& into) {
+    std::scoped_lock guard(mu_);
+    if (pool_.empty()) return false;
+    into = std::move(pool_.back());
+    pool_.pop_back();
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Chunk> pool_;
+};
+
+}  // namespace hjdes

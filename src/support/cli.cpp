@@ -1,0 +1,58 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  HJDES_CHECK(end != nullptr && *end == '\0', "non-integer flag value");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  HJDES_CHECK(end != nullptr && *end == '\0', "non-numeric flag value");
+  return v;
+}
+
+}  // namespace hjdes

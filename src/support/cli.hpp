@@ -1,0 +1,43 @@
+#pragma once
+// Minimal command-line flag parsing shared by the examples and bench
+// harnesses. Flags use `--name=value` or `--name value`; bare `--name`
+// sets a boolean.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hjdes {
+
+/// Parsed command line: flag map plus positional arguments.
+class Cli {
+ public:
+  /// Parse argv. Unknown flags are kept (callers may validate via known()).
+  Cli(int argc, const char* const* argv);
+
+  /// True when --name was present.
+  bool has(const std::string& name) const;
+
+  /// String flag value, or `fallback` when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer flag value, or `fallback` when absent. Aborts on non-numeric.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Double flag value, or `fallback` when absent. Aborts on non-numeric.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hjdes

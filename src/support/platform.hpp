@@ -1,0 +1,39 @@
+#pragma once
+// Platform- and build-level helpers shared by every hjdes module.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hjdes {
+
+/// Size used to pad concurrently-accessed fields onto distinct cache lines.
+/// std::hardware_destructive_interference_size is not consistently available
+/// across toolchains, so we pin the conventional x86-64 value.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Alignment attribute for cache-line isolation of hot atomics.
+#define HJDES_CACHE_ALIGNED alignas(::hjdes::kCacheLineSize)
+
+/// Internal invariant check that stays active in release builds. DES engines
+/// rely on causality invariants whose violation must abort loudly rather than
+/// silently corrupt simulation results.
+#define HJDES_CHECK(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) [[unlikely]] {                                               \
+      std::fprintf(stderr, "hjdes check failed: %s\n  at %s:%d\n  %s\n",      \
+                   #cond, __FILE__, __LINE__, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Debug-only variant for hot paths.
+#ifndef NDEBUG
+#define HJDES_DCHECK(cond, msg) HJDES_CHECK(cond, msg)
+#else
+#define HJDES_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#endif
+
+}  // namespace hjdes

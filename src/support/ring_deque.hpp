@@ -1,0 +1,176 @@
+#pragma once
+// Growable circular-buffer deque — the analog of java.util.ArrayDeque that
+// §4.5.1 of the paper substitutes for per-node priority queues. Events per
+// input port already arrive in timestamp order, so FIFO storage suffices and
+// is much cheaper than a heap.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+/// FIFO/deque over a power-of-two circular buffer. Amortized O(1) push/pop at
+/// both ends, contiguous memory, no per-element allocation (unlike std::deque
+/// on libstdc++ which allocates 512-byte blocks).
+template <typename T>
+class RingDeque {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "RingDeque relocation requires noexcept moves");
+
+ public:
+  RingDeque() = default;
+
+  explicit RingDeque(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  RingDeque(RingDeque&& other) noexcept
+      : buf_(std::move(other.buf_)),
+        mask_(other.mask_),
+        head_(other.head_),
+        size_(other.size_) {
+    other.mask_ = 0;
+    other.head_ = 0;
+    other.size_ = 0;
+  }
+
+  RingDeque& operator=(RingDeque&& other) noexcept {
+    if (this != &other) {
+      clear();
+      buf_ = std::move(other.buf_);
+      mask_ = other.mask_;
+      head_ = other.head_;
+      size_ = other.size_;
+      other.mask_ = 0;
+      other.head_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+
+  ~RingDeque() { clear(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buf_ ? mask_ + 1 : 0; }
+
+  /// First (oldest) element. Precondition: !empty().
+  T& front() noexcept {
+    HJDES_DCHECK(size_ > 0, "front() on empty RingDeque");
+    return slot(head_);
+  }
+  const T& front() const noexcept {
+    HJDES_DCHECK(size_ > 0, "front() on empty RingDeque");
+    return slot(head_);
+  }
+
+  /// Last (newest) element. Precondition: !empty().
+  T& back() noexcept {
+    HJDES_DCHECK(size_ > 0, "back() on empty RingDeque");
+    return slot(head_ + size_ - 1);
+  }
+  const T& back() const noexcept {
+    HJDES_DCHECK(size_ > 0, "back() on empty RingDeque");
+    return slot(head_ + size_ - 1);
+  }
+
+  /// Random access from the front, 0 == front(). Precondition: i < size().
+  T& operator[](std::size_t i) noexcept {
+    HJDES_DCHECK(i < size_, "RingDeque index out of range");
+    return slot(head_ + i);
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    HJDES_DCHECK(i < size_, "RingDeque index out of range");
+    return slot(head_ + i);
+  }
+
+  /// Append at the back (newest end).
+  void push_back(T value) {
+    if (size_ == capacity()) grow();
+    ::new (&slot_raw(head_ + size_)) T(std::move(value));
+    ++size_;
+  }
+
+  /// Prepend at the front (oldest end).
+  void push_front(T value) {
+    if (size_ == capacity()) grow();
+    head_ = (head_ + capacity() - 1) & mask_;
+    ::new (&slot_raw(head_)) T(std::move(value));
+    ++size_;
+  }
+
+  /// Remove and return the oldest element. Precondition: !empty().
+  T pop_front() {
+    HJDES_DCHECK(size_ > 0, "pop_front() on empty RingDeque");
+    T out = std::move(slot(head_));
+    slot(head_).~T();
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return out;
+  }
+
+  /// Remove and return the newest element. Precondition: !empty().
+  T pop_back() {
+    HJDES_DCHECK(size_ > 0, "pop_back() on empty RingDeque");
+    std::size_t idx = (head_ + size_ - 1) & mask_;
+    T out = std::move(slot(idx));
+    slot(idx).~T();
+    --size_;
+    return out;
+  }
+
+  /// Destroy all elements; capacity is retained.
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) slot(head_ + i).~T();
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Ensure capacity for at least `n` elements without further allocation.
+  void reserve(std::size_t n) {
+    if (n <= capacity()) return;
+    std::size_t cap = 8;
+    while (cap < n) cap <<= 1;
+    rebuffer(cap);
+  }
+
+ private:
+  T& slot(std::size_t logical) noexcept { return slot_raw(logical); }
+  const T& slot(std::size_t logical) const noexcept {
+    return *std::launder(reinterpret_cast<const T*>(
+        buf_.get() + ((logical & mask_) * sizeof(T))));
+  }
+  T& slot_raw(std::size_t logical) noexcept {
+    return *std::launder(
+        reinterpret_cast<T*>(buf_.get() + ((logical & mask_) * sizeof(T))));
+  }
+
+  void grow() { rebuffer(buf_ ? capacity() * 2 : 8); }
+
+  void rebuffer(std::size_t new_cap) {
+    auto fresh = std::make_unique<std::byte[]>(new_cap * sizeof(T));
+    for (std::size_t i = 0; i < size_; ++i) {
+      T& src = slot(head_ + i);
+      ::new (fresh.get() + i * sizeof(T)) T(std::move(src));
+      src.~T();
+    }
+    buf_ = std::move(fresh);
+    mask_ = new_cap - 1;
+    head_ = 0;
+  }
+
+  std::unique_ptr<std::byte[]> buf_;
+  std::size_t mask_ = 0;  // capacity - 1 when buf_ != nullptr
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hjdes

@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic pseudo-random number generation (splitmix64 seeding +
+// xoshiro256**). Every stochastic component of the reproduction — stimulus
+// generation, random circuits, stress tests — takes an explicit seed so runs
+// are replayable.
+
+#include <cstdint>
+
+namespace hjdes {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift mapping; bias is negligible for the bounds
+    // used here (<= 2^32).
+    __extension__ using u128 = unsigned __int128;
+    u128 m = static_cast<u128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Fair coin.
+  bool coin() noexcept { return (operator()() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace hjdes

@@ -1,0 +1,171 @@
+#pragma once
+// Vector with inline storage for the first N elements. Fanout lists and
+// per-task held-lock lists are short (logic gates have 1-2 inputs, small
+// fanout), so avoiding heap traffic on them is a measurable win.
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+/// Contiguous growable array storing up to `N` elements inline.
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "SmallVector relocation requires noexcept moves");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(other); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  T* data() noexcept { return ptr_(); }
+  const T* data() const noexcept { return ptr_(); }
+  T* begin() noexcept { return ptr_(); }
+  T* end() noexcept { return ptr_() + size_; }
+  const T* begin() const noexcept { return ptr_(); }
+  const T* end() const noexcept { return ptr_() + size_; }
+
+  T& operator[](std::size_t i) noexcept {
+    HJDES_DCHECK(i < size_, "SmallVector index out of range");
+    return ptr_()[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    HJDES_DCHECK(i < size_, "SmallVector index out of range");
+    return ptr_()[i];
+  }
+
+  T& back() noexcept {
+    HJDES_DCHECK(size_ > 0, "back() on empty SmallVector");
+    return ptr_()[size_ - 1];
+  }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow();
+    ::new (ptr_() + size_) T(std::move(value));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* slot = ::new (ptr_() + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() noexcept {
+    HJDES_DCHECK(size_ > 0, "pop_back() on empty SmallVector");
+    ptr_()[--size_].~T();
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) ptr_()[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) rebuffer(n);
+  }
+
+ private:
+  T* ptr_() noexcept {
+    return heap_ ? heap_elems_()
+                 : std::launder(reinterpret_cast<T*>(&inline_buf_));
+  }
+  const T* ptr_() const noexcept {
+    return heap_ ? std::launder(reinterpret_cast<const T*>(heap_.get()))
+                 : std::launder(reinterpret_cast<const T*>(&inline_buf_));
+  }
+  T* heap_elems_() noexcept {
+    return std::launder(reinterpret_cast<T*>(heap_.get()));
+  }
+
+  void grow() { rebuffer(cap_ * 2); }
+
+  void rebuffer(std::size_t want) {
+    std::size_t new_cap = cap_;
+    while (new_cap < want) new_cap *= 2;
+    auto fresh = std::make_unique<std::byte[]>(new_cap * sizeof(T));
+    T* dst = std::launder(reinterpret_cast<T*>(fresh.get()));
+    T* src = ptr_();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (dst + i) T(std::move(src[i]));
+      src[i].~T();
+    }
+    heap_ = std::move(fresh);
+    cap_ = new_cap;
+  }
+
+  void destroy() noexcept {
+    clear();
+    heap_.reset();
+    cap_ = N;
+  }
+
+  void move_from(SmallVector& other) noexcept {
+    if (other.heap_) {
+      heap_ = std::move(other.heap_);
+      cap_ = other.cap_;
+      size_ = other.size_;
+    } else {
+      T* src = std::launder(reinterpret_cast<T*>(&other.inline_buf_));
+      T* dst = std::launder(reinterpret_cast<T*>(&inline_buf_));
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (dst + i) T(std::move(src[i]));
+        src[i].~T();
+      }
+      size_ = other.size_;
+      cap_ = N;
+    }
+    other.size_ = 0;
+    other.cap_ = N;
+  }
+
+  alignas(T) std::byte inline_buf_[N * sizeof(T)];
+  std::unique_ptr<std::byte[]> heap_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace hjdes

@@ -1,0 +1,56 @@
+#pragma once
+// Test-and-test-and-set spinlock with exponential backoff. Used for the
+// striped object-lock table behind hj::isolated and for short critical
+// sections in the runtimes where a futex-backed mutex would dominate cost.
+
+#include <atomic>
+#include <thread>
+
+#include "support/platform.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hjdes {
+
+/// Emit a CPU pause/yield hint inside spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// BasicLockable TTAS spinlock; usable with std::scoped_lock / lock_guard
+/// per CP.20 ("use RAII, never plain lock()/unlock()").
+class Spinlock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins < 64) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace hjdes

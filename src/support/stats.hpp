@@ -1,0 +1,43 @@
+#pragma once
+// Summary statistics for benchmark reporting. Figure 7 of the paper reports
+// average execution times with confidence intervals over 20 runs; this module
+// provides min/mean/stddev and the normal-approximation 95% CI used there.
+
+#include <cstddef>
+#include <vector>
+
+namespace hjdes {
+
+/// Accumulated summary of a sample of real-valued observations.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;      ///< sample standard deviation (n-1 denominator)
+  double ci95_half = 0.0;   ///< half-width of the 95% confidence interval
+  double median = 0.0;
+};
+
+/// Compute a Summary over `samples`. Empty input yields a zero Summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// Online accumulator (Welford) for streaming use in long benches.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< sample variance, 0 when n < 2
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hjdes

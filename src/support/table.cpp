@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hjdes {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::ostringstream out;
+  auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      out << "|" << std::string(widths[i] + 2, '-');
+    out << "|\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt_int(long long v) {
+  // Thousands separators to match the paper's table style (e.g. 56,035,581).
+  char raw[32];
+  std::snprintf(raw, sizeof(raw), "%lld", v < 0 ? -v : v);
+  std::string digits = raw;
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hjdes

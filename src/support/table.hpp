@@ -1,0 +1,32 @@
+#pragma once
+// Paper-style text table printer. The bench binaries print the same rows the
+// paper's tables/figures report, so EXPERIMENTS.md can be filled by reading
+// bench output directly.
+
+#include <string>
+#include <vector>
+
+namespace hjdes {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Set the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Convenience formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hjdes

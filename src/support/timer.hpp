@@ -1,0 +1,29 @@
+#pragma once
+// Monotonic wall-clock timing used by the benchmark harnesses.
+
+#include <chrono>
+
+namespace hjdes {
+
+/// Stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hjdes

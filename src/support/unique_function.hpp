@@ -1,0 +1,122 @@
+#pragma once
+// Small-buffer, move-only callable. hj tasks are tiny captures (an engine
+// pointer plus a node id); storing them inline avoids one heap allocation per
+// async, which matters at the paper's event rates (10^7..10^8 tasks/run).
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+/// Move-only type-erased `void()` callable with `Inline` bytes of in-place
+/// storage. Larger callables fall back to the heap. Unlike std::function it
+/// supports move-only captures and never copies.
+template <std::size_t Inline = 48>
+class UniqueFunction {
+ public:
+  UniqueFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  /// True when a callable is stored.
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Invoke the stored callable. Undefined when empty (checked in debug).
+  void operator()() {
+    HJDES_DCHECK(vtable_ != nullptr, "invoking empty UniqueFunction");
+    vtable_->invoke(storage());
+  }
+
+  /// Destroy the stored callable, returning to the empty state.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage());
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*destroy)(void*) noexcept;
+    void (*relocate)(void* from, void* to) noexcept;
+  };
+
+  template <typename F>
+  struct InlineModel {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void destroy(void* p) noexcept { static_cast<F*>(p)->~F(); }
+    static void relocate(void* from, void* to) noexcept {
+      ::new (to) F(std::move(*static_cast<F*>(from)));
+      static_cast<F*>(from)->~F();
+    }
+    static constexpr VTable vtable{invoke, destroy, relocate};
+  };
+
+  template <typename F>
+  struct HeapModel {
+    static F*& slot(void* p) noexcept { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void destroy(void* p) noexcept { delete slot(p); }
+    static void relocate(void* from, void* to) noexcept {
+      ::new (to) F*(slot(from));
+    }
+    static constexpr VTable vtable{invoke, destroy, relocate};
+  };
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= Inline &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (storage()) D(std::forward<F>(fn));
+      vtable_ = &InlineModel<D>::vtable;
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(fn)));
+      vtable_ = &HeapModel<D>::vtable;
+    }
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage(), storage());
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return &buf_; }
+
+  alignas(std::max_align_t) std::byte buf_[Inline];
+  const VTable* vtable_ = nullptr;
+};
+
+/// Default task payload type used across the runtime.
+using Thunk = UniqueFunction<48>;
+
+}  // namespace hjdes

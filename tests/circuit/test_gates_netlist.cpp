@@ -1,0 +1,189 @@
+// Gate truth tables and netlist construction invariants.
+#include <gtest/gtest.h>
+
+#include "circuit/dot_export.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/netlist.hpp"
+
+namespace hjdes::circuit {
+namespace {
+
+TEST(Gate, Arity) {
+  EXPECT_EQ(gate_arity(GateKind::Input), 0);
+  EXPECT_EQ(gate_arity(GateKind::Output), 1);
+  EXPECT_EQ(gate_arity(GateKind::Buf), 1);
+  EXPECT_EQ(gate_arity(GateKind::Not), 1);
+  EXPECT_EQ(gate_arity(GateKind::And), 2);
+  EXPECT_EQ(gate_arity(GateKind::Or), 2);
+  EXPECT_EQ(gate_arity(GateKind::Xor), 2);
+  EXPECT_EQ(gate_arity(GateKind::Nand), 2);
+  EXPECT_EQ(gate_arity(GateKind::Nor), 2);
+  EXPECT_EQ(gate_arity(GateKind::Xnor), 2);
+}
+
+struct TruthRow {
+  GateKind kind;
+  bool a, b, expected;
+};
+
+class TruthTable : public ::testing::TestWithParam<TruthRow> {};
+
+TEST_P(TruthTable, Eval) {
+  const TruthRow& row = GetParam();
+  EXPECT_EQ(gate_eval(row.kind, row.a, row.b), row.expected)
+      << gate_name(row.kind) << "(" << row.a << "," << row.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, TruthTable,
+    ::testing::Values(
+        TruthRow{GateKind::And, false, false, false},
+        TruthRow{GateKind::And, true, false, false},
+        TruthRow{GateKind::And, false, true, false},
+        TruthRow{GateKind::And, true, true, true},
+        TruthRow{GateKind::Or, false, false, false},
+        TruthRow{GateKind::Or, true, false, true},
+        TruthRow{GateKind::Or, false, true, true},
+        TruthRow{GateKind::Or, true, true, true},
+        TruthRow{GateKind::Xor, false, false, false},
+        TruthRow{GateKind::Xor, true, false, true},
+        TruthRow{GateKind::Xor, false, true, true},
+        TruthRow{GateKind::Xor, true, true, false},
+        TruthRow{GateKind::Nand, false, false, true},
+        TruthRow{GateKind::Nand, true, true, false},
+        TruthRow{GateKind::Nor, false, false, true},
+        TruthRow{GateKind::Nor, true, false, false},
+        TruthRow{GateKind::Xnor, false, false, true},
+        TruthRow{GateKind::Xnor, true, false, false},
+        TruthRow{GateKind::Xnor, true, true, true},
+        TruthRow{GateKind::Not, false, false, true},
+        TruthRow{GateKind::Not, true, false, false},
+        TruthRow{GateKind::Buf, true, false, true},
+        TruthRow{GateKind::Buf, false, true, false}));
+
+TEST(Gate, DelaysArePositiveForLogic) {
+  for (GateKind k : {GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Or,
+                     GateKind::Xor, GateKind::Nand, GateKind::Nor,
+                     GateKind::Xnor}) {
+    EXPECT_GT(gate_delay(k), 0) << gate_name(k);
+  }
+  EXPECT_EQ(gate_delay(GateKind::Input), 0);
+  EXPECT_EQ(gate_delay(GateKind::Output), 0);
+}
+
+TEST(Netlist, BuilderProducesExpectedTopology) {
+  // Figure-3 style miniature: two inputs, AND, NOT, one output.
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId b = nb.add_input("b");
+  NodeId g1 = nb.add_gate(GateKind::And, a, b);
+  NodeId g2 = nb.add_gate(GateKind::Not, g1);
+  NodeId out = nb.add_output(g2, "out");
+  Netlist nl = nb.build();
+
+  EXPECT_EQ(nl.node_count(), 5u);
+  EXPECT_EQ(nl.edge_count(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.kind(g1), GateKind::And);
+  EXPECT_EQ(nl.num_inputs(g1), 2);
+  EXPECT_EQ(nl.node(g1).fanin[0], a);
+  EXPECT_EQ(nl.node(g1).fanin[1], b);
+
+  auto fanout_a = nl.fanout(a);
+  ASSERT_EQ(fanout_a.size(), 1u);
+  EXPECT_EQ(fanout_a[0].target, g1);
+  EXPECT_EQ(fanout_a[0].port, 0);
+
+  auto fanout_g2 = nl.fanout(g2);
+  ASSERT_EQ(fanout_g2.size(), 1u);
+  EXPECT_EQ(fanout_g2[0].target, out);
+  EXPECT_EQ(nl.name(out), "out");
+}
+
+TEST(Netlist, FanoutToMultiplePorts) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId g = nb.add_gate(GateKind::And, a, a);  // a drives both ports
+  nb.add_output(g);
+  Netlist nl = nb.build();
+  auto fo = nl.fanout(a);
+  ASSERT_EQ(fo.size(), 2u);
+  EXPECT_EQ(fo[0].target, g);
+  EXPECT_EQ(fo[1].target, g);
+  EXPECT_NE(fo[0].port, fo[1].port);
+  EXPECT_EQ(nl.max_fanout(), 2u);
+}
+
+TEST(Netlist, TopoOrderHasDriversFirst) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId g1 = nb.add_gate(GateKind::Not, a);
+  NodeId g2 = nb.add_gate(GateKind::Not, g1);
+  nb.add_output(g2);
+  Netlist nl = nb.build();
+  std::vector<int> position(nl.node_count());
+  for (std::size_t i = 0; i < nl.topo_order().size(); ++i) {
+    position[static_cast<std::size_t>(nl.topo_order()[i])] =
+        static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < nl.node_count(); ++i) {
+    const auto& node = nl.node(static_cast<NodeId>(i));
+    for (int p = 0; p < node.num_inputs; ++p) {
+      EXPECT_LT(position[static_cast<std::size_t>(node.fanin[p])],
+                position[i]);
+    }
+  }
+}
+
+TEST(Netlist, DepthOfChain) {
+  NetlistBuilder nb;
+  NodeId cur = nb.add_input();
+  for (int i = 0; i < 10; ++i) cur = nb.add_gate(GateKind::Not, cur);
+  nb.add_output(cur);
+  Netlist nl = nb.build();
+  EXPECT_EQ(nl.depth(), 11u);  // 10 inverters + output node
+}
+
+TEST(Netlist, SetDelayOverridesDefault) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId g = nb.add_gate(GateKind::Not, a);
+  nb.set_delay(g, 99);
+  nb.add_output(g);
+  Netlist nl = nb.build();
+  EXPECT_EQ(nl.delay(g), 99);
+}
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId g = nb.add_gate(GateKind::Not, a);
+  nb.add_output(g, "o");
+  Netlist nl = nb.build();
+  std::string dot = to_dot(nl, "mini");
+  EXPECT_NE(dot.find("digraph \"mini\""), std::string::npos);
+  EXPECT_NE(dot.find("a:INPUT"), std::string::npos);
+  EXPECT_NE(dot.find("NOT"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+}
+
+TEST(NetlistDeathTest, ForwardFaninAborts) {
+  NetlistBuilder nb;
+  EXPECT_DEATH(
+      {
+        nb.add_gate(GateKind::Not, 5);  // node 5 does not exist
+      },
+      "fanin");
+}
+
+TEST(NetlistDeathTest, OutputCannotDrive) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId o = nb.add_output(a);
+  EXPECT_DEATH({ nb.add_gate(GateKind::Not, o); }, "output nodes");
+}
+
+}  // namespace
+}  // namespace hjdes::circuit

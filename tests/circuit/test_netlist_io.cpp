@@ -1,0 +1,110 @@
+// Text netlist serialization: round-trips, diagnostics, hand-written inputs.
+#include <gtest/gtest.h>
+
+#include "circuit/evaluate.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+
+namespace hjdes::circuit {
+namespace {
+
+void expect_same_structure(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  ASSERT_EQ(a.inputs(), b.inputs());
+  ASSERT_EQ(a.outputs(), b.outputs());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    EXPECT_EQ(a.kind(id), b.kind(id)) << "node " << i;
+    EXPECT_EQ(a.delay(id), b.delay(id)) << "node " << i;
+    EXPECT_EQ(a.node(id).fanin[0], b.node(id).fanin[0]) << "node " << i;
+    EXPECT_EQ(a.node(id).fanin[1], b.node(id).fanin[1]) << "node " << i;
+  }
+}
+
+TEST(NetlistIo, ParsesHandWrittenNetlist) {
+  Netlist nl = parse_netlist(R"(# half adder
+input a
+input b
+gate XOR 0 1 name=sum
+gate AND 0 1 name=carry
+output 2 name=s
+output 3 name=c
+)");
+  EXPECT_EQ(nl.node_count(), 6u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.name(2), "sum");
+  // Functional check: 1+1 = carry 1, sum 0.
+  std::vector<bool> out = evaluate(nl, {true, true});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(NetlistIo, CustomDelayParses) {
+  Netlist nl = parse_netlist(R"(
+input x
+gate NOT 0 delay=42
+output 1
+)");
+  EXPECT_EQ(nl.delay(1), 42);
+}
+
+TEST(NetlistIo, CommentsAndBlankLinesIgnored)
+{
+  Netlist nl = parse_netlist("\n# leading comment\ninput a # trailing\n\n"
+                             "gate BUF 0\noutput 1\n");
+  EXPECT_EQ(nl.node_count(), 3u);
+}
+
+TEST(NetlistIo, RoundTripKoggeStone) {
+  Netlist original = kogge_stone_adder(16);
+  Netlist reparsed = parse_netlist(to_text(original));
+  expect_same_structure(original, reparsed);
+}
+
+TEST(NetlistIo, RoundTripMultiplier) {
+  Netlist original = tree_multiplier(6);
+  Netlist reparsed = parse_netlist(to_text(original));
+  expect_same_structure(original, reparsed);
+}
+
+TEST(NetlistIo, RoundTripRandomDagsSweep) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomDagParams p;
+    p.num_inputs = 5;
+    p.num_gates = 60;
+    p.num_outputs = 4;
+    p.seed = seed;
+    Netlist original = random_dag(p);
+    Netlist reparsed = parse_netlist(to_text(original));
+    expect_same_structure(original, reparsed);
+  }
+}
+
+TEST(NetlistIo, RoundTripPreservesCustomDelay) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId g = nb.add_gate(GateKind::Nor, a, a, "weird");
+  nb.set_delay(g, 17);
+  nb.add_output(g, "o");
+  Netlist original = nb.build();
+  Netlist reparsed = parse_netlist(to_text(original));
+  expect_same_structure(original, reparsed);
+  EXPECT_EQ(reparsed.name(g), "weird");
+}
+
+TEST(NetlistIoDeathTest, UnknownDirectiveAborts) {
+  EXPECT_DEATH({ parse_netlist("wire 0\n"); }, "unknown directive");
+}
+
+TEST(NetlistIoDeathTest, UnknownGateKindAborts) {
+  EXPECT_DEATH({ parse_netlist("input a\ngate FROB 0\n"); }, "unknown gate");
+}
+
+TEST(NetlistIoDeathTest, MissingFaninAborts) {
+  EXPECT_DEATH({ parse_netlist("input a\ngate AND 0\n"); }, "second fanin");
+}
+
+}  // namespace
+}  // namespace hjdes::circuit

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "circuit/evaluate.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+
+namespace hjdes::circuit {
+namespace {
+
+TEST(Stimulus, SingleVectorAppliesAtTimeZero) {
+  Netlist nl = kogge_stone_adder(4);
+  std::vector<bool> values(nl.inputs().size(), true);
+  Stimulus s = single_vector_stimulus(nl, values);
+  ASSERT_EQ(s.initial.size(), nl.inputs().size());
+  for (const auto& train : s.initial) {
+    ASSERT_EQ(train.size(), 1u);
+    EXPECT_EQ(train[0].time, 0);
+    EXPECT_TRUE(train[0].value);
+  }
+  EXPECT_EQ(s.total_events(), nl.inputs().size());
+  EXPECT_EQ(s.final_values(), values);
+}
+
+TEST(Stimulus, RandomStimulusShapesAndDeterminism) {
+  Netlist nl = kogge_stone_adder(8);
+  Stimulus a = random_stimulus(nl, 10, 100, 42);
+  Stimulus b = random_stimulus(nl, 10, 100, 42);
+  EXPECT_EQ(a.total_events(), 10 * nl.inputs().size());
+  for (std::size_t i = 0; i < a.initial.size(); ++i) {
+    ASSERT_EQ(a.initial[i].size(), 10u);
+    for (std::size_t v = 0; v < 10; ++v) {
+      EXPECT_EQ(a.initial[i][v].time, static_cast<std::int64_t>(v) * 100);
+      EXPECT_EQ(a.initial[i][v].value, b.initial[i][v].value);
+    }
+  }
+  Stimulus c = random_stimulus(nl, 10, 100, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.initial.size(); ++i) {
+    for (std::size_t v = 0; v < 10; ++v) {
+      any_diff = any_diff || a.initial[i][v].value != c.initial[i][v].value;
+    }
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should differ";
+}
+
+TEST(Stimulus, SkewedStimulusIsStrictlyIncreasingPerInput) {
+  Netlist nl = tree_multiplier(4);
+  Stimulus s = skewed_random_stimulus(nl, 50, 10, 7);
+  for (const auto& train : s.initial) {
+    ASSERT_EQ(train.size(), 50u);
+    for (std::size_t i = 1; i < train.size(); ++i) {
+      EXPECT_GT(train[i].time, train[i - 1].time);
+    }
+  }
+}
+
+TEST(Stimulus, FinalValuesTakeLastEvent) {
+  Netlist nl = inverter_chain(1);
+  Stimulus s;
+  s.initial.resize(1);
+  s.initial[0] = {{0, true}, {5, false}, {9, true}};
+  std::vector<bool> fin = s.final_values();
+  ASSERT_EQ(fin.size(), 1u);
+  EXPECT_TRUE(fin[0]);
+}
+
+TEST(Evaluate, MissingInputsDefaultToFalse) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId b = nb.add_input();
+  NodeId g = nb.add_gate(GateKind::Or, a, b);
+  nb.add_output(g);
+  Netlist nl = nb.build();
+  EXPECT_FALSE(evaluate(nl, {})[0]);
+  EXPECT_TRUE(evaluate(nl, {true})[0]);
+}
+
+TEST(Evaluate, AllNodesReportsInternalValues) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId n1 = nb.add_gate(GateKind::Not, a);
+  NodeId n2 = nb.add_gate(GateKind::Not, n1);
+  nb.add_output(n2);
+  Netlist nl = nb.build();
+  std::vector<bool> all = evaluate_all_nodes(nl, {true});
+  EXPECT_TRUE(all[static_cast<std::size_t>(a)]);
+  EXPECT_FALSE(all[static_cast<std::size_t>(n1)]);
+  EXPECT_TRUE(all[static_cast<std::size_t>(n2)]);
+}
+
+}  // namespace
+}  // namespace hjdes::circuit

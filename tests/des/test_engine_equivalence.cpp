@@ -1,0 +1,260 @@
+// The reproduction's central property: every engine — sequential (deque and
+// priority-queue), HJ parallel (all §4.5 configurations), Galois optimistic,
+// and actor — produces bit-identical waveforms and event counts for the same
+// input, at every worker count. This is the determinism theorem of
+// DESIGN.md §4.5 exercised as a parameterized matrix.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::Netlist;
+using circuit::Stimulus;
+
+struct Scenario {
+  std::string name;
+  Netlist netlist;
+  Stimulus stimulus;
+};
+
+Scenario make_scenario(const std::string& which) {
+  if (which == "ks8") {
+    Netlist nl = circuit::kogge_stone_adder(8);
+    Stimulus s = circuit::random_stimulus(nl, 12, 25, 101);
+    return {which, std::move(nl), std::move(s)};
+  }
+  if (which == "ks16_skewed") {
+    Netlist nl = circuit::kogge_stone_adder(16);
+    Stimulus s = circuit::skewed_random_stimulus(nl, 8, 9, 202);
+    return {which, std::move(nl), std::move(s)};
+  }
+  if (which == "mul6") {
+    Netlist nl = circuit::tree_multiplier(6);
+    Stimulus s = circuit::random_stimulus(nl, 6, 40, 303);
+    return {which, std::move(nl), std::move(s)};
+  }
+  if (which == "ripple12") {
+    Netlist nl = circuit::ripple_carry_adder(12);
+    Stimulus s = circuit::random_stimulus(nl, 10, 5, 404);
+    return {which, std::move(nl), std::move(s)};
+  }
+  if (which == "random_a") {
+    circuit::RandomDagParams p;
+    p.num_inputs = 10;
+    p.num_gates = 200;
+    p.num_outputs = 12;
+    p.seed = 505;
+    Netlist nl = circuit::random_dag(p);
+    Stimulus s = circuit::skewed_random_stimulus(nl, 10, 7, 606);
+    return {which, std::move(nl), std::move(s)};
+  }
+  if (which == "random_b") {
+    circuit::RandomDagParams p;
+    p.num_inputs = 4;
+    p.num_gates = 300;
+    p.num_outputs = 6;
+    p.locality = 0.9;               // deep, chain-like
+    p.max_node_amplification = 64;  // keep total events tractable
+    p.seed = 707;
+    Netlist nl = circuit::random_dag(p);
+    Stimulus s = circuit::random_stimulus(nl, 15, 3, 808);
+    return {which, std::move(nl), std::move(s)};
+  }
+  // chain: zero-parallelism edge case
+  Netlist nl = circuit::inverter_chain(50);
+  Stimulus s = circuit::random_stimulus(nl, 30, 2, 909);
+  return {"chain", std::move(nl), std::move(s)};
+}
+
+const char* kScenarios[] = {"ks8",     "ks16_skewed", "mul6",    "ripple12",
+                            "random_a", "random_b",   "chain"};
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(EngineEquivalence, HjMatchesSequential) {
+  auto [which, workers] = GetParam();
+  Scenario sc = make_scenario(which);
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+
+  HjEngineConfig cfg;
+  cfg.workers = workers;
+  SimResult got = run_hj(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+  EXPECT_EQ(ref.null_messages, got.null_messages);
+}
+
+TEST_P(EngineEquivalence, GaloisMatchesSequential) {
+  auto [which, workers] = GetParam();
+  Scenario sc = make_scenario(which);
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+
+  GaloisEngineConfig cfg;
+  cfg.threads = workers;
+  SimResult got = run_galois(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+  EXPECT_EQ(ref.null_messages, got.null_messages);
+}
+
+TEST_P(EngineEquivalence, TimeWarpMatchesSequential) {
+  auto [which, workers] = GetParam();
+  Scenario sc = make_scenario(which);
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+
+  TimeWarpConfig cfg;
+  cfg.workers = workers;
+  SimResult got = run_timewarp(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+TEST_P(EngineEquivalence, ActorMatchesSequential) {
+  auto [which, workers] = GetParam();
+  Scenario sc = make_scenario(which);
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+
+  ActorEngineConfig cfg;
+  cfg.workers = workers;
+  SimResult got = run_actor(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+  EXPECT_EQ(ref.null_messages, got.null_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineEquivalence,
+    ::testing::Combine(::testing::ValuesIn(kScenarios),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      return std::string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// §4.5 ablation matrix: every optimization combination must preserve
+// behaviour (they are performance knobs, not semantics knobs).
+struct HjConfigCase {
+  const char* name;
+  bool per_port;
+  bool temp_queue;
+  bool avoid_async;
+  bool ordered;
+};
+
+class HjConfigEquivalence : public ::testing::TestWithParam<HjConfigCase> {};
+
+TEST_P(HjConfigEquivalence, MatchesSequentialAtFourWorkers) {
+  const HjConfigCase& c = GetParam();
+  Scenario sc = make_scenario("ks8");
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+
+  HjEngineConfig cfg;
+  cfg.workers = 4;
+  cfg.per_port_queues = c.per_port;
+  cfg.temp_ready_queue = c.temp_queue;
+  cfg.avoid_redundant_async = c.avoid_async;
+  cfg.ordered_locks = c.ordered;
+  SimResult got = run_hj(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+TEST_P(HjConfigEquivalence, MatchesSequentialOnDeepRandomDag) {
+  const HjConfigCase& c = GetParam();
+  Scenario sc = make_scenario("random_b");
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+
+  HjEngineConfig cfg;
+  cfg.workers = 3;
+  cfg.per_port_queues = c.per_port;
+  cfg.temp_ready_queue = c.temp_queue;
+  cfg.avoid_redundant_async = c.avoid_async;
+  cfg.ordered_locks = c.ordered;
+  SimResult got = run_hj(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, HjConfigEquivalence,
+    ::testing::Values(
+        HjConfigCase{"full_opt", true, true, true, true},
+        HjConfigCase{"no_temp", true, false, true, true},
+        HjConfigCase{"no_avoid", true, true, false, true},
+        HjConfigCase{"unordered", true, true, true, false},
+        HjConfigCase{"pq_node", false, false, true, true},
+        HjConfigCase{"pq_unordered", false, false, true, false},
+        HjConfigCase{"bare_alg2", false, false, false, false},
+        HjConfigCase{"port_only", true, false, false, false}),
+    [](const ::testing::TestParamInfo<HjConfigCase>& info) {
+      return info.param.name;
+    });
+
+TEST(HjEngine, InputBatchingPreservesBehaviour) {
+  Scenario sc = make_scenario("ks8");
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  for (std::size_t batch : {1u, 3u, 7u}) {
+    HjEngineConfig cfg;
+    cfg.workers = 2;
+    cfg.input_batch = batch;
+    SimResult got = run_hj(input, cfg);
+    EXPECT_TRUE(same_behaviour(ref, got))
+        << "batch=" << batch << ": " << diff_behaviour(ref, got);
+  }
+}
+
+TEST(HjEngine, ExternalRuntimeReuse) {
+  Scenario sc = make_scenario("mul6");
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  hj::Runtime rt(2);
+  for (int round = 0; round < 5; ++round) {
+    HjEngineConfig cfg;
+    cfg.workers = 2;
+    cfg.runtime = &rt;
+    SimResult got = run_hj(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, got))
+        << "round " << round << ": " << diff_behaviour(ref, got);
+  }
+}
+
+// Repeated-run stress: races and lost wakeups are probabilistic, so hammer
+// the full-optimization engine many times on a contended scenario.
+TEST(HjEngineStress, RepeatedRunsStayDeterministic) {
+  Scenario sc = make_scenario("random_a");
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  hj::Runtime rt(4);
+  for (int round = 0; round < 25; ++round) {
+    HjEngineConfig cfg;
+    cfg.workers = 4;
+    cfg.runtime = &rt;
+    SimResult got = run_hj(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, got))
+        << "round " << round << ": " << diff_behaviour(ref, got);
+  }
+}
+
+TEST(GaloisEngineStress, RepeatedRunsStayDeterministic) {
+  Scenario sc = make_scenario("ks8");
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  for (int round = 0; round < 10; ++round) {
+    GaloisEngineConfig cfg;
+    cfg.threads = 4;
+    SimResult got = run_galois(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, got))
+        << "round " << round << ": " << diff_behaviour(ref, got);
+    EXPECT_GT(got.commits, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hjdes::des

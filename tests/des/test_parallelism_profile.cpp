@@ -1,0 +1,69 @@
+// Figure 1 reproduction machinery: the available-parallelism profiler.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::Netlist;
+using circuit::Stimulus;
+
+TEST(ParallelismProfile, ChainHasUnitParallelism) {
+  Netlist nl = circuit::inverter_chain(30);
+  Stimulus s = circuit::single_vector_stimulus(nl, {true});
+  SimInput input(nl, s);
+  ParallelismProfile p = profile_parallelism(input);
+  EXPECT_EQ(p.peak_parallelism(), 1u)
+      << "an inverter chain offers no parallelism";
+  EXPECT_GE(p.rounds.size(), 30u);
+}
+
+TEST(ParallelismProfile, BufferTreePeaksAtLeafLevel) {
+  Netlist nl = circuit::buffer_tree(5, 2);  // 32 leaves
+  Stimulus s = circuit::single_vector_stimulus(nl, {true});
+  SimInput input(nl, s);
+  ParallelismProfile p = profile_parallelism(input);
+  EXPECT_GE(p.peak_parallelism(), 32u);
+  // The hump: first round is 1 (the single input node).
+  ASSERT_FALSE(p.rounds.empty());
+  EXPECT_EQ(p.rounds.front().active_nodes, 1u);
+}
+
+TEST(ParallelismProfile, TotalEventsMatchSequentialRun) {
+  Netlist nl = circuit::tree_multiplier(6);
+  Stimulus s = circuit::random_stimulus(nl, 4, 30, 55);
+  SimInput input(nl, s);
+  ParallelismProfile p = profile_parallelism(input);
+  SimResult ref = run_sequential(input);
+  EXPECT_EQ(p.total_events(), ref.events_processed);
+}
+
+TEST(ParallelismProfile, MultiplierShowsTheFigure1Hump) {
+  // Paper Figure 1: parallelism starts small (few input ports), builds up
+  // through the circuit middle, then tapers to the outputs.
+  Netlist nl = circuit::tree_multiplier(8);
+  Stimulus s = circuit::random_stimulus(nl, 2, 100, 77);
+  SimInput input(nl, s);
+  ParallelismProfile p = profile_parallelism(input);
+  ASSERT_GT(p.rounds.size(), 3u);
+  const std::uint64_t first = p.rounds.front().active_nodes;
+  const std::uint64_t peak = p.peak_parallelism();
+  const std::uint64_t last = p.rounds.back().active_nodes;
+  EXPECT_GT(peak, first) << "parallelism must build up past the inputs";
+  EXPECT_GT(peak, last) << "parallelism must taper toward the outputs";
+  EXPECT_GT(p.average_parallelism(), 1.0);
+}
+
+TEST(ParallelismProfile, AverageAndPeakConsistency) {
+  Netlist nl = circuit::kogge_stone_adder(16);
+  Stimulus s = circuit::random_stimulus(nl, 3, 20, 88);
+  SimInput input(nl, s);
+  ParallelismProfile p = profile_parallelism(input);
+  EXPECT_LE(p.average_parallelism(), static_cast<double>(p.peak_parallelism()));
+  EXPECT_GT(p.total_events(), 0u);
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -1,0 +1,201 @@
+// Sequential engine: the reference all parallel engines are validated
+// against — itself validated here against functional evaluation and against
+// hand-computed waveforms on small circuits.
+#include <gtest/gtest.h>
+
+#include "circuit/evaluate.hpp"
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+using circuit::Stimulus;
+
+TEST(SeqEngine, HandComputedWaveformOnNotGate) {
+  // in --NOT(delay 1)--> out. Events at t=0 (1) and t=10 (0).
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId g = nb.add_gate(GateKind::Not, a);
+  nb.add_output(g, "o");
+  Netlist nl = nb.build();
+
+  Stimulus s;
+  s.initial.resize(1);
+  s.initial[0] = {{0, true}, {10, false}};
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+
+  ASSERT_EQ(r.waveforms.size(), 1u);
+  ASSERT_EQ(r.waveforms[0].size(), 2u);
+  EXPECT_EQ(r.waveforms[0][0].time, 1);  // 0 + NOT delay
+  EXPECT_EQ(r.waveforms[0][0].value, 0);
+  EXPECT_EQ(r.waveforms[0][1].time, 11);
+  EXPECT_EQ(r.waveforms[0][1].value, 1);
+  // 2 initial + 2 at gate + 2 at output.
+  EXPECT_EQ(r.events_processed, 6u);
+}
+
+TEST(SeqEngine, AndGateWaitsForBothInputs) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId b = nb.add_input();
+  NodeId g = nb.add_gate(GateKind::And, a, b);  // delay 2
+  nb.add_output(g);
+  Netlist nl = nb.build();
+
+  Stimulus s;
+  s.initial.resize(2);
+  s.initial[0] = {{0, true}};
+  s.initial[1] = {{5, true}};
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+
+  // Port 0 gets 1@0, port 1 gets 1@5: the gate processes 1@0 (latch b=0 ->
+  // out 0) then 1@5 (latches 1,1 -> out 1), each + delay 2.
+  ASSERT_EQ(r.waveforms[0].size(), 2u);
+  EXPECT_EQ(r.waveforms[0][0].time, 2);
+  EXPECT_EQ(r.waveforms[0][0].value, 0);
+  EXPECT_EQ(r.waveforms[0][1].time, 7);
+  EXPECT_EQ(r.waveforms[0][1].value, 1);
+}
+
+TEST(SeqEngine, EqualTimestampsMergeByPortIndex) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  NodeId b = nb.add_input();
+  NodeId g = nb.add_gate(GateKind::Xor, a, b);  // delay 3
+  nb.add_output(g);
+  Netlist nl = nb.build();
+
+  Stimulus s;
+  s.initial.resize(2);
+  s.initial[0] = {{4, true}};
+  s.initial[1] = {{4, true}};
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+
+  // Port 0 first: XOR(1,0)=1 @7, then port 1: XOR(1,1)=0 @7.
+  ASSERT_EQ(r.waveforms[0].size(), 2u);
+  EXPECT_EQ(r.waveforms[0][0].time, 7);
+  EXPECT_EQ(r.waveforms[0][0].value, 1);
+  EXPECT_EQ(r.waveforms[0][1].time, 7);
+  EXPECT_EQ(r.waveforms[0][1].value, 0);
+}
+
+TEST(SeqEngine, FinalValuesMatchFunctionalEvaluation) {
+  Xoshiro256 rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    circuit::RandomDagParams params;
+    params.num_inputs = 8;
+    params.num_gates = 120;
+    params.num_outputs = 10;
+    params.seed = 1000 + static_cast<std::uint64_t>(trial);
+    Netlist nl = circuit::random_dag(params);
+
+    Stimulus s = circuit::random_stimulus(nl, 5, 50, 2000 + trial);
+    SimInput input(nl, s);
+    SimResult r = run_sequential(input);
+    EXPECT_EQ(r.final_output_values(), circuit::evaluate(nl, s.final_values()))
+        << "trial " << trial;
+  }
+}
+
+TEST(SeqEngine, PqVariantIsBehaviourallyIdentical) {
+  for (int trial = 0; trial < 10; ++trial) {
+    circuit::RandomDagParams params;
+    params.num_inputs = 6;
+    params.num_gates = 80;
+    params.num_outputs = 6;
+    params.seed = 3000 + static_cast<std::uint64_t>(trial);
+    Netlist nl = circuit::random_dag(params);
+    Stimulus s = circuit::skewed_random_stimulus(nl, 8, 20, 4000 + trial);
+    SimInput input(nl, s);
+    SimResult a = run_sequential(input);
+    SimResult b = run_sequential_pq(input);
+    EXPECT_TRUE(same_behaviour(a, b)) << diff_behaviour(a, b);
+    EXPECT_EQ(a.null_messages, b.null_messages);
+  }
+}
+
+TEST(SeqEngine, EventCountOnBufferTreeIsExact) {
+  // 1 input event through a d-level f-ary buffer tree: 1 + f + f^2 + ... +
+  // f^d gate/output processings.
+  Netlist nl = circuit::buffer_tree(3, 2);
+  Stimulus s = circuit::single_vector_stimulus(nl, {true});
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+  // initial(1) + level1(2) + level2(4) + level3(8) + outputs(8)
+  EXPECT_EQ(r.events_processed, 1u + 2u + 4u + 8u + 8u);
+}
+
+TEST(SeqEngine, NullMessageCountMatchesEdgeCount) {
+  // Every node sends exactly one NULL along each fanout edge.
+  Netlist nl = circuit::kogge_stone_adder(8);
+  Stimulus s = circuit::random_stimulus(nl, 3, 10, 99);
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+  EXPECT_EQ(r.null_messages, nl.edge_count());
+}
+
+TEST(SeqEngine, EmptyStimulusStillTerminates) {
+  Netlist nl = circuit::kogge_stone_adder(4);
+  Stimulus s;
+  s.initial.resize(nl.inputs().size());  // all trains empty
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+  EXPECT_EQ(r.events_processed, 0u);
+  EXPECT_EQ(r.null_messages, nl.edge_count());
+  for (const auto& w : r.waveforms) EXPECT_TRUE(w.empty());
+}
+
+TEST(SeqEngine, AdderWaveformFinalValueAdds) {
+  Netlist nl = circuit::kogge_stone_adder(16);
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::uint64_t a = rng() & 0xFFFF;
+    std::uint64_t b = rng() & 0xFFFF;
+    std::vector<bool> in;
+    for (int i = 0; i < 16; ++i) in.push_back((a >> i) & 1);
+    for (int i = 0; i < 16; ++i) in.push_back((b >> i) & 1);
+    in.push_back(false);
+    SimInput input(nl, circuit::single_vector_stimulus(nl, in));
+    SimResult r = run_sequential(input);
+    std::vector<bool> fin = r.final_output_values();
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 16; ++i) sum |= static_cast<std::uint64_t>(fin[static_cast<std::size_t>(i)]) << i;
+    sum |= static_cast<std::uint64_t>(fin[16]) << 16;
+    EXPECT_EQ(sum, a + b);
+  }
+}
+
+TEST(SimInput, RejectsUnsortedStimulus) {
+  Netlist nl = circuit::inverter_chain(1);
+  Stimulus s;
+  s.initial.resize(1);
+  s.initial[0] = {{5, true}, {3, false}};
+  EXPECT_DEATH({ SimInput input(nl, s); }, "time-ordered");
+}
+
+TEST(SimInput, RejectsNegativeTimes) {
+  Netlist nl = circuit::inverter_chain(1);
+  Stimulus s;
+  s.initial.resize(1);
+  s.initial[0] = {{-1, true}};
+  EXPECT_DEATH({ SimInput input(nl, s); }, ">= 0");
+}
+
+TEST(SimInput, RejectsWrongInputCount) {
+  Netlist nl = circuit::kogge_stone_adder(2);
+  Stimulus s;
+  s.initial.resize(1);
+  EXPECT_DEATH({ SimInput input(nl, s); }, "every circuit input");
+}
+
+}  // namespace
+}  // namespace hjdes::des

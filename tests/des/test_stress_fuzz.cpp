@@ -1,0 +1,218 @@
+// Fuzz-style cross-engine stress: randomized circuits, stimuli, and engine
+// configurations, all validated against the sequential reference. Plus
+// tie-torture scenarios where every gate has the same delay so equal
+// timestamps collide constantly — the case the deterministic merge rule
+// (port_merge.hpp) exists for.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+#include "des/engines.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+using circuit::Stimulus;
+
+/// Force every gate in a netlist to the same delay by round-tripping through
+/// the text format with rewritten delays (also exercises netlist_io).
+Netlist uniform_delay_copy(const Netlist& src, std::int64_t delay) {
+  NetlistBuilder nb;
+  for (std::size_t i = 0; i < src.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const auto& n = src.node(id);
+    switch (n.kind) {
+      case circuit::GateKind::Input:
+        nb.add_input(src.name(id));
+        break;
+      case circuit::GateKind::Output:
+        nb.add_output(n.fanin[0], src.name(id));
+        break;
+      default: {
+        NodeId g = n.num_inputs == 2
+                       ? nb.add_gate(n.kind, n.fanin[0], n.fanin[1])
+                       : nb.add_gate(n.kind, n.fanin[0]);
+        nb.set_delay(g, delay);
+        break;
+      }
+    }
+  }
+  return nb.build();
+}
+
+TEST(StressFuzz, RandomCircuitsRandomConfigsAllAgree) {
+  Xoshiro256 rng(0xF0CC1A);
+  for (int round = 0; round < 30; ++round) {
+    circuit::RandomDagParams p;
+    p.num_inputs = 2 + static_cast<int>(rng.below(8));
+    p.num_gates = 20 + static_cast<int>(rng.below(150));
+    p.num_outputs = 1 + static_cast<int>(rng.below(8));
+    p.locality = rng.uniform01();
+    p.max_node_amplification = 32;
+    p.seed = rng();
+    Netlist nl = circuit::random_dag(p);
+
+    Stimulus s = rng.coin()
+                     ? circuit::random_stimulus(nl, 1 + rng.below(10),
+                                                1 + rng.below(20), rng())
+                     : circuit::skewed_random_stimulus(
+                           nl, 1 + rng.below(10), 2 + rng.below(20), rng());
+    SimInput input(nl, s);
+    SimResult ref = run_sequential(input);
+
+    // Random HJ configuration.
+    HjEngineConfig cfg;
+    cfg.workers = 1 + static_cast<int>(rng.below(4));
+    cfg.per_port_queues = rng.coin();
+    cfg.temp_ready_queue = cfg.per_port_queues && rng.coin();
+    cfg.avoid_redundant_async = rng.coin();
+    cfg.ordered_locks = rng.coin();
+    cfg.input_batch = rng.below(3) == 0 ? 1 + rng.below(5) : 0;
+    SimResult hj = run_hj(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, hj))
+        << "round " << round << " (hj): " << diff_behaviour(ref, hj);
+
+    // Alternate the remaining engines to keep the round fast.
+    switch (round % 3) {
+      case 0: {
+        GaloisEngineConfig g;
+        g.threads = 1 + static_cast<int>(rng.below(4));
+        SimResult got = run_galois(input, g);
+        ASSERT_TRUE(same_behaviour(ref, got))
+            << "round " << round << " (galois): " << diff_behaviour(ref, got);
+        break;
+      }
+      case 1: {
+        ActorEngineConfig a;
+        a.workers = 1 + static_cast<int>(rng.below(4));
+        SimResult got = run_actor(input, a);
+        ASSERT_TRUE(same_behaviour(ref, got))
+            << "round " << round << " (actor): " << diff_behaviour(ref, got);
+        break;
+      }
+      case 2: {
+        TimeWarpConfig tw;
+        tw.workers = 1 + static_cast<int>(rng.below(4));
+        SimResult got = run_timewarp(input, tw);
+        ASSERT_TRUE(same_behaviour(ref, got))
+            << "round " << round << " (tw): " << diff_behaviour(ref, got);
+        break;
+      }
+    }
+  }
+}
+
+TEST(StressFuzz, UniformDelayTieTorture) {
+  // Same delay everywhere => equal timestamps collide at every reconvergent
+  // gate. All engines must still agree bit-for-bit.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    circuit::RandomDagParams p;
+    p.num_inputs = 6;
+    p.num_gates = 100;
+    p.num_outputs = 8;
+    p.max_node_amplification = 32;
+    p.seed = seed;
+    Netlist base = circuit::random_dag(p);
+    Netlist nl = uniform_delay_copy(base, 1);
+
+    // All inputs fire at the same instants: maximal tie pressure.
+    Stimulus s = circuit::random_stimulus(nl, 6, 1, seed * 13);
+    SimInput input(nl, s);
+    SimResult ref = run_sequential(input);
+
+    SimResult pq = run_sequential_pq(input);
+    ASSERT_TRUE(same_behaviour(ref, pq)) << diff_behaviour(ref, pq);
+
+    HjEngineConfig cfg;
+    cfg.workers = 4;
+    SimResult hj = run_hj(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, hj)) << diff_behaviour(ref, hj);
+
+    GaloisEngineConfig g;
+    g.threads = 4;
+    SimResult gal = run_galois(input, g);
+    ASSERT_TRUE(same_behaviour(ref, gal)) << diff_behaviour(ref, gal);
+
+    ActorEngineConfig a;
+    a.workers = 4;
+    SimResult act = run_actor(input, a);
+    ASSERT_TRUE(same_behaviour(ref, act)) << diff_behaviour(ref, act);
+
+    TimeWarpConfig tw;
+    tw.workers = 4;
+    SimResult twr = run_timewarp(input, tw);
+    ASSERT_TRUE(same_behaviour(ref, twr)) << diff_behaviour(ref, twr);
+  }
+}
+
+TEST(StressFuzz, ZeroDelayGatesStillOrderCorrectly) {
+  // Delay 0 means a gate's output carries the same timestamp as its input —
+  // events do not "move forward in time" yet causality must hold.
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId g1 = nb.add_gate(circuit::GateKind::Buf, a);
+  nb.set_delay(g1, 0);
+  NodeId g2 = nb.add_gate(circuit::GateKind::Xor, g1, a);
+  nb.set_delay(g2, 0);
+  nb.add_output(g2, "o");
+  Netlist nl = nb.build();
+
+  Stimulus s;
+  s.initial.resize(1);
+  for (int k = 0; k < 20; ++k) s.initial[0].push_back({k, k % 2 == 0});
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+
+  HjEngineConfig cfg;
+  cfg.workers = 4;
+  SimResult hj = run_hj(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, hj)) << diff_behaviour(ref, hj);
+
+  TimeWarpConfig tw;
+  tw.workers = 2;
+  SimResult twr = run_timewarp(input, tw);
+  EXPECT_TRUE(same_behaviour(ref, twr)) << diff_behaviour(ref, twr);
+}
+
+TEST(StressFuzz, WideFanoutHotspot) {
+  // One driver feeding 64 gates: the worst case for the per-port lock
+  // protocol (one task holds 64 fanout locks while processing).
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId b = nb.add_input("b");
+  NodeId hot = nb.add_gate(circuit::GateKind::Xor, a, b);
+  for (int i = 0; i < 64; ++i) {
+    NodeId g = nb.add_gate(circuit::GateKind::And, hot, b);
+    nb.add_output(g, "o" + std::to_string(i));
+  }
+  Netlist nl = nb.build();
+  Stimulus s = circuit::random_stimulus(nl, 50, 3, 17);
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+  for (int workers : {1, 4}) {
+    HjEngineConfig cfg;
+    cfg.workers = workers;
+    SimResult hj = run_hj(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, hj))
+        << "workers=" << workers << ": " << diff_behaviour(ref, hj);
+  }
+}
+
+TEST(StressFuzz, RoundTrippedNetlistSimulatesIdentically) {
+  // Serialization must preserve simulation behaviour exactly.
+  Netlist original = circuit::kogge_stone_adder(12);
+  Netlist reparsed = circuit::parse_netlist(circuit::to_text(original));
+  Stimulus s = circuit::random_stimulus(original, 10, 7, 23);
+  SimInput in_a(original, s);
+  SimInput in_b(reparsed, s);
+  SimResult ra = run_sequential(in_a);
+  SimResult rb = run_sequential(in_b);
+  EXPECT_TRUE(same_behaviour(ra, rb)) << diff_behaviour(ra, rb);
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -1,0 +1,177 @@
+// Time Warp optimistic engine: rollback correctness, anti-message
+// annihilation, and exact behavioural equivalence with the conservative
+// engines across circuits, seeds, and worker counts.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+using circuit::Stimulus;
+
+TEST(TimeWarp, SingleGateMatchesSequential) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId g = nb.add_gate(GateKind::Not, a);
+  nb.add_output(g, "o");
+  Netlist nl = nb.build();
+  Stimulus s;
+  s.initial.resize(1);
+  s.initial[0] = {{0, true}, {10, false}, {20, true}};
+  SimInput input(nl, s);
+
+  SimResult ref = run_sequential(input);
+  SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = 1});
+  EXPECT_TRUE(same_behaviour(ref, tw)) << diff_behaviour(ref, tw);
+  EXPECT_EQ(tw.null_messages, 0u) << "Time Warp needs no NULL messages";
+}
+
+TEST(TimeWarp, StragglerForcesRollbackButResultIsExact) {
+  // Adversarial injection: events delivered newest-first, one per batch, so
+  // every subsequent arrival is a straggler that forces the downstream gate
+  // to roll back — yet the committed result must equal the conservative
+  // reference bit-for-bit (Time Warp's order-independence).
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId b = nb.add_input("b");
+  NodeId g = nb.add_gate(GateKind::And, a, b);
+  nb.add_output(g, "o");
+  Netlist nl = nb.build();
+  Stimulus s;
+  s.initial.resize(2);
+  for (int k = 0; k < 50; ++k) {
+    s.initial[0].push_back({k * 10 + 5, k % 2 == 0});
+    s.initial[1].push_back({k * 10, k % 3 == 0});
+  }
+  SimInput input(nl, s);
+
+  SimResult ref = run_sequential(input);
+  TimeWarpConfig cfg;
+  cfg.workers = 1;
+  cfg.input_batch = 1;
+  cfg.reverse_injection = true;
+  SimResult tw = run_timewarp(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, tw)) << diff_behaviour(ref, tw);
+  EXPECT_GT(tw.rollbacks, 0u) << "this workload must trigger rollbacks";
+  EXPECT_GT(tw.anti_messages, 0u);
+  EXPECT_GT(tw.speculative_events, tw.events_processed)
+      << "some processings must have been undone";
+}
+
+TEST(TimeWarp, OrderIndependenceAcrossInjectionModes) {
+  // The committed result must be identical for forward, batched, and
+  // reversed injection, at any worker count.
+  Netlist nl = circuit::kogge_stone_adder(8);
+  Stimulus s = circuit::skewed_random_stimulus(nl, 10, 9, 31337);
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+  for (int workers : {1, 2}) {
+    for (std::size_t batch : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      for (bool reverse : {false, true}) {
+        TimeWarpConfig cfg;
+        cfg.workers = workers;
+        cfg.input_batch = batch;
+        cfg.reverse_injection = reverse;
+        SimResult tw = run_timewarp(input, cfg);
+        ASSERT_TRUE(same_behaviour(ref, tw))
+            << "workers=" << workers << " batch=" << batch
+            << " reverse=" << reverse << ": " << diff_behaviour(ref, tw);
+      }
+    }
+  }
+}
+
+class TimeWarpMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TimeWarpMatrix, MatchesSequentialOnRandomDags) {
+  auto [seed, workers] = GetParam();
+  circuit::RandomDagParams p;
+  p.num_inputs = 6;
+  p.num_gates = 150;
+  p.num_outputs = 8;
+  p.max_node_amplification = 64;
+  p.seed = static_cast<std::uint64_t>(seed);
+  Netlist nl = circuit::random_dag(p);
+  Stimulus s = circuit::skewed_random_stimulus(nl, 10, 8,
+                                               static_cast<std::uint64_t>(seed) * 31 + 7);
+  SimInput input(nl, s);
+
+  SimResult ref = run_sequential(input);
+  SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = workers});
+  EXPECT_TRUE(same_behaviour(ref, tw)) << diff_behaviour(ref, tw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWorkers, TimeWarpMatrix,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(TimeWarp, PaperCircuitsAllWorkersAgree) {
+  Netlist nl = circuit::kogge_stone_adder(16);
+  Stimulus s = circuit::random_stimulus(nl, 15, 10, 2024);
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+  for (int workers : {1, 2, 4}) {
+    SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = workers});
+    ASSERT_TRUE(same_behaviour(ref, tw))
+        << "workers=" << workers << ": " << diff_behaviour(ref, tw);
+  }
+}
+
+TEST(TimeWarp, MultiplierMatches) {
+  Netlist nl = circuit::tree_multiplier(6);
+  Stimulus s = circuit::random_stimulus(nl, 4, 25, 11);
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+  SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = 4});
+  EXPECT_TRUE(same_behaviour(ref, tw)) << diff_behaviour(ref, tw);
+}
+
+TEST(TimeWarp, RepeatedRunsStayDeterministic) {
+  Netlist nl = circuit::ripple_carry_adder(10);
+  Stimulus s = circuit::skewed_random_stimulus(nl, 12, 6, 99);
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+  for (int round = 0; round < 15; ++round) {
+    SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = 4});
+    ASSERT_TRUE(same_behaviour(ref, tw))
+        << "round " << round << ": " << diff_behaviour(ref, tw);
+  }
+}
+
+TEST(TimeWarp, EmptyStimulusQuiescesImmediately) {
+  Netlist nl = circuit::kogge_stone_adder(4);
+  Stimulus s;
+  s.initial.resize(nl.inputs().size());
+  SimInput input(nl, s);
+  SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = 2});
+  EXPECT_EQ(tw.events_processed, 0u);
+  EXPECT_EQ(tw.rollbacks, 0u);
+  for (const auto& w : tw.waveforms) EXPECT_TRUE(w.empty());
+}
+
+TEST(TimeWarp, SpeculationOverheadIsObservable) {
+  // Skewed inputs on a wide circuit: Time Warp must do strictly more raw
+  // processings than it commits when stragglers occur, never fewer.
+  Netlist nl = circuit::kogge_stone_adder(12);
+  Stimulus s = circuit::skewed_random_stimulus(nl, 20, 15, 5);
+  SimInput input(nl, s);
+  SimResult tw = run_timewarp(input, TimeWarpConfig{.workers = 1});
+  EXPECT_GE(tw.speculative_events, tw.events_processed);
+  SimResult ref = run_sequential(input);
+  EXPECT_TRUE(same_behaviour(ref, tw)) << diff_behaviour(ref, tw);
+}
+
+}  // namespace
+}  // namespace hjdes::des

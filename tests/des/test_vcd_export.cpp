@@ -1,0 +1,105 @@
+// VCD export: structure of the emitted document and value-change ordering.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "des/engines.hpp"
+#include "des/vcd_export.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::GateKind;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+
+SimInput make_not_input(circuit::Netlist& storage, circuit::Stimulus& stim) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input("a");
+  NodeId g = nb.add_gate(GateKind::Not, a);
+  nb.add_output(g, "y");
+  storage = nb.build();
+  stim.initial.resize(1);
+  stim.initial[0] = {{0, true}, {10, false}};
+  return SimInput(storage, stim);
+}
+
+TEST(VcdExport, ContainsHeaderAndDeclarations) {
+  circuit::Netlist nl;
+  circuit::Stimulus s;
+  SimInput input = make_not_input(nl, s);
+  SimResult r = run_sequential(input);
+  std::string vcd = to_vcd(input, r);
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module hjdes $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 \" y $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+}
+
+TEST(VcdExport, EmitsChangesInTimeOrder) {
+  circuit::Netlist nl;
+  circuit::Stimulus s;
+  SimInput input = make_not_input(nl, s);
+  SimResult r = run_sequential(input);
+  std::string vcd = to_vcd(input, r);
+  // Expected timeline: #0 a=1, #1 y=0, #10 a=0, #11 y=1.
+  auto p0 = vcd.find("#0\n1!");
+  auto p1 = vcd.find("#1\n0\"");
+  auto p10 = vcd.find("#10\n0!");
+  auto p11 = vcd.find("#11\n1\"");
+  EXPECT_NE(p0, std::string::npos);
+  EXPECT_NE(p1, std::string::npos);
+  EXPECT_NE(p10, std::string::npos);
+  EXPECT_NE(p11, std::string::npos);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p10);
+  EXPECT_LT(p10, p11);
+}
+
+TEST(VcdExport, InputsCanBeExcluded) {
+  circuit::Netlist nl;
+  circuit::Stimulus s;
+  SimInput input = make_not_input(nl, s);
+  SimResult r = run_sequential(input);
+  VcdOptions opts;
+  opts.include_inputs = false;
+  std::string vcd = to_vcd(input, r, opts);
+  EXPECT_EQ(vcd.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! y $end"), std::string::npos);
+}
+
+TEST(VcdExport, UnnamedWiresGetSyntheticNames) {
+  NetlistBuilder nb;
+  NodeId a = nb.add_input();
+  nb.add_output(nb.add_gate(GateKind::Buf, a));
+  circuit::Netlist nl = nb.build();
+  circuit::Stimulus s;
+  s.initial.resize(1);
+  s.initial[0] = {{0, true}};
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+  std::string vcd = to_vcd(input, r);
+  EXPECT_NE(vcd.find(" in0 "), std::string::npos);
+  EXPECT_NE(vcd.find(" out0 "), std::string::npos);
+}
+
+TEST(VcdExport, LargeCircuitProducesManyIds) {
+  // >94 wires forces multi-character VCD identifiers.
+  circuit::Netlist nl = circuit::kogge_stone_adder(64);
+  circuit::Stimulus s = circuit::random_stimulus(nl, 2, 10, 3);
+  SimInput input(nl, s);
+  SimResult r = run_sequential(input);
+  std::string vcd = to_vcd(input, r);
+  // 129 inputs + 65 outputs = 194 wires declared.
+  std::size_t vars = 0;
+  for (std::size_t pos = vcd.find("$var"); pos != std::string::npos;
+       pos = vcd.find("$var", pos + 1)) {
+    ++vars;
+  }
+  EXPECT_EQ(vars, 194u);
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -1,0 +1,105 @@
+// Chase-Lev deque: owner push/pop semantics plus a concurrent steal stress
+// test checking no element is lost or duplicated.
+#include "hj/chase_lev_deque.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hjdes::hj {
+namespace {
+
+TEST(ChaseLevDeque, PopFromEmptyIsNull) {
+  ChaseLevDeque<int> d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(ChaseLevDeque, OwnerPopIsLifo) {
+  ChaseLevDeque<int> d;
+  int items[3] = {1, 2, 3};
+  for (int& i : items) d.push(&i);
+  EXPECT_EQ(d.pop(), &items[2]);
+  EXPECT_EQ(d.pop(), &items[1]);
+  EXPECT_EQ(d.pop(), &items[0]);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(ChaseLevDeque, StealIsFifo) {
+  ChaseLevDeque<int> d;
+  int items[3] = {1, 2, 3};
+  for (int& i : items) d.push(&i);
+  EXPECT_EQ(d.steal(), &items[0]);
+  EXPECT_EQ(d.steal(), &items[1]);
+  EXPECT_EQ(d.steal(), &items[2]);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(ChaseLevDeque, MixedPopAndSteal) {
+  ChaseLevDeque<int> d;
+  int items[4] = {0, 1, 2, 3};
+  for (int& i : items) d.push(&i);
+  EXPECT_EQ(d.steal(), &items[0]);  // oldest from the top
+  EXPECT_EQ(d.pop(), &items[3]);    // newest from the bottom
+  EXPECT_EQ(d.steal(), &items[1]);
+  EXPECT_EQ(d.pop(), &items[2]);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(8);
+  std::vector<int> items(1000);
+  for (int& i : items) d.push(&i);
+  EXPECT_EQ(d.size_estimate(), 1000);
+  for (int n = 999; n >= 0; --n) EXPECT_EQ(d.pop(), &items[static_cast<std::size_t>(n)]);
+}
+
+TEST(ChaseLevDequeConcurrency, NoLossNoDuplication) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> d(64);
+  std::vector<int> items(kItems);
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<int> taken{0};
+
+  auto consume = [&](int* p) {
+    std::ptrdiff_t idx = p - items.data();
+    seen[static_cast<std::size_t>(idx)].fetch_add(1);
+    taken.fetch_add(1);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             taken.load() < kItems) {
+        if (int* p = d.steal()) consume(p);
+        if (taken.load() >= kItems) break;
+      }
+    });
+  }
+
+  // Owner: interleave pushes with occasional pops.
+  for (int i = 0; i < kItems; ++i) {
+    d.push(&items[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* p = d.pop()) consume(p);
+    }
+  }
+  while (int* p = d.pop()) consume(p);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(taken.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " consumed wrong number of times";
+  }
+}
+
+}  // namespace
+}  // namespace hjdes::hj

@@ -1,0 +1,151 @@
+// Futures and actors layered on async/finish.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hj/actor.hpp"
+#include "hj/future.hpp"
+#include "hj/runtime.hpp"
+
+namespace hjdes::hj {
+namespace {
+
+TEST(Future, ResolvesToValue) {
+  Runtime rt(2);
+  int got = 0;
+  rt.run([&got] {
+    auto f = async_future<int>([] { return 41 + 1; });
+    got = f.get();
+  });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Future, ChainedFutures) {
+  Runtime rt(2);
+  int got = 0;
+  rt.run([&got] {
+    auto a = async_future<int>([] { return 10; });
+    auto b = async_future<int>([] { return 20; });
+    got = a.get() + b.get();
+  });
+  EXPECT_EQ(got, 30);
+}
+
+TEST(Future, ManyFuturesAllResolve) {
+  Runtime rt(4);
+  long total = 0;
+  rt.run([&total] {
+    std::vector<Future<int>> futures;
+    futures.reserve(500);
+    for (int i = 0; i < 500; ++i) {
+      futures.push_back(async_future<int>([i] { return i; }));
+    }
+    long sum = 0;
+    for (auto& f : futures) sum += f.get();
+    total = sum;
+  });
+  EXPECT_EQ(total, 499L * 500 / 2);
+}
+
+TEST(Future, ReadyAfterGet) {
+  Runtime rt(1);
+  rt.run([] {
+    auto f = async_future<int>([] { return 5; });
+    f.wait();
+    EXPECT_TRUE(f.ready());
+    EXPECT_EQ(f.get(), 5);
+  });
+}
+
+class CountingActor final : public Actor<int> {
+ public:
+  std::atomic<long> sum{0};
+  std::vector<int> order;  // actor-private: serialized by the actor contract
+
+ protected:
+  void process(int v) override {
+    sum.fetch_add(v, std::memory_order_relaxed);
+    order.push_back(v);
+  }
+};
+
+TEST(Actor, ProcessesEveryMessage) {
+  Runtime rt(2);
+  CountingActor actor;
+  rt.run([&actor] {
+    for (int i = 1; i <= 100; ++i) actor.send(i);
+  });
+  EXPECT_EQ(actor.sum.load(), 5050);
+  EXPECT_EQ(actor.processed(), 100u);
+}
+
+TEST(Actor, PerSenderOrderIsPreserved) {
+  Runtime rt(1);  // single worker: global send order == processing order
+  CountingActor actor;
+  rt.run([&actor] {
+    for (int i = 0; i < 50; ++i) actor.send(i);
+  });
+  ASSERT_EQ(actor.order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(actor.order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Actor, ConcurrentSendersAllDelivered) {
+  Runtime rt(4);
+  CountingActor actor;
+  rt.run([&actor] {
+    for (int s = 0; s < 8; ++s) {
+      async([&actor] {
+        for (int i = 0; i < 1000; ++i) actor.send(1);
+      });
+    }
+  });
+  EXPECT_EQ(actor.sum.load(), 8000);
+  EXPECT_EQ(actor.processed(), 8000u);
+}
+
+class PingPong final : public Actor<int> {
+ public:
+  PingPong* peer = nullptr;
+  std::atomic<int> received{0};
+
+ protected:
+  void process(int v) override {
+    received.fetch_add(1);
+    if (v > 0) peer->send(v - 1);
+  }
+};
+
+TEST(Actor, PingPongTerminates) {
+  Runtime rt(2);
+  PingPong a, b;
+  a.peer = &b;
+  b.peer = &a;
+  rt.run([&a] { a.send(999); });
+  EXPECT_EQ(a.received.load() + b.received.load(), 1000);
+}
+
+TEST(Actor, ActorsSendingToActorsFanOut) {
+  Runtime rt(4);
+  CountingActor sink;
+  class Forwarder final : public Actor<int> {
+   public:
+    CountingActor* sink = nullptr;
+   protected:
+    void process(int v) override {
+      for (int i = 0; i < 10; ++i) sink->send(v);
+    }
+  };
+  std::vector<Forwarder> mids(10);
+  for (auto& m : mids) m.sink = &sink;
+  rt.run([&mids] {
+    for (auto& m : mids) {
+      for (int i = 0; i < 10; ++i) m.send(1);
+    }
+  });
+  EXPECT_EQ(sink.sum.load(), 1000);
+}
+
+}  // namespace
+}  // namespace hjdes::hj

@@ -1,0 +1,170 @@
+// The paper's TRYLOCK/RELEASEALLLOCKS extension (§3.2) and HJlib isolated.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hj/isolated.hpp"
+#include "hj/locks.hpp"
+#include "hj/runtime.hpp"
+
+namespace hjdes::hj {
+namespace {
+
+TEST(TryLock, AcquireAndReleaseAll) {
+  HjLock a, b;
+  EXPECT_TRUE(try_lock(a));
+  EXPECT_TRUE(try_lock(b));
+  EXPECT_EQ(held_lock_count(), 2u);
+  EXPECT_TRUE(a.is_held());
+  EXPECT_TRUE(b.is_held());
+  release_all_locks();
+  EXPECT_EQ(held_lock_count(), 0u);
+  EXPECT_FALSE(a.is_held());
+  EXPECT_FALSE(b.is_held());
+}
+
+TEST(TryLock, SecondAcquireFails) {
+  HjLock a;
+  EXPECT_TRUE(try_lock(a));
+  EXPECT_FALSE(try_lock(a)) << "a held lock must not be re-acquirable";
+  EXPECT_EQ(held_lock_count(), 1u) << "failed try_lock must not register";
+  release_all_locks();
+}
+
+TEST(TryLock, FailureAcrossThreads) {
+  HjLock a;
+  ASSERT_TRUE(try_lock(a));
+  bool other_got_it = true;
+  std::thread t([&a, &other_got_it] { other_got_it = try_lock(a); });
+  t.join();
+  EXPECT_FALSE(other_got_it);
+  release_all_locks();
+  std::thread t2([&a] {
+    EXPECT_TRUE(try_lock(a));
+    release_all_locks();
+  });
+  t2.join();
+}
+
+TEST(TryLock, NonBlockingUnderContention) {
+  // The paper's deadlock-freedom argument: try_lock never blocks, so a task
+  // holding lock A and failing on lock B can always release and retry.
+  HjLock a, b;
+  std::atomic<int> acquired_both{0};
+  constexpr int kAttemptsPerThread = 20000;
+  auto worker = [&](bool forward) {
+    for (int i = 0; i < kAttemptsPerThread; ++i) {
+      HjLock& first = forward ? a : b;
+      HjLock& second = forward ? b : a;
+      if (try_lock(first)) {
+        if (try_lock(second)) {
+          acquired_both.fetch_add(1);
+        }
+        release_all_locks();
+      }
+    }
+  };
+  std::thread t1(worker, true);
+  std::thread t2(worker, false);  // opposite order: deadlock-prone if blocking
+  t1.join();
+  t2.join();
+  EXPECT_GT(acquired_both.load(), 0);
+  EXPECT_FALSE(a.is_held());
+  EXPECT_FALSE(b.is_held());
+}
+
+TEST(TryLock, MutualExclusionProtectsCounter) {
+  Runtime rt(4);
+  HjLock lock;
+  long counter = 0;  // plain long: data race iff mutual exclusion fails
+  rt.run([&] {
+    for (int i = 0; i < 200; ++i) {
+      async([&] {
+        for (;;) {
+          if (try_lock(lock)) {
+            counter += 1;
+            release_all_locks();
+            return;
+          }
+          // Non-blocking: retry after yielding to the OS scheduler so the
+          // holder's thread can run on a small machine.
+          std::this_thread::yield();
+        }
+      });
+    }
+  });
+  EXPECT_EQ(counter, 200);
+}
+
+TEST(Isolated, GlobalMutualExclusion) {
+  Runtime rt(4);
+  long counter = 0;
+  rt.run([&] {
+    for (int i = 0; i < 500; ++i) {
+      async([&] { isolated([&] { counter += 1; }); });
+    }
+  });
+  EXPECT_EQ(counter, 500);
+}
+
+TEST(Isolated, ObjectBasedMutualExclusion) {
+  Runtime rt(4);
+  long c1 = 0, c2 = 0;
+  rt.run([&] {
+    for (int i = 0; i < 300; ++i) {
+      async([&] { isolated_on([&c1] { c1 += 1; }, &c1); });
+      async([&] { isolated_on([&c2] { c2 += 1; }, &c2); });
+      async([&] {
+        isolated_on([&c1, &c2] {
+          c1 += 1;
+          c2 += 1;
+        }, &c1, &c2);
+      });
+    }
+  });
+  EXPECT_EQ(c1, 600);
+  EXPECT_EQ(c2, 600);
+}
+
+TEST(Isolated, GlobalExcludesObjectIsolated) {
+  Runtime rt(4);
+  long counter = 0;
+  rt.run([&] {
+    for (int i = 0; i < 200; ++i) {
+      async([&] { isolated([&] { counter += 1; }); });
+      async([&] { isolated_on([&counter] { counter += 1; }, &counter); });
+    }
+  });
+  EXPECT_EQ(counter, 400);
+}
+
+TEST(Isolated, SameObjectTwiceDoesNotSelfDeadlock) {
+  long v = 0;
+  isolated_on([&v] { v = 42; }, &v, &v);
+  EXPECT_EQ(v, 42);
+}
+
+TEST(Isolated, ManyObjectsSortedAcquisition) {
+  // Two blocks naming overlapping object sets in different orders must not
+  // deadlock (address-ordered stripes).
+  Runtime rt(4);
+  long a = 0, b = 0, c = 0;
+  rt.run([&] {
+    for (int i = 0; i < 300; ++i) {
+      async([&] {
+        isolated_on([&] { ++a; ++b; ++c; }, &a, &b, &c);
+      });
+      async([&] {
+        isolated_on([&] { ++a; ++b; ++c; }, &c, &b, &a);
+      });
+    }
+  });
+  EXPECT_EQ(a, 600);
+  EXPECT_EQ(b, 600);
+  EXPECT_EQ(c, 600);
+}
+
+}  // namespace
+}  // namespace hjdes::hj

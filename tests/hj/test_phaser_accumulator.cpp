@@ -1,0 +1,192 @@
+// Phasers, accumulators and forall — the HJlib constructs beyond
+// async/finish (paper §3).
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hj/accumulator.hpp"
+#include "hj/forall.hpp"
+#include "hj/phaser.hpp"
+#include "hj/runtime.hpp"
+
+namespace hjdes::hj {
+namespace {
+
+TEST(Phaser, SinglePartyAdvancesFreely) {
+  Phaser ph(1);
+  EXPECT_EQ(ph.phase(), 0u);
+  ph.next();
+  EXPECT_EQ(ph.phase(), 1u);
+  ph.next();
+  EXPECT_EQ(ph.phase(), 2u);
+}
+
+TEST(Phaser, BarrierSynchronizesPhases) {
+  constexpr int kParties = 4;
+  constexpr int kPhases = 50;
+  Runtime rt(kParties);
+  Phaser ph(kParties);
+  std::atomic<int> in_phase[kPhases];
+  for (auto& c : in_phase) c.store(0);
+  std::atomic<bool> violation{false};
+
+  rt.run([&] {
+    for (int p = 0; p < kParties; ++p) {
+      async([&] {
+        for (int phase = 0; phase < kPhases; ++phase) {
+          in_phase[phase].fetch_add(1);
+          // Everyone must arrive at `phase` before anyone enters phase+1.
+          ph.next();
+          if (in_phase[phase].load() != kParties) violation.store(true);
+        }
+      });
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(ph.phase(), static_cast<std::uint64_t>(kPhases));
+}
+
+TEST(Phaser, SignalDoesNotBlock) {
+  Runtime rt(2);
+  Phaser ph(2);
+  std::atomic<bool> producer_done{false};
+  rt.run([&] {
+    async([&] {
+      ph.signal();  // SIG mode: no wait
+      producer_done.store(true);
+    });
+    ph.next();  // consumer waits for the producer's signal
+  });
+  EXPECT_TRUE(producer_done.load());
+  EXPECT_EQ(ph.phase(), 1u);
+}
+
+TEST(Phaser, AwaitObservesPhaseCompletion) {
+  Runtime rt(2);
+  Phaser ph(1);
+  std::atomic<int> seen{-1};
+  rt.run([&] {
+    std::uint64_t before = ph.phase();
+    async([&, before] {
+      ph.await(before);  // pure WAIT mode
+      seen.store(static_cast<int>(ph.phase()));
+    });
+    ph.next();
+  });
+  EXPECT_GE(seen.load(), 1);
+}
+
+TEST(Accumulator, SumAcrossTasks) {
+  Runtime rt(4);
+  Accumulator<long> acc(Reduction::Sum, 0);
+  rt.run([&acc] {
+    for (int i = 1; i <= 1000; ++i) {
+      async([&acc, i] { acc.put(i); });
+    }
+  });
+  EXPECT_EQ(acc.get(), 500500);
+}
+
+TEST(Accumulator, MinAndMax) {
+  Runtime rt(4);
+  Accumulator<long> lo(Reduction::Min, 1'000'000);
+  Accumulator<long> hi(Reduction::Max, -1'000'000);
+  long expected_min = 1'000'000;
+  long expected_max = -1'000'000;
+  for (int i = 0; i < 500; ++i) {
+    long v = i * 7 % 501 - 50;
+    expected_min = std::min(expected_min, v);
+    expected_max = std::max(expected_max, v);
+  }
+  rt.run([&] {
+    for (int i = 0; i < 500; ++i) {
+      async([&, i] {
+        lo.put(i * 7 % 501 - 50);
+        hi.put(i * 7 % 501 - 50);
+      });
+    }
+  });
+  EXPECT_EQ(lo.get(), expected_min);
+  EXPECT_EQ(hi.get(), expected_max);
+}
+
+TEST(Accumulator, ResetRestoresIdentity) {
+  Accumulator<long> acc(Reduction::Sum, 0);
+  acc.put(5);
+  EXPECT_EQ(acc.get(), 5);
+  acc.reset();
+  EXPECT_EQ(acc.get(), 0);
+}
+
+TEST(Accumulator, UsableFromExternalThreads) {
+  Accumulator<long> acc(Reduction::Sum, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&acc] {
+      for (int i = 0; i < 1000; ++i) acc.put(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(acc.get(), 4000);
+}
+
+TEST(Forall, CoversEveryIndexExactlyOnce) {
+  Runtime rt(4);
+  constexpr int kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  rt.run([&hits] {
+    forall(0, kN, [&hits](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(Forall, GrainDoesNotChangeSemantics) {
+  Runtime rt(2);
+  for (std::int64_t grain : {1, 7, 100, 100000}) {
+    std::atomic<long> sum{0};
+    rt.run([&sum, grain] {
+      forall(0, 1000,
+             [&sum](std::int64_t i) {
+               sum.fetch_add(i, std::memory_order_relaxed);
+             },
+             grain);
+    });
+    EXPECT_EQ(sum.load(), 499500) << "grain " << grain;
+  }
+}
+
+TEST(Forall, EmptyRangeIsNoop) {
+  Runtime rt(1);
+  rt.run([] {
+    forall(5, 5, [](std::int64_t) { FAIL() << "must not run"; });
+    forall(9, 3, [](std::int64_t) { FAIL() << "must not run"; });
+  });
+}
+
+TEST(Forall, ForasyncUnderExplicitFinish) {
+  Runtime rt(2);
+  std::atomic<int> count{0};
+  rt.run([&count] {
+    finish([&count] {
+      forasync(0, 100, [&count](std::int64_t) { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 100);
+  });
+}
+
+TEST(Forall, ParallelSumMatchesAccumulator) {
+  Runtime rt(4);
+  Accumulator<std::int64_t> acc(Reduction::Sum, 0);
+  rt.run([&acc] {
+    forall(0, 100000,
+           [&acc](std::int64_t i) { acc.put(i); }, 128);
+  });
+  EXPECT_EQ(acc.get(), 99999LL * 100000 / 2);
+}
+
+}  // namespace
+}  // namespace hjdes::hj

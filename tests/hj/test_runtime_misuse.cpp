@@ -1,0 +1,42 @@
+// Runtime contract violations must fail loudly, not corrupt state.
+#include <gtest/gtest.h>
+
+#include "hj/runtime.hpp"
+
+namespace hjdes::hj {
+namespace {
+
+TEST(RuntimeMisuseDeathTest, AsyncOutsideRunAborts) {
+  EXPECT_DEATH({ async([] {}); }, "outside");
+}
+
+TEST(RuntimeMisuseDeathTest, FinishOutsideRunAborts) {
+  EXPECT_DEATH({ finish([] {}); }, "outside");
+}
+
+TEST(RuntimeMisuseDeathTest, NestedRunAborts) {
+  EXPECT_DEATH(
+      {
+        Runtime outer(1);
+        outer.run([&outer] { outer.run([] {}); });
+      },
+      "nested");
+}
+
+TEST(RuntimeMisuseDeathTest, ZeroWorkersAborts) {
+  EXPECT_DEATH({ Runtime rt(0); }, "at least one worker");
+}
+
+TEST(RuntimeMisuse, HelpOneOutsideRunIsBenign) {
+  EXPECT_FALSE(help_one());
+}
+
+TEST(RuntimeMisuse, StatsAreZeroBeforeAnyRun) {
+  Runtime rt(2);
+  RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.tasks_executed, 0u);
+  EXPECT_EQ(s.tasks_spawned, 0u);
+}
+
+}  // namespace
+}  // namespace hjdes::hj

@@ -1,0 +1,213 @@
+// netsim substrate: topology/routing invariants, the global-event-list
+// reference engine, and CMB-vs-reference equivalence across topologies,
+// traffic patterns, and worker counts.
+#include <gtest/gtest.h>
+
+#include "netsim/netsim.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::netsim {
+namespace {
+
+TEST(Topology, RingStructure) {
+  Topology t = ring_topology(5, 2, 3);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.link_count(), 10u);  // bidirectional
+  EXPECT_TRUE(t.strongly_connected());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.out_links(static_cast<NodeId>(i)).size(), 2u);
+    EXPECT_EQ(t.in_links(static_cast<NodeId>(i)).size(), 2u);
+    EXPECT_EQ(t.service(static_cast<NodeId>(i)), 2);
+  }
+}
+
+TEST(Topology, NextHopFollowsShortestPath) {
+  Topology t = ring_topology(6, 1, 1);
+  // From 0 to 2: clockwise (0->1->2) is shortest.
+  LinkId l = t.next_hop(0, 2);
+  ASSERT_GE(l, 0);
+  EXPECT_EQ(t.link(l).to, 1);
+  // From 0 to 4: counter-clockwise (0->5->4).
+  l = t.next_hop(0, 4);
+  ASSERT_GE(l, 0);
+  EXPECT_EQ(t.link(l).to, 5);
+  // Self route does not exist.
+  EXPECT_EQ(t.next_hop(3, 3), -1);
+}
+
+TEST(Topology, InPortIndicesAreConsistent) {
+  Topology t = torus_topology(3, 1, 2);
+  for (std::size_t li = 0; li < t.link_count(); ++li) {
+    const Link& l = t.link(static_cast<LinkId>(li));
+    auto ins = t.in_links(l.to);
+    int port = t.in_port(static_cast<LinkId>(li));
+    ASSERT_LT(static_cast<std::size_t>(port), ins.size());
+    EXPECT_EQ(ins[static_cast<std::size_t>(port)], static_cast<LinkId>(li));
+  }
+}
+
+TEST(Topology, RandomIsStronglyConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Topology t = random_topology(12, 10, 3, 4, seed);
+    EXPECT_TRUE(t.strongly_connected()) << "seed " << seed;
+  }
+}
+
+TEST(TopologyDeathTest, RejectsSelfLoop) {
+  TopologyBuilder tb;
+  tb.add_node(1);
+  EXPECT_DEATH({ tb.add_link(0, 0, 1); }, "self-loop");
+}
+
+TEST(TopologyDeathTest, RejectsZeroLatency) {
+  TopologyBuilder tb;
+  tb.add_node(1);
+  tb.add_node(1);
+  EXPECT_DEATH({ tb.add_link(0, 1, 0); }, "positive");
+}
+
+TEST(GlobalEngine, SinglePacketLatencyIsExact) {
+  // Two nodes, one link each way: service 2, latency 3.
+  Topology t = ring_topology(2, 2, 3);
+  Traffic traffic;
+  traffic.injections.push_back(Injection{0, 0, 1, 10});
+  NetSimResult r = run_global_list(t, traffic, 1000);
+  ASSERT_EQ(r.packets.size(), 1u);
+  // Injected at 10, serviced at node 0 (depart 10+2), arrives 12+3 = 15.
+  EXPECT_EQ(r.packets[0].delivered, 15);
+  EXPECT_EQ(r.packets[0].hops, 1u);
+  EXPECT_EQ(r.forwards, 1u);
+  EXPECT_EQ(r.events_processed, 2u);  // injection arrival + final arrival
+}
+
+TEST(GlobalEngine, FifoQueueingDelaysAccumulate) {
+  Topology t = ring_topology(2, 5, 1);
+  Traffic traffic;
+  // Three packets at the same instant from node 0 to node 1: the single
+  // server serializes them (departs 5, 10, 15 -> arrivals 6, 11, 16).
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    traffic.injections.push_back(Injection{i, 0, 1, 0});
+  }
+  NetSimResult r = run_global_list(t, traffic, 1000);
+  EXPECT_EQ(r.packets[0].delivered, 6);
+  EXPECT_EQ(r.packets[1].delivered, 11);
+  EXPECT_EQ(r.packets[2].delivered, 16);
+}
+
+TEST(GlobalEngine, EndTimeDropsLatePackets) {
+  Topology t = ring_topology(4, 2, 2);
+  Traffic traffic = random_traffic(t, 100, 50, 1);
+  NetSimResult full = run_global_list(t, traffic, 1'000'000);
+  NetSimResult cut = run_global_list(t, traffic, 30);
+  EXPECT_EQ(full.delivered_count(), 100u);
+  EXPECT_LT(cut.delivered_count(), full.delivered_count());
+}
+
+class CmbEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+ protected:
+  static Topology make_topology(const std::string& which) {
+    if (which == "ring") return ring_topology(8, 2, 3);
+    if (which == "torus") return torus_topology(4, 1, 2);
+    if (which == "star") return star_topology(10, 3, 1);
+    return random_topology(14, 20, 3, 4, 99);
+  }
+};
+
+TEST_P(CmbEquivalence, MatchesGlobalList) {
+  auto [which, workers] = GetParam();
+  Topology t = make_topology(which);
+  Traffic traffic = random_traffic(t, 400, 300, 7);
+  const Time end = 1'000'000;  // generous: everything delivers
+  NetSimResult ref = run_global_list(t, traffic, end);
+  EXPECT_EQ(ref.delivered_count(), 400u) << "horizon too small for test";
+  NetSimResult cmb = run_cmb(t, traffic, end, CmbConfig{.workers = workers});
+  EXPECT_TRUE(same_behaviour(ref, cmb)) << diff_behaviour(ref, cmb);
+  EXPECT_GT(cmb.null_messages, 0u) << "CMB must exchange null messages";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CmbEquivalence,
+    ::testing::Combine(::testing::Values("ring", "torus", "star", "random"),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      return std::string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CmbEngine, TruncatedHorizonMatchesReference) {
+  Topology t = torus_topology(3, 2, 2);
+  Traffic traffic = random_traffic(t, 200, 100, 21);
+  for (Time end : {40, 90, 200}) {
+    NetSimResult ref = run_global_list(t, traffic, end);
+    NetSimResult cmb = run_cmb(t, traffic, end, CmbConfig{.workers = 2});
+    ASSERT_TRUE(same_behaviour(ref, cmb))
+        << "end=" << end << ": " << diff_behaviour(ref, cmb);
+  }
+}
+
+TEST(CmbEngine, HotspotTrafficMatches) {
+  Topology t = star_topology(8, 2, 1);
+  Traffic traffic = hotspot_traffic(t, /*sink=*/0, /*per_node=*/30,
+                                    /*interval=*/4);
+  NetSimResult ref = run_global_list(t, traffic, 100000);
+  NetSimResult cmb = run_cmb(t, traffic, 100000, CmbConfig{.workers = 4});
+  EXPECT_TRUE(same_behaviour(ref, cmb)) << diff_behaviour(ref, cmb);
+  EXPECT_EQ(ref.delivered_count(), traffic.injections.size());
+}
+
+TEST(CmbEngine, RepeatedRunsStayDeterministic) {
+  Topology t = random_topology(10, 14, 2, 3, 5);
+  Traffic traffic = random_traffic(t, 300, 150, 3);
+  NetSimResult ref = run_global_list(t, traffic, 500000);
+  for (int round = 0; round < 10; ++round) {
+    NetSimResult cmb = run_cmb(t, traffic, 500000, CmbConfig{.workers = 4});
+    ASSERT_TRUE(same_behaviour(ref, cmb))
+        << "round " << round << ": " << diff_behaviour(ref, cmb);
+  }
+}
+
+TEST(CmbEngine, EmptyTrafficTerminates) {
+  Topology t = ring_topology(6, 1, 1);
+  Traffic traffic;
+  NetSimResult cmb = run_cmb(t, traffic, 1000, CmbConfig{.workers = 2});
+  EXPECT_EQ(cmb.events_processed, 0u);
+  EXPECT_GT(cmb.null_messages, 0u) << "termination is null-driven";
+}
+
+// Property sweep: random topologies and traffic, CMB always equals the
+// global event list.
+class CmbFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmbFuzz, RandomTopologyAndTraffic) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Xoshiro256 rng(seed * 7919 + 3);
+  Topology t = random_topology(4 + static_cast<int>(rng.below(16)),
+                               static_cast<int>(rng.below(40)),
+                               1 + static_cast<Time>(rng.below(4)),
+                               1 + static_cast<Time>(rng.below(5)), rng());
+  Traffic traffic =
+      random_traffic(t, 50 + rng.below(300),
+                     20 + static_cast<Time>(rng.below(400)), rng());
+  const Time end = rng.coin() ? 1'000'000
+                              : 30 + static_cast<Time>(rng.below(300));
+  NetSimResult ref = run_global_list(t, traffic, end);
+  NetSimResult cmb = run_cmb(t, traffic, end,
+                             CmbConfig{.workers = 1 + static_cast<int>(
+                                           rng.below(4))});
+  EXPECT_TRUE(same_behaviour(ref, cmb)) << diff_behaviour(ref, cmb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmbFuzz, ::testing::Range(1, 13));
+
+TEST(CmbEngine, LatencyStatisticsMatchReference) {
+  Topology t = torus_topology(4, 1, 2);
+  Traffic traffic = random_traffic(t, 500, 400, 13);
+  NetSimResult ref = run_global_list(t, traffic, 1'000'000);
+  NetSimResult cmb = run_cmb(t, traffic, 1'000'000, CmbConfig{.workers = 2});
+  EXPECT_DOUBLE_EQ(ref.average_latency(), cmb.average_latency());
+  EXPECT_EQ(ref.delivered_count(), cmb.delivered_count());
+}
+
+}  // namespace
+}  // namespace hjdes::netsim

@@ -1,0 +1,98 @@
+// BinaryHeap: the java.util.PriorityQueue analog used by the Galois-side
+// engines, including the erase_first hook the rollback path depends on.
+#include "support/binary_heap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace hjdes {
+namespace {
+
+TEST(BinaryHeap, PopsInAscendingOrder) {
+  BinaryHeap<int> h;
+  for (int v : {5, 3, 8, 1, 9, 2, 7}) h.push(v);
+  std::vector<int> popped;
+  while (!h.empty()) popped.push_back(h.pop());
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_EQ(popped.size(), 7u);
+}
+
+TEST(BinaryHeap, TopIsMinimum) {
+  BinaryHeap<int> h;
+  h.push(10);
+  EXPECT_EQ(h.top(), 10);
+  h.push(3);
+  EXPECT_EQ(h.top(), 3);
+  h.push(7);
+  EXPECT_EQ(h.top(), 3);
+  h.pop();
+  EXPECT_EQ(h.top(), 7);
+}
+
+TEST(BinaryHeap, CustomComparator) {
+  BinaryHeap<int, std::greater<int>> max_heap;
+  for (int v : {4, 9, 1}) max_heap.push(v);
+  EXPECT_EQ(max_heap.pop(), 9);
+  EXPECT_EQ(max_heap.pop(), 4);
+  EXPECT_EQ(max_heap.pop(), 1);
+}
+
+TEST(BinaryHeap, EraseFirstRemovesMatchingElement) {
+  BinaryHeap<int> h;
+  for (int v : {5, 3, 8, 1}) h.push(v);
+  EXPECT_TRUE(h.erase_first([](int v) { return v == 8; }));
+  EXPECT_FALSE(h.erase_first([](int v) { return v == 42; }));
+  std::vector<int> rest;
+  while (!h.empty()) rest.push_back(h.pop());
+  EXPECT_EQ(rest, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(BinaryHeap, EraseFirstKeepsHeapInvariant) {
+  Xoshiro256 rng(99);
+  BinaryHeap<std::uint64_t> h;
+  std::vector<std::uint64_t> shadow;
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t v = rng.below(1000);
+    h.push(v);
+    shadow.push_back(v);
+  }
+  // Randomly erase half the elements by value.
+  for (int i = 0; i < 250; ++i) {
+    std::size_t idx = rng.below(shadow.size());
+    std::uint64_t victim = shadow[idx];
+    ASSERT_TRUE(h.erase_first([victim](std::uint64_t v) { return v == victim; }));
+    shadow.erase(shadow.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  std::sort(shadow.begin(), shadow.end());
+  std::vector<std::uint64_t> popped;
+  while (!h.empty()) popped.push_back(h.pop());
+  EXPECT_EQ(popped, shadow);
+}
+
+// Property sweep over sizes: heap sort equals std::sort.
+class BinaryHeapSortSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryHeapSortSweep, HeapSortMatchesStdSort) {
+  const int n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) * 7919);
+  BinaryHeap<std::int64_t> h;
+  std::vector<std::int64_t> ref;
+  for (int i = 0; i < n; ++i) {
+    std::int64_t v = rng.range(-1000, 1000);
+    h.push(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (std::int64_t expected : ref) EXPECT_EQ(h.pop(), expected);
+  EXPECT_TRUE(h.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinaryHeapSortSweep,
+                         ::testing::Values(0, 1, 2, 3, 7, 64, 1000, 10000));
+
+}  // namespace
+}  // namespace hjdes

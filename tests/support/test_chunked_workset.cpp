@@ -1,0 +1,94 @@
+#include "support/chunked_workset.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hjdes {
+namespace {
+
+TEST(ChunkedWorkset, SingleThreadPushPop) {
+  ChunkedWorkset<int> ws;
+  ChunkedWorkset<int>::ThreadSlot slot(ws);
+  for (int i = 0; i < 100; ++i) slot.push(i);
+  int count = 0;
+  long long sum = 0;
+  while (auto v = slot.pop()) {
+    ++count;
+    sum += *v;
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sum, 99LL * 100 / 2);
+}
+
+TEST(ChunkedWorkset, GlobalPushVisibleToSlots) {
+  ChunkedWorkset<int> ws;
+  for (int i = 0; i < 10; ++i) ws.push_global(i);
+  EXPECT_EQ(ws.published_size(), 10u);
+  ChunkedWorkset<int>::ThreadSlot slot(ws);
+  int count = 0;
+  while (slot.pop()) ++count;
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(ws.published_empty());
+}
+
+TEST(ChunkedWorkset, FlushPublishesPrivateChunk) {
+  ChunkedWorkset<int> ws;
+  ChunkedWorkset<int>::ThreadSlot a(ws);
+  a.push(1);
+  a.push(2);
+  EXPECT_TRUE(ws.published_empty()) << "private chunk not yet visible";
+  a.flush();
+  EXPECT_EQ(ws.published_size(), 2u);
+  ChunkedWorkset<int>::ThreadSlot b(ws);
+  EXPECT_TRUE(b.pop().has_value());
+}
+
+TEST(ChunkedWorkset, AutoPublishWhenChunkFills) {
+  ChunkedWorkset<int, 8> ws;
+  ChunkedWorkset<int, 8>::ThreadSlot a(ws);
+  for (int i = 0; i < 8; ++i) a.push(i);
+  EXPECT_EQ(ws.published_size(), 8u) << "full chunk must be published";
+}
+
+TEST(ChunkedWorksetConcurrency, AllItemsConsumedExactlyOnce) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  ChunkedWorkset<int> ws;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ws, &sum, &consumed, t] {
+      ChunkedWorkset<int>::ThreadSlot slot(ws);
+      // Producer-consumer mix: push own range, then drain whatever remains.
+      for (int i = 0; i < kPerThread; ++i) {
+        slot.push(t * kPerThread + i);
+      }
+      slot.flush();
+      while (auto v = slot.pop()) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Some items may remain if every thread drained before others flushed;
+  // drain the leftovers from a fresh slot.
+  ChunkedWorkset<int>::ThreadSlot tail(ws);
+  while (auto v = tail.pop()) {
+    sum.fetch_add(*v, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const long long n = static_cast<long long>(kThreads) * kPerThread;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace hjdes

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace hjdes {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli = make_cli({"--workers=8", "--circuit=ks64"});
+  EXPECT_EQ(cli.get_int("workers", 1), 8);
+  EXPECT_EQ(cli.get("circuit", ""), "ks64");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  Cli cli = make_cli({"--workers", "4"});
+  EXPECT_EQ(cli.get_int("workers", 1), 4);
+}
+
+TEST(Cli, BareFlagIsBooleanTrue) {
+  Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose", ""), "1");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli cli = make_cli({});
+  EXPECT_FALSE(cli.has("workers"));
+  EXPECT_EQ(cli.get_int("workers", 3), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.5), 1.5);
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli cli = make_cli({"alpha", "--flag", "beta"});
+  // "beta" binds as --flag's value per the space form.
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.get("flag", ""), "beta");
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli cli = make_cli({"--scale=2.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.0), 2.25);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, FmtIntAddsThousandsSeparators) {
+  EXPECT_EQ(TextTable::fmt_int(56035581), "56,035,581");
+  EXPECT_EQ(TextTable::fmt_int(999), "999");
+  EXPECT_EQ(TextTable::fmt_int(1000), "1,000");
+  EXPECT_EQ(TextTable::fmt_int(0), "0");
+  EXPECT_EQ(TextTable::fmt_int(-1234567), "-1,234,567");
+}
+
+TEST(TextTable, FmtRoundsToPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.5, 0), "2");
+}
+
+}  // namespace
+}  // namespace hjdes

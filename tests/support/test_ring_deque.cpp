@@ -1,0 +1,156 @@
+// RingDeque: the java.util.ArrayDeque analog at the heart of §4.5.1.
+#include "support/ring_deque.hpp"
+
+#include <deque>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace hjdes {
+namespace {
+
+TEST(RingDeque, StartsEmpty) {
+  RingDeque<int> d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.capacity(), 0u);
+}
+
+TEST(RingDeque, PushBackPopFrontIsFifo) {
+  RingDeque<int> d;
+  for (int i = 0; i < 100; ++i) d.push_back(i);
+  EXPECT_EQ(d.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.pop_front(), i);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(RingDeque, PushBackPopBackIsLifo) {
+  RingDeque<int> d;
+  for (int i = 0; i < 50; ++i) d.push_back(i);
+  for (int i = 49; i >= 0; --i) EXPECT_EQ(d.pop_back(), i);
+}
+
+TEST(RingDeque, PushFrontReverses) {
+  RingDeque<int> d;
+  for (int i = 0; i < 20; ++i) d.push_front(i);
+  for (int i = 19; i >= 0; --i) EXPECT_EQ(d.pop_front(), i);
+}
+
+TEST(RingDeque, FrontBackAndIndexing) {
+  RingDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push_back(i * 7);
+  EXPECT_EQ(d.front(), 0);
+  EXPECT_EQ(d.back(), 63);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(d[i], static_cast<int>(i) * 7);
+}
+
+TEST(RingDeque, WrapsAroundTheBuffer) {
+  RingDeque<int> d;
+  d.reserve(8);
+  // Force head to rotate through the buffer repeatedly.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 5; ++i) d.push_back(round * 10 + i);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(d.pop_front(), round * 10 + i);
+  }
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.capacity(), 8u) << "no growth expected while size <= capacity";
+}
+
+TEST(RingDeque, GrowsPreservingOrderAcrossWrap) {
+  RingDeque<int> d;
+  d.reserve(8);
+  for (int i = 0; i < 6; ++i) d.push_back(i);
+  for (int i = 0; i < 4; ++i) d.pop_front();  // head now mid-buffer
+  for (int i = 6; i < 40; ++i) d.push_back(i);  // forces growth while wrapped
+  for (int i = 4; i < 40; ++i) EXPECT_EQ(d.pop_front(), i);
+}
+
+TEST(RingDeque, ClearRetainsCapacity) {
+  RingDeque<int> d;
+  for (int i = 0; i < 100; ++i) d.push_back(i);
+  const std::size_t cap = d.capacity();
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.capacity(), cap);
+  d.push_back(7);
+  EXPECT_EQ(d.front(), 7);
+}
+
+TEST(RingDeque, MoveOnlyElements) {
+  RingDeque<std::unique_ptr<int>> d;
+  for (int i = 0; i < 30; ++i) d.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(*d.pop_front(), i);
+}
+
+TEST(RingDeque, MoveConstructionTransfersContents) {
+  RingDeque<int> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  RingDeque<int> b(std::move(a));
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.front(), 0);
+}
+
+TEST(RingDeque, DestructorRunsElementDestructors) {
+  int alive = 0;
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) { ++*counter; }
+    Probe(Probe&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    ~Probe() {
+      if (counter != nullptr) --*counter;
+    }
+  };
+  {
+    RingDeque<Probe> d;
+    for (int i = 0; i < 25; ++i) d.push_back(Probe(&alive));
+    EXPECT_EQ(alive, 25);
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+// Property test: behave exactly like std::deque under a random operation mix.
+TEST(RingDequeProperty, MatchesStdDequeUnderRandomOps) {
+  Xoshiro256 rng(0xDECADEu);
+  RingDeque<std::int64_t> mine;
+  std::deque<std::int64_t> ref;
+  for (int op = 0; op < 200000; ++op) {
+    switch (rng.below(5)) {
+      case 0:
+      case 1: {
+        std::int64_t v = static_cast<std::int64_t>(rng());
+        mine.push_back(v);
+        ref.push_back(v);
+        break;
+      }
+      case 2: {
+        std::int64_t v = static_cast<std::int64_t>(rng());
+        mine.push_front(v);
+        ref.push_front(v);
+        break;
+      }
+      case 3:
+        if (!ref.empty()) {
+          ASSERT_EQ(mine.pop_front(), ref.front());
+          ref.pop_front();
+        }
+        break;
+      case 4:
+        if (!ref.empty()) {
+          ASSERT_EQ(mine.pop_back(), ref.back());
+          ref.pop_back();
+        }
+        break;
+    }
+    ASSERT_EQ(mine.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(mine.front(), ref.front());
+      ASSERT_EQ(mine.back(), ref.back());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hjdes

@@ -1,0 +1,110 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace hjdes {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 100000; ++i) {
+    std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, CoinIsRoughlyFair) {
+  Xoshiro256 rng(13);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.coin();
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.01);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev (n-1)
+  EXPECT_NEAR(s.ci95_half, 1.96 * 2.138 / std::sqrt(8.0), 2e-3);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  Summary s = summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Xoshiro256 rng(21);
+  std::vector<double> samples;
+  RunningStats run;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01() * 100.0;
+    samples.push_back(v);
+    run.add(v);
+  }
+  Summary s = summarize(samples);
+  EXPECT_EQ(run.count(), 1000u);
+  EXPECT_NEAR(run.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(std::sqrt(run.variance()), s.stddev, 1e-9);
+  EXPECT_EQ(run.min(), s.min);
+  EXPECT_EQ(run.max(), s.max);
+}
+
+}  // namespace
+}  // namespace hjdes

@@ -1,0 +1,97 @@
+#include "support/small_vector.hpp"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hjdes {
+namespace {
+
+TEST(SmallVector, InlineUntilCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  v.push_back(4);  // spills to heap
+  EXPECT_GT(v.capacity(), 4u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, InitializerList) {
+  SmallVector<int, 2> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVector, PopBackAndClear) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, CopyPreservesElements) {
+  SmallVector<std::string, 2> a;
+  a.push_back("alpha");
+  a.push_back("beta");
+  a.push_back("gamma");  // heap
+  SmallVector<std::string, 2> b(a);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], "alpha");
+  EXPECT_EQ(b[2], "gamma");
+  EXPECT_EQ(a[2], "gamma") << "source must be unchanged";
+}
+
+TEST(SmallVector, MoveFromInlineStorage) {
+  SmallVector<std::unique_ptr<int>, 4> a;
+  a.push_back(std::make_unique<int>(1));
+  a.push_back(std::make_unique<int>(2));
+  SmallVector<std::unique_ptr<int>, 4> b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b[0], 1);
+  EXPECT_EQ(*b[1], 2);
+}
+
+TEST(SmallVector, MoveFromHeapStorage) {
+  SmallVector<std::unique_ptr<int>, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(std::make_unique<int>(i));
+  SmallVector<std::unique_ptr<int>, 2> b(std::move(a));
+  ASSERT_EQ(b.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*b[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, MoveAssignReplacesContents) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 2> b{9};
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  SmallVector<int, 3> v{10, 20, 30, 40};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 100);
+}
+
+TEST(SmallVector, EmplaceBackConstructsInPlace) {
+  SmallVector<std::pair<int, std::string>, 2> v;
+  v.emplace_back(1, "one");
+  v.emplace_back(2, "two");
+  v.emplace_back(3, "three");
+  EXPECT_EQ(v[2].second, "three");
+}
+
+TEST(SmallVector, GrowthStressKeepsAllElements) {
+  SmallVector<std::size_t, 1> v;
+  for (std::size_t i = 0; i < 10000; ++i) v.push_back(i);
+  for (std::size_t i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+}
+
+}  // namespace
+}  // namespace hjdes

@@ -1,0 +1,73 @@
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/platform.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes {
+namespace {
+
+TEST(Spinlock, BasicLockUnlock) {
+  Spinlock lock;
+  lock.lock();
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  Spinlock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, WorksWithScopedLock) {
+  Spinlock lock;
+  {
+    std::scoped_lock guard(lock);
+    EXPECT_FALSE(lock.try_lock());
+  }
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock lock;
+  long counter = 0;  // plain: data race iff exclusion fails
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lock, &counter] {
+      for (int i = 0; i < kIters; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Platform, CacheLineConstant) {
+  EXPECT_EQ(kCacheLineSize, 64u);
+}
+
+TEST(PlatformDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH({ HJDES_CHECK(1 == 2, "math is broken"); }, "math is broken");
+}
+
+TEST(Platform, CheckPassesSilently) {
+  HJDES_CHECK(2 + 2 == 4, "never printed");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hjdes

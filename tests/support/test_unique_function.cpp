@@ -1,0 +1,95 @@
+#include "support/unique_function.hpp"
+
+#include <array>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace hjdes {
+namespace {
+
+TEST(UniqueFunction, EmptyByDefault) {
+  Thunk f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesSmallLambda) {
+  int hits = 0;
+  Thunk f([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(42);
+  int got = 0;
+  Thunk f([p = std::move(p), &got] { got = *p; });
+  f();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(UniqueFunction, LargeCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, beyond inline storage
+  big[31] = 7;
+  std::uint64_t got = 0;
+  Thunk f([big, &got] { got = big[31]; });
+  f();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  Thunk a([&hits] { ++hits; });
+  Thunk b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveAssignDestroysOldTarget) {
+  int alive = 0;
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) { ++*counter; }
+    Probe(Probe&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    Probe(const Probe& o) : counter(o.counter) {
+      if (counter) ++*counter;
+    }
+    ~Probe() {
+      if (counter) --*counter;
+    }
+    void operator()() const {}
+  };
+  Thunk a{Probe(&alive)};
+  EXPECT_EQ(alive, 1);
+  Thunk b{Probe(&alive)};
+  EXPECT_EQ(alive, 2);
+  a = std::move(b);
+  EXPECT_EQ(alive, 1) << "old target of a must be destroyed";
+  a.reset();
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(UniqueFunction, ResetReleasesCapture) {
+  auto shared = std::make_shared<int>(5);
+  Thunk f([shared] {});
+  EXPECT_EQ(shared.use_count(), 2);
+  f.reset();
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(UniqueFunction, ReassignAfterReset) {
+  Thunk f;
+  int v = 0;
+  f = Thunk([&v] { v = 1; });
+  f();
+  f = Thunk([&v] { v = 2; });
+  f();
+  EXPECT_EQ(v, 2);
+}
+
+}  // namespace
+}  // namespace hjdes

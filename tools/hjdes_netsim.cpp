@@ -1,0 +1,92 @@
+// hjdes_netsim — command-line network simulator over the netsim engines.
+//
+//   hjdes_netsim [--topology torus|ring|star|random] [--size 6]
+//                [--packets 10000] [--horizon 10000] [--seed 1]
+//                [--engine global|cmb] [--workers 4] [--verify]
+//                [--hotspot]   (all-to-one traffic instead of uniform)
+#include <algorithm>
+#include <cstdio>
+
+#include "netsim/netsim.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace hjdes;
+using namespace hjdes::netsim;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string kind = cli.get("topology", "torus");
+  const int size = static_cast<int>(cli.get_int("size", 6));
+  const auto packets = static_cast<std::size_t>(cli.get_int("packets", 10000));
+  const Time horizon = cli.get_int("horizon", 10000);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string engine = cli.get("engine", "cmb");
+  const int workers = static_cast<int>(cli.get_int("workers", 4));
+
+  Topology topo = kind == "ring"   ? ring_topology(size * size, 2, 3)
+                  : kind == "star" ? star_topology(size * size, 2, 3)
+                  : kind == "random"
+                      ? random_topology(size * size, 2 * size * size, 3, 4,
+                                        seed)
+                      : torus_topology(size, 2, 3);
+  Traffic traffic = cli.has("hotspot")
+                        ? hotspot_traffic(topo, 0, packets / topo.node_count(),
+                                          std::max<Time>(1, horizon /
+                                              std::max<std::size_t>(1,
+                                                  packets /
+                                                  topo.node_count())))
+                        : random_traffic(topo, packets, horizon, seed);
+
+  std::printf("%s: %zu nodes, %zu links; %zu packets\n", kind.c_str(),
+              topo.node_count(), topo.link_count(),
+              traffic.injections.size());
+
+  // Fit end_time just past the last delivery (see bench_netsim).
+  Time end_time = 1;
+  {
+    NetSimResult probe = run_global_list(topo, traffic, horizon * 1000);
+    for (const PacketRecord& p : probe.packets) {
+      end_time = std::max(end_time, p.delivered + 1);
+    }
+  }
+
+  Timer t;
+  NetSimResult r;
+  if (engine == "global") {
+    r = run_global_list(topo, traffic, end_time);
+  } else if (engine == "cmb") {
+    r = run_cmb(topo, traffic, end_time, CmbConfig{.workers = workers});
+  } else {
+    std::fprintf(stderr, "unknown engine '%s' (global|cmb)\n",
+                 engine.c_str());
+    return 2;
+  }
+  const double secs = t.seconds();
+
+  std::printf("engine %s: %.2f ms; delivered %llu/%zu, avg latency %.1f, "
+              "%llu events, %llu forwards",
+              engine.c_str(), secs * 1e3,
+              static_cast<unsigned long long>(r.delivered_count()),
+              traffic.injections.size(), r.average_latency(),
+              static_cast<unsigned long long>(r.events_processed),
+              static_cast<unsigned long long>(r.forwards));
+  if (r.null_messages != 0) {
+    std::printf(", %.2f nulls/event",
+                static_cast<double>(r.null_messages) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, r.events_processed)));
+  }
+  std::printf("\n");
+
+  if (cli.has("verify") && engine != "global") {
+    NetSimResult ref = run_global_list(topo, traffic, end_time);
+    if (same_behaviour(ref, r)) {
+      std::printf("verify: OK (bit-identical to the global event list)\n");
+    } else {
+      std::printf("verify: MISMATCH — %s\n", diff_behaviour(ref, r).c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

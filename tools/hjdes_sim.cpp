@@ -1,0 +1,193 @@
+// hjdes_sim — command-line logic circuit simulator over the hjdes engines.
+//
+//   hjdes_sim --circuit <file|gen:NAME> [--stimulus <file>]
+//             [--random-vectors N --interval T --seed S]
+//             [--engine seq|seqpq|hj|galois|actor|timewarp] [--workers N]
+//             [--vcd out.vcd] [--dot out.dot] [--profile] [--verify]
+//
+// Circuit sources:
+//   --circuit path/to/file.netlist    text format (see circuit/netlist_io.hpp)
+//   --circuit gen:ks64                generated Kogge-Stone adder (ks<bits>)
+//   --circuit gen:mul12               generated tree multiplier (mul<bits>)
+//   --circuit gen:ripple16            generated ripple-carry adder
+//
+// Stimulus file format: one "INPUT_INDEX TIME VALUE" triple per line,
+// '#' comments; per-input times must be non-decreasing.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/dot_export.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+#include "des/engines.hpp"
+#include "des/vcd_export.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace hjdes;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --circuit <file|gen:NAME> [options]\n"
+               "  --stimulus FILE | --random-vectors N [--interval T] "
+               "[--seed S]\n"
+               "  --engine seq|seqpq|hj|galois|actor|timewarp  (default hj)\n"
+               "  --workers N (default 4)   --vcd FILE   --dot FILE\n"
+               "  --profile (print parallelism profile)\n"
+               "  --verify  (cross-check against the sequential engine)\n",
+               prog);
+  return 2;
+}
+
+circuit::Netlist load_circuit(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) {
+    const std::string name = spec.substr(4);
+    auto bits_of = [&name](std::size_t prefix) {
+      return std::atoi(name.c_str() + prefix);
+    };
+    if (name.rfind("ks", 0) == 0) return circuit::kogge_stone_adder(bits_of(2));
+    if (name.rfind("mul", 0) == 0) return circuit::tree_multiplier(bits_of(3));
+    if (name.rfind("ripple", 0) == 0) {
+      return circuit::ripple_carry_adder(bits_of(6));
+    }
+    HJDES_CHECK(false, "unknown generator (ks<bits>, mul<bits>, ripple<bits>)");
+  }
+  std::ifstream in(spec);
+  HJDES_CHECK(in.good(), "cannot open circuit file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return circuit::parse_netlist(buf.str());
+}
+
+circuit::Stimulus load_stimulus(const std::string& path,
+                                const circuit::Netlist& netlist) {
+  std::ifstream in(path);
+  HJDES_CHECK(in.good(), "cannot open stimulus file");
+  circuit::Stimulus s;
+  s.initial.resize(netlist.inputs().size());
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::size_t input_index;
+    std::int64_t time;
+    int value;
+    if (!(ls >> input_index)) continue;  // blank
+    HJDES_CHECK(static_cast<bool>(ls >> time >> value),
+                "stimulus line needs: INPUT_INDEX TIME VALUE");
+    HJDES_CHECK(input_index < s.initial.size(),
+                "stimulus input index out of range");
+    s.initial[input_index].push_back(
+        circuit::SignalChange{time, value != 0});
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (!cli.has("circuit")) return usage(argv[0]);
+
+  circuit::Netlist netlist = load_circuit(cli.get("circuit", ""));
+  std::printf("circuit: %zu nodes, %zu edges, %zu inputs, %zu outputs, "
+              "depth %zu\n",
+              netlist.node_count(), netlist.edge_count(),
+              netlist.inputs().size(), netlist.outputs().size(),
+              netlist.depth());
+
+  if (cli.has("dot")) {
+    std::ofstream out(cli.get("dot", ""));
+    out << circuit::to_dot(netlist, "hjdes_sim");
+    std::printf("wrote DOT to %s\n", cli.get("dot", "").c_str());
+  }
+
+  circuit::Stimulus stimulus;
+  if (cli.has("stimulus")) {
+    stimulus = load_stimulus(cli.get("stimulus", ""), netlist);
+  } else {
+    stimulus = circuit::random_stimulus(
+        netlist, static_cast<std::size_t>(cli.get_int("random-vectors", 4)),
+        cli.get_int("interval", 100),
+        static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  }
+  des::SimInput input(netlist, stimulus);
+  std::printf("stimulus: %zu initial events\n", input.total_initial_events());
+
+  if (cli.has("profile")) {
+    des::ParallelismProfile p = des::profile_parallelism(input);
+    std::printf("available parallelism: peak %llu, average %.1f over %zu "
+                "steps\n",
+                static_cast<unsigned long long>(p.peak_parallelism()),
+                p.average_parallelism(), p.rounds.size());
+  }
+
+  const std::string engine = cli.get("engine", "hj");
+  const int workers = static_cast<int>(cli.get_int("workers", 4));
+  Timer t;
+  des::SimResult result;
+  if (engine == "seq") {
+    result = des::run_sequential(input);
+  } else if (engine == "seqpq") {
+    result = des::run_sequential_pq(input);
+  } else if (engine == "hj") {
+    des::HjEngineConfig cfg;
+    cfg.workers = workers;
+    result = des::run_hj(input, cfg);
+  } else if (engine == "galois") {
+    des::GaloisEngineConfig cfg;
+    cfg.threads = workers;
+    result = des::run_galois(input, cfg);
+  } else if (engine == "actor") {
+    des::ActorEngineConfig cfg;
+    cfg.workers = workers;
+    result = des::run_actor(input, cfg);
+  } else if (engine == "timewarp") {
+    des::TimeWarpConfig cfg;
+    cfg.workers = workers;
+    result = des::run_timewarp(input, cfg);
+  } else {
+    return usage(argv[0]);
+  }
+  const double secs = t.seconds();
+
+  std::printf("engine %s (%d workers): %.2f ms, %llu events (+%llu NULLs)\n",
+              engine.c_str(), workers, secs * 1e3,
+              static_cast<unsigned long long>(result.events_processed),
+              static_cast<unsigned long long>(result.null_messages));
+  if (result.tasks_spawned != 0) {
+    std::printf("  tasks spawned %llu, lock failures %llu, spawn skips %llu\n",
+                static_cast<unsigned long long>(result.tasks_spawned),
+                static_cast<unsigned long long>(result.lock_failures),
+                static_cast<unsigned long long>(result.spawn_skips));
+  }
+  if (result.rollbacks != 0 || result.speculative_events != 0) {
+    std::printf("  speculative %llu, rollbacks %llu, anti-messages %llu\n",
+                static_cast<unsigned long long>(result.speculative_events),
+                static_cast<unsigned long long>(result.rollbacks),
+                static_cast<unsigned long long>(result.anti_messages));
+  }
+
+  if (cli.has("verify") && engine != "seq") {
+    des::SimResult ref = des::run_sequential(input);
+    if (des::same_behaviour(ref, result)) {
+      std::printf("verify: OK (bit-identical to sequential)\n");
+    } else {
+      std::printf("verify: MISMATCH — %s\n",
+                  des::diff_behaviour(ref, result).c_str());
+      return 1;
+    }
+  }
+
+  if (cli.has("vcd")) {
+    std::ofstream out(cli.get("vcd", ""));
+    out << des::to_vcd(input, result);
+    std::printf("wrote VCD to %s\n", cli.get("vcd", "").c_str());
+  }
+  return 0;
+}

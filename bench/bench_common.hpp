@@ -8,13 +8,16 @@
 // comparable initial-event counts) and HJDES_REPS / HJDES_MAX_WORKERS to
 // control repetitions and the worker sweep.
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "circuit/generators.hpp"
 #include "circuit/stimulus.hpp"
 #include "des/engines.hpp"
+#include "obs/trace.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -92,6 +95,35 @@ inline std::vector<Workload> all_workloads() {
   ws.push_back(make_ks128_workload());
   return ws;
 }
+
+/// RAII task-timeline hook for the figure benches. Off by default so the
+/// paper-reproduction numbers are untouched; set HJDES_TRACE_DIR=<dir> to
+/// enable the obs tracer for the bench's lifetime and write
+/// <dir>/<name>.trace.json (Chrome trace-event format, Perfetto-loadable)
+/// at scope exit.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const std::string& name) {
+    const char* dir = std::getenv("HJDES_TRACE_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    path_ = std::string(dir) + "/" + name + ".trace.json";
+    obs::start_tracing();
+  }
+
+  ~ScopedTrace() {
+    if (path_.empty()) return;
+    obs::stop_tracing();
+    std::ofstream out(path_);
+    const std::size_t spans = obs::write_chrome_trace(out);
+    std::printf("trace: wrote %zu events to %s\n", spans, path_.c_str());
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// Time one engine invocation in seconds.
 template <typename Fn>

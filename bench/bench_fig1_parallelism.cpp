@@ -55,6 +55,7 @@ void BM_Profile(benchmark::State& state, Workload (*make)()) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hjdes::bench::ScopedTrace trace("figure_1_parallelism");
   benchmark::RegisterBenchmark("fig1/profile/multiplier", BM_Profile,
                                &hjdes::bench::make_multiplier_workload)
       ->Iterations(1);

@@ -73,6 +73,7 @@ void BM_Fig7Galois(benchmark::State& state, Workload* w) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ScopedTrace trace("figure_7_average");
   static std::vector<Workload> ws = all_workloads();
   for (Workload& w : ws) {
     benchmark::RegisterBenchmark(("fig7/hj/" + w.name).c_str(), BM_Fig7Hj, &w)

@@ -119,6 +119,7 @@ void BM_Cmb(benchmark::State& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hjdes::bench::ScopedTrace trace("netsim_cmb");
   for (int workers : hjdes::bench::worker_counts()) {
     benchmark::RegisterBenchmark("netsim/cmb_torus", BM_Cmb)
         ->Arg(workers)

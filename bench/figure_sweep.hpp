@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -90,6 +91,13 @@ inline void print_figure(const char* figure_id, Workload& w) {
 inline int figure_main(int argc, char** argv, const char* figure_id,
                        Workload (*make)()) {
   static Workload w = make();
+  std::string slug(figure_id);
+  for (char& c : slug) {
+    c = c == ' ' ? '_'
+                 : static_cast<char>(
+                       std::tolower(static_cast<unsigned char>(c)));
+  }
+  ScopedTrace trace(slug + "_" + w.name);
   for (int workers : worker_counts()) {
     benchmark::RegisterBenchmark(
         (std::string(figure_id) + "/hj/" + w.name).c_str(), BM_HjWorkers, &w)

@@ -7,6 +7,7 @@
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
 #include "hj/actor.hpp"
+#include "obs/metrics.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
 
@@ -81,6 +82,7 @@ class ActorEngineImpl {
   }
 
   SimResult run() {
+    obs::CounterDelta d_messages(c_messages_);
     std::unique_ptr<hj::Runtime> owned;
     hj::Runtime* rt = cfg_.runtime;
     if (rt == nullptr) {
@@ -100,7 +102,7 @@ class ActorEngineImpl {
 
     SimResult result;
     result.waveforms.resize(netlist_.outputs().size());
-    result.messages_sent = stat_messages_.load();
+    result.messages_sent = d_messages.delta();
     for (std::size_t i = 0; i < actors_.size(); ++i) {
       HJDES_CHECK(actors_[i].done,
                   "actor simulation quiesced with an unfinished node");
@@ -115,7 +117,7 @@ class ActorEngineImpl {
   }
 
   void send(NodeId target, Msg msg) {
-    stat_messages_.fetch_add(1, std::memory_order_relaxed);
+    c_messages_.increment();
     actors_[static_cast<std::size_t>(target)].send(msg);
   }
 
@@ -138,7 +140,9 @@ class ActorEngineImpl {
   const ActorEngineConfig cfg_;
   std::vector<NodeActor> actors_;
   std::vector<std::int32_t> input_index_;
-  std::atomic<std::uint64_t> stat_messages_{0};
+  // Registry-backed, sharded per worker: the former single shared atomic
+  // was bumped once per actor message, a measurable contention point.
+  obs::Counter& c_messages_ = obs::metrics().counter("des.actor.messages_sent");
 };
 
 void NodeActor::process(Msg msg) {

@@ -6,6 +6,7 @@
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
 #include "galois/for_each.hpp"
+#include "obs/metrics.hpp"
 #include "support/binary_heap.hpp"
 #include "support/platform.hpp"
 
@@ -64,6 +65,7 @@ class GaloisEngine {
   }
 
   SimResult run() {
+    obs::CounterDelta d_events(c_events_), d_nulls(c_nulls_);
     std::vector<NodeId> initial(netlist_.inputs());
     galois::ForEachConfig fec;
     fec.threads = cfg_.threads;
@@ -87,10 +89,12 @@ class GaloisEngine {
       result.waveforms[i] = std::move(
           nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
     }
-    result.events_processed = stat_events_.load();
-    result.null_messages = stat_nulls_.load();
+    result.events_processed = d_events.delta();
+    result.null_messages = d_nulls.delta();
     result.commits = fes.committed;
     result.aborts = fes.aborted;
+    c_commits_.add(fes.committed);
+    c_aborts_.add(fes.aborted);
     return result;
   }
 
@@ -200,8 +204,8 @@ class GaloisEngine {
     // Commit point is after the operator returns; stats flushed here are
     // never observed for aborted iterations because the throw above skips
     // this code.
-    stat_events_.fetch_add(local_events, std::memory_order_relaxed);
-    stat_nulls_.fetch_add(local_nulls, std::memory_order_relaxed);
+    c_events_.add(local_events);
+    c_nulls_.add(local_nulls);
   }
 
   bool is_active(galois::UserContext<NodeId>& ctx, NodeId id) {
@@ -220,8 +224,11 @@ class GaloisEngine {
   std::vector<GNode> nodes_;
   std::vector<std::int32_t> input_index_;
 
-  std::atomic<std::uint64_t> stat_events_{0};
-  std::atomic<std::uint64_t> stat_nulls_{0};
+  // Registry-backed statistics (see des/hj_engine.cpp for the scheme).
+  obs::Counter& c_events_ = obs::metrics().counter("des.galois.events");
+  obs::Counter& c_nulls_ = obs::metrics().counter("des.galois.null_messages");
+  obs::Counter& c_commits_ = obs::metrics().counter("des.galois.commits");
+  obs::Counter& c_aborts_ = obs::metrics().counter("des.galois.aborts");
 };
 
 }  // namespace

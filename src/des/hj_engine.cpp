@@ -7,6 +7,8 @@
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
 #include "hj/locks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/binary_heap.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
@@ -115,9 +117,12 @@ class HjEngine {
                 "provided runtime has a different worker count");
 
     // finish { for n in I: async RUNNODE(n) }  (Algorithm 2 lines 1-6)
+    obs::CounterDelta d_events(c_events_), d_nulls(c_nulls_),
+        d_spawned(c_spawned_), d_lock_failures(c_lock_failures_),
+        d_spawn_skips(c_spawn_skips_);
     rt->run([this] {
       for (NodeId id : netlist_.inputs()) {
-        stat_spawned_.fetch_add(1, std::memory_order_relaxed);
+        c_spawned_.increment();
         hj::async([this, id] { run_node(id); });
       }
     });
@@ -135,11 +140,11 @@ class HjEngine {
       result.waveforms[i] = std::move(
           nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
     }
-    result.events_processed = stat_events_.load();
-    result.null_messages = stat_nulls_.load();
-    result.tasks_spawned = stat_spawned_.load();
-    result.lock_failures = stat_lock_failures_.load();
-    result.spawn_skips = stat_spawn_skips_.load();
+    result.events_processed = d_events.delta();
+    result.null_messages = d_nulls.delta();
+    result.tasks_spawned = d_spawned.delta();
+    result.lock_failures = d_lock_failures.delta();
+    result.spawn_skips = d_spawn_skips.delta();
     return result;
   }
 
@@ -240,6 +245,26 @@ class HjEngine {
     }
   }
 
+  /// Emit the node's terminal NULL message (§4.1). Caller holds the fanout
+  /// locks; the trace instant makes termination waves visible on the
+  /// timeline.
+  void emit_null(NodeId source, LocalStats& stats) {
+    obs::instant(obs::SpanKind::kNullSend);
+    emit(source, Event::null_message(), stats);
+  }
+
+  /// Record the event-queue depth a successful activation found, for the
+  /// "des.hj.queue_depth" histogram. Caller holds the node's own locks.
+  void record_queue_depth(const ParNode& n, const Netlist::Node& meta) {
+    std::uint64_t depth = 0;
+    if (cfg_.per_port_queues) {
+      for (int p = 0; p < meta.num_inputs; ++p) depth += n.queue[p].size();
+    } else {
+      depth = n.heap.size();
+    }
+    h_queue_depth_.record(depth);
+  }
+
   // -------------------------------------------------------------- locking --
 
   using LockList = SmallVector<hj::HjLock*, 16>;
@@ -288,9 +313,11 @@ class HjEngine {
   /// far (RELEASEALLLOCKS) and reports which lock failed.
   bool try_lock_all(const LockList& locks, hj::HjLock** failed,
                     LocalStats& stats) {
+    obs::ScopedSpan span(obs::SpanKind::kLockAcquire);
     for (hj::HjLock* l : locks) {
       if (!hj::try_lock(*l)) {
         ++stats.lock_failures;
+        obs::instant(obs::SpanKind::kLockRetry);
         if (failed != nullptr) *failed = l;
         hj::release_all_locks();
         return false;
@@ -353,7 +380,7 @@ class HjEngine {
       ++stats.events;
     }
     if (n.next_initial == events.size()) {
-      emit(id, Event::null_message(), stats);
+      emit_null(id, stats);
       n.a_done.store(true, kSC);
     }
     hj::release_all_locks();
@@ -386,6 +413,7 @@ class HjEngine {
         n.run_flag.store(false, kSC);
         return;
       }
+      record_queue_depth(n, meta);
       drain_to_temp(id, n, meta);
       hj::release_all_locks();
     }
@@ -407,7 +435,7 @@ class HjEngine {
       }
       process_temp(id, n, meta, stats);
       if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
-        emit(id, Event::null_message(), stats);
+        emit_null(id, stats);
         n.a_done.store(true, kSC);
       }
       hj::release_all_locks();
@@ -441,6 +469,7 @@ class HjEngine {
       // re-check this node's activity (no respawn, §4.5.3 reasoning).
       return;
     }
+    record_queue_depth(n, meta);
 
     for (;;) {
       Time head[2], lr[2];
@@ -466,7 +495,7 @@ class HjEngine {
     }
 
     if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
-      emit(id, Event::null_message(), stats);
+      emit_null(id, stats);
       n.a_done.store(true, kSC);
     }
     hj::release_all_locks();
@@ -490,6 +519,7 @@ class HjEngine {
       }
       return;
     }
+    record_queue_depth(n, meta);
 
     while (pq_top_ready(n, meta.num_inputs)) {
       PortEvent e = n.heap.pop();
@@ -510,7 +540,7 @@ class HjEngine {
     }
 
     if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
-      emit(id, Event::null_message(), stats);
+      emit_null(id, stats);
       n.a_done.store(true, kSC);
     }
     hj::release_all_locks();
@@ -584,12 +614,14 @@ class HjEngine {
   }
 
   void flush(const LocalStats& stats) {
-    stat_events_.fetch_add(stats.events, std::memory_order_relaxed);
-    stat_nulls_.fetch_add(stats.nulls, std::memory_order_relaxed);
-    stat_spawned_.fetch_add(stats.spawned, std::memory_order_relaxed);
-    stat_lock_failures_.fetch_add(stats.lock_failures,
-                                  std::memory_order_relaxed);
-    stat_spawn_skips_.fetch_add(stats.spawn_skips, std::memory_order_relaxed);
+    c_events_.add(stats.events);
+    c_nulls_.add(stats.nulls);
+    c_spawned_.add(stats.spawned);
+    c_lock_failures_.add(stats.lock_failures);
+    c_spawn_skips_.add(stats.spawn_skips);
+    // One histogram sample per task activation: the sum over samples equals
+    // the lock-failure counter, which is how the exporters cross-check.
+    h_lock_failures_.record(stats.lock_failures);
   }
 
   const SimInput& input_;
@@ -598,11 +630,22 @@ class HjEngine {
   std::vector<ParNode> nodes_;
   std::vector<std::int32_t> input_index_;
 
-  HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> stat_events_{0};
-  std::atomic<std::uint64_t> stat_nulls_{0};
-  std::atomic<std::uint64_t> stat_spawned_{0};
-  std::atomic<std::uint64_t> stat_lock_failures_{0};
-  std::atomic<std::uint64_t> stat_spawn_skips_{0};
+  // Registry-backed statistics: each counter is sharded per worker thread
+  // and owned by the process-wide registry; run() reports per-run totals as
+  // deltas (obs::CounterDelta). This replaces the former per-engine atomic
+  // members, so `--metrics-json` and SimResult read the same stream.
+  obs::Counter& c_events_ = obs::metrics().counter("des.hj.events");
+  obs::Counter& c_nulls_ = obs::metrics().counter("des.hj.null_messages");
+  obs::Counter& c_spawned_ = obs::metrics().counter("des.hj.tasks_spawned");
+  obs::Counter& c_lock_failures_ =
+      obs::metrics().counter("des.hj.lock_failures");
+  obs::Counter& c_spawn_skips_ = obs::metrics().counter("des.hj.spawn_skips");
+  // §4.5 quantification: failed try_locks per task activation (sum equals
+  // des.hj.lock_failures) and event-queue depth seen by each activation.
+  obs::Histogram& h_lock_failures_ =
+      obs::metrics().histogram("des.hj.lock_failures_per_task");
+  obs::Histogram& h_queue_depth_ =
+      obs::metrics().histogram("des.hj.queue_depth");
 };
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "circuit/gate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/binary_heap.hpp"
 #include "support/chunked_workset.hpp"
 #include "support/platform.hpp"
@@ -105,6 +107,8 @@ class TwEngine {
   }
 
   SimResult run() {
+    obs::CounterDelta d_speculative(c_speculative_), d_rollbacks(c_rollbacks_),
+        d_antis(c_antis_), d_sweeps(c_sweeps_), d_fossil(c_fossil_);
     // `live_` counts work that still exists anywhere: pending (delivered,
     // unprocessed) messages plus not-yet-injected initial events. Workers
     // may terminate exactly when it reaches zero.
@@ -130,13 +134,11 @@ class TwEngine {
         if (live_.load(std::memory_order_seq_cst) == 0) break;
         std::this_thread::yield();
       }
-      stat_speculative_.fetch_add(stats.speculative,
-                                  std::memory_order_relaxed);
-      stat_rollbacks_.fetch_add(stats.rollback_episodes,
-                                std::memory_order_relaxed);
-      stat_antis_.fetch_add(stats.antis, std::memory_order_relaxed);
-      stat_sweeps_.fetch_add(stats.sweeps, std::memory_order_relaxed);
-      stat_fossil_.fetch_add(stats.fossil, std::memory_order_relaxed);
+      c_speculative_.add(stats.speculative);
+      c_rollbacks_.add(stats.rollback_episodes);
+      c_antis_.add(stats.antis);
+      c_sweeps_.add(stats.sweeps);
+      c_fossil_.add(stats.fossil);
     };
 
     std::vector<std::thread> threads;
@@ -172,11 +174,11 @@ class TwEngine {
         }
       }
     }
-    result.speculative_events = stat_speculative_.load();
-    result.rollbacks = stat_rollbacks_.load();
-    result.anti_messages = stat_antis_.load();
-    result.gvt_sweeps = stat_sweeps_.load();
-    result.fossil_collected = stat_fossil_.load();
+    result.speculative_events = d_speculative.delta();
+    result.rollbacks = d_rollbacks.delta();
+    result.anti_messages = d_antis.delta();
+    result.gvt_sweeps = d_sweeps.delta();
+    result.fossil_collected = d_fossil.delta();
     return result;
   }
 
@@ -193,6 +195,7 @@ class TwEngine {
   /// restore the latch, cancel everything it sent, and optionally put the
   /// message back into the pending set for re-execution.
   void rollback_one(NodeId id, TwNode& n, bool requeue, TwLocalStats& stats) {
+    obs::ScopedSpan span(obs::SpanKind::kRollback);
     HJDES_DCHECK(!n.processed.empty(), "rollback on empty log");
     ProcessedRec rec = std::move(n.processed.back());
     n.processed.pop_back();
@@ -388,6 +391,7 @@ class TwEngine {
   /// under the target's lock, so a lock-pass after clearing the flag flushes
   /// all racing recorders).
   void sweep(TwLocalStats& stats) {
+    obs::ScopedSpan span(obs::SpanKind::kGvtSweep);
     ++stats.sweeps;
     min_sent_.store(kNullTs, std::memory_order_seq_cst);
     sweep_active_.store(true, std::memory_order_seq_cst);
@@ -461,11 +465,15 @@ class TwEngine {
   std::atomic<Time> min_sent_{kNullTs};
   std::atomic<Time> gvt_{kNeverReceived};
   std::atomic<std::uint64_t> events_since_gvt_{0};
-  std::atomic<std::uint64_t> stat_speculative_{0};
-  std::atomic<std::uint64_t> stat_rollbacks_{0};
-  std::atomic<std::uint64_t> stat_antis_{0};
-  std::atomic<std::uint64_t> stat_sweeps_{0};
-  std::atomic<std::uint64_t> stat_fossil_{0};
+  // Registry-backed statistics (see des/hj_engine.cpp for the scheme).
+  obs::Counter& c_speculative_ =
+      obs::metrics().counter("des.timewarp.speculative_events");
+  obs::Counter& c_rollbacks_ = obs::metrics().counter("des.timewarp.rollbacks");
+  obs::Counter& c_antis_ =
+      obs::metrics().counter("des.timewarp.anti_messages");
+  obs::Counter& c_sweeps_ = obs::metrics().counter("des.timewarp.gvt_sweeps");
+  obs::Counter& c_fossil_ =
+      obs::metrics().counter("des.timewarp.fossil_collected");
 };
 
 }  // namespace

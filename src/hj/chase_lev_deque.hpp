@@ -40,8 +40,11 @@ class ChaseLevDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store (not fence + relaxed): publishes the element AND the
+    // spawner's plain writes to *item to any thief that acquire-loads
+    // bottom_. ThreadSanitizer does not model atomic_thread_fence, so the
+    // fence form of Lê et al. reports false races on the task contents.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only: pop the most recently pushed element, nullptr when empty.

@@ -6,6 +6,8 @@
 
 #include "hj/chase_lev_deque.hpp"
 #include "hj/locks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 
@@ -43,6 +45,11 @@ thread_local Runtime* tls_runtime = nullptr;
 }  // namespace
 
 /// Per-worker state: deque, PRNG for victim selection, task freelist, stats.
+///
+/// The stat_* fields are this worker's metric shards: written only by the
+/// owning thread, summed by Runtime::stats(). They are relaxed atomics (not
+/// plain integers) because stats() and the run() epilogue read them while
+/// idle workers may still be bumping stat_failed_rounds in their scan loop.
 class Worker {
  public:
   Worker(Runtime* rt, int index)
@@ -57,7 +64,7 @@ class Worker {
   }
 
   Task* allocate() {
-    ++stat_spawned;
+    stat_spawned.fetch_add(1, std::memory_order_relaxed);
     if (free_list != nullptr) {
       Task* t = free_list;
       free_list = t->pool_next;
@@ -78,10 +85,10 @@ class Worker {
   ChaseLevDeque<Task> deque;
   Xoshiro256 rng;
   Task* free_list = nullptr;
-  std::uint64_t stat_executed = 0;
-  std::uint64_t stat_spawned = 0;
-  std::uint64_t stat_steals = 0;
-  std::uint64_t stat_failed_rounds = 0;
+  std::atomic<std::uint64_t> stat_executed{0};
+  std::atomic<std::uint64_t> stat_spawned{0};
+  std::atomic<std::uint64_t> stat_steals{0};
+  std::atomic<std::uint64_t> stat_failed_rounds{0};
   WakeGate gate;
 };
 
@@ -91,12 +98,15 @@ namespace {
 void execute_task(Worker* w, Task* t) {
   FinishScope* prev = tls_finish;
   tls_finish = t->ief;
-  t->fn();
+  {
+    obs::ScopedSpan span(obs::SpanKind::kTask);
+    t->fn();
+  }
   HJDES_DCHECK(!detail::current_thread_holds_locks(),
                "task finished while still holding try_lock locks");
   tls_finish = prev;
   t->ief->pending.fetch_sub(1, std::memory_order_acq_rel);
-  ++w->stat_executed;
+  w->stat_executed.fetch_add(1, std::memory_order_relaxed);
   w->recycle(t);
 }
 
@@ -111,18 +121,20 @@ Task* find_task(Runtime* rt, Worker* w,
     int victim = static_cast<int>(w->rng.below(static_cast<std::uint64_t>(n)));
     if (victim == w->index) continue;
     if (Task* t = workers[static_cast<std::size_t>(victim)]->deque.steal()) {
-      ++w->stat_steals;
+      w->stat_steals.fetch_add(1, std::memory_order_relaxed);
+      obs::instant(obs::SpanKind::kSteal);
       return t;
     }
   }
   for (int victim = 0; victim < n; ++victim) {
     if (victim == w->index) continue;
     if (Task* t = workers[static_cast<std::size_t>(victim)]->deque.steal()) {
-      ++w->stat_steals;
+      w->stat_steals.fetch_add(1, std::memory_order_relaxed);
+      obs::instant(obs::SpanKind::kSteal);
       return t;
     }
   }
-  ++w->stat_failed_rounds;
+  w->stat_failed_rounds.fetch_add(1, std::memory_order_relaxed);
   (void)rt;
   return nullptr;
 }
@@ -153,12 +165,32 @@ Runtime* Runtime::current() { return tls_runtime; }
 RuntimeStats Runtime::stats() const {
   RuntimeStats s;
   for (const auto& w : workers_) {
-    s.tasks_executed += w->stat_executed;
-    s.tasks_spawned += w->stat_spawned;
-    s.steals += w->stat_steals;
-    s.failed_steal_rounds += w->stat_failed_rounds;
+    s.tasks_executed += w->stat_executed.load(std::memory_order_relaxed);
+    s.tasks_spawned += w->stat_spawned.load(std::memory_order_relaxed);
+    s.steals += w->stat_steals.load(std::memory_order_relaxed);
+    s.failed_steal_rounds +=
+        w->stat_failed_rounds.load(std::memory_order_relaxed);
   }
   return s;
+}
+
+void Runtime::publish_metrics() {
+  // Mirror per-worker scheduler counters into the global registry as deltas
+  // since the last publication (counters are process-lifetime monotonic;
+  // RuntimeStats stays per-instance).
+  static obs::Counter& c_executed =
+      obs::metrics().counter("hj.runtime.tasks_executed");
+  static obs::Counter& c_spawned =
+      obs::metrics().counter("hj.runtime.tasks_spawned");
+  static obs::Counter& c_steals = obs::metrics().counter("hj.runtime.steals");
+  static obs::Counter& c_failed =
+      obs::metrics().counter("hj.runtime.failed_steal_rounds");
+  const RuntimeStats now = stats();
+  c_executed.add(now.tasks_executed - published_.tasks_executed);
+  c_spawned.add(now.tasks_spawned - published_.tasks_spawned);
+  c_steals.add(now.steals - published_.steals);
+  c_failed.add(now.failed_steal_rounds - published_.failed_steal_rounds);
+  published_ = now;
 }
 
 void Runtime::wake_all() {
@@ -182,6 +214,7 @@ void Runtime::run(Thunk root) {
   tls_worker = self;
   tls_runtime = this;
   finish(std::move(root));
+  publish_metrics();
   tls_worker = nullptr;
   tls_runtime = nullptr;
   running_.store(false, std::memory_order_release);

@@ -71,7 +71,8 @@ class Runtime {
   /// Number of workers (>= 1).
   int workers() const { return static_cast<int>(workers_.size()); }
 
-  /// Statistics accumulated since construction.
+  /// Statistics accumulated since construction. Also mirrored into the
+  /// global obs::MetricsRegistry ("hj.runtime.*") at the end of every run().
   RuntimeStats stats() const;
 
   /// The runtime driving the calling thread, or nullptr outside run().
@@ -85,9 +86,14 @@ class Runtime {
 
   void worker_main(int index);
   void wake_all();
+  void publish_metrics();
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  /// Totals already mirrored into the metrics registry (only touched from
+  /// the thread driving run(), after the workers have quiesced).
+  RuntimeStats published_;
 
   HJDES_CACHE_ALIGNED std::atomic<bool> shutdown_{false};
   HJDES_CACHE_ALIGNED std::atomic<bool> running_{false};

@@ -6,6 +6,8 @@
 
 #include "hj/runtime.hpp"
 #include "netsim/engines.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
 #include "support/small_vector.hpp"
@@ -90,6 +92,8 @@ class CmbEngine {
   }
 
   NetSimResult run() {
+    obs::CounterDelta d_events(c_events_), d_forwards(c_forwards_),
+        d_nulls(c_nulls_), d_tasks(c_tasks_);
     hj::Runtime rt(cfg_.workers);
     rt.run([this] {
       // Kick every node once: inject, emit initial null promises.
@@ -103,10 +107,10 @@ class CmbEngine {
                   "CMB quiesced before every node reached end_time "
                   "(null-message protocol bug)");
     }
-    result_.events_processed = stat_events_.load();
-    result_.forwards = stat_forwards_.load();
-    result_.null_messages = stat_nulls_.load();
-    result_.tasks_spawned = stat_tasks_.load();
+    result_.events_processed = d_events.delta();
+    result_.forwards = d_forwards.delta();
+    result_.null_messages = d_nulls.delta();
+    result_.tasks_spawned = d_tasks.delta();
     return result_;
   }
 
@@ -120,7 +124,7 @@ class CmbEngine {
     // node, preserving link FIFO order.
     CmbNode& n = node(id);
     if (!n.scheduled.exchange(true, std::memory_order_seq_cst)) {
-      stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+      c_tasks_.increment();
       hj::async([this, id] { drain(id); });
     }
   }
@@ -156,6 +160,7 @@ class CmbEngine {
   /// One processing pass: drain processable events, emit null promises,
   /// flush the outbox. Caller owns the node via `scheduled`.
   void pass(NodeId id) {
+    obs::ScopedSpan span(obs::SpanKind::kNodeService);
     CmbNode& n = node(id);
     SmallVector<OutMsg, 8> outbox;
     std::uint64_t local_events = 0;
@@ -227,12 +232,8 @@ class CmbEngine {
       deliver(m);
       schedule(m.target);
     }
-    if (local_events != 0) {
-      stat_events_.fetch_add(local_events, std::memory_order_relaxed);
-    }
-    if (local_forwards != 0) {
-      stat_forwards_.fetch_add(local_forwards, std::memory_order_relaxed);
-    }
+    if (local_events != 0) c_events_.add(local_events);
+    if (local_forwards != 0) c_forwards_.add(local_forwards);
   }
 
   void deliver(const OutMsg& m) {
@@ -240,7 +241,8 @@ class CmbEngine {
     std::scoped_lock guard(n.lock);
     const auto p = static_cast<std::size_t>(m.port);
     if (m.is_null) {
-      stat_nulls_.fetch_add(1, std::memory_order_relaxed);
+      obs::instant(obs::SpanKind::kNullSend);
+      c_nulls_.increment();
     } else {
       HJDES_DCHECK(n.queues[p].empty() || n.queues[p].back().t <= m.t,
                    "link FIFO violated");
@@ -306,10 +308,11 @@ class CmbEngine {
   std::vector<CmbNode> nodes_;
   NetSimResult result_;
 
-  std::atomic<std::uint64_t> stat_events_{0};
-  std::atomic<std::uint64_t> stat_forwards_{0};
-  std::atomic<std::uint64_t> stat_nulls_{0};
-  std::atomic<std::uint64_t> stat_tasks_{0};
+  // Registry-backed statistics (see des/hj_engine.cpp for the scheme).
+  obs::Counter& c_events_ = obs::metrics().counter("netsim.cmb.events");
+  obs::Counter& c_forwards_ = obs::metrics().counter("netsim.cmb.forwards");
+  obs::Counter& c_nulls_ = obs::metrics().counter("netsim.cmb.null_messages");
+  obs::Counter& c_tasks_ = obs::metrics().counter("netsim.cmb.tasks_spawned");
 };
 
 }  // namespace

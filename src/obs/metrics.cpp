@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace hjdes::obs {
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// JSON string escaping for metric names (conservative: names are expected
+/// to be dotted identifiers, but exporters must never emit invalid JSON).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+template <typename Map, typename Fn>
+void write_json_section(std::ostream& out, const char* title, const Map& map,
+                        Fn&& write_value) {
+  out << '"' << title << "\":{";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":";
+    write_value(*metric);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock guard(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock guard(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::scoped_lock guard(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::scoped_lock guard(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, _] : counters_) out.push_back("counter/" + name);
+  for (const auto& [name, _] : gauges_) out.push_back("gauge/" + name);
+  for (const auto& [name, _] : histograms_) out.push_back("histogram/" + name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::scoped_lock guard(mu_);
+  out << '{';
+  write_json_section(out, "counters", counters_,
+                     [&out](const Counter& c) { out << c.value(); });
+  out << ',';
+  write_json_section(out, "gauges", gauges_,
+                     [&out](const Gauge& g) { out << g.value(); });
+  out << ',';
+  write_json_section(out, "histograms", histograms_, [&out](const Histogram& h) {
+    const HistogramSnapshot snap = h.snapshot();
+    out << "{\"count\":" << snap.count << ",\"sum\":" << snap.sum
+        << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '[' << Histogram::bucket_floor(i) << ',' << snap.buckets[i]
+          << ']';
+    }
+    out << "]}";
+  });
+  out << "}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock guard(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->set(0);
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace hjdes::obs

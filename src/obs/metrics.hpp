@@ -1,0 +1,201 @@
+#pragma once
+// Low-overhead metrics for the simulation engines: named counters, gauges
+// and histograms owned by a MetricsRegistry.
+//
+// Counters and histograms are sharded: each has a fixed array of
+// cache-line-isolated slots and a writing thread updates only its own slot
+// (assigned round-robin on first use), so concurrent workers never contend
+// on a metric cache line. Reads aggregate over every shard and are intended
+// for cold paths (end of run, JSON export).
+//
+// Engines report per-run totals as deltas against the process-lifetime
+// registry values (see CounterDelta): the registry is global so the
+// `--metrics-json` exporters and tests see one namespace, while each run
+// still gets exact per-run numbers.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes::obs {
+
+namespace detail {
+
+/// Number of shard slots per counter/histogram. More threads than shards is
+/// correct (slots are atomics), merely slower.
+inline constexpr std::size_t kShards = 32;
+
+/// The calling thread's shard slot, assigned round-robin on first use.
+std::size_t shard_index() noexcept;
+
+}  // namespace detail
+
+/// Monotonic sharded counter.
+class Counter {
+ public:
+  void add(std::uint64_t v) noexcept {
+    shards_[detail::shard_index()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum over all shards. Cold path; exact once writers are quiescent.
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Slot& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Slot& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> v{0};
+  };
+  Slot shards_[detail::kShards];
+};
+
+/// Last-write-wins instantaneous value (not sharded: gauges are set rarely).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Aggregated histogram state returned by Histogram::snapshot().
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;  ///< size Histogram::kBuckets
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Sharded histogram over exponential (power-of-two) buckets: bucket 0 holds
+/// the value 0 and bucket i >= 1 holds values in [2^(i-1), 2^i). The last
+/// bucket absorbs everything above 2^(kBuckets-2).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// Bucket index for `v` under the scheme above.
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v == 0) return 0;
+    std::size_t width = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++width;
+    }
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Slot& s = shards_[detail::shard_index()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    out.buckets.assign(kBuckets, 0);
+    for (const Slot& s : shards_) {
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kBuckets; ++i) {
+        out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (Slot& s : shards_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Slot {
+    HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+  };
+  Slot shards_[detail::kShards];
+};
+
+/// Owner of every named metric. Lookup creates on first use and returns a
+/// reference that stays valid for the registry's lifetime, so hot code can
+/// resolve names once (at engine construction) and never touch the map
+/// again.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Every registered metric name, sorted, prefixed with its kind
+  /// ("counter/", "gauge/", "histogram/"). Test and tooling aid.
+  std::vector<std::string> names() const;
+
+  /// Serialize every metric as a single JSON object:
+  ///   {"counters":{name:value,...},
+  ///    "gauges":{name:value,...},
+  ///    "histograms":{name:{"count":c,"sum":s,"buckets":[[floor,n],...]}}}
+  /// Histogram bucket lists include only non-empty buckets.
+  void write_json(std::ostream& out) const;
+
+  /// Zero every registered metric (names stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide default registry used by the engines and tools.
+MetricsRegistry& metrics();
+
+/// Per-run counter view: captures the counter's value at construction and
+/// reports growth since then. Exact when runs of the same engine do not
+/// overlap (they never do: Runtime::run is not reentrant and the test and
+/// tool drivers run engines back to back).
+class CounterDelta {
+ public:
+  explicit CounterDelta(Counter& c) noexcept : c_(&c), base_(c.value()) {}
+  std::uint64_t delta() const noexcept { return c_->value() - base_; }
+
+ private:
+  Counter* c_;
+  std::uint64_t base_;
+};
+
+}  // namespace hjdes::obs

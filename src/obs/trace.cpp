@@ -1,0 +1,208 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes::obs {
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+struct TraceEvent {
+  std::int64_t t0_ns;
+  std::int64_t t1_ns;
+  SpanKind kind;
+};
+
+/// One thread's preallocated event ring. Owned by the global buffer list so
+/// it outlives the thread; written only by its owning thread.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid, std::size_t capacity)
+      : tid(tid), ring(capacity) {}
+
+  const int tid;
+  std::vector<TraceEvent> ring;
+  /// Monotonic write position; the ring holds entries
+  /// [max(0, head - capacity), head).
+  std::uint64_t head = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = std::size_t{1} << 16;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  /// Bumped by start_tracing/clear_trace so stale thread-local buffer
+  /// pointers from a previous trace session are re-resolved (atomic: read
+  /// on the record path without the mutex).
+  std::atomic<std::uint64_t> generation{0};
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local std::uint64_t tls_generation = ~std::uint64_t{0};
+
+ThreadBuffer* buffer_for_this_thread() {
+  TraceState& s = state();
+  std::scoped_lock guard(s.mu);
+  if (tls_buffer == nullptr ||
+      tls_generation != s.generation.load(std::memory_order_relaxed)) {
+    s.buffers.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<int>(s.buffers.size()), s.capacity));
+    tls_buffer = s.buffers.back().get();
+    tls_generation = s.generation.load(std::memory_order_relaxed);
+  }
+  return tls_buffer;
+}
+
+}  // namespace
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - state().epoch)
+      .count();
+}
+
+void record(SpanKind kind, std::int64_t t0_ns, std::int64_t t1_ns) noexcept {
+  ThreadBuffer* buf = tls_buffer;
+  if (buf == nullptr ||
+      tls_generation != state().generation.load(std::memory_order_relaxed)) {
+    buf = buffer_for_this_thread();
+  }
+  buf->ring[buf->head % buf->ring.size()] = TraceEvent{t0_ns, t1_ns, kind};
+  ++buf->head;
+}
+
+}  // namespace detail
+
+const char* span_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kTask:
+      return "task";
+    case SpanKind::kLockAcquire:
+      return "lock_acquire";
+    case SpanKind::kLockRetry:
+      return "lock_retry";
+    case SpanKind::kSteal:
+      return "steal";
+    case SpanKind::kNullSend:
+      return "null_send";
+    case SpanKind::kRollback:
+      return "rollback";
+    case SpanKind::kGvtSweep:
+      return "gvt_sweep";
+    case SpanKind::kNodeService:
+      return "node_service";
+    case SpanKind::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+void start_tracing(std::size_t events_per_thread) {
+  detail::TraceState& s = detail::state();
+  {
+    std::scoped_lock guard(s.mu);
+    HJDES_CHECK(events_per_thread > 0, "trace buffer capacity must be > 0");
+    s.buffers.clear();
+    s.capacity = events_per_thread;
+    s.epoch = std::chrono::steady_clock::now();
+    s.generation.fetch_add(1, std::memory_order_relaxed);
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_seq_cst);
+}
+
+void stop_tracing() {
+  detail::g_trace_enabled.store(false, std::memory_order_seq_cst);
+}
+
+void clear_trace() {
+  stop_tracing();
+  detail::TraceState& s = detail::state();
+  std::scoped_lock guard(s.mu);
+  s.buffers.clear();
+  s.generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped_events() {
+  detail::TraceState& s = detail::state();
+  std::scoped_lock guard(s.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : s.buffers) {
+    if (buf->head > buf->ring.size()) dropped += buf->head - buf->ring.size();
+  }
+  return dropped;
+}
+
+std::size_t write_chrome_trace(std::ostream& out) {
+  detail::TraceState& s = detail::state();
+  std::scoped_lock guard(s.mu);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::size_t written = 0;
+  auto emit_us = [&out](std::int64_t ns) {
+    // Chrome trace timestamps are microseconds; emit ns resolution as a
+    // fixed-point decimal without float rounding.
+    out << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+        << static_cast<char>('0' + (ns % 100) / 10)
+        << static_cast<char>('0' + ns % 10);
+  };
+
+  for (const auto& buf : s.buffers) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker-"
+        << buf->tid << "\"}}";
+
+    // Materialize the retained window in ring order (completion order),
+    // then sort by start time: spans are recorded when they *end*, so a
+    // nested span lands in the ring before its parent.
+    const std::size_t cap = buf->ring.size();
+    const std::size_t n =
+        buf->head < cap ? static_cast<std::size_t>(buf->head) : cap;
+    const std::uint64_t oldest = buf->head - n;
+    std::vector<detail::TraceEvent> events;
+    events.reserve(n);
+    for (std::uint64_t i = oldest; i < buf->head; ++i) {
+      events.push_back(buf->ring[i % cap]);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const detail::TraceEvent& a,
+                        const detail::TraceEvent& b) {
+                       return a.t0_ns < b.t0_ns;
+                     });
+
+    for (const detail::TraceEvent& e : events) {
+      out << ",{\"ph\":\"" << (e.t1_ns == e.t0_ns ? 'i' : 'X')
+          << "\",\"pid\":1,\"tid\":" << buf->tid << ",\"name\":\""
+          << span_name(e.kind) << "\",\"cat\":\"hjdes\",\"ts\":";
+      emit_us(e.t0_ns);
+      if (e.t1_ns != e.t0_ns) {
+        out << ",\"dur\":";
+        emit_us(e.t1_ns - e.t0_ns);
+      } else {
+        out << ",\"s\":\"t\"";
+      }
+      out << '}';
+      ++written;
+    }
+  }
+  out << "]}\n";
+  return written;
+}
+
+}  // namespace hjdes::obs

@@ -1,0 +1,116 @@
+#pragma once
+// Per-thread task timeline tracer with Chrome trace-event JSON export.
+//
+// Design constraints (these are the paper-reproduction hot paths):
+//   * disabled cost is one relaxed atomic load per instrumentation site —
+//     no allocation, no branches beyond the flag check;
+//   * enabled cost is two steady_clock reads plus one store into a
+//     preallocated per-thread ring buffer (oldest events are overwritten
+//     when a buffer fills; the drop count is reported in the export).
+//
+// Usage:
+//   obs::start_tracing();
+//   ... run engines; instrumentation sites use ScopedSpan / instant() ...
+//   obs::stop_tracing();
+//   std::ofstream out("trace.json");
+//   obs::write_chrome_trace(out);   // load in chrome://tracing or Perfetto
+//
+// start/stop/write are not synchronized against in-flight instrumentation:
+// call them from the driver thread while no instrumented work is running
+// (before/after an engine run), exactly like the tools and benches do.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace hjdes::obs {
+
+/// What a span or instant event represents. Names are stable: they become
+/// the "name" field of the exported Chrome trace events.
+enum class SpanKind : std::uint8_t {
+  kTask,         ///< one hj task execution (async body)
+  kLockAcquire,  ///< one try-lock-all attempt over a node's lock set
+  kLockRetry,    ///< instant: a try_lock failed and the task backed off
+  kSteal,        ///< instant: a task was stolen from another worker
+  kNullSend,     ///< instant: a NULL (termination/watermark) message sent
+  kRollback,     ///< one Time Warp rollback episode
+  kGvtSweep,     ///< one Time Warp GVT computation
+  kNodeService,  ///< one netsim CMB node service (drain + forward)
+  kCount_        ///< sentinel, keep last
+};
+
+/// Stable display name for `kind`.
+const char* span_name(SpanKind kind) noexcept;
+
+namespace detail {
+
+extern std::atomic<bool> g_trace_enabled;
+
+/// Nanoseconds since the tracing epoch (set by start_tracing).
+std::int64_t now_ns() noexcept;
+
+/// Append one event to the calling thread's ring buffer (registers the
+/// buffer on first use). Only called while tracing is enabled.
+void record(SpanKind kind, std::int64_t t0_ns, std::int64_t t1_ns) noexcept;
+
+}  // namespace detail
+
+/// True when tracing is active. Inline relaxed load: this is the entire
+/// disabled-path cost of every instrumentation site.
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enable tracing. Preallocates (or clears) per-thread ring buffers of
+/// `events_per_thread` slots and restarts the trace clock at zero.
+void start_tracing(std::size_t events_per_thread = std::size_t{1} << 16);
+
+/// Disable tracing. Recorded events are retained for write_chrome_trace.
+void stop_tracing();
+
+/// Discard all recorded events and per-thread buffers (test isolation aid;
+/// implies stop_tracing()).
+void clear_trace();
+
+/// Events dropped so far because a ring buffer wrapped.
+std::uint64_t trace_dropped_events();
+
+/// Write every retained event as Chrome trace-event JSON. Events are sorted
+/// by start time within each thread, so per-tid timestamps are monotonic.
+/// Returns the number of events written.
+std::size_t write_chrome_trace(std::ostream& out);
+
+/// RAII duration span ("ph":"X"). Does nothing when tracing is disabled at
+/// construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanKind kind) noexcept {
+    if (trace_enabled()) {
+      kind_ = kind;
+      t0_ = detail::now_ns();
+      active_ = true;
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) detail::record(kind_, t0_, detail::now_ns());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::int64_t t0_ = 0;
+  SpanKind kind_ = SpanKind::kTask;
+  bool active_ = false;
+};
+
+/// Zero-duration instant event ("ph":"i").
+inline void instant(SpanKind kind) noexcept {
+  if (trace_enabled()) {
+    const std::int64_t t = detail::now_ns();
+    detail::record(kind, t, t);
+  }
+}
+
+}  // namespace hjdes::obs

@@ -1,0 +1,129 @@
+#pragma once
+// Minimal JSON well-formedness checker for the obs exporter tests. Parses
+// objects, arrays, strings (with escapes), numbers and literals; reports the
+// first syntax error. Not a general-purpose parser — just enough to assert
+// that `write_json` / `write_chrome_trace` output is loadable.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace hjdes::obs::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : text_(std::move(text)) {}
+
+  /// True when the whole input is exactly one JSON value (plus whitespace).
+  bool valid() {
+    pos_ = 0;
+    error_.clear();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+  /// Description + offset of the first syntax error ("" when valid).
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected string");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        ++pos_;  // accept any escaped character
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    if (!eat('{')) return fail("expected '{'");
+    if (eat('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      if (!eat(':')) return fail("expected ':'");
+      if (!value()) return false;
+    } while (eat(','));
+    if (!eat('}')) return fail("expected '}'");
+    return true;
+  }
+
+  bool array() {
+    if (!eat('[')) return fail("expected '['");
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    if (!eat(']')) return fail("expected ']'");
+    return true;
+  }
+
+  const std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace hjdes::obs::testing

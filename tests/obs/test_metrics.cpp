@@ -1,0 +1,170 @@
+// MetricsRegistry unit tests: sharded counters must aggregate exactly across
+// concurrent writers, histogram bucketing must honour the power-of-two edge
+// scheme documented in metrics.hpp, and the JSON export must be well-formed.
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+
+namespace hjdes::obs {
+namespace {
+
+TEST(Counter, AggregatesExactlyAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Histogram, BucketIndexEdges) {
+  // Bucket 0 holds only the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+
+  // Every bucket's floor lands in that bucket, and floor - 1 one lower.
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t floor = Histogram::bucket_floor(i);
+    EXPECT_EQ(Histogram::bucket_index(floor), i) << "floor of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(floor - 1), i - 1)
+        << "below floor of bucket " << i;
+  }
+
+  // The last bucket absorbs everything above its floor.
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, SnapshotAggregatesAcrossThreads) {
+  Histogram h;
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kValues = 1000;  // each thread records 0..999
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t v = 0; v < kValues; ++v) h.record(v);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kValues);
+  EXPECT_EQ(snap.sum, kThreads * (kValues * (kValues - 1) / 2));
+  EXPECT_DOUBLE_EQ(snap.mean(), static_cast<double>(kValues - 1) / 2.0);
+
+  // Spot-check bucket populations: value 0 alone in bucket 0, value 1 alone
+  // in bucket 1, [512, 1000) in bucket 10.
+  EXPECT_EQ(snap.buckets[0], static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(snap.buckets[1], static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(snap.buckets[10], kThreads * (kValues - 512));
+
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+
+  h.reset();
+  snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+}
+
+TEST(MetricsRegistry, LookupIsStableAndCreateOnFirstUse) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("test.counter");
+  Counter& b = reg.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("test.counter").value(), 3u);
+
+  reg.gauge("test.gauge").set(9);
+  reg.histogram("test.hist").record(4);
+
+  std::vector<std::string> names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "counter/test.counter");
+  EXPECT_EQ(names[1], "gauge/test.gauge");
+  EXPECT_EQ(names[2], "histogram/test.hist");
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.counter("c").add(10);
+  reg.gauge("g").set(10);
+  reg.histogram("h").record(10);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.gauge("g").value(), 0);
+  EXPECT_EQ(reg.histogram("h").snapshot().count, 0u);
+  EXPECT_EQ(reg.names().size(), 3u);
+}
+
+TEST(MetricsRegistry, WriteJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(2);
+  reg.gauge("depth \"quoted\"").set(-7);
+  Histogram& h = reg.histogram("latency");
+  h.record(0);
+  h.record(3);
+  h.record(100);
+
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+
+  testing::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << checker.error() << "\n" << json;
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("depth \\\"quoted\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, GlobalSingletonIsStable) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+TEST(CounterDelta, ReportsGrowthSinceConstruction) {
+  Counter c;
+  c.add(100);
+  CounterDelta d(c);
+  EXPECT_EQ(d.delta(), 0u);
+  c.add(42);
+  EXPECT_EQ(d.delta(), 42u);
+}
+
+}  // namespace
+}  // namespace hjdes::obs

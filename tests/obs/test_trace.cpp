@@ -1,0 +1,193 @@
+// Tracer unit tests: the Chrome trace export must be well-formed JSON with
+// monotonically timestamped events per tid, disabled tracing must record
+// nothing, and ring-buffer wrap must be surfaced as a drop count.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+#include "obs/trace.hpp"
+
+namespace hjdes::obs {
+namespace {
+
+struct ParsedEvent {
+  char ph = '?';
+  int tid = -1;
+  double ts = -1.0;
+  std::string name;
+};
+
+/// Extract the events from write_chrome_trace output, in emission order.
+/// Relies on the exporter's fixed field layout, not on general JSON parsing
+/// (well-formedness is checked separately via JsonChecker).
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  const std::string marker = "{\"ph\":\"";
+  std::size_t pos = json.find(marker);
+  while (pos != std::string::npos) {
+    std::size_t next = json.find(marker, pos + marker.size());
+    const std::string body = json.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+
+    ParsedEvent e;
+    e.ph = body[marker.size()];
+    std::size_t at = body.find("\"tid\":");
+    if (at != std::string::npos) e.tid = std::atoi(body.c_str() + at + 6);
+    at = body.find("\"name\":\"");
+    if (at != std::string::npos) {
+      std::size_t end = body.find('"', at + 8);
+      e.name = body.substr(at + 8, end - at - 8);
+    }
+    at = body.find("\"ts\":");
+    if (at != std::string::npos) e.ts = std::atof(body.c_str() + at + 5);
+    events.push_back(std::move(e));
+    pos = next;
+  }
+  return events;
+}
+
+TEST(Trace, DisabledTracingRecordsNothing) {
+  clear_trace();
+  ASSERT_FALSE(trace_enabled());
+  { ScopedSpan span(SpanKind::kTask); }
+  instant(SpanKind::kSteal);
+
+  std::ostringstream out;
+  EXPECT_EQ(write_chrome_trace(out), 0u);
+  testing::JsonChecker checker(out.str());
+  EXPECT_TRUE(checker.valid()) << checker.error();
+}
+
+TEST(Trace, MultiThreadSpansExportWellFormedMonotonicTimeline) {
+  clear_trace();
+  start_tracing();
+  ASSERT_TRUE(trace_enabled());
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(SpanKind::kTask);
+        volatile int sink = 0;
+        for (int k = 0; k < 100; ++k) sink = sink + k;
+      }
+      instant(SpanKind::kNullSend);
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop_tracing();
+
+  std::ostringstream out;
+  const std::size_t written = write_chrome_trace(out);
+  EXPECT_EQ(written, static_cast<std::size_t>(kThreads) *
+                         (kSpansPerThread + 1));
+  EXPECT_EQ(trace_dropped_events(), 0u);
+
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  testing::JsonChecker checker(json);
+  ASSERT_TRUE(checker.valid()) << checker.error();
+
+  // One thread_name metadata record per thread, then the thread's events
+  // with non-decreasing timestamps.
+  std::vector<ParsedEvent> events = parse_events(json);
+  int metadata = 0;
+  int spans_seen = 0;
+  double last_ts = -1.0;
+  int last_tid = -1;
+  for (const ParsedEvent& e : events) {
+    ASSERT_GE(e.tid, 0);
+    ASSERT_LT(e.tid, kThreads);
+    if (e.ph == 'M') {
+      EXPECT_EQ(e.name, "thread_name");
+      ++metadata;
+      last_ts = -1.0;  // new tid group begins
+      last_tid = e.tid;
+      continue;
+    }
+    ASSERT_TRUE(e.ph == 'X' || e.ph == 'i') << e.ph;
+    EXPECT_EQ(e.tid, last_tid);
+    EXPECT_TRUE(e.name == "task" || e.name == "null_send") << e.name;
+    EXPECT_GE(e.ts, last_ts) << "timestamps regressed within tid " << e.tid;
+    last_ts = e.ts;
+    ++spans_seen;
+  }
+  EXPECT_EQ(metadata, kThreads);
+  EXPECT_EQ(static_cast<std::size_t>(spans_seen), written);
+
+  clear_trace();
+}
+
+TEST(Trace, RingWrapKeepsNewestAndCountsDrops) {
+  clear_trace();
+  constexpr std::size_t kCapacity = 8;
+  constexpr int kRecorded = 20;
+  start_tracing(kCapacity);
+  for (int i = 0; i < kRecorded; ++i) instant(SpanKind::kSteal);
+  stop_tracing();
+
+  EXPECT_EQ(trace_dropped_events(), kRecorded - kCapacity);
+
+  std::ostringstream out;
+  EXPECT_EQ(write_chrome_trace(out), kCapacity);
+  testing::JsonChecker checker(out.str());
+  EXPECT_TRUE(checker.valid()) << checker.error();
+
+  clear_trace();
+  EXPECT_EQ(trace_dropped_events(), 0u);
+}
+
+TEST(Trace, SpanConstructedAfterStopRecordsNothing) {
+  clear_trace();
+  start_tracing();
+  instant(SpanKind::kSteal);
+  stop_tracing();
+  { ScopedSpan span(SpanKind::kTask); }
+  instant(SpanKind::kSteal);
+
+  std::ostringstream out;
+  EXPECT_EQ(write_chrome_trace(out), 1u);
+  clear_trace();
+}
+
+TEST(Trace, RestartInvalidatesPreviousSession) {
+  clear_trace();
+  start_tracing();
+  instant(SpanKind::kSteal);
+  instant(SpanKind::kSteal);
+  stop_tracing();
+
+  start_tracing();  // new session: previous events discarded
+  instant(SpanKind::kNullSend);
+  stop_tracing();
+
+  std::ostringstream out;
+  EXPECT_EQ(write_chrome_trace(out), 1u);
+  EXPECT_NE(out.str().find("\"name\":\"null_send\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"name\":\"steal\""), std::string::npos);
+  clear_trace();
+}
+
+TEST(Trace, SpanNamesAreStable) {
+  EXPECT_STREQ(span_name(SpanKind::kTask), "task");
+  EXPECT_STREQ(span_name(SpanKind::kLockAcquire), "lock_acquire");
+  EXPECT_STREQ(span_name(SpanKind::kLockRetry), "lock_retry");
+  EXPECT_STREQ(span_name(SpanKind::kSteal), "steal");
+  EXPECT_STREQ(span_name(SpanKind::kNullSend), "null_send");
+  EXPECT_STREQ(span_name(SpanKind::kRollback), "rollback");
+  EXPECT_STREQ(span_name(SpanKind::kGvtSweep), "gvt_sweep");
+  EXPECT_STREQ(span_name(SpanKind::kNodeService), "node_service");
+}
+
+}  // namespace
+}  // namespace hjdes::obs

@@ -1,0 +1,103 @@
+// Observability must not perturb the simulation: run_hj with the tracer
+// enabled stays bit-identical to run_sequential, and the registry's
+// lock-retry metrics stay consistent with SimResult::lock_failures (the
+// per-task histogram samples sum to exactly the failed-try_lock total).
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hjdes::des {
+namespace {
+
+struct Fixture {
+  circuit::Netlist netlist = circuit::kogge_stone_adder(16);
+  circuit::Stimulus stimulus =
+      circuit::random_stimulus(netlist, 10, 25, 0xBEEF);
+};
+
+TEST(TracedEquivalence, HjWithTracingMatchesSequential) {
+  Fixture f;
+  SimInput input(f.netlist, f.stimulus);
+  SimResult ref = run_sequential(input);
+
+  obs::clear_trace();
+  obs::start_tracing();
+  HjEngineConfig cfg;
+  cfg.workers = 4;
+  SimResult got = run_hj(input, cfg);
+  obs::stop_tracing();
+
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+  EXPECT_EQ(ref.null_messages, got.null_messages);
+
+  // The run must have produced at least one task span.
+  std::ostringstream out;
+  EXPECT_GT(obs::write_chrome_trace(out), 0u);
+  EXPECT_NE(out.str().find("\"name\":\"task\""), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(TracedEquivalence, RepeatedTracedRunsStayDeterministic) {
+  Fixture f;
+  SimInput input(f.netlist, f.stimulus);
+  SimResult ref = run_sequential(input);
+
+  obs::clear_trace();
+  obs::start_tracing();
+  hj::Runtime rt(4);
+  for (int round = 0; round < 5; ++round) {
+    HjEngineConfig cfg;
+    cfg.workers = 4;
+    cfg.runtime = &rt;
+    SimResult got = run_hj(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, got))
+        << "round " << round << ": " << diff_behaviour(ref, got);
+  }
+  obs::stop_tracing();
+  obs::clear_trace();
+}
+
+TEST(TracedEquivalence, LockRetryMetricsMatchSimResult) {
+  Fixture f;
+  SimInput input(f.netlist, f.stimulus);
+
+  obs::Counter& c = obs::metrics().counter("des.hj.lock_failures");
+  obs::Histogram& h =
+      obs::metrics().histogram("des.hj.lock_failures_per_task");
+  const std::uint64_t counter_before = c.value();
+  const std::uint64_t hist_sum_before = h.snapshot().sum;
+
+  HjEngineConfig cfg;
+  cfg.workers = 4;
+  SimResult got = run_hj(input, cfg);
+
+  // Counter delta and histogram-sum delta must both equal the per-run
+  // lock-failure total reported in the SimResult: the engine records one
+  // histogram sample (the task's failed-try_lock count) per task flush.
+  EXPECT_EQ(c.value() - counter_before, got.lock_failures);
+  EXPECT_EQ(h.snapshot().sum - hist_sum_before, got.lock_failures);
+}
+
+TEST(TracedEquivalence, EventCounterMatchesSimResult) {
+  Fixture f;
+  SimInput input(f.netlist, f.stimulus);
+
+  obs::Counter& c = obs::metrics().counter("des.hj.events");
+  const std::uint64_t before = c.value();
+
+  HjEngineConfig cfg;
+  cfg.workers = 2;
+  SimResult got = run_hj(input, cfg);
+
+  EXPECT_EQ(c.value() - before, got.events_processed);
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -4,10 +4,16 @@
 //                [--packets 10000] [--horizon 10000] [--seed 1]
 //                [--engine global|cmb] [--workers 4] [--verify]
 //                [--hotspot]   (all-to-one traffic instead of uniform)
+//                [--trace out.json] [--metrics-json out.json]
 #include <algorithm>
 #include <cstdio>
 
+#include <cstddef>
+#include <fstream>
+
 #include "netsim/netsim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cli.has("trace")) obs::start_tracing();
   Timer t;
   NetSimResult r;
   if (engine == "global") {
@@ -63,6 +70,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   const double secs = t.seconds();
+  if (cli.has("trace")) {
+    obs::stop_tracing();
+    std::ofstream out(cli.get("trace", ""));
+    const std::size_t spans = obs::write_chrome_trace(out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   cli.get("trace", "").c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace (%zu events, %llu dropped) to %s\n",
+                spans,
+                static_cast<unsigned long long>(obs::trace_dropped_events()),
+                cli.get("trace", "").c_str());
+  }
 
   std::printf("engine %s: %.2f ms; delivered %llu/%zu, avg latency %.1f, "
               "%llu events, %llu forwards",
@@ -87,6 +108,18 @@ int main(int argc, char** argv) {
       std::printf("verify: MISMATCH — %s\n", diff_behaviour(ref, r).c_str());
       return 1;
     }
+  }
+
+  if (cli.has("metrics-json")) {
+    std::ofstream out(cli.get("metrics-json", ""));
+    obs::metrics().write_json(out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics JSON to %s\n",
+                   cli.get("metrics-json", "").c_str());
+      return 1;
+    }
+    std::printf("wrote metrics JSON to %s\n",
+                cli.get("metrics-json", "").c_str());
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 //             [--random-vectors N --interval T --seed S]
 //             [--engine seq|seqpq|hj|galois|actor|timewarp] [--workers N]
 //             [--vcd out.vcd] [--dot out.dot] [--profile] [--verify]
+//             [--trace out.json] [--metrics-json out.json]
 //
 // Circuit sources:
 //   --circuit path/to/file.netlist    text format (see circuit/netlist_io.hpp)
@@ -23,6 +24,8 @@
 #include "circuit/netlist_io.hpp"
 #include "des/engines.hpp"
 #include "des/vcd_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 
@@ -38,7 +41,9 @@ int usage(const char* prog) {
                "  --engine seq|seqpq|hj|galois|actor|timewarp  (default hj)\n"
                "  --workers N (default 4)   --vcd FILE   --dot FILE\n"
                "  --profile (print parallelism profile)\n"
-               "  --verify  (cross-check against the sequential engine)\n",
+               "  --verify  (cross-check against the sequential engine)\n"
+               "  --trace FILE        (Chrome trace-event task timeline)\n"
+               "  --metrics-json FILE (dump the metrics registry)\n",
                prog);
   return 2;
 }
@@ -129,6 +134,7 @@ int main(int argc, char** argv) {
 
   const std::string engine = cli.get("engine", "hj");
   const int workers = static_cast<int>(cli.get_int("workers", 4));
+  if (cli.has("trace")) obs::start_tracing();
   Timer t;
   des::SimResult result;
   if (engine == "seq") {
@@ -155,6 +161,20 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   const double secs = t.seconds();
+  if (cli.has("trace")) {
+    obs::stop_tracing();
+    std::ofstream out(cli.get("trace", ""));
+    const std::size_t spans = obs::write_chrome_trace(out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   cli.get("trace", "").c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace (%zu events, %llu dropped) to %s\n",
+                spans,
+                static_cast<unsigned long long>(obs::trace_dropped_events()),
+                cli.get("trace", "").c_str());
+  }
 
   std::printf("engine %s (%d workers): %.2f ms, %llu events (+%llu NULLs)\n",
               engine.c_str(), workers, secs * 1e3,
@@ -182,6 +202,18 @@ int main(int argc, char** argv) {
                   des::diff_behaviour(ref, result).c_str());
       return 1;
     }
+  }
+
+  if (cli.has("metrics-json")) {
+    std::ofstream out(cli.get("metrics-json", ""));
+    obs::metrics().write_json(out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics JSON to %s\n",
+                   cli.get("metrics-json", "").c_str());
+      return 1;
+    }
+    std::printf("wrote metrics JSON to %s\n",
+                cli.get("metrics-json", "").c_str());
   }
 
   if (cli.has("vcd")) {

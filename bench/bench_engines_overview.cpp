@@ -1,10 +1,11 @@
-// Cross-engine overview (beyond the paper's two versions): sequential deque,
-// sequential PQ, HJ parallel, Galois optimistic, and the §6 future-work
-// actor engine on one circuit — the summary table a downstream user wants
-// first.
+// Cross-engine overview (beyond the paper's two versions): every engine in
+// the des registry on every workload — the summary table a downstream user
+// wants first. The engine list comes from des::engines(), so a new engine
+// registered there appears here with no bench change.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -22,36 +23,16 @@ void print_overview() {
   t.header({"circuit", "engine", "min ms", "avg ms", "events"});
   for (Workload& w : all_workloads()) {
     des::SimInput input(w.netlist, w.stimulus);
-    des::SimResult last;
-
-    Summary sd = measure([&] { last = des::run_sequential(input); }, reps);
-    t.row({w.name, "sequential (deque)", TextTable::fmt(sd.min * 1e3),
-           TextTable::fmt(sd.mean * 1e3),
-           TextTable::fmt_int(static_cast<long long>(last.events_processed))});
-
-    Summary sp = measure([&] { last = des::run_sequential_pq(input); }, reps);
-    t.row({w.name, "sequential (PQ)", TextTable::fmt(sp.min * 1e3),
-           TextTable::fmt(sp.mean * 1e3), ""});
-
-    hj::Runtime rt(workers);
-    des::HjEngineConfig hj_cfg;
-    hj_cfg.workers = workers;
-    hj_cfg.runtime = &rt;
-    Summary h = measure([&] { last = des::run_hj(input, hj_cfg); }, reps);
-    t.row({w.name, "hj (Alg 2 + 4.5)", TextTable::fmt(h.min * 1e3),
-           TextTable::fmt(h.mean * 1e3), ""});
-
-    des::GaloisEngineConfig g_cfg;
-    g_cfg.threads = workers;
-    Summary g = measure([&] { last = des::run_galois(input, g_cfg); }, reps);
-    t.row({w.name, "galois (Alg 3)", TextTable::fmt(g.min * 1e3),
-           TextTable::fmt(g.mean * 1e3), ""});
-
-    des::ActorEngineConfig a_cfg;
-    a_cfg.workers = workers;
-    Summary a = measure([&] { last = des::run_actor(input, a_cfg); }, reps);
-    t.row({w.name, "actor (§6)", TextTable::fmt(a.min * 1e3),
-           TextTable::fmt(a.mean * 1e3), ""});
+    des::EngineOptions opts;
+    opts.workers = workers;
+    for (const des::EngineInfo& engine : des::engines()) {
+      des::SimResult last;
+      Summary s = measure([&] { last = engine.run(input, opts); }, reps);
+      t.row({w.name, std::string(engine.name), TextTable::fmt(s.min * 1e3),
+             TextTable::fmt(s.mean * 1e3),
+             TextTable::fmt_int(
+                 static_cast<long long>(last.events_processed))});
+    }
   }
   std::printf("%s\n", t.render().c_str());
 }

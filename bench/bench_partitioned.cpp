@@ -1,0 +1,128 @@
+// Partitioned-engine sweep: partitioner x shard count on the three paper
+// circuits, against the HJ engine at the same worker count and the
+// sequential baseline. Also the bench-side enforcement of the subsystem's
+// core claims, checked every run (CI runs this with HJDES_SMOKE=1):
+//   * waveforms are bit-identical to run_sequential for every cell,
+//   * intra-partition delivery is lock-free — the des.part.lock_acquires
+//     counter must not move while local deliveries happen,
+//   * multilevel cuts strictly fewer edges than round-robin.
+// Any violation exits non-zero.
+//
+// HJDES_SMOKE=1 shrinks the sweep to one repetition and shard counts {1, 4}
+// so CI finishes in seconds; the table layout is unchanged.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "part/partitioner.hpp"
+
+namespace {
+
+using namespace hjdes;
+using namespace hjdes::bench;
+
+bool smoke() {
+  const char* v = std::getenv("HJDES_SMOKE");
+  return v != nullptr && std::string(v) != "0";
+}
+
+int failures = 0;
+
+void check(bool ok, const char* what, const std::string& where) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s (%s)\n", what, where.c_str());
+    ++failures;
+  }
+}
+
+void sweep() {
+  const int reps = smoke() ? 1 : repetitions();
+  const std::vector<std::int32_t> parts =
+      smoke() ? std::vector<std::int32_t>{1, 4}
+              : std::vector<std::int32_t>{1, 2, 4, 8};
+  const part::PartitionerKind kinds[] = {part::PartitionerKind::kRoundRobin,
+                                         part::PartitionerKind::kBfs,
+                                         part::PartitionerKind::kMultilevel};
+
+  obs::MetricsRegistry& reg = obs::metrics();
+  obs::Counter& lock_acquires = reg.counter("des.part.lock_acquires");
+  obs::Counter& local_deliveries = reg.counter("des.part.local_deliveries");
+  obs::Counter& progressive_nulls = reg.counter("des.part.progressive_nulls");
+
+  std::printf("=== Partitioned engine sweep (%d reps%s) ===\n", reps,
+              smoke() ? ", smoke" : "");
+  TextTable t;
+  t.header({"circuit", "partitioner", "parts", "cut %", "imbal %", "min ms",
+            "avg ms", "vs seq", "vs hj", "prog nulls"});
+  for (Workload& w : all_workloads()) {
+    des::SimInput input(w.netlist, w.stimulus);
+    des::SimResult ref;
+    const Summary seq =
+        measure([&] { ref = des::run_sequential(input); }, reps);
+
+    std::vector<std::size_t> cut_by_kind;
+    for (part::PartitionerKind kind : kinds) {
+      std::size_t worst_cut = 0;
+      for (std::int32_t k : parts) {
+        const part::Partition partition =
+            part::make_partition(w.netlist, k, kind);
+        const part::PartitionStats stats =
+            part::partition_stats(w.netlist, partition);
+        if (k == 4) worst_cut = stats.cut_edges;
+
+        des::PartitionedConfig cfg;
+        cfg.partition = &partition;
+        des::HjEngineConfig hj_cfg;
+        hj_cfg.workers = static_cast<int>(k);
+
+        const std::string cell = w.name + "/" +
+                                 std::string(part::partitioner_name(kind)) +
+                                 "/k=" + std::to_string(k);
+        const obs::CounterDelta locks(lock_acquires);
+        const obs::CounterDelta locals(local_deliveries);
+        const obs::CounterDelta prog(progressive_nulls);
+        des::SimResult res;
+        const Summary part_s =
+            measure([&] { res = des::run_partitioned(input, cfg); }, reps);
+        check(des::same_behaviour(ref, res),
+              "partitioned waveforms differ from sequential", cell);
+        check(locks.delta() == 0,
+              "lock_acquires moved during a lock-free run", cell);
+        check(locals.delta() > 0 || k > 1,
+              "single-shard run produced no local deliveries", cell);
+        const Summary hj_s =
+            measure([&] { res = des::run_hj(input, hj_cfg); }, reps);
+
+        t.row({w.name, std::string(part::partitioner_name(kind)),
+               std::to_string(k), TextTable::fmt(stats.cut_ratio() * 100.0),
+               TextTable::fmt(stats.imbalance() * 100.0),
+               TextTable::fmt(part_s.min * 1e3),
+               TextTable::fmt(part_s.mean * 1e3),
+               TextTable::fmt(seq.min / part_s.min),
+               TextTable::fmt(hj_s.min / part_s.min),
+               TextTable::fmt_int(static_cast<long long>(prog.delta()))});
+      }
+      cut_by_kind.push_back(worst_cut);
+    }
+    // kinds[] orders round-robin first, multilevel last.
+    check(cut_by_kind.back() < cut_by_kind.front(),
+          "multilevel did not cut fewer edges than round-robin at k=4",
+          w.name);
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  sweep();
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_partitioned: %d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("bench_partitioned: all checks passed\n");
+  return 0;
+}

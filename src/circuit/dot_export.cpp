@@ -2,9 +2,29 @@
 
 #include <sstream>
 
+#include "support/platform.hpp"
+
 namespace hjdes::circuit {
+namespace {
+
+/// Pastel fill palette, cycled by partition index (Graphviz X11 names).
+constexpr const char* kPartitionColors[] = {
+    "lightblue",  "palegreen",     "lightsalmon", "plum",
+    "khaki",      "lightseagreen", "lightpink",   "wheat",
+};
+constexpr std::size_t kNumColors =
+    sizeof(kPartitionColors) / sizeof(kPartitionColors[0]);
+
+}  // namespace
 
 std::string to_dot(const Netlist& netlist, const std::string& graph_name) {
+  return to_dot(netlist, graph_name, {});
+}
+
+std::string to_dot(const Netlist& netlist, const std::string& graph_name,
+                   std::span<const std::int32_t> part_of) {
+  HJDES_CHECK(part_of.empty() || part_of.size() == netlist.node_count(),
+              "partition assignment size != node count");
   std::ostringstream out;
   out << "digraph \"" << graph_name << "\" {\n  rankdir=LR;\n";
   for (std::size_t i = 0; i < netlist.node_count(); ++i) {
@@ -13,17 +33,33 @@ std::string to_dot(const Netlist& netlist, const std::string& graph_name) {
     const std::string& name = netlist.name(id);
     out << "  n" << id << " [label=\"";
     if (!name.empty()) out << name << ":";
-    out << gate_name(kind) << "\"";
+    out << gate_name(kind);
+    if (!part_of.empty()) out << "\\np" << part_of[i];
+    out << "\"";
     if (kind == GateKind::Input) out << ", shape=invhouse";
     if (kind == GateKind::Output) out << ", shape=house";
+    if (!part_of.empty()) {
+      out << ", style=filled, fillcolor="
+          << kPartitionColors[static_cast<std::size_t>(part_of[i]) %
+                              kNumColors];
+    }
     out << "];\n";
   }
   for (std::size_t i = 0; i < netlist.node_count(); ++i) {
     const NodeId id = static_cast<NodeId>(i);
     for (const FanoutEdge& e : netlist.fanout(id)) {
       out << "  n" << id << " -> n" << e.target;
-      if (netlist.num_inputs(e.target) > 1) {
-        out << " [label=\"p" << static_cast<int>(e.port) << "\"]";
+      const bool cut = !part_of.empty() &&
+                       part_of[i] != part_of[static_cast<std::size_t>(e.target)];
+      const bool port_label = netlist.num_inputs(e.target) > 1;
+      if (cut || port_label) {
+        out << " [";
+        if (port_label) out << "label=\"p" << static_cast<int>(e.port) << "\"";
+        if (cut) {
+          if (port_label) out << ", ";
+          out << "color=red, style=bold";
+        }
+        out << "]";
       }
       out << ";\n";
     }

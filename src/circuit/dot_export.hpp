@@ -3,6 +3,7 @@
 // (gates as nodes, port connections as directed edges). Used by examples and
 // documentation; not on any hot path.
 
+#include <span>
 #include <string>
 
 #include "circuit/netlist.hpp"
@@ -12,5 +13,13 @@ namespace hjdes::circuit {
 /// Render the netlist as a DOT digraph. Node labels are "<name or id>:KIND";
 /// edge labels carry the destination port index for two-input gates.
 std::string to_dot(const Netlist& netlist, const std::string& graph_name);
+
+/// Same, colored by a partition assignment (one entry per node, as produced
+/// by part::Partition::part_of — passed as a raw span so the circuit layer
+/// stays independent of the part library). Nodes are filled from a cyclic
+/// palette per partition; edges crossing partitions are drawn red and bold.
+/// An empty span renders exactly like the plain overload.
+std::string to_dot(const Netlist& netlist, const std::string& graph_name,
+                   std::span<const std::int32_t> part_of);
 
 }  // namespace hjdes::circuit

@@ -1,0 +1,78 @@
+#include "des/engines.hpp"
+
+namespace hjdes::des {
+namespace {
+
+SimResult run_seq_entry(const SimInput& input, const EngineOptions&) {
+  return run_sequential(input);
+}
+
+SimResult run_seqpq_entry(const SimInput& input, const EngineOptions&) {
+  return run_sequential_pq(input);
+}
+
+SimResult run_hj_entry(const SimInput& input, const EngineOptions& opt) {
+  HjEngineConfig cfg;
+  cfg.workers = opt.workers;
+  return run_hj(input, cfg);
+}
+
+SimResult run_galois_entry(const SimInput& input, const EngineOptions& opt) {
+  GaloisEngineConfig cfg;
+  cfg.threads = opt.workers;
+  return run_galois(input, cfg);
+}
+
+SimResult run_actor_entry(const SimInput& input, const EngineOptions& opt) {
+  ActorEngineConfig cfg;
+  cfg.workers = opt.workers;
+  return run_actor(input, cfg);
+}
+
+SimResult run_timewarp_entry(const SimInput& input, const EngineOptions& opt) {
+  TimeWarpConfig cfg;
+  cfg.workers = opt.workers;
+  return run_timewarp(input, cfg);
+}
+
+SimResult run_partitioned_entry(const SimInput& input,
+                                const EngineOptions& opt) {
+  PartitionedConfig cfg;
+  cfg.parts = opt.parts > 0 ? opt.parts : opt.workers;
+  cfg.partitioner = opt.partitioner;
+  cfg.partition = opt.partition;
+  return run_partitioned(input, cfg);
+}
+
+constexpr EngineInfo kEngines[] = {
+    {"seq", "Algorithm 1, per-port deques (reference)", run_seq_entry},
+    {"seqpq", "Algorithm 1, per-node priority queue", run_seqpq_entry},
+    {"hj", "Algorithm 2 on the hj runtime", run_hj_entry},
+    {"galois", "Algorithm 3, optimistic galois runtime", run_galois_entry},
+    {"actor", "actor-per-node engine", run_actor_entry},
+    {"timewarp", "optimistic Time Warp engine", run_timewarp_entry},
+    {"partitioned", "sharded logical-process engine over a graph partition",
+     run_partitioned_entry},
+};
+
+}  // namespace
+
+std::span<const EngineInfo> engines() { return kEngines; }
+
+const EngineInfo* find_engine(std::string_view name) {
+  for (const EngineInfo& e : kEngines) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string engine_list() {
+  std::string out;
+  for (const EngineInfo& e : kEngines) {
+    if (!out.empty()) out += '|';
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace hjdes::des

@@ -7,14 +7,61 @@
 //   run_galois         — Algorithm 3 on the optimistic galois runtime
 //   run_actor          — §6 future work: actor-per-node engine
 //   run_timewarp       — §2.1 related work: Jefferson-style optimistic PDES
+//   run_partitioned    — sharded conservative engine over a graph partition
 //
 // All engines produce bit-identical waveforms for the same SimInput.
+//
+// The engine registry below is the single name -> engine mapping shared by
+// the CLI tools and the benches, so adding an engine here is all it takes to
+// appear in `hjdes_sim --engine=...` and the overview bench.
+
+#include <span>
+#include <string>
+#include <string_view>
 
 #include "des/actor_engine.hpp"
 #include "des/galois_engine.hpp"
 #include "des/hj_engine.hpp"
 #include "des/parallelism_profile.hpp"
+#include "des/partitioned_engine.hpp"
 #include "des/seq_engine.hpp"
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
 #include "des/timewarp_engine.hpp"
+
+namespace hjdes::des {
+
+/// The driver-level knobs shared by every engine. Each engine maps what it
+/// understands onto its own config and ignores the rest (the sequential
+/// engines ignore everything).
+struct EngineOptions {
+  /// Worker threads for the parallel engines.
+  int workers = 4;
+
+  /// Partitioned engine: shard count; 0 = one shard per worker.
+  std::int32_t parts = 0;
+
+  /// Partitioned engine: partitioner choice.
+  part::PartitionerKind partitioner = part::PartitionerKind::kMultilevel;
+
+  /// Partitioned engine: externally computed assignment override.
+  const part::Partition* partition = nullptr;
+};
+
+/// One registry entry.
+struct EngineInfo {
+  std::string_view name;     ///< CLI name ("seq", "hj", "partitioned", ...)
+  std::string_view summary;  ///< one-line description for --help output
+  SimResult (*run)(const SimInput&, const EngineOptions&);
+};
+
+/// Every engine, in presentation order (sequential baselines first).
+std::span<const EngineInfo> engines();
+
+/// Look up an engine by CLI name; nullptr when unknown.
+const EngineInfo* find_engine(std::string_view name);
+
+/// "seq|seqpq|hj|..." — for usage strings.
+std::string engine_list();
+
+}  // namespace hjdes::des

@@ -1,0 +1,50 @@
+#pragma once
+// Sharded conservative DES over a graph partition: each worker thread owns
+// one partition of the netlist as a logical process, runs Algorithm 1
+// (SeqEngine's workset loop) over its local nodes completely lock-free, and
+// exchanges timestamped events across cut edges through bounded SPSC
+// channels. Cross-partition lookahead is propagated by progressive NULL
+// messages (watermarks): an idle worker announces, per cut edge, a lower
+// bound on every future emission (min over the source's port horizons plus
+// the gate delay), letting the receiver's deterministic merge rule admit
+// events early instead of stalling until the terminal NULL arrives.
+//
+// Determinism: the per-node merge order (time, port, per-port arrival) is
+// unique given the per-edge event streams, and per-edge streams are FIFO
+// through the channels, so waveforms are bit-identical to run_sequential for
+// every partitioner and worker count. Watermarks only advance a port's
+// last-received bound — they admit safe candidates earlier in wall time but
+// can never reorder the merge.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+#include "part/partitioner.hpp"
+
+namespace hjdes::des {
+
+/// Configuration of the partitioned logical-process engine.
+struct PartitionedConfig {
+  /// Number of partitions == worker threads.
+  std::int32_t parts = 4;
+
+  /// Partitioner used to shard the netlist (ignored when `partition` set).
+  part::PartitionerKind partitioner = part::PartitionerKind::kMultilevel;
+
+  /// Optional externally computed assignment; must satisfy
+  /// validate_partition and overrides `parts`/`partitioner` when non-null.
+  const part::Partition* partition = nullptr;
+
+  /// Per-channel message capacity (rounded up to a power of two). Producers
+  /// blocked on a full channel drain their own inbound channels, so small
+  /// capacities throttle but cannot deadlock.
+  std::size_t channel_capacity = 1024;
+};
+
+/// Run the sharded simulation. Bit-identical waveforms to run_sequential.
+SimResult run_partitioned(const SimInput& input,
+                          const PartitionedConfig& config = {});
+
+}  // namespace hjdes::des

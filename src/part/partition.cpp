@@ -1,0 +1,53 @@
+#include "part/partition.hpp"
+
+#include <algorithm>
+
+#include "support/platform.hpp"
+
+namespace hjdes::part {
+
+std::size_t PartitionStats::max_part_nodes() const {
+  std::size_t m = 0;
+  for (std::size_t n : part_nodes) m = std::max(m, n);
+  return m;
+}
+
+double PartitionStats::imbalance() const {
+  if (part_nodes.empty()) return 0.0;
+  std::size_t total = 0;
+  for (std::size_t n : part_nodes) total += n;
+  if (total == 0) return 0.0;
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(part_nodes.size());
+  return static_cast<double>(max_part_nodes()) / ideal - 1.0;
+}
+
+void validate_partition(const circuit::Netlist& netlist, const Partition& p) {
+  HJDES_CHECK(p.parts >= 1, "partition must have at least one part");
+  HJDES_CHECK(p.part_of.size() == netlist.node_count(),
+              "partition assignment size != node count");
+  for (std::int32_t part : p.part_of) {
+    HJDES_CHECK(part >= 0 && part < p.parts,
+                "partition assignment out of range");
+  }
+}
+
+PartitionStats partition_stats(const circuit::Netlist& netlist,
+                               const Partition& p) {
+  validate_partition(netlist, p);
+  PartitionStats stats;
+  stats.total_edges = netlist.edge_count();
+  stats.part_nodes.assign(static_cast<std::size_t>(p.parts), 0);
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const auto id = static_cast<circuit::NodeId>(i);
+    ++stats.part_nodes[static_cast<std::size_t>(p.part_of[i])];
+    for (const circuit::FanoutEdge& e : netlist.fanout(id)) {
+      if (p.part_of[i] != p.part_of[static_cast<std::size_t>(e.target)]) {
+        ++stats.cut_edges;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hjdes::part

@@ -1,0 +1,50 @@
+#pragma once
+// Node-to-partition assignments over a circuit::Netlist, the input of the
+// sharded logical-process engine (des::run_partitioned). A Partition binds
+// every node to one of `parts` logical processes; edges whose endpoints live
+// in different partitions ("cut edges") are the only places the partitioned
+// engine synchronizes, so the partitioners in partitioner.hpp minimize them.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace hjdes::part {
+
+/// One node-to-partition assignment. part_of[node] in [0, parts).
+struct Partition {
+  std::int32_t parts = 1;
+  std::vector<std::int32_t> part_of;  ///< indexed by circuit::NodeId
+};
+
+/// Quality statistics of a partition over a concrete netlist.
+struct PartitionStats {
+  std::size_t cut_edges = 0;    ///< fanout edges crossing partitions
+  std::size_t total_edges = 0;  ///< netlist.edge_count()
+  std::vector<std::size_t> part_nodes;  ///< node count per partition
+
+  /// Fraction of edges that cross a partition boundary, in [0, 1].
+  double cut_ratio() const {
+    return total_edges == 0
+               ? 0.0
+               : static_cast<double>(cut_edges) /
+                     static_cast<double>(total_edges);
+  }
+
+  std::size_t max_part_nodes() const;
+
+  /// Load imbalance: max partition size over the ideal (total/parts) size,
+  /// minus 1. 0.0 = perfectly balanced; 0.1 = largest shard 10% oversized.
+  double imbalance() const;
+};
+
+/// Abort (HJDES_CHECK) unless `p` is a complete, in-range assignment for
+/// `netlist`: parts >= 1, one entry per node, every entry in [0, parts).
+void validate_partition(const circuit::Netlist& netlist, const Partition& p);
+
+/// Count cut edges and per-partition node populations. Validates first.
+PartitionStats partition_stats(const circuit::Netlist& netlist,
+                               const Partition& p);
+
+}  // namespace hjdes::part

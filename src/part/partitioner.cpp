@@ -1,0 +1,382 @@
+#include "part/partitioner.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::part {
+namespace {
+
+using circuit::FanoutEdge;
+using circuit::Netlist;
+using circuit::NodeId;
+
+// ------------------------------------------------------------------ shared --
+
+/// Chop `order` into `parts` blocks with (approximately) equal total weight:
+/// node order[i] joins the partition its cumulative-weight prefix falls in.
+/// With unit weights this is the familiar ceil(n/k) block split.
+std::vector<std::int32_t> chop_by_weight(
+    const std::vector<std::int32_t>& order,
+    const std::vector<std::int64_t>& weight, std::int32_t parts) {
+  std::int64_t total = 0;
+  for (std::int32_t u : order) total += weight[static_cast<std::size_t>(u)];
+  std::vector<std::int32_t> assign(order.size(), 0);
+  std::int64_t seen = 0;
+  std::int32_t p = 0;
+  for (std::int32_t u : order) {
+    // Advance to the block this prefix belongs to: block p covers the
+    // cumulative range [p*total/parts, (p+1)*total/parts).
+    while (p + 1 < parts && seen * parts >= total * (p + 1)) ++p;
+    assign[static_cast<std::size_t>(u)] = p;
+    seen += weight[static_cast<std::size_t>(u)];
+  }
+  return assign;
+}
+
+// --------------------------------------------------- level graph machinery --
+
+/// Undirected weighted graph in CSR form; one level of the multilevel
+/// hierarchy. Parallel netlist edges collapse into one arc with weight
+/// = multiplicity, so heavy-edge matching prefers tightly coupled pairs.
+struct LevelGraph {
+  std::size_t n = 0;
+  std::vector<std::int64_t> vwgt;            ///< collapsed original nodes
+  std::vector<std::size_t> adj_start;        ///< size n + 1
+  std::vector<std::int32_t> adj;             ///< neighbor ids
+  std::vector<std::int64_t> adj_wgt;         ///< arc weights
+  std::vector<std::int32_t> coarse_of;       ///< this level -> next (coarser)
+};
+
+/// Build a CSR graph from an (unsorted, possibly duplicated) undirected
+/// arc list. Duplicate (u, v) entries merge by summing weights.
+void build_csr(std::size_t n,
+               std::vector<std::pair<std::int64_t, std::int64_t>>&& arcs,
+               LevelGraph* g) {
+  // Encode (u, v, w) as sortable pairs: key = u * n + v.
+  std::sort(arcs.begin(), arcs.end());
+  g->adj_start.assign(n + 1, 0);
+  g->adj.clear();
+  g->adj_wgt.clear();
+  std::size_t i = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    g->adj_start[u] = g->adj.size();
+    while (i < arcs.size() &&
+           static_cast<std::size_t>(arcs[i].first) / n == u) {
+      const auto v = static_cast<std::int32_t>(
+          static_cast<std::size_t>(arcs[i].first) % n);
+      std::int64_t w = 0;
+      const std::int64_t key = arcs[i].first;
+      while (i < arcs.size() && arcs[i].first == key) {
+        w += arcs[i].second;
+        ++i;
+      }
+      g->adj.push_back(v);
+      g->adj_wgt.push_back(w);
+    }
+  }
+  g->adj_start[n] = g->adj.size();
+  g->n = n;
+}
+
+/// Level 0: the netlist viewed as an undirected multigraph.
+LevelGraph netlist_graph(const Netlist& netlist) {
+  const std::size_t n = netlist.node_count();
+  std::vector<std::pair<std::int64_t, std::int64_t>> arcs;
+  arcs.reserve(netlist.edge_count() * 2);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const FanoutEdge& e : netlist.fanout(static_cast<NodeId>(u))) {
+      const auto v = static_cast<std::size_t>(e.target);
+      arcs.emplace_back(static_cast<std::int64_t>(u * n + v), 1);
+      arcs.emplace_back(static_cast<std::int64_t>(v * n + u), 1);
+    }
+  }
+  LevelGraph g;
+  g.vwgt.assign(n, 1);
+  build_csr(n, std::move(arcs), &g);
+  return g;
+}
+
+/// Heavy-edge matching + contraction: returns the coarser graph and fills
+/// fine.coarse_of. Visit order is a seeded shuffle so ties don't always
+/// resolve toward low node ids.
+LevelGraph coarsen(LevelGraph& fine, Xoshiro256& rng) {
+  const std::size_t n = fine.n;
+  std::vector<std::int32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::int32_t>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  constexpr std::int32_t kUnmatched = -1;
+  std::vector<std::int32_t> match(n, kUnmatched);
+  fine.coarse_of.assign(n, kUnmatched);
+  std::size_t coarse_n = 0;
+  for (std::int32_t u : order) {
+    const auto ui = static_cast<std::size_t>(u);
+    if (match[ui] != kUnmatched) continue;
+    // Heaviest-edge unmatched neighbor.
+    std::int32_t best = kUnmatched;
+    std::int64_t best_w = 0;
+    for (std::size_t k = fine.adj_start[ui]; k < fine.adj_start[ui + 1];
+         ++k) {
+      const std::int32_t v = fine.adj[k];
+      if (match[static_cast<std::size_t>(v)] != kUnmatched) continue;
+      if (fine.adj_wgt[k] > best_w ||
+          (fine.adj_wgt[k] == best_w && (best == kUnmatched || v < best))) {
+        best = v;
+        best_w = fine.adj_wgt[k];
+      }
+    }
+    match[ui] = best == kUnmatched ? u : best;
+    if (best != kUnmatched) match[static_cast<std::size_t>(best)] = u;
+    const auto c = static_cast<std::int32_t>(coarse_n++);
+    fine.coarse_of[ui] = c;
+    if (best != kUnmatched) fine.coarse_of[static_cast<std::size_t>(best)] = c;
+  }
+
+  LevelGraph coarse;
+  coarse.vwgt.assign(coarse_n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    coarse.vwgt[static_cast<std::size_t>(fine.coarse_of[u])] += fine.vwgt[u];
+  }
+  std::vector<std::pair<std::int64_t, std::int64_t>> arcs;
+  arcs.reserve(fine.adj.size());
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto cu =
+        static_cast<std::size_t>(fine.coarse_of[u]);
+    for (std::size_t k = fine.adj_start[u]; k < fine.adj_start[u + 1]; ++k) {
+      const auto cv = static_cast<std::size_t>(
+          fine.coarse_of[static_cast<std::size_t>(fine.adj[k])]);
+      if (cu == cv) continue;  // contracted edge disappears
+      arcs.emplace_back(static_cast<std::int64_t>(cu * coarse_n + cv),
+                        fine.adj_wgt[k]);
+    }
+  }
+  build_csr(coarse_n, std::move(arcs), &coarse);
+  return coarse;
+}
+
+/// BFS order over a LevelGraph from node 0, unreached components appended.
+std::vector<std::int32_t> bfs_order(const LevelGraph& g) {
+  std::vector<std::int32_t> order;
+  order.reserve(g.n);
+  std::vector<bool> seen(g.n, false);
+  RingDeque<std::int32_t> frontier;
+  for (std::size_t root = 0; root < g.n; ++root) {
+    if (seen[root]) continue;
+    seen[root] = true;
+    frontier.push_back(static_cast<std::int32_t>(root));
+    while (!frontier.empty()) {
+      const std::int32_t u = frontier.pop_front();
+      order.push_back(u);
+      const auto ui = static_cast<std::size_t>(u);
+      for (std::size_t k = g.adj_start[ui]; k < g.adj_start[ui + 1]; ++k) {
+        const std::int32_t v = g.adj[k];
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+/// Greedy KL/FM-style boundary refinement: repeatedly move a node to the
+/// neighboring partition it is most connected to, when the move strictly
+/// reduces the cut and keeps the target under the balance limit. Each move
+/// strictly decreases total cut weight, so passes terminate.
+void refine(const LevelGraph& g, std::int32_t parts,
+            std::vector<std::int32_t>& assign, double tolerance,
+            int max_passes) {
+  std::int64_t total_w = 0;
+  for (std::int64_t w : g.vwgt) total_w += w;
+  std::vector<std::int64_t> part_w(static_cast<std::size_t>(parts), 0);
+  std::int64_t max_vwgt = 0;
+  for (std::size_t u = 0; u < g.n; ++u) {
+    part_w[static_cast<std::size_t>(assign[u])] += g.vwgt[u];
+    max_vwgt = std::max(max_vwgt, g.vwgt[u]);
+  }
+  // The limit must admit at least one coarse node per part, or coarse levels
+  // (few heavy nodes) could reject every move.
+  const auto limit = std::max<std::int64_t>(
+      static_cast<std::int64_t>(
+          (static_cast<double>(total_w) / static_cast<double>(parts)) *
+          (1.0 + tolerance)),
+      max_vwgt);
+
+  std::vector<std::int64_t> conn(static_cast<std::size_t>(parts), 0);
+  std::vector<std::int32_t> touched;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    std::size_t moved = 0;
+    for (std::size_t u = 0; u < g.n; ++u) {
+      const std::int32_t own = assign[u];
+      touched.clear();
+      for (std::size_t k = g.adj_start[u]; k < g.adj_start[u + 1]; ++k) {
+        const std::int32_t p =
+            assign[static_cast<std::size_t>(g.adj[k])];
+        if (conn[static_cast<std::size_t>(p)] == 0) touched.push_back(p);
+        conn[static_cast<std::size_t>(p)] += g.adj_wgt[k];
+      }
+      std::int32_t best = own;
+      std::int64_t best_gain = 0;
+      for (std::int32_t p : touched) {
+        if (p == own) continue;
+        const std::int64_t gain = conn[static_cast<std::size_t>(p)] -
+                                  conn[static_cast<std::size_t>(own)];
+        if (gain > best_gain &&
+            part_w[static_cast<std::size_t>(p)] + g.vwgt[u] <= limit) {
+          best = p;
+          best_gain = gain;
+        }
+      }
+      for (std::int32_t p : touched) conn[static_cast<std::size_t>(p)] = 0;
+      if (best != own) {
+        part_w[static_cast<std::size_t>(own)] -= g.vwgt[u];
+        part_w[static_cast<std::size_t>(best)] += g.vwgt[u];
+        assign[u] = best;
+        ++moved;
+      }
+    }
+    if (moved == 0) break;
+  }
+}
+
+}  // namespace
+
+Partition partition_round_robin(const Netlist& netlist, std::int32_t parts) {
+  HJDES_CHECK(parts >= 1, "parts must be >= 1");
+  Partition p;
+  p.parts = parts;
+  p.part_of.resize(netlist.node_count());
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    p.part_of[i] = static_cast<std::int32_t>(i % static_cast<std::size_t>(parts));
+  }
+  return p;
+}
+
+Partition partition_bfs(const Netlist& netlist, std::int32_t parts) {
+  HJDES_CHECK(parts >= 1, "parts must be >= 1");
+  const std::size_t n = netlist.node_count();
+  // Multi-source BFS from the circuit inputs over fanout edges — the wave
+  // order a signal front would visit gates in.
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  RingDeque<std::int32_t> frontier;
+  for (NodeId id : netlist.inputs()) {
+    seen[static_cast<std::size_t>(id)] = true;
+    frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    const std::int32_t u = frontier.pop_front();
+    order.push_back(u);
+    for (const FanoutEdge& e : netlist.fanout(u)) {
+      if (!seen[static_cast<std::size_t>(e.target)]) {
+        seen[static_cast<std::size_t>(e.target)] = true;
+        frontier.push_back(e.target);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) order.push_back(static_cast<std::int32_t>(i));
+  }
+
+  const std::vector<std::int64_t> unit(n, 1);
+  Partition p;
+  p.parts = parts;
+  p.part_of = chop_by_weight(order, unit, parts);
+  return p;
+}
+
+Partition partition_multilevel(const Netlist& netlist, std::int32_t parts,
+                               const MultilevelOptions& options) {
+  HJDES_CHECK(parts >= 1, "parts must be >= 1");
+  Partition result;
+  result.parts = parts;
+  if (parts == 1) {
+    result.part_of.assign(netlist.node_count(), 0);
+    return result;
+  }
+
+  Xoshiro256 rng(options.seed);
+  std::vector<LevelGraph> levels;
+  levels.push_back(netlist_graph(netlist));
+  const std::size_t target = std::max<std::size_t>(
+      static_cast<std::size_t>(parts) * options.coarsen_factor, 64);
+  while (levels.back().n > target) {
+    LevelGraph coarser = coarsen(levels.back(), rng);
+    // Matching stalled (e.g. a star graph): stop, the level is coarse enough.
+    if (coarser.n * 20 > levels.back().n * 19) break;
+    levels.push_back(std::move(coarser));
+  }
+
+  // Initial partition of the coarsest level: weighted BFS blocks.
+  LevelGraph& coarsest = levels.back();
+  std::vector<std::int32_t> assign =
+      chop_by_weight(bfs_order(coarsest), coarsest.vwgt, parts);
+  refine(coarsest, parts, assign, options.balance_tolerance,
+         options.refine_passes);
+
+  // Uncoarsen: project through each level's coarse_of map, refining as the
+  // graph regains resolution.
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    const LevelGraph& fine = levels[level];
+    std::vector<std::int32_t> projected(fine.n);
+    for (std::size_t u = 0; u < fine.n; ++u) {
+      projected[u] = assign[static_cast<std::size_t>(fine.coarse_of[u])];
+    }
+    assign = std::move(projected);
+    refine(fine, parts, assign, options.balance_tolerance,
+           options.refine_passes);
+  }
+
+  result.part_of = std::move(assign);
+  return result;
+}
+
+Partition make_partition(const Netlist& netlist, std::int32_t parts,
+                         PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kRoundRobin:
+      return partition_round_robin(netlist, parts);
+    case PartitionerKind::kBfs:
+      return partition_bfs(netlist, parts);
+    case PartitionerKind::kMultilevel:
+      return partition_multilevel(netlist, parts);
+  }
+  HJDES_CHECK(false, "unknown partitioner kind");
+  return {};
+}
+
+std::string_view partitioner_name(PartitionerKind kind) noexcept {
+  switch (kind) {
+    case PartitionerKind::kRoundRobin:
+      return "roundrobin";
+    case PartitionerKind::kBfs:
+      return "bfs";
+    case PartitionerKind::kMultilevel:
+      return "multilevel";
+  }
+  return "?";
+}
+
+bool parse_partitioner(std::string_view name, PartitionerKind* out) noexcept {
+  if (name == "roundrobin" || name == "rr") {
+    *out = PartitionerKind::kRoundRobin;
+  } else if (name == "bfs") {
+    *out = PartitionerKind::kBfs;
+  } else if (name == "multilevel" || name == "ml") {
+    *out = PartitionerKind::kMultilevel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hjdes::part

@@ -1,0 +1,65 @@
+#pragma once
+// Graph partitioners over circuit netlists. Three algorithms, in increasing
+// quality order:
+//
+//   round-robin — node i goes to partition i % k. No locality at all; the
+//                 baseline the better partitioners are measured against.
+//   bfs         — breadth-first order from the circuit inputs, chopped into
+//                 k equal contiguous blocks. Cheap and respects the
+//                 level structure of a circuit, so most fanout edges stay
+//                 inside a block.
+//   multilevel  — the METIS recipe [Karypis & Kumar 1998] scaled to netlist
+//                 sizes: coarsen by heavy-edge matching until the graph is
+//                 small, partition the coarse graph by weighted BFS blocks,
+//                 then project back level by level, running a greedy
+//                 KL/FM-style boundary refinement at each level.
+//
+// All partitioners are deterministic for a given (netlist, parts, options).
+
+#include <cstdint>
+#include <string_view>
+
+#include "part/partition.hpp"
+
+namespace hjdes::part {
+
+enum class PartitionerKind : std::uint8_t {
+  kRoundRobin,
+  kBfs,
+  kMultilevel,
+};
+
+/// Tuning knobs for partition_multilevel.
+struct MultilevelOptions {
+  /// Stop coarsening when the graph has at most max(parts * this, 64) nodes.
+  std::size_t coarsen_factor = 16;
+  /// A partition may exceed the ideal weight by this fraction during
+  /// refinement (the cut/imbalance trade-off dial).
+  double balance_tolerance = 0.10;
+  /// Maximum refinement passes per uncoarsening level.
+  int refine_passes = 8;
+  /// Tie-break seed for the matching order.
+  std::uint64_t seed = 1;
+};
+
+Partition partition_round_robin(const circuit::Netlist& netlist,
+                                std::int32_t parts);
+
+Partition partition_bfs(const circuit::Netlist& netlist, std::int32_t parts);
+
+Partition partition_multilevel(const circuit::Netlist& netlist,
+                               std::int32_t parts,
+                               const MultilevelOptions& options = {});
+
+/// Dispatch by kind (multilevel uses default options).
+Partition make_partition(const circuit::Netlist& netlist, std::int32_t parts,
+                         PartitionerKind kind);
+
+/// Canonical name: "roundrobin" | "bfs" | "multilevel".
+std::string_view partitioner_name(PartitionerKind kind) noexcept;
+
+/// Parse a partitioner name (accepts the canonical names plus the "rr" and
+/// "ml" shorthands). Returns false on unknown input.
+bool parse_partitioner(std::string_view name, PartitionerKind* out) noexcept;
+
+}  // namespace hjdes::part

@@ -1,0 +1,80 @@
+#pragma once
+// Bounded single-producer single-consumer channel (Lamport queue with cached
+// counter mirrors): the event-exchange primitive between logical processes in
+// the partitioned DES engine. Lock-free — one release store per operation —
+// so cross-partition event delivery costs no lock acquisition at all; the
+// producer and consumer each keep a cached copy of the other side's counter
+// and reload it only when the channel looks full/empty.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+/// Fixed-capacity SPSC FIFO of trivially copyable messages. Exactly one
+/// thread may call try_push and exactly one thread may call try_pop (they may
+/// be different threads, or the same).
+template <typename T>
+class SpscChannel {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscChannel is for plain message structs");
+
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscChannel(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<T[]>(cap);
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the channel is full.
+  bool try_push(const T& value) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buf_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the channel is empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = buf_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called by the producer or consumer
+  /// while the other side is quiescent).
+  std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::unique_ptr<T[]> buf_;
+  std::size_t mask_ = 0;
+
+  HJDES_CACHE_ALIGNED std::atomic<std::size_t> head_{0};  // consumer-owned
+  HJDES_CACHE_ALIGNED std::size_t tail_cache_ = 0;        // consumer-local
+  HJDES_CACHE_ALIGNED std::atomic<std::size_t> tail_{0};  // producer-owned
+  HJDES_CACHE_ALIGNED std::size_t head_cache_ = 0;        // producer-local
+};
+
+}  // namespace hjdes

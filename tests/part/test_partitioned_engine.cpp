@@ -1,0 +1,220 @@
+// PartitionedEngine correctness: bit-identical waveforms to run_sequential
+// on the paper's three evaluation circuits for every partitioner and shard
+// count in {1, 2, 4, 8} (the ISSUE acceptance matrix), plus random-DAG fuzz,
+// tiny-channel stress, obs metrics integration, and persisted-netlist
+// fixtures.
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+#include "des/engines.hpp"
+#include "obs/metrics.hpp"
+#include "part/partitioner.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::Netlist;
+using circuit::Stimulus;
+
+/// One paper circuit + stimulus + cached sequential reference. The matrix
+/// re-uses the reference across its 12 cells per circuit.
+struct PaperCase {
+  Netlist netlist;
+  std::unique_ptr<SimInput> input;
+  SimResult ref;
+};
+
+PaperCase& paper_case(const std::string& which) {
+  static std::map<std::string, PaperCase> cache;
+  // Build in place: SimInput keeps a pointer to the netlist, so the netlist
+  // must already live at its final (map-node) address.
+  PaperCase& pc = cache[which];
+  if (pc.input == nullptr) {
+    if (which == "ks64") {
+      pc.netlist = circuit::kogge_stone_adder(64);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 3, 100, 0xB0B));
+    } else if (which == "ks128") {
+      pc.netlist = circuit::kogge_stone_adder(128);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 2, 100, 0xCAFE));
+    } else {  // the 12-bit tree multiplier
+      pc.netlist = circuit::tree_multiplier(12);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 1, 1000, 0xA11CE));
+    }
+    pc.ref = run_sequential(*pc.input);
+  }
+  return pc;
+}
+
+using MatrixParam = std::tuple<const char*, part::PartitionerKind, int>;
+
+class PartitionedAcceptance : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(PartitionedAcceptance, BitIdenticalToSequential) {
+  auto [which, kind, parts] = GetParam();
+  PaperCase& pc = paper_case(which);
+
+  PartitionedConfig cfg;
+  cfg.parts = parts;
+  cfg.partitioner = kind;
+  SimResult got = run_partitioned(*pc.input, cfg);
+  EXPECT_TRUE(same_behaviour(pc.ref, got)) << diff_behaviour(pc.ref, got);
+  // NULL traffic is structural (one per fanout edge of every node), so the
+  // sharded engine must deliver exactly as many as the sequential one —
+  // progressive watermarks are accounted separately.
+  EXPECT_EQ(pc.ref.null_messages, got.null_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMatrix, PartitionedAcceptance,
+    ::testing::Combine(::testing::Values("ks64", "ks128", "mul12"),
+                       ::testing::Values(part::PartitionerKind::kRoundRobin,
+                                         part::PartitionerKind::kBfs,
+                                         part::PartitionerKind::kMultilevel),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::string(part::partitioner_name(std::get<1>(info.param))) +
+             "_k" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(PartitionedEngine, RandomDagFuzz) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    circuit::RandomDagParams p;
+    p.num_inputs = 8;
+    p.num_gates = 250;
+    p.num_outputs = 10;
+    p.seed = seed;
+    Netlist nl = circuit::random_dag(p);
+    Stimulus s = circuit::skewed_random_stimulus(nl, 8, 7, seed * 11);
+    SimInput input(nl, s);
+    SimResult ref = run_sequential(input);
+    for (part::PartitionerKind kind :
+         {part::PartitionerKind::kRoundRobin,
+          part::PartitionerKind::kMultilevel}) {
+      PartitionedConfig cfg;
+      cfg.parts = 3;
+      cfg.partitioner = kind;
+      SimResult got = run_partitioned(input, cfg);
+      ASSERT_TRUE(same_behaviour(ref, got))
+          << "seed " << seed << " " << part::partitioner_name(kind) << ": "
+          << diff_behaviour(ref, got);
+    }
+  }
+}
+
+TEST(PartitionedEngine, TinyChannelsForceBackpressure) {
+  // Two-message channels exercise the full-channel drain path constantly; a
+  // round-robin cut maximizes cross-partition traffic.
+  Netlist nl = circuit::kogge_stone_adder(16);
+  SimInput input(nl, circuit::random_stimulus(nl, 10, 20, 42));
+  SimResult ref = run_sequential(input);
+  PartitionedConfig cfg;
+  cfg.parts = 4;
+  cfg.partitioner = part::PartitionerKind::kRoundRobin;
+  cfg.channel_capacity = 2;
+  SimResult got = run_partitioned(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+TEST(PartitionedEngine, RepeatedRunsStayDeterministic) {
+  Netlist nl = circuit::tree_multiplier(8);
+  SimInput input(nl, circuit::random_stimulus(nl, 2, 50, 7));
+  SimResult ref = run_sequential(input);
+  for (int round = 0; round < 10; ++round) {
+    PartitionedConfig cfg;
+    cfg.parts = 4;
+    SimResult got = run_partitioned(input, cfg);
+    ASSERT_TRUE(same_behaviour(ref, got))
+        << "round " << round << ": " << diff_behaviour(ref, got);
+  }
+}
+
+TEST(PartitionedEngine, ExternalPartitionOverride) {
+  Netlist nl = circuit::kogge_stone_adder(24);
+  SimInput input(nl, circuit::random_stimulus(nl, 5, 30, 9));
+  SimResult ref = run_sequential(input);
+
+  // A deliberately lopsided hand-made split: first half / second half by id.
+  part::Partition p;
+  p.parts = 2;
+  p.part_of.resize(nl.node_count());
+  for (std::size_t i = 0; i < nl.node_count(); ++i) {
+    p.part_of[i] = i < nl.node_count() / 3 ? 0 : 1;
+  }
+  PartitionedConfig cfg;
+  cfg.partition = &p;
+  SimResult got = run_partitioned(input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+TEST(PartitionedEngine, ReportsMetricsThroughObsRegistry) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  const obs::CounterDelta locks(reg.counter("des.part.lock_acquires"));
+  const obs::CounterDelta locals(reg.counter("des.part.local_deliveries"));
+  const obs::CounterDelta cut(reg.counter("des.part.cut_events"));
+  const obs::CounterDelta events(reg.counter("des.part.events"));
+  const obs::CounterDelta nulls(reg.counter("des.part.null_messages"));
+
+  Netlist nl = circuit::kogge_stone_adder(32);
+  SimInput input(nl, circuit::random_stimulus(nl, 4, 50, 3));
+  SimResult ref = run_sequential(input);
+  PartitionedConfig cfg;
+  cfg.parts = 4;
+  cfg.partitioner = part::PartitionerKind::kMultilevel;
+  SimResult got = run_partitioned(input, cfg);
+  ASSERT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+
+  // The partition-quality gauges describe the run just executed.
+  EXPECT_EQ(reg.gauge("des.part.parts").value(), 4);
+  EXPECT_GT(reg.gauge("des.part.cut_edges").value(), 0);
+  EXPECT_GT(reg.gauge("des.part.cut_ratio_ppm").value(), 0);
+  EXPECT_GT(reg.gauge("des.part.null_ratio_ppm").value(), 0);
+
+  // Per-run counter deltas: exact event accounting, zero lock traffic.
+  EXPECT_EQ(events.delta(), ref.events_processed);
+  EXPECT_EQ(nulls.delta(), ref.null_messages);
+  EXPECT_GT(locals.delta(), 0u);
+  EXPECT_GT(cut.delta(), 0u);
+  EXPECT_EQ(locks.delta(), 0u)
+      << "intra-partition delivery must never acquire a lock";
+}
+
+TEST(PartitionedEngine, RegistryEntryRunsIt) {
+  const EngineInfo* info = find_engine("partitioned");
+  ASSERT_NE(info, nullptr);
+  Netlist nl = circuit::tree_multiplier(6);
+  SimInput input(nl, circuit::random_stimulus(nl, 3, 40, 5));
+  SimResult ref = run_sequential(input);
+  EngineOptions opts;
+  opts.workers = 2;  // parts defaults to workers
+  SimResult got = info->run(input, opts);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+TEST(PartitionedEngine, PersistedNetlistFixtureRoundTrips) {
+  // The netlist_io round-trip in service of partitioned runs: persist the
+  // circuit to text, reload, partition and simulate the reloaded copy, and
+  // compare against the original's sequential reference.
+  Netlist original = circuit::kogge_stone_adder(20);
+  Netlist reloaded = circuit::parse_netlist(circuit::to_text(original));
+  Stimulus s = circuit::random_stimulus(original, 6, 25, 77);
+  SimResult ref = run_sequential(SimInput(original, s));
+
+  SimInput reloaded_input(reloaded, s);
+  PartitionedConfig cfg;
+  cfg.parts = 4;
+  SimResult got = run_partitioned(reloaded_input, cfg);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -1,0 +1,91 @@
+// SpscChannel: capacity rounding, FIFO order, full/empty edges, and a
+// threaded producer/consumer stress with checksum.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/spsc_channel.hpp"
+
+namespace hjdes {
+namespace {
+
+TEST(SpscChannel, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscChannel<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscChannel<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscChannel<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscChannel<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscChannel<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscChannel, FifoOrderSingleThread) {
+  SpscChannel<int> ch(8);
+  EXPECT_TRUE(ch.empty());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ch.try_push(i));
+  EXPECT_FALSE(ch.try_push(99)) << "push into a full channel must fail";
+  EXPECT_EQ(ch.size(), 8u);
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ch.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ch.try_pop(v)) << "pop from an empty channel must fail";
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SpscChannel, WrapsAroundManyTimes) {
+  // Keep the 4-slot buffer 3 deep while cycling 1000 messages through it, so
+  // the indices wrap the capacity hundreds of times.
+  SpscChannel<std::uint64_t> ch(4);
+  for (std::uint64_t i = 0; i < 3; ++i) ASSERT_TRUE(ch.try_push(i));
+  for (std::uint64_t i = 3; i < 1000; ++i) {
+    ASSERT_TRUE(ch.try_push(i));
+    std::uint64_t v;
+    ASSERT_TRUE(ch.try_pop(v));
+    EXPECT_EQ(v, i - 3);
+  }
+}
+
+TEST(SpscChannel, ThreadedStressPreservesSequence) {
+  constexpr std::uint64_t kCount = 1'000'000;
+  SpscChannel<std::uint64_t> ch(64);
+  std::thread producer([&ch] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ch.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kCount) {
+    std::uint64_t v;
+    if (!ch.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(v, expected) << "sequence break (lost or reordered message)";
+    sum += v;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(SpscChannel, StructMessagesCopyIntact) {
+  struct Msg {
+    std::int64_t time;
+    std::int32_t target;
+    std::uint8_t port;
+  };
+  SpscChannel<Msg> ch(16);
+  ASSERT_TRUE(ch.try_push(Msg{123456789012345, 42, 1}));
+  Msg m{};
+  ASSERT_TRUE(ch.try_pop(m));
+  EXPECT_EQ(m.time, 123456789012345);
+  EXPECT_EQ(m.target, 42);
+  EXPECT_EQ(m.port, 1);
+}
+
+}  // namespace
+}  // namespace hjdes

@@ -2,9 +2,13 @@
 //
 //   hjdes_sim --circuit <file|gen:NAME> [--stimulus <file>]
 //             [--random-vectors N --interval T --seed S]
-//             [--engine seq|seqpq|hj|galois|actor|timewarp] [--workers N]
+//             [--engine NAME] [--workers N]
+//             [--parts N] [--partitioner roundrobin|bfs|multilevel]
 //             [--vcd out.vcd] [--dot out.dot] [--profile] [--verify]
 //             [--trace out.json] [--metrics-json out.json]
+//
+// Engine names come from the des engine registry (des::engines()); with
+// --engine=partitioned, --dot colors nodes by partition and marks cut edges.
 //
 // Circuit sources:
 //   --circuit path/to/file.netlist    text format (see circuit/netlist_io.hpp)
@@ -26,6 +30,7 @@
 #include "des/vcd_export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "part/partitioner.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 
@@ -38,13 +43,19 @@ int usage(const char* prog) {
                "usage: %s --circuit <file|gen:NAME> [options]\n"
                "  --stimulus FILE | --random-vectors N [--interval T] "
                "[--seed S]\n"
-               "  --engine seq|seqpq|hj|galois|actor|timewarp  (default hj)\n"
+               "  --engine %s  (default hj)\n"
                "  --workers N (default 4)   --vcd FILE   --dot FILE\n"
+               "  --parts N (partitioned engine; default = workers)\n"
+               "  --partitioner roundrobin|bfs|multilevel (default multilevel)\n"
                "  --profile (print parallelism profile)\n"
                "  --verify  (cross-check against the sequential engine)\n"
                "  --trace FILE        (Chrome trace-event task timeline)\n"
                "  --metrics-json FILE (dump the metrics registry)\n",
-               prog);
+               prog, des::engine_list().c_str());
+  for (const des::EngineInfo& e : des::engines()) {
+    std::fprintf(stderr, "    %-12s %.*s\n", std::string(e.name).c_str(),
+                 static_cast<int>(e.summary.size()), e.summary.data());
+  }
   return 2;
 }
 
@@ -106,9 +117,39 @@ int main(int argc, char** argv) {
               netlist.inputs().size(), netlist.outputs().size(),
               netlist.depth());
 
+  const std::string engine_name = cli.get("engine", "hj");
+  const des::EngineInfo* engine = des::find_engine(engine_name);
+  if (engine == nullptr) return usage(argv[0]);
+
+  des::EngineOptions opts;
+  opts.workers = static_cast<int>(cli.get_int("workers", 4));
+  opts.parts = static_cast<std::int32_t>(cli.get_int("parts", 0));
+  HJDES_CHECK(
+      part::parse_partitioner(cli.get("partitioner", "multilevel"),
+                              &opts.partitioner),
+      "unknown partitioner (roundrobin|bfs|multilevel)");
+
+  // With the partitioned engine, compute the assignment up front so the DOT
+  // export can color it and the run reuses the identical shards.
+  part::Partition partition;
+  if (engine_name == "partitioned") {
+    partition = part::make_partition(
+        netlist, opts.parts > 0 ? opts.parts : opts.workers,
+        opts.partitioner);
+    opts.partition = &partition;
+    const part::PartitionStats stats =
+        part::partition_stats(netlist, partition);
+    std::printf("partition: %d parts (%s), %zu/%zu cut edges (%.1f%%), "
+                "imbalance %.1f%%\n",
+                partition.parts,
+                std::string(part::partitioner_name(opts.partitioner)).c_str(),
+                stats.cut_edges, stats.total_edges, stats.cut_ratio() * 100.0,
+                stats.imbalance() * 100.0);
+  }
+
   if (cli.has("dot")) {
     std::ofstream out(cli.get("dot", ""));
-    out << circuit::to_dot(netlist, "hjdes_sim");
+    out << circuit::to_dot(netlist, "hjdes_sim", partition.part_of);
     std::printf("wrote DOT to %s\n", cli.get("dot", "").c_str());
   }
 
@@ -132,34 +173,9 @@ int main(int argc, char** argv) {
                 p.average_parallelism(), p.rounds.size());
   }
 
-  const std::string engine = cli.get("engine", "hj");
-  const int workers = static_cast<int>(cli.get_int("workers", 4));
   if (cli.has("trace")) obs::start_tracing();
   Timer t;
-  des::SimResult result;
-  if (engine == "seq") {
-    result = des::run_sequential(input);
-  } else if (engine == "seqpq") {
-    result = des::run_sequential_pq(input);
-  } else if (engine == "hj") {
-    des::HjEngineConfig cfg;
-    cfg.workers = workers;
-    result = des::run_hj(input, cfg);
-  } else if (engine == "galois") {
-    des::GaloisEngineConfig cfg;
-    cfg.threads = workers;
-    result = des::run_galois(input, cfg);
-  } else if (engine == "actor") {
-    des::ActorEngineConfig cfg;
-    cfg.workers = workers;
-    result = des::run_actor(input, cfg);
-  } else if (engine == "timewarp") {
-    des::TimeWarpConfig cfg;
-    cfg.workers = workers;
-    result = des::run_timewarp(input, cfg);
-  } else {
-    return usage(argv[0]);
-  }
+  des::SimResult result = engine->run(input, opts);
   const double secs = t.seconds();
   if (cli.has("trace")) {
     obs::stop_tracing();
@@ -177,7 +193,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("engine %s (%d workers): %.2f ms, %llu events (+%llu NULLs)\n",
-              engine.c_str(), workers, secs * 1e3,
+              engine_name.c_str(), opts.workers, secs * 1e3,
               static_cast<unsigned long long>(result.events_processed),
               static_cast<unsigned long long>(result.null_messages));
   if (result.tasks_spawned != 0) {
@@ -193,7 +209,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.anti_messages));
   }
 
-  if (cli.has("verify") && engine != "seq") {
+  if (cli.has("verify") && engine_name != "seq") {
     des::SimResult ref = des::run_sequential(input);
     if (des::same_behaviour(ref, result)) {
       std::printf("verify: OK (bit-identical to sequential)\n");

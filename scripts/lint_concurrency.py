@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Concurrency lint for the hjdes sources (see docs/ANALYSIS.md).
+
+Rules, all scoped to src/:
+
+  atomic-implicit-order   Every std::atomic member-function access
+                          (.load/.store/.exchange/.fetch_*/.compare_exchange_*)
+                          must spell out its std::memory_order argument.
+                          Explicit seq_cst is fine (the paper's §4.5.3 Dekker
+                          hints need it); *implicit* seq_cst is what hides
+                          unconsidered orderings. File-local aliases
+                          (`constexpr auto kSC = std::memory_order_seq_cst;`)
+                          count as explicit.
+
+  atomic-bare-operator    No operator access to atomics (x++, x += n, x = v):
+                          these compile to seq_cst RMW/stores with nothing in
+                          the source saying so. Use the named functions.
+
+  no-mutex-hot-path       No std::mutex / std::shared_mutex /
+                          std::condition_variable in src/hj or src/des —
+                          the runtime's lock-free guarantees are the point of
+                          the reproduction. isolated.{hpp,cpp} are exempt
+                          (HJlib `isolated` is specified as a striped-lock
+                          global section); anything else needs an allowlist
+                          entry justifying itself.
+
+Escapes live in scripts/concurrency_allowlist.txt, one per line:
+
+    rule|path-substring|line-regex   # comment
+
+A finding is suppressed when the rule matches, the path contains the
+substring, and the regex searches true against the offending line. Run with
+--list-allowlisted to see which entries fired (stale entries are reported as
+errors so the allowlist cannot rot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+ATOMIC_METHODS = (
+    "load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor"
+    "|compare_exchange_weak|compare_exchange_strong"
+)
+ATOMIC_CALL_RE = re.compile(r"\.\s*(" + ATOMIC_METHODS + r")\s*\(")
+ALIAS_RE = re.compile(
+    r"(?:constexpr\s+)?(?:auto|std::memory_order)\s+(\w+)\s*=\s*"
+    r"std::memory_order_\w+"
+)
+ATOMIC_DECL_RE = re.compile(r"std::atomic\s*<[^;(){}]*>\s+(\w+)")
+MUTEX_RE = re.compile(r"std::(?:mutex|recursive_mutex|timed_mutex|"
+                      r"shared_mutex|condition_variable(?:_any)?)\b")
+
+MUTEX_SCOPE = ("src/hj/", "src/des/")
+MUTEX_EXEMPT = ("src/hj/isolated.hpp", "src/hj/isolated.cpp")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def balanced_args(text: str, open_paren: int) -> str:
+    """Return the argument text of the call whose '(' is at open_paren."""
+    depth, i = 0, open_paren
+    while i < len(text):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+        i += 1
+    return text[open_paren + 1:]
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line: int, snippet: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.snippet = snippet.strip()
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.snippet}"
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8")
+    text = strip_comments_and_strings(raw)
+    lines = text.split("\n")
+    findings: list[Finding] = []
+
+    aliases = {m.group(1) for m in ALIAS_RE.finditer(text)}
+    alias_re = re.compile(
+        r"\b(?:" + "|".join(re.escape(w) for w in sorted(aliases)) + r")\b"
+    ) if aliases else None
+
+    # Rule: atomic-implicit-order.
+    for m in ATOMIC_CALL_RE.finditer(text):
+        args = balanced_args(text, m.end() - 1)
+        if "memory_order" not in args and not (
+                alias_re and alias_re.search(args)):
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(Finding("atomic-implicit-order", rel, line,
+                                    lines[line - 1]))
+
+    # Rule: atomic-bare-operator.
+    atomic_names = {m.group(1) for m in ATOMIC_DECL_RE.finditer(text)}
+    # Drop names the file also declares as a plain variable (e.g. a local
+    # `std::uint64_t sum` beside an atomic member `sum`): without scope
+    # analysis those would be guaranteed false positives.
+    for name in sorted(atomic_names):
+        decl_re = re.compile(r"[\w>&\]]\s+" + re.escape(name) + r"\s*[=;{]")
+        if any(decl_re.search(ln) and "atomic" not in ln for ln in lines):
+            atomic_names.discard(name)
+    if atomic_names:
+        names = "|".join(re.escape(x) for x in sorted(atomic_names))
+        op_res = [
+            re.compile(r"\b(" + names + r")(?:\[[^\]]*\])?\s*"
+                       r"(\+\+|--|[-+|&^]=)"),
+            re.compile(r"(\+\+|--)\s*(" + names + r")\b"),
+            re.compile(r"\b(" + names + r")(?:\[[^\]]*\])?\s*=(?![=])"),
+        ]
+        for lineno, line in enumerate(lines, 1):
+            if ATOMIC_DECL_RE.search(line):
+                continue  # declarations with initializers are construction
+            for op_re in op_res:
+                if op_re.search(line):
+                    findings.append(Finding("atomic-bare-operator", rel,
+                                            lineno, line))
+                    break
+
+    # Rule: no-mutex-hot-path.
+    if rel.startswith(MUTEX_SCOPE) and rel not in MUTEX_EXEMPT:
+        for lineno, line in enumerate(lines, 1):
+            if MUTEX_RE.search(line):
+                findings.append(Finding("no-mutex-hot-path", rel, lineno,
+                                        line))
+
+    return findings
+
+
+def load_allowlist(path: pathlib.Path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split("|", 2)
+        if len(parts) != 3:
+            sys.exit(f"{path}:{lineno}: allowlist line needs "
+                     "rule|path-substring|line-regex")
+        entries.append({"rule": parts[0], "path": parts[1],
+                        "regex": re.compile(parts[2]), "hits": 0,
+                        "where": f"{path.name}:{lineno}"})
+    return entries
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=str(REPO), help="repository root")
+    ap.add_argument("--allowlist",
+                    default=str(REPO / "scripts" / "concurrency_allowlist.txt"))
+    ap.add_argument("--list-allowlisted", action="store_true",
+                    help="print suppressed findings too")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root)
+    allowlist = load_allowlist(pathlib.Path(args.allowlist))
+
+    findings: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        for f in lint_file(path, rel):
+            for entry in allowlist:
+                if (entry["rule"] == f.rule and entry["path"] in f.path
+                        and entry["regex"].search(f.snippet)):
+                    entry["hits"] += 1
+                    suppressed.append((f, entry["where"]))
+                    break
+            else:
+                findings.append(f)
+
+    if args.list_allowlisted:
+        for f, where in suppressed:
+            print(f"allowlisted ({where}): {f}")
+
+    stale = [e for e in allowlist if e["hits"] == 0]
+    for e in stale:
+        print(f"error: stale allowlist entry {e['where']}: "
+              f"{e['rule']}|{e['path']}|{e['regex'].pattern}")
+
+    for f in findings:
+        print(f)
+    total = len(findings) + len(stale)
+    print(f"lint_concurrency: {len(findings)} finding(s), "
+          f"{len(suppressed)} allowlisted, {len(stale)} stale entr(y|ies)")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

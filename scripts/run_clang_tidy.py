@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Run the repo's curated .clang-tidy gate and diff against the baseline.
+
+    scripts/run_clang_tidy.py [--build-dir BUILD] [--require]
+                              [--update-baseline] [--jobs N]
+
+Needs a build tree configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+When no clang-tidy binary is on PATH the script SKIPS with exit 0 (the
+container used for local development does not ship clang-tidy); pass
+--require — CI does — to turn a missing tool into an error.
+
+Findings are normalized to "path: [check] message" (no line/column, so the
+baseline survives unrelated edits) and compared against
+scripts/clang_tidy_baseline.txt:
+
+  * a finding not in the baseline      -> NEW, fails the gate
+  * a baseline entry with no finding   -> stale, reported, never fails
+    (delete it via --update-baseline)
+
+--update-baseline rewrites the baseline to exactly the current findings;
+commit the diff together with a justification for any added entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "scripts" / "clang_tidy_baseline.txt"
+TIDY_CANDIDATES = ["clang-tidy", "clang-tidy-20", "clang-tidy-19",
+                   "clang-tidy-18", "clang-tidy-17"]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\n]+):\d+:\d+: (?:warning|error): "
+    r"(?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def find_tidy() -> str | None:
+    for name in TIDY_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def normalize(path: str, check: str, msg: str) -> str:
+    p = pathlib.Path(path)
+    try:
+        p = p.resolve().relative_to(REPO)
+    except ValueError:
+        pass
+    return f"{p.as_posix()}: [{check}] {msg}"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=None,
+                    help="build tree with compile_commands.json "
+                         "(default: build-check, then build)")
+    ap.add_argument("--require", action="store_true",
+                    help="fail instead of skipping when clang-tidy is absent")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    args = ap.parse_args()
+
+    tidy = find_tidy()
+    if tidy is None:
+        msg = "run_clang_tidy: no clang-tidy on PATH"
+        if args.require:
+            print(f"{msg} (--require set)", file=sys.stderr)
+            return 1
+        print(f"{msg}; skipping (pass --require to make this an error)")
+        return 0
+
+    build_dir = None
+    candidates = ([args.build_dir] if args.build_dir
+                  else ["build-check", "build"])
+    for cand in candidates:
+        d = (REPO / cand) if not pathlib.Path(cand).is_absolute() \
+            else pathlib.Path(cand)
+        if (d / "compile_commands.json").exists():
+            build_dir = d
+            break
+    if build_dir is None:
+        print("run_clang_tidy: no compile_commands.json found; configure "
+              "with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 1
+
+    compile_db = json.loads((build_dir / "compile_commands.json").read_text())
+    sources = sorted(
+        e["file"] for e in compile_db
+        if "/src/" in e["file"].replace("\\", "/")
+        and e["file"].endswith(".cpp"))
+    if not sources:
+        print("run_clang_tidy: no src/ sources in the compile database",
+              file=sys.stderr)
+        return 1
+
+    print(f"run_clang_tidy: {tidy} over {len(sources)} sources "
+          f"(db: {build_dir.name}, -j{args.jobs})")
+    findings: set[str] = set()
+    procs: list[tuple[str, subprocess.Popen]] = []
+
+    def reap(block_all: bool) -> None:
+        while procs and (block_all or len(procs) >= args.jobs):
+            src, proc = procs.pop(0)
+            out, _ = proc.communicate()
+            for line in out.splitlines():
+                m = DIAG_RE.match(line)
+                if m:
+                    findings.add(normalize(m.group("path"), m.group("check"),
+                                           m.group("msg")))
+
+    for src in sources:
+        procs.append((src, subprocess.Popen(
+            [tidy, "-p", str(build_dir), "--quiet", src],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)))
+        reap(block_all=False)
+    reap(block_all=True)
+
+    baseline: set[str] = set()
+    if BASELINE.exists():
+        baseline = {ln.strip() for ln in BASELINE.read_text().splitlines()
+                    if ln.strip() and not ln.lstrip().startswith("#")}
+
+    if args.update_baseline:
+        header = ("# clang-tidy baseline: known findings the gate tolerates.\n"
+                  "# Regenerate with scripts/run_clang_tidy.py "
+                  "--update-baseline; justify additions in the commit.\n")
+        BASELINE.write_text(header + "".join(
+            f"{f}\n" for f in sorted(findings)))
+        print(f"run_clang_tidy: baseline updated ({len(findings)} entries)")
+        return 0
+
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    for f in new:
+        print(f"NEW: {f}")
+    for f in stale:
+        print(f"stale baseline entry (fixed? remove it): {f}")
+    print(f"run_clang_tidy: {len(findings)} finding(s), {len(new)} new, "
+          f"{len(stale)} stale baseline entr(y|ies)")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for hjcheck (src/check): the happens-before race detector,
+// checked_cell annotation wrapper, and lock-order verifier. See
+// docs/ANALYSIS.md for the model and how to run the checks.
+
+#include "check/checked_cell.hpp"  // IWYU pragma: export
+#include "check/hb.hpp"            // IWYU pragma: export
+#include "check/lock_order.hpp"    // IWYU pragma: export
+#include "check/vector_clock.hpp"  // IWYU pragma: export

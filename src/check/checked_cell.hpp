@@ -1,0 +1,170 @@
+#pragma once
+// checked_cell<T>: annotation wrapper for shared state whose accesses must be
+// ordered by the computed happens-before relation.
+//
+// Engines group state by guard domain (e.g. one cell per port queue, one cell
+// for everything a node's run_flag protects) and route every access through
+// write() / read(). With HJDES_CHECK_ENABLED each access runs the
+// FastTrack-style shadow check below; without it, write()/read() compile to a
+// plain member access, so the wrapper is free in production builds.
+//
+// The shadow keeps the last write as an epoch and reads as an epoch that
+// inflates to a full vector clock only when reads are genuinely concurrent
+// (the FastTrack fast path). A cell reports at most one race: engine
+// protocols fail wholesale, not per access, and one message per cell keeps
+// reports readable.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include <mutex>
+
+#include "check/hb.hpp"
+#include "check/vector_clock.hpp"
+#if defined(HJDES_CHECK_ENABLED)
+#include "support/spinlock.hpp"
+#endif
+
+namespace hjdes::check {
+
+#if defined(HJDES_CHECK_ENABLED)
+
+namespace detail {
+
+/// FastTrack shadow word for one cell. The spinlock serializes shadow
+/// updates only; it deliberately creates no happens-before edge between the
+/// *checked* accesses (the analysis would be blind if it did).
+class ShadowCell {
+ public:
+  void set_label(const char* label) noexcept { label_ = label; }
+
+  void on_write() {
+    ThreadState& t = thread_state();
+    const Epoch now = t.epoch();
+    std::scoped_lock lock(mu_);
+    if (write_.valid() && write_.slot == now.slot &&
+        write_.clock == now.clock) {
+      // FastTrack same-epoch fast path: no synchronization since the last
+      // write by this thread; any concurrent read reports at the read side.
+      return;
+    }
+    if (!t.clock.covers(write_)) report("write", "write", write_.slot, now);
+    if (reads_inflated_) {
+      const std::int64_t s = t.clock.first_uncovered(read_vc_);
+      if (s >= 0) report("read", "write", static_cast<std::uint32_t>(s), now);
+    } else if (!t.clock.covers(read_)) {
+      report("read", "write", read_.slot, now);
+    }
+    write_ = now;
+    read_ = Epoch{};
+    read_vc_.clear();
+    reads_inflated_ = false;
+  }
+
+  void on_read() {
+    ThreadState& t = thread_state();
+    const Epoch now = t.epoch();
+    std::scoped_lock lock(mu_);
+    if (!t.clock.covers(write_)) report("write", "read", write_.slot, now);
+    if (reads_inflated_) {
+      read_vc_.set(now.slot, now.clock);
+    } else if (!read_.valid() || read_.slot == now.slot) {
+      read_ = now;
+    } else if (t.clock.covers(read_)) {
+      // Previous read is ordered before this one; the epoch is enough.
+      read_ = now;
+    } else {
+      // Concurrent readers: inflate to a full read vector clock.
+      read_vc_.set(read_.slot, read_.clock);
+      read_vc_.set(now.slot, now.clock);
+      reads_inflated_ = true;
+    }
+  }
+
+ private:
+  void report(const char* prev, const char* curr, std::uint32_t prev_slot,
+              const Epoch& now) {
+    if (reported_) return;
+    reported_ = true;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s on '%s': prior %s by thread-slot %u is concurrent with "
+                  "%s by thread-slot %u",
+                  prev_slot == now.slot ? "unordered access" : "data race",
+                  label_ != nullptr ? label_ : "<unlabelled cell>", prev,
+                  prev_slot, curr, now.slot);
+    report_violation(ViolationKind::kRace, buf);
+  }
+
+  Spinlock mu_;
+  const char* label_ = nullptr;
+  Epoch write_;
+  Epoch read_;
+  VectorClock read_vc_;
+  bool reads_inflated_ = false;
+  bool reported_ = false;
+};
+
+}  // namespace detail
+
+/// Shared-state wrapper verified against the happens-before relation.
+/// Non-copyable, like the atomics it sits beside in engine node structs.
+template <typename T>
+class checked_cell {
+ public:
+  checked_cell() = default;
+  template <typename... Args>
+  explicit checked_cell(Args&&... args) : v_(std::forward<Args>(args)...) {}
+  checked_cell(const checked_cell&) = delete;
+  checked_cell& operator=(const checked_cell&) = delete;
+
+  /// Name used in race reports; pass a string literal.
+  void set_label(const char* label) noexcept { shadow_.set_label(label); }
+
+  /// Access intending to mutate (or already holding exclusive rights).
+  T& write() {
+    shadow_.on_write();
+    return v_;
+  }
+
+  /// Read-only access; concurrent read()s are not a violation.
+  const T& read() const {
+    shadow_.on_read();
+    return v_;
+  }
+
+  /// Unchecked access for single-threaded phases (setup, teardown).
+  T& raw() noexcept { return v_; }
+  const T& raw() const noexcept { return v_; }
+
+ private:
+  T v_;
+  mutable detail::ShadowCell shadow_;
+};
+
+#else  // !HJDES_CHECK_ENABLED
+
+template <typename T>
+class checked_cell {
+ public:
+  checked_cell() = default;
+  template <typename... Args>
+  explicit checked_cell(Args&&... args) : v_(std::forward<Args>(args)...) {}
+  checked_cell(const checked_cell&) = delete;
+  checked_cell& operator=(const checked_cell&) = delete;
+
+  void set_label(const char*) noexcept {}
+
+  T& write() noexcept { return v_; }
+  const T& read() const noexcept { return v_; }
+  T& raw() noexcept { return v_; }
+  const T& raw() const noexcept { return v_; }
+
+ private:
+  T v_;
+};
+
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace hjdes::check

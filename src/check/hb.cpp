@@ -1,0 +1,243 @@
+#include "check/hb.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "support/platform.hpp"
+#if defined(HJDES_CHECK_ENABLED)
+#include "support/spinlock.hpp"
+#endif
+
+namespace hjdes::check {
+namespace {
+
+// Keep only the first kMaxMessages messages per run; the atomic counters
+// below stay exact however many violations occur.
+constexpr std::size_t kMaxMessages = 64;
+
+std::atomic<std::uint64_t> g_count_by_kind[3] = {};
+std::atomic<bool> g_abort_on_violation{false};
+
+#if defined(HJDES_CHECK_ENABLED)
+Spinlock g_report_mu;
+#endif
+
+// Message storage lives behind a leaked pointer so thread_local destructors
+// running at process exit can still report safely.
+std::vector<std::string>& messages() {
+  static std::vector<std::string>* m = new std::vector<std::string>();
+  return *m;
+}
+
+#if defined(HJDES_CHECK_ENABLED)
+const char* kind_name(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kRace:
+      return "race";
+    case ViolationKind::kLockOrder:
+      return "lock-order";
+    case ViolationKind::kLockLeak:
+      return "lock-leak";
+  }
+  return "unknown";
+}
+
+obs::Counter& kind_counter(ViolationKind kind) {
+  static obs::Counter* counters[3] = {
+      &obs::metrics().counter("check.races"),
+      &obs::metrics().counter("check.lock_order_violations"),
+      &obs::metrics().counter("check.lock_leaks"),
+  };
+  return *counters[static_cast<std::size_t>(kind)];
+}
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace
+
+bool compiled_in() noexcept {
+#if defined(HJDES_CHECK_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t race_count() noexcept {
+  return g_count_by_kind[0].load(std::memory_order_relaxed);
+}
+
+std::uint64_t lock_order_violation_count() noexcept {
+  return g_count_by_kind[1].load(std::memory_order_relaxed);
+}
+
+std::uint64_t lock_leak_count() noexcept {
+  return g_count_by_kind[2].load(std::memory_order_relaxed);
+}
+
+std::uint64_t violation_count() noexcept {
+  return race_count() + lock_order_violation_count() + lock_leak_count();
+}
+
+void set_abort_on_violation(bool abort_on_violation) noexcept {
+  g_abort_on_violation.store(abort_on_violation, std::memory_order_relaxed);
+}
+
+#if defined(HJDES_CHECK_ENABLED)
+
+std::vector<std::string> violation_messages() {
+  std::scoped_lock lock(g_report_mu);
+  return messages();
+}
+
+void reset() {
+  std::scoped_lock lock(g_report_mu);
+  for (auto& c : g_count_by_kind) c.store(0, std::memory_order_relaxed);
+  messages().clear();
+}
+
+void report_violation(ViolationKind kind, std::string message) {
+  kind_counter(kind).increment();
+  g_count_by_kind[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(g_report_mu);
+    if (messages().size() < kMaxMessages) {
+      messages().push_back(std::string("[hjcheck:") + kind_name(kind) + "] " +
+                           std::move(message));
+    }
+  }
+  if (g_abort_on_violation.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "hjcheck: aborting on first violation\n");
+    print_report(stderr);
+    HJDES_CHECK(false, "hjcheck violation (set_abort_on_violation enabled)");
+  }
+}
+
+namespace {
+
+// Thread slots. A departing thread parks its final clock value; the next
+// thread assigned the slot starts one tick later, so epochs written by the
+// old generation read as happened-before the new one (sound: this can only
+// hide cross-generation races, never report a false one).
+struct SlotTable {
+  Spinlock mu;
+  std::vector<ClockVal> next_start;
+  std::vector<bool> in_use;
+};
+
+SlotTable& slot_table() {
+  static SlotTable* t = new SlotTable();
+  return *t;
+}
+
+struct RegisteredThreadState : detail::ThreadState {
+  RegisteredThreadState() {
+    SlotTable& t = slot_table();
+    std::scoped_lock lock(t.mu);
+    std::size_t s = 0;
+    while (s < t.in_use.size() && t.in_use[s]) ++s;
+    if (s == t.in_use.size()) {
+      t.in_use.push_back(true);
+      t.next_start.push_back(1);
+    } else {
+      t.in_use[s] = true;
+    }
+    slot = static_cast<std::uint32_t>(s);
+    clock.set(slot, t.next_start[s]);
+  }
+
+  ~RegisteredThreadState() {
+    SlotTable& t = slot_table();
+    std::scoped_lock lock(t.mu);
+    t.next_start[slot] = clock.get(slot) + 1;
+    t.in_use[slot] = false;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+ThreadState& thread_state() {
+  thread_local RegisteredThreadState state;
+  return state;
+}
+
+}  // namespace detail
+
+void SyncClock::acquire() {
+  detail::ThreadState& t = detail::thread_state();
+  std::scoped_lock lock(mu_);
+  t.clock.join(vc_);
+}
+
+void SyncClock::release() {
+  detail::ThreadState& t = detail::thread_state();
+  {
+    std::scoped_lock lock(mu_);
+    vc_.join(t.clock);
+  }
+  t.tick();
+}
+
+VectorClock* snapshot_birth() {
+  detail::ThreadState& t = detail::thread_state();
+  auto* birth = new VectorClock(t.clock);
+  t.tick();
+  return birth;
+}
+
+void adopt_birth(VectorClock* birth) {
+  if (birth == nullptr) return;
+  detail::thread_state().clock.join(*birth);
+  delete birth;
+}
+
+#else  // !HJDES_CHECK_ENABLED
+
+std::vector<std::string> violation_messages() { return messages(); }
+
+void reset() {
+  for (auto& c : g_count_by_kind) c.store(0, std::memory_order_relaxed);
+  messages().clear();
+}
+
+#endif  // HJDES_CHECK_ENABLED
+
+std::uint64_t print_report(std::FILE* out) {
+  const std::uint64_t races = race_count();
+  const std::uint64_t order = lock_order_violation_count();
+  const std::uint64_t leaks = lock_leak_count();
+  const std::uint64_t total = races + order + leaks;
+  if (!compiled_in()) {
+    std::fprintf(
+        out, "hjcheck: not compiled in (configure with -DHJDES_CHECK=ON)\n");
+    return 0;
+  }
+#if defined(HJDES_CHECK_ENABLED)
+  // Touch the registry counters so a clean run still exports explicit
+  // check.* = 0 entries in --metrics-json dumps.
+  kind_counter(ViolationKind::kRace).add(0);
+  kind_counter(ViolationKind::kLockOrder).add(0);
+  kind_counter(ViolationKind::kLockLeak).add(0);
+#endif
+  std::fprintf(out,
+               "hjcheck: %llu violation(s) — %llu race(s), %llu lock-order, "
+               "%llu lock-leak(s)\n",
+               static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(races),
+               static_cast<unsigned long long>(order),
+               static_cast<unsigned long long>(leaks));
+  for (const std::string& m : violation_messages()) {
+    std::fprintf(out, "  %s\n", m.c_str());
+  }
+  if (total > kMaxMessages) {
+    std::fprintf(out, "  ... (%llu more not recorded)\n",
+                 static_cast<unsigned long long>(total - kMaxMessages));
+  }
+  return total;
+}
+
+}  // namespace hjdes::check

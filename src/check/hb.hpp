@@ -1,0 +1,130 @@
+#pragma once
+// hjcheck happens-before engine: thread clocks, synchronization-edge
+// propagation, and the violation report shared with the lock-order verifier.
+//
+// The repo compiles this header in every build. With HJDES_CHECK_ENABLED
+// (CMake option HJDES_CHECK) the full vector-clock machinery is live; without
+// it, SyncClock is an empty class and every instrumentation hook is an inline
+// no-op, so annotated code pays nothing. The report/query API (counts,
+// messages, reset) exists in both modes so tools and tests link either way.
+//
+// Happens-before edges modelled (see docs/ANALYSIS.md for the full table):
+//   async        parent snapshot -> first action of the task (snapshot_birth /
+//                adopt_birth around Task execution)
+//   finish       last action of each joined task -> code after finish()
+//                (SyncClock release before the pending-count decrement,
+//                acquire after the join loop)
+//   future       producer release before ready flag -> waiter acquire
+//   phaser       arrive releases -> await acquires
+//   isolated     stripe/gate SyncClocks bracketing the critical section
+//   TRYLOCK      HjLock carries a SyncClock: release_all_locks releases,
+//                a successful try_lock acquires
+//   galois locks Lockable ownership transfer (CAS win acquires, commit/abort
+//                releases)
+//   threads      explicit fork/join SyncClock pairs in galois::for_each and
+//                PartitionedEngine::run
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/vector_clock.hpp"
+#if defined(HJDES_CHECK_ENABLED)
+#include "support/spinlock.hpp"
+#endif
+
+namespace hjdes::check {
+
+enum class ViolationKind : std::uint8_t {
+  kRace = 0,
+  kLockOrder = 1,
+  kLockLeak = 2,
+};
+
+/// True when the library was built with HJDES_CHECK=ON.
+bool compiled_in() noexcept;
+
+/// Violations recorded since the last reset(), total and per kind.
+std::uint64_t violation_count() noexcept;
+std::uint64_t race_count() noexcept;
+std::uint64_t lock_order_violation_count() noexcept;
+std::uint64_t lock_leak_count() noexcept;
+
+/// Messages for the first violations of each run (capped; the counts above
+/// keep exact totals).
+std::vector<std::string> violation_messages();
+
+/// Zero the counts and drop recorded messages. Does not clear per-cell
+/// "already reported" dedup marks: engines build fresh cells per run.
+void reset();
+
+/// When true, the first violation aborts the process (off by default so the
+/// seeded-defect tests can observe reports).
+void set_abort_on_violation(bool abort_on_violation) noexcept;
+
+/// Human-readable summary; returns the total violation count.
+std::uint64_t print_report(std::FILE* out);
+
+#if defined(HJDES_CHECK_ENABLED)
+
+namespace detail {
+
+/// Per-thread analysis state. Slots are recycled when threads exit; the
+/// recycled slot's clock restarts above the departed thread's last tick, so
+/// reuse can only merge generations (missed races), never invent one.
+struct ThreadState {
+  std::uint32_t slot = 0;
+  VectorClock clock;
+
+  Epoch epoch() const noexcept { return Epoch{slot, clock.get(slot)}; }
+  void tick() { clock.set(slot, clock.get(slot) + 1); }
+};
+
+/// The calling thread's state, registering it on first use.
+ThreadState& thread_state();
+
+}  // namespace detail
+
+/// Record a violation: count it, bump the matching obs counter
+/// (check.races / check.lock_order_violations / check.lock_leaks), keep the
+/// message, optionally abort.
+void report_violation(ViolationKind kind, std::string message);
+
+/// A release/acquire synchronization object (the L clock of FastTrack):
+/// release() publishes the caller's frontier into the clock and ticks the
+/// caller; acquire() merges the clock into the caller.
+class SyncClock {
+ public:
+  void acquire();
+  void release();
+
+ private:
+  Spinlock mu_;
+  VectorClock vc_;
+};
+
+/// Copy the caller's frontier for a task about to be spawned, then tick the
+/// caller so the parent's later actions are not ordered before the child.
+/// Ownership passes to adopt_birth.
+VectorClock* snapshot_birth();
+
+/// Merge a birth snapshot (from snapshot_birth) into the caller and free it.
+/// Safe to call with nullptr.
+void adopt_birth(VectorClock* birth);
+
+#else  // !HJDES_CHECK_ENABLED
+
+/// No-op stand-in so annotated structs keep a SyncClock member in every mode.
+class SyncClock {
+ public:
+  void acquire() noexcept {}
+  void release() noexcept {}
+};
+
+inline VectorClock* snapshot_birth() noexcept { return nullptr; }
+inline void adopt_birth(VectorClock*) noexcept {}
+
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace hjdes::check

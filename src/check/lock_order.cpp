@@ -1,0 +1,150 @@
+#include "check/lock_order.hpp"
+
+#include <atomic>
+
+namespace hjdes::check::lockorder {
+
+std::uint32_t next_lock_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hjdes::check::lockorder
+
+#if defined(HJDES_CHECK_ENABLED)
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/hb.hpp"
+#include "support/spinlock.hpp"
+
+namespace hjdes::check::lockorder {
+namespace {
+
+struct Graph {
+  Spinlock mu;
+  // adjacency: edge a -> b means "a was held when b was acquired".
+  std::map<std::uint32_t, std::set<std::uint32_t>> edges;
+  // (held, acquired) pairs already reported as discipline violations.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> reported_pairs;
+};
+
+// Leaked so lock destructors running during process teardown stay safe.
+Graph& graph() {
+  static Graph* g = new Graph();
+  return *g;
+}
+
+}  // namespace
+
+void on_acquire(std::uint32_t id, const std::uint32_t* held_ids,
+                std::size_t held_count) {
+  if (held_count == 0) return;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> fresh_violations;
+  {
+    Graph& g = graph();
+    std::scoped_lock lock(g.mu);
+    for (std::size_t i = 0; i < held_count; ++i) {
+      g.edges[held_ids[i]].insert(id);
+      if (held_ids[i] > id &&
+          g.reported_pairs.emplace(held_ids[i], id).second) {
+        fresh_violations.emplace_back(held_ids[i], id);
+      }
+    }
+  }
+  // Report outside the graph lock: report_violation takes its own lock and
+  // may abort.
+  for (const auto& [held, acquired] : fresh_violations) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "ID-order discipline: acquired lock id %u while holding "
+                  "lock id %u (acquisitions must be in ascending ID order)",
+                  acquired, held);
+    report_violation(ViolationKind::kLockOrder, buf);
+  }
+}
+
+namespace {
+
+// Iterative DFS with tri-colour marking; a grey->grey edge closes a cycle.
+// Returns the cycle's node sequence (from the repeated node onwards).
+struct CycleFinder {
+  const std::map<std::uint32_t, std::set<std::uint32_t>>& edges;
+  std::map<std::uint32_t, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::uint32_t> path;
+  std::vector<std::vector<std::uint32_t>> cycles;
+
+  void dfs(std::uint32_t n) {
+    colour[n] = 1;
+    path.push_back(n);
+    auto it = edges.find(n);
+    if (it != edges.end()) {
+      for (std::uint32_t m : it->second) {
+        const int c = colour[m];
+        if (c == 0) {
+          dfs(m);
+        } else if (c == 1) {
+          // Cycle: the path suffix starting at m.
+          std::vector<std::uint32_t> cyc;
+          bool in = false;
+          for (std::uint32_t p : path) {
+            if (p == m) in = true;
+            if (in) cyc.push_back(p);
+          }
+          cyc.push_back(m);
+          cycles.push_back(std::move(cyc));
+        }
+      }
+    }
+    path.pop_back();
+    colour[n] = 2;
+  }
+};
+
+}  // namespace
+
+std::size_t verify_no_cycles() {
+  std::map<std::uint32_t, std::set<std::uint32_t>> snapshot;
+  {
+    Graph& g = graph();
+    std::scoped_lock lock(g.mu);
+    snapshot = g.edges;
+  }
+  CycleFinder finder{snapshot, {}, {}, {}};
+  for (const auto& [node, _] : snapshot) {
+    if (finder.colour[node] == 0) finder.dfs(node);
+  }
+  for (const auto& cyc : finder.cycles) {
+    std::string msg = "lock-order cycle:";
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      if (i != 0) msg += " ->";
+      msg += " " + std::to_string(cyc[i]);
+    }
+    report_violation(ViolationKind::kLockOrder, msg);
+  }
+  return finder.cycles.size();
+}
+
+std::size_t edge_count() {
+  Graph& g = graph();
+  std::scoped_lock lock(g.mu);
+  std::size_t n = 0;
+  for (const auto& [_, succ] : g.edges) n += succ.size();
+  return n;
+}
+
+void reset_graph() {
+  Graph& g = graph();
+  std::scoped_lock lock(g.mu);
+  g.edges.clear();
+  g.reported_pairs.clear();
+}
+
+}  // namespace hjdes::check::lockorder
+
+#endif  // HJDES_CHECK_ENABLED

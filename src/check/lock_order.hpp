@@ -1,0 +1,57 @@
+#pragma once
+// Lock-order verifier for the TRYLOCK/RELEASEALLLOCKS discipline (§4.3,
+// §4.5 of the paper): tasks must acquire locks in ascending ID order so no
+// two tasks can livelock each other, and must never finish holding locks.
+//
+// Every HjLock gets a debug ID at construction (construction order == node
+// and port order in the engines, so ascending IDs match the paper's
+// ascending-node-ID rule). On each successful try_lock while other locks are
+// held, the verifier:
+//   * records an edge held-lock -> new-lock in the global lock-order graph,
+//   * reports an ID-order discipline violation when any held ID exceeds the
+//     new ID (once per offending pair).
+// verify_no_cycles() then checks the accumulated graph for cycles — a cycle
+// means two tasks can each hold what the other wants, the livelock shape the
+// ascending rule exists to prevent.
+//
+// The held-at-task-exit contract is enforced separately by the runtime (see
+// hj/locks.cpp detail::on_task_exit_locks).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hjdes::check::lockorder {
+
+/// Globally unique, construction-ordered debug ID for a lock. Available in
+/// every build (the task-exit leak message lists IDs even without
+/// HJDES_CHECK); one relaxed fetch_add at lock construction time.
+std::uint32_t next_lock_id() noexcept;
+
+#if defined(HJDES_CHECK_ENABLED)
+
+/// Record a successful acquisition of lock `id` while `held_count` locks
+/// (their IDs in acquisition order in `held_ids`) are already held.
+void on_acquire(std::uint32_t id, const std::uint32_t* held_ids,
+                std::size_t held_count);
+
+/// Scan the accumulated lock-order graph for cycles; each cycle found is
+/// reported as a lock-order violation. Returns the number of cycles.
+std::size_t verify_no_cycles();
+
+/// Number of distinct edges recorded so far (test aid).
+std::size_t edge_count();
+
+/// Drop the accumulated graph and the reported-pair dedup state.
+void reset_graph();
+
+#else  // !HJDES_CHECK_ENABLED
+
+inline void on_acquire(std::uint32_t, const std::uint32_t*,
+                       std::size_t) noexcept {}
+inline std::size_t verify_no_cycles() noexcept { return 0; }
+inline std::size_t edge_count() noexcept { return 0; }
+inline void reset_graph() noexcept {}
+
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace hjdes::check::lockorder

@@ -1,0 +1,77 @@
+#pragma once
+// Vector clocks for the hjcheck happens-before analysis (docs/ANALYSIS.md).
+//
+// A VectorClock maps thread slots to logical clock values; component i is the
+// latest operation of thread slot i that the clock's owner has an edge from.
+// Epochs are the FastTrack (Flanagan & Freund, PLDI'09) compression: a single
+// (slot, clock) pair naming one operation, comparable against a full clock in
+// O(1). These types compile in every build; only the instrumentation that
+// drives them is gated behind HJDES_CHECK_ENABLED.
+
+#include <cstdint>
+#include <vector>
+
+namespace hjdes::check {
+
+/// Logical time of one thread slot.
+using ClockVal = std::uint64_t;
+
+/// One operation: thread slot `slot` at local time `clock`. `clock == 0`
+/// means "no such operation yet" (slot is then meaningless).
+struct Epoch {
+  std::uint32_t slot = 0;
+  ClockVal clock = 0;
+
+  bool valid() const noexcept { return clock != 0; }
+};
+
+/// Growable vector clock; absent components read as 0.
+class VectorClock {
+ public:
+  ClockVal get(std::size_t slot) const noexcept {
+    return slot < c_.size() ? c_[slot] : 0;
+  }
+
+  void set(std::size_t slot, ClockVal v) {
+    if (slot >= c_.size()) c_.resize(slot + 1, 0);
+    c_[slot] = v;
+  }
+
+  /// Component-wise maximum (the join of the two happens-before frontiers).
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+    }
+  }
+
+  /// True when the operation `e` happens-before (or is) this clock's frontier.
+  bool covers(const Epoch& e) const noexcept {
+    return !e.valid() || e.clock <= get(e.slot);
+  }
+
+  /// True when every component of `o` is covered by this clock.
+  bool covers_all(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > get(i)) return false;
+    }
+    return true;
+  }
+
+  /// First slot of `o` not covered by this clock, or -1 when covered.
+  std::int64_t first_uncovered(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > get(i)) return static_cast<std::int64_t>(i);
+    }
+    return -1;
+  }
+
+  void clear() noexcept { c_.clear(); }
+
+  std::size_t size() const noexcept { return c_.size(); }
+
+ private:
+  std::vector<ClockVal> c_;
+};
+
+}  // namespace hjdes::check

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <vector>
 
+#include "check/checked_cell.hpp"
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
 #include "galois/for_each.hpp"
@@ -18,10 +19,9 @@ using circuit::GateKind;
 using circuit::Netlist;
 using circuit::NodeId;
 
-/// Per-node state with the Galois-Java structure: a single priority queue per
-/// node plus the abstract lock (Lockable) the runtime uses for conflict
-/// detection. All fields are guarded by ownership of the Lockable.
-struct GNode : galois::Lockable {
+/// Mutable per-node simulation state: one guard domain, owned by whichever
+/// iteration currently holds the node's abstract lock (Lockable).
+struct GState {
   BinaryHeap<PortEvent> heap;
   std::uint32_t seq_counter = 0;
   std::uint32_t pending[2] = {0, 0};
@@ -30,16 +30,26 @@ struct GNode : galois::Lockable {
   std::uint8_t nulls_popped = 0;
   bool done = false;
   std::size_t next_initial = 0;
-  std::int32_t output_index = -1;
   std::vector<OutputRecord> waveform;
 };
 
-bool top_ready(const GNode& n, int ports) {
-  if (n.heap.empty()) return false;
-  const PortEvent& top = n.heap.top();
+/// Per-node state with the Galois-Java structure: the abstract lock the
+/// runtime uses for conflict detection, plus the simulation state it guards
+/// (wrapped in an hjcheck checked_cell — ownership of the Lockable is the
+/// happens-before edge carrier, see galois/context.hpp).
+struct GNode : galois::Lockable {
+  check::checked_cell<GState> state;
+  std::int32_t output_index = -1;
+
+  GNode() { state.set_label("galois.node.state"); }
+};
+
+bool top_ready(const GState& s, int ports) {
+  if (s.heap.empty()) return false;
+  const PortEvent& top = s.heap.top();
   for (int q = 0; q < ports; ++q) {
-    if (q == top.port || n.pending[q] > 0) continue;
-    if (!empty_port_safe(top.time, top.port, q, n.last_received[q])) {
+    if (q == top.port || s.pending[q] > 0) continue;
+    if (!empty_port_safe(top.time, top.port, q, s.last_received[q])) {
       return false;
     }
   }
@@ -79,7 +89,9 @@ class GaloisEngine {
         fec);
 
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      HJDES_CHECK(nodes_[i].done,
+      // Checked read on purpose: the for_each join edge must order every
+      // committed iteration before these accesses.
+      HJDES_CHECK(nodes_[i].state.read().done,
                   "galois simulation drained with an unfinished node");
     }
 
@@ -87,7 +99,9 @@ class GaloisEngine {
     result.waveforms.resize(netlist_.outputs().size());
     for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
       result.waveforms[i] = std::move(
-          nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
+          nodes_[static_cast<std::size_t>(netlist_.outputs()[i])]
+              .state.write()
+              .waveform);
     }
     result.events_processed = d_events.delta();
     result.null_messages = d_nulls.delta();
@@ -106,20 +120,24 @@ class GaloisEngine {
                std::uint8_t port, Event e, std::uint64_t& local_nulls) {
     GNode& m = node(target);
     ctx.acquire(m);  // may throw ConflictException -> abort
-    const std::uint32_t seq = m.seq_counter++;
-    m.heap.push(PortEvent{e.time, e.value, port, seq});
-    ++m.pending[port];
-    const Time old_lr = m.last_received[port];
-    m.last_received[port] = e.time;
+    GState& s = m.state.write();
+    const std::uint32_t seq = s.seq_counter++;
+    s.heap.push(PortEvent{e.time, e.value, port, seq});
+    ++s.pending[port];
+    const Time old_lr = s.last_received[port];
+    s.last_received[port] = e.time;
+    // Undo actions run during abort(), before the lock is released: the
+    // aborting thread still owns the node, so the checked write is covered.
     ctx.add_undo([&m, port, seq, old_lr] {
-      bool erased = m.heap.erase_first(
+      GState& u = m.state.write();
+      bool erased = u.heap.erase_first(
           [seq, port](const PortEvent& pe) {
             return pe.seq == seq && pe.port == port;
           });
       HJDES_CHECK(erased, "undo could not find the speculative event");
-      --m.pending[port];
-      m.last_received[port] = old_lr;
-      --m.seq_counter;
+      --u.pending[port];
+      u.last_received[port] = old_lr;
+      --u.seq_counter;
     });
     if (e.is_null()) ++local_nulls;
   }
@@ -136,59 +154,64 @@ class GaloisEngine {
   void operate(NodeId id, galois::UserContext<NodeId>& ctx) {
     GNode& n = node(id);
     ctx.acquire(n);
+    GState& s = n.state.write();
     std::uint64_t local_events = 0;
     std::uint64_t local_nulls = 0;
     const Netlist::Node& meta = netlist_.node(id);
 
-    if (!n.done) {
+    if (!s.done) {
       if (meta.kind == GateKind::Input) {
         const auto& events = input_.initial_events(static_cast<std::size_t>(
             input_index_[static_cast<std::size_t>(id)]));
-        const std::size_t old_cursor = n.next_initial;
-        for (; n.next_initial < events.size(); ++n.next_initial) {
-          emit(ctx, id, events[n.next_initial], local_nulls);
+        const std::size_t old_cursor = s.next_initial;
+        for (; s.next_initial < events.size(); ++s.next_initial) {
+          emit(ctx, id, events[s.next_initial], local_nulls);
           ++local_events;
         }
         emit(ctx, id, Event::null_message(), local_nulls);
-        n.done = true;
+        s.done = true;
         ctx.add_undo([&n, old_cursor] {
-          n.next_initial = old_cursor;
-          n.done = false;
+          GState& u = n.state.write();
+          u.next_initial = old_cursor;
+          u.done = false;
         });
       } else {
-        while (top_ready(n, meta.num_inputs)) {
-          const PortEvent e = n.heap.top();
-          n.heap.pop();
-          --n.pending[e.port];
+        while (top_ready(s, meta.num_inputs)) {
+          const PortEvent e = s.heap.top();
+          s.heap.pop();
+          --s.pending[e.port];
           ctx.add_undo([&n, e] {
-            n.heap.push(e);
-            ++n.pending[e.port];
+            GState& u = n.state.write();
+            u.heap.push(e);
+            ++u.pending[e.port];
           });
           if (e.is_null()) {
-            ++n.nulls_popped;
-            ctx.add_undo([&n] { --n.nulls_popped; });
+            ++s.nulls_popped;
+            ctx.add_undo([&n] { --n.state.write().nulls_popped; });
             continue;
           }
           ++local_events;
           if (meta.kind == GateKind::Output) {
-            n.waveform.push_back(OutputRecord{e.time, e.value});
-            ctx.add_undo([&n] { n.waveform.pop_back(); });
+            s.waveform.push_back(OutputRecord{e.time, e.value});
+            ctx.add_undo([&n] { n.state.write().waveform.pop_back(); });
             continue;
           }
-          const bool old_latch = n.latch[e.port];
-          n.latch[e.port] = e.value != 0;
-          ctx.add_undo([&n, e, old_latch] { n.latch[e.port] = old_latch; });
+          const bool old_latch = s.latch[e.port];
+          s.latch[e.port] = e.value != 0;
+          ctx.add_undo([&n, e, old_latch] {
+            n.state.write().latch[e.port] = old_latch;
+          });
           const bool out =
-              circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+              circuit::gate_eval(meta.kind, s.latch[0], s.latch[1]);
           emit(ctx, id,
                Event{e.time + meta.delay,
                      static_cast<std::uint8_t>(out ? 1 : 0)},
                local_nulls);
         }
-        if (n.nulls_popped == meta.num_inputs && !n.done) {
+        if (s.nulls_popped == meta.num_inputs && !s.done) {
           emit(ctx, id, Event::null_message(), local_nulls);
-          n.done = true;
-          ctx.add_undo([&n] { n.done = false; });
+          s.done = true;
+          ctx.add_undo([&n] { n.state.write().done = false; });
         }
       }
     }
@@ -211,11 +234,12 @@ class GaloisEngine {
   bool is_active(galois::UserContext<NodeId>& ctx, NodeId id) {
     GNode& n = node(id);
     ctx.acquire(n);
-    if (n.done) return false;
+    const GState& s = n.state.read();
+    if (s.done) return false;
     const Netlist::Node& meta = netlist_.node(id);
     if (meta.kind == GateKind::Input) return true;
-    if (n.nulls_popped == meta.num_inputs) return true;
-    return top_ready(n, meta.num_inputs);
+    if (s.nulls_popped == meta.num_inputs) return true;
+    return top_ready(s, meta.num_inputs);
   }
 
   const SimInput& input_;

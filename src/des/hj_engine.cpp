@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/checked_cell.hpp"
+#include "check/hb.hpp"
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
 #include "hj/locks.hpp"
@@ -29,28 +31,43 @@ using circuit::NodeId;
 // other, so an active node is never permanently forgotten.
 constexpr auto kSC = std::memory_order_seq_cst;
 
-/// Per-node parallel state. Field groups and their guards:
-///  * queue[] / heap / latch / nulls_popped / temp / waveform / next_initial
-///    — mutable state, guarded by the mode's locking protocol;
-///  * a_* atomics — racy activity hints, written under the protocol's locks,
-///    read by anyone;
-///  * port_lock / node_lock / run_flag — the locks themselves.
-struct ParNode {
-  // Storage, per-port flavor (per_port_queues).
-  RingDeque<Event> queue[2];
-  hj::HjLock port_lock[2];
-
-  // Storage, per-node priority-queue flavor (Algorithm 2 baseline).
+/// Per-node priority-queue state (Algorithm 2 baseline), one guard domain:
+/// every access happens under the node's node_lock.
+struct PqState {
   BinaryHeap<PortEvent> heap;
   std::uint32_t seq_counter = 0;
-  hj::HjLock node_lock;
+};
 
-  // Node-private mutable state.
+/// Node-private mutable state, one guard domain: accessed only by the task
+/// currently "running" the node — under run_flag in the input and temp-queue
+/// modes, under all of the node's own port locks in port-locked mode, under
+/// node_lock in pq mode (the mode is fixed per run).
+struct NodeCore {
   bool latch[2] = {false, false};
   std::uint8_t nulls_popped = 0;
   std::size_t next_initial = 0;
   RingDeque<PortEvent> temp;  // §4.5.1 temporary ready-event queue
   std::vector<OutputRecord> waveform;
+};
+
+/// Per-node parallel state. Field groups and their guards:
+///  * queue[] / pq / core — mutable state wrapped in hjcheck checked_cells
+///    (one cell per guard domain), verified against the happens-before
+///    relation under HJDES_CHECK;
+///  * a_* atomics — racy activity hints, written under the protocol's locks,
+///    read by anyone (deliberately unwrapped);
+///  * port_lock / node_lock / run_flag — the locks themselves.
+struct ParNode {
+  // Storage, per-port flavor (per_port_queues): queue[p] is guarded by
+  // port_lock[p].
+  check::checked_cell<RingDeque<Event>> queue[2];
+  hj::HjLock port_lock[2];
+
+  // Storage, per-node priority-queue flavor, guarded by node_lock.
+  check::checked_cell<PqState> pq;
+  hj::HjLock node_lock;
+
+  check::checked_cell<NodeCore> core;
   std::int32_t output_index = -1;
 
   // Activity hints.
@@ -66,8 +83,15 @@ struct ParNode {
   // Run exclusion for the temp-queue protocol (engine machinery, not one of
   // the paper's user-level locks — see run_port_temp).
   std::atomic<bool> run_flag{false};
+  // hjcheck mirror of run_flag's (seq_cst) hand-off: acquired after winning
+  // the exchange, released before every store(false).
+  check::SyncClock hb_run;
 
   ParNode() {
+    queue[0].set_label("hj.node.queue[0]");
+    queue[1].set_label("hj.node.queue[1]");
+    pq.set_label("hj.node.pq");
+    core.set_label("hj.node.core");
     for (int p = 0; p < 2; ++p) {
       a_last_received[p].store(kNeverReceived, std::memory_order_relaxed);
       a_head[p].store(kEmptyQueue, std::memory_order_relaxed);
@@ -137,8 +161,12 @@ class HjEngine {
     SimResult result;
     result.waveforms.resize(netlist_.outputs().size());
     for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      // Checked access on purpose: the finish-join edge must order every
+      // task's waveform writes before this read.
       result.waveforms[i] = std::move(
-          nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].waveform);
+          nodes_[static_cast<std::size_t>(netlist_.outputs()[i])]
+              .core.write()
+              .waveform);
     }
     result.events_processed = d_events.delta();
     result.null_messages = d_nulls.delta();
@@ -216,8 +244,9 @@ class HjEngine {
     ParNode& n = node(target);
     HJDES_DCHECK(e.time >= n.a_last_received[port].load(kSC),
                  "causality violation: out-of-order delivery on a port");
-    const bool was_empty = n.queue[port].empty();
-    n.queue[port].push_back(e);
+    RingDeque<Event>& q = n.queue[port].write();
+    const bool was_empty = q.empty();
+    q.push_back(e);
     if (was_empty) n.a_head[port].store(e.time, kSC);
     n.a_last_received[port].store(e.time, kSC);
     if (e.is_null()) ++stats.nulls;
@@ -227,11 +256,12 @@ class HjEngine {
   void deliver_pq(NodeId target, std::uint8_t port, Event e,
                   LocalStats& stats) {
     ParNode& n = node(target);
-    n.heap.push(PortEvent{e.time, e.value, port, n.seq_counter++});
+    PqState& pq = n.pq.write();
+    pq.heap.push(PortEvent{e.time, e.value, port, pq.seq_counter++});
     n.a_pending[port].fetch_add(1, kSC);
     n.a_last_received[port].store(e.time, kSC);
-    n.a_top_time.store(n.heap.top().time, kSC);
-    n.a_top_port.store(n.heap.top().port, kSC);
+    n.a_top_time.store(pq.heap.top().time, kSC);
+    n.a_top_port.store(pq.heap.top().port, kSC);
     if (e.is_null()) ++stats.nulls;
   }
 
@@ -258,9 +288,11 @@ class HjEngine {
   void record_queue_depth(const ParNode& n, const Netlist::Node& meta) {
     std::uint64_t depth = 0;
     if (cfg_.per_port_queues) {
-      for (int p = 0; p < meta.num_inputs; ++p) depth += n.queue[p].size();
+      for (int p = 0; p < meta.num_inputs; ++p) {
+        depth += n.queue[p].read().size();
+      }
     } else {
-      depth = n.heap.size();
+      depth = n.pq.read().heap.size();
     }
     h_queue_depth_.record(depth);
   }
@@ -357,33 +389,37 @@ class HjEngine {
     ParNode& n = node(id);
     if (n.a_done.load(kSC)) return;
     if (n.run_flag.exchange(true, kSC)) return;  // someone else is running it
+    n.hb_run.acquire();
 
     LockList locks;
     collect_fanout_locks(id, locks);
     prepare_locks(locks, cfg_.ordered_locks);
     hj::HjLock* failed = nullptr;
     if (!try_lock_all(locks, &failed, stats)) {
+      n.hb_run.release();
       n.run_flag.store(false, kSC);
       ++stats.spawned;  // unconditional retry (Algorithm 2 line 12)
       hj::async([this, id] { run_node(id); });
       return;
     }
 
+    NodeCore& core = n.core.write();
     const auto& events = input_.initial_events(static_cast<std::size_t>(
         input_index_[static_cast<std::size_t>(id)]));
     const std::size_t limit =
         cfg_.input_batch == 0
             ? events.size()
-            : std::min(events.size(), n.next_initial + cfg_.input_batch);
-    for (; n.next_initial < limit; ++n.next_initial) {
-      emit(id, events[n.next_initial], stats);
+            : std::min(events.size(), core.next_initial + cfg_.input_batch);
+    for (; core.next_initial < limit; ++core.next_initial) {
+      emit(id, events[core.next_initial], stats);
       ++stats.events;
     }
-    if (n.next_initial == events.size()) {
+    if (core.next_initial == events.size()) {
       emit_null(id, stats);
       n.a_done.store(true, kSC);
     }
     hj::release_all_locks();
+    n.hb_run.release();
     n.run_flag.store(false, kSC);
   }
 
@@ -399,8 +435,10 @@ class HjEngine {
     // machinery (the paper's port locks double as run exclusion only while
     // held; the temp optimization releases them early).
     if (n.run_flag.exchange(true, kSC)) return;
+    n.hb_run.acquire();
 
     const Netlist::Node& meta = netlist_.node(id);
+    NodeCore& core = n.core.write();
 
     // Phase A: drain under own port locks.
     {
@@ -410,17 +448,18 @@ class HjEngine {
       if (!try_lock_all(own, nullptr, stats)) {
         // An upstream producer holds one of our ports; it will re-check our
         // activity after releasing. The epilogue also re-checks.
+        n.hb_run.release();
         n.run_flag.store(false, kSC);
         return;
       }
       record_queue_depth(n, meta);
-      drain_to_temp(id, n, meta);
+      drain_to_temp(n, core, meta);
       hj::release_all_locks();
     }
 
     // Phase B: process the temp queue under the fanout port locks.
     const bool null_due = n.a_null_ready.load(kSC) && !n.a_done.load(kSC);
-    if (!n.temp.empty() || null_due) {
+    if (!core.temp.empty() || null_due) {
       LockList fan;
       collect_fanout_locks(id, fan);
       prepare_locks(fan, cfg_.ordered_locks);
@@ -428,18 +467,20 @@ class HjEngine {
       if (!try_lock_all(fan, &failed, stats)) {
         // Conflict on a neighbor: retry later (Algorithm 2 line 12). The
         // drained events stay in temp and are picked up by the retry.
+        n.hb_run.release();
         n.run_flag.store(false, kSC);
         ++stats.spawned;
         hj::async([this, id] { run_node(id); });
         return;
       }
-      process_temp(id, n, meta, stats);
+      process_temp(id, n, core, meta, stats);
       if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
         emit_null(id, stats);
         n.a_done.store(true, kSC);
       }
       hj::release_all_locks();
     }
+    n.hb_run.release();
     n.run_flag.store(false, kSC);
   }
 
@@ -470,27 +511,29 @@ class HjEngine {
       return;
     }
     record_queue_depth(n, meta);
+    // Guard domains established by the own-port locks just acquired.
+    NodeCore& core = n.core.write();
+    RingDeque<Event>* q[2] = {nullptr, nullptr};
+    for (int p = 0; p < meta.num_inputs; ++p) q[p] = &n.queue[p].write();
 
     for (;;) {
       Time head[2], lr[2];
       for (int p = 0; p < meta.num_inputs; ++p) {
-        head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+        head[p] = q[p]->empty() ? kEmptyQueue : q[p]->front().time;
         lr[p] = n.a_last_received[p].load(kSC);
       }
       const int p = next_ready_port(head, lr, meta.num_inputs);
       if (p < 0) break;
-      Event e = n.queue[p].pop_front();
-      n.a_head[p].store(n.queue[p].empty() ? kEmptyQueue
-                                           : n.queue[p].front().time,
-                        kSC);
+      Event e = q[p]->pop_front();
+      n.a_head[p].store(q[p]->empty() ? kEmptyQueue : q[p]->front().time, kSC);
       if (e.is_null()) {
-        if (++n.nulls_popped == meta.num_inputs) {
+        if (++core.nulls_popped == meta.num_inputs) {
           n.a_null_ready.store(true, kSC);
         }
         continue;
       }
-      process_event(id, n, meta, PortEvent{e.time, e.value,
-                                           static_cast<std::uint8_t>(p), 0},
+      process_event(id, core, meta, PortEvent{e.time, e.value,
+                                              static_cast<std::uint8_t>(p), 0},
                     stats);
     }
 
@@ -520,23 +563,26 @@ class HjEngine {
       return;
     }
     record_queue_depth(n, meta);
+    // Guard domains established by the node_lock just acquired.
+    PqState& pq = n.pq.write();
+    NodeCore& core = n.core.write();
 
-    while (pq_top_ready(n, meta.num_inputs)) {
-      PortEvent e = n.heap.pop();
+    while (pq_top_ready(n, pq, meta.num_inputs)) {
+      PortEvent e = pq.heap.pop();
       n.a_pending[e.port].fetch_sub(1, kSC);
-      if (n.heap.empty()) {
+      if (pq.heap.empty()) {
         n.a_top_time.store(kEmptyQueue, kSC);
       } else {
-        n.a_top_time.store(n.heap.top().time, kSC);
-        n.a_top_port.store(n.heap.top().port, kSC);
+        n.a_top_time.store(pq.heap.top().time, kSC);
+        n.a_top_port.store(pq.heap.top().port, kSC);
       }
       if (e.is_null()) {
-        if (++n.nulls_popped == meta.num_inputs) {
+        if (++core.nulls_popped == meta.num_inputs) {
           n.a_null_ready.store(true, kSC);
         }
         continue;
       }
-      process_event(id, n, meta, e, stats);
+      process_event(id, core, meta, e, stats);
     }
 
     if (n.a_null_ready.load(kSC) && !n.a_done.load(kSC)) {
@@ -549,9 +595,9 @@ class HjEngine {
   // ------------------------------------------------------------ helpers ---
 
   /// Heap-top readiness under the deterministic merge rule (pq mode).
-  bool pq_top_ready(const ParNode& n, int ports) {
-    if (n.heap.empty()) return false;
-    const PortEvent& top = n.heap.top();
+  bool pq_top_ready(const ParNode& n, const PqState& pq, int ports) {
+    if (pq.heap.empty()) return false;
+    const PortEvent& top = pq.heap.top();
     for (int q = 0; q < ports; ++q) {
       if (q == top.port || n.a_pending[q].load(kSC) > 0) continue;
       if (!empty_port_safe(top.time, top.port, q,
@@ -563,52 +609,53 @@ class HjEngine {
   }
 
   /// Phase A of run_port_temp: move every processable event into temp and
-  /// account popped NULLs. Caller holds all of the node's own port locks.
-  void drain_to_temp(NodeId id, ParNode& n, const Netlist::Node& meta) {
-    (void)id;
+  /// account popped NULLs. Caller holds all of the node's own port locks
+  /// (and the run_flag covering `core`).
+  void drain_to_temp(ParNode& n, NodeCore& core, const Netlist::Node& meta) {
+    RingDeque<Event>* q[2] = {nullptr, nullptr};
+    for (int p = 0; p < meta.num_inputs; ++p) q[p] = &n.queue[p].write();
     for (;;) {
       Time head[2], lr[2];
       for (int p = 0; p < meta.num_inputs; ++p) {
-        head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
+        head[p] = q[p]->empty() ? kEmptyQueue : q[p]->front().time;
         lr[p] = n.a_last_received[p].load(kSC);
       }
       const int p = next_ready_port(head, lr, meta.num_inputs);
       if (p < 0) break;
-      Event e = n.queue[p].pop_front();
-      n.a_head[p].store(n.queue[p].empty() ? kEmptyQueue
-                                           : n.queue[p].front().time,
-                        kSC);
+      Event e = q[p]->pop_front();
+      n.a_head[p].store(q[p]->empty() ? kEmptyQueue : q[p]->front().time, kSC);
       if (e.is_null()) {
-        if (++n.nulls_popped == meta.num_inputs) {
+        if (++core.nulls_popped == meta.num_inputs) {
           n.a_null_ready.store(true, kSC);
         }
         continue;
       }
-      n.temp.push_back(
+      core.temp.push_back(
           PortEvent{e.time, e.value, static_cast<std::uint8_t>(p), 0});
       n.a_temp_size.fetch_add(1, kSC);
     }
   }
 
-  /// Phase B of run_port_temp. Caller holds the fanout port locks.
-  void process_temp(NodeId id, ParNode& n, const Netlist::Node& meta,
-                    LocalStats& stats) {
-    while (!n.temp.empty()) {
-      PortEvent e = n.temp.pop_front();
+  /// Phase B of run_port_temp. Caller holds the fanout port locks (and the
+  /// run_flag covering `core`).
+  void process_temp(NodeId id, ParNode& n, NodeCore& core,
+                    const Netlist::Node& meta, LocalStats& stats) {
+    while (!core.temp.empty()) {
+      PortEvent e = core.temp.pop_front();
       n.a_temp_size.fetch_sub(1, kSC);
-      process_event(id, n, meta, e, stats);
+      process_event(id, core, meta, e, stats);
     }
   }
 
-  void process_event(NodeId id, ParNode& n, const Netlist::Node& meta,
+  void process_event(NodeId id, NodeCore& core, const Netlist::Node& meta,
                      const PortEvent& e, LocalStats& stats) {
     ++stats.events;
     if (meta.kind == GateKind::Output) {
-      n.waveform.push_back(OutputRecord{e.time, e.value});
+      core.waveform.push_back(OutputRecord{e.time, e.value});
       return;
     }
-    n.latch[e.port] = e.value != 0;
-    const bool out = circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+    core.latch[e.port] = e.value != 0;
+    const bool out = circuit::gate_eval(meta.kind, core.latch[0], core.latch[1]);
     emit(id, Event{e.time + meta.delay, static_cast<std::uint8_t>(out ? 1 : 0)},
          stats);
   }

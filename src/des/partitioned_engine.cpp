@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "check/checked_cell.hpp"
+#include "check/hb.hpp"
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
 #include "obs/metrics.hpp"
@@ -32,16 +34,32 @@ struct ChanMsg {
   std::uint8_t watermark;  ///< 1 = progressive NULL, 0 = real event / NULL
 };
 
-/// Per-node simulation state; the SeqEngine SeqNode, owned by one worker.
-struct LpNode {
-  RingDeque<Event> queue[2];
+/// Scalar per-node simulation state (one guard domain beside the queues).
+struct LpCore {
   Time last_received[2] = {kNeverReceived, kNeverReceived};
   bool latch[2] = {false, false};
   std::uint8_t nulls_popped = 0;
   bool done = false;
-  bool in_workset = false;
   std::size_t next_initial = 0;
+};
+
+/// Per-node simulation state; the SeqEngine SeqNode, owned by one worker.
+/// Ownership is static (the partition maps each node to exactly one worker),
+/// so the checked cells document single-writer discipline: any cross-worker
+/// touch is a partitioning bug hjcheck will flag. `in_workset` and
+/// `output_index` stay plain — scheduling/bookkeeping read only by the owner
+/// (resp. written once before the threads start).
+struct LpNode {
+  check::checked_cell<RingDeque<Event>> queue[2];
+  check::checked_cell<LpCore> core;
+  bool in_workset = false;
   std::int32_t output_index = -1;
+
+  LpNode() {
+    queue[0].set_label("part.node.queue[0]");
+    queue[1].set_label("part.node.queue[1]");
+    core.set_label("part.node.core");
+  }
 };
 
 /// One fanout edge whose endpoints live in different partitions. The source
@@ -91,7 +109,8 @@ class PartitionedEngine {
     g_cut_ratio_ppm_.set(static_cast<std::int64_t>(stats.cut_ratio() * 1e6));
     g_imbalance_ppm_.set(static_cast<std::int64_t>(stats.imbalance() * 1e6));
 
-    nodes_.resize(netlist_.node_count());
+    // Whole-vector replacement: LpNode holds checked cells (non-movable).
+    nodes_ = std::vector<LpNode>(netlist_.node_count());
     result_.waveforms.resize(netlist_.outputs().size());
     for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
       nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
@@ -107,19 +126,34 @@ class PartitionedEngine {
   }
 
   SimResult run() {
+    // hjcheck fork/join edges for the raw std::thread pool: engine setup
+    // happens-before every worker, every worker happens-before the post-join
+    // reads of node state and result_ below.
+    check::SyncClock start_hb;
+    check::SyncClock end_hb;
+    start_hb.release();
+
     std::vector<std::thread> threads;
     threads.reserve(workers_.size());
     for (Worker& w : workers_) {
-      threads.emplace_back([this, &w] { worker_loop(w); });
+      threads.emplace_back([this, &w, &start_hb, &end_hb] {
+        start_hb.acquire();
+        worker_loop(w);
+        end_hb.release();
+      });
     }
     for (std::thread& t : threads) t.join();
+    end_hb.acquire();
 
     // Keep the lock counter registered (and provably untouched): the whole
     // point of the sharded design is that no delivery path acquires a lock.
     c_lock_acquires_.add(0);
 
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      HJDES_CHECK(nodes_[i].done, "partitioned run left an unfinished node");
+      // Checked read on purpose: the end_hb join edge must order every
+      // worker's final writes before this scan.
+      HJDES_CHECK(nodes_[i].core.read().done,
+                  "partitioned run left an unfinished node");
     }
     for (const Worker& w : workers_) {
       result_.events_processed += w.events;
@@ -233,8 +267,9 @@ class PartitionedEngine {
         LpNode& n = nodes_[static_cast<std::size_t>(m.target)];
         if (m.watermark != 0) {
           // Progressive NULL: advance the port's lower bound, queue nothing.
-          if (m.time > n.last_received[m.port]) {
-            n.last_received[m.port] = m.time;
+          LpCore& core = n.core.write();
+          if (m.time > core.last_received[m.port]) {
+            core.last_received[m.port] = m.time;
             push_workset(w, m.target);
           }
           continue;
@@ -248,10 +283,11 @@ class PartitionedEngine {
 
   void deliver(Worker& w, NodeId target, std::uint8_t port, Event e) {
     LpNode& n = nodes_[static_cast<std::size_t>(target)];
-    HJDES_DCHECK(e.time >= n.last_received[port],
+    LpCore& core = n.core.write();
+    HJDES_DCHECK(e.time >= core.last_received[port],
                  "causality violation: out-of-order delivery on a port");
-    n.queue[port].push_back(e);
-    n.last_received[port] = e.time;
+    n.queue[port].write().push_back(e);
+    core.last_received[port] = e.time;
     if (e.is_null()) ++w.nulls;
   }
 
@@ -287,11 +323,12 @@ class PartitionedEngine {
   /// below kNullTs so a watermark can never impersonate the terminal NULL.
   Time emission_bound(NodeId id) const {
     const LpNode& n = nodes_[static_cast<std::size_t>(id)];
+    const LpCore& core = n.core.read();
     const Netlist::Node& meta = netlist_.node(id);
     Time horizon = kEmptyQueue;
     for (int p = 0; p < meta.num_inputs; ++p) {
-      const Time h =
-          n.queue[p].empty() ? n.last_received[p] : n.queue[p].front().time;
+      const RingDeque<Event>& q = n.queue[p].read();
+      const Time h = q.empty() ? core.last_received[p] : q.front().time;
       horizon = std::min(horizon, h);
     }
     if (horizon == kEmptyQueue || horizon == kNeverReceived) {
@@ -306,7 +343,7 @@ class PartitionedEngine {
     Time cached_bound = kNeverReceived;
     for (CutOutEdge& e : w.cut_out) {
       const LpNode& n = nodes_[static_cast<std::size_t>(e.source)];
-      if (n.done) continue;  // terminal NULL already sent (or imminent)
+      if (n.core.read().done) continue;  // terminal NULL already sent
       if (netlist_.kind(e.source) == GateKind::Input) continue;
       if (e.source != cached_source) {
         cached_source = e.source;
@@ -323,48 +360,51 @@ class PartitionedEngine {
   /// SIMULATE(n): SeqEngine's per-node drain, emitting through emit().
   void simulate(Worker& w, NodeId id) {
     LpNode& n = nodes_[static_cast<std::size_t>(id)];
-    if (n.done) return;
+    LpCore& core = n.core.write();
+    if (core.done) return;
     const Netlist::Node& meta = netlist_.node(id);
 
     if (meta.kind == GateKind::Input) {
       const auto& events = input_.initial_events(static_cast<std::size_t>(
           input_index_[static_cast<std::size_t>(id)]));
-      for (; n.next_initial < events.size(); ++n.next_initial) {
-        emit(w, id, events[n.next_initial]);
+      for (; core.next_initial < events.size(); ++core.next_initial) {
+        emit(w, id, events[core.next_initial]);
         ++w.events;
       }
       emit(w, id, Event::null_message());
-      n.done = true;
+      core.done = true;
       ++w.done_count;
       return;
     }
 
     const int ports = meta.num_inputs;
+    RingDeque<Event>* q[2];
+    for (int p = 0; p < ports; ++p) q[p] = &n.queue[p].write();
     for (;;) {
       Time head[2], lr[2];
       for (int p = 0; p < ports; ++p) {
-        head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
-        lr[p] = n.last_received[p];
+        head[p] = q[p]->empty() ? kEmptyQueue : q[p]->front().time;
+        lr[p] = core.last_received[p];
       }
       const int p = next_ready_port(head, lr, ports);
       if (p < 0) break;
-      Event e = n.queue[p].pop_front();
+      Event e = q[p]->pop_front();
       if (e.is_null()) {
-        ++n.nulls_popped;
+        ++core.nulls_popped;
         continue;
       }
-      process(w, id, n, static_cast<std::uint8_t>(p), e);
+      process(w, id, n, core, static_cast<std::uint8_t>(p), e);
     }
 
-    if (n.nulls_popped == ports) {
+    if (core.nulls_popped == ports) {
       emit(w, id, Event::null_message());
-      n.done = true;
+      core.done = true;
       ++w.done_count;
     }
   }
 
-  void process(Worker& w, NodeId id, LpNode& n, std::uint8_t port,
-               const Event& e) {
+  void process(Worker& w, NodeId id, LpNode& n, LpCore& core,
+               std::uint8_t port, const Event& e) {
     ++w.events;
     const Netlist::Node& meta = netlist_.node(id);
     if (meta.kind == GateKind::Output) {
@@ -372,22 +412,25 @@ class PartitionedEngine {
           OutputRecord{e.time, e.value});
       return;
     }
-    n.latch[port] = e.value != 0;
-    const bool out = circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+    core.latch[port] = e.value != 0;
+    const bool out =
+        circuit::gate_eval(meta.kind, core.latch[0], core.latch[1]);
     emit(w, id,
          Event{e.time + meta.delay, static_cast<std::uint8_t>(out ? 1 : 0)});
   }
 
   bool is_active(NodeId id) const {
     const LpNode& n = nodes_[static_cast<std::size_t>(id)];
-    if (n.done) return false;
+    const LpCore& core = n.core.read();
+    if (core.done) return false;
     const Netlist::Node& meta = netlist_.node(id);
     if (meta.kind == GateKind::Input) return true;
-    if (n.nulls_popped == meta.num_inputs) return true;
+    if (core.nulls_popped == meta.num_inputs) return true;
     Time head[2], lr[2];
     for (int p = 0; p < meta.num_inputs; ++p) {
-      head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
-      lr[p] = n.last_received[p];
+      const RingDeque<Event>& q = n.queue[p].read();
+      head[p] = q.empty() ? kEmptyQueue : q.front().time;
+      lr[p] = core.last_received[p];
     }
     return next_ready_port(head, lr, meta.num_inputs) >= 0;
   }

@@ -12,6 +12,7 @@
 #include <exception>
 #include <vector>
 
+#include "check/hb.hpp"
 #include "support/platform.hpp"
 #include "support/unique_function.hpp"
 
@@ -35,6 +36,10 @@ class Lockable {
  private:
   friend class Context;
   std::atomic<Context*> owner_{nullptr};
+  // hjcheck ownership-transfer edge: release_all releases into it before
+  // freeing the object, a winning acquire-CAS acquires from it. No-op empty
+  // class without HJDES_CHECK.
+  check::SyncClock hb_;
 };
 
 /// Thrown by Context::acquire on a conflicting access. Deliberately empty:
@@ -65,6 +70,7 @@ class Context {
                                             std::memory_order_acquire)) {
       throw ConflictException{};
     }
+    obj.hb_.acquire();  // adopt the previous owner's frontier
     owned_.push_back(&obj);
   }
 
@@ -91,6 +97,7 @@ class Context {
  private:
   void release_all() noexcept {
     for (Lockable* obj : owned_) {
+      obj->hb_.release();  // publish before the object becomes acquirable
       obj->owner_.store(nullptr, std::memory_order_release);
     }
     owned_.clear();

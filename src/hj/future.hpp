@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "check/hb.hpp"
 #include "hj/runtime.hpp"
 #include "support/platform.hpp"
 #include "support/spinlock.hpp"
@@ -47,6 +48,8 @@ class Future {
         cpu_relax();
       }
     }
+    // hjcheck: the producer released into hb before setting ready.
+    state_->hb.acquire();
   }
 
  private:
@@ -56,6 +59,8 @@ class Future {
   struct State {
     std::atomic<bool> ready{false};
     std::optional<T> value;
+    // hjcheck producer->waiter edge (no-op class without HJDES_CHECK).
+    check::SyncClock hb;
   };
 
   explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -70,6 +75,7 @@ Future<T> async_future(F&& fn) {
   auto state = std::make_shared<typename Future<T>::State>();
   async([state, fn = std::forward<F>(fn)]() mutable {
     state->value.emplace(fn());
+    state->hb.release();  // before the flag: waiters acquire after seeing it
     state->ready.store(true, std::memory_order_release);
   });
   return Future<T>(state);

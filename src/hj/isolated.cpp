@@ -27,9 +27,15 @@ void isolated_impl(const void* const* objs, std::size_t count, Thunk body) {
 
   for (std::size_t i = 0; i < unique; ++i) {
     table.stripes[stripe_ids[i]].lock();
+#if defined(HJDES_CHECK_ENABLED)
+    table.stripe_hb[stripe_ids[i]].acquire();
+#endif
   }
   body();
   for (std::size_t i = unique; i > 0; --i) {
+#if defined(HJDES_CHECK_ENABLED)
+    table.stripe_hb[stripe_ids[i - 1]].release();
+#endif
     table.stripes[stripe_ids[i - 1]].unlock();
   }
 }
@@ -39,7 +45,17 @@ void isolated_impl(const void* const* objs, std::size_t count, Thunk body) {
 void isolated(Thunk body) {
   detail::IsolatedTable& table = detail::IsolatedTable::instance();
   std::unique_lock gate(table.gate);
+#if defined(HJDES_CHECK_ENABLED)
+  // Exclusive isolated excludes every stripe-mode section as well as other
+  // exclusive ones: adopt all of their frontiers, and publish back to all.
+  table.gate_hb.acquire();
+  for (auto& hb : table.stripe_hb) hb.acquire();
+#endif
   body();
+#if defined(HJDES_CHECK_ENABLED)
+  for (auto& hb : table.stripe_hb) hb.release();
+  table.gate_hb.release();
+#endif
 }
 
 }  // namespace hjdes::hj

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <shared_mutex>
 
+#include "check/hb.hpp"
 #include "support/platform.hpp"
 #include "support/spinlock.hpp"
 #include "support/unique_function.hpp"
@@ -28,6 +29,14 @@ inline constexpr std::size_t kIsolatedStripes = 1024;
 struct IsolatedTable {
   std::shared_mutex gate;
   std::array<Spinlock, kIsolatedStripes> stripes;
+  // hjcheck edge carriers (no-op classes without HJDES_CHECK): one per
+  // stripe, plus one for exclusive (global) isolated sections. Shared gate
+  // holders deliberately do not touch gate_hb — shared/shared pairs do not
+  // exclude each other, so an edge there would be unsound the other way:
+  // it would order genuinely concurrent sections. The exclusive path
+  // acquires/releases every stripe clock instead.
+  std::array<check::SyncClock, kIsolatedStripes> stripe_hb;
+  check::SyncClock gate_hb;
 
   static IsolatedTable& instance();
 

@@ -1,5 +1,8 @@
 #include "hj/locks.hpp"
 
+#include <cstdio>
+#include <cstring>
+
 #include "support/small_vector.hpp"
 
 namespace hjdes::hj {
@@ -10,6 +13,24 @@ namespace {
 // while holding locks, so thread == task for lock-ownership purposes.
 thread_local SmallVector<HjLock*, 16> tls_held_locks;
 
+// Format the held locks' debug IDs into `buf` ("#3 #17 ..."), truncating
+// with "..." when they do not fit. Async-signal-unsafe-free (no allocation)
+// so it is usable on the abort path.
+void format_held_ids(char* buf, std::size_t cap) noexcept {
+  std::size_t off = 0;
+  buf[0] = '\0';
+  for (std::size_t i = 0; i < tls_held_locks.size(); ++i) {
+    const int n =
+        std::snprintf(buf + off, cap - off, "%s#%u", i == 0 ? "" : " ",
+                      tls_held_locks[i]->debug_id());
+    if (n < 0 || static_cast<std::size_t>(n) >= cap - off) {
+      std::strncpy(buf + (cap > 4 ? cap - 4 : 0), "...", 4);
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
 }  // namespace
 
 bool try_lock(HjLock& lock) noexcept {
@@ -18,6 +39,17 @@ bool try_lock(HjLock& lock) noexcept {
   // bearing for the §4.5.3 Dekker-style activity checks (see des/HjEngine).
   if (lock.held_.compare_exchange_strong(expected, true,
                                          std::memory_order_seq_cst)) {
+#if defined(HJDES_CHECK_ENABLED)
+    lock.hb_.acquire();
+    if (!tls_held_locks.empty()) {
+      SmallVector<std::uint32_t, 16> held_ids;
+      for (std::size_t i = 0; i < tls_held_locks.size(); ++i) {
+        held_ids.push_back(tls_held_locks[i]->debug_id());
+      }
+      check::lockorder::on_acquire(lock.debug_id(), held_ids.data(),
+                                   held_ids.size());
+    }
+#endif
     tls_held_locks.push_back(&lock);
     return true;
   }
@@ -26,7 +58,12 @@ bool try_lock(HjLock& lock) noexcept {
 
 void release_all_locks() noexcept {
   for (std::size_t i = tls_held_locks.size(); i > 0; --i) {
-    tls_held_locks[i - 1]->held_.store(false, std::memory_order_seq_cst);
+    HjLock* lock = tls_held_locks[i - 1];
+#if defined(HJDES_CHECK_ENABLED)
+    // Publish the holder's frontier before the lock becomes acquirable.
+    lock->hb_.release();
+#endif
+    lock->held_.store(false, std::memory_order_seq_cst);
   }
   tls_held_locks.clear();
 }
@@ -34,7 +71,27 @@ void release_all_locks() noexcept {
 std::size_t held_lock_count() noexcept { return tls_held_locks.size(); }
 
 namespace detail {
+
 bool current_thread_holds_locks() noexcept { return !tls_held_locks.empty(); }
+
+void on_task_exit_locks() noexcept {
+  if (tls_held_locks.empty()) return;
+  char ids[160];
+  format_held_ids(ids, sizeof(ids));
+  char msg[256];
+  std::snprintf(msg, sizeof(msg),
+                "task finished still holding %zu try_lock lock(s): ids %s "
+                "(RELEASEALLLOCKS contract, paper §3.2)",
+                tls_held_locks.size(), ids);
+#if defined(HJDES_CHECK_ENABLED)
+  check::report_violation(check::ViolationKind::kLockLeak, msg);
+  release_all_locks();  // keep later tasks on this worker unpoisoned
+#elif !defined(NDEBUG)
+  std::fprintf(stderr, "hj: %s\n", msg);
+  HJDES_CHECK(false, "task finished while still holding try_lock locks");
+#endif
+}
+
 }  // namespace detail
 
 }  // namespace hjdes::hj

@@ -14,12 +14,19 @@
 #include <atomic>
 #include <cstdint>
 
+#include "check/hb.hpp"
+#include "check/lock_order.hpp"
 #include "support/platform.hpp"
 
 namespace hjdes::hj {
 
 /// A non-blocking, runtime-managed lock (the paper's AtomicBoolean lock).
 /// Acquire through hj::try_lock so the per-task registry can release it.
+///
+/// Each lock carries a construction-ordered debug ID: the engines construct
+/// node and port locks in node order, so the paper's ascending-node-ID
+/// acquisition rule (§4.3) becomes "acquire in ascending debug ID order",
+/// which the hjcheck lock-order verifier enforces under HJDES_CHECK.
 class HjLock {
  public:
   HjLock() = default;
@@ -32,12 +39,21 @@ class HjLock {
     return held_.load(std::memory_order_seq_cst);
   }
 
+  /// Globally unique, construction-ordered ID (leak reports, lock-order
+  /// verification).
+  std::uint32_t debug_id() const noexcept { return debug_id_; }
+
  private:
   friend bool try_lock(HjLock& lock) noexcept;
   friend void release_all_locks() noexcept;
   friend class LockRegistry;
 
   std::atomic<bool> held_{false};
+  std::uint32_t debug_id_ = check::lockorder::next_lock_id();
+  // Happens-before edge carrier: release_all_locks releases into it, a
+  // successful try_lock acquires from it. Empty no-op class without
+  // HJDES_CHECK (see check/hb.hpp).
+  check::SyncClock hb_;
 };
 
 /// Attempt to acquire `lock` for the current task without blocking.
@@ -55,6 +71,14 @@ std::size_t held_lock_count() noexcept;
 namespace detail {
 /// Used by the runtime to assert that tasks do not finish holding locks.
 bool current_thread_holds_locks() noexcept;
+
+/// Called by the runtime when a task finishes. A task that still holds
+/// try_lock locks violates the RELEASEALLLOCKS contract: under HJDES_CHECK
+/// the leak is reported (with the lock IDs) and the locks are force-released
+/// so later tasks are not poisoned; in debug builds it aborts listing the
+/// IDs; release builds without HJDES_CHECK keep the historical silent-leak
+/// behaviour.
+void on_task_exit_locks() noexcept;
 }  // namespace detail
 
 }  // namespace hjdes::hj

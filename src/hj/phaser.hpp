@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "check/hb.hpp"
 #include "support/platform.hpp"
 #include "support/spinlock.hpp"
 
@@ -60,6 +61,8 @@ class Phaser {
         cpu_relax();
       }
     }
+    // hjcheck: every arriver of the completed phase released into hb_.
+    hb_.acquire();
   }
 
  private:
@@ -67,6 +70,7 @@ class Phaser {
   /// resets the count and advances the phase.
   std::uint64_t arrive() {
     const std::uint64_t my_phase = phase_.load(std::memory_order_acquire);
+    hb_.release();  // publish pre-arrival actions to awaiters of this phase
     const int arrived = arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
     HJDES_DCHECK(arrived <= parties_, "more arrivals than registered parties");
     if (arrived == parties_) {
@@ -79,6 +83,8 @@ class Phaser {
   const int parties_;
   HJDES_CACHE_ALIGNED std::atomic<std::uint64_t> phase_{0};
   HJDES_CACHE_ALIGNED std::atomic<int> arrived_{0};
+  // hjcheck arrive->await edge carrier (no-op class without HJDES_CHECK).
+  check::SyncClock hb_;
 };
 
 }  // namespace hjdes::hj

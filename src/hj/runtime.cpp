@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "check/hb.hpp"
+#include "check/vector_clock.hpp"
 #include "hj/chase_lev_deque.hpp"
 #include "hj/locks.hpp"
 #include "obs/metrics.hpp"
@@ -19,6 +21,10 @@ namespace {
 /// children that have not yet completed.
 struct FinishScope {
   std::atomic<std::int64_t> pending{0};
+  // hjcheck join edge: every completing child releases into this clock
+  // before decrementing `pending`; the finish() loop acquires from it after
+  // observing zero. No-op empty class without HJDES_CHECK.
+  check::SyncClock hb_join;
 };
 
 }  // namespace
@@ -29,6 +35,9 @@ struct Task {
   Thunk fn;
   FinishScope* ief = nullptr;
   Task* pool_next = nullptr;
+  // hjcheck spawn edge: the parent's frontier at async() time, adopted by
+  // whichever worker runs the task. Null without HJDES_CHECK.
+  check::VectorClock* hb_birth = nullptr;
 };
 
 namespace {
@@ -98,13 +107,16 @@ namespace {
 void execute_task(Worker* w, Task* t) {
   FinishScope* prev = tls_finish;
   tls_finish = t->ief;
+  check::adopt_birth(t->hb_birth);  // parent async() -> first task action
+  t->hb_birth = nullptr;
   {
     obs::ScopedSpan span(obs::SpanKind::kTask);
     t->fn();
   }
-  HJDES_DCHECK(!detail::current_thread_holds_locks(),
-               "task finished while still holding try_lock locks");
+  detail::on_task_exit_locks();  // RELEASEALLLOCKS contract (leak = abort/report)
   tls_finish = prev;
+  // Publish this task's frontier before the decrement that may end the join.
+  t->ief->hb_join.release();
   t->ief->pending.fetch_sub(1, std::memory_order_acq_rel);
   w->stat_executed.fetch_add(1, std::memory_order_relaxed);
   w->recycle(t);
@@ -269,6 +281,7 @@ void async(Thunk fn) {
   Task* t = w->allocate();
   t->fn = std::move(fn);
   t->ief = scope;
+  t->hb_birth = check::snapshot_birth();  // parent frontier -> child
   w->deque.push(t);
   w->runtime->wake_all();
 }
@@ -299,6 +312,9 @@ void finish(Thunk body) {
       idle_spins = 0;
     }
   }
+  // All children released into hb_join before their final decrement; adopt
+  // their frontiers so post-finish code is ordered after every child.
+  scope.hb_join.acquire();
 }
 
 bool help_one() {

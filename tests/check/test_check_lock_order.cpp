@@ -1,0 +1,116 @@
+// hjcheck lock-order verification over the TRYLOCK/RELEASEALLLOCKS locks:
+// ascending-ID acquisition (the paper's §4.3 rule) is clean, descending
+// acquisition is a discipline violation, opposite orders form a reported
+// cycle, and a task finishing with held locks is a reported leak.
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "hj/locks.hpp"
+#include "hj/runtime.hpp"
+
+namespace hjdes::check {
+namespace {
+
+void fresh_state() {
+  reset();
+  lockorder::reset_graph();
+}
+
+TEST(CheckLockOrder, LockIdsAreConstructionOrdered) {
+  hj::HjLock a;
+  hj::HjLock b;
+  EXPECT_LT(a.debug_id(), b.debug_id());
+}
+
+TEST(CheckLockOrder, AscendingAcquisitionIsClean) {
+  if (!compiled_in()) GTEST_SKIP() << "needs -DHJDES_CHECK=ON";
+  fresh_state();
+  hj::HjLock a;
+  hj::HjLock b;
+  ASSERT_TRUE(hj::try_lock(a));
+  ASSERT_TRUE(hj::try_lock(b));
+  hj::release_all_locks();
+  EXPECT_EQ(lockorder::edge_count(), 1u);  // a -> b recorded
+  EXPECT_EQ(lockorder::verify_no_cycles(), 0u);
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST(CheckLockOrder, DescendingAcquisitionIsADisciplineViolation) {
+  if (!compiled_in()) GTEST_SKIP() << "needs -DHJDES_CHECK=ON";
+  fresh_state();
+  hj::HjLock a;
+  hj::HjLock b;
+  ASSERT_TRUE(hj::try_lock(b));
+  ASSERT_TRUE(hj::try_lock(a));  // held b.id > a.id: breaks the §4.3 rule
+  hj::release_all_locks();
+  EXPECT_GE(lock_order_violation_count(), 1u);
+  fresh_state();
+}
+
+TEST(CheckLockOrder, DisciplineViolationReportedOncePerPair) {
+  if (!compiled_in()) GTEST_SKIP() << "needs -DHJDES_CHECK=ON";
+  fresh_state();
+  hj::HjLock a;
+  hj::HjLock b;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(hj::try_lock(b));
+    ASSERT_TRUE(hj::try_lock(a));
+    hj::release_all_locks();
+  }
+  EXPECT_EQ(lock_order_violation_count(), 1u);
+  fresh_state();
+}
+
+TEST(CheckLockOrder, OppositeOrdersFormAReportedCycle) {
+  if (!compiled_in()) GTEST_SKIP() << "needs -DHJDES_CHECK=ON";
+  fresh_state();
+  hj::HjLock a;
+  hj::HjLock b;
+  ASSERT_TRUE(hj::try_lock(a));
+  ASSERT_TRUE(hj::try_lock(b));
+  hj::release_all_locks();
+  ASSERT_TRUE(hj::try_lock(b));
+  ASSERT_TRUE(hj::try_lock(a));
+  hj::release_all_locks();
+  EXPECT_EQ(lockorder::edge_count(), 2u);  // a -> b and b -> a
+  EXPECT_GE(lockorder::verify_no_cycles(), 1u);
+  EXPECT_GE(lock_order_violation_count(), 1u);
+  fresh_state();
+}
+
+TEST(CheckLockOrder, ResetGraphDropsEdges) {
+  if (!compiled_in()) GTEST_SKIP() << "needs -DHJDES_CHECK=ON";
+  fresh_state();
+  hj::HjLock a;
+  hj::HjLock b;
+  ASSERT_TRUE(hj::try_lock(a));
+  ASSERT_TRUE(hj::try_lock(b));
+  hj::release_all_locks();
+  ASSERT_GE(lockorder::edge_count(), 1u);
+  lockorder::reset_graph();
+  EXPECT_EQ(lockorder::edge_count(), 0u);
+  EXPECT_EQ(lockorder::verify_no_cycles(), 0u);
+}
+
+TEST(CheckLockOrder, TaskExitWithHeldLockIsAReportedLeak) {
+  if (!compiled_in()) GTEST_SKIP() << "needs -DHJDES_CHECK=ON";
+  fresh_state();
+  hj::HjLock leaked;
+  hj::Runtime rt(2);
+  rt.run([&leaked] {
+    hj::finish([&leaked] {
+      hj::async([&leaked] {
+        ASSERT_TRUE(hj::try_lock(leaked));
+        // Return without release_all_locks(): the RELEASEALLLOCKS contract
+        // violation the runtime must catch at task exit.
+      });
+    });
+  });
+  EXPECT_GE(lock_leak_count(), 1u);
+  // The runtime force-releases under HJDES_CHECK so later tasks can proceed.
+  EXPECT_FALSE(leaked.is_held());
+  fresh_state();
+}
+
+}  // namespace
+}  // namespace hjdes::check

@@ -5,12 +5,14 @@
 //                [--engine global|cmb] [--workers 4] [--verify]
 //                [--hotspot]   (all-to-one traffic instead of uniform)
 //                [--trace out.json] [--metrics-json out.json]
+//                [--check]     (hjcheck report; exits nonzero on violations)
 #include <algorithm>
 #include <cstdio>
 
 #include <cstddef>
 #include <fstream>
 
+#include "check/check.hpp"
 #include "netsim/netsim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -110,6 +112,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --check runs before --metrics-json so cycle findings land in the
+  // check.* counters of the JSON dump.
+  std::uint64_t check_violations = 0;
+  if (cli.has("check")) {
+    if (!hjdes::check::compiled_in()) {
+      std::printf("check: hjcheck not compiled in "
+                  "(reconfigure with -DHJDES_CHECK=ON)\n");
+    } else {
+      hjdes::check::lockorder::verify_no_cycles();
+      check_violations = hjdes::check::print_report(stdout);
+    }
+  }
+
   if (cli.has("metrics-json")) {
     std::ofstream out(cli.get("metrics-json", ""));
     obs::metrics().write_json(out);
@@ -121,5 +136,5 @@ int main(int argc, char** argv) {
     std::printf("wrote metrics JSON to %s\n",
                 cli.get("metrics-json", "").c_str());
   }
-  return 0;
+  return check_violations != 0 ? 1 : 0;
 }

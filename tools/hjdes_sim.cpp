@@ -5,7 +5,7 @@
 //             [--engine NAME] [--workers N]
 //             [--parts N] [--partitioner roundrobin|bfs|multilevel]
 //             [--vcd out.vcd] [--dot out.dot] [--profile] [--verify]
-//             [--trace out.json] [--metrics-json out.json]
+//             [--trace out.json] [--metrics-json out.json] [--check]
 //
 // Engine names come from the des engine registry (des::engines()); with
 // --engine=partitioned, --dot colors nodes by partition and marks cut edges.
@@ -23,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "check/check.hpp"
 #include "circuit/dot_export.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist_io.hpp"
@@ -50,7 +51,9 @@ int usage(const char* prog) {
                "  --profile (print parallelism profile)\n"
                "  --verify  (cross-check against the sequential engine)\n"
                "  --trace FILE        (Chrome trace-event task timeline)\n"
-               "  --metrics-json FILE (dump the metrics registry)\n",
+               "  --metrics-json FILE (dump the metrics registry)\n"
+               "  --check   (report hjcheck race/lock-order findings;\n"
+               "             exit 1 on violations; needs -DHJDES_CHECK=ON)\n",
                prog, des::engine_list().c_str());
   for (const des::EngineInfo& e : des::engines()) {
     std::fprintf(stderr, "    %-12s %.*s\n", std::string(e.name).c_str(),
@@ -220,6 +223,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --check runs before --metrics-json so cycle findings land in the
+  // check.* counters of the JSON dump.
+  std::uint64_t check_violations = 0;
+  if (cli.has("check")) {
+    if (!check::compiled_in()) {
+      std::printf("check: hjcheck not compiled in "
+                  "(reconfigure with -DHJDES_CHECK=ON)\n");
+    } else {
+      check::lockorder::verify_no_cycles();
+      check_violations = check::print_report(stdout);
+    }
+  }
+
   if (cli.has("metrics-json")) {
     std::ofstream out(cli.get("metrics-json", ""));
     obs::metrics().write_json(out);
@@ -237,5 +253,5 @@ int main(int argc, char** argv) {
     out << des::to_vcd(input, result);
     std::printf("wrote VCD to %s\n", cli.get("vcd", "").c_str());
   }
-  return 0;
+  return check_violations != 0 ? 1 : 0;
 }

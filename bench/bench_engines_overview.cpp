@@ -2,20 +2,109 @@
 // the des registry on every workload — the summary table a downstream user
 // wants first. The engine list comes from des::engines(), so a new engine
 // registered there appears here with no bench change.
+//
+// The topology section compares pinned against unpinned runs of the engines
+// that honor placement (hj, partitioned) and writes the numbers plus the
+// detected machine shape to BENCH_topology.json (path overridable via
+// HJDES_TOPOLOGY_JSON) for the CI artifact. HJDES_SMOKE=1 shrinks it to one
+// repetition and skips the all-engines overview table (whose optimistic
+// engines dominate the runtime) so the CI job finishes in seconds.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "support/topology.hpp"
 
 namespace {
 
 using namespace hjdes;
 using namespace hjdes::bench;
 
+bool smoke() {
+  const char* v = std::getenv("HJDES_SMOKE");
+  return v != nullptr && std::string(v) != "0";
+}
+
+struct TopologyCell {
+  std::string circuit;
+  std::string engine;
+  std::string pin;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+void print_topology_comparison() {
+  const int reps = smoke() ? 1 : repetitions();
+  const int workers = worker_counts().back();
+  const support::MachineTopology& topo = support::machine_topology();
+  std::printf(
+      "\n=== Topology: pin policies at %d workers (%d reps; %d cpus, "
+      "%d node(s), pinning %s) ===\n",
+      workers, reps, topo.cpu_count(), topo.numa_nodes,
+      topo.pinning_supported ? "supported" : "unavailable");
+
+  std::vector<TopologyCell> cells;
+  TextTable t;
+  t.header({"circuit", "engine", "pin", "min ms", "avg ms"});
+  for (Workload& w : all_workloads()) {
+    des::SimInput input(w.netlist, w.stimulus);
+    for (const char* engine_name : {"hj", "partitioned"}) {
+      const des::EngineInfo* engine = des::find_engine(engine_name);
+      for (support::PinPolicy pin :
+           {support::PinPolicy::kNone, support::PinPolicy::kCompact,
+            support::PinPolicy::kScatter}) {
+        des::RunConfig config;
+        config.workers = workers;
+        config.pin = pin;
+        Summary s = measure([&] { (void)engine->run(input, config); }, reps);
+        TopologyCell cell;
+        cell.circuit = w.name;
+        cell.engine = engine_name;
+        cell.pin = support::pin_policy_name(pin);
+        cell.min_ms = s.min * 1e3;
+        cell.mean_ms = s.mean * 1e3;
+        cells.push_back(cell);
+        t.row({cell.circuit, cell.engine, cell.pin, TextTable::fmt(cell.min_ms),
+               TextTable::fmt(cell.mean_ms)});
+      }
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const char* path_env = std::getenv("HJDES_TOPOLOGY_JSON");
+  const std::string path =
+      path_env != nullptr && *path_env != '\0' ? path_env
+                                               : "BENCH_topology.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "topology: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"machine\": {\"cpus\": %d, \"numa_nodes\": %d, "
+               "\"pinning_supported\": %s},\n  \"workers\": %d,\n"
+               "  \"reps\": %d,\n  \"cells\": [\n",
+               topo.cpu_count(), topo.numa_nodes,
+               topo.pinning_supported ? "true" : "false", workers, reps);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const TopologyCell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"circuit\": \"%s\", \"engine\": \"%s\", "
+                 "\"pin\": \"%s\", \"min_ms\": %.3f, \"mean_ms\": %.3f}%s\n",
+                 c.circuit.c_str(), c.engine.c_str(), c.pin.c_str(), c.min_ms,
+                 c.mean_ms, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("topology: wrote %zu cells to %s\n", cells.size(), path.c_str());
+}
+
 void print_overview() {
-  const int reps = repetitions();
+  const int reps = smoke() ? 1 : repetitions();
   const int workers = worker_counts().back();
   std::printf("\n=== Engine overview at %d workers (%d reps) ===\n", workers,
               reps);
@@ -23,11 +112,11 @@ void print_overview() {
   t.header({"circuit", "engine", "min ms", "avg ms", "events"});
   for (Workload& w : all_workloads()) {
     des::SimInput input(w.netlist, w.stimulus);
-    des::EngineOptions opts;
-    opts.workers = workers;
+    des::RunConfig config;
+    config.workers = workers;
     for (const des::EngineInfo& engine : des::engines()) {
       des::SimResult last;
-      Summary s = measure([&] { last = engine.run(input, opts); }, reps);
+      Summary s = measure([&] { last = engine.run(input, config); }, reps);
       t.row({w.name, std::string(engine.name), TextTable::fmt(s.min * 1e3),
              TextTable::fmt(s.mean * 1e3),
              TextTable::fmt_int(
@@ -53,6 +142,7 @@ int main(int argc, char** argv) {
       ->Iterations(1);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_overview();
+  if (!smoke()) print_overview();
+  print_topology_comparison();
   return 0;
 }

@@ -3,56 +3,85 @@
 namespace hjdes::des {
 namespace {
 
-SimResult run_seq_entry(const SimInput& input, const EngineOptions&) {
+SimResult run_seq_entry(const SimInput& input, const RunConfig&) {
   return run_sequential(input);
 }
 
-SimResult run_seqpq_entry(const SimInput& input, const EngineOptions&) {
+SimResult run_seqpq_entry(const SimInput& input, const RunConfig&) {
   return run_sequential_pq(input);
 }
 
-SimResult run_hj_entry(const SimInput& input, const EngineOptions& opt) {
+SimResult run_hj_entry(const SimInput& input, const RunConfig& opt) {
   HjEngineConfig cfg;
   cfg.workers = opt.workers;
+  cfg.input_batch = opt.input_batch;
+  cfg.arenas = opt.arenas;
+  cfg.pin = opt.pin;
   return run_hj(input, cfg);
 }
 
-SimResult run_galois_entry(const SimInput& input, const EngineOptions& opt) {
+SimResult run_galois_entry(const SimInput& input, const RunConfig& opt) {
   GaloisEngineConfig cfg;
   cfg.threads = opt.workers;
   return run_galois(input, cfg);
 }
 
-SimResult run_actor_entry(const SimInput& input, const EngineOptions& opt) {
+SimResult run_actor_entry(const SimInput& input, const RunConfig& opt) {
   ActorEngineConfig cfg;
   cfg.workers = opt.workers;
   return run_actor(input, cfg);
 }
 
-SimResult run_timewarp_entry(const SimInput& input, const EngineOptions& opt) {
+SimResult run_timewarp_entry(const SimInput& input, const RunConfig& opt) {
   TimeWarpConfig cfg;
   cfg.workers = opt.workers;
+  cfg.input_batch = opt.input_batch;
+  cfg.pin = opt.pin;
   return run_timewarp(input, cfg);
 }
 
-SimResult run_partitioned_entry(const SimInput& input,
-                                const EngineOptions& opt) {
+SimResult run_partitioned_entry(const SimInput& input, const RunConfig& opt) {
   PartitionedConfig cfg;
   cfg.parts = opt.parts > 0 ? opt.parts : opt.workers;
   cfg.partitioner = opt.partitioner;
   cfg.partition = opt.partition;
+  cfg.pin = opt.pin;
+  cfg.batch = opt.batch;
+  cfg.channel_capacity = opt.channel_capacity;
+  cfg.arenas = opt.arenas;
   return run_partitioned(input, cfg);
 }
 
+// Capability sets, named so the table below reads like the docs.
+constexpr EngineCaps kCapsNone{};
+constexpr EngineCaps kCapsHj{.honors_workers = true,
+                             .honors_pinning = true,
+                             .honors_arenas = true,
+                             .honors_input_batch = true};
+constexpr EngineCaps kCapsWorkersOnly{.honors_workers = true};
+constexpr EngineCaps kCapsTimewarp{.honors_workers = true,
+                                   .honors_pinning = true,
+                                   .honors_input_batch = true};
+constexpr EngineCaps kCapsPartitioned{.honors_workers = true,
+                                      .honors_parts = true,
+                                      .honors_partitioner = true,
+                                      .honors_pinning = true,
+                                      .honors_batching = true,
+                                      .honors_arenas = true};
+
 constexpr EngineInfo kEngines[] = {
-    {"seq", "Algorithm 1, per-port deques (reference)", run_seq_entry},
-    {"seqpq", "Algorithm 1, per-node priority queue", run_seqpq_entry},
-    {"hj", "Algorithm 2 on the hj runtime", run_hj_entry},
-    {"galois", "Algorithm 3, optimistic galois runtime", run_galois_entry},
-    {"actor", "actor-per-node engine", run_actor_entry},
-    {"timewarp", "optimistic Time Warp engine", run_timewarp_entry},
+    {"seq", "Algorithm 1, per-port deques (reference)", kCapsNone,
+     run_seq_entry},
+    {"seqpq", "Algorithm 1, per-node priority queue", kCapsNone,
+     run_seqpq_entry},
+    {"hj", "Algorithm 2 on the hj runtime", kCapsHj, run_hj_entry},
+    {"galois", "Algorithm 3, optimistic galois runtime", kCapsWorkersOnly,
+     run_galois_entry},
+    {"actor", "actor-per-node engine", kCapsWorkersOnly, run_actor_entry},
+    {"timewarp", "optimistic Time Warp engine", kCapsTimewarp,
+     run_timewarp_entry},
     {"partitioned", "sharded logical-process engine over a graph partition",
-     run_partitioned_entry},
+     kCapsPartitioned, run_partitioned_entry},
 };
 
 }  // namespace

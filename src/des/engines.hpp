@@ -24,6 +24,7 @@
 #include "des/hj_engine.hpp"
 #include "des/parallelism_profile.hpp"
 #include "des/partitioned_engine.hpp"
+#include "des/run_config.hpp"
 #include "des/seq_engine.hpp"
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
@@ -31,28 +32,13 @@
 
 namespace hjdes::des {
 
-/// The driver-level knobs shared by every engine. Each engine maps what it
-/// understands onto its own config and ignores the rest (the sequential
-/// engines ignore everything).
-struct EngineOptions {
-  /// Worker threads for the parallel engines.
-  int workers = 4;
-
-  /// Partitioned engine: shard count; 0 = one shard per worker.
-  std::int32_t parts = 0;
-
-  /// Partitioned engine: partitioner choice.
-  part::PartitionerKind partitioner = part::PartitionerKind::kMultilevel;
-
-  /// Partitioned engine: externally computed assignment override.
-  const part::Partition* partition = nullptr;
-};
-
-/// One registry entry.
+/// One registry entry: the engine plus the capability flags the RunConfig
+/// validator (des/run_config.hpp) checks knobs against.
 struct EngineInfo {
   std::string_view name;     ///< CLI name ("seq", "hj", "partitioned", ...)
   std::string_view summary;  ///< one-line description for --help output
-  SimResult (*run)(const SimInput&, const EngineOptions&);
+  EngineCaps caps;           ///< which RunConfig knobs this engine honors
+  SimResult (*run)(const SimInput&, const RunConfig&);
 };
 
 /// Every engine, in presentation order (sequential baselines first).

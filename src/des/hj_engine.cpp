@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/binary_heap.hpp"
+#include "support/event_arena.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
 #include "support/small_vector.hpp"
@@ -119,6 +120,12 @@ class HjEngine {
         cfg_(config),
         nodes_(netlist_.node_count()) {
     HJDES_CHECK(cfg_.workers >= 1, "workers must be >= 1");
+    if (cfg_.arenas) {
+      arenas_.reserve(static_cast<std::size_t>(cfg_.workers));
+      for (int w = 0; w < cfg_.workers; ++w) {
+        arenas_.push_back(std::make_unique<EventArena>());
+      }
+    }
     for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
       nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
           static_cast<std::int32_t>(i);
@@ -134,7 +141,8 @@ class HjEngine {
     std::unique_ptr<hj::Runtime> owned;
     hj::Runtime* rt = cfg_.runtime;
     if (rt == nullptr) {
-      owned = std::make_unique<hj::Runtime>(cfg_.workers);
+      owned = std::make_unique<hj::Runtime>(
+          hj::RuntimeConfig{.workers = cfg_.workers, .pin = cfg_.pin});
       rt = owned.get();
     }
     HJDES_CHECK(rt->workers() == cfg_.workers,
@@ -363,6 +371,9 @@ class HjEngine {
   /// RUNNODE(n): dispatch to the configured protocol, then run the common
   /// epilogue (self/fanout re-activation) required for lost-wakeup freedom.
   void run_node(NodeId id) {
+    // Route any queue growth in this activation through the worker's slab
+    // arena. Null (arenas off / not a worker) keeps the global allocator.
+    ArenaScope arena_scope(worker_arena());
     LocalStats stats;
     const Netlist::Node& meta = netlist_.node(id);
     if (meta.kind == GateKind::Input) {
@@ -594,6 +605,13 @@ class HjEngine {
 
   // ------------------------------------------------------------ helpers ---
 
+  /// The calling worker's slab arena, or nullptr when arenas are disabled.
+  EventArena* worker_arena() {
+    if (arenas_.empty()) return nullptr;
+    const int w = hj::current_worker_id();
+    return w < 0 ? nullptr : arenas_[static_cast<std::size_t>(w)].get();
+  }
+
   /// Heap-top readiness under the deterministic merge rule (pq mode).
   bool pq_top_ready(const ParNode& n, const PqState& pq, int ports) {
     if (pq.heap.empty()) return false;
@@ -674,6 +692,9 @@ class HjEngine {
   const SimInput& input_;
   const Netlist& netlist_;
   const HjEngineConfig cfg_;
+  // Declared before nodes_ on purpose: the node queues hold arena buffers,
+  // so they must be destroyed (reverse declaration order) before the arenas.
+  std::vector<std::unique_ptr<EventArena>> arenas_;
   std::vector<ParNode> nodes_;
   std::vector<std::int32_t> input_index_;
 

@@ -36,6 +36,15 @@ struct HjEngineConfig {
   /// Initial events an input node forwards per activation; 0 = all at once.
   std::size_t input_batch = 0;
 
+  /// Per-worker slab arenas for event-queue storage (support/event_arena):
+  /// every task installs its worker's arena, so queue growth never touches
+  /// the global allocator. Off = exact pre-arena allocation behaviour.
+  bool arenas = true;
+
+  /// Worker -> core placement for the engine-owned runtime. Ignored when an
+  /// external `runtime` is supplied (its own RuntimeConfig::pin governs).
+  support::PinPolicy pin = support::PinPolicy::kNone;
+
   /// Optional externally-owned runtime to reuse across runs (must have
   /// `workers` workers). When null the engine creates its own.
   hj::Runtime* runtime = nullptr;

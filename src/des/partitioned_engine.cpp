@@ -11,6 +11,7 @@
 #include "des/port_merge.hpp"
 #include "obs/metrics.hpp"
 #include "part/partition.hpp"
+#include "support/event_arena.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
 #include "support/spsc_channel.hpp"
@@ -82,6 +83,11 @@ struct HJDES_CACHE_ALIGNED Worker {
   RingDeque<NodeId> workset;
   std::size_t done_count = 0;
 
+  /// Outbound batching: per-destination-shard FIFO staging buffers. Events
+  /// and watermarks append in emission order and flush to the SPSC channel
+  /// in that order, so the per-edge streams stay FIFO.
+  std::vector<std::vector<ChanMsg>> out;
+
   // Tallies flushed to the obs registry and SimResult after the join.
   std::uint64_t events = 0;
   std::uint64_t nulls = 0;
@@ -94,7 +100,8 @@ struct HJDES_CACHE_ALIGNED Worker {
 class PartitionedEngine {
  public:
   PartitionedEngine(const SimInput& input, const PartitionedConfig& config)
-      : input_(input), netlist_(input.netlist()) {
+      : input_(input), netlist_(input.netlist()), batch_(config.batch) {
+    HJDES_CHECK(config.batch >= 1, "partitioned engine needs batch >= 1");
     if (config.partition != nullptr) {
       part_ = *config.partition;
     } else {
@@ -123,6 +130,15 @@ class PartitionedEngine {
     }
 
     build_workers(config.channel_capacity);
+
+    pin_plan_ = support::pinning_plan(support::machine_topology(), part_.parts,
+                                      config.pin);
+    if (config.arenas) {
+      arenas_.reserve(static_cast<std::size_t>(part_.parts));
+      for (std::int32_t p = 0; p < part_.parts; ++p) {
+        arenas_.push_back(std::make_unique<EventArena>());
+      }
+    }
   }
 
   SimResult run() {
@@ -193,6 +209,7 @@ class PartitionedEngine {
     channels_.resize(parts * parts);
     for (std::size_t p = 0; p < parts; ++p) {
       workers_[p].id = static_cast<std::int32_t>(p);
+      workers_[p].out.resize(parts);
     }
     for (std::size_t i = 0; i < netlist_.node_count(); ++i) {
       const auto id = static_cast<NodeId>(i);
@@ -218,6 +235,15 @@ class PartitionedEngine {
   // ---- side of, so no locks are ever taken).
 
   void worker_loop(Worker& w) {
+    if (!pin_plan_.empty()) {
+      support::pin_current_thread(pin_plan_[static_cast<std::size_t>(w.id)]);
+    }
+    // Route this worker's queue growth through its slab arena (nullptr when
+    // arenas are disabled — the scope then forces the global path, which is
+    // also what no scope at all would do).
+    ArenaScope arena_scope(
+        arenas_.empty() ? nullptr
+                        : arenas_[static_cast<std::size_t>(w.id)].get());
     for (NodeId id : w.local) {
       if (netlist_.kind(id) == GateKind::Input) push_workset(w, id);
     }
@@ -226,10 +252,17 @@ class PartitionedEngine {
       const bool progressed = run_workset(w);
       if (w.done_count == w.local.size()) break;
       if (!drained && !progressed) {
+        // Stalled on remote input: everything still staged must go out now
+        // (the peers may be waiting on exactly these events), followed by
+        // whatever lookahead we can announce.
         send_watermarks(w);
+        flush_all(w);
         std::this_thread::yield();
       }
     }
+    // Terminal NULLs emitted by the final run_workset pass are still staged;
+    // receivers cannot finish without them.
+    flush_all(w);
   }
 
   void push_workset(Worker& w, NodeId id) {
@@ -295,13 +328,40 @@ class PartitionedEngine {
     SpscChannel<ChanMsg>* ch = chan(w.id, dest);
     while (!ch->try_push(m)) {
       // Full channel: keep consuming our own inbound traffic so the blocked
-      // consumer chain can always make progress (deadlock freedom).
+      // consumer chain can always make progress (deadlock freedom). Inbound
+      // draining never touches the outbound staging buffers, so this cannot
+      // reenter a flush.
       ++w.full_stalls;
       drain_channels(w);
       std::this_thread::yield();
     }
     ++w.cut_msgs;
     h_channel_depth_.record(ch->size());
+  }
+
+  /// Stage one message for `dest`, flushing when the batch fills. With
+  /// batch_ == 1 this degenerates to the unbatched per-event channel push.
+  void send_msg(Worker& w, std::int32_t dest, const ChanMsg& m) {
+    if (batch_ <= 1) {
+      push_channel(w, dest, m);
+      return;
+    }
+    std::vector<ChanMsg>& buf = w.out[static_cast<std::size_t>(dest)];
+    buf.push_back(m);
+    if (buf.size() >= batch_) flush_dest(w, dest);
+  }
+
+  void flush_dest(Worker& w, std::int32_t dest) {
+    std::vector<ChanMsg>& buf = w.out[static_cast<std::size_t>(dest)];
+    if (buf.empty()) return;
+    c_batch_flushes_.increment();
+    h_flush_batch_.record(buf.size());
+    for (const ChanMsg& m : buf) push_channel(w, dest, m);
+    buf.clear();
+  }
+
+  void flush_all(Worker& w) {
+    for (std::int32_t d = 0; d < part_.parts; ++d) flush_dest(w, d);
   }
 
   void emit(Worker& w, NodeId source, Event e) {
@@ -311,8 +371,8 @@ class PartitionedEngine {
         deliver(w, edge.target, edge.port, e);
         ++w.local_deliveries;
       } else {
-        push_channel(w, dest,
-                     ChanMsg{e.time, edge.target, edge.port, e.value, 0});
+        send_msg(w, dest,
+                 ChanMsg{e.time, edge.target, edge.port, e.value, 0});
       }
     }
   }
@@ -350,8 +410,10 @@ class PartitionedEngine {
         cached_bound = emission_bound(e.source);
       }
       if (cached_bound <= e.last_watermark) continue;
-      push_channel(w, e.dest,
-                   ChanMsg{cached_bound, e.target, e.port, 0, 1});
+      // Staged behind any buffered earlier events for the same shard: FIFO
+      // through the buffer + channel means the bound can never overtake an
+      // event it does not actually bound.
+      send_msg(w, e.dest, ChanMsg{cached_bound, e.target, e.port, 0, 1});
       e.last_watermark = cached_bound;
       ++w.watermarks;
     }
@@ -438,6 +500,12 @@ class PartitionedEngine {
   const SimInput& input_;
   const Netlist& netlist_;
   part::Partition part_;
+  const std::size_t batch_;
+  std::vector<int> pin_plan_;  ///< worker -> core; empty = no pinning
+  // Declared before nodes_/workers_ on purpose: node queues and worksets
+  // hold arena buffers, so they must be destroyed (reverse declaration
+  // order) before the arenas that own the slabs.
+  std::vector<std::unique_ptr<EventArena>> arenas_;
   std::vector<LpNode> nodes_;
   std::vector<Worker> workers_;
   std::vector<std::unique_ptr<SpscChannel<ChanMsg>>> channels_;
@@ -456,8 +524,12 @@ class PartitionedEngine {
       obs::metrics().counter("des.part.lock_acquires");
   obs::Counter& c_full_stalls_ =
       obs::metrics().counter("des.part.channel_full_stalls");
+  obs::Counter& c_batch_flushes_ =
+      obs::metrics().counter("des.part.batch_flushes");
   obs::Histogram& h_channel_depth_ =
       obs::metrics().histogram("des.part.channel_depth");
+  obs::Histogram& h_flush_batch_ =
+      obs::metrics().histogram("des.part.flush_batch");
   obs::Gauge& g_parts_ = obs::metrics().gauge("des.part.parts");
   obs::Gauge& g_cut_edges_ = obs::metrics().gauge("des.part.cut_edges");
   obs::Gauge& g_cut_ratio_ppm_ =

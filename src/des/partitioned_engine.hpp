@@ -22,6 +22,7 @@
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
 #include "part/partitioner.hpp"
+#include "support/topology.hpp"
 
 namespace hjdes::des {
 
@@ -41,6 +42,19 @@ struct PartitionedConfig {
   /// blocked on a full channel drain their own inbound channels, so small
   /// capacities throttle but cannot deadlock.
   std::size_t channel_capacity = 1024;
+
+  /// Worker -> core placement (support/topology.hpp). kNone = OS scheduler.
+  support::PinPolicy pin = support::PinPolicy::kNone;
+
+  /// Cross-shard batching: events buffered per destination shard before the
+  /// channel push (1 = the unbatched per-event sends). Buffers are per-edge
+  /// FIFO into the same SPSC channel, so watermarks can never overtake an
+  /// earlier buffered event; every buffer is force-flushed when a worker has
+  /// no other progress and before it terminates.
+  std::size_t batch = 8;
+
+  /// Per-worker slab arenas for node event-queue storage.
+  bool arenas = true;
 };
 
 /// Run the sharded simulation. Bit-identical waveforms to run_sequential.

@@ -1,0 +1,131 @@
+#include "des/run_config.hpp"
+
+#include "support/cli.hpp"
+
+namespace hjdes::des {
+namespace {
+
+void warn_ignored(RunValidation& v, std::string_view engine,
+                  std::string_view knob) {
+  v.warnings.push_back("engine '" + std::string(engine) + "' ignores " +
+                       std::string(knob));
+}
+
+}  // namespace
+
+RunValidation validate_run_config(const RunConfig& config,
+                                  const EngineCaps& caps,
+                                  std::string_view engine_name) {
+  RunValidation v;
+  const RunConfig defaults;
+
+  // Hard errors: combinations no engine can run.
+  if (config.workers < 1) {
+    v.errors.push_back("--workers must be >= 1 (got " +
+                       std::to_string(config.workers) + ")");
+  }
+  if (config.parts < 0) {
+    v.errors.push_back("--parts must be >= 0 (got " +
+                       std::to_string(config.parts) + "); 0 means one shard "
+                       "per worker");
+  }
+  if (config.batch == 0) {
+    v.errors.push_back("--batch must be >= 1 (1 disables batching)");
+  }
+  if (config.channel_capacity == 0) {
+    v.errors.push_back("--channel-capacity must be >= 1");
+  }
+  if (config.partition != nullptr && config.parts > 0 &&
+      config.partition->parts != config.parts) {
+    v.errors.push_back(
+        "--parts (" + std::to_string(config.parts) + ") contradicts the "
+        "externally supplied partition (" +
+        std::to_string(config.partition->parts) + " parts)");
+  }
+  if (config.batch > config.channel_capacity) {
+    v.errors.push_back("--batch (" + std::to_string(config.batch) +
+                       ") must not exceed --channel-capacity (" +
+                       std::to_string(config.channel_capacity) +
+                       "): a full flush must fit the channel");
+  }
+
+  // Warnings: knobs set away from their default that this engine ignores.
+  if (!caps.honors_workers && config.workers != defaults.workers) {
+    warn_ignored(v, engine_name, "--workers");
+  }
+  if (!caps.honors_parts &&
+      (config.parts != defaults.parts || config.partition != nullptr)) {
+    warn_ignored(v, engine_name, "--parts");
+  }
+  if (!caps.honors_partitioner &&
+      config.partitioner != defaults.partitioner) {
+    warn_ignored(v, engine_name, "--partitioner");
+  }
+  if (!caps.honors_pinning && config.pin != defaults.pin) {
+    warn_ignored(v, engine_name, "--pin");
+  }
+  if (!caps.honors_batching && config.batch != defaults.batch) {
+    warn_ignored(v, engine_name, "--batch / --channel-capacity");
+  }
+  if (!caps.honors_arenas && config.arenas != defaults.arenas) {
+    warn_ignored(v, engine_name, "--no-arenas");
+  }
+  if (!caps.honors_input_batch &&
+      config.input_batch != defaults.input_batch) {
+    warn_ignored(v, engine_name, "--input-batch");
+  }
+  return v;
+}
+
+RunConfig run_config_from_cli(const Cli& cli, const EngineCaps& caps,
+                              std::string_view engine_name,
+                              RunValidation* out) {
+  RunConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers", config.workers));
+  config.parts = static_cast<std::int32_t>(cli.get_int("parts", config.parts));
+  if (!part::parse_partitioner(cli.get("partitioner", "multilevel"),
+                               &config.partitioner)) {
+    out->errors.push_back("unknown --partitioner '" +
+                          cli.get("partitioner", "") +
+                          "' (roundrobin|bfs|multilevel)");
+  }
+  if (!support::parse_pin_policy(cli.get("pin", "none"), &config.pin)) {
+    out->errors.push_back("unknown --pin '" + cli.get("pin", "") +
+                          "' (none|compact|scatter)");
+  }
+  config.batch = static_cast<std::size_t>(
+      cli.get_int("batch", static_cast<std::int64_t>(config.batch)));
+  config.channel_capacity = static_cast<std::size_t>(cli.get_int(
+      "channel-capacity",
+      static_cast<std::int64_t>(config.channel_capacity)));
+  config.arenas = !cli.has("no-arenas");
+  config.input_batch = static_cast<std::size_t>(cli.get_int(
+      "input-batch", static_cast<std::int64_t>(config.input_batch)));
+
+  RunValidation checked = validate_run_config(config, caps, engine_name);
+  out->errors.insert(out->errors.end(), checked.errors.begin(),
+                     checked.errors.end());
+  out->warnings.insert(out->warnings.end(), checked.warnings.begin(),
+                       checked.warnings.end());
+  return config;
+}
+
+const FlagTable& run_config_flags() {
+  static const FlagTable table{
+      {"workers", "N", "worker threads (default 4)"},
+      {"parts", "N", "partitioned: shards; 0 = one per worker"},
+      {"partitioner", "NAME", "roundrobin|bfs|multilevel (default multilevel)"},
+      {"pin", "POLICY", "none|compact|scatter worker->core pinning"},
+      {"batch", "N", "cross-shard events per channel flush (default 8)"},
+      {"channel-capacity", "N", "partitioned: per-channel slots (default "
+                                "1024)"},
+      {"no-arenas", "", "disable per-worker event slab arenas"},
+      {"input-batch", "N", "hj/timewarp: initial events per activation; "
+                           "0 = all"},
+  };
+  return table;
+}
+
+std::string run_config_flag_help() { return run_config_flags().usage(); }
+
+}  // namespace hjdes::des

@@ -1,0 +1,94 @@
+#pragma once
+// RunConfig — the one validated knob object every engine, tool and bench
+// consumes (successor to the old EngineOptions). An engine advertises which
+// knobs it honors through EngineCaps in its registry entry; the validator
+// turns unknown/ignored knobs into warnings and invalid combinations into
+// hard errors with a message naming the offending flag, so a user can never
+// silently run a configuration the engine does not implement.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "part/partitioner.hpp"
+#include "support/cli.hpp"
+#include "support/topology.hpp"
+
+namespace hjdes::des {
+
+/// Driver-level knobs shared by every engine. Engines map what their caps
+/// advertise onto their private configs; everything else is validated away.
+struct RunConfig {
+  /// Worker threads for the parallel engines.
+  int workers = 4;
+
+  /// Partitioned engine: shard count; 0 = one shard per worker.
+  std::int32_t parts = 0;
+
+  /// Partitioned engine: partitioner choice.
+  part::PartitionerKind partitioner = part::PartitionerKind::kMultilevel;
+
+  /// Partitioned engine: externally computed assignment override.
+  const part::Partition* partition = nullptr;
+
+  /// Worker -> core placement (support/topology.hpp). kNone = OS scheduler.
+  support::PinPolicy pin = support::PinPolicy::kNone;
+
+  /// Cross-shard channel batching: buffered events per destination before a
+  /// flush (1 = the old per-event sends). Watermark traffic always flushes.
+  std::size_t batch = 8;
+
+  /// Partitioned engine: per-channel message capacity.
+  std::size_t channel_capacity = 1024;
+
+  /// Per-worker slab arenas for event-queue storage (support/event_arena).
+  bool arenas = true;
+
+  /// hj / timewarp: initial events an input forwards per activation; 0 = all.
+  std::size_t input_batch = 0;
+};
+
+/// Which RunConfig knobs an engine actually honors. A knob set to a
+/// non-default value while its flag is false draws a validation warning.
+struct EngineCaps {
+  bool honors_workers = false;
+  bool honors_parts = false;
+  bool honors_partitioner = false;
+  bool honors_pinning = false;
+  bool honors_batching = false;
+  bool honors_arenas = false;
+  bool honors_input_batch = false;
+};
+
+/// Validation outcome: errors abort the run, warnings are printed and the
+/// run proceeds with the ignored knobs inert.
+struct RunValidation {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Check `config` against what the engine `caps` can honor. `engine_name`
+/// is used verbatim in the messages.
+RunValidation validate_run_config(const RunConfig& config,
+                                  const EngineCaps& caps,
+                                  std::string_view engine_name);
+
+/// Map the shared CLI flags (--workers/--parts/--partitioner/--pin/--batch/
+/// --channel-capacity/--no-arenas/--input-batch) onto a RunConfig. Malformed
+/// values (unknown partitioner or pin policy) land in `out->errors`; the
+/// caps-based warnings come from validate_run_config, which this calls.
+RunConfig run_config_from_cli(const Cli& cli, const EngineCaps& caps,
+                              std::string_view engine_name,
+                              RunValidation* out);
+
+/// The shared flags as a declarative table (for a tool's FlagTable).
+const FlagTable& run_config_flags();
+
+/// Usage fragment documenting the shared flags (one line per flag).
+std::string run_config_flag_help();
+
+}  // namespace hjdes::des

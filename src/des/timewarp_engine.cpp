@@ -120,8 +120,13 @@ class TwEngine {
     live_.store(initial_total, std::memory_order_seq_cst);
     for (NodeId id : netlist_.inputs()) workset_.push_global(id);
 
-    auto worker = [this](int index) {
-      (void)index;
+    const std::vector<int> pin_plan =
+        support::pinning_plan(support::machine_topology(), cfg_.workers,
+                              cfg_.pin);
+    auto worker = [this, &pin_plan](int index) {
+      if (!pin_plan.empty() && index > 0) {
+        support::pin_current_thread(pin_plan[static_cast<std::size_t>(index)]);
+      }
       typename ChunkedWorkset<NodeId>::ThreadSlot slot(workset_);
       TwLocalStats stats;
       for (;;) {
@@ -143,7 +148,12 @@ class TwEngine {
 
     std::vector<std::thread> threads;
     for (int i = 1; i < cfg_.workers; ++i) threads.emplace_back(worker, i);
-    worker(0);
+    {
+      // Worker 0 is the caller: pin only for the run, restore after.
+      support::ScopedAffinity pin_guard;
+      if (!pin_plan.empty()) pin_guard.pin(pin_plan[0]);
+      worker(0);
+    }
     for (auto& t : threads) t.join();
 
     // Quiescence checks: nothing pending, every committed log is sorted.

@@ -25,12 +25,17 @@
 
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
+#include "support/topology.hpp"
 
 namespace hjdes::des {
 
 /// Configuration of the Time Warp engine.
 struct TimeWarpConfig {
   int workers = 1;
+
+  /// Worker -> core placement (support/topology.hpp). kNone = OS scheduler.
+  /// Worker 0 runs on the calling thread and is pinned only for the run.
+  support::PinPolicy pin = support::PinPolicy::kNone;
 
   /// Initial events an input node sends per activation; 0 = all at once.
   /// Small batches interleave injection with gate processing, creating

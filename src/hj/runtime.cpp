@@ -154,7 +154,9 @@ Task* find_task(Runtime* rt, Worker* w,
 }  // namespace
 
 Runtime::Runtime(RuntimeConfig config)
-    : spin_before_park_(config.spin_before_park) {
+    : pin_plan_(support::pinning_plan(support::machine_topology(),
+                                      config.workers, config.pin)),
+      spin_before_park_(config.spin_before_park) {
   HJDES_CHECK(config.workers >= 1, "Runtime requires at least one worker");
   workers_.reserve(static_cast<std::size_t>(config.workers));
   for (int i = 0; i < config.workers; ++i) {
@@ -225,6 +227,10 @@ void Runtime::run(Thunk root) {
   Worker* self = workers_[0].get();
   tls_worker = self;
   tls_runtime = this;
+  // The caller is worker 0: pin it only for the duration of this run and
+  // restore its original affinity afterwards (ScopedAffinity dtor).
+  support::ScopedAffinity pin_guard;
+  if (!pin_plan_.empty()) pin_guard.pin(pin_plan_[0]);
   finish(std::move(root));
   publish_metrics();
   tls_worker = nullptr;
@@ -236,6 +242,9 @@ void Runtime::worker_main(int index) {
   Worker* self = workers_[static_cast<std::size_t>(index)].get();
   tls_worker = self;
   tls_runtime = this;
+  if (!pin_plan_.empty()) {
+    support::pin_current_thread(pin_plan_[static_cast<std::size_t>(index)]);
+  }
   while (!shutdown_.load(std::memory_order_acquire)) {
     Task* t = find_task(this, self, workers_);
     if (t != nullptr) {

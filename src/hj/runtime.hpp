@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "support/platform.hpp"
+#include "support/topology.hpp"
 #include "support/unique_function.hpp"
 
 namespace hjdes::hj {
@@ -46,6 +47,9 @@ struct RuntimeConfig {
   int workers = 1;
   /// Spin iterations before an idle worker parks on the wake condvar.
   int spin_before_park = 256;
+  /// Worker -> core placement (support/topology.hpp). kNone = OS scheduler.
+  /// Worker 0 (the run() caller) is pinned only for the duration of run().
+  support::PinPolicy pin = support::PinPolicy::kNone;
 };
 
 /// A fixed pool of workers executing dynamically created tasks.
@@ -90,6 +94,9 @@ class Runtime {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  /// Worker index -> core id from the config's PinPolicy; empty = no pinning.
+  const std::vector<int> pin_plan_;
 
   /// Totals already mirrored into the metrics registry (only touched from
   /// the thread driving run(), after the workers have quiesced).

@@ -55,4 +55,51 @@ double Cli::get_double(const std::string& name, double fallback) const {
   return v;
 }
 
+std::vector<std::string> Cli::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+void FlagTable::add_all(const FlagTable& other) {
+  for (const FlagSpec& s : other.specs_) specs_.push_back(s);
+}
+
+bool FlagTable::known(const std::string& name) const {
+  for (const FlagSpec& s : specs_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> FlagTable::unknown_flags(const Cli& cli) const {
+  std::vector<std::string> unknown;
+  for (const std::string& name : cli.flag_names()) {
+    if (!known(name)) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+std::string FlagTable::usage() const {
+  // Column-align the help text after the longest "--name VALUE" stem.
+  std::size_t widest = 0;
+  std::vector<std::string> stems;
+  stems.reserve(specs_.size());
+  for (const FlagSpec& s : specs_) {
+    std::string stem = "--" + s.name;
+    if (!s.value_hint.empty()) stem += " " + s.value_hint;
+    widest = widest < stem.size() ? stem.size() : widest;
+    stems.push_back(std::move(stem));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out += "  " + stems[i];
+    out.append(widest - stems[i].size() + 2, ' ');
+    out += specs_[i].help;
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace hjdes

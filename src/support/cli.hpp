@@ -4,6 +4,7 @@
 // sets a boolean.
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,6 +32,9 @@ class Cli {
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of every flag present on the command line, sorted.
+  std::vector<std::string> flag_names() const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 
@@ -38,6 +42,38 @@ class Cli {
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+};
+
+/// One declared flag of a tool. `value_hint` empty means a boolean switch.
+struct FlagSpec {
+  std::string name;        ///< without the leading "--"
+  std::string value_hint;  ///< e.g. "N", "FILE"; "" = boolean
+  std::string help;        ///< one-line description
+};
+
+/// Declarative flag registry: the single list a tool's parsing, usage text
+/// and unknown-flag detection all derive from, so they cannot drift apart.
+class FlagTable {
+ public:
+  FlagTable() = default;
+  FlagTable(std::initializer_list<FlagSpec> specs) : specs_(specs) {}
+
+  /// Append more specs (e.g. a shared block after tool-specific ones).
+  void add(FlagSpec spec) { specs_.push_back(std::move(spec)); }
+  void add_all(const FlagTable& other);
+
+  bool known(const std::string& name) const;
+
+  /// Flags present on the command line but not declared here.
+  std::vector<std::string> unknown_flags(const Cli& cli) const;
+
+  /// Rendered "  --name VALUE  help" lines for usage output.
+  std::string usage() const;
+
+  const std::vector<FlagSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<FlagSpec> specs_;
 };
 
 }  // namespace hjdes

@@ -1,0 +1,247 @@
+#pragma once
+// Per-worker slab arena for hot-path event storage. The DES engines grow and
+// shrink per-node event queues (RingDeque<Event> / RingDeque<PortEvent>)
+// millions of times per run; routing those buffers through a worker-owned
+// arena keeps delivery off the global allocator (no malloc lock, no cross-
+// socket metadata) and gives each worker NUMA-local slabs when combined with
+// pinning (support/topology.hpp).
+//
+// Design (mimalloc-style in miniature):
+//   * Every buffer is [BlockHeader | payload]; the header records the owning
+//     arena (nullptr = global operator new) and the power-of-two size class,
+//     so EventArena::deallocate(p) is callable from ANY thread with no TLS.
+//   * allocate() may only be called by the arena's owner thread: it pops the
+//     class freelist, refills it from the lock-free remote-free stack, and
+//     otherwise bump-allocates from the current slab. No atomics on the fast
+//     path.
+//   * deallocate() pushes onto the owner's remote-free stack (one CAS). The
+//     stack is multi-producer / single-consumer-pop-all, so there is no ABA.
+//   * Buffers larger than half a slab fall through to operator new with a
+//     null owner; their deallocation is a plain operator delete.
+//
+// Engines opt in per thread with ArenaScope: while a scope is installed,
+// RingDeque::rebuffer (support/ring_deque.hpp) draws its storage from the
+// scoped arena. Everything else is untouched — code that never installs a
+// scope keeps exact global-allocator behaviour.
+//
+// Lifetime contract: destroy an arena only after every buffer allocated from
+// it has been deallocated and every thread that may deallocate into it has
+// been joined. The engines satisfy this by declaring their arenas before the
+// node vectors that hold the buffers (members destruct in reverse order) and
+// joining workers before either.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+class EventArena {
+ public:
+  /// Alignment of every payload this allocator hands out.
+  static constexpr std::size_t kAlign = 16;
+
+  /// Smallest payload size class.
+  static constexpr std::size_t kMinClassBytes = 64;
+
+  explicit EventArena(std::size_t slab_bytes = 256 * 1024)
+      : slab_bytes_(slab_bytes < 4096 ? 4096 : slab_bytes) {}
+
+  ~EventArena() {
+    drain_remote();
+    Slab* s = slabs_;
+    while (s != nullptr) {
+      Slab* next = s->next;
+      ::operator delete(s, std::align_val_t{kAlign});
+      s = next;
+    }
+  }
+
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  /// Allocate `bytes` of kAlign-aligned storage. Owner thread only.
+  void* allocate(std::size_t bytes) {
+    if (bytes == 0) bytes = 1;
+    const int cls = size_class(bytes);
+    if (cls < 0) return allocate_global(bytes);  // oversize
+    if (free_[cls] == nullptr) drain_remote();
+    if (FreeNode* node = free_[cls]) {
+      free_[cls] = node->next;
+      return node;
+    }
+    return carve(cls);
+  }
+
+  /// Return a buffer obtained from allocate() (any arena's, or the global
+  /// fallback). Callable from any thread; nullptr-safe.
+  static void deallocate(void* payload) {
+    if (payload == nullptr) return;
+    BlockHeader* h = header_of(payload);
+    EventArena* owner = h->owner;
+    if (owner == nullptr) {
+      ::operator delete(h, std::align_val_t{kAlign});
+      return;
+    }
+    owner->push_remote(static_cast<FreeNode*>(payload), h->size_class);
+  }
+
+  /// Allocate through the thread's current ArenaScope, or globally when no
+  /// scope is installed. The result is always deallocate()-compatible.
+  static void* allocate_scoped(std::size_t bytes);
+
+  /// Payload bytes a request of `bytes` actually occupies (diagnostics).
+  static std::size_t usable_size(std::size_t bytes) {
+    std::size_t cap = kMinClassBytes;
+    while (cap < bytes) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t slab_count() const { return slab_count_; }
+  std::size_t bytes_reserved() const { return slab_count_ * slab_bytes_; }
+
+ private:
+  struct BlockHeader {
+    EventArena* owner;
+    std::uint32_t size_class;
+    std::uint32_t magic;
+  };
+  static_assert(sizeof(BlockHeader) == kAlign, "payload alignment relies on "
+                                               "a 16-byte header");
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  struct Slab {
+    Slab* next;
+  };
+
+  static constexpr std::uint32_t kMagic = 0x48414aB1u;
+  static constexpr int kNumClasses = 26;  // 64 B .. 2 GiB payloads
+
+  static BlockHeader* header_of(void* payload) {
+    auto* h = reinterpret_cast<BlockHeader*>(
+        static_cast<std::byte*>(payload) - sizeof(BlockHeader));
+    HJDES_DCHECK(h->magic == kMagic, "EventArena::deallocate on a pointer "
+                                     "not from an arena allocator");
+    return h;
+  }
+
+  /// Class index for `bytes`, or -1 when the block would not fit a slab.
+  int size_class(std::size_t bytes) const {
+    std::size_t cap = kMinClassBytes;
+    int cls = 0;
+    while (cap < bytes) {
+      cap <<= 1;
+      ++cls;
+    }
+    if (cls >= kNumClasses || cap + sizeof(BlockHeader) > slab_bytes_ / 2) {
+      return -1;
+    }
+    return cls;
+  }
+
+  static std::size_t class_bytes(int cls) {
+    return kMinClassBytes << static_cast<std::size_t>(cls);
+  }
+
+  void* allocate_global(std::size_t bytes) {
+    auto* h = static_cast<BlockHeader*>(::operator new(
+        sizeof(BlockHeader) + bytes, std::align_val_t{kAlign}));
+    h->owner = nullptr;
+    h->size_class = 0;
+    h->magic = kMagic;
+    return h + 1;
+  }
+
+  /// Bump-allocate one block of class `cls`, starting a new slab on demand.
+  void* carve(int cls) {
+    const std::size_t need = sizeof(BlockHeader) + class_bytes(cls);
+    if (bump_ == nullptr || bump_end_ - bump_ < static_cast<std::ptrdiff_t>(
+                                                    need)) {
+      auto* slab = static_cast<Slab*>(
+          ::operator new(slab_bytes_, std::align_val_t{kAlign}));
+      slab->next = slabs_;
+      slabs_ = slab;
+      ++slab_count_;
+      bump_ = reinterpret_cast<std::byte*>(slab) + kAlign;  // skip Slab link
+      bump_end_ = reinterpret_cast<std::byte*>(slab) + slab_bytes_;
+    }
+    auto* h = reinterpret_cast<BlockHeader*>(bump_);
+    bump_ += need;
+    h->owner = this;
+    h->size_class = static_cast<std::uint32_t>(cls);
+    h->magic = kMagic;
+    return h + 1;
+  }
+
+  void push_remote(FreeNode* node, std::uint32_t cls) {
+    (void)cls;  // class is re-read from the header on drain
+    FreeNode* head = remote_head_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!remote_head_.compare_exchange_weak(head, node,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed));
+  }
+
+  /// Owner thread: move every remotely freed block onto its class freelist.
+  void drain_remote() {
+    FreeNode* node = remote_head_.exchange(nullptr,
+                                           std::memory_order_acquire);
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      const std::uint32_t cls = header_of(node)->size_class;
+      node->next = free_[cls];
+      free_[cls] = node;
+      node = next;
+    }
+  }
+
+  const std::size_t slab_bytes_;
+  Slab* slabs_ = nullptr;
+  std::size_t slab_count_ = 0;
+  std::byte* bump_ = nullptr;
+  std::byte* bump_end_ = nullptr;
+  FreeNode* free_[kNumClasses] = {};
+
+  HJDES_CACHE_ALIGNED std::atomic<FreeNode*> remote_head_{nullptr};
+};
+
+/// Thread-local arena used by allocate_scoped (and through it, RingDeque).
+inline thread_local EventArena* tls_current_arena = nullptr;
+
+/// The arena installed on the calling thread, or nullptr.
+inline EventArena* current_arena() { return tls_current_arena; }
+
+/// RAII installer: while alive, allocate_scoped on this thread draws from
+/// `arena` (nullptr = force the global path). Nests; restores on exit.
+class ArenaScope {
+ public:
+  explicit ArenaScope(EventArena* arena) : prev_(tls_current_arena) {
+    tls_current_arena = arena;
+  }
+  ~ArenaScope() { tls_current_arena = prev_; }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  EventArena* prev_;
+};
+
+inline void* EventArena::allocate_scoped(std::size_t bytes) {
+  if (EventArena* arena = tls_current_arena) return arena->allocate(bytes);
+  auto* h = static_cast<BlockHeader*>(::operator new(
+      sizeof(BlockHeader) + bytes, std::align_val_t{kAlign}));
+  h->owner = nullptr;
+  h->size_class = 0;
+  h->magic = kMagic;
+  return h + 1;
+}
+
+}  // namespace hjdes

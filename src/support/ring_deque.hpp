@@ -6,10 +6,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <type_traits>
 #include <utility>
 
+#include "support/event_arena.hpp"
 #include "support/platform.hpp"
 
 namespace hjdes {
@@ -17,6 +17,12 @@ namespace hjdes {
 /// FIFO/deque over a power-of-two circular buffer. Amortized O(1) push/pop at
 /// both ends, contiguous memory, no per-element allocation (unlike std::deque
 /// on libstdc++ which allocates 512-byte blocks).
+///
+/// Storage is drawn through EventArena::allocate_scoped: on threads that
+/// install an ArenaScope (the engine worker loops) buffers come from that
+/// worker's slab arena, everywhere else from the global allocator. Buffers
+/// are self-describing, so a deque may be destroyed — or regrown — on a
+/// different thread than the one that allocated its storage.
 template <typename T>
 class RingDeque {
   static_assert(std::is_nothrow_move_constructible_v<T>,
@@ -30,10 +36,11 @@ class RingDeque {
   }
 
   RingDeque(RingDeque&& other) noexcept
-      : buf_(std::move(other.buf_)),
+      : buf_(other.buf_),
         mask_(other.mask_),
         head_(other.head_),
         size_(other.size_) {
+    other.buf_ = nullptr;
     other.mask_ = 0;
     other.head_ = 0;
     other.size_ = 0;
@@ -42,10 +49,12 @@ class RingDeque {
   RingDeque& operator=(RingDeque&& other) noexcept {
     if (this != &other) {
       clear();
-      buf_ = std::move(other.buf_);
+      EventArena::deallocate(buf_);
+      buf_ = other.buf_;
       mask_ = other.mask_;
       head_ = other.head_;
       size_ = other.size_;
+      other.buf_ = nullptr;
       other.mask_ = 0;
       other.head_ = 0;
       other.size_ = 0;
@@ -56,7 +65,10 @@ class RingDeque {
   RingDeque(const RingDeque&) = delete;
   RingDeque& operator=(const RingDeque&) = delete;
 
-  ~RingDeque() { clear(); }
+  ~RingDeque() {
+    clear();
+    EventArena::deallocate(buf_);
+  }
 
   bool empty() const noexcept { return size_ == 0; }
   std::size_t size() const noexcept { return size_; }
@@ -146,28 +158,30 @@ class RingDeque {
   T& slot(std::size_t logical) noexcept { return slot_raw(logical); }
   const T& slot(std::size_t logical) const noexcept {
     return *std::launder(reinterpret_cast<const T*>(
-        buf_.get() + ((logical & mask_) * sizeof(T))));
+        buf_ + ((logical & mask_) * sizeof(T))));
   }
   T& slot_raw(std::size_t logical) noexcept {
     return *std::launder(
-        reinterpret_cast<T*>(buf_.get() + ((logical & mask_) * sizeof(T))));
+        reinterpret_cast<T*>(buf_ + ((logical & mask_) * sizeof(T))));
   }
 
   void grow() { rebuffer(buf_ ? capacity() * 2 : 8); }
 
   void rebuffer(std::size_t new_cap) {
-    auto fresh = std::make_unique<std::byte[]>(new_cap * sizeof(T));
+    auto* fresh = static_cast<std::byte*>(
+        EventArena::allocate_scoped(new_cap * sizeof(T)));
     for (std::size_t i = 0; i < size_; ++i) {
       T& src = slot(head_ + i);
-      ::new (fresh.get() + i * sizeof(T)) T(std::move(src));
+      ::new (fresh + i * sizeof(T)) T(std::move(src));
       src.~T();
     }
-    buf_ = std::move(fresh);
+    EventArena::deallocate(buf_);
+    buf_ = fresh;
     mask_ = new_cap - 1;
     head_ = 0;
   }
 
-  std::unique_ptr<std::byte[]> buf_;
+  std::byte* buf_ = nullptr;
   std::size_t mask_ = 0;  // capacity - 1 when buf_ != nullptr
   std::size_t head_ = 0;
   std::size_t size_ = 0;

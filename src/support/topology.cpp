@@ -1,0 +1,206 @@
+#include "support/topology.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace hjdes::support {
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into cpu ids. Returns empty on any
+/// malformed input — callers fall back to the no-NUMA topology.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::istringstream in(text);
+  std::string range;
+  while (std::getline(in, range, ',')) {
+    while (!range.empty() && (range.back() == '\n' || range.back() == ' ')) {
+      range.pop_back();
+    }
+    if (range.empty()) continue;
+    const auto dash = range.find('-');
+    char* end = nullptr;
+    const long lo = std::strtol(range.c_str(), &end, 10);
+    if (end == range.c_str()) return {};
+    long hi = lo;
+    if (dash != std::string::npos) {
+      hi = std::strtol(range.c_str() + dash + 1, &end, 10);
+      if (end == range.c_str() + dash + 1) return {};
+    }
+    if (lo < 0 || hi < lo) return {};
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+/// NUMA node of every cpu, read from /sys/devices/system/node/node*/cpulist.
+/// Empty map (all cpus on node 0) when sysfs is absent.
+std::vector<std::pair<int, int>> read_numa_nodes() {
+  std::vector<std::pair<int, int>> node_of;  // (cpu, node)
+  for (int node = 0; node < 1024; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in.good()) {
+      if (node == 0) continue;  // machines can lack node0 but have node1
+      break;
+    }
+    std::string text;
+    std::getline(in, text);
+    for (int cpu : parse_cpulist(text)) node_of.emplace_back(cpu, node);
+  }
+  return node_of;
+}
+
+}  // namespace
+
+MachineTopology detect_topology() {
+  MachineTopology topo;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &mask)) topo.cpus.push_back(cpu);
+    }
+    topo.pinning_supported = !topo.cpus.empty();
+  }
+#endif
+  if (topo.cpus.empty()) {
+    // Portable fallback: anonymous cpus, no pinning.
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned i = 0; i < n; ++i) topo.cpus.push_back(static_cast<int>(i));
+    topo.pinning_supported = false;
+  }
+
+  topo.node_of_cpu.assign(topo.cpus.size(), 0);
+  const auto numa = read_numa_nodes();
+  int max_node = 0;
+  for (std::size_t i = 0; i < topo.cpus.size(); ++i) {
+    for (const auto& [cpu, node] : numa) {
+      if (cpu == topo.cpus[i]) {
+        topo.node_of_cpu[i] = node;
+        max_node = std::max(max_node, node);
+        break;
+      }
+    }
+  }
+  topo.numa_nodes = max_node + 1;
+  return topo;
+}
+
+const MachineTopology& machine_topology() {
+  static const MachineTopology topo = detect_topology();
+  return topo;
+}
+
+std::string_view pin_policy_name(PinPolicy policy) {
+  switch (policy) {
+    case PinPolicy::kNone:
+      return "none";
+    case PinPolicy::kCompact:
+      return "compact";
+    case PinPolicy::kScatter:
+      return "scatter";
+  }
+  return "none";
+}
+
+bool parse_pin_policy(std::string_view text, PinPolicy* out) {
+  if (text == "none") {
+    *out = PinPolicy::kNone;
+  } else if (text == "compact") {
+    *out = PinPolicy::kCompact;
+  } else if (text == "scatter") {
+    *out = PinPolicy::kScatter;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<int> pinning_plan(const MachineTopology& topo, int workers,
+                              PinPolicy policy) {
+  if (policy == PinPolicy::kNone || !topo.pinning_supported || workers < 1 ||
+      topo.cpus.empty()) {
+    return {};
+  }
+  // Order the cpus per policy, then assign workers round-robin over that
+  // order so oversubscription (workers > cpus) stays balanced.
+  std::vector<std::size_t> order(topo.cpus.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (topo.node_of_cpu[a] != topo.node_of_cpu[b]) {
+                       return topo.node_of_cpu[a] < topo.node_of_cpu[b];
+                     }
+                     return topo.cpus[a] < topo.cpus[b];
+                   });
+  if (policy == PinPolicy::kScatter && topo.numa_nodes > 1) {
+    // Interleave the node-major order: one cpu from each node in turn.
+    std::vector<std::size_t> interleaved;
+    interleaved.reserve(order.size());
+    std::vector<std::vector<std::size_t>> by_node(
+        static_cast<std::size_t>(topo.numa_nodes));
+    for (std::size_t idx : order) {
+      by_node[static_cast<std::size_t>(topo.node_of_cpu[idx])].push_back(idx);
+    }
+    for (std::size_t round = 0; interleaved.size() < order.size(); ++round) {
+      for (const auto& node_cpus : by_node) {
+        if (round < node_cpus.size()) interleaved.push_back(node_cpus[round]);
+      }
+    }
+    order = std::move(interleaved);
+  }
+  std::vector<int> plan(static_cast<std::size_t>(workers));
+  for (std::size_t w = 0; w < plan.size(); ++w) {
+    plan[w] = topo.cpus[order[w % order.size()]];
+  }
+  return plan;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+ScopedAffinity::ScopedAffinity() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    saved_mask_.resize(sizeof(mask));
+    std::memcpy(saved_mask_.data(), &mask, sizeof(mask));
+  }
+#endif
+}
+
+ScopedAffinity::~ScopedAffinity() {
+#if defined(__linux__)
+  if (!saved_mask_.empty()) {
+    cpu_set_t mask;
+    std::memcpy(&mask, saved_mask_.data(), sizeof(mask));
+    sched_setaffinity(0, sizeof(mask), &mask);
+  }
+#endif
+}
+
+bool ScopedAffinity::pin(int cpu) {
+  if (saved_mask_.empty()) return false;
+  return pin_current_thread(cpu);
+}
+
+}  // namespace hjdes::support

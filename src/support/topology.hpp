@@ -1,0 +1,84 @@
+#pragma once
+// Machine-topology layer: core enumeration, worker -> core pinning plans and
+// optional NUMA-node detection, with a portable fallback for platforms where
+// none of it is available. PARSIR-style conservative PDES (arXiv:2410.00644)
+// gains most of its multi-socket headroom from binding one worker per core
+// with node-local memory; this header is the single place the runtime, the
+// partitioned engine and the Time Warp engine get that information from.
+//
+// Detection is best-effort and never fails: when sysfs or the affinity
+// syscalls are unavailable the topology degrades to "N anonymous cpus on one
+// NUMA node, pinning unsupported" and every pin request becomes a no-op that
+// reports false. Engines therefore never need platform #ifdefs of their own.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hjdes::support {
+
+/// What detect_topology() learned about the machine. `cpus` holds the cpu
+/// ids this process may run on (the affinity mask at detection time), and
+/// `node_of_cpu[i]` the NUMA node of `cpus[i]` (all zero without NUMA).
+struct MachineTopology {
+  std::vector<int> cpus;
+  std::vector<int> node_of_cpu;
+  int numa_nodes = 1;
+  bool pinning_supported = false;
+
+  int cpu_count() const { return static_cast<int>(cpus.size()); }
+};
+
+/// Probe the machine. Exposed (rather than only the cached accessor) so
+/// tests can exercise the parser on synthetic inputs indirectly.
+MachineTopology detect_topology();
+
+/// The process-wide topology, detected once on first use.
+const MachineTopology& machine_topology();
+
+/// Worker -> core placement policy.
+///   kNone     — leave every thread to the OS scheduler (the status quo).
+///   kCompact  — fill cores NUMA-node by NUMA-node: neighbouring workers
+///               share caches and a memory controller (best for the
+///               channel-heavy partitioned engine).
+///   kScatter  — round-robin across NUMA nodes: maximizes aggregate memory
+///               bandwidth for workers with private footprints.
+enum class PinPolicy : std::uint8_t { kNone, kCompact, kScatter };
+
+std::string_view pin_policy_name(PinPolicy policy);
+
+/// Parse "none|compact|scatter" into `out`; false on unknown names.
+bool parse_pin_policy(std::string_view text, PinPolicy* out);
+
+/// The cpu each of `workers` workers should bind to under `policy`, wrapping
+/// modulo the cpu count when oversubscribed. Empty when the policy is kNone
+/// or the machine does not support pinning — callers treat empty as "do not
+/// pin".
+std::vector<int> pinning_plan(const MachineTopology& topo, int workers,
+                              PinPolicy policy);
+
+/// Bind the calling thread to `cpu`. Returns false when unsupported or the
+/// cpu id is not usable; the thread keeps its previous affinity in that case.
+bool pin_current_thread(int cpu);
+
+/// Pin-with-restore guard for threads the engine does not own (the caller's
+/// thread that becomes worker 0): destructor restores the affinity mask the
+/// thread had at construction.
+class ScopedAffinity {
+ public:
+  ScopedAffinity();
+  ~ScopedAffinity();
+
+  ScopedAffinity(const ScopedAffinity&) = delete;
+  ScopedAffinity& operator=(const ScopedAffinity&) = delete;
+
+  /// Pin the calling thread to `cpu`; false when unsupported.
+  bool pin(int cpu);
+
+ private:
+  // Opaque saved mask (cpu_set_t on Linux); empty when saving failed.
+  std::vector<std::uint8_t> saved_mask_;
+};
+
+}  // namespace hjdes::support

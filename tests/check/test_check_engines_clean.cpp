@@ -42,9 +42,9 @@ TEST_P(CheckEnginesClean, ZeroViolationsAndBitIdentical) {
 
   const EngineInfo* engine = find_engine(c.engine);
   ASSERT_NE(engine, nullptr);
-  EngineOptions opts;
-  opts.workers = 4;
-  SimResult result = engine->run(input, opts);
+  RunConfig config;
+  config.workers = 4;
+  SimResult result = engine->run(input, config);
 
   check::lockorder::verify_no_cycles();
   EXPECT_EQ(check::violation_count(), 0u) << [] {

@@ -1,0 +1,188 @@
+// des/run_config: the validated knob object behind every engine. Errors must
+// catch combinations no engine can run, warnings must name exactly the knobs
+// the selected engine's caps ignore, and the CLI mapping must round-trip the
+// shared flags. Also pins down the registry's capability claims so an engine
+// gaining a knob has to update its caps (and this test) deliberately.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/engines.hpp"
+#include "support/cli.hpp"
+
+namespace hjdes::des {
+namespace {
+
+EngineCaps all_caps() {
+  return EngineCaps{.honors_workers = true,
+                    .honors_parts = true,
+                    .honors_partitioner = true,
+                    .honors_pinning = true,
+                    .honors_batching = true,
+                    .honors_arenas = true,
+                    .honors_input_batch = true};
+}
+
+bool mentions(const std::vector<std::string>& messages,
+              const std::string& needle) {
+  for (const std::string& m : messages) {
+    if (m.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(RunConfig, DefaultsValidateCleanlyForEveryEngine) {
+  const RunConfig config;
+  for (const EngineInfo& e : engines()) {
+    const RunValidation v = validate_run_config(config, e.caps, e.name);
+    EXPECT_TRUE(v.ok());
+    EXPECT_TRUE(v.warnings.empty())
+        << "defaults must never warn (engine " << e.name << ")";
+  }
+}
+
+TEST(RunConfig, InvalidCombosAreHardErrors) {
+  RunConfig config;
+  config.workers = 0;
+  config.batch = 0;
+  config.channel_capacity = 0;
+  config.parts = -3;
+  const RunValidation v = validate_run_config(config, all_caps(), "x");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--workers"));
+  EXPECT_TRUE(mentions(v.errors, "--batch"));
+  EXPECT_TRUE(mentions(v.errors, "--channel-capacity"));
+  EXPECT_TRUE(mentions(v.errors, "--parts"));
+}
+
+TEST(RunConfig, BatchLargerThanChannelCapacityIsAnError) {
+  RunConfig config;
+  config.batch = 2048;
+  config.channel_capacity = 1024;
+  const RunValidation v = validate_run_config(config, all_caps(), "x");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--batch"));
+}
+
+TEST(RunConfig, ContradictoryExternalPartitionIsAnError) {
+  part::Partition p;
+  p.parts = 4;
+  RunConfig config;
+  config.parts = 8;
+  config.partition = &p;
+  const RunValidation v = validate_run_config(config, all_caps(), "x");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "contradicts"));
+}
+
+TEST(RunConfig, IgnoredKnobsWarnAndNameTheEngine) {
+  RunConfig config;
+  config.workers = 8;
+  config.pin = support::PinPolicy::kCompact;
+  config.batch = 64;
+  const RunValidation v =
+      validate_run_config(config, EngineCaps{}, "seq");  // honors nothing
+  EXPECT_TRUE(v.ok()) << "ignored knobs must not abort the run";
+  EXPECT_TRUE(mentions(v.warnings, "--workers"));
+  EXPECT_TRUE(mentions(v.warnings, "--pin"));
+  EXPECT_TRUE(mentions(v.warnings, "--batch"));
+  EXPECT_TRUE(mentions(v.warnings, "'seq'"));
+}
+
+TEST(RunConfig, HonoredKnobsDoNotWarn) {
+  RunConfig config;
+  config.workers = 8;
+  config.pin = support::PinPolicy::kScatter;
+  const RunValidation v = validate_run_config(config, all_caps(), "x");
+  EXPECT_TRUE(v.ok());
+  EXPECT_TRUE(v.warnings.empty());
+}
+
+TEST(RunConfig, CliMappingRoundTripsEveryFlag) {
+  const char* argv[] = {"prog",
+                        "--workers=3",
+                        "--parts=5",
+                        "--partitioner=bfs",
+                        "--pin=scatter",
+                        "--batch=16",
+                        "--channel-capacity=64",
+                        "--no-arenas",
+                        "--input-batch=7"};
+  Cli cli(static_cast<int>(std::size(argv)), argv);
+  RunValidation v;
+  const RunConfig config = run_config_from_cli(cli, all_caps(), "x", &v);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(config.workers, 3);
+  EXPECT_EQ(config.parts, 5);
+  EXPECT_EQ(config.partitioner, part::PartitionerKind::kBfs);
+  EXPECT_EQ(config.pin, support::PinPolicy::kScatter);
+  EXPECT_EQ(config.batch, 16u);
+  EXPECT_EQ(config.channel_capacity, 64u);
+  EXPECT_FALSE(config.arenas);
+  EXPECT_EQ(config.input_batch, 7u);
+}
+
+TEST(RunConfig, CliMappingRejectsUnknownEnumValues) {
+  const char* argv[] = {"prog", "--partitioner=voronoi", "--pin=diagonal"};
+  Cli cli(static_cast<int>(std::size(argv)), argv);
+  RunValidation v;
+  (void)run_config_from_cli(cli, all_caps(), "x", &v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--partitioner"));
+  EXPECT_TRUE(mentions(v.errors, "--pin"));
+}
+
+TEST(RunConfig, FlagTableCoversEveryMappedFlag) {
+  const FlagTable& table = run_config_flags();
+  for (const char* name : {"workers", "parts", "partitioner", "pin", "batch",
+                           "channel-capacity", "no-arenas", "input-batch"}) {
+    EXPECT_TRUE(table.known(name)) << name;
+  }
+  EXPECT_FALSE(run_config_flag_help().empty());
+}
+
+// Registry capability claims: which engines honor which knobs is part of the
+// API surface — a silent change here silently changes tool warnings.
+TEST(RunConfig, RegistryCapsMatchTheEngines) {
+  const EngineInfo* seq = find_engine("seq");
+  ASSERT_NE(seq, nullptr);
+  EXPECT_FALSE(seq->caps.honors_workers);
+  EXPECT_FALSE(seq->caps.honors_pinning);
+
+  const EngineInfo* hj = find_engine("hj");
+  ASSERT_NE(hj, nullptr);
+  EXPECT_TRUE(hj->caps.honors_workers);
+  EXPECT_TRUE(hj->caps.honors_pinning);
+  EXPECT_TRUE(hj->caps.honors_arenas);
+  EXPECT_TRUE(hj->caps.honors_input_batch);
+  EXPECT_FALSE(hj->caps.honors_parts);
+
+  const EngineInfo* partitioned = find_engine("partitioned");
+  ASSERT_NE(partitioned, nullptr);
+  EXPECT_TRUE(partitioned->caps.honors_workers);
+  EXPECT_TRUE(partitioned->caps.honors_parts);
+  EXPECT_TRUE(partitioned->caps.honors_partitioner);
+  EXPECT_TRUE(partitioned->caps.honors_pinning);
+  EXPECT_TRUE(partitioned->caps.honors_batching);
+  EXPECT_TRUE(partitioned->caps.honors_arenas);
+
+  const EngineInfo* timewarp = find_engine("timewarp");
+  ASSERT_NE(timewarp, nullptr);
+  EXPECT_TRUE(timewarp->caps.honors_workers);
+  EXPECT_TRUE(timewarp->caps.honors_pinning);
+  EXPECT_TRUE(timewarp->caps.honors_input_batch);
+  EXPECT_FALSE(timewarp->caps.honors_batching);
+}
+
+TEST(RunConfig, UnknownFlagDetectionViaFlagTable) {
+  const char* argv[] = {"prog", "--workers=2", "--warp-speed=9"};
+  Cli cli(static_cast<int>(std::size(argv)), argv);
+  const std::vector<std::string> unknown =
+      run_config_flags().unknown_flags(cli);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown.front(), "warp-speed");
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -1,0 +1,203 @@
+// Topology knobs must never change simulation behaviour: every parallel
+// engine, run through the registry with pinning on or off, with arenas on or
+// off, and (for the partitioned engine) across the batch sweep {1, 8, 64},
+// must stay bit-identical to the sequential reference on the paper's three
+// evaluation circuits. This is the acceptance matrix for the topology-aware
+// runtime: placement and allocation are performance knobs, not semantics.
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+#include "support/topology.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::Netlist;
+
+struct PaperCase {
+  Netlist netlist;
+  std::unique_ptr<SimInput> input;
+  SimResult ref;
+};
+
+PaperCase& paper_case(const std::string& which) {
+  static std::map<std::string, PaperCase> cache;
+  // Build in place: SimInput points into the netlist, which must already
+  // live at its final (map-node) address.
+  PaperCase& pc = cache[which];
+  if (pc.input == nullptr) {
+    if (which == "ks64") {
+      pc.netlist = circuit::kogge_stone_adder(64);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 3, 60, 0xB0B));
+    } else if (which == "ks128") {
+      pc.netlist = circuit::kogge_stone_adder(128);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 2, 60, 0xCAFE));
+    } else if (which == "ks64_short") {
+      pc.netlist = circuit::kogge_stone_adder(64);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 1, 8, 0xB0B));
+    } else if (which == "ks128_short") {
+      pc.netlist = circuit::kogge_stone_adder(128);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 1, 5, 0xCAFE));
+    } else if (which == "mul6") {
+      pc.netlist = circuit::tree_multiplier(6);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 1, 100, 0xA11CE));
+    } else {  // the 12-bit tree multiplier
+      pc.netlist = circuit::tree_multiplier(12);
+      pc.input = std::make_unique<SimInput>(
+          pc.netlist, circuit::random_stimulus(pc.netlist, 1, 400, 0xA11CE));
+    }
+    pc.ref = run_sequential(*pc.input);
+  }
+  return pc;
+}
+
+// engine × circuit × pin policy. Batch gets its own sweep below.
+using PinParam = std::tuple<const char*, const char*, support::PinPolicy>;
+
+class PinnedEquivalence : public ::testing::TestWithParam<PinParam> {};
+
+TEST_P(PinnedEquivalence, BitIdenticalToSequential) {
+  auto [engine_name, which, pin] = GetParam();
+  const EngineInfo* info = find_engine(engine_name);
+  ASSERT_NE(info, nullptr);
+  const bool optimistic = std::string_view(engine_name) == "timewarp";
+  PaperCase& pc = paper_case(which);
+
+  RunConfig config;
+  config.workers = optimistic ? 2 : 4;
+  config.pin = pin;
+  const RunValidation v = validate_run_config(config, info->caps, info->name);
+  ASSERT_TRUE(v.ok());
+  SimResult got = info->run(*pc.input, config);
+  EXPECT_TRUE(same_behaviour(pc.ref, got)) << diff_behaviour(pc.ref, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologyMatrix, PinnedEquivalence,
+    ::testing::Combine(::testing::Values("hj", "partitioned"),
+                       ::testing::Values("mul12", "ks64", "ks128"),
+                       ::testing::Values(support::PinPolicy::kNone,
+                                         support::PinPolicy::kCompact,
+                                         support::PinPolicy::kScatter)),
+    [](const ::testing::TestParamInfo<PinParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param) + "_pin_" +
+             std::string(support::pin_policy_name(std::get<2>(info.param)));
+    });
+
+// The optimistic engine gets scaled-down instances of the same circuit
+// families. A single input vector into tree_multiplier(N) triggers an
+// exponential glitch cascade (28k events at N=6, 540k at N=8, tens of
+// millions at N=12), and timewarp's per-event cost — state saving,
+// antimessage bookkeeping, GVT — is ~two orders above the conservative
+// engines, so the mul12 cell alone would run for minutes even
+// single-threaded. The full-size instances stay covered by the conservative
+// rows above; this row proves pinning does not perturb optimistic execution.
+INSTANTIATE_TEST_SUITE_P(
+    TopologyMatrixTimewarp, PinnedEquivalence,
+    ::testing::Combine(::testing::Values("timewarp"),
+                       ::testing::Values("mul6", "ks64_short", "ks128_short"),
+                       ::testing::Values(support::PinPolicy::kNone,
+                                         support::PinPolicy::kCompact,
+                                         support::PinPolicy::kScatter)),
+    [](const ::testing::TestParamInfo<PinParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param) + "_pin_" +
+             std::string(support::pin_policy_name(std::get<2>(info.param)));
+    });
+
+// Batch sweep: the cross-shard staging buffers must preserve per-edge FIFO
+// (and therefore the watermark protocol) at every flush granularity,
+// including batch sizes far above what the circuits ever fill.
+using BatchParam = std::tuple<const char*, std::size_t>;
+
+class BatchedEquivalence : public ::testing::TestWithParam<BatchParam> {};
+
+TEST_P(BatchedEquivalence, BitIdenticalToSequential) {
+  auto [which, batch] = GetParam();
+  const EngineInfo* info = find_engine("partitioned");
+  ASSERT_NE(info, nullptr);
+  PaperCase& pc = paper_case(which);
+
+  RunConfig config;
+  config.workers = 4;
+  config.pin = support::PinPolicy::kCompact;
+  config.batch = batch;
+  const RunValidation v = validate_run_config(config, info->caps, info->name);
+  ASSERT_TRUE(v.ok());
+  SimResult got = info->run(*pc.input, config);
+  EXPECT_TRUE(same_behaviour(pc.ref, got)) << diff_behaviour(pc.ref, got);
+  // Batching may reorder deliveries in wall time but not drop or duplicate:
+  // structural NULL accounting must match the sequential run exactly.
+  EXPECT_EQ(pc.ref.null_messages, got.null_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSweep, BatchedEquivalence,
+    ::testing::Combine(::testing::Values("mul12", "ks64", "ks128"),
+                       ::testing::Values(std::size_t{1}, std::size_t{8},
+                                         std::size_t{64})),
+    [](const ::testing::TestParamInfo<BatchParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_batch" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(TopologyEquivalence, ArenasOffMatchesArenasOn) {
+  PaperCase& pc = paper_case("ks64");
+  for (const char* engine_name : {"hj", "partitioned"}) {
+    const EngineInfo* info = find_engine(engine_name);
+    ASSERT_NE(info, nullptr);
+    RunConfig config;
+    config.workers = 4;
+    config.arenas = false;
+    SimResult got = info->run(*pc.input, config);
+    EXPECT_TRUE(same_behaviour(pc.ref, got))
+        << engine_name << ": " << diff_behaviour(pc.ref, got);
+  }
+}
+
+TEST(TopologyEquivalence, TinyChannelsWithBatchingStillConverge) {
+  // batch == channel_capacity: every flush fills the channel completely, so
+  // the sender's full-channel drain path and the flush path interleave.
+  PaperCase& pc = paper_case("mul12");
+  const EngineInfo* info = find_engine("partitioned");
+  ASSERT_NE(info, nullptr);
+  RunConfig config;
+  config.workers = 4;
+  config.batch = 4;
+  config.channel_capacity = 4;
+  const RunValidation v = validate_run_config(config, info->caps, info->name);
+  ASSERT_TRUE(v.ok());
+  SimResult got = info->run(*pc.input, config);
+  EXPECT_TRUE(same_behaviour(pc.ref, got)) << diff_behaviour(pc.ref, got);
+}
+
+TEST(TopologyEquivalence, RepeatedPinnedRunsStayDeterministic) {
+  PaperCase& pc = paper_case("mul12");
+  const EngineInfo* info = find_engine("partitioned");
+  ASSERT_NE(info, nullptr);
+  for (int round = 0; round < 5; ++round) {
+    RunConfig config;
+    config.workers = 4;
+    config.pin = support::PinPolicy::kCompact;
+    config.batch = 8;
+    SimResult got = info->run(*pc.input, config);
+    ASSERT_TRUE(same_behaviour(pc.ref, got))
+        << "round " << round << ": " << diff_behaviour(pc.ref, got);
+  }
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -194,9 +194,9 @@ TEST(PartitionedEngine, RegistryEntryRunsIt) {
   Netlist nl = circuit::tree_multiplier(6);
   SimInput input(nl, circuit::random_stimulus(nl, 3, 40, 5));
   SimResult ref = run_sequential(input);
-  EngineOptions opts;
-  opts.workers = 2;  // parts defaults to workers
-  SimResult got = info->run(input, opts);
+  RunConfig config;
+  config.workers = 2;  // parts defaults to workers
+  SimResult got = info->run(input, config);
   EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
 }
 

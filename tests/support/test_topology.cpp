@@ -1,0 +1,134 @@
+// support/topology: machine detection, pin-policy parsing, plan construction
+// (including oversubscription wrap-around) and thread pinning round-trips.
+// The tests must pass on any machine, including single-CPU CI containers and
+// platforms without sched_setaffinity — they assert structural properties of
+// the plan, not a particular core layout.
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "support/topology.hpp"
+
+namespace hjdes::support {
+namespace {
+
+TEST(Topology, DetectionIsSane) {
+  const MachineTopology& topo = machine_topology();
+  EXPECT_GE(topo.cpu_count(), 1);
+  EXPECT_EQ(topo.cpus.size(), topo.node_of_cpu.size());
+  EXPECT_GE(topo.numa_nodes, 1);
+  for (int node : topo.node_of_cpu) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, topo.numa_nodes);
+  }
+}
+
+TEST(Topology, MachineTopologyIsCachedAndStable) {
+  const MachineTopology& a = machine_topology();
+  const MachineTopology& b = machine_topology();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Topology, PinPolicyParsingRoundTrips) {
+  for (PinPolicy p : {PinPolicy::kNone, PinPolicy::kCompact,
+                      PinPolicy::kScatter}) {
+    PinPolicy parsed = PinPolicy::kNone;
+    EXPECT_TRUE(parse_pin_policy(pin_policy_name(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  PinPolicy out = PinPolicy::kCompact;
+  EXPECT_FALSE(parse_pin_policy("hexagonal", &out));
+}
+
+TEST(Topology, NonePolicyProducesEmptyPlan) {
+  EXPECT_TRUE(pinning_plan(machine_topology(), 8, PinPolicy::kNone).empty());
+}
+
+TEST(Topology, PlanCoversEveryWorker) {
+  const MachineTopology& topo = machine_topology();
+  for (PinPolicy policy : {PinPolicy::kCompact, PinPolicy::kScatter}) {
+    for (int workers : {1, 2, 3, 7, 64}) {
+      const std::vector<int> plan = pinning_plan(topo, workers, policy);
+      if (!topo.pinning_supported) {
+        EXPECT_TRUE(plan.empty());
+        continue;
+      }
+      ASSERT_EQ(plan.size(), static_cast<std::size_t>(workers));
+      for (int cpu : plan) {
+        EXPECT_NE(std::find(topo.cpus.begin(), topo.cpus.end(), cpu),
+                  topo.cpus.end())
+            << "plan assigned a core outside the affinity mask";
+      }
+    }
+  }
+}
+
+TEST(Topology, OversubscriptionWrapsRoundRobin) {
+  const MachineTopology& topo = machine_topology();
+  if (!topo.pinning_supported) GTEST_SKIP() << "no affinity control here";
+  const int n = topo.cpu_count();
+  const std::vector<int> plan =
+      pinning_plan(topo, 2 * n, PinPolicy::kCompact);
+  ASSERT_EQ(plan.size(), static_cast<std::size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(plan[static_cast<std::size_t>(i)],
+              plan[static_cast<std::size_t>(i + n)])
+        << "worker n+i must wrap onto worker i's core";
+  }
+}
+
+TEST(Topology, CompactPlanFillsNodesInOrder) {
+  const MachineTopology& topo = machine_topology();
+  if (!topo.pinning_supported) GTEST_SKIP() << "no affinity control here";
+  const std::vector<int> plan =
+      pinning_plan(topo, topo.cpu_count(), PinPolicy::kCompact);
+  // Node ids along the plan must be non-decreasing: compact packs one node
+  // completely before spilling to the next.
+  int prev_node = -1;
+  for (int cpu : plan) {
+    const auto it = std::find(topo.cpus.begin(), topo.cpus.end(), cpu);
+    ASSERT_NE(it, topo.cpus.end());
+    const int node = topo.node_of_cpu[static_cast<std::size_t>(
+        it - topo.cpus.begin())];
+    EXPECT_GE(node, prev_node);
+    prev_node = node;
+  }
+}
+
+TEST(Topology, ScatterPlanUsesDistinctCoresUpToCapacity) {
+  const MachineTopology& topo = machine_topology();
+  if (!topo.pinning_supported) GTEST_SKIP() << "no affinity control here";
+  const int workers = std::min(topo.cpu_count(), 8);
+  const std::vector<int> plan =
+      pinning_plan(topo, workers, PinPolicy::kScatter);
+  std::set<int> distinct(plan.begin(), plan.end());
+  EXPECT_EQ(distinct.size(), plan.size())
+      << "scatter must not double-book a core while capacity remains";
+}
+
+TEST(Topology, ScopedAffinityRestoresOriginalMask) {
+  const MachineTopology& topo = machine_topology();
+  if (!topo.pinning_supported) GTEST_SKIP() << "no affinity control here";
+  std::thread worker([&] {
+    {
+      ScopedAffinity guard;
+      EXPECT_TRUE(guard.pin(topo.cpus.front()));
+      const MachineTopology pinned = detect_topology();
+      EXPECT_EQ(pinned.cpu_count(), 1);
+      EXPECT_EQ(pinned.cpus.front(), topo.cpus.front());
+    }
+    // Destructor restored the original mask: detection sees it again.
+    const MachineTopology restored = detect_topology();
+    EXPECT_EQ(restored.cpus, topo.cpus);
+  });
+  worker.join();
+}
+
+TEST(Topology, PinCurrentThreadRejectsBogusCore) {
+  EXPECT_FALSE(pin_current_thread(-1));
+}
+
+}  // namespace
+}  // namespace hjdes::support

@@ -10,20 +10,41 @@
 #include <cstdio>
 
 #include <cstddef>
-#include <fstream>
 
-#include "check/check.hpp"
 #include "netsim/netsim.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
+#include "tool_common.hpp"
 
 using namespace hjdes;
 using namespace hjdes::netsim;
 
+namespace {
+
+const FlagTable& netsim_flags() {
+  static const FlagTable table = [] {
+    FlagTable t{
+        {"topology", "KIND", "torus|ring|star|random (default torus)"},
+        {"size", "N", "topology scale (default 6)"},
+        {"packets", "N", "injected packets (default 10000)"},
+        {"horizon", "T", "injection horizon (default 10000)"},
+        {"seed", "S", "traffic seed (default 1)"},
+        {"engine", "NAME", "global|cmb (default cmb)"},
+        {"workers", "N", "cmb worker threads (default 4)"},
+        {"hotspot", "", "all-to-one traffic instead of uniform"},
+        {"verify", "", "cross-check against the global event list"},
+    };
+    t.add_all(tool::common_flags());
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  tool::warn_unknown_flags(cli, netsim_flags());
   const std::string kind = cli.get("topology", "torus");
   const int size = static_cast<int>(cli.get_int("size", 6));
   const auto packets = static_cast<std::size_t>(cli.get_int("packets", 10000));
@@ -59,7 +80,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (cli.has("trace")) obs::start_tracing();
+  tool::start_trace_if_requested(cli);
   Timer t;
   NetSimResult r;
   if (engine == "global") {
@@ -67,25 +88,12 @@ int main(int argc, char** argv) {
   } else if (engine == "cmb") {
     r = run_cmb(topo, traffic, end_time, CmbConfig{.workers = workers});
   } else {
-    std::fprintf(stderr, "unknown engine '%s' (global|cmb)\n",
-                 engine.c_str());
+    std::fprintf(stderr, "unknown engine '%s' (global|cmb)\nusage:\n%s",
+                 engine.c_str(), netsim_flags().usage().c_str());
     return 2;
   }
   const double secs = t.seconds();
-  if (cli.has("trace")) {
-    obs::stop_tracing();
-    std::ofstream out(cli.get("trace", ""));
-    const std::size_t spans = obs::write_chrome_trace(out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   cli.get("trace", "").c_str());
-      return 1;
-    }
-    std::printf("wrote Chrome trace (%zu events, %llu dropped) to %s\n",
-                spans,
-                static_cast<unsigned long long>(obs::trace_dropped_events()),
-                cli.get("trace", "").c_str());
-  }
+  if (!tool::finish_trace_if_requested(cli)) return 1;
 
   std::printf("engine %s: %.2f ms; delivered %llu/%zu, avg latency %.1f, "
               "%llu events, %llu forwards",
@@ -114,27 +122,7 @@ int main(int argc, char** argv) {
 
   // --check runs before --metrics-json so cycle findings land in the
   // check.* counters of the JSON dump.
-  std::uint64_t check_violations = 0;
-  if (cli.has("check")) {
-    if (!hjdes::check::compiled_in()) {
-      std::printf("check: hjcheck not compiled in "
-                  "(reconfigure with -DHJDES_CHECK=ON)\n");
-    } else {
-      hjdes::check::lockorder::verify_no_cycles();
-      check_violations = hjdes::check::print_report(stdout);
-    }
-  }
-
-  if (cli.has("metrics-json")) {
-    std::ofstream out(cli.get("metrics-json", ""));
-    obs::metrics().write_json(out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write metrics JSON to %s\n",
-                   cli.get("metrics-json", "").c_str());
-      return 1;
-    }
-    std::printf("wrote metrics JSON to %s\n",
-                cli.get("metrics-json", "").c_str());
-  }
+  const std::uint64_t check_violations = tool::check_report_if_requested(cli);
+  if (!tool::dump_metrics_if_requested(cli)) return 1;
   return check_violations != 0 ? 1 : 0;
 }

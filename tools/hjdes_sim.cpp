@@ -2,13 +2,16 @@
 //
 //   hjdes_sim --circuit <file|gen:NAME> [--stimulus <file>]
 //             [--random-vectors N --interval T --seed S]
-//             [--engine NAME] [--workers N]
-//             [--parts N] [--partitioner roundrobin|bfs|multilevel]
+//             [--engine NAME] [shared RunConfig flags, see usage]
 //             [--vcd out.vcd] [--dot out.dot] [--profile] [--verify]
 //             [--trace out.json] [--metrics-json out.json] [--check]
 //
-// Engine names come from the des engine registry (des::engines()); with
-// --engine=partitioned, --dot colors nodes by partition and marks cut edges.
+// Engine names come from the des engine registry (des::engines()). The
+// shared runtime knobs (--workers/--parts/--pin/--batch/...) are mapped and
+// validated against the selected engine's capability flags by
+// des::run_config_from_cli: knobs an engine ignores draw a warning, invalid
+// combinations abort before the run. With --engine=partitioned, --dot colors
+// nodes by partition and marks cut edges.
 //
 // Circuit sources:
 //   --circuit path/to/file.netlist    text format (see circuit/netlist_io.hpp)
@@ -23,38 +26,46 @@
 #include <sstream>
 #include <string>
 
-#include "check/check.hpp"
 #include "circuit/dot_export.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist_io.hpp"
 #include "des/engines.hpp"
 #include "des/vcd_export.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "part/partitioner.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
+#include "tool_common.hpp"
 
 using namespace hjdes;
 
 namespace {
 
+const FlagTable& sim_flags() {
+  static const FlagTable table = [] {
+    FlagTable t{
+        {"circuit", "SPEC", "netlist file or gen:NAME (required)"},
+        {"stimulus", "FILE", "INPUT_INDEX TIME VALUE triples"},
+        {"random-vectors", "N", "random stimulus vectors (default 4)"},
+        {"interval", "T", "random stimulus spacing (default 100)"},
+        {"seed", "S", "random stimulus seed (default 1)"},
+        {"engine", "NAME", "engine to run (default hj)"},
+        {"vcd", "FILE", "write the waveforms as VCD"},
+        {"dot", "FILE", "write the netlist as DOT (colored by partition)"},
+        {"profile", "", "print the available-parallelism profile"},
+        {"verify", "", "cross-check against the sequential engine"},
+    };
+    t.add_all(des::run_config_flags());
+    t.add_all(tool::common_flags());
+    return t;
+  }();
+  return table;
+}
+
 int usage(const char* prog) {
-  std::fprintf(stderr,
-               "usage: %s --circuit <file|gen:NAME> [options]\n"
-               "  --stimulus FILE | --random-vectors N [--interval T] "
-               "[--seed S]\n"
-               "  --engine %s  (default hj)\n"
-               "  --workers N (default 4)   --vcd FILE   --dot FILE\n"
-               "  --parts N (partitioned engine; default = workers)\n"
-               "  --partitioner roundrobin|bfs|multilevel (default multilevel)\n"
-               "  --profile (print parallelism profile)\n"
-               "  --verify  (cross-check against the sequential engine)\n"
-               "  --trace FILE        (Chrome trace-event task timeline)\n"
-               "  --metrics-json FILE (dump the metrics registry)\n"
-               "  --check   (report hjcheck race/lock-order findings;\n"
-               "             exit 1 on violations; needs -DHJDES_CHECK=ON)\n",
-               prog, des::engine_list().c_str());
+  std::fprintf(stderr, "usage: %s --circuit <file|gen:NAME> [options]\n%s",
+               prog, sim_flags().usage().c_str());
+  std::fprintf(stderr, "  engines (--engine %s):\n",
+               des::engine_list().c_str());
   for (const des::EngineInfo& e : des::engines()) {
     std::fprintf(stderr, "    %-12s %.*s\n", std::string(e.name).c_str(),
                  static_cast<int>(e.summary.size()), e.summary.data());
@@ -112,6 +123,7 @@ circuit::Stimulus load_stimulus(const std::string& path,
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   if (!cli.has("circuit")) return usage(argv[0]);
+  tool::warn_unknown_flags(cli, sim_flags());
 
   circuit::Netlist netlist = load_circuit(cli.get("circuit", ""));
   std::printf("circuit: %zu nodes, %zu edges, %zu inputs, %zu outputs, "
@@ -124,28 +136,34 @@ int main(int argc, char** argv) {
   const des::EngineInfo* engine = des::find_engine(engine_name);
   if (engine == nullptr) return usage(argv[0]);
 
-  des::EngineOptions opts;
-  opts.workers = static_cast<int>(cli.get_int("workers", 4));
-  opts.parts = static_cast<std::int32_t>(cli.get_int("parts", 0));
-  HJDES_CHECK(
-      part::parse_partitioner(cli.get("partitioner", "multilevel"),
-                              &opts.partitioner),
-      "unknown partitioner (roundrobin|bfs|multilevel)");
+  des::RunValidation validation;
+  des::RunConfig config = des::run_config_from_cli(cli, engine->caps,
+                                                   engine_name, &validation);
+  for (const std::string& w : validation.warnings) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+  if (!validation.ok()) {
+    for (const std::string& e : validation.errors) {
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+    }
+    return 2;
+  }
 
   // With the partitioned engine, compute the assignment up front so the DOT
   // export can color it and the run reuses the identical shards.
   part::Partition partition;
   if (engine_name == "partitioned") {
     partition = part::make_partition(
-        netlist, opts.parts > 0 ? opts.parts : opts.workers,
-        opts.partitioner);
-    opts.partition = &partition;
+        netlist, config.parts > 0 ? config.parts : config.workers,
+        config.partitioner);
+    config.partition = &partition;
     const part::PartitionStats stats =
         part::partition_stats(netlist, partition);
     std::printf("partition: %d parts (%s), %zu/%zu cut edges (%.1f%%), "
                 "imbalance %.1f%%\n",
                 partition.parts,
-                std::string(part::partitioner_name(opts.partitioner)).c_str(),
+                std::string(
+                    part::partitioner_name(config.partitioner)).c_str(),
                 stats.cut_edges, stats.total_edges, stats.cut_ratio() * 100.0,
                 stats.imbalance() * 100.0);
   }
@@ -176,27 +194,17 @@ int main(int argc, char** argv) {
                 p.average_parallelism(), p.rounds.size());
   }
 
-  if (cli.has("trace")) obs::start_tracing();
+  tool::start_trace_if_requested(cli);
   Timer t;
-  des::SimResult result = engine->run(input, opts);
+  des::SimResult result = engine->run(input, config);
   const double secs = t.seconds();
-  if (cli.has("trace")) {
-    obs::stop_tracing();
-    std::ofstream out(cli.get("trace", ""));
-    const std::size_t spans = obs::write_chrome_trace(out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   cli.get("trace", "").c_str());
-      return 1;
-    }
-    std::printf("wrote Chrome trace (%zu events, %llu dropped) to %s\n",
-                spans,
-                static_cast<unsigned long long>(obs::trace_dropped_events()),
-                cli.get("trace", "").c_str());
-  }
+  if (!tool::finish_trace_if_requested(cli)) return 1;
 
-  std::printf("engine %s (%d workers): %.2f ms, %llu events (+%llu NULLs)\n",
-              engine_name.c_str(), opts.workers, secs * 1e3,
+  std::printf("engine %s (%d workers, pin %s): %.2f ms, %llu events "
+              "(+%llu NULLs)\n",
+              engine_name.c_str(), config.workers,
+              std::string(support::pin_policy_name(config.pin)).c_str(),
+              secs * 1e3,
               static_cast<unsigned long long>(result.events_processed),
               static_cast<unsigned long long>(result.null_messages));
   if (result.tasks_spawned != 0) {
@@ -225,28 +233,8 @@ int main(int argc, char** argv) {
 
   // --check runs before --metrics-json so cycle findings land in the
   // check.* counters of the JSON dump.
-  std::uint64_t check_violations = 0;
-  if (cli.has("check")) {
-    if (!check::compiled_in()) {
-      std::printf("check: hjcheck not compiled in "
-                  "(reconfigure with -DHJDES_CHECK=ON)\n");
-    } else {
-      check::lockorder::verify_no_cycles();
-      check_violations = check::print_report(stdout);
-    }
-  }
-
-  if (cli.has("metrics-json")) {
-    std::ofstream out(cli.get("metrics-json", ""));
-    obs::metrics().write_json(out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write metrics JSON to %s\n",
-                   cli.get("metrics-json", "").c_str());
-      return 1;
-    }
-    std::printf("wrote metrics JSON to %s\n",
-                cli.get("metrics-json", "").c_str());
-  }
+  const std::uint64_t check_violations = tool::check_report_if_requested(cli);
+  if (!tool::dump_metrics_if_requested(cli)) return 1;
 
   if (cli.has("vcd")) {
     std::ofstream out(cli.get("vcd", ""));

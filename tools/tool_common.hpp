@@ -1,0 +1,93 @@
+#pragma once
+// Shared plumbing for the CLI tools (hjdes_sim, hjdes_netsim): the
+// --trace / --metrics-json / --check epilogues and the unknown-flag
+// warning, previously duplicated in both mains. Each tool declares its
+// flags in a FlagTable (support/cli.hpp) and calls these helpers in the
+// same order: trace bracketing around the run, then check (so cycle
+// findings land in the metrics dump), then metrics.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "check/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/cli.hpp"
+
+namespace hjdes::tool {
+
+/// The epilogue flags every tool understands.
+inline const FlagTable& common_flags() {
+  static const FlagTable table{
+      {"trace", "FILE", "Chrome trace-event task timeline"},
+      {"metrics-json", "FILE", "dump the metrics registry"},
+      {"check", "", "report hjcheck race/lock-order findings; exit 1 on "
+                    "violations (needs -DHJDES_CHECK=ON)"},
+  };
+  return table;
+}
+
+/// Warn (stderr) about command-line flags the tool never reads. Returns the
+/// number of unknown flags, so callers can escalate if they want to.
+inline std::size_t warn_unknown_flags(const Cli& cli, const FlagTable& table) {
+  const auto unknown = table.unknown_flags(cli);
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, "warning: unknown flag --%s (ignored)\n",
+                 name.c_str());
+  }
+  return unknown.size();
+}
+
+inline void start_trace_if_requested(const Cli& cli) {
+  if (cli.has("trace")) obs::start_tracing();
+}
+
+/// Stop tracing and write the Chrome trace file. False on a write error.
+inline bool finish_trace_if_requested(const Cli& cli) {
+  if (!cli.has("trace")) return true;
+  obs::stop_tracing();
+  const std::string path = cli.get("trace", "");
+  std::ofstream out(path);
+  const std::size_t spans = obs::write_chrome_trace(out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote Chrome trace (%zu events, %llu dropped) to %s\n", spans,
+              static_cast<unsigned long long>(obs::trace_dropped_events()),
+              path.c_str());
+  return true;
+}
+
+/// Run the hjcheck report when --check was passed; returns the violation
+/// count (0 also when hjcheck is not compiled in).
+inline std::uint64_t check_report_if_requested(const Cli& cli) {
+  if (!cli.has("check")) return 0;
+  if (!check::compiled_in()) {
+    std::printf("check: hjcheck not compiled in "
+                "(reconfigure with -DHJDES_CHECK=ON)\n");
+    return 0;
+  }
+  check::lockorder::verify_no_cycles();
+  return check::print_report(stdout);
+}
+
+/// Dump the metrics registry when --metrics-json was passed. False on a
+/// write error.
+inline bool dump_metrics_if_requested(const Cli& cli) {
+  if (!cli.has("metrics-json")) return true;
+  const std::string path = cli.get("metrics-json", "");
+  std::ofstream out(path);
+  obs::metrics().write_json(out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics JSON to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("wrote metrics JSON to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace hjdes::tool

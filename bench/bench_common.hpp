@@ -8,6 +8,8 @@
 // comparable initial-event counts) and HJDES_REPS / HJDES_MAX_WORKERS to
 // control repetitions and the worker sweep.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,19 +31,48 @@ inline bool paper_scale() {
   return v != nullptr && std::string(v) != "0";
 }
 
+/// Integer from the environment, or `fallback`. Strict: garbage, trailing
+/// junk, or out-of-range values warn on stderr and keep the fallback, where
+/// atoi would have silently produced 0 (HJDES_REPS=twenty turning a 20-rep
+/// paper run into an empty one).
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      parsed < INT_MIN || parsed > INT_MAX) {
+    std::fprintf(stderr,
+                 "bench: ignoring %s='%s' (not an integer); using %d\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  return static_cast<int>(parsed);
 }
 
-/// Repetitions per configuration (paper: 20).
+/// Repetitions per configuration (paper: 20). Clamped to >= 1: zero or
+/// negative HJDES_REPS would make every measure() summarize an empty sample
+/// set and report all-zero timings as if the run had happened.
 inline int repetitions() {
-  return env_int("HJDES_REPS", paper_scale() ? 20 : 3);
+  const int reps = env_int("HJDES_REPS", paper_scale() ? 20 : 3);
+  if (reps < 1) {
+    std::fprintf(stderr, "bench: clamping HJDES_REPS=%d to 1\n", reps);
+    return 1;
+  }
+  return reps;
 }
 
 /// Worker counts for the Figure 4-6 sweeps (paper: 1..32 on 32 cores).
+/// Clamped to >= 1: HJDES_MAX_WORKERS=0 (or negative) used to leave the
+/// vector empty and make counts.back() undefined behaviour.
 inline std::vector<int> worker_counts() {
   int max_workers = env_int("HJDES_MAX_WORKERS", paper_scale() ? 32 : 8);
+  if (max_workers < 1) {
+    std::fprintf(stderr, "bench: clamping HJDES_MAX_WORKERS=%d to 1\n",
+                 max_workers);
+    max_workers = 1;
+  }
   std::vector<int> counts;
   for (int w = 1; w <= max_workers; w *= 2) counts.push_back(w);
   if (counts.back() != max_workers) counts.push_back(max_workers);
@@ -115,6 +146,13 @@ class ScopedTrace {
     obs::stop_tracing();
     std::ofstream out(path_);
     const std::size_t spans = obs::write_chrome_trace(out);
+    // A bad HJDES_TRACE_DIR used to print "wrote N events" while writing
+    // nothing; check the stream before claiming success.
+    if (!out) {
+      std::fprintf(stderr, "trace: FAILED to write %s (bad HJDES_TRACE_DIR?)\n",
+                   path_.c_str());
+      return;
+    }
     std::printf("trace: wrote %zu events to %s\n", spans, path_.c_str());
   }
 
@@ -133,9 +171,11 @@ double time_run(Fn&& fn) {
   return t.seconds();
 }
 
-/// Run `fn` `reps` times and summarize the wall times.
+/// Run `fn` `reps` times (clamped to >= 1 so the Summary is never the
+/// all-zero empty-input sentinel) and summarize the wall times.
 template <typename Fn>
 Summary measure(Fn&& fn, int reps) {
+  if (reps < 1) reps = 1;
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) samples.push_back(time_run(fn));

@@ -14,6 +14,7 @@ std::uint32_t next_lock_id() noexcept {
 #if defined(HJDES_CHECK_ENABLED)
 
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <set>
@@ -40,7 +41,41 @@ Graph& graph() {
   return *g;
 }
 
+struct HeldRegistry {
+  Spinlock mu;
+  std::vector<std::uint32_t> held;
+};
+
+// Leaked for the same teardown-safety reason as the graph.
+HeldRegistry& held_registry() {
+  static HeldRegistry* r = new HeldRegistry();
+  return *r;
+}
+
 }  // namespace
+
+void note_lock_acquired(std::uint32_t id) {
+  HeldRegistry& r = held_registry();
+  std::scoped_lock lock(r.mu);
+  r.held.push_back(id);
+}
+
+void note_lock_released(std::uint32_t id) {
+  HeldRegistry& r = held_registry();
+  std::scoped_lock lock(r.mu);
+  for (auto it = r.held.rbegin(); it != r.held.rend(); ++it) {
+    if (*it == id) {
+      r.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::vector<std::uint32_t> held_lock_ids() {
+  HeldRegistry& r = held_registry();
+  std::scoped_lock lock(r.mu);
+  return r.held;
+}
 
 void on_acquire(std::uint32_t id, const std::uint32_t* held_ids,
                 std::size_t held_count) {

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace hjdes::check::lockorder {
 
@@ -28,6 +29,17 @@ namespace hjdes::check::lockorder {
 std::uint32_t next_lock_id() noexcept;
 
 #if defined(HJDES_CHECK_ENABLED)
+
+/// Global held-lock registry: hj/locks.cpp notes every successful try_lock
+/// and every release, so an out-of-band observer (the stall watchdog) can
+/// report which locks were held when progress stopped. Spinlock + small
+/// vector; the cost rides on the already-instrumented HJDES_CHECK lock path.
+void note_lock_acquired(std::uint32_t id);
+void note_lock_released(std::uint32_t id);
+
+/// Snapshot of the lock IDs currently held across all threads, in global
+/// acquisition order. Safe to call from the watchdog thread.
+std::vector<std::uint32_t> held_lock_ids();
 
 /// Record a successful acquisition of lock `id` while `held_count` locks
 /// (their IDs in acquisition order in `held_ids`) are already held.
@@ -45,6 +57,10 @@ std::size_t edge_count();
 void reset_graph();
 
 #else  // !HJDES_CHECK_ENABLED
+
+inline void note_lock_acquired(std::uint32_t) noexcept {}
+inline void note_lock_released(std::uint32_t) noexcept {}
+inline std::vector<std::uint32_t> held_lock_ids() { return {}; }
 
 inline void on_acquire(std::uint32_t, const std::uint32_t*,
                        std::size_t) noexcept {}

@@ -8,6 +8,8 @@
 #include "check/checked_cell.hpp"
 #include "check/hb.hpp"
 #include "circuit/gate.hpp"
+#include "fault/heartbeat.hpp"
+#include "fault/inject.hpp"
 #include "des/port_merge.hpp"
 #include "obs/metrics.hpp"
 #include "part/partition.hpp"
@@ -248,6 +250,14 @@ class PartitionedEngine {
       if (netlist_.kind(id) == GateKind::Input) push_workset(w, id);
     }
     while (w.done_count < w.local.size()) {
+      // Deliberately wedged shard (fault::wedge_shard): spin without ever
+      // progressing or beating, the seeded true positive the stall watchdog
+      // must catch. Peers block on this shard's events/watermarks, so the
+      // whole run stalls — exactly the failure shape a lost NULL would cause.
+      if (fault::shard_wedged(w.id)) {
+        std::this_thread::yield();
+        continue;
+      }
       const bool drained = drain_channels(w);
       const bool progressed = run_workset(w);
       if (w.done_count == w.local.size()) break;
@@ -280,6 +290,7 @@ class PartitionedEngine {
       nodes_[static_cast<std::size_t>(n)].in_workset = false;
       simulate(w, n);
       any = true;
+      fault::heartbeat();  // a simulated node is forward progress
       if (is_active(n)) push_workset(w, n);
       for (const FanoutEdge& e : netlist_.fanout(n)) {
         if (part_of(e.target) == w.id && is_active(e.target)) {
@@ -297,6 +308,7 @@ class PartitionedEngine {
       SpscChannel<ChanMsg>* ch = chan(from, w.id);
       while (ch->try_pop(m)) {
         any = true;
+        fault::heartbeat();  // a drained message is forward progress
         LpNode& n = nodes_[static_cast<std::size_t>(m.target)];
         if (m.watermark != 0) {
           // Progressive NULL: advance the port's lower bound, queue nothing.
@@ -348,7 +360,13 @@ class PartitionedEngine {
     }
     std::vector<ChanMsg>& buf = w.out[static_cast<std::size_t>(dest)];
     buf.push_back(m);
-    if (buf.size() >= batch_) flush_dest(w, dest);
+    if (buf.size() >= batch_) {
+      // Injected flush delay: skip this trigger; the batch keeps growing and
+      // goes out on the next full trigger or the unconditional idle/exit
+      // flush_all. Exercises receivers' tolerance of late, larger batches.
+      if (fault::should_inject(fault::Site::kBatchFlush)) return;
+      flush_dest(w, dest);
+    }
   }
 
   void flush_dest(Worker& w, std::int32_t dest) {
@@ -410,6 +428,10 @@ class PartitionedEngine {
         cached_bound = emission_bound(e.source);
       }
       if (cached_bound <= e.last_watermark) continue;
+      // Injected watermark drop: last_watermark stays stale, so the very
+      // next idle scan re-offers the same (or a better) bound — the
+      // progressive-NULL protocol is naturally retried, never lost for good.
+      if (fault::should_inject(fault::Site::kNullWatermark)) continue;
       // Staged behind any buffered earlier events for the same shard: FIFO
       // through the buffer + channel means the bound can never overtake an
       // event it does not actually bound.

@@ -1,5 +1,6 @@
 #include "des/run_config.hpp"
 
+#include "fault/fault.hpp"
 #include "support/cli.hpp"
 
 namespace hjdes::des {
@@ -47,6 +48,27 @@ RunValidation validate_run_config(const RunConfig& config,
                        ") must not exceed --channel-capacity (" +
                        std::to_string(config.channel_capacity) +
                        "): a full flush must fit the channel");
+  }
+  if (config.fault_rate_ppm < 0) {
+    v.errors.push_back("--fault-rate must be >= 0 ppm (got " +
+                       std::to_string(config.fault_rate_ppm) + ")");
+  } else if (config.fault_rate_ppm >
+             static_cast<int>(fault::kMaxRatePpm)) {
+    v.warnings.push_back(
+        "--fault-rate " + std::to_string(config.fault_rate_ppm) +
+        " exceeds the " + std::to_string(fault::kMaxRatePpm) +
+        " ppm ceiling and will be clamped (retried transients must "
+        "terminate)");
+  }
+  if (config.fault_rate_ppm > 0 && !fault::compiled_in()) {
+    v.warnings.push_back(
+        "--fault-rate set but fault injection is not compiled in; "
+        "reconfigure with -DHJDES_FAULT=ON");
+  }
+  if (config.watchdog_ms < 0) {
+    v.errors.push_back("--watchdog-ms must be >= 0 (got " +
+                       std::to_string(config.watchdog_ms) + "); 0 disables "
+                       "the watchdog");
   }
 
   // Warnings: knobs set away from their default that this engine ignores.
@@ -101,6 +123,12 @@ RunConfig run_config_from_cli(const Cli& cli, const EngineCaps& caps,
   config.arenas = !cli.has("no-arenas");
   config.input_batch = static_cast<std::size_t>(cli.get_int(
       "input-batch", static_cast<std::int64_t>(config.input_batch)));
+  config.fault_rate_ppm = static_cast<int>(
+      cli.get_int("fault-rate", config.fault_rate_ppm));
+  config.fault_seed = static_cast<std::uint64_t>(cli.get_int(
+      "fault-seed", static_cast<std::int64_t>(config.fault_seed)));
+  config.watchdog_ms = static_cast<int>(
+      cli.get_int("watchdog-ms", config.watchdog_ms));
 
   RunValidation checked = validate_run_config(config, caps, engine_name);
   out->errors.insert(out->errors.end(), checked.errors.begin(),
@@ -122,6 +150,11 @@ const FlagTable& run_config_flags() {
       {"no-arenas", "", "disable per-worker event slab arenas"},
       {"input-batch", "N", "hj/timewarp: initial events per activation; "
                            "0 = all"},
+      {"fault-rate", "PPM", "seeded fault injections per million decisions "
+                            "(needs -DHJDES_FAULT=ON; default 0 = off)"},
+      {"fault-seed", "S", "seed of the fault-injection streams (default 1)"},
+      {"watchdog-ms", "N", "stall watchdog window; dump + exit nonzero "
+                           "after N ms without progress (default 0 = off)"},
   };
   return table;
 }

@@ -48,6 +48,21 @@ struct RunConfig {
 
   /// hj / timewarp: initial events an input forwards per activation; 0 = all.
   std::size_t input_batch = 0;
+
+  // Harness-level robustness knobs (src/fault, docs/ROBUSTNESS.md). These
+  // configure the process-wide fault plan and stall watchdog rather than any
+  // single engine, so no EngineCaps bit guards them.
+
+  /// Seeded fault injection rate in faults per million decisions; 0 = off.
+  /// Needs a -DHJDES_FAULT=ON build to have any effect (warned otherwise).
+  int fault_rate_ppm = 0;
+
+  /// Seed of the deterministic per-thread fault streams.
+  std::uint64_t fault_seed = 1;
+
+  /// Stall watchdog window in milliseconds; 0 = no watchdog. A run making no
+  /// progress for this long dumps diagnostics and exits nonzero.
+  int watchdog_ms = 0;
 };
 
 /// Which RunConfig knobs an engine actually honors. A knob set to a

@@ -4,6 +4,7 @@
 
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
+#include "fault/heartbeat.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
 
@@ -51,6 +52,7 @@ class SeqEngine {
       NodeId n = workset_.pop_front();
       nodes_[static_cast<std::size_t>(n)].in_workset = false;
       simulate(n);
+      fault::heartbeat();  // a simulated node is forward progress
       // Re-activation check over n and its fanout targets.
       if (is_active(n)) push_workset(n);
       for (const FanoutEdge& e : netlist_.fanout(n)) {

@@ -8,6 +8,7 @@
 
 #include "circuit/gate.hpp"
 #include "des/port_merge.hpp"
+#include "fault/heartbeat.hpp"
 #include "support/binary_heap.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
@@ -71,6 +72,7 @@ class SeqPqEngine {
       NodeId n = workset_.pop_front();
       nodes_[static_cast<std::size_t>(n)].in_workset = false;
       simulate(n);
+      fault::heartbeat();  // a simulated node is forward progress
       if (is_active(n)) push_workset(n);
       for (const FanoutEdge& e : netlist_.fanout(n)) {
         if (is_active(e.target)) push_workset(e.target);

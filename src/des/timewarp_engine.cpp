@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "circuit/gate.hpp"
+#include "fault/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/binary_heap.hpp"
@@ -133,6 +134,7 @@ class TwEngine {
         auto id = slot.pop();
         if (id.has_value()) {
           run_lp(*id, stats);
+          fault::heartbeat();  // a serviced LP is forward progress
           maybe_sweep(stats);  // holds no locks here
           continue;
         }

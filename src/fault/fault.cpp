@@ -1,0 +1,142 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace hjdes::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "spsc_push", "arena_alloc", "batch_flush", "worker_yield",
+    "null_watermark",
+};
+
+}  // namespace
+
+const char* site_name(Site site) noexcept {
+  const auto i = static_cast<std::size_t>(site);
+  return i < kSiteCount ? kSiteNames[i] : "unknown";
+}
+
+bool compiled_in() noexcept { return kCompiledIn; }
+
+#if defined(HJDES_FAULT_ENABLED)
+
+void configure(std::uint64_t seed, std::uint32_t rate_ppm,
+               std::uint32_t site_mask) {
+  if (rate_ppm > kMaxRatePpm) {
+    std::fprintf(stderr,
+                 "fault: clamping rate %u ppm to %u ppm (retried transients "
+                 "must terminate; see docs/ROBUSTNESS.md)\n",
+                 rate_ppm, kMaxRatePpm);
+    rate_ppm = kMaxRatePpm;
+  }
+  detail::g_seed.store(seed, std::memory_order_relaxed);
+  detail::g_site_mask.store(site_mask, std::memory_order_relaxed);
+  // Release-publish the new (seed, mask) before the epoch bump that makes
+  // per-thread streams reseed, then enable the rate last.
+  detail::g_plan_epoch.fetch_add(1, std::memory_order_release);
+  detail::g_rate_ppm.store(rate_ppm, std::memory_order_release);
+
+  if (const char* wedge = std::getenv("HJDES_WEDGE_SHARD")) {
+    if (*wedge != '\0') {
+      wedge_shard(static_cast<std::int32_t>(std::atoi(wedge)));
+    }
+  }
+}
+
+void disable() noexcept {
+  detail::g_rate_ppm.store(0, std::memory_order_release);
+  detail::g_wedged_shard.store(-1, std::memory_order_relaxed);
+}
+
+std::uint32_t rate_ppm() noexcept {
+  return detail::g_rate_ppm.load(std::memory_order_relaxed);
+}
+
+void wedge_shard(std::int32_t shard) noexcept {
+  detail::g_wedged_shard.store(shard, std::memory_order_relaxed);
+}
+
+std::uint64_t injected(Site site) noexcept {
+  const auto i = static_cast<std::size_t>(site);
+  return i < kSiteCount
+             ? detail::g_injected[i].injected.load(std::memory_order_relaxed)
+             : 0;
+}
+
+void reset_tallies() noexcept {
+  for (auto& tally : detail::g_injected) {
+    tally.injected.store(0, std::memory_order_relaxed);
+  }
+}
+
+#else  // !HJDES_FAULT_ENABLED
+
+void configure(std::uint64_t /*seed*/, std::uint32_t rate_ppm,
+               std::uint32_t /*site_mask*/) {
+  if (rate_ppm > 0) {
+    std::fprintf(stderr,
+                 "fault: injection requested but not compiled in "
+                 "(reconfigure with -DHJDES_FAULT=ON)\n");
+  }
+}
+
+void disable() noexcept {}
+
+std::uint32_t rate_ppm() noexcept { return 0; }
+
+void wedge_shard(std::int32_t /*shard*/) noexcept {}
+
+std::uint64_t injected(Site /*site*/) noexcept { return 0; }
+
+void reset_tallies() noexcept {}
+
+#endif  // HJDES_FAULT_ENABLED
+
+std::uint64_t injected_total() noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    sum += injected(static_cast<Site>(i));
+  }
+  return sum;
+}
+
+void publish_metrics() {
+  // Delta-publish so repeated epilogues (tool runs back to back in one
+  // process, tests) do not double count; mirrors Runtime::publish_metrics.
+  static std::uint64_t published[kSiteCount] = {};
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const std::uint64_t now = injected(static_cast<Site>(i));
+    obs::metrics()
+        .counter(std::string("fault.injected.") +
+                 kSiteNames[i])
+        .add(now - published[i]);
+    published[i] = now;
+  }
+  obs::metrics().gauge("fault.rate_ppm").set(
+      static_cast<std::int64_t>(rate_ppm()));
+}
+
+std::string summary() {
+  if (injected_total() == 0) return {};
+  std::string out = "fault: injected " + std::to_string(injected_total()) +
+                    " transient(s) (";
+  bool first = true;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const std::uint64_t n = injected(static_cast<Site>(i));
+    if (n == 0) continue;
+    if (!first) out += ", ";
+    out += kSiteNames[i];
+    out += ' ';
+    out += std::to_string(n);
+    first = false;
+  }
+  out += ") at rate " + std::to_string(rate_ppm()) + " ppm";
+  return out;
+}
+
+}  // namespace hjdes::fault

@@ -1,0 +1,62 @@
+#pragma once
+// hjfault configuration and reporting: the FaultPlan API over the hot-path
+// hooks in fault/inject.hpp, plus the umbrella include for the heartbeat and
+// watchdog halves. See docs/ROBUSTNESS.md for the model.
+//
+// The API exists in every build so tools and tests link either way;
+// without -DHJDES_FAULT=ON, configure() stores nothing and the sites stay
+// constant-false.
+
+#include <cstdint>
+#include <string>
+
+#include "fault/heartbeat.hpp"  // IWYU pragma: export
+#include "fault/inject.hpp"     // IWYU pragma: export
+#include "fault/watchdog.hpp"   // IWYU pragma: export
+
+namespace hjdes::fault {
+
+/// True when the library was built with HJDES_FAULT=ON (runtime counterpart
+/// of the constexpr kCompiledIn).
+bool compiled_in() noexcept;
+
+/// Stable display name for `site` ("spsc_push", "arena_alloc", ...).
+const char* site_name(Site site) noexcept;
+
+/// Install a fault plan: every site in `site_mask` (bit i = Site i) fires
+/// with probability rate_ppm / 1e6, drawn from per-thread streams seeded by
+/// `seed`. Rates above kMaxRatePpm are clamped (with a stderr warning) so
+/// retried transients always terminate. rate_ppm == 0 disables injection.
+/// Also honors the HJDES_WEDGE_SHARD environment variable (see wedge_shard).
+/// No-op (plus a stderr note when rate_ppm > 0) without HJDES_FAULT=ON.
+void configure(std::uint64_t seed, std::uint32_t rate_ppm,
+               std::uint32_t site_mask = 0xffffffffu);
+
+/// Disable injection and un-wedge any wedged shard. Tallies are retained.
+void disable() noexcept;
+
+/// The currently configured rate (after clamping); 0 when disabled.
+std::uint32_t rate_ppm() noexcept;
+
+/// Deliberately wedge partitioned-engine shard `shard` (it spins without
+/// progress forever): the seeded true positive the watchdog must catch.
+/// -1 un-wedges. No-op without HJDES_FAULT=ON.
+void wedge_shard(std::int32_t shard) noexcept;
+
+/// Faults injected at `site` / across all sites since process start.
+std::uint64_t injected(Site site) noexcept;
+std::uint64_t injected_total() noexcept;
+
+/// Zero the per-site tallies (test isolation aid).
+void reset_tallies() noexcept;
+
+/// Mirror the per-site tallies into the obs metrics registry as
+/// fault.injected.<site> counters (delta since the last publication), so
+/// --metrics-json dumps include them. Called by the tools' epilogue.
+void publish_metrics();
+
+/// One-line human summary, e.g. "fault: injected 17 transients (spsc_push 9,
+/// arena_alloc 8) at rate 20000 ppm". Empty when nothing was injected.
+std::string summary();
+
+}  // namespace hjdes::fault

@@ -1,0 +1,68 @@
+#pragma once
+// Per-worker progress heartbeats feeding the stall watchdog
+// (fault/watchdog.hpp). Engines call fault::heartbeat() at genuine progress
+// points only — an event committed, a watermark advanced, a task executed —
+// never from spin/retry loops, so a livelocked worker that is busy but not
+// progressing still reads as stalled.
+//
+// Unlike the injection hooks this header is live in every build (stall
+// detection is useful without fault injection): the disabled cost is one
+// relaxed atomic load per call, the same budget as a tracing site. When a
+// watchdog is armed, a beat is one relaxed fetch_add on a thread-striped
+// cache line (no contention between workers).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/platform.hpp"
+
+namespace hjdes::fault {
+
+namespace detail {
+
+/// Stripe count for the progress board. More threads than stripes is
+/// correct (slots are atomics), merely slower.
+inline constexpr std::size_t kBeatStripes = 32;
+
+struct HJDES_CACHE_ALIGNED BeatSlot {
+  std::atomic<std::uint64_t> beats{0};
+};
+
+inline BeatSlot g_beats[kBeatStripes];
+inline std::atomic<bool> g_watchdog_armed{false};
+inline std::atomic<std::uint32_t> g_beat_ordinal{0};
+
+inline std::size_t beat_stripe() noexcept {
+  static thread_local std::size_t stripe =
+      g_beat_ordinal.fetch_add(1, std::memory_order_relaxed) % kBeatStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+/// True while a ScopedWatchdog is monitoring progress.
+inline bool watchdog_armed() noexcept {
+  return detail::g_watchdog_armed.load(std::memory_order_relaxed);
+}
+
+/// Record one unit of forward progress on the calling worker. One relaxed
+/// load and out when no watchdog is armed.
+inline void heartbeat() noexcept {
+  if (!watchdog_armed()) [[likely]] {
+    return;
+  }
+  detail::g_beats[detail::beat_stripe()].beats.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+/// Sum of all recorded beats (monotonic while armed; the watchdog polls it).
+inline std::uint64_t heartbeat_total() noexcept {
+  std::uint64_t sum = 0;
+  for (const detail::BeatSlot& s : detail::g_beats) {
+    sum += s.beats.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+}  // namespace hjdes::fault

@@ -1,0 +1,146 @@
+#pragma once
+// hjfault hot-path hooks: seeded, deterministic transient-fault injection for
+// the engine fleet (docs/ROBUSTNESS.md). The paper's conservative protocol is
+// deadlock-free only while NULL watermarks keep flowing; these hooks let
+// tests and CI prove that one spurious channel-full, lost watermark, failed
+// arena allocation or ill-timed preemption degrades gracefully (retry /
+// fallback paths) instead of wedging the run.
+//
+// This header is include-only and depends on nothing above src/support, so
+// the lowest-level primitives (SpscChannel, EventArena) can host injection
+// sites without a library cycle. Everything heavier — configuration,
+// metrics publication, the stall watchdog — lives in fault.hpp / the
+// hjdes_fault library.
+//
+// Cost model (mirrors hjcheck): with the CMake option HJDES_FAULT off,
+// should_inject() is a constexpr `false` and every site folds away — the hot
+// paths carry zero injection overhead. With it on but the rate at 0 (the
+// default), each site costs one relaxed atomic load.
+//
+// Determinism: decisions are drawn from per-thread xoshiro256** streams
+// seeded from (plan seed, thread enrollment ordinal), so a single-threaded
+// site sequence is exactly reproducible from the seed, and a multi-threaded
+// run re-rolls the same per-thread streams; only the interleaving varies.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/platform.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::fault {
+
+/// Named injection sites in the hot paths. Names are stable: they key the
+/// `fault.injected.<site>` metrics and the --fault-sites mask documented in
+/// docs/ROBUSTNESS.md.
+enum class Site : std::uint8_t {
+  kSpscPush = 0,    ///< SpscChannel::try_push reports a spurious full
+  kArenaAlloc,      ///< EventArena::allocate fails over to the global path
+  kBatchFlush,      ///< PartitionedEngine delays a cross-shard batch flush
+  kWorkerYield,     ///< forced preemption point in the hj runtime
+  kNullWatermark,   ///< PartitionedEngine drops (then retries) a watermark
+  kCount_,          ///< sentinel, keep last
+};
+
+inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(
+    Site::kCount_);
+
+/// Probability scale of the plan rate: rate is faults per million decisions.
+inline constexpr std::uint32_t kRatePpmScale = 1'000'000;
+
+/// Hard ceiling on the configured rate (50%). Every injected transient is
+/// recovered by retrying the same site, so a rate of 100% would turn a
+/// retried transient into a permanent fault (e.g. a watermark that is
+/// re-dropped forever) — capping at one half keeps every retry loop
+/// terminating with probability 1.
+inline constexpr std::uint32_t kMaxRatePpm = kRatePpmScale / 2;
+
+#if defined(HJDES_FAULT_ENABLED)
+
+namespace detail {
+
+// Plan state, written by fault::configure()/disable() (fault.hpp) and read
+// by every site. Inline atomics so this header needs no library.
+inline std::atomic<std::uint32_t> g_rate_ppm{0};
+inline std::atomic<std::uint32_t> g_site_mask{0xffffffffu};
+inline std::atomic<std::uint64_t> g_seed{1};
+inline std::atomic<std::uint64_t> g_plan_epoch{0};
+inline std::atomic<std::int32_t> g_wedged_shard{-1};
+inline std::atomic<std::uint32_t> g_thread_ordinal{0};
+
+struct HJDES_CACHE_ALIGNED SiteTally {
+  std::atomic<std::uint64_t> injected{0};
+};
+inline SiteTally g_injected[kSiteCount];
+
+/// Per-thread decision stream, reseeded whenever the plan epoch moves.
+struct ThreadStream {
+  Xoshiro256 rng{0};
+  std::uint64_t epoch = ~std::uint64_t{0};
+  std::uint32_t ordinal = 0;
+  bool enrolled = false;
+};
+
+inline ThreadStream& thread_stream() noexcept {
+  static thread_local ThreadStream stream;
+  return stream;
+}
+
+}  // namespace detail
+
+/// True when the fault layer is compiled in (HJDES_FAULT=ON).
+inline constexpr bool kCompiledIn = true;
+
+/// Decide whether a fault fires at `site`. Each firing is tallied for
+/// fault::injected()/publish_metrics(). Hot-path contract: one relaxed load
+/// when the plan is disabled.
+inline bool should_inject(Site site) noexcept {
+  const std::uint32_t rate =
+      detail::g_rate_ppm.load(std::memory_order_relaxed);
+  if (rate == 0) [[likely]] {
+    return false;
+  }
+  if ((detail::g_site_mask.load(std::memory_order_relaxed) &
+       (1u << static_cast<unsigned>(site))) == 0) {
+    return false;
+  }
+  detail::ThreadStream& stream = detail::thread_stream();
+  const std::uint64_t epoch =
+      detail::g_plan_epoch.load(std::memory_order_acquire);
+  if (stream.epoch != epoch) {
+    if (!stream.enrolled) {
+      stream.ordinal =
+          detail::g_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+      stream.enrolled = true;
+    }
+    // Distinct, reproducible stream per (seed, enrollment ordinal).
+    std::uint64_t sm = detail::g_seed.load(std::memory_order_relaxed) +
+                       0x9e3779b97f4a7c15ULL * (stream.ordinal + 1);
+    stream.rng = Xoshiro256(splitmix64(sm));
+    stream.epoch = epoch;
+  }
+  if (stream.rng.below(kRatePpmScale) >= rate) return false;
+  detail::g_injected[static_cast<std::size_t>(site)].injected.fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+/// True when shard `shard` of the partitioned engine is deliberately wedged
+/// (watchdog true-positive tests; see fault::wedge_shard in fault.hpp).
+inline bool shard_wedged(std::int32_t shard) noexcept {
+  return detail::g_wedged_shard.load(std::memory_order_relaxed) == shard;
+}
+
+#else  // !HJDES_FAULT_ENABLED
+
+inline constexpr bool kCompiledIn = false;
+
+/// Constant false: call sites fold away entirely in no-fault builds.
+inline constexpr bool should_inject(Site) noexcept { return false; }
+
+inline constexpr bool shard_wedged(std::int32_t) noexcept { return false; }
+
+#endif  // HJDES_FAULT_ENABLED
+
+}  // namespace hjdes::fault

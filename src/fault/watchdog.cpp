@@ -1,0 +1,144 @@
+#include "fault/watchdog.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "check/hb.hpp"
+#include "check/lock_order.hpp"
+#include "fault/fault.hpp"
+#include "fault/heartbeat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::fault {
+
+void write_stall_dump(std::FILE* out) {
+  std::fprintf(out, "=== hjdes watchdog: stall diagnostics ===\n");
+
+  // Injection plan, so a CI log says whether the stall happened under
+  // deliberately injected faults.
+  const std::string fault_line = summary();
+  std::fprintf(out, "fault plan: %s\n",
+               fault_line.empty() ? "no faults injected" : fault_line.c_str());
+
+  // Held locks from the hjcheck lock registry (empty without HJDES_CHECK).
+  const std::vector<std::uint32_t> held = check::lockorder::held_lock_ids();
+  if (!check::compiled_in()) {
+    std::fprintf(out, "held locks: unknown (build with -DHJDES_CHECK=ON)\n");
+  } else if (held.empty()) {
+    std::fprintf(out, "held locks: none\n");
+  } else {
+    std::fprintf(out, "held locks (%zu):", held.size());
+    for (std::uint32_t id : held) std::fprintf(out, " #%u", id);
+    std::fprintf(out, "\n");
+  }
+
+  // The whole metrics registry: per-shard queue depths, watermark and NULL
+  // counters, channel-full stalls — the protocol state a stall analysis
+  // needs (docs/ROBUSTNESS.md walks through reading one).
+  publish_metrics();
+  std::ostringstream json;
+  obs::metrics().write_json(json);
+  std::fprintf(out, "metrics registry: %s\n", json.str().c_str());
+
+  // Flush the task timeline when tracing is live: the tail of the trace
+  // shows what every worker was doing when progress stopped.
+  if (obs::trace_enabled()) {
+    obs::stop_tracing();
+    const char* dir = std::getenv("HJDES_WATCHDOG_TRACE_DIR");
+    const std::string path =
+        std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+        "/hjdes_watchdog.trace.json";
+    std::ofstream trace_out(path);
+    const std::size_t spans = obs::write_chrome_trace(trace_out);
+    if (trace_out) {
+      std::fprintf(out, "trace: wrote %zu events to %s\n", spans,
+                   path.c_str());
+    } else {
+      std::fprintf(out, "trace: FAILED to write %s\n", path.c_str());
+    }
+  } else {
+    std::fprintf(out, "trace: not active (run with --trace / HJDES_TRACE_DIR "
+                      "to capture the timeline)\n");
+  }
+  std::fprintf(out, "=== end watchdog dump ===\n");
+}
+
+struct ScopedWatchdog::Impl {
+  std::thread monitor;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+};
+
+ScopedWatchdog::ScopedWatchdog(int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  HJDES_CHECK(!watchdog_armed(),
+              "ScopedWatchdog instances must not overlap (one progress "
+              "board)");
+  impl_ = std::make_unique<Impl>();
+  detail::g_watchdog_armed.store(true, std::memory_order_seq_cst);
+  impl_->monitor = std::thread([impl = impl_.get(), timeout_ms] {
+    using Clock = std::chrono::steady_clock;
+    // Poll a few times per window so a stall is caught within ~1.25x the
+    // configured timeout, but never busier than every 10 ms.
+    const auto poll = std::chrono::milliseconds(
+        std::max(10, timeout_ms / 4));
+    std::uint64_t last_total = heartbeat_total();
+    Clock::time_point last_progress = Clock::now();
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> guard(impl->mu);
+        if (impl->cv.wait_for(guard, poll, [impl] { return impl->stop; })) {
+          return;
+        }
+      }
+      const std::uint64_t total = heartbeat_total();
+      if (total != last_total) {
+        last_total = total;
+        last_progress = Clock::now();
+        continue;
+      }
+      const auto stalled = std::chrono::duration_cast<
+          std::chrono::milliseconds>(Clock::now() - last_progress);
+      if (stalled.count() < timeout_ms) continue;
+      // Global stall: every worker has stopped committing events and
+      // advancing watermarks. Dump and die with a distinct exit code —
+      // hanging here is exactly what CI cannot diagnose.
+      std::fprintf(stderr,
+                   "hjdes watchdog: no progress for %lld ms (timeout %d ms, "
+                   "%llu beats total) — dumping diagnostics and exiting %d\n",
+                   static_cast<long long>(stalled.count()), timeout_ms,
+                   static_cast<unsigned long long>(total), kWatchdogExitCode);
+      write_stall_dump(stderr);
+      std::fflush(nullptr);
+      // _Exit, not exit: the process is wedged, so running static
+      // destructors or joining workers could hang the watchdog itself.
+      std::_Exit(kWatchdogExitCode);
+    }
+  });
+}
+
+ScopedWatchdog::~ScopedWatchdog() {
+  if (impl_ == nullptr) return;
+  {
+    std::scoped_lock guard(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->monitor.join();
+  detail::g_watchdog_armed.store(false, std::memory_order_seq_cst);
+}
+
+bool ScopedWatchdog::armed() const noexcept { return impl_ != nullptr; }
+
+}  // namespace hjdes::fault

@@ -1,0 +1,48 @@
+#pragma once
+// Stall watchdog: a monitor thread fed by the per-worker progress heartbeats
+// (fault/heartbeat.hpp). When the global beat count stops advancing for the
+// configured window, the watchdog dumps diagnostics — the obs metrics
+// registry (per-shard queue depths, watermark and NULL counters), the locks
+// currently held according to the hjcheck lock registry, and a Chrome-trace
+// flush when tracing is active — to stderr, then terminates the process with
+// kWatchdogExitCode so a wedged run fails ctest/CI loudly instead of eating
+// the job budget. See docs/ROBUSTNESS.md for the semantics and how to read
+// a dump.
+
+#include <cstdio>
+#include <memory>
+
+namespace hjdes::fault {
+
+/// Exit code of a watchdog-terminated process. Distinct from the generic
+/// failure codes (1, 2) and the abort signal path so CI can tell "the
+/// watchdog caught a stall" from "the run failed".
+inline constexpr int kWatchdogExitCode = 86;
+
+/// Write the stall diagnostics (metrics registry JSON, held hjcheck lock
+/// IDs, trace flush) to `out`. Exposed separately so tests can inspect a
+/// dump without dying.
+void write_stall_dump(std::FILE* out);
+
+/// RAII stall monitor. While alive (and timeout_ms > 0) it arms the
+/// heartbeat board and polls it; a window of `timeout_ms` milliseconds with
+/// no beat triggers the dump-and-exit path. Destruction disarms and joins
+/// the monitor thread. Instances must not overlap (one progress board).
+class ScopedWatchdog {
+ public:
+  /// timeout_ms <= 0 constructs an inert watchdog (no thread, not armed).
+  explicit ScopedWatchdog(int timeout_ms);
+  ~ScopedWatchdog();
+
+  ScopedWatchdog(const ScopedWatchdog&) = delete;
+  ScopedWatchdog& operator=(const ScopedWatchdog&) = delete;
+
+  /// True when this instance is actively monitoring.
+  bool armed() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hjdes::fault

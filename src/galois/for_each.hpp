@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "check/hb.hpp"
+#include "fault/heartbeat.hpp"
 #include "galois/context.hpp"
 #include "support/chunked_workset.hpp"
 #include "support/platform.hpp"
@@ -112,6 +113,7 @@ ForEachStats for_each(const std::vector<T>& initial, Op op,
         slot.flush();
         live.fetch_sub(1, std::memory_order_acq_rel);
         ++committed;
+        fault::heartbeat();  // a committed iteration is forward progress
         backoff = 1;
       } catch (const ConflictException&) {
         ctx.abort();

@@ -49,6 +49,9 @@ bool try_lock(HjLock& lock) noexcept {
       check::lockorder::on_acquire(lock.debug_id(), held_ids.data(),
                                    held_ids.size());
     }
+    // Global held-lock registry: the stall watchdog reads it to report what
+    // was held when progress stopped.
+    check::lockorder::note_lock_acquired(lock.debug_id());
 #endif
     tls_held_locks.push_back(&lock);
     return true;
@@ -62,6 +65,7 @@ void release_all_locks() noexcept {
 #if defined(HJDES_CHECK_ENABLED)
     // Publish the holder's frontier before the lock becomes acquirable.
     lock->hb_.release();
+    check::lockorder::note_lock_released(lock->debug_id());
 #endif
     lock->held_.store(false, std::memory_order_seq_cst);
   }

@@ -3,9 +3,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "check/hb.hpp"
 #include "check/vector_clock.hpp"
+#include "fault/heartbeat.hpp"
+#include "fault/inject.hpp"
 #include "hj/chase_lev_deque.hpp"
 #include "hj/locks.hpp"
 #include "obs/metrics.hpp"
@@ -109,11 +112,18 @@ void execute_task(Worker* w, Task* t) {
   tls_finish = t->ief;
   check::adopt_birth(t->hb_birth);  // parent async() -> first task action
   t->hb_birth = nullptr;
+  // Injected preemption: surrender the core right before the task body, the
+  // worst point for the §4.5.3 Dekker-style activity checks. Correct engines
+  // must tolerate a worker stalling here.
+  if (fault::should_inject(fault::Site::kWorkerYield)) {
+    std::this_thread::yield();
+  }
   {
     obs::ScopedSpan span(obs::SpanKind::kTask);
     t->fn();
   }
   detail::on_task_exit_locks();  // RELEASEALLLOCKS contract (leak = abort/report)
+  fault::heartbeat();  // a completed task is forward progress
   tls_finish = prev;
   // Publish this task's frontier before the decrement that may end the join.
   t->ief->hb_join.release();

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/heartbeat.hpp"
 #include "hj/runtime.hpp"
 #include "netsim/engines.hpp"
 #include "obs/metrics.hpp"
@@ -232,7 +233,10 @@ class CmbEngine {
       deliver(m);
       schedule(m.target);
     }
-    if (local_events != 0) c_events_.add(local_events);
+    if (local_events != 0) {
+      c_events_.add(local_events);
+      fault::heartbeat();  // processed packets are forward progress
+    }
     if (local_forwards != 0) c_forwards_.add(local_forwards);
   }
 

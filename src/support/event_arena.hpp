@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <new>
 
+#include "fault/inject.hpp"
 #include "support/platform.hpp"
 
 namespace hjdes {
@@ -66,6 +67,12 @@ class EventArena {
   /// Allocate `bytes` of kAlign-aligned storage. Owner thread only.
   void* allocate(std::size_t bytes) {
     if (bytes == 0) bytes = 1;
+    // Injected "slab exhausted" transient: take the global-allocator
+    // fallback, whose blocks (owner == nullptr) every deallocate path must
+    // already handle. Proves arena pressure degrades, not corrupts.
+    if (fault::should_inject(fault::Site::kArenaAlloc)) {
+      return allocate_global(bytes);
+    }
     const int cls = size_class(bytes);
     if (cls < 0) return allocate_global(bytes);  // oversize
     if (free_[cls] == nullptr) drain_remote();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <type_traits>
 
+#include "fault/inject.hpp"
 #include "support/platform.hpp"
 
 namespace hjdes {
@@ -24,8 +25,17 @@ class SpscChannel {
                 "SpscChannel is for plain message structs");
 
  public:
-  /// Capacity is rounded up to a power of two, minimum 2.
+  /// Largest accepted min_capacity. Beyond this the round-up-to-power-of-two
+  /// below would overflow (cap <<= 1 wraps to 0 and the loop never exits),
+  /// and no DES channel legitimately needs 2^31 in-flight messages.
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 31;
+
+  /// Capacity is rounded up to a power of two, minimum 2, maximum
+  /// kMaxCapacity (larger requests abort — see kMaxCapacity).
   explicit SpscChannel(std::size_t min_capacity) {
+    HJDES_CHECK(min_capacity <= kMaxCapacity,
+                "SpscChannel capacity request exceeds kMaxCapacity; the "
+                "power-of-two round-up would overflow");
     std::size_t cap = 2;
     while (cap < min_capacity) cap <<= 1;
     mask_ = cap - 1;
@@ -34,8 +44,11 @@ class SpscChannel {
 
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
-  /// Producer side. Returns false when the channel is full.
+  /// Producer side. Returns false when the channel is full — or, under
+  /// -DHJDES_FAULT=ON with an active plan, spuriously (a seeded transient
+  /// exercising every caller's full-channel retry path).
   bool try_push(const T& value) noexcept {
+    if (fault::should_inject(fault::Site::kSpscPush)) return false;
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -58,11 +71,16 @@ class SpscChannel {
     return true;
   }
 
-  /// Approximate occupancy (exact when called by the producer or consumer
-  /// while the other side is quiescent).
+  /// Approximate occupancy. The two relaxed loads are not a consistent
+  /// snapshot: a third thread can observe a tail older than the head it
+  /// reads, making tail - head wrap to a huge value. The result is therefore
+  /// clamped to [0, capacity()]; it is exact only when called by the
+  /// producer or consumer while the other side is quiescent. Use it for
+  /// diagnostics (watchdog dumps, metrics), never for flow control.
   std::size_t size() const noexcept {
-    return tail_.load(std::memory_order_relaxed) -
-           head_.load(std::memory_order_relaxed);
+    const std::size_t n = tail_.load(std::memory_order_relaxed) -
+                          head_.load(std::memory_order_relaxed);
+    return n > capacity() ? capacity() : n;
   }
 
   bool empty() const noexcept { return size() == 0; }

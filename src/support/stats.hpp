@@ -19,7 +19,10 @@ struct Summary {
   double median = 0.0;
 };
 
-/// Compute a Summary over `samples`. Empty input yields a zero Summary.
+/// Compute a Summary over `samples`. Empty input yields the all-zero
+/// Summary (count == 0) — callers reporting results must treat count == 0
+/// as "no data", never as a measured zero; bench::measure clamps its rep
+/// count to >= 1 precisely so published tables can't contain the sentinel.
 Summary summarize(const std::vector<double>& samples);
 
 /// Online accumulator (Welford) for streaming use in long benches.

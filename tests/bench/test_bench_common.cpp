@@ -1,0 +1,146 @@
+// Regression tests for the bench harness bugs: env_int silently atoi-ing
+// garbage to 0, HJDES_MAX_WORKERS=0 making worker_counts() hit
+// counts.back() on an empty vector (UB), HJDES_REPS<=0 producing all-zero
+// "measurements", and measure() forwarding a non-positive rep count into
+// the empty-input Summary sentinel.
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.hpp"
+
+namespace hjdes::bench {
+namespace {
+
+/// setenv/unsetenv wrapper that restores the prior value on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(EnvInt, ParsesPlainIntegers) {
+  ScopedEnv env("HJDES_TEST_ENV_INT", "42");
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 7), 42);
+}
+
+TEST(EnvInt, ParsesNegativeIntegers) {
+  ScopedEnv env("HJDES_TEST_ENV_INT", "-3");
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 7), -3);
+}
+
+TEST(EnvInt, UnsetFallsBack) {
+  ScopedEnv env("HJDES_TEST_ENV_INT", nullptr);
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 7), 7);
+}
+
+TEST(EnvInt, EmptyFallsBack) {
+  ScopedEnv env("HJDES_TEST_ENV_INT", "");
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 7), 7);
+}
+
+TEST(EnvInt, GarbageFallsBackInsteadOfZero) {
+  // atoi("twenty") == 0 was the bug: a typo silently dropped a 20-rep run
+  // to zero reps. Strict parsing keeps the fallback and warns.
+  ScopedEnv env("HJDES_TEST_ENV_INT", "twenty");
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 20), 20);
+}
+
+TEST(EnvInt, TrailingJunkFallsBack) {
+  ScopedEnv env("HJDES_TEST_ENV_INT", "42x");
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 7), 7);
+}
+
+TEST(EnvInt, OutOfRangeFallsBack) {
+  ScopedEnv env("HJDES_TEST_ENV_INT", "99999999999999999999");
+  EXPECT_EQ(env_int("HJDES_TEST_ENV_INT", 7), 7);
+}
+
+TEST(Repetitions, ClampsNonPositiveToOne) {
+  ScopedEnv scale("HJDES_PAPER_SCALE", nullptr);
+  {
+    ScopedEnv env("HJDES_REPS", "0");
+    EXPECT_EQ(repetitions(), 1);
+  }
+  {
+    ScopedEnv env("HJDES_REPS", "-5");
+    EXPECT_EQ(repetitions(), 1);
+  }
+  {
+    ScopedEnv env("HJDES_REPS", nullptr);
+    EXPECT_EQ(repetitions(), 3);  // scaled-down default
+  }
+}
+
+TEST(WorkerCounts, ZeroMaxWorkersYieldsOneNotUb) {
+  // HJDES_MAX_WORKERS=0 used to leave the vector empty and call
+  // counts.back() on it — undefined behaviour.
+  ScopedEnv scale("HJDES_PAPER_SCALE", nullptr);
+  ScopedEnv env("HJDES_MAX_WORKERS", "0");
+  EXPECT_EQ(worker_counts(), std::vector<int>{1});
+}
+
+TEST(WorkerCounts, NegativeMaxWorkersYieldsOne) {
+  ScopedEnv scale("HJDES_PAPER_SCALE", nullptr);
+  ScopedEnv env("HJDES_MAX_WORKERS", "-4");
+  EXPECT_EQ(worker_counts(), std::vector<int>{1});
+}
+
+TEST(WorkerCounts, PowerOfTwoSweepEndsAtMax) {
+  ScopedEnv scale("HJDES_PAPER_SCALE", nullptr);
+  {
+    ScopedEnv env("HJDES_MAX_WORKERS", "8");
+    EXPECT_EQ(worker_counts(), (std::vector<int>{1, 2, 4, 8}));
+  }
+  {
+    ScopedEnv env("HJDES_MAX_WORKERS", "6");
+    EXPECT_EQ(worker_counts(), (std::vector<int>{1, 2, 4, 6}));
+  }
+  {
+    ScopedEnv env("HJDES_MAX_WORKERS", "1");
+    EXPECT_EQ(worker_counts(), std::vector<int>{1});
+  }
+}
+
+TEST(Measure, NonPositiveRepsStillMeasuresOnce) {
+  int calls = 0;
+  const Summary s = measure([&calls] { ++calls; }, 0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(s.count, 1u) << "measure must never return the empty-input "
+                            "sentinel Summary";
+}
+
+TEST(Summarize, EmptyInputIsTheZeroSentinel) {
+  // Contract documented in support/stats.hpp: count == 0 means "no data".
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+}
+
+}  // namespace
+}  // namespace hjdes::bench

@@ -1,0 +1,110 @@
+// The fault-injection acceptance property (graceful degradation): every
+// parallel engine, on the three paper circuits, must stay bit-identical to
+// the sequential engine while a seeded fault plan is active — spurious
+// channel fulls, arena failovers, delayed batch flushes, forced yields and
+// dropped watermarks may cost retries, never correctness. Under a default
+// build (no -DHJDES_FAULT=ON) the plan is inert and this degenerates to the
+// plain equivalence matrix; the CI fault job runs it with injection compiled
+// in and a nonzero rate.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/engines.hpp"
+#include "fault/fault.hpp"
+
+namespace hjdes::des {
+namespace {
+
+struct FaultCase {
+  std::string circuit;
+  std::string engine;
+};
+
+class FaultEquivalence : public ::testing::TestWithParam<FaultCase> {
+ protected:
+  void TearDown() override {
+    fault::disable();
+    fault::reset_tallies();
+  }
+};
+
+circuit::Netlist make_circuit(const std::string& name) {
+  if (name == "mul12") return circuit::tree_multiplier(12);
+  if (name == "ks64") return circuit::kogge_stone_adder(64);
+  if (name == "ks128") return circuit::kogge_stone_adder(128);
+  ADD_FAILURE() << "unknown circuit " << name;
+  return circuit::kogge_stone_adder(8);
+}
+
+TEST_P(FaultEquivalence, BitIdenticalUnderInjectedFaults) {
+  const FaultCase& c = GetParam();
+  circuit::Netlist netlist = make_circuit(c.circuit);
+  circuit::Stimulus stimulus = circuit::random_stimulus(netlist, 2, 60, 911);
+  SimInput input(netlist, stimulus);
+
+  const EngineInfo* engine = find_engine(c.engine);
+  ASSERT_NE(engine, nullptr);
+  RunConfig config;
+  config.workers = 4;
+  config.batch = 4;  // small batches: more flush triggers to delay
+
+  // 2% of decisions fault. Each engine hits the sites its architecture
+  // exposes (partitioned: channels/batches/watermarks; hj: yields; all:
+  // arena failovers where arenas are in use).
+  fault::configure(/*seed=*/0xFA0715 + static_cast<std::uint64_t>(
+                       netlist.node_count()),
+                   /*rate_ppm=*/20000);
+  SimResult result = engine->run(input, config);
+  fault::disable();
+
+  SimResult ref = run_sequential(input);
+  EXPECT_TRUE(same_behaviour(ref, result)) << diff_behaviour(ref, result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCircuits, FaultEquivalence,
+    ::testing::Values(FaultCase{"mul12", "hj"}, FaultCase{"ks64", "hj"},
+                      FaultCase{"ks128", "hj"}, FaultCase{"mul12", "galois"},
+                      FaultCase{"ks64", "galois"},
+                      FaultCase{"ks128", "galois"},
+                      FaultCase{"mul12", "partitioned"},
+                      FaultCase{"ks64", "partitioned"},
+                      FaultCase{"ks128", "partitioned"}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return info.param.circuit + "_" + info.param.engine;
+    });
+
+#if defined(HJDES_FAULT_ENABLED)
+
+// The matrix must actually exercise the machinery when it is compiled in:
+// a partitioned run at an aggressive rate has cross-shard traffic, so the
+// channel/flush/watermark sites are guaranteed decision points.
+TEST(FaultEquivalenceCoverage, PartitionedRunActuallyInjects) {
+  circuit::Netlist netlist = circuit::kogge_stone_adder(64);
+  circuit::Stimulus stimulus = circuit::random_stimulus(netlist, 2, 60, 911);
+  SimInput input(netlist, stimulus);
+
+  const EngineInfo* engine = find_engine("partitioned");
+  ASSERT_NE(engine, nullptr);
+  RunConfig config;
+  config.workers = 4;
+  config.batch = 4;
+
+  fault::reset_tallies();
+  fault::configure(/*seed=*/99, /*rate_ppm=*/100000);  // 10%
+  SimResult result = engine->run(input, config);
+  fault::disable();
+
+  EXPECT_GT(fault::injected_total(), 0u)
+      << "a 10% plan over a cross-shard run must fire at least once";
+  SimResult ref = run_sequential(input);
+  EXPECT_TRUE(same_behaviour(ref, result)) << diff_behaviour(ref, result);
+}
+
+#endif  // HJDES_FAULT_ENABLED
+
+}  // namespace
+}  // namespace hjdes::des

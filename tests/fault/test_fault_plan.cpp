@@ -1,0 +1,144 @@
+// FaultPlan unit semantics: compile-mode consistency, deterministic seeded
+// streams, rate clamping, site masking, tallies and the summary line. The
+// injection assertions are meaningful under -DHJDES_FAULT=ON; a default
+// build instead verifies that every hook is a hard-wired no-op.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+
+namespace hjdes::fault {
+namespace {
+
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    disable();
+    reset_tallies();
+  }
+};
+
+TEST_F(FaultPlanTest, CompiledFlagsAgree) {
+  EXPECT_EQ(compiled_in(), kCompiledIn);
+}
+
+TEST_F(FaultPlanTest, SiteNamesAreStable) {
+  EXPECT_STREQ(site_name(Site::kSpscPush), "spsc_push");
+  EXPECT_STREQ(site_name(Site::kArenaAlloc), "arena_alloc");
+  EXPECT_STREQ(site_name(Site::kBatchFlush), "batch_flush");
+  EXPECT_STREQ(site_name(Site::kWorkerYield), "worker_yield");
+  EXPECT_STREQ(site_name(Site::kNullWatermark), "null_watermark");
+  EXPECT_STREQ(site_name(Site::kCount_), "unknown");
+}
+
+TEST_F(FaultPlanTest, DisabledPlanNeverFires) {
+  disable();
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(should_inject(Site::kSpscPush));
+  }
+  EXPECT_EQ(injected_total(), 0u);
+  EXPECT_TRUE(summary().empty());
+}
+
+#if defined(HJDES_FAULT_ENABLED)
+
+TEST_F(FaultPlanTest, RateIsClampedToCeiling) {
+  configure(1, kRatePpmScale);  // 100% requested
+  EXPECT_EQ(rate_ppm(), kMaxRatePpm);
+  configure(1, kMaxRatePpm - 1);
+  EXPECT_EQ(rate_ppm(), kMaxRatePpm - 1);
+}
+
+TEST_F(FaultPlanTest, SeededDecisionsAreReproducible) {
+  auto draw_sequence = [](std::uint64_t seed) {
+    configure(seed, 200000);  // 20%
+    std::vector<bool> decisions;
+    decisions.reserve(512);
+    for (int i = 0; i < 512; ++i) {
+      decisions.push_back(should_inject(Site::kSpscPush));
+    }
+    return decisions;
+  };
+  const std::vector<bool> first = draw_sequence(42);
+  const std::vector<bool> again = draw_sequence(42);
+  const std::vector<bool> other = draw_sequence(43);
+  EXPECT_EQ(first, again) << "same seed must replay the same decisions";
+  EXPECT_NE(first, other) << "different seeds must diverge";
+}
+
+TEST_F(FaultPlanTest, ObservedRateTracksConfiguredRate) {
+  configure(7, 250000);  // 25%
+  reset_tallies();
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) (void)should_inject(Site::kArenaAlloc);
+  const auto hits = static_cast<double>(injected(Site::kArenaAlloc));
+  // 25% of 20000 = 5000 expected; 4 sigma ~ 250.
+  EXPECT_GT(hits, 4000.0);
+  EXPECT_LT(hits, 6000.0);
+}
+
+TEST_F(FaultPlanTest, SiteMaskSelectsSites) {
+  const auto only_yield = 1u << static_cast<unsigned>(Site::kWorkerYield);
+  configure(9, kMaxRatePpm, only_yield);
+  reset_tallies();
+  bool yield_fired = false;
+  for (int i = 0; i < 4096; ++i) {
+    EXPECT_FALSE(should_inject(Site::kSpscPush));
+    EXPECT_FALSE(should_inject(Site::kNullWatermark));
+    yield_fired |= should_inject(Site::kWorkerYield);
+  }
+  EXPECT_TRUE(yield_fired);
+  EXPECT_EQ(injected(Site::kSpscPush), 0u);
+  EXPECT_GT(injected(Site::kWorkerYield), 0u);
+}
+
+TEST_F(FaultPlanTest, TalliesAndSummaryReflectInjections) {
+  configure(11, kMaxRatePpm);
+  reset_tallies();
+  while (injected(Site::kBatchFlush) == 0) {
+    (void)should_inject(Site::kBatchFlush);
+  }
+  EXPECT_GE(injected_total(), injected(Site::kBatchFlush));
+  const std::string line = summary();
+  EXPECT_NE(line.find("batch_flush"), std::string::npos) << line;
+  reset_tallies();
+  EXPECT_EQ(injected_total(), 0u);
+  EXPECT_TRUE(summary().empty());
+}
+
+TEST_F(FaultPlanTest, DisableStopsInjection) {
+  configure(13, kMaxRatePpm);
+  disable();
+  reset_tallies();
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(should_inject(Site::kSpscPush));
+  }
+  EXPECT_EQ(injected_total(), 0u);
+}
+
+#else  // !HJDES_FAULT_ENABLED
+
+TEST_F(FaultPlanTest, ConfigureIsInertWithoutTheBuildFlag) {
+  configure(42, kMaxRatePpm);  // prints a stderr note, stores nothing
+  EXPECT_EQ(rate_ppm(), 0u);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(should_inject(Site::kSpscPush));
+    EXPECT_FALSE(should_inject(Site::kArenaAlloc));
+  }
+  EXPECT_EQ(injected_total(), 0u);
+  EXPECT_FALSE(shard_wedged(0));
+  wedge_shard(0);
+  EXPECT_FALSE(shard_wedged(0));
+}
+
+#endif  // HJDES_FAULT_ENABLED
+
+TEST_F(FaultPlanTest, PublishMetricsDoesNotThrow) {
+  publish_metrics();
+  publish_metrics();  // delta publication must be idempotent at zero
+}
+
+}  // namespace
+}  // namespace hjdes::fault

@@ -1,0 +1,119 @@
+// Stall watchdog: heartbeat accounting, no false positives while workers
+// beat, the diagnostics dump, and — as death tests — the true positives: a
+// process that stops beating, and a deliberately wedged partitioned shard,
+// must both exit with kWatchdogExitCode instead of hanging.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/engines.hpp"
+#include "fault/fault.hpp"
+
+namespace hjdes::fault {
+namespace {
+
+TEST(Watchdog, ZeroTimeoutIsInert) {
+  ScopedWatchdog wd(0);
+  EXPECT_FALSE(wd.armed());
+  EXPECT_FALSE(watchdog_armed());
+  const std::uint64_t before = heartbeat_total();
+  heartbeat();
+  EXPECT_EQ(heartbeat_total(), before) << "beats are recorded only while a "
+                                          "watchdog is armed";
+}
+
+TEST(Watchdog, NegativeTimeoutIsInert) {
+  ScopedWatchdog wd(-5);
+  EXPECT_FALSE(wd.armed());
+}
+
+TEST(Watchdog, HeartbeatsAccumulateWhileArmed) {
+  ScopedWatchdog wd(60'000);  // window far beyond the test's runtime
+  EXPECT_TRUE(wd.armed());
+  EXPECT_TRUE(watchdog_armed());
+  const std::uint64_t before = heartbeat_total();
+  for (int i = 0; i < 64; ++i) heartbeat();
+  EXPECT_GE(heartbeat_total(), before + 64);
+}
+
+TEST(Watchdog, DisarmsOnDestruction) {
+  { ScopedWatchdog wd(60'000); }
+  EXPECT_FALSE(watchdog_armed());
+}
+
+TEST(Watchdog, NoFalsePositiveWhileBeating) {
+  // Beat every 20 ms against a 150 ms window for half a second: progress,
+  // however slow, must never trip the watchdog.
+  ScopedWatchdog wd(150);
+  for (int i = 0; i < 25; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    heartbeat();
+  }
+  SUCCEED();
+}
+
+TEST(Watchdog, StallDumpNamesItsSections) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  write_stall_dump(tmp);
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string dump;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0) dump.append(buf, n);
+  std::fclose(tmp);
+  EXPECT_NE(dump.find("stall diagnostics"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("held locks"), std::string::npos);
+  EXPECT_NE(dump.find("metrics registry"), std::string::npos);
+  EXPECT_NE(dump.find("trace:"), std::string::npos);
+}
+
+using WatchdogDeathTest = ::testing::Test;
+
+TEST(WatchdogDeathTest, SilentProcessExitsWithWatchdogCode) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        ScopedWatchdog wd(100);
+        // Never beat: the monitor must dump and _Exit(86) on its own.
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+        std::_Exit(0);  // unreachable if the watchdog works
+      },
+      ::testing::ExitedWithCode(kWatchdogExitCode), "stall diagnostics");
+}
+
+#if defined(HJDES_FAULT_ENABLED)
+
+// The seeded true positive from the issue: wedge one partitioned shard so it
+// spins forever without committing events or advancing watermarks. Its peers
+// starve, global progress stops, and the watchdog must kill the run with
+// diagnostics instead of letting ctest hang until its timeout.
+TEST(WatchdogDeathTest, WedgedShardIsCaughtWithDiagnostics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        circuit::Netlist netlist = circuit::kogge_stone_adder(64);
+        circuit::Stimulus stimulus =
+            circuit::random_stimulus(netlist, 2, 60, 911);
+        des::SimInput input(netlist, stimulus);
+        const des::EngineInfo* engine = des::find_engine("partitioned");
+        des::RunConfig config;
+        config.workers = 4;
+        wedge_shard(0);
+        ScopedWatchdog wd(300);
+        (void)engine->run(input, config);  // never returns
+        std::_Exit(0);
+      },
+      ::testing::ExitedWithCode(kWatchdogExitCode), "stall diagnostics");
+}
+
+#endif  // HJDES_FAULT_ENABLED
+
+}  // namespace
+}  // namespace hjdes::fault

@@ -1,5 +1,6 @@
 // SpscChannel: capacity rounding, FIFO order, full/empty edges, and a
 // threaded producer/consumer stress with checksum.
+#include <cstddef>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -70,6 +71,78 @@ TEST(SpscChannel, ThreadedStressPreservesSequence) {
   producer.join();
   EXPECT_TRUE(ch.empty());
   EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(SpscChannel, FullAndEmptyAtExactCapacityAfterWraparound) {
+  // Exercise the full/empty boundary when the head/tail counters are far
+  // from zero: advance both by a non-multiple of the capacity, then drive
+  // the channel to exactly capacity() and back to empty.
+  SpscChannel<int> ch(8);
+  ASSERT_EQ(ch.capacity(), 8u);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.try_push(i));
+    int v;
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.try_pop(v));
+  }
+  for (std::size_t i = 0; i < ch.capacity(); ++i) {
+    ASSERT_TRUE(ch.try_push(static_cast<int>(i))) << "slot " << i;
+  }
+  EXPECT_EQ(ch.size(), ch.capacity());
+  EXPECT_FALSE(ch.try_push(99)) << "channel at exactly capacity() is full";
+  int v = -1;
+  for (std::size_t i = 0; i < ch.capacity(); ++i) {
+    ASSERT_TRUE(ch.try_pop(v));
+    EXPECT_EQ(v, static_cast<int>(i));
+  }
+  EXPECT_TRUE(ch.empty());
+  EXPECT_FALSE(ch.try_pop(v)) << "channel drained to empty must report so";
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(SpscChannel, SizeIsClampedToCapacity) {
+  SpscChannel<int> ch(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ch.try_push(i));
+  EXPECT_LE(ch.size(), ch.capacity());
+}
+
+TEST(SpscChannelDeathTest, OversizeCapacityRequestAbortsInsteadOfHanging) {
+  // min_capacity > kMaxCapacity used to make the power-of-two round-up
+  // (cap <<= 1) overflow to 0 and spin forever; now it must abort loudly.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(SpscChannel<int> ch(SpscChannel<int>::kMaxCapacity + 1),
+               "kMaxCapacity");
+  EXPECT_DEATH(SpscChannel<int> ch(SIZE_MAX / 2 + 2), "kMaxCapacity");
+}
+
+TEST(SpscChannel, MaxCapacityConstantIsAPowerOfTwo) {
+  constexpr std::size_t kMax = SpscChannel<int>::kMaxCapacity;
+  EXPECT_EQ(kMax & (kMax - 1), 0u);
+  EXPECT_GT(kMax, 0u);
+}
+
+// Two-thread stress at minimal capacity: maximal wraparound pressure on the
+// full/empty boundary. TSan (the CI 'support' label runs under it) checks
+// the release/acquire pairing of the counter handoff.
+TEST(SpscChannel, ThreadedStressAtMinimalCapacity) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscChannel<std::uint64_t> ch(2);
+  std::thread producer([&ch] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ch.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    std::uint64_t v;
+    if (!ch.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ch.empty());
 }
 
 TEST(SpscChannel, StructMessagesCopyIntact) {

@@ -33,6 +33,11 @@ const FlagTable& netsim_flags() {
         {"workers", "N", "cmb worker threads (default 4)"},
         {"hotspot", "", "all-to-one traffic instead of uniform"},
         {"verify", "", "cross-check against the global event list"},
+        {"fault-rate", "PPM", "seeded fault injections per million decisions "
+                              "(needs -DHJDES_FAULT=ON; default 0 = off)"},
+        {"fault-seed", "S", "seed of the fault-injection streams (default 1)"},
+        {"watchdog-ms", "N", "stall watchdog window; dump + exit nonzero "
+                             "after N ms without progress (default 0 = off)"},
     };
     t.add_all(tool::common_flags());
     return t;
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   }
 
   tool::start_trace_if_requested(cli);
+  auto watchdog = tool::arm_fault_harness(cli);
   Timer t;
   NetSimResult r;
   if (engine == "global") {
@@ -93,6 +99,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const double secs = t.seconds();
+  watchdog.reset();  // disarm before the single-threaded epilogue
+  tool::fault_epilogue();
   if (!tool::finish_trace_if_requested(cli)) return 1;
 
   std::printf("engine %s: %.2f ms; delivered %llu/%zu, avg latency %.1f, "

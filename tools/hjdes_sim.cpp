@@ -195,9 +195,14 @@ int main(int argc, char** argv) {
   }
 
   tool::start_trace_if_requested(cli);
+  auto watchdog = tool::arm_fault_harness(config.fault_seed,
+                                          config.fault_rate_ppm,
+                                          config.watchdog_ms);
   Timer t;
   des::SimResult result = engine->run(input, config);
   const double secs = t.seconds();
+  watchdog.reset();  // disarm before the single-threaded epilogue
+  tool::fault_epilogue();
   if (!tool::finish_trace_if_requested(cli)) return 1;
 
   std::printf("engine %s (%d workers, pin %s): %.2f ms, %llu events "

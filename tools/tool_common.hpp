@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
@@ -72,6 +74,36 @@ inline std::uint64_t check_report_if_requested(const Cli& cli) {
   }
   check::lockorder::verify_no_cycles();
   return check::print_report(stdout);
+}
+
+/// Install the fault plan from --fault-rate/--fault-seed (no-op at rate 0)
+/// and return a watchdog for --watchdog-ms (inert at 0). Keep the returned
+/// watchdog alive for the duration of the simulated run. Tools without a
+/// RunConfig (hjdes_netsim) read the flags straight from the Cli via the
+/// defaults here; tools with one pass the validated values instead.
+inline std::unique_ptr<fault::ScopedWatchdog> arm_fault_harness(
+    std::uint64_t fault_seed, int fault_rate_ppm, int watchdog_ms) {
+  if (fault_rate_ppm > 0) {
+    fault::configure(fault_seed,
+                     static_cast<std::uint32_t>(fault_rate_ppm));
+  }
+  return std::make_unique<fault::ScopedWatchdog>(watchdog_ms);
+}
+
+inline std::unique_ptr<fault::ScopedWatchdog> arm_fault_harness(
+    const Cli& cli) {
+  return arm_fault_harness(
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 1)),
+      static_cast<int>(cli.get_int("fault-rate", 0)),
+      static_cast<int>(cli.get_int("watchdog-ms", 0)));
+}
+
+/// Print the one-line fault summary (stdout) when anything was injected, and
+/// mirror the tallies into the metrics registry so --metrics-json sees them.
+inline void fault_epilogue() {
+  fault::publish_metrics();
+  const std::string line = fault::summary();
+  if (!line.empty()) std::printf("%s\n", line.c_str());
 }
 
 /// Dump the metrics registry when --metrics-json was passed. False on a

@@ -11,12 +11,15 @@
 // engines dominate the runtime) so the CI job finishes in seconds.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "des/packed_engine.hpp"
+#include "support/rng.hpp"
 #include "support/topology.hpp"
 
 namespace {
@@ -103,6 +106,129 @@ void print_topology_comparison() {
   std::printf("topology: wrote %zu cells to %s\n", cells.size(), path.c_str());
 }
 
+// --- Event-core trajectory (BENCH_core.json) -------------------------------
+// Sequential events/sec across the event-core configurations behind --queue
+// and --bitparallel, on the paper's three circuits. The JSON is committed at
+// the repo root per PR and diffed by scripts/bench_diff.py in the
+// bench-trajectory CI job: ratios are normalized by their median, so
+// machine-speed differences between the committing machine and the CI runner
+// cancel and only relative per-cell regressions trip the gate. This section
+// always runs 3+ repetitions — even under HJDES_SMOKE — because a
+// single-rep sample would make the 15% gate flaky.
+
+struct CoreCell {
+  std::string circuit;
+  std::string config;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  unsigned long long events = 0;  ///< useful simulated events per run
+  double events_per_sec = 0.0;
+};
+
+void print_core_trajectory() {
+  const int reps = std::max(smoke() ? 3 : repetitions(), 3);
+  std::printf("\n=== Event core: events/sec by queue/bit-parallel config "
+              "(%d reps) ===\n", reps);
+
+  const des::EngineInfo* seq = des::find_engine("seq");
+  std::vector<CoreCell> cells;
+  TextTable t;
+  t.header({"circuit", "config", "min ms", "events", "Mev/s"});
+
+  auto record = [&](const std::string& circuit, const char* config,
+                    const Summary& s, unsigned long long events) {
+    CoreCell c;
+    c.circuit = circuit;
+    c.config = config;
+    c.min_ms = s.min * 1e3;
+    c.mean_ms = s.mean * 1e3;
+    c.events = events;
+    c.events_per_sec = s.min > 0.0 ? static_cast<double>(events) / s.min : 0.0;
+    t.row({c.circuit, c.config, TextTable::fmt(c.min_ms),
+           TextTable::fmt_int(static_cast<long long>(c.events)),
+           TextTable::fmt(c.events_per_sec / 1e6)});
+    cells.push_back(std::move(c));
+  };
+
+  for (Workload& w : all_workloads()) {
+    des::SimInput input(w.netlist, w.stimulus);
+
+    struct ScalarCfg {
+      const char* name;
+      des::QueueKind kind;
+    };
+    for (const ScalarCfg& cfg :
+         {ScalarCfg{"seq", des::QueueKind::kDefault},
+          ScalarCfg{"seq-heap", des::QueueKind::kHeap},
+          ScalarCfg{"seq-ladder", des::QueueKind::kLadder}}) {
+      des::RunConfig config;
+      config.queue_kind = cfg.kind;
+      des::SimResult last;
+      Summary s = measure([&] { last = seq->run(input, config); }, reps);
+      record(w.name, cfg.name, s, last.events_processed);
+    }
+
+    // Bit-parallel cells: 64 lanes sharing the workload's timeline with
+    // independently randomized values — one packed pass simulates 64
+    // vectors' worth of stimulus, so useful events count all lanes. The
+    // event flow is value-blind, so every lane does exactly the scalar
+    // run's event count; the ≥1.5x trajectory claim rides on this ratio.
+    std::vector<circuit::Stimulus> lanes(
+        static_cast<std::size_t>(des::kPackedLanes), w.stimulus);
+    Xoshiro256 rng(0x9E3779B97F4A7C15ull);
+    for (circuit::Stimulus& lane : lanes) {
+      for (auto& events : lane.initial) {
+        for (auto& e : events) e.value = rng.below(2) != 0;
+      }
+    }
+    std::vector<const circuit::Stimulus*> ptrs;
+    for (const circuit::Stimulus& lane : lanes) ptrs.push_back(&lane);
+
+    struct PackedCfg {
+      const char* name;
+      des::QueueKind kind;
+    };
+    for (const PackedCfg& cfg :
+         {PackedCfg{"seq-bp64", des::QueueKind::kDefault},
+          PackedCfg{"seq-ladder-bp64", des::QueueKind::kLadder}}) {
+      des::PackedResult last;
+      Summary s = measure(
+          [&] { last = des::run_packed(w.netlist, ptrs, cfg.kind); }, reps);
+      unsigned long long events = 0;
+      for (const des::SimResult& lane : last.lanes) {
+        events += lane.events_processed;
+      }
+      record(w.name, cfg.name, s, events);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const char* path_env = std::getenv("HJDES_CORE_JSON");
+  const std::string path =
+      path_env != nullptr && *path_env != '\0' ? path_env : "BENCH_core.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "core: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"schema\": \"hjdes-bench-core\",\n  \"version\": 1,\n"
+               "  \"smoke\": %s,\n  \"reps\": %d,\n  \"cells\": [\n",
+               smoke() ? "true" : "false", reps);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CoreCell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"circuit\": \"%s\", \"config\": \"%s\", "
+                 "\"min_ms\": %.3f, \"mean_ms\": %.3f, \"events\": %llu, "
+                 "\"events_per_sec\": %.1f}%s\n",
+                 c.circuit.c_str(), c.config.c_str(), c.min_ms, c.mean_ms,
+                 c.events, c.events_per_sec, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("core: wrote %zu cells to %s\n", cells.size(), path.c_str());
+}
+
 void print_overview() {
   const int reps = smoke() ? 1 : repetitions();
   const int workers = worker_counts().back();
@@ -143,6 +269,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   if (!smoke()) print_overview();
+  print_core_trajectory();
   print_topology_comparison();
   return 0;
 }

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_core.json event-core trajectories and gate on regressions.
+
+    scripts/bench_diff.py BASELINE CANDIDATE [--threshold PCT]
+    scripts/bench_diff.py --self-test
+
+BASELINE is the committed repo-root BENCH_core.json (the trajectory the PR
+author measured); CANDIDATE is the file the bench-trajectory CI job just
+produced with `bench_engines_overview` (HJDES_CORE_JSON). Both must carry
+schema "hjdes-bench-core" version 1 (bench/bench_engines_overview.cpp writes
+it; bump the version there and here together).
+
+Cells are joined on (circuit, config) and compared by events_per_sec. The
+committing machine and the CI runner differ in absolute speed, so raw ratios
+are useless; instead every cell's ratio r = candidate/baseline is normalized
+by the median ratio across all cells (the machine-speed factor), and the gate
+trips when any cell falls more than --threshold percent below that median:
+
+    r_i / median(r) < 1 - threshold/100   ->  regression, exit 1
+
+A uniform slowdown (slower runner) moves the median, not the spread, and
+passes; a single config losing ground against its siblings — the ladder
+queue regressing while the heap holds, a packed path losing its word-level
+parallelism — is exactly a spread change and fails. Cells present in the
+baseline but missing from the candidate fail (a silently dropped config is
+not a pass); cells only in the candidate are reported and pass (a new config
+has no trajectory yet).
+
+--self-test builds a synthetic baseline/candidate pair in memory, seeds one
+cell with a >15% relative regression, and asserts the gate trips (and that
+an identical pair passes). The CI job runs it before the real diff so a
+broken gate fails loudly instead of waving regressions through.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "hjdes-bench-core"
+VERSION = 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    if doc.get("version") != VERSION:
+        raise SystemExit(
+            f"{path}: version {doc.get('version')!r}, want {VERSION} "
+            "(regenerate the baseline or update bench_diff.py)"
+        )
+    cells = {}
+    for cell in doc.get("cells", []):
+        key = (cell["circuit"], cell["config"])
+        if key in cells:
+            raise SystemExit(f"{path}: duplicate cell {key}")
+        eps = float(cell["events_per_sec"])
+        if eps <= 0:
+            raise SystemExit(f"{path}: cell {key} has events_per_sec {eps}")
+        cells[key] = eps
+    if not cells:
+        raise SystemExit(f"{path}: no cells")
+    return cells
+
+
+def median(values):
+    s = sorted(values)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def diff(base, cand, threshold_pct):
+    """Compare cell dicts; returns (failures, report_lines)."""
+    failures = []
+    lines = []
+    missing = sorted(k for k in base if k not in cand)
+    extra = sorted(k for k in cand if k not in base)
+    for key in missing:
+        failures.append(f"cell {key} is in the baseline but not the candidate")
+    for key in extra:
+        lines.append(f"  new cell {key}: no baseline, skipped")
+
+    joined = sorted(k for k in base if k in cand)
+    if not joined:
+        failures.append("no cells in common between baseline and candidate")
+        return failures, lines
+
+    ratios = {k: cand[k] / base[k] for k in joined}
+    scale = median(ratios.values())
+    floor = 1.0 - threshold_pct / 100.0
+    lines.append(f"  machine-speed scale (median ratio): {scale:.3f}")
+    for key in joined:
+        rel = ratios[key] / scale
+        verdict = "ok"
+        if rel < floor:
+            verdict = "REGRESSION"
+            failures.append(
+                f"cell {key}: {rel:.3f}x relative to the median "
+                f"(threshold {floor:.3f}x); "
+                f"{base[key]:.0f} -> {cand[key]:.0f} events/sec"
+            )
+        lines.append(
+            f"  {key[0]:<20} {key[1]:<16} {base[key] / 1e6:>9.2f} -> "
+            f"{cand[key] / 1e6:>9.2f} Mev/s  rel {rel:.3f}  {verdict}"
+        )
+    return failures, lines
+
+
+def self_test():
+    circuits = ["multiplier-8bit", "kogge-stone-32bit"]
+    configs = ["seq", "seq-heap", "seq-ladder", "seq-bp64", "seq-ladder-bp64"]
+    base = {(ci, cf): 1e6 * (1 + i) for i, (ci, cf) in
+            enumerate((ci, cf) for ci in circuits for cf in configs)}
+
+    # A uniformly 2x-slower machine must pass at any threshold.
+    slower = {k: v * 0.5 for k, v in base.items()}
+    failures, _ = diff(base, slower, 15.0)
+    assert not failures, f"uniform slowdown tripped the gate: {failures}"
+
+    # One cell 20% below its siblings must trip a 15% gate.
+    regressed = dict(slower)
+    victim = (circuits[0], "seq-ladder")
+    regressed[victim] *= 0.80
+    failures, _ = diff(base, regressed, 15.0)
+    assert failures, "seeded 20% regression did not trip the 15% gate"
+    assert any("seq-ladder" in f for f in failures), failures
+
+    # ... and must pass a 25% gate.
+    failures, _ = diff(base, regressed, 25.0)
+    assert not failures, f"20% regression tripped a 25% gate: {failures}"
+
+    # A dropped cell is a failure, not a silent pass.
+    dropped = {k: v for k, v in slower.items() if k != victim}
+    failures, _ = diff(base, dropped, 15.0)
+    assert any("not the candidate" in f for f in failures), failures
+
+    print("bench_diff: self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="committed BENCH_core.json")
+    ap.add_argument("candidate", nargs="?", help="freshly measured JSON")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="max %% a cell may fall below the median ratio")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate trips on a seeded regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        ap.error("need BASELINE and CANDIDATE (or --self-test)")
+    if not 0 < args.threshold < 100:
+        ap.error("--threshold must be in (0, 100)")
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    failures, lines = diff(base, cand, args.threshold)
+    print(f"bench_diff: {args.baseline} vs {args.candidate} "
+          f"(threshold {args.threshold:.0f}%)")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nbench_diff: FAIL ({len(failures)} regression(s)):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Print a timing summary of the last ctest run in a build tree.
+
+    scripts/ctest_summary.py [BUILD_DIR] [--top N]
+
+Parses BUILD_DIR/Testing/Temporary/LastTest.log (the log ctest always writes,
+default BUILD_DIR: build) and prints totals, the slowest individual tests,
+and cumulative time per gtest suite — so a CI log answers "where did the
+minutes go" without rerunning anything. Informational: exits 0 whether the
+tests passed or failed (ctest itself already gated the job), and 1 only when
+the log is missing, which means the step ran before ctest or in the wrong
+directory.
+"""
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# "3/655 Testing: RingDeque.StartsEmpty" opens a block;
+# "Test time =   0.52 sec" and "Test Passed." / "...Failed." close it.
+TESTING_RE = re.compile(r"^\d+/\d+ Testing: (.+)$")
+TIME_RE = re.compile(r"^Test time =\s+([0-9.]+) sec$")
+RESULT_RE = re.compile(r"^Test (Passed|Failed|Timeout)")
+
+
+def parse(log_path):
+    tests = []  # (name, seconds, status)
+    name = None
+    seconds = None
+    for line in log_path.read_text(errors="replace").splitlines():
+        m = TESTING_RE.match(line)
+        if m:
+            # gtest value-parameterized tests carry a "# GetParam() = ..."
+            # suffix with unstable pointer values; drop it.
+            name, seconds = m.group(1).split("  # GetParam()")[0], None
+            continue
+        m = TIME_RE.match(line)
+        if m and name is not None:
+            seconds = float(m.group(1))
+            continue
+        m = RESULT_RE.match(line)
+        if m and name is not None:
+            tests.append((name, seconds if seconds is not None else 0.0,
+                          m.group(1)))
+            name = None
+    return tests
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("build_dir", nargs="?", default="build")
+    ap.add_argument("--top", type=int, default=15,
+                    help="how many slowest tests/suites to list")
+    args = ap.parse_args()
+
+    log_path = Path(args.build_dir) / "Testing" / "Temporary" / "LastTest.log"
+    if not log_path.is_file():
+        print(f"ctest_summary: {log_path} not found (run ctest first)")
+        return 1
+    tests = parse(log_path)
+    if not tests:
+        print(f"ctest_summary: no test records in {log_path}")
+        return 1
+
+    total = sum(t[1] for t in tests)
+    failed = [t for t in tests if t[2] != "Passed"]
+    print(f"ctest_summary: {len(tests)} tests, {total:.1f}s cumulative, "
+          f"{len(failed)} not passed")
+
+    print(f"\nslowest {min(args.top, len(tests))} tests:")
+    for name, secs, status in sorted(tests, key=lambda t: -t[1])[:args.top]:
+        flag = "" if status == "Passed" else f"  [{status}]"
+        print(f"  {secs:8.2f}s  {name}{flag}")
+
+    suites = defaultdict(lambda: [0.0, 0])
+    for name, secs, _ in tests:
+        suite = name.split(".")[0].split("/")[0]
+        suites[suite][0] += secs
+        suites[suite][1] += 1
+    ranked = sorted(suites.items(), key=lambda kv: -kv[1][0])
+    print(f"\nslowest {min(args.top, len(ranked))} suites:")
+    for suite, (secs, count) in ranked[:args.top]:
+        print(f"  {secs:8.2f}s  {suite} ({count} tests)")
+
+    if failed:
+        print(f"\nnot passed:")
+        for name, secs, status in failed:
+            print(f"  {status}: {name} ({secs:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # piped into head; not an error
+        sys.exit(0)

@@ -63,6 +63,36 @@ constexpr bool gate_eval(GateKind k, bool a, bool b) noexcept {
   return false;
 }
 
+/// Bit-parallel gate function: each of the 64 bits of `a`/`b` is one
+/// independent stimulus lane, so one word operation evaluates the gate for
+/// 64 trials at once (`--bitparallel=64`). Bit i of the result equals
+/// gate_eval(k, bit i of a, bit i of b) for every i — the packed engine's
+/// fan-out relies on this being exact.
+constexpr std::uint64_t gate_eval_word(GateKind k, std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  switch (k) {
+    case GateKind::Input:
+    case GateKind::Output:
+    case GateKind::Buf:
+      return a;
+    case GateKind::Not:
+      return ~a;
+    case GateKind::And:
+      return a & b;
+    case GateKind::Or:
+      return a | b;
+    case GateKind::Xor:
+      return a ^ b;
+    case GateKind::Nand:
+      return ~(a & b);
+    case GateKind::Nor:
+      return ~(a | b);
+    case GateKind::Xnor:
+      return ~(a ^ b);
+  }
+  return 0;
+}
+
 /// Constant per-kind processing+propagation delay in simulated time units
 /// (paper §4.1: "for each type of logic gate, a constant processing delay is
 /// assigned in the program"). Values mimic relative CMOS costs.

@@ -97,6 +97,8 @@ Netlist NetlistBuilder::build() {
     }
   }
   out.edges_.resize(total_edges);
+  out.kinds_.resize(n);
+  out.delays_.resize(n);
   std::uint32_t offset = 0;
   for (std::size_t i = 0; i < n; ++i) {
     Netlist::Node& node = out.nodes_[i];
@@ -104,6 +106,8 @@ Netlist NetlistBuilder::build() {
     node.kind = p.kind;
     node.num_inputs = static_cast<std::uint8_t>(gate_arity(p.kind));
     node.delay = p.delay;
+    out.kinds_[i] = p.kind;
+    out.delays_[i] = p.delay;
     node.fanin[0] = p.fanin[0];
     node.fanin[1] = p.fanin[1];
     node.fanout_begin = offset;

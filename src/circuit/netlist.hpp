@@ -53,6 +53,12 @@ class Netlist {
   int num_inputs(NodeId id) const noexcept { return node(id).num_inputs; }
   std::int64_t delay(NodeId id) const noexcept { return node(id).delay; }
 
+  /// Struct-of-arrays mirrors of the per-node kind and delay, for engine
+  /// inner loops that touch only those fields: one byte (resp. 8 bytes) per
+  /// node instead of dragging the full ~40-byte Node through the cache.
+  std::span<const GateKind> kinds() const noexcept { return kinds_; }
+  std::span<const std::int64_t> delays() const noexcept { return delays_; }
+
   /// Fanout edges of `id` (input ports this node drives).
   std::span<const FanoutEdge> fanout(NodeId id) const noexcept {
     const Node& n = node(id);
@@ -83,6 +89,8 @@ class Netlist {
   friend class NetlistBuilder;
 
   std::vector<Node> nodes_;
+  std::vector<GateKind> kinds_;        ///< SoA mirror of nodes_[i].kind
+  std::vector<std::int64_t> delays_;   ///< SoA mirror of nodes_[i].delay
   std::vector<FanoutEdge> edges_;
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;

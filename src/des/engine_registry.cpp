@@ -1,9 +1,26 @@
+#include <optional>
+
 #include "des/engines.hpp"
+#include "des/packed_engine.hpp"
+#include "support/event_arena.hpp"
 
 namespace hjdes::des {
 namespace {
 
-SimResult run_seq_entry(const SimInput& input, const RunConfig&) {
+SimResult run_seq_entry(const SimInput& input, const RunConfig& opt) {
+  // Route this run's queue growth through a slab arena (--no-arenas opts
+  // out). The arena is declared first so it outlives every engine buffer.
+  std::optional<EventArena> arena;
+  if (opt.arenas) arena.emplace();
+  ArenaScope arena_scope(opt.arenas ? &*arena : nullptr);
+  if (opt.bitparallel == kPackedLanes) {
+    // 64 replicated lanes through the word-parallel core; lane 0 is the
+    // scalar answer, so --verify holds bit-for-bit.
+    return run_packed_replicated(input, opt.queue_kind);
+  }
+  if (opt.queue_kind != QueueKind::kDefault) {
+    return run_sequential_merged(input, opt.queue_kind);
+  }
   return run_sequential(input);
 }
 
@@ -17,6 +34,7 @@ SimResult run_hj_entry(const SimInput& input, const RunConfig& opt) {
   cfg.input_batch = opt.input_batch;
   cfg.arenas = opt.arenas;
   cfg.pin = opt.pin;
+  cfg.queue_kind = opt.queue_kind;
   return run_hj(input, cfg);
 }
 
@@ -49,15 +67,20 @@ SimResult run_partitioned_entry(const SimInput& input, const RunConfig& opt) {
   cfg.batch = opt.batch;
   cfg.channel_capacity = opt.channel_capacity;
   cfg.arenas = opt.arenas;
+  cfg.queue_kind = opt.queue_kind;
   return run_partitioned(input, cfg);
 }
 
 // Capability sets, named so the table below reads like the docs.
 constexpr EngineCaps kCapsNone{};
+constexpr EngineCaps kCapsSeq{.honors_arenas = true,
+                              .honors_queue = true,
+                              .honors_bitparallel = true};
 constexpr EngineCaps kCapsHj{.honors_workers = true,
                              .honors_pinning = true,
                              .honors_arenas = true,
-                             .honors_input_batch = true};
+                             .honors_input_batch = true,
+                             .honors_queue = true};
 constexpr EngineCaps kCapsWorkersOnly{.honors_workers = true};
 constexpr EngineCaps kCapsTimewarp{.honors_workers = true,
                                    .honors_pinning = true,
@@ -67,10 +90,11 @@ constexpr EngineCaps kCapsPartitioned{.honors_workers = true,
                                       .honors_partitioner = true,
                                       .honors_pinning = true,
                                       .honors_batching = true,
-                                      .honors_arenas = true};
+                                      .honors_arenas = true,
+                                      .honors_queue = true};
 
 constexpr EngineInfo kEngines[] = {
-    {"seq", "Algorithm 1, per-port deques (reference)", kCapsNone,
+    {"seq", "Algorithm 1, per-port deques (reference)", kCapsSeq,
      run_seq_entry},
     {"seqpq", "Algorithm 1, per-node priority queue", kCapsNone,
      run_seqpq_entry},

@@ -1,0 +1,101 @@
+#pragma once
+// Event-queue selection for the engines' per-node merge structures.
+//
+// `--queue=heap|ladder` (RunConfig::queue_kind) swaps the storage behind the
+// per-node (time, port, seq) merge: a binary heap (the Galois-Java
+// java.util.PriorityQueue analog) or the O(1)-amortized ladder queue
+// (support/ladder_queue.hpp). kDefault keeps each engine's native structure
+// (per-port deques for seq/partitioned, the §4.5.1 port queues for hj).
+// Because PortEvent's operator< is a total order, both storages pop the
+// exact same sequence — engines stay bit-identical across kinds.
+
+#include <cstdint>
+
+#include "des/event.hpp"
+#include "des/queue_kind.hpp"
+#include "obs/metrics.hpp"
+#include "support/binary_heap.hpp"
+#include "support/ladder_queue.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+
+/// Tagged union of the two merge storages. The tag is fixed before first
+/// use (set_kind on an empty queue), so the per-op branch is perfectly
+/// predicted in the hot loops.
+template <typename T>
+class MergeQueue {
+ public:
+  QueueKind kind() const noexcept { return kind_; }
+
+  /// Select the storage; only legal while empty (engine setup).
+  void set_kind(QueueKind kind) noexcept {
+    HJDES_DCHECK(empty(), "MergeQueue::set_kind on a non-empty queue");
+    HJDES_DCHECK(kind != QueueKind::kDefault,
+                 "MergeQueue needs an explicit storage kind");
+    kind_ = kind;
+  }
+
+  bool empty() const noexcept {
+    return kind_ == QueueKind::kLadder ? ladder_.empty() : heap_.empty();
+  }
+  std::size_t size() const noexcept {
+    return kind_ == QueueKind::kLadder ? ladder_.size() : heap_.size();
+  }
+
+  void push(T value) {
+    if (kind_ == QueueKind::kLadder) {
+      ladder_.push(std::move(value));
+    } else {
+      heap_.push(std::move(value));
+    }
+  }
+
+  const T& top() const noexcept {
+    return kind_ == QueueKind::kLadder ? ladder_.top() : heap_.top();
+  }
+
+  T pop() {
+    return kind_ == QueueKind::kLadder ? ladder_.pop() : heap_.pop();
+  }
+
+  /// Ladder-internal counters (zeroes while the heap backs the queue).
+  LadderStats ladder_stats() const noexcept {
+    return kind_ == QueueKind::kLadder ? ladder_.stats() : LadderStats{};
+  }
+
+ private:
+  QueueKind kind_ = QueueKind::kHeap;
+  BinaryHeap<T> heap_;
+  LadderQueue<T> ladder_;
+};
+
+using PortEventQueue = MergeQueue<PortEvent>;
+
+/// Per-run event-queue tallies, flushed once (single-threaded epilogue) to
+/// the sharded `des.queue.*` registry counters.
+struct QueueTallies {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  LadderStats ladder;
+
+  void add(const QueueTallies& o) noexcept {
+    pushes += o.pushes;
+    pops += o.pops;
+    ladder.add(o.ladder);
+  }
+};
+
+inline void flush_queue_metrics(QueueKind kind, const QueueTallies& t) {
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("des.queue.pushes").add(t.pushes);
+  m.counter("des.queue.pops").add(t.pops);
+  m.gauge("des.queue.kind").set(static_cast<std::int64_t>(kind));
+  if (kind == QueueKind::kLadder) {
+    m.counter("des.queue.ladder_rung_spawns").add(t.ladder.rung_spawns);
+    m.counter("des.queue.ladder_bucket_transfers")
+        .add(t.ladder.bucket_transfers);
+  }
+}
+
+}  // namespace hjdes::des

@@ -7,6 +7,7 @@
 #include "check/checked_cell.hpp"
 #include "check/hb.hpp"
 #include "circuit/gate.hpp"
+#include "des/event_queue.hpp"
 #include "des/port_merge.hpp"
 #include "hj/locks.hpp"
 #include "obs/metrics.hpp"
@@ -33,11 +34,20 @@ using circuit::NodeId;
 constexpr auto kSC = std::memory_order_seq_cst;
 
 /// Per-node priority-queue state (Algorithm 2 baseline), one guard domain:
-/// every access happens under the node's node_lock.
+/// every access happens under the node's node_lock. The merge storage is a
+/// MergeQueue so `--queue=ladder` can swap the binary heap for the ladder
+/// queue without touching the protocol.
 struct PqState {
-  BinaryHeap<PortEvent> heap;
+  PortEventQueue heap;
   std::uint32_t seq_counter = 0;
 };
+
+/// `--queue` selects the merged per-node storage, which exists only in the
+/// pq protocol; the per-port §4.5.1 path has no merge structure to swap.
+HjEngineConfig normalized(HjEngineConfig c) {
+  if (c.queue_kind != QueueKind::kDefault) c.per_port_queues = false;
+  return c;
+}
 
 /// Node-private mutable state, one guard domain: accessed only by the task
 /// currently "running" the node — under run_flag in the input and temp-queue
@@ -110,6 +120,8 @@ struct LocalStats {
   std::uint64_t spawned = 0;
   std::uint64_t lock_failures = 0;
   std::uint64_t spawn_skips = 0;
+  std::uint64_t queue_pushes = 0;  // pq protocol under --queue only
+  std::uint64_t queue_pops = 0;
 };
 
 class HjEngine {
@@ -117,9 +129,13 @@ class HjEngine {
   HjEngine(const SimInput& input, const HjEngineConfig& config)
       : input_(input),
         netlist_(input.netlist()),
-        cfg_(config),
+        cfg_(normalized(config)),
         nodes_(netlist_.node_count()) {
     HJDES_CHECK(cfg_.workers >= 1, "workers must be >= 1");
+    if (cfg_.queue_kind != QueueKind::kDefault) {
+      // Single-threaded setup; the finish fork edge publishes the kinds.
+      for (ParNode& n : nodes_) n.pq.raw().heap.set_kind(cfg_.queue_kind);
+    }
     if (cfg_.arenas) {
       arenas_.reserve(static_cast<std::size_t>(cfg_.workers));
       for (int w = 0; w < cfg_.workers; ++w) {
@@ -181,6 +197,16 @@ class HjEngine {
     result.tasks_spawned = d_spawned.delta();
     result.lock_failures = d_lock_failures.delta();
     result.spawn_skips = d_spawn_skips.delta();
+
+    if (cfg_.queue_kind != QueueKind::kDefault) {
+      // Pushes/pops were flushed per task; the ladder internals are summed
+      // here, single-threaded after the finish join (raw() is safe).
+      QueueTallies tallies;
+      for (ParNode& n : nodes_) {
+        tallies.ladder.add(n.pq.raw().heap.ladder_stats());
+      }
+      flush_queue_metrics(cfg_.queue_kind, tallies);
+    }
     return result;
   }
 
@@ -266,6 +292,7 @@ class HjEngine {
     ParNode& n = node(target);
     PqState& pq = n.pq.write();
     pq.heap.push(PortEvent{e.time, e.value, port, pq.seq_counter++});
+    ++stats.queue_pushes;
     n.a_pending[port].fetch_add(1, kSC);
     n.a_last_received[port].store(e.time, kSC);
     n.a_top_time.store(pq.heap.top().time, kSC);
@@ -580,6 +607,7 @@ class HjEngine {
 
     while (pq_top_ready(n, pq, meta.num_inputs)) {
       PortEvent e = pq.heap.pop();
+      ++stats.queue_pops;
       n.a_pending[e.port].fetch_sub(1, kSC);
       if (pq.heap.empty()) {
         n.a_top_time.store(kEmptyQueue, kSC);
@@ -684,6 +712,10 @@ class HjEngine {
     c_spawned_.add(stats.spawned);
     c_lock_failures_.add(stats.lock_failures);
     c_spawn_skips_.add(stats.spawn_skips);
+    if (cfg_.queue_kind != QueueKind::kDefault) {
+      c_queue_pushes_.add(stats.queue_pushes);
+      c_queue_pops_.add(stats.queue_pops);
+    }
     // One histogram sample per task activation: the sum over samples equals
     // the lock-failure counter, which is how the exporters cross-check.
     h_lock_failures_.record(stats.lock_failures);
@@ -714,6 +746,8 @@ class HjEngine {
       obs::metrics().histogram("des.hj.lock_failures_per_task");
   obs::Histogram& h_queue_depth_ =
       obs::metrics().histogram("des.hj.queue_depth");
+  obs::Counter& c_queue_pushes_ = obs::metrics().counter("des.queue.pushes");
+  obs::Counter& c_queue_pops_ = obs::metrics().counter("des.queue.pops");
 };
 
 }  // namespace

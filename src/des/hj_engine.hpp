@@ -19,6 +19,7 @@
 //   ordered_locks     — §4.3: acquire locks in ascending global ID order to
 //                       guarantee one contender always wins.
 
+#include "des/queue_kind.hpp"
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
 #include "hj/runtime.hpp"
@@ -32,6 +33,12 @@ struct HjEngineConfig {
   bool temp_ready_queue = true;
   bool avoid_redundant_async = true;
   bool ordered_locks = true;
+
+  /// Merged-queue storage for the per-node priority-queue protocol
+  /// (`--queue=heap|ladder`). Non-default forces per_port_queues = false:
+  /// the heap/ladder choice only exists where a per-node merge structure
+  /// does. kDefault keeps the configured protocol untouched.
+  QueueKind queue_kind = QueueKind::kDefault;
 
   /// Initial events an input node forwards per activation; 0 = all at once.
   std::size_t input_batch = 0;

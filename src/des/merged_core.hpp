@@ -1,0 +1,241 @@
+#pragma once
+// Cache-conscious merged-queue sequential core, shared by the scalar
+// `--queue=heap|ladder` engine (des/seq_engine_pq.cpp) and the bit-parallel
+// packed engine (des/packed_engine.cpp). Algorithm 1's workset loop with one
+// MergeQueue per node holding (time, port, seq)-ordered events; the Value
+// type is a single signal (std::uint8_t) or a 64-lane word (std::uint64_t),
+// and Eval is the matching gate function.
+//
+// Node state is struct-of-arrays: the hot is_active/simulate path touches
+// flag bytes, last-received times and queue tops in dense parallel arrays
+// instead of pointer-chasing a per-node struct, and the static kind/delay
+// reads come from the Netlist's SoA mirrors. The event-flow side (times,
+// counts, pop order) depends only on timestamps — never on Value — which is
+// what makes the packed instantiation bit-identical to 64 scalar runs.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "circuit/netlist.hpp"
+#include "des/event_queue.hpp"
+#include "des/port_merge.hpp"
+#include "fault/heartbeat.hpp"
+#include "support/platform.hpp"
+#include "support/ring_deque.hpp"
+
+namespace hjdes::des::detail {
+
+/// One timestamped signal sample of width `Value`.
+template <typename Value>
+struct TimedValue {
+  Time time;
+  Value value;
+};
+
+/// Merged-queue element; mirrors des::PortEvent for any lane width.
+template <typename Value>
+struct MergedEvent {
+  Time time;
+  Value value;
+  std::uint8_t port;
+  std::uint32_t seq;
+
+  bool is_null() const noexcept { return time == kNullTs; }
+
+  friend bool operator<(const MergedEvent& a, const MergedEvent& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.port != b.port) return a.port < b.port;
+    return a.seq < b.seq;
+  }
+};
+
+template <typename Value, typename Eval>
+class MergedCore {
+ public:
+  struct Outcome {
+    /// waveforms[i] = samples recorded at netlist.outputs()[i], in order.
+    std::vector<std::vector<TimedValue<Value>>> waveforms;
+    std::uint64_t events = 0;  ///< real events popped (incl. initial sends)
+    std::uint64_t nulls = 0;   ///< NULL messages delivered
+    QueueTallies tallies;
+  };
+
+  /// `initial[i]` are the events of netlist.inputs()[i], ascending in time.
+  MergedCore(const circuit::Netlist& netlist, QueueKind kind,
+             std::vector<std::vector<TimedValue<Value>>> initial,
+             Eval eval = Eval{})
+      : netlist_(netlist),
+        kind_(kind == QueueKind::kDefault ? QueueKind::kHeap : kind),
+        initial_(std::move(initial)),
+        eval_(std::move(eval)) {
+    const std::size_t n = netlist_.node_count();
+    queues_.resize(n);
+    if (kind_ != QueueKind::kHeap) {
+      for (auto& q : queues_) q.set_kind(kind_);
+    }
+    seq_.assign(n, 0);
+    pending_.assign(2 * n, 0);
+    last_received_.assign(2 * n, kNeverReceived);
+    latch_.assign(2 * n, Value{});
+    flags_.assign(n, 0);
+    next_initial_.assign(n, 0);
+    output_index_.assign(n, -1);
+    input_index_.assign(n, -1);
+    outcome_.waveforms.resize(netlist_.outputs().size());
+    for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+      output_index_[static_cast<std::size_t>(netlist_.outputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+    for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+      input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  Outcome run() {
+    for (circuit::NodeId id : netlist_.inputs()) push_workset(id);
+    while (!workset_.empty()) {
+      const circuit::NodeId n = workset_.pop_front();
+      flags_[static_cast<std::size_t>(n)] &= ~kInWorkset;
+      simulate(n);
+      fault::heartbeat();  // a simulated node is forward progress
+      if (is_active(n)) push_workset(n);
+      for (const circuit::FanoutEdge& e : netlist_.fanout(n)) {
+        if (is_active(e.target)) push_workset(e.target);
+      }
+    }
+    for (std::size_t i = 0; i < flags_.size(); ++i) {
+      HJDES_CHECK((flags_[i] & kDone) != 0,
+                  "simulation drained with an unfinished node");
+    }
+    for (const auto& q : queues_) outcome_.tallies.ladder.add(q.ladder_stats());
+    return std::move(outcome_);
+  }
+
+ private:
+  // flags_ bit layout: bits 0-1 = NULLs popped (0..2), then status bits.
+  static constexpr std::uint8_t kNullsMask = 0x3;
+  static constexpr std::uint8_t kDone = 0x4;
+  static constexpr std::uint8_t kInWorkset = 0x8;
+
+  using Ev = MergedEvent<Value>;
+
+  void push_workset(circuit::NodeId id) {
+    std::uint8_t& f = flags_[static_cast<std::size_t>(id)];
+    if ((f & kInWorkset) == 0) {
+      f |= kInWorkset;
+      workset_.push_back(id);
+    }
+  }
+
+  void deliver(circuit::NodeId target, std::uint8_t port, Time time,
+               Value value) {
+    const auto i = static_cast<std::size_t>(target);
+    queues_[i].push(Ev{time, value, port, seq_[i]++});
+    ++pending_[2 * i + port];
+    last_received_[2 * i + port] = time;
+    ++outcome_.tallies.pushes;
+    if (time == kNullTs) ++outcome_.nulls;
+  }
+
+  void emit(circuit::NodeId source, Time time, Value value) {
+    for (const circuit::FanoutEdge& edge : netlist_.fanout(source)) {
+      deliver(edge.target, edge.port, time, value);
+    }
+  }
+
+  /// Heap/ladder-top readiness under the deterministic merge rule; the
+  /// mirror of seq_engine_pq's pq_top_ready over the SoA arrays.
+  bool top_ready(std::size_t i, int ports) const {
+    if (queues_[i].empty()) return false;
+    const Ev& top = queues_[i].top();
+    for (int q = 0; q < ports; ++q) {
+      if (q == top.port || pending_[2 * i + static_cast<std::size_t>(q)] > 0) {
+        continue;
+      }
+      if (!empty_port_safe(top.time, top.port, q,
+                           last_received_[2 * i +
+                                          static_cast<std::size_t>(q)])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void simulate(circuit::NodeId id) {
+    const auto i = static_cast<std::size_t>(id);
+    if ((flags_[i] & kDone) != 0) return;
+    const circuit::GateKind kind = netlist_.kinds()[i];
+
+    if (kind == circuit::GateKind::Input) {
+      const auto& events =
+          initial_[static_cast<std::size_t>(input_index_[i])];
+      for (; next_initial_[i] < events.size(); ++next_initial_[i]) {
+        const TimedValue<Value>& tv = events[next_initial_[i]];
+        emit(id, tv.time, tv.value);
+        ++outcome_.events;
+      }
+      emit(id, kNullTs, Value{});
+      flags_[i] |= kDone;
+      return;
+    }
+
+    const int ports = circuit::gate_arity(kind);
+    while (top_ready(i, ports)) {
+      Ev e = queues_[i].pop();
+      --pending_[2 * i + e.port];
+      ++outcome_.tallies.pops;
+      if (e.is_null()) {
+        flags_[i] = static_cast<std::uint8_t>(flags_[i] + 1);  // nulls bits
+        continue;
+      }
+      ++outcome_.events;
+      if (kind == circuit::GateKind::Output) {
+        outcome_.waveforms[static_cast<std::size_t>(output_index_[i])]
+            .push_back(TimedValue<Value>{e.time, e.value});
+        continue;
+      }
+      latch_[2 * i + e.port] = e.value;
+      const Value out = eval_(kind, latch_[2 * i], latch_[2 * i + 1]);
+      emit(id, e.time + netlist_.delays()[i], out);
+    }
+
+    if ((flags_[i] & kNullsMask) == ports) {
+      emit(id, kNullTs, Value{});
+      flags_[i] |= kDone;
+    }
+  }
+
+  bool is_active(circuit::NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    const std::uint8_t f = flags_[i];
+    if ((f & kDone) != 0) return false;
+    const circuit::GateKind kind = netlist_.kinds()[i];
+    if (kind == circuit::GateKind::Input) return true;
+    const int ports = circuit::gate_arity(kind);
+    if ((f & kNullsMask) == ports) return true;  // NULL emission due
+    return top_ready(i, ports);
+  }
+
+  const circuit::Netlist& netlist_;
+  const QueueKind kind_;
+  std::vector<std::vector<TimedValue<Value>>> initial_;
+  Eval eval_;
+
+  // SoA node state, indexed by node id (x2 for per-port arrays).
+  std::vector<MergeQueue<Ev>> queues_;
+  std::vector<std::uint32_t> seq_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<Time> last_received_;
+  std::vector<Value> latch_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> next_initial_;
+  std::vector<std::int32_t> output_index_;
+  std::vector<std::int32_t> input_index_;
+  RingDeque<circuit::NodeId> workset_;
+  Outcome outcome_;
+};
+
+}  // namespace hjdes::des::detail

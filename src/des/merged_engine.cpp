@@ -1,0 +1,59 @@
+// Scalar instantiation of the merged event core: Algorithm 1 with one
+// MergeQueue per node whose storage is picked by --queue (heap|ladder).
+// Shares every line of hot-path logic with the bit-parallel engine through
+// des/merged_core.hpp; only the Value type (one signal byte) differs.
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/merged_core.hpp"
+#include "des/seq_engine.hpp"
+
+namespace hjdes::des {
+namespace {
+
+/// Scalar gate function over 0/1 bytes; normalizes like the other engines
+/// (`value != 0` in, `out ? 1 : 0` out) so waveforms compare bit-identical.
+struct ScalarEval {
+  std::uint8_t operator()(circuit::GateKind k, std::uint8_t a,
+                          std::uint8_t b) const noexcept {
+    return circuit::gate_eval(k, a != 0, b != 0) ? 1 : 0;
+  }
+};
+
+}  // namespace
+
+SimResult run_sequential_merged(const SimInput& input, QueueKind kind) {
+  using Sample = detail::TimedValue<std::uint8_t>;
+  const circuit::Netlist& netlist = input.netlist();
+
+  std::vector<std::vector<Sample>> initial(netlist.inputs().size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    const std::vector<Event>& events = input.initial_events(i);
+    initial[i].reserve(events.size());
+    for (const Event& e : events) {
+      initial[i].push_back(Sample{e.time, e.value});
+    }
+  }
+
+  const QueueKind resolved =
+      kind == QueueKind::kDefault ? QueueKind::kHeap : kind;
+  detail::MergedCore<std::uint8_t, ScalarEval> core(netlist, resolved,
+                                                    std::move(initial));
+  auto outcome = core.run();
+
+  SimResult result;
+  result.waveforms.resize(outcome.waveforms.size());
+  for (std::size_t i = 0; i < outcome.waveforms.size(); ++i) {
+    result.waveforms[i].reserve(outcome.waveforms[i].size());
+    for (const Sample& s : outcome.waveforms[i]) {
+      result.waveforms[i].push_back(OutputRecord{s.time, s.value});
+    }
+  }
+  result.events_processed = outcome.events;
+  result.null_messages = outcome.nulls;
+  flush_queue_metrics(resolved, outcome.tallies);
+  return result;
+}
+
+}  // namespace hjdes::des

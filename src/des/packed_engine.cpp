@@ -1,0 +1,120 @@
+#include "des/packed_engine.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "des/merged_core.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using Word = std::uint64_t;
+using Sample = detail::TimedValue<Word>;
+
+/// 64-lane gate function: one word op evaluates the gate for every lane.
+struct WordEval {
+  Word operator()(circuit::GateKind k, Word a, Word b) const noexcept {
+    return circuit::gate_eval_word(k, a, b);
+  }
+};
+
+SimResult unpack_lane(const detail::MergedCore<Word, WordEval>::Outcome& o,
+                      int lane) {
+  SimResult r;
+  r.waveforms.resize(o.waveforms.size());
+  for (std::size_t i = 0; i < o.waveforms.size(); ++i) {
+    r.waveforms[i].reserve(o.waveforms[i].size());
+    for (const Sample& s : o.waveforms[i]) {
+      r.waveforms[i].push_back(OutputRecord{
+          s.time, static_cast<std::uint8_t>((s.value >> lane) & 1)});
+    }
+  }
+  // The packed event flow is each lane's event flow: one word-event is one
+  // event in every lane.
+  r.events_processed = o.events;
+  r.null_messages = o.nulls;
+  return r;
+}
+
+}  // namespace
+
+PackedResult run_packed(const circuit::Netlist& netlist,
+                        std::span<const circuit::Stimulus* const> lanes,
+                        QueueKind kind) {
+  HJDES_CHECK(!lanes.empty() &&
+                  lanes.size() <= static_cast<std::size_t>(kPackedLanes),
+              "run_packed takes 1..64 stimulus lanes");
+  const std::size_t num_inputs = netlist.inputs().size();
+  for (const circuit::Stimulus* s : lanes) {
+    HJDES_CHECK(s != nullptr && s->initial.size() == num_inputs,
+                "packed stimulus lane does not match the netlist's inputs");
+  }
+
+  // Pack the lanes: bit L of an initial event's word is lane L's value.
+  // Lane 0 is the time reference; every lane must agree on the timeline.
+  std::vector<std::vector<Sample>> initial(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    const auto& ref = lanes[0]->initial[i];
+    for (const circuit::Stimulus* s : lanes) {
+      HJDES_CHECK(s->initial[i].size() == ref.size(),
+                  "packed lanes disagree on an input's event count");
+    }
+    initial[i].reserve(ref.size());
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      const Time t = ref[v].time;
+      HJDES_CHECK(t >= 0 && t < kNullTs &&
+                      (v == 0 || t >= ref[v - 1].time),
+                  "packed stimulus times must be valid and non-decreasing");
+      Word word = 0;
+      for (std::size_t L = 0; L < lanes.size(); ++L) {
+        HJDES_CHECK(lanes[L]->initial[i][v].time == t,
+                    "packed lanes disagree on an event time; only "
+                    "identically-timed stimuli (e.g. random_stimulus with "
+                    "different seeds) can share a packed run");
+        if (lanes[L]->initial[i][v].value) word |= Word{1} << L;
+      }
+      initial[i].push_back(Sample{t, word});
+    }
+  }
+
+  const QueueKind resolved =
+      kind == QueueKind::kDefault ? QueueKind::kHeap : kind;
+  detail::MergedCore<Word, WordEval> core(netlist, resolved,
+                                          std::move(initial));
+  auto outcome = core.run();
+
+  PackedResult result;
+  result.word_events = outcome.events;
+  result.lanes.reserve(lanes.size());
+  for (std::size_t L = 0; L < lanes.size(); ++L) {
+    result.lanes.push_back(unpack_lane(outcome, static_cast<int>(L)));
+  }
+  flush_queue_metrics(resolved, outcome.tallies);
+  return result;
+}
+
+SimResult run_packed_replicated(const SimInput& input, QueueKind kind) {
+  const circuit::Netlist& netlist = input.netlist();
+  std::vector<std::vector<Sample>> initial(netlist.inputs().size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    const std::vector<Event>& events = input.initial_events(i);
+    initial[i].reserve(events.size());
+    for (const Event& e : events) {
+      // All 64 lanes carry the same signal: a set bit in every lane or none.
+      initial[i].push_back(Sample{e.time, e.value != 0 ? ~Word{0} : Word{0}});
+    }
+  }
+
+  const QueueKind resolved =
+      kind == QueueKind::kDefault ? QueueKind::kHeap : kind;
+  detail::MergedCore<Word, WordEval> core(netlist, resolved,
+                                          std::move(initial));
+  auto outcome = core.run();
+  SimResult result = unpack_lane(outcome, 0);
+  flush_queue_metrics(resolved, outcome.tallies);
+  return result;
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,52 @@
+#pragma once
+// Bit-parallel packed simulation (`--bitparallel=64`): up to 64 independent
+// stimulus lanes share one event flow, with gate evaluation done by single
+// word operations (circuit::gate_eval_word). Valid because the conservative
+// merge is value-blind — event times, counts, and pop order depend only on
+// the stimulus timestamps — so lanes that share per-input event times (e.g.
+// random_stimulus with different seeds) traverse identical event structure
+// and differ only in the signal bits. The fan-out of a packed run is
+// bit-identical to 64 scalar runs, one lane at a time.
+
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/queue_kind.hpp"
+#include "des/sim_input.hpp"
+#include "des/sim_result.hpp"
+
+namespace hjdes::des {
+
+/// Lane count of one packed word; `--bitparallel` accepts 0 or this.
+inline constexpr int kPackedLanes = 64;
+
+/// Fan-out of one packed run.
+struct PackedResult {
+  /// lanes[L] is bit-identical to a scalar run over stimulus lane L (its
+  /// events_processed counts that lane's events, not the packed words).
+  std::vector<SimResult> lanes;
+
+  /// Packed word-events actually processed — the machine did this much work
+  /// to produce lanes.size() simulations' worth of results.
+  std::uint64_t word_events = 0;
+};
+
+/// Simulate 1..64 stimulus lanes in one packed pass over `netlist`.
+/// All lanes must have identical per-input event times (values are free);
+/// aborts (HJDES_CHECK) otherwise — skewed stimuli cannot be packed.
+/// `kind` selects the merged-queue storage; kDefault resolves to heap.
+PackedResult run_packed(const circuit::Netlist& netlist,
+                        std::span<const circuit::Stimulus* const> lanes,
+                        QueueKind kind = QueueKind::kDefault);
+
+/// Run `input` through the packed core with all 64 lanes carrying the same
+/// stimulus, returning lane 0 — bit-identical to run_sequential(input).
+/// This is the `--engine=seq --bitparallel=64` registry path: it exercises
+/// the word-parallel hot loop on any SimInput without materializing 64
+/// stimulus copies.
+SimResult run_packed_replicated(const SimInput& input,
+                                QueueKind kind = QueueKind::kDefault);
+
+}  // namespace hjdes::des

@@ -10,6 +10,7 @@
 #include "circuit/gate.hpp"
 #include "fault/heartbeat.hpp"
 #include "fault/inject.hpp"
+#include "des/event_queue.hpp"
 #include "des/port_merge.hpp"
 #include "obs/metrics.hpp"
 #include "part/partition.hpp"
@@ -46,14 +47,25 @@ struct LpCore {
   std::size_t next_initial = 0;
 };
 
+/// Merged-queue node storage (`--queue=heap|ladder`): one (time, port, seq)
+/// ordered MergeQueue replaces the two per-port deques; pending[] restores
+/// the per-port occupancy the merge rule needs.
+struct LpMergedQueue {
+  PortEventQueue q;
+  std::uint32_t seq = 0;
+  std::uint32_t pending[2] = {0, 0};
+};
+
 /// Per-node simulation state; the SeqEngine SeqNode, owned by one worker.
 /// Ownership is static (the partition maps each node to exactly one worker),
 /// so the checked cells document single-writer discipline: any cross-worker
 /// touch is a partitioning bug hjcheck will flag. `in_workset` and
 /// `output_index` stay plain — scheduling/bookkeeping read only by the owner
-/// (resp. written once before the threads start).
+/// (resp. written once before the threads start). Exactly one of queue[] /
+/// merged is populated per run, fixed by PartitionedConfig::queue_kind.
 struct LpNode {
   check::checked_cell<RingDeque<Event>> queue[2];
+  check::checked_cell<LpMergedQueue> merged;
   check::checked_cell<LpCore> core;
   bool in_workset = false;
   std::int32_t output_index = -1;
@@ -61,6 +73,7 @@ struct LpNode {
   LpNode() {
     queue[0].set_label("part.node.queue[0]");
     queue[1].set_label("part.node.queue[1]");
+    merged.set_label("part.node.merged");
     core.set_label("part.node.core");
   }
 };
@@ -97,12 +110,17 @@ struct HJDES_CACHE_ALIGNED Worker {
   std::uint64_t local_deliveries = 0;
   std::uint64_t watermarks = 0;
   std::uint64_t full_stalls = 0;
+  QueueTallies queue_tallies;  ///< merged mode (--queue) only
 };
 
 class PartitionedEngine {
  public:
   PartitionedEngine(const SimInput& input, const PartitionedConfig& config)
-      : input_(input), netlist_(input.netlist()), batch_(config.batch) {
+      : input_(input),
+        netlist_(input.netlist()),
+        batch_(config.batch),
+        queue_kind_(config.queue_kind),
+        merged_(config.queue_kind != QueueKind::kDefault) {
     HJDES_CHECK(config.batch >= 1, "partitioned engine needs batch >= 1");
     if (config.partition != nullptr) {
       part_ = *config.partition;
@@ -120,6 +138,10 @@ class PartitionedEngine {
 
     // Whole-vector replacement: LpNode holds checked cells (non-movable).
     nodes_ = std::vector<LpNode>(netlist_.node_count());
+    if (merged_) {
+      // Single-threaded setup; start_hb's fork edge publishes the kinds.
+      for (LpNode& n : nodes_) n.merged.raw().q.set_kind(queue_kind_);
+    }
     result_.waveforms.resize(netlist_.outputs().size());
     for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
       nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
@@ -190,6 +212,15 @@ class PartitionedEngine {
         total == 0 ? 0
                    : static_cast<std::int64_t>(result_.null_messages *
                                                1000000ULL / total));
+    if (merged_) {
+      QueueTallies tallies;
+      for (const Worker& w : workers_) tallies.add(w.queue_tallies);
+      // Single-threaded after the join; raw() reads are safe.
+      for (LpNode& n : nodes_) {
+        tallies.ladder.add(n.merged.raw().q.ladder_stats());
+      }
+      flush_queue_metrics(queue_kind_, tallies);
+    }
     return std::move(result_);
   }
 
@@ -331,7 +362,14 @@ class PartitionedEngine {
     LpCore& core = n.core.write();
     HJDES_DCHECK(e.time >= core.last_received[port],
                  "causality violation: out-of-order delivery on a port");
-    n.queue[port].write().push_back(e);
+    if (merged_) {
+      LpMergedQueue& mq = n.merged.write();
+      mq.q.push(PortEvent{e.time, e.value, port, mq.seq++});
+      ++mq.pending[port];
+      ++w.queue_tallies.pushes;
+    } else {
+      n.queue[port].write().push_back(e);
+    }
     core.last_received[port] = e.time;
     if (e.is_null()) ++w.nulls;
   }
@@ -404,10 +442,23 @@ class PartitionedEngine {
     const LpCore& core = n.core.read();
     const Netlist::Node& meta = netlist_.node(id);
     Time horizon = kEmptyQueue;
-    for (int p = 0; p < meta.num_inputs; ++p) {
-      const RingDeque<Event>& q = n.queue[p].read();
-      const Time h = q.empty() ? core.last_received[p] : q.front().time;
-      horizon = std::min(horizon, h);
+    if (merged_) {
+      // The queue top is the min over every port with queued events; ports
+      // with nothing queued contribute their last-received bound, exactly as
+      // an empty per-port deque would.
+      const LpMergedQueue& mq = n.merged.read();
+      if (!mq.q.empty()) horizon = mq.q.top().time;
+      for (int p = 0; p < meta.num_inputs; ++p) {
+        if (mq.pending[p] == 0) {
+          horizon = std::min(horizon, core.last_received[p]);
+        }
+      }
+    } else {
+      for (int p = 0; p < meta.num_inputs; ++p) {
+        const RingDeque<Event>& q = n.queue[p].read();
+        const Time h = q.empty() ? core.last_received[p] : q.front().time;
+        horizon = std::min(horizon, h);
+      }
     }
     if (horizon == kEmptyQueue || horizon == kNeverReceived) {
       return kNeverReceived;  // no information yet
@@ -462,22 +513,36 @@ class PartitionedEngine {
     }
 
     const int ports = meta.num_inputs;
-    RingDeque<Event>* q[2];
-    for (int p = 0; p < ports; ++p) q[p] = &n.queue[p].write();
-    for (;;) {
-      Time head[2], lr[2];
-      for (int p = 0; p < ports; ++p) {
-        head[p] = q[p]->empty() ? kEmptyQueue : q[p]->front().time;
-        lr[p] = core.last_received[p];
+    if (merged_) {
+      LpMergedQueue& mq = n.merged.write();
+      while (merged_top_ready(mq, core, ports)) {
+        PortEvent e = mq.q.pop();
+        --mq.pending[e.port];
+        ++w.queue_tallies.pops;
+        if (e.is_null()) {
+          ++core.nulls_popped;
+          continue;
+        }
+        process(w, id, n, core, e.port, Event{e.time, e.value});
       }
-      const int p = next_ready_port(head, lr, ports);
-      if (p < 0) break;
-      Event e = q[p]->pop_front();
-      if (e.is_null()) {
-        ++core.nulls_popped;
-        continue;
+    } else {
+      RingDeque<Event>* q[2];
+      for (int p = 0; p < ports; ++p) q[p] = &n.queue[p].write();
+      for (;;) {
+        Time head[2], lr[2];
+        for (int p = 0; p < ports; ++p) {
+          head[p] = q[p]->empty() ? kEmptyQueue : q[p]->front().time;
+          lr[p] = core.last_received[p];
+        }
+        const int p = next_ready_port(head, lr, ports);
+        if (p < 0) break;
+        Event e = q[p]->pop_front();
+        if (e.is_null()) {
+          ++core.nulls_popped;
+          continue;
+        }
+        process(w, id, n, core, static_cast<std::uint8_t>(p), e);
       }
-      process(w, id, n, core, static_cast<std::uint8_t>(p), e);
     }
 
     if (core.nulls_popped == ports) {
@@ -503,6 +568,20 @@ class PartitionedEngine {
          Event{e.time + meta.delay, static_cast<std::uint8_t>(out ? 1 : 0)});
   }
 
+  /// Merge-rule readiness of the merged queue's top (mirrors pq_top_ready).
+  static bool merged_top_ready(const LpMergedQueue& mq, const LpCore& core,
+                               int ports) {
+    if (mq.q.empty()) return false;
+    const PortEvent& top = mq.q.top();
+    for (int p = 0; p < ports; ++p) {
+      if (p == top.port || mq.pending[p] > 0) continue;
+      if (!empty_port_safe(top.time, top.port, p, core.last_received[p])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   bool is_active(NodeId id) const {
     const LpNode& n = nodes_[static_cast<std::size_t>(id)];
     const LpCore& core = n.core.read();
@@ -510,6 +589,9 @@ class PartitionedEngine {
     const Netlist::Node& meta = netlist_.node(id);
     if (meta.kind == GateKind::Input) return true;
     if (core.nulls_popped == meta.num_inputs) return true;
+    if (merged_) {
+      return merged_top_ready(n.merged.read(), core, meta.num_inputs);
+    }
     Time head[2], lr[2];
     for (int p = 0; p < meta.num_inputs; ++p) {
       const RingDeque<Event>& q = n.queue[p].read();
@@ -523,6 +605,8 @@ class PartitionedEngine {
   const Netlist& netlist_;
   part::Partition part_;
   const std::size_t batch_;
+  const QueueKind queue_kind_;
+  const bool merged_;  ///< queue_kind_ != kDefault: merged per-node storage
   std::vector<int> pin_plan_;  ///< worker -> core; empty = no pinning
   // Declared before nodes_/workers_ on purpose: node queues and worksets
   // hold arena buffers, so they must be destroyed (reverse declaration

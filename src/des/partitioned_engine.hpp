@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "des/queue_kind.hpp"
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
 #include "part/partitioner.hpp"
@@ -55,6 +56,12 @@ struct PartitionedConfig {
 
   /// Per-worker slab arenas for node event-queue storage.
   bool arenas = true;
+
+  /// Per-node merged event storage (`--queue=heap|ladder`): replace each
+  /// local node's per-port deques with one (time, port, seq)-ordered
+  /// MergeQueue. kDefault keeps the native per-port deques. Waveforms stay
+  /// bit-identical; only the storage behind the merge changes.
+  QueueKind queue_kind = QueueKind::kDefault;
 };
 
 /// Run the sharded simulation. Bit-identical waveforms to run_sequential.

@@ -1,0 +1,41 @@
+#pragma once
+// QueueKind — which structure backs a per-node merged event queue. Split
+// from des/event_queue.hpp so RunConfig (included nearly everywhere) can
+// carry the knob without pulling in the queue implementations.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hjdes::des {
+
+enum class QueueKind : std::uint8_t {
+  kDefault,  ///< engine's native storage (not expressible via --queue)
+  kHeap,     ///< BinaryHeap<PortEvent> per node
+  kLadder,   ///< LadderQueue<PortEvent> per node
+};
+
+inline bool parse_queue_kind(std::string_view name, QueueKind* out) noexcept {
+  if (name == "heap") {
+    *out = QueueKind::kHeap;
+    return true;
+  }
+  if (name == "ladder") {
+    *out = QueueKind::kLadder;
+    return true;
+  }
+  return false;
+}
+
+inline std::string_view queue_kind_name(QueueKind k) noexcept {
+  switch (k) {
+    case QueueKind::kDefault:
+      return "default";
+    case QueueKind::kHeap:
+      return "heap";
+    case QueueKind::kLadder:
+      return "ladder";
+  }
+  return "?";
+}
+
+}  // namespace hjdes::des

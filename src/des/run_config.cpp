@@ -70,6 +70,27 @@ RunValidation validate_run_config(const RunConfig& config,
                        std::to_string(config.watchdog_ms) + "); 0 disables "
                        "the watchdog");
   }
+  if (config.bitparallel != 0 && config.bitparallel != 64) {
+    v.errors.push_back("--bitparallel must be 0 (scalar) or 64 (one machine "
+                       "word of lanes); got " +
+                       std::to_string(config.bitparallel));
+  }
+
+  // Hard errors, not warnings: --queue/--bitparallel swap the hot-path event
+  // core itself, so "accepted but ignored" would silently benchmark the
+  // wrong structure.
+  if (!caps.honors_queue && config.queue_kind != defaults.queue_kind) {
+    v.errors.push_back("engine '" + std::string(engine_name) +
+                       "' does not support --queue (requested --queue=" +
+                       std::string(queue_kind_name(config.queue_kind)) + ")");
+  }
+  if (!caps.honors_bitparallel &&
+      config.bitparallel != defaults.bitparallel) {
+    v.errors.push_back("engine '" + std::string(engine_name) +
+                       "' does not support --bitparallel (requested "
+                       "--bitparallel=" +
+                       std::to_string(config.bitparallel) + ")");
+  }
 
   // Warnings: knobs set away from their default that this engine ignores.
   if (!caps.honors_workers && config.workers != defaults.workers) {
@@ -123,6 +144,13 @@ RunConfig run_config_from_cli(const Cli& cli, const EngineCaps& caps,
   config.arenas = !cli.has("no-arenas");
   config.input_batch = static_cast<std::size_t>(cli.get_int(
       "input-batch", static_cast<std::int64_t>(config.input_batch)));
+  if (cli.has("queue") &&
+      !parse_queue_kind(cli.get("queue", ""), &config.queue_kind)) {
+    out->errors.push_back("unknown --queue '" + cli.get("queue", "") +
+                          "' (heap|ladder)");
+  }
+  config.bitparallel = static_cast<int>(
+      cli.get_int("bitparallel", config.bitparallel));
   config.fault_rate_ppm = static_cast<int>(
       cli.get_int("fault-rate", config.fault_rate_ppm));
   config.fault_seed = static_cast<std::uint64_t>(cli.get_int(
@@ -150,6 +178,10 @@ const FlagTable& run_config_flags() {
       {"no-arenas", "", "disable per-worker event slab arenas"},
       {"input-batch", "N", "hj/timewarp: initial events per activation; "
                            "0 = all"},
+      {"queue", "KIND", "per-node merged event queue: heap|ladder "
+                        "(default: engine's native structure)"},
+      {"bitparallel", "N", "bit-parallel gate evaluation lanes: 0 (scalar) "
+                           "or 64 (seq engine only)"},
       {"fault-rate", "PPM", "seeded fault injections per million decisions "
                             "(needs -DHJDES_FAULT=ON; default 0 = off)"},
       {"fault-seed", "S", "seed of the fault-injection streams (default 1)"},

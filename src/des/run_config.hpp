@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "des/queue_kind.hpp"
 #include "part/partitioner.hpp"
 #include "support/cli.hpp"
 #include "support/topology.hpp"
@@ -49,6 +50,18 @@ struct RunConfig {
   /// hj / timewarp: initial events an input forwards per activation; 0 = all.
   std::size_t input_batch = 0;
 
+  /// Per-node merged event-queue storage (--queue=heap|ladder). kDefault
+  /// keeps the engine's native structure. Engines that do not advertise
+  /// honors_queue reject a non-default kind as a hard error — the knob
+  /// changes the hot-path data structure, so a silent fallback would make
+  /// every benchmark of it a lie.
+  QueueKind queue_kind = QueueKind::kDefault;
+
+  /// Bit-parallel gate evaluation width (--bitparallel=64): pack 64
+  /// stimulus lanes into one machine word per signal. 0 = scalar. Only 0
+  /// and 64 are valid; engines without honors_bitparallel hard-error.
+  int bitparallel = 0;
+
   // Harness-level robustness knobs (src/fault, docs/ROBUSTNESS.md). These
   // configure the process-wide fault plan and stall watchdog rather than any
   // single engine, so no EngineCaps bit guards them.
@@ -75,6 +88,8 @@ struct EngineCaps {
   bool honors_batching = false;
   bool honors_arenas = false;
   bool honors_input_batch = false;
+  bool honors_queue = false;
+  bool honors_bitparallel = false;
 };
 
 /// Validation outcome: errors abort the run, warnings are printed and the

@@ -1,5 +1,6 @@
 #include "des/seq_engine.hpp"
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/gate.hpp"
@@ -16,29 +17,28 @@ using circuit::GateKind;
 using circuit::Netlist;
 using circuit::NodeId;
 
-/// Per-node simulation state, per-port deque flavor (§4.5.1).
-struct SeqNode {
-  RingDeque<Event> queue[2];
-  Time last_received[2] = {kNeverReceived, kNeverReceived};
-  bool latch[2] = {false, false};
-  std::uint8_t nulls_popped = 0;
-  bool done = false;
-  bool in_workset = false;
-  std::size_t next_initial = 0;  ///< input nodes: cursor into initial events
-  std::int32_t output_index = -1;
-};
-
+/// Algorithm 1 with per-port array deques (§4.5.1), node state laid out
+/// struct-of-arrays: the activation scan reads one flag byte and two
+/// cache-line-packed times per node instead of striding over a per-node
+/// struct, and the static kind/delay lookups come from the Netlist's SoA
+/// mirrors. Per-port values live at index 2*node + port.
 class SeqEngine {
  public:
   explicit SeqEngine(const SimInput& input)
       : input_(input), netlist_(input.netlist()) {
-    nodes_.resize(netlist_.node_count());
+    const std::size_t n = netlist_.node_count();
+    queues_.resize(2 * n);
+    last_received_.assign(2 * n, kNeverReceived);
+    latch_.assign(2 * n, 0);
+    flags_.assign(n, 0);
+    next_initial_.assign(n, 0);
+    output_index_.assign(n, -1);
+    input_index_.assign(n, -1);
     result_.waveforms.resize(netlist_.outputs().size());
     for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
-      nodes_[static_cast<std::size_t>(netlist_.outputs()[i])].output_index =
+      output_index_[static_cast<std::size_t>(netlist_.outputs()[i])] =
           static_cast<std::int32_t>(i);
     }
-    input_index_.resize(netlist_.node_count(), -1);
     for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
       input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
           static_cast<std::int32_t>(i);
@@ -50,7 +50,7 @@ class SeqEngine {
     for (NodeId id : netlist_.inputs()) push_workset(id);
     while (!workset_.empty()) {
       NodeId n = workset_.pop_front();
-      nodes_[static_cast<std::size_t>(n)].in_workset = false;
+      flags_[static_cast<std::size_t>(n)] &= ~kInWorkset;
       simulate(n);
       fault::heartbeat();  // a simulated node is forward progress
       // Re-activation check over n and its fanout targets.
@@ -60,27 +60,33 @@ class SeqEngine {
       }
     }
     // Sanity: the conservative algorithm must have terminated every node.
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      HJDES_CHECK(nodes_[i].done, "simulation drained with an unfinished node");
+    for (std::size_t i = 0; i < flags_.size(); ++i) {
+      HJDES_CHECK((flags_[i] & kDone) != 0,
+                  "simulation drained with an unfinished node");
     }
     return std::move(result_);
   }
 
  private:
+  // flags_ bit layout: bits 0-1 = NULLs popped (0..2), then status bits.
+  static constexpr std::uint8_t kNullsMask = 0x3;
+  static constexpr std::uint8_t kDone = 0x4;
+  static constexpr std::uint8_t kInWorkset = 0x8;
+
   void push_workset(NodeId id) {
-    SeqNode& n = nodes_[static_cast<std::size_t>(id)];
-    if (!n.in_workset) {
-      n.in_workset = true;
+    std::uint8_t& f = flags_[static_cast<std::size_t>(id)];
+    if ((f & kInWorkset) == 0) {
+      f |= kInWorkset;
       workset_.push_back(id);
     }
   }
 
   void deliver(NodeId target, std::uint8_t port, Event e) {
-    SeqNode& n = nodes_[static_cast<std::size_t>(target)];
-    HJDES_DCHECK(e.time >= n.last_received[port],
+    const std::size_t slot = 2 * static_cast<std::size_t>(target) + port;
+    HJDES_DCHECK(e.time >= last_received_[slot],
                  "causality violation: out-of-order delivery on a port");
-    n.queue[port].push_back(e);
-    n.last_received[port] = e.time;
+    queues_[slot].push_back(e);
+    last_received_[slot] = e.time;
     if (e.is_null()) ++result_.null_messages;
   }
 
@@ -92,83 +98,94 @@ class SeqEngine {
 
   /// SIMULATE(n): process all currently-processable events of node n.
   void simulate(NodeId id) {
-    SeqNode& n = nodes_[static_cast<std::size_t>(id)];
-    if (n.done) return;
-    const Netlist::Node& meta = netlist_.node(id);
+    const auto i = static_cast<std::size_t>(id);
+    if ((flags_[i] & kDone) != 0) return;
+    const GateKind kind = netlist_.kinds()[i];
 
-    if (meta.kind == GateKind::Input) {
+    if (kind == GateKind::Input) {
       // Input nodes: all initial events are ready; send them, then NULL.
-      const auto& events = input_.initial_events(static_cast<std::size_t>(
-          input_index_[static_cast<std::size_t>(id)]));
-      for (; n.next_initial < events.size(); ++n.next_initial) {
-        emit(id, events[n.next_initial]);
+      const auto& events = input_.initial_events(
+          static_cast<std::size_t>(input_index_[i]));
+      for (; next_initial_[i] < events.size(); ++next_initial_[i]) {
+        emit(id, events[next_initial_[i]]);
         ++result_.events_processed;
       }
       emit(id, Event::null_message());
-      n.done = true;
+      flags_[i] |= kDone;
       return;
     }
 
-    const int ports = meta.num_inputs;
+    const int ports = circuit::gate_arity(kind);
     for (;;) {
       Time head[2], lr[2];
-      snapshot(n, ports, head, lr);
+      snapshot(i, ports, head, lr);
       const int p = next_ready_port(head, lr, ports);
       if (p < 0) break;
-      Event e = n.queue[p].pop_front();
+      Event e = queues_[2 * i + static_cast<std::size_t>(p)].pop_front();
       if (e.is_null()) {
-        ++n.nulls_popped;
+        flags_[i] = static_cast<std::uint8_t>(flags_[i] + 1);  // nulls bits
         continue;
       }
-      process(id, n, meta, static_cast<std::uint8_t>(p), e);
+      process(id, i, kind, static_cast<std::uint8_t>(p), e);
     }
 
     // Termination: NULL popped from every port (all real events drained, as
     // NULLs order last).
-    if (n.nulls_popped == ports) {
+    if ((flags_[i] & kNullsMask) == ports) {
       emit(id, Event::null_message());
-      n.done = true;
+      flags_[i] |= kDone;
     }
   }
 
-  void process(NodeId id, SeqNode& n, const Netlist::Node& meta,
-               std::uint8_t port, const Event& e) {
+  void process(NodeId id, std::size_t i, GateKind kind, std::uint8_t port,
+               const Event& e) {
     ++result_.events_processed;
-    if (meta.kind == GateKind::Output) {
-      result_.waveforms[static_cast<std::size_t>(n.output_index)].push_back(
+    if (kind == GateKind::Output) {
+      result_.waveforms[static_cast<std::size_t>(output_index_[i])].push_back(
           OutputRecord{e.time, e.value});
       return;
     }
-    n.latch[port] = e.value != 0;
-    const bool out = circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
-    emit(id, Event{e.time + meta.delay,
+    latch_[2 * i + port] = e.value != 0 ? 1 : 0;
+    const bool out =
+        circuit::gate_eval(kind, latch_[2 * i] != 0, latch_[2 * i + 1] != 0);
+    emit(id, Event{e.time + netlist_.delays()[i],
                    static_cast<std::uint8_t>(out ? 1 : 0)});
   }
 
-  static void snapshot(const SeqNode& n, int ports, Time* head, Time* lr) {
+  void snapshot(std::size_t i, int ports, Time* head, Time* lr) const {
     for (int p = 0; p < ports; ++p) {
-      head[p] = n.queue[p].empty() ? kEmptyQueue : n.queue[p].front().time;
-      lr[p] = n.last_received[p];
+      const std::size_t slot = 2 * i + static_cast<std::size_t>(p);
+      head[p] = queues_[slot].empty() ? kEmptyQueue : queues_[slot].front().time;
+      lr[p] = last_received_[slot];
     }
   }
 
   bool is_active(NodeId id) const {
-    const SeqNode& n = nodes_[static_cast<std::size_t>(id)];
-    if (n.done) return false;
-    const Netlist::Node& meta = netlist_.node(id);
-    if (meta.kind == GateKind::Input) return true;  // never yet run
-    if (n.nulls_popped == meta.num_inputs) return true;  // NULL emission due
+    const auto i = static_cast<std::size_t>(id);
+    const std::uint8_t f = flags_[i];
+    if ((f & kDone) != 0) return false;
+    const GateKind kind = netlist_.kinds()[i];
+    if (kind == GateKind::Input) return true;  // never yet run
+    const int ports = circuit::gate_arity(kind);
+    if ((f & kNullsMask) == ports) return true;  // NULL emission due
     Time head[2], lr[2];
-    snapshot(n, meta.num_inputs, head, lr);
-    return next_ready_port(head, lr, meta.num_inputs) >= 0;
+    snapshot(i, ports, head, lr);
+    return next_ready_port(head, lr, ports) >= 0;
   }
 
   const SimInput& input_;
   const Netlist& netlist_;
-  std::vector<SeqNode> nodes_;
+
+  // SoA node state, indexed by node id (x2 for per-port arrays).
+  std::vector<RingDeque<Event>> queues_;
+  std::vector<Time> last_received_;
+  std::vector<std::uint8_t> latch_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::size_t> next_initial_;
+  std::vector<std::int32_t> output_index_;
+  std::vector<std::int32_t> input_index_;
   RingDeque<NodeId> workset_;
   SimResult result_;
-  std::vector<std::int32_t> input_index_;
 };
 
 }  // namespace

@@ -11,6 +11,7 @@
 //
 // Both produce identical SimResults; only the event-storage layer differs.
 
+#include "des/queue_kind.hpp"
 #include "des/sim_input.hpp"
 #include "des/sim_result.hpp"
 
@@ -23,5 +24,12 @@ SimResult run_sequential(const SimInput& input);
 /// Algorithm 1 with a per-node priority queue (java.util.PriorityQueue
 /// analog), the Galois-Java sequential structure.
 SimResult run_sequential_pq(const SimInput& input);
+
+/// Algorithm 1 on the cache-conscious merged event core (des/merged_core.hpp)
+/// with the per-node storage selected by `kind`: `--queue=heap` is the binary
+/// heap, `--queue=ladder` the O(1)-amortized ladder queue (kDefault resolves
+/// to heap). Bit-identical to run_sequential for every kind; flushes
+/// `des.queue.*` metrics.
+SimResult run_sequential_merged(const SimInput& input, QueueKind kind);
 
 }  // namespace hjdes::des

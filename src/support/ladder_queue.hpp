@@ -1,0 +1,269 @@
+#pragma once
+// Ladder queue — an O(1)-amortized priority queue for timestamped events
+// (Tang, Goh, Thng, "Ladder queue: An O(1) priority queue structure for
+// large-scale discrete event simulation", TOMACS 2005). The alternative to
+// support/binary_heap.hpp selected by `--queue=ladder`: instead of paying
+// O(log n) sift cost per operation, elements are spread into time buckets
+// and only the buckets actually popped from are ever sorted.
+//
+// Structure (far future -> now):
+//   * Top    — an unsorted vector holding everything at or beyond the epoch
+//              where the last rung was spawned. Pushes are O(1) appends.
+//   * Rungs  — bucket arrays over successively narrower time windows. When a
+//              drained bucket is too large to sort cheaply, it spawns a
+//              deeper rung subdividing just that bucket's window.
+//   * Bottom — a small sorted vector (descending, minimum at the back) that
+//              pop() consumes. The eager invariant "bottom is non-empty
+//              whenever the queue is non-empty" keeps top() const and O(1).
+//
+// Ordering is the caller's strict weak order `Less` (for des::PortEvent the
+// (time, port, seq) total order), while bucket routing uses only TimeOf(v).
+// Elements with equal times always land in the same bucket, and the final
+// per-bucket sort uses the full comparator, so pop order is exactly
+// BinaryHeap's — including the same-time same-port FIFO tiebreak carried by
+// the sequence number (des/event.hpp). Out-of-band "past" pushes (keys below
+// the current bucket horizon) fall back to a sorted insert into Bottom, so
+// correctness never depends on monotone insertion.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/platform.hpp"
+
+namespace hjdes {
+
+/// Default key extractor: `TimeOf(v)` must return an integral timestamp.
+struct LadderTimeOfMember {
+  template <typename T>
+  std::int64_t operator()(const T& v) const noexcept {
+    return v.time;
+  }
+};
+
+/// Plain counters for the `des.queue.*` metrics; kept dependency-free so
+/// support/ does not pull in the obs registry. Engines flush these.
+struct LadderStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t rung_spawns = 0;        ///< rungs created (incl. from Top)
+  std::uint64_t bucket_transfers = 0;   ///< buckets sorted into Bottom
+
+  void add(const LadderStats& o) noexcept {
+    pushes += o.pushes;
+    pops += o.pops;
+    rung_spawns += o.rung_spawns;
+    bucket_transfers += o.bucket_transfers;
+  }
+};
+
+/// Min-queue over `Less` with O(1) amortized push/pop for the monotone-ish
+/// timestamp distributions a DES produces. Same element contract as
+/// BinaryHeap<T, Less>; pop order is identical for any total order.
+template <typename T, typename Less = std::less<T>,
+          typename TimeOf = LadderTimeOfMember>
+class LadderQueue {
+ public:
+  LadderQueue() = default;
+  explicit LadderQueue(Less less) : less_(std::move(less)) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Smallest element. Precondition: !empty(). O(1): the eager refill in
+  /// push/pop keeps Bottom populated whenever the queue is non-empty.
+  const T& top() const noexcept {
+    HJDES_DCHECK(size_ > 0, "top() on empty LadderQueue");
+    return bottom_.back();
+  }
+
+  /// Insert a value, O(1) amortized.
+  void push(T value) {
+    ++stats_.pushes;
+    ++size_;
+    const std::int64_t k = time_of_(value);
+    if (k >= top_start_) {
+      if (top_.empty()) {
+        top_min_ = top_max_ = k;
+      } else {
+        top_min_ = std::min(top_min_, k);
+        top_max_ = std::max(top_max_, k);
+      }
+      top_.push_back(std::move(value));
+    } else if (!route_to_rung(k, value)) {
+      insert_bottom(std::move(value));
+    }
+    if (bottom_.empty()) refill_bottom();
+  }
+
+  /// Remove and return the smallest element, O(1) amortized.
+  T pop() {
+    HJDES_DCHECK(size_ > 0, "pop() on empty LadderQueue");
+    ++stats_.pops;
+    T out = std::move(bottom_.back());
+    bottom_.pop_back();
+    --size_;
+    if (size_ == 0) {
+      reset();
+    } else if (bottom_.empty()) {
+      refill_bottom();
+    }
+    return out;
+  }
+
+  void clear() noexcept {
+    top_.clear();
+    rungs_.clear();
+    bottom_.clear();
+    size_ = 0;
+    reset();
+  }
+
+  /// Operation counters since construction (or the last stats_reset()).
+  const LadderStats& stats() const noexcept { return stats_; }
+  void stats_reset() noexcept { stats_ = LadderStats{}; }
+
+ private:
+  /// Buckets per rung and the bucket size above which a deeper rung is
+  /// spawned instead of sorting. 64 keeps a rung's bucket array inside a
+  /// couple of cache lines of vector headers while bounding every sort to
+  /// O(threshold log threshold).
+  static constexpr std::size_t kRungBuckets = 64;
+  static constexpr std::size_t kSortThreshold = 64;
+
+  struct Rung {
+    std::int64_t start = 0;  ///< time at the left edge of bucket 0
+    std::int64_t width = 1;  ///< bucket width in time units, >= 1
+    std::size_t next = 0;    ///< next bucket index to drain
+    std::vector<std::vector<T>> buckets;
+  };
+
+  /// Try to file `value` (key `k`, below top_start_) into a rung bucket.
+  /// Returns false when the key is at or below every remaining bucket — the
+  /// caller then sorted-inserts into Bottom, which is always correct.
+  bool route_to_rung(std::int64_t k, T& value) {
+    for (Rung& r : rungs_) {
+      // Signed arithmetic: keys before r.start truncate toward zero, and a
+      // live rung always has next >= 1 outside refill, so they descend.
+      std::int64_t idx = (k - r.start) / r.width;
+      if (k < r.start) idx = -1;
+      const auto nb = static_cast<std::int64_t>(r.buckets.size());
+      if (idx >= nb) idx = nb - 1;
+      if (idx >= static_cast<std::int64_t>(r.next)) {
+        r.buckets[static_cast<std::size_t>(idx)].push_back(std::move(value));
+        return true;
+      }
+      // Already-drained window: either a deeper rung covers it (next
+      // iteration) or it belongs to Bottom.
+    }
+    return false;
+  }
+
+  /// Keep Bottom sorted descending by Less: upper_bound against the reversed
+  /// comparator keeps equal keys (impossible for total orders, harmless
+  /// otherwise) behind existing ones.
+  void insert_bottom(T value) {
+    auto it = std::upper_bound(
+        bottom_.begin(), bottom_.end(), value,
+        [this](const T& a, const T& b) { return less_(b, a); });
+    bottom_.insert(it, std::move(value));
+  }
+
+  void sort_descending(std::vector<T>& v) {
+    std::sort(v.begin(), v.end(),
+              [this](const T& a, const T& b) { return less_(b, a); });
+  }
+
+  /// Restore the invariant: Bottom non-empty whenever size_ > 0. Walks the
+  /// innermost rung to its next non-empty bucket, spawning deeper rungs for
+  /// oversized buckets, and falls back to Top when the ladder is exhausted.
+  void refill_bottom() {
+    while (bottom_.empty()) {
+      if (!rungs_.empty()) {
+        Rung& r = rungs_.back();
+        while (r.next < r.buckets.size() && r.buckets[r.next].empty()) {
+          ++r.next;
+        }
+        if (r.next == r.buckets.size()) {
+          rungs_.pop_back();
+          continue;
+        }
+        std::vector<T> bucket = std::move(r.buckets[r.next]);
+        const std::int64_t bstart =
+            r.start + static_cast<std::int64_t>(r.next) * r.width;
+        const std::int64_t bwidth = r.width;
+        ++r.next;
+        if (bucket.size() > kSortThreshold && bwidth > 1) {
+          spawn_rung(bstart, bstart + bwidth - 1, std::move(bucket));
+          continue;
+        }
+        ++stats_.bucket_transfers;
+        sort_descending(bucket);
+        bottom_ = std::move(bucket);
+      } else if (!top_.empty()) {
+        if (top_.size() <= kSortThreshold || top_min_ == top_max_) {
+          ++stats_.bucket_transfers;
+          sort_descending(top_);
+          bottom_ = std::move(top_);
+          top_.clear();
+        } else {
+          spawn_rung(top_min_, top_max_, std::move(top_));
+          top_.clear();
+        }
+        // Keys from here on are either >= top_start_ (back into Top) or
+        // covered by the rungs/Bottom routing.
+        top_start_ = top_max_ + 1;
+      } else {
+        HJDES_DCHECK(size_ == 0, "LadderQueue lost elements");
+        return;
+      }
+    }
+  }
+
+  /// Subdivide [lo, hi] into a fresh innermost rung and scatter `elems`.
+  void spawn_rung(std::int64_t lo, std::int64_t hi, std::vector<T> elems) {
+    ++stats_.rung_spawns;
+    const std::int64_t span = hi - lo + 1;
+    const std::int64_t width =
+        std::max<std::int64_t>(
+            1, (span + static_cast<std::int64_t>(kRungBuckets) - 1) /
+                   static_cast<std::int64_t>(kRungBuckets));
+    const std::size_t nb = static_cast<std::size_t>((span + width - 1) / width);
+    Rung r;
+    r.start = lo;
+    r.width = width;
+    r.next = 0;
+    r.buckets.resize(nb);
+    for (T& v : elems) {
+      const std::int64_t k = time_of_(v);
+      std::size_t idx = static_cast<std::size_t>((k - lo) / width);
+      if (idx >= nb) idx = nb - 1;
+      r.buckets[idx].push_back(std::move(v));
+    }
+    rungs_.push_back(std::move(r));
+  }
+
+  /// Fully drained: forget the epoch so the structure restarts cheap.
+  void reset() noexcept {
+    top_start_ = std::numeric_limits<std::int64_t>::min();
+    top_min_ = 0;
+    top_max_ = 0;
+  }
+
+  std::vector<T> top_;     ///< unsorted, keys >= top_start_
+  std::vector<Rung> rungs_;
+  std::vector<T> bottom_;  ///< sorted descending; min at back()
+  std::int64_t top_start_ = std::numeric_limits<std::int64_t>::min();
+  std::int64_t top_min_ = 0;
+  std::int64_t top_max_ = 0;
+  std::size_t size_ = 0;
+  LadderStats stats_;
+  Less less_{};
+  TimeOf time_of_{};
+};
+
+}  // namespace hjdes

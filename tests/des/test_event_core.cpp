@@ -1,0 +1,179 @@
+// The event-core contract behind `--queue` and `--bitparallel`: swapping the
+// priority-queue storage (binary heap vs ladder queue) or packing 64 stimulus
+// lanes into one word-parallel pass must not change behaviour at all — the
+// merged core, under every configuration, is bit-identical to the reference
+// per-port-deque engine on the paper's circuits (mul12, ks64, ks128), and a
+// packed run equals 64 scalar runs done one lane at a time.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/engines.hpp"
+#include "des/packed_engine.hpp"
+
+namespace hjdes::des {
+namespace {
+
+using circuit::Netlist;
+using circuit::Stimulus;
+
+struct Scenario {
+  std::string name;
+  Netlist netlist;
+  Stimulus stimulus;
+};
+
+// Scaled-down versions of the paper's three benchmark circuits: enough
+// vectors to stress queue reordering, small enough for a unit-test budget.
+Scenario make_scenario(const std::string& which) {
+  if (which == "mul12") {
+    Netlist nl = circuit::tree_multiplier(12);
+    Stimulus s = circuit::random_stimulus(nl, 3, 1000, 0xA11CE);
+    return {which, std::move(nl), std::move(s)};
+  }
+  if (which == "ks64") {
+    Netlist nl = circuit::kogge_stone_adder(64);
+    Stimulus s = circuit::random_stimulus(nl, 8, 100, 0xB0B);
+    return {which, std::move(nl), std::move(s)};
+  }
+  Netlist nl = circuit::kogge_stone_adder(128);
+  Stimulus s = circuit::random_stimulus(nl, 4, 100, 0xCAFE);
+  return {"ks128", std::move(nl), std::move(s)};
+}
+
+const char* kScenarios[] = {"mul12", "ks64", "ks128"};
+
+class EventCore : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EventCore, MergedHeapMatchesReference) {
+  Scenario sc = make_scenario(GetParam());
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  SimResult got = run_sequential_merged(input, QueueKind::kHeap);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+  EXPECT_EQ(ref.null_messages, got.null_messages);
+}
+
+TEST_P(EventCore, MergedLadderMatchesReference) {
+  Scenario sc = make_scenario(GetParam());
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  SimResult got = run_sequential_merged(input, QueueKind::kLadder);
+  EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+  EXPECT_EQ(ref.null_messages, got.null_messages);
+}
+
+TEST_P(EventCore, PackedReplicatedMatchesReference) {
+  Scenario sc = make_scenario(GetParam());
+  SimInput input(sc.netlist, sc.stimulus);
+  SimResult ref = run_sequential(input);
+  for (QueueKind kind : {QueueKind::kDefault, QueueKind::kLadder}) {
+    SimResult got = run_packed_replicated(input, kind);
+    EXPECT_TRUE(same_behaviour(ref, got)) << diff_behaviour(ref, got);
+    EXPECT_EQ(ref.null_messages, got.null_messages);
+  }
+}
+
+// The headline bit-parallel property: one packed pass over 64 lanes with
+// *different* stimulus values (random_stimulus shares the timeline across
+// seeds) is bit-identical to 64 scalar runs, one lane at a time.
+TEST_P(EventCore, PackedSixtyFourLanesMatchScalarRuns) {
+  Scenario sc = make_scenario(GetParam());
+
+  std::vector<Stimulus> lanes;
+  lanes.reserve(kPackedLanes);
+  const std::size_t vectors = sc.stimulus.initial.empty()
+                                  ? 0
+                                  : sc.stimulus.initial.front().size();
+  for (int L = 0; L < kPackedLanes; ++L) {
+    lanes.push_back(circuit::random_stimulus(
+        sc.netlist, vectors, 100, 0x5EED + static_cast<std::uint64_t>(L)));
+  }
+  std::vector<const Stimulus*> ptrs;
+  for (const Stimulus& s : lanes) ptrs.push_back(&s);
+
+  const PackedResult packed = run_packed(sc.netlist, ptrs, QueueKind::kLadder);
+  ASSERT_EQ(packed.lanes.size(), static_cast<std::size_t>(kPackedLanes));
+  EXPECT_GT(packed.word_events, 0u);
+
+  for (int L = 0; L < kPackedLanes; ++L) {
+    SimInput scalar_input(sc.netlist, lanes[static_cast<std::size_t>(L)]);
+    SimResult scalar = run_sequential(scalar_input);
+    const SimResult& lane = packed.lanes[static_cast<std::size_t>(L)];
+    ASSERT_TRUE(same_behaviour(scalar, lane))
+        << "lane " << L << ": " << diff_behaviour(scalar, lane);
+    EXPECT_EQ(scalar.null_messages, lane.null_messages) << "lane " << L;
+    // Every lane traverses the same event structure: per-lane accounting
+    // equals the word-event count, and equals the scalar run's work.
+    EXPECT_EQ(lane.events_processed, packed.word_events) << "lane " << L;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCircuits, EventCore,
+                         ::testing::ValuesIn(kScenarios),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// Partial words are fine: 1..63 lanes pack into the low bits.
+TEST(EventCorePacked, PartialWordLaneCountWorks) {
+  Netlist nl = circuit::kogge_stone_adder(16);
+  std::vector<Stimulus> lanes;
+  for (int L = 0; L < 5; ++L) {
+    lanes.push_back(circuit::random_stimulus(
+        nl, 6, 50, 0xFEED + static_cast<std::uint64_t>(L)));
+  }
+  std::vector<const Stimulus*> ptrs;
+  for (const Stimulus& s : lanes) ptrs.push_back(&s);
+  const PackedResult packed = run_packed(nl, ptrs);
+  ASSERT_EQ(packed.lanes.size(), 5u);
+  for (int L = 0; L < 5; ++L) {
+    SimInput scalar_input(nl, lanes[static_cast<std::size_t>(L)]);
+    SimResult scalar = run_sequential(scalar_input);
+    const SimResult& lane = packed.lanes[static_cast<std::size_t>(L)];
+    EXPECT_TRUE(same_behaviour(scalar, lane))
+        << "lane " << L << ": " << diff_behaviour(scalar, lane);
+  }
+}
+
+// Packing is only valid when lanes share a timeline; skewed stimuli (each
+// input independently jittered per seed) must be rejected, not mis-merged.
+TEST(EventCorePacked, RejectsLanesWithDivergingTimelines) {
+  Netlist nl = circuit::kogge_stone_adder(8);
+  Stimulus a = circuit::skewed_random_stimulus(nl, 4, 10, 1);
+  Stimulus b = circuit::skewed_random_stimulus(nl, 4, 10, 2);
+  const Stimulus* ptrs[] = {&a, &b};
+  EXPECT_DEATH({ (void)run_packed(nl, ptrs); },
+               "identically-timed|disagree");
+}
+
+// The registry's `seq` entry must route --queue/--bitparallel to the same
+// bit-identical cores the direct calls above exercise.
+TEST(EventCoreRegistry, SeqEntryDispatchesQueueAndBitparallel) {
+  const EngineInfo* seq = find_engine("seq");
+  ASSERT_NE(seq, nullptr);
+  Netlist nl = circuit::kogge_stone_adder(32);
+  Stimulus s = circuit::random_stimulus(nl, 6, 100, 0xD1CE);
+  SimInput input(nl, s);
+  SimResult ref = run_sequential(input);
+
+  for (QueueKind kind :
+       {QueueKind::kDefault, QueueKind::kHeap, QueueKind::kLadder}) {
+    for (int bp : {0, kPackedLanes}) {
+      RunConfig config;
+      config.queue_kind = kind;
+      config.bitparallel = bp;
+      SimResult got = seq->run(input, config);
+      EXPECT_TRUE(same_behaviour(ref, got))
+          << "kind=" << queue_kind_name(kind) << " bitparallel=" << bp << ": "
+          << diff_behaviour(ref, got);
+      EXPECT_EQ(ref.null_messages, got.null_messages);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -21,7 +21,9 @@ EngineCaps all_caps() {
                     .honors_pinning = true,
                     .honors_batching = true,
                     .honors_arenas = true,
-                    .honors_input_batch = true};
+                    .honors_input_batch = true,
+                    .honors_queue = true,
+                    .honors_bitparallel = true};
 }
 
 bool mentions(const std::vector<std::string>& messages,
@@ -108,7 +110,9 @@ TEST(RunConfig, CliMappingRoundTripsEveryFlag) {
                         "--batch=16",
                         "--channel-capacity=64",
                         "--no-arenas",
-                        "--input-batch=7"};
+                        "--input-batch=7",
+                        "--queue=ladder",
+                        "--bitparallel=64"};
   Cli cli(static_cast<int>(std::size(argv)), argv);
   RunValidation v;
   const RunConfig config = run_config_from_cli(cli, all_caps(), "x", &v);
@@ -121,6 +125,8 @@ TEST(RunConfig, CliMappingRoundTripsEveryFlag) {
   EXPECT_EQ(config.channel_capacity, 64u);
   EXPECT_FALSE(config.arenas);
   EXPECT_EQ(config.input_batch, 7u);
+  EXPECT_EQ(config.queue_kind, QueueKind::kLadder);
+  EXPECT_EQ(config.bitparallel, 64);
 }
 
 TEST(RunConfig, CliMappingRejectsUnknownEnumValues) {
@@ -136,7 +142,8 @@ TEST(RunConfig, CliMappingRejectsUnknownEnumValues) {
 TEST(RunConfig, FlagTableCoversEveryMappedFlag) {
   const FlagTable& table = run_config_flags();
   for (const char* name : {"workers", "parts", "partitioner", "pin", "batch",
-                           "channel-capacity", "no-arenas", "input-batch"}) {
+                           "channel-capacity", "no-arenas", "input-batch",
+                           "queue", "bitparallel"}) {
     EXPECT_TRUE(table.known(name)) << name;
   }
   EXPECT_FALSE(run_config_flag_help().empty());
@@ -149,6 +156,15 @@ TEST(RunConfig, RegistryCapsMatchTheEngines) {
   ASSERT_NE(seq, nullptr);
   EXPECT_FALSE(seq->caps.honors_workers);
   EXPECT_FALSE(seq->caps.honors_pinning);
+  EXPECT_TRUE(seq->caps.honors_arenas);
+  EXPECT_TRUE(seq->caps.honors_queue);
+  EXPECT_TRUE(seq->caps.honors_bitparallel);
+
+  const EngineInfo* seqpq = find_engine("seqpq");
+  ASSERT_NE(seqpq, nullptr);
+  EXPECT_FALSE(seqpq->caps.honors_queue)
+      << "seqpq IS the fixed binary-heap baseline; --queue must error on it";
+  EXPECT_FALSE(seqpq->caps.honors_bitparallel);
 
   const EngineInfo* hj = find_engine("hj");
   ASSERT_NE(hj, nullptr);
@@ -156,7 +172,9 @@ TEST(RunConfig, RegistryCapsMatchTheEngines) {
   EXPECT_TRUE(hj->caps.honors_pinning);
   EXPECT_TRUE(hj->caps.honors_arenas);
   EXPECT_TRUE(hj->caps.honors_input_batch);
+  EXPECT_TRUE(hj->caps.honors_queue);
   EXPECT_FALSE(hj->caps.honors_parts);
+  EXPECT_FALSE(hj->caps.honors_bitparallel);
 
   const EngineInfo* partitioned = find_engine("partitioned");
   ASSERT_NE(partitioned, nullptr);
@@ -166,6 +184,8 @@ TEST(RunConfig, RegistryCapsMatchTheEngines) {
   EXPECT_TRUE(partitioned->caps.honors_pinning);
   EXPECT_TRUE(partitioned->caps.honors_batching);
   EXPECT_TRUE(partitioned->caps.honors_arenas);
+  EXPECT_TRUE(partitioned->caps.honors_queue);
+  EXPECT_FALSE(partitioned->caps.honors_bitparallel);
 
   const EngineInfo* timewarp = find_engine("timewarp");
   ASSERT_NE(timewarp, nullptr);
@@ -173,6 +193,58 @@ TEST(RunConfig, RegistryCapsMatchTheEngines) {
   EXPECT_TRUE(timewarp->caps.honors_pinning);
   EXPECT_TRUE(timewarp->caps.honors_input_batch);
   EXPECT_FALSE(timewarp->caps.honors_batching);
+}
+
+TEST(RunConfig, UnknownQueueValueIsAnError) {
+  const char* argv[] = {"prog", "--queue=splay"};
+  Cli cli(static_cast<int>(std::size(argv)), argv);
+  RunValidation v;
+  (void)run_config_from_cli(cli, all_caps(), "x", &v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--queue"));
+  EXPECT_TRUE(mentions(v.errors, "splay"));
+}
+
+TEST(RunConfig, BitparallelAcceptsOnlyZeroOr64) {
+  RunConfig config;
+  config.bitparallel = 32;
+  const RunValidation v = validate_run_config(config, all_caps(), "x");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--bitparallel"));
+}
+
+// --queue/--bitparallel swap the hot-path event core itself, so an engine
+// that cannot honor them must hard-error (naming flag and engine), never
+// silently fall back — a fallback would benchmark the wrong structure.
+TEST(RunConfig, QueueOnNonHonoringEngineIsAHardError) {
+  RunConfig config;
+  config.queue_kind = QueueKind::kLadder;
+  const RunValidation v = validate_run_config(config, EngineCaps{}, "seqpq");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--queue"));
+  EXPECT_TRUE(mentions(v.errors, "'seqpq'"));
+  EXPECT_TRUE(mentions(v.errors, "ladder"));
+  EXPECT_FALSE(mentions(v.warnings, "--queue")) << "error, not a warning";
+}
+
+TEST(RunConfig, BitparallelOnNonHonoringEngineIsAHardError) {
+  RunConfig config;
+  config.bitparallel = 64;
+  const RunValidation v =
+      validate_run_config(config, EngineCaps{}, "partitioned");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--bitparallel"));
+  EXPECT_TRUE(mentions(v.errors, "'partitioned'"));
+  EXPECT_FALSE(mentions(v.warnings, "--bitparallel")) << "error, not warning";
+}
+
+TEST(RunConfig, HonoringEngineAcceptsQueueAndBitparallel) {
+  RunConfig config;
+  config.queue_kind = QueueKind::kHeap;
+  config.bitparallel = 64;
+  const RunValidation v = validate_run_config(config, all_caps(), "seq");
+  EXPECT_TRUE(v.ok());
+  EXPECT_TRUE(v.warnings.empty());
 }
 
 TEST(RunConfig, UnknownFlagDetectionViaFlagTable) {

@@ -1,0 +1,213 @@
+// LadderQueue: the O(1)-amortized calendar-style alternative to BinaryHeap
+// behind `--queue=ladder`. Because PortEvent's operator< is a strict total
+// order (per-node seq numbers are unique), the pop sequence of any correct
+// priority queue is unique — so every test here reduces to "ladder pops
+// exactly what the heap pops" across adversarial timestamp distributions,
+// plus the FIFO tie-break and the internal-counter contracts.
+#include "support/ladder_queue.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/event.hpp"
+#include "des/event_queue.hpp"
+#include "support/binary_heap.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::des {
+namespace {
+
+/// Drain both structures and require element-for-element equality.
+void expect_same_pop_order(const std::vector<PortEvent>& events) {
+  LadderQueue<PortEvent> ladder;
+  BinaryHeap<PortEvent> heap;
+  for (const PortEvent& e : events) {
+    ladder.push(e);
+    heap.push(e);
+  }
+  ASSERT_EQ(ladder.size(), heap.size());
+  std::size_t at = 0;
+  while (!heap.empty()) {
+    ASSERT_FALSE(ladder.empty()) << "ladder ran dry at element " << at;
+    const PortEvent expected = heap.pop();
+    const PortEvent& top = ladder.top();
+    EXPECT_EQ(top.time, expected.time) << "top mismatch at " << at;
+    const PortEvent got = ladder.pop();
+    ASSERT_EQ(got.time, expected.time) << "pop order diverged at " << at;
+    ASSERT_EQ(got.port, expected.port) << "port tie-break diverged at " << at;
+    ASSERT_EQ(got.seq, expected.seq) << "seq tie-break diverged at " << at;
+    ASSERT_EQ(got.value, expected.value);
+    ++at;
+  }
+  EXPECT_TRUE(ladder.empty());
+}
+
+PortEvent make_event(Time t, Xoshiro256& rng, std::uint32_t seq) {
+  return PortEvent{t, static_cast<std::uint8_t>(rng.below(2)),
+                   static_cast<std::uint8_t>(rng.below(2)), seq};
+}
+
+TEST(LadderQueue, UniformRandomTimesMatchHeap) {
+  Xoshiro256 rng(0xA11CE);
+  std::vector<PortEvent> events;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    events.push_back(make_event(static_cast<Time>(rng.below(1 << 20)), rng, i));
+  }
+  expect_same_pop_order(events);
+}
+
+TEST(LadderQueue, ClusteredTimesMatchHeap) {
+  // Many events on few distinct timestamps: buckets far above the sort
+  // threshold, forcing recursive rung spawns down to width 1.
+  Xoshiro256 rng(0xB0B);
+  std::vector<PortEvent> events;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    const Time t = static_cast<Time>(rng.below(4)) * 1000;
+    events.push_back(make_event(t, rng, i));
+  }
+  expect_same_pop_order(events);
+}
+
+TEST(LadderQueue, MonotoneEventTrainMatchesHeap) {
+  // The DES workload shape: times v*interval with per-event gate jitter.
+  Xoshiro256 rng(0xCAFE);
+  std::vector<PortEvent> events;
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    const Time t = static_cast<Time>(i / 4) * 100 +
+                   static_cast<Time>(rng.below(7));
+    events.push_back(make_event(t, rng, i));
+  }
+  expect_same_pop_order(events);
+}
+
+TEST(LadderQueue, AllEqualTimesMatchHeap) {
+  Xoshiro256 rng(7);
+  std::vector<PortEvent> events;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    events.push_back(make_event(12345, rng, i));
+  }
+  expect_same_pop_order(events);
+}
+
+TEST(LadderQueue, BimodalWithNullTimestampsMatchesHeap) {
+  // Near-time real events mixed with kNullTs NULL messages: the span is
+  // astronomically wide, stressing rung width arithmetic against overflow.
+  Xoshiro256 rng(42);
+  std::vector<PortEvent> events;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const Time t = rng.below(10) == 0 ? kNullTs
+                                      : static_cast<Time>(rng.below(100000));
+    events.push_back(make_event(t, rng, i));
+  }
+  expect_same_pop_order(events);
+}
+
+TEST(LadderQueue, SameTimeSamePortPopsInFifoSeqOrder) {
+  // The determinism keystone: same-(time, port) events must come out in
+  // arrival (seq) order, which binary heaps only guarantee thanks to the
+  // explicit seq tie-break — the ladder must honor the same total order.
+  LadderQueue<PortEvent> q;
+  for (std::uint32_t s = 0; s < 100; ++s) {
+    q.push(PortEvent{500, static_cast<std::uint8_t>(s % 2), 1, s});
+  }
+  for (std::uint32_t s = 0; s < 100; ++s) {
+    const PortEvent e = q.pop();
+    EXPECT_EQ(e.seq, s);
+    EXPECT_EQ(e.value, static_cast<std::uint8_t>(s % 2));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LadderQueue, InterleavedPushPopMatchesHeap) {
+  // Pops interleave with pushes of both later and earlier timestamps (an
+  // earlier push can land below the current bottom — the DES never does
+  // this across one node's stream, but the structure must not care).
+  Xoshiro256 rng(0xD1CE);
+  LadderQueue<PortEvent> ladder;
+  BinaryHeap<PortEvent> heap;
+  std::uint32_t seq = 0;
+  for (int round = 0; round < 20000; ++round) {
+    if (heap.empty() || rng.below(100) < 60) {
+      const PortEvent e =
+          make_event(static_cast<Time>(rng.below(1 << 16)), rng, seq++);
+      ladder.push(e);
+      heap.push(e);
+    } else {
+      const PortEvent expected = heap.pop();
+      ASSERT_FALSE(ladder.empty());
+      const PortEvent got = ladder.pop();
+      ASSERT_EQ(got.time, expected.time) << "diverged at round " << round;
+      ASSERT_EQ(got.seq, expected.seq) << "diverged at round " << round;
+    }
+    ASSERT_EQ(ladder.size(), heap.size());
+  }
+  while (!heap.empty()) {
+    const PortEvent expected = heap.pop();
+    ASSERT_EQ(ladder.pop().seq, expected.seq);
+  }
+  EXPECT_TRUE(ladder.empty());
+}
+
+TEST(LadderQueue, DrainAndReuseAcceptsEarlierTimes) {
+  // Emptying the queue resets its epoch: timestamps far below everything
+  // previously seen must still be accepted and ordered correctly.
+  LadderQueue<PortEvent> q;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    q.push(PortEvent{1000000 + static_cast<Time>(i), 0, 0, i});
+  }
+  while (!q.empty()) q.pop();
+  q.push(PortEvent{5, 0, 0, 0});
+  q.push(PortEvent{3, 0, 0, 1});
+  EXPECT_EQ(q.pop().time, 3);
+  EXPECT_EQ(q.pop().time, 5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LadderQueue, StatsCountOperationsAndSpawns) {
+  // Monotone pushes land in the unsorted Top; draining then finds far more
+  // than kSortThreshold elements spread over a wide window, which must
+  // spawn a rung rather than sort the whole epoch at once.
+  LadderQueue<PortEvent> q;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    q.push(PortEvent{static_cast<Time>(i), 0, 0, i});
+  }
+  while (!q.empty()) q.pop();
+  const LadderStats s = q.stats();
+  EXPECT_EQ(s.pushes, 4000u);
+  EXPECT_EQ(s.pops, 4000u);
+  EXPECT_GE(s.rung_spawns, 1u)
+      << "4000 distinct times must overflow the sort threshold";
+  EXPECT_GE(s.bucket_transfers, 2u) << "a rung drains bucket by bucket";
+  q.stats_reset();
+  EXPECT_EQ(q.stats().pushes, 0u);
+}
+
+TEST(MergeQueue, LadderAndHeapKindsPopIdentically) {
+  Xoshiro256 rng(0x5EED);
+  MergeQueue<PortEvent> as_heap;
+  MergeQueue<PortEvent> as_ladder;
+  as_ladder.set_kind(QueueKind::kLadder);
+  EXPECT_EQ(as_heap.kind(), QueueKind::kHeap);
+  EXPECT_EQ(as_ladder.kind(), QueueKind::kLadder);
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    const PortEvent e =
+        make_event(static_cast<Time>(rng.below(1 << 12)), rng, i);
+    as_heap.push(e);
+    as_ladder.push(e);
+  }
+  while (!as_heap.empty()) {
+    ASSERT_FALSE(as_ladder.empty());
+    const PortEvent a = as_heap.pop();
+    const PortEvent b = as_ladder.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(as_ladder.empty());
+  EXPECT_EQ(as_ladder.ladder_stats().pushes, 3000u);
+  EXPECT_EQ(as_heap.ladder_stats().pushes, 0u) << "heap kind has no ladder";
+}
+
+}  // namespace
+}  // namespace hjdes::des

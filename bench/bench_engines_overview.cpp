@@ -15,10 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "des/packed_engine.hpp"
+#include "serve/trial_scheduler.hpp"
+#include "support/event_arena.hpp"
 #include "support/rng.hpp"
 #include "support/topology.hpp"
 
@@ -201,6 +204,63 @@ void print_core_trajectory() {
       record(w.name, cfg.name, s, events);
     }
   }
+
+  // Serve throughput cells: the experiment-throughput subsystem's headline
+  // ratio (docs/SERVING.md). serve-trial-loop models what N separate
+  // sequential `hjdes_sim` invocations cost per trial: each trial runs on a
+  // fresh thread with a cold event arena and rebuilds the netlist and
+  // stimulus, so only the process exec itself is elided (a conservative
+  // baseline — the real thing pays fork/exec on top). serve-sched-packed
+  // submits a 256-replication mul12 job to an already-running TrialScheduler
+  // — the long-lived daemon shape, warm workers — which routes the
+  // identical-timeline replications through the 64-lane packed core. Both
+  // are events/sec over the same trial shape, so their ratio is the
+  // trial-throughput multiple the scheduler buys; bench_diff.py gates it
+  // like any other cell.
+  {
+    const std::size_t kLoopTrials = 64;
+    unsigned long long loop_events = 0;
+    Summary sl = measure(
+        [&] {
+          loop_events = 0;
+          for (std::size_t i = 0; i < kLoopTrials; ++i) {
+            std::thread invocation([&loop_events, i] {
+              EventArena arena;
+              ArenaScope scope(&arena);
+              const circuit::Netlist mul12 = circuit::tree_multiplier(12);
+              const circuit::Stimulus st =
+                  circuit::random_stimulus(mul12, 2, 100, 1 + i);
+              const des::SimInput in(mul12, st);
+              loop_events += des::run_sequential(in).events_processed;
+            });
+            invocation.join();
+          }
+        },
+        reps);
+    record("multiplier-12bit", "serve-trial-loop", sl, loop_events);
+
+    serve::JobSpec spec;
+    spec.id = "bench";
+    spec.circuit = "gen:mul12";
+    spec.replications = 256;
+    spec.vectors = 2;
+    spec.interval = 100;
+    spec.seed = 1;
+    serve::JobResult result;
+    serve::SchedulerConfig sched_config;  // auto workers, packing on
+    serve::TrialScheduler scheduler(
+        sched_config, [&result](const serve::JobResult& r) { result = r; });
+    unsigned long long serve_events = 0;
+    Summary ss = measure(
+        [&] {
+          const serve::Admission a = scheduler.submit(spec);
+          scheduler.drain();
+          serve_events = a.accepted ? result.total_events : 0;
+        },
+        reps);
+    record("multiplier-12bit", "serve-sched-packed", ss, serve_events);
+  }
+
   std::printf("%s\n", t.render().c_str());
 
   const char* path_env = std::getenv("HJDES_CORE_JSON");

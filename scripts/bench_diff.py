@@ -51,11 +51,27 @@ def load(path):
             "(regenerate the baseline or update bench_diff.py)"
         )
     cells = {}
-    for cell in doc.get("cells", []):
+    for i, cell in enumerate(doc.get("cells", [])):
+        # Name the offending cell and field instead of dying with a bare
+        # KeyError: a half-written candidate (crashed bench, truncated file)
+        # should diagnose itself.
+        for field in ("circuit", "config", "events_per_sec"):
+            if field not in cell:
+                raise SystemExit(
+                    f"{path}: cell #{i} "
+                    f"({cell.get('circuit', '?')}, {cell.get('config', '?')}) "
+                    f"is missing field {field!r}"
+                )
         key = (cell["circuit"], cell["config"])
         if key in cells:
             raise SystemExit(f"{path}: duplicate cell {key}")
-        eps = float(cell["events_per_sec"])
+        try:
+            eps = float(cell["events_per_sec"])
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"{path}: cell {key} has non-numeric events_per_sec "
+                f"{cell['events_per_sec']!r}"
+            )
         if eps <= 0:
             raise SystemExit(f"{path}: cell {key} has events_per_sec {eps}")
         cells[key] = eps
@@ -134,6 +150,16 @@ def self_test():
     dropped = {k: v for k, v in slower.items() if k != victim}
     failures, _ = diff(base, dropped, 15.0)
     assert any("not the candidate" in f for f in failures), failures
+
+    # An added cell (new config with no trajectory yet — e.g. the serve
+    # throughput cells landing for the first time) passes, is reported by
+    # name, and stays out of the median normalization.
+    added = dict(slower)
+    added[(circuits[0], "serve-sched-packed")] = 123.0  # absurd on purpose
+    failures, lines = diff(base, added, 15.0)
+    assert not failures, f"added cell tripped the gate: {failures}"
+    assert any("serve-sched-packed" in ln and "new cell" in ln
+               for ln in lines), lines
 
     print("bench_diff: self-test passed")
     return 0

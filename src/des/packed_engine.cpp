@@ -1,6 +1,7 @@
 #include "des/packed_engine.hpp"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "circuit/gate.hpp"
@@ -40,39 +41,69 @@ SimResult unpack_lane(const detail::MergedCore<Word, WordEval>::Outcome& o,
 
 }  // namespace
 
+std::string packed_lane_error(
+    const circuit::Netlist& netlist,
+    std::span<const circuit::Stimulus* const> lanes) {
+  if (lanes.empty() ||
+      lanes.size() > static_cast<std::size_t>(kPackedLanes)) {
+    return "run_packed takes 1.." + std::to_string(kPackedLanes) +
+           " stimulus lanes, got " + std::to_string(lanes.size());
+  }
+  const std::size_t num_inputs = netlist.inputs().size();
+  for (std::size_t L = 0; L < lanes.size(); ++L) {
+    if (lanes[L] == nullptr || lanes[L]->initial.size() != num_inputs) {
+      return "packed stimulus lane " + std::to_string(L) +
+             " does not match the netlist's inputs";
+    }
+  }
+  // Lane 0 is the time reference; every lane must agree on the timeline.
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    const auto& ref = lanes[0]->initial[i];
+    for (std::size_t L = 0; L < lanes.size(); ++L) {
+      if (lanes[L]->initial[i].size() != ref.size()) {
+        return "packed lanes 0 and " + std::to_string(L) +
+               " disagree on input " + std::to_string(i) +
+               "'s event count (" + std::to_string(ref.size()) + " vs " +
+               std::to_string(lanes[L]->initial[i].size()) + ")";
+      }
+    }
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      const Time t = ref[v].time;
+      if (!(t >= 0 && t < kNullTs && (v == 0 || t >= ref[v - 1].time))) {
+        return "packed stimulus times must be valid and non-decreasing "
+               "(input " + std::to_string(i) + ", event " +
+               std::to_string(v) + ")";
+      }
+      for (std::size_t L = 0; L < lanes.size(); ++L) {
+        if (lanes[L]->initial[i][v].time != t) {
+          return "packed lanes 0 and " + std::to_string(L) + " of " +
+                 std::to_string(lanes.size()) +
+                 " disagree on an event time; only identically-timed "
+                 "stimuli (e.g. random_stimulus with different seeds) can "
+                 "share a packed run";
+        }
+      }
+    }
+  }
+  return "";
+}
+
 PackedResult run_packed(const circuit::Netlist& netlist,
                         std::span<const circuit::Stimulus* const> lanes,
                         QueueKind kind) {
-  HJDES_CHECK(!lanes.empty() &&
-                  lanes.size() <= static_cast<std::size_t>(kPackedLanes),
-              "run_packed takes 1..64 stimulus lanes");
+  const std::string lane_error = packed_lane_error(netlist, lanes);
+  HJDES_CHECK(lane_error.empty(), lane_error.c_str());
   const std::size_t num_inputs = netlist.inputs().size();
-  for (const circuit::Stimulus* s : lanes) {
-    HJDES_CHECK(s != nullptr && s->initial.size() == num_inputs,
-                "packed stimulus lane does not match the netlist's inputs");
-  }
 
   // Pack the lanes: bit L of an initial event's word is lane L's value.
-  // Lane 0 is the time reference; every lane must agree on the timeline.
   std::vector<std::vector<Sample>> initial(num_inputs);
   for (std::size_t i = 0; i < num_inputs; ++i) {
     const auto& ref = lanes[0]->initial[i];
-    for (const circuit::Stimulus* s : lanes) {
-      HJDES_CHECK(s->initial[i].size() == ref.size(),
-                  "packed lanes disagree on an input's event count");
-    }
     initial[i].reserve(ref.size());
     for (std::size_t v = 0; v < ref.size(); ++v) {
       const Time t = ref[v].time;
-      HJDES_CHECK(t >= 0 && t < kNullTs &&
-                      (v == 0 || t >= ref[v - 1].time),
-                  "packed stimulus times must be valid and non-decreasing");
       Word word = 0;
       for (std::size_t L = 0; L < lanes.size(); ++L) {
-        HJDES_CHECK(lanes[L]->initial[i][v].time == t,
-                    "packed lanes disagree on an event time; only "
-                    "identically-timed stimuli (e.g. random_stimulus with "
-                    "different seeds) can share a packed run");
         if (lanes[L]->initial[i][v].value) word |= Word{1} << L;
       }
       initial[i].push_back(Sample{t, word});

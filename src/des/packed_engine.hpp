@@ -9,6 +9,7 @@
 // bit-identical to 64 scalar runs, one lane at a time.
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "circuit/netlist.hpp"
@@ -33,9 +34,19 @@ struct PackedResult {
   std::uint64_t word_events = 0;
 };
 
+/// Why `lanes` cannot share a packed run over `netlist`, or "" when they
+/// can. Checks the lane count (1..kPackedLanes), per-lane input arity, and
+/// that every lane agrees with lane 0's per-input event timeline. This is
+/// the non-aborting face of run_packed's precondition, for tool and serve
+/// paths that must reject untrusted stimuli with a message instead of
+/// dying; run_packed itself still aborts (HJDES_CHECK) on the same string.
+std::string packed_lane_error(const circuit::Netlist& netlist,
+                              std::span<const circuit::Stimulus* const> lanes);
+
 /// Simulate 1..64 stimulus lanes in one packed pass over `netlist`.
 /// All lanes must have identical per-input event times (values are free);
-/// aborts (HJDES_CHECK) otherwise — skewed stimuli cannot be packed.
+/// aborts (HJDES_CHECK, same message packed_lane_error returns) otherwise —
+/// skewed stimuli cannot be packed.
 /// `kind` selects the merged-queue storage; kDefault resolves to heap.
 PackedResult run_packed(const circuit::Netlist& netlist,
                         std::span<const circuit::Stimulus* const> lanes,

@@ -1,0 +1,82 @@
+#include "serve/aggregate.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "serve/json.hpp"
+
+namespace hjdes::serve {
+
+std::string_view job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kDegraded: return "degraded";
+    case JobStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::uint64_t result_checksum(const des::SimResult& result) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(result.waveforms.size());
+  for (const auto& wave : result.waveforms) {
+    mix(wave.size());
+    for (const des::OutputRecord& rec : wave) {
+      mix(static_cast<std::uint64_t>(rec.time));
+      mix(rec.value);
+    }
+  }
+  mix(result.events_processed);
+  return h;
+}
+
+namespace {
+
+void append_stats_object(std::string* out, const char* key,
+                         const RunningStats& s) {
+  const std::size_t n = s.count();
+  const double stddev = std::sqrt(s.variance());
+  const double ci = ci95_half_student_t(stddev, n);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"%s\":{\"count\":%zu,\"min\":%.6g,\"max\":%.6g,"
+                "\"mean\":%.6g,\"stddev\":%.6g,\"ci95\":%.6g}",
+                key, n, s.min(), s.max(), s.mean(), stddev, ci);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string job_result_json(const JobResult& result) {
+  std::string out = "{\"job\":\"" + json_escape(result.id) + "\",\"status\":\"";
+  out += job_status_name(result.status);
+  out += '"';
+  if (!result.reason.empty()) {
+    out += ",\"reason\":\"" + json_escape(result.reason) + "\"";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                ",\"trials\":%zu,\"completed\":%zu,\"failed\":%zu,"
+                "\"packed_trials\":%zu,\"elapsed_ms\":%.3f,"
+                "\"total_events\":%llu",
+                result.trials, result.completed, result.failed,
+                result.packed_trials, result.elapsed_ms,
+                static_cast<unsigned long long>(result.total_events));
+  out += buf;
+  if (result.completed > 0) {
+    out += ',';
+    append_stats_object(&out, "events", result.events_stats);
+    out += ',';
+    append_stats_object(&out, "ms", result.ms_stats);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace hjdes::serve

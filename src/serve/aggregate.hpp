@@ -1,0 +1,73 @@
+#pragma once
+// Streaming per-job aggregation for the serve layer: each finished trial
+// folds into Welford accumulators (support/stats.hpp RunningStats) so a
+// million-trial job costs O(1) memory, and the final JobResult renders as
+// one line of JSON with min/mean/stddev/Student-t 95% CI per quantity —
+// the serving analogue of the paper's Figure 7 "average time + CI" table.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/sim_result.hpp"
+#include "support/stats.hpp"
+
+namespace hjdes::serve {
+
+/// One finished (or failed) trial as recorded in a JobResult.
+struct TrialOutcome {
+  std::size_t index = 0;        ///< TrialSpec::index
+  bool ok = false;              ///< false: failed / abandoned past deadline
+  bool packed = false;          ///< retired via the 64-lane packed core
+  double ms = 0.0;              ///< wall time of the (possibly shared) pass
+  std::uint64_t events = 0;     ///< real events the trial simulated
+  std::uint64_t checksum = 0;   ///< result_checksum() of the waveforms
+};
+
+/// Completion status of a job.
+enum class JobStatus : std::uint8_t {
+  kOk,        ///< every trial completed
+  kDegraded,  ///< deadline/fault losses; surviving trials' stats are valid
+  kRejected,  ///< admission refused; no trial ran
+};
+
+std::string_view job_status_name(JobStatus status);
+
+/// Aggregated outcome of one job, streamed to the result callback exactly
+/// once per submitted (or rejected) job.
+struct JobResult {
+  std::string id;
+  JobStatus status = JobStatus::kOk;
+  std::string reason;           ///< reject/degrade cause; "" when kOk
+
+  std::size_t trials = 0;       ///< expanded trial count
+  std::size_t completed = 0;    ///< trials with recorded results
+  std::size_t failed = 0;       ///< trials lost to deadline/faults
+  std::size_t packed_trials = 0;///< completed trials retired in packed passes
+
+  RunningStats events_stats;    ///< per-trial real-event counts
+  RunningStats ms_stats;        ///< per-trial wall milliseconds
+  double elapsed_ms = 0.0;      ///< submit -> completion wall time
+  std::uint64_t total_events = 0;
+
+  /// Per-trial outcomes, kept only when the scheduler is configured with
+  /// keep_trials (tests, bit-identity audits); empty in serving mode.
+  std::vector<TrialOutcome> outcomes;
+};
+
+/// Order-independent-enough digest of a simulation's observable behaviour:
+/// FNV-1a over every output's (time, value) records in waveform order plus
+/// the real event count. Two behaviourally identical results always agree;
+/// the serve tests use it to hold packed trials bit-identical to standalone
+/// runs without shipping whole waveforms through the aggregator.
+std::uint64_t result_checksum(const des::SimResult& result);
+
+/// Render `result` as one line of JSON (no trailing newline):
+///   {"job":...,"status":...,"trials":N,"completed":N,"failed":N,
+///    "packed_trials":N,"elapsed_ms":X,"events":{...},"ms":{...}}
+/// The "events"/"ms" objects carry count/min/max/mean/stddev/ci95 with the
+/// CI built from the Student-t helper (support/stats.hpp); both are omitted
+/// when no trial completed. "reason" appears for rejected/degraded jobs.
+std::string job_result_json(const JobResult& result);
+
+}  // namespace hjdes::serve

@@ -1,0 +1,250 @@
+#include "serve/job_spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+
+namespace hjdes::serve {
+
+namespace {
+
+/// Read a JSON number that must be an integer within [lo, hi].
+bool int_field(const Json& obj, const char* key, std::int64_t lo,
+               std::int64_t hi, std::int64_t* out, std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return true;  // optional, default stands
+  if (!v->is_number() || v->as_number() != std::floor(v->as_number())) {
+    *error = std::string("field '") + key + "' must be an integer";
+    return false;
+  }
+  const double d = v->as_number();
+  if (d < static_cast<double>(lo) || d > static_cast<double>(hi)) {
+    *error = std::string("field '") + key + "' out of range [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+bool string_field(const Json& obj, const char* key, std::string* out,
+                  std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_string()) {
+    *error = std::string("field '") + key + "' must be a string";
+    return false;
+  }
+  *out = v->as_string();
+  return true;
+}
+
+bool bool_field(const Json& obj, const char* key, bool* out,
+                std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_bool()) {
+    *error = std::string("field '") + key + "' must be a boolean";
+    return false;
+  }
+  *out = v->as_bool();
+  return true;
+}
+
+template <typename T>
+bool int_array_field(const Json& obj, const char* key, std::int64_t lo,
+                     std::int64_t hi, std::vector<T>* out,
+                     std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_array()) {
+    *error = std::string("field '") + key + "' must be an array of integers";
+    return false;
+  }
+  out->clear();
+  for (const Json& item : v->as_array()) {
+    if (!item.is_number() ||
+        item.as_number() != std::floor(item.as_number()) ||
+        item.as_number() < static_cast<double>(lo) ||
+        item.as_number() > static_cast<double>(hi)) {
+      *error = std::string("field '") + key +
+               "' entries must be integers in [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "]";
+      return false;
+    }
+    out->push_back(static_cast<T>(item.as_number()));
+  }
+  if (out->empty()) {
+    *error = std::string("field '") + key + "' must not be an empty array";
+    return false;
+  }
+  return true;
+}
+
+/// Keys a job spec may carry; anything else is a reject (typo safety: a
+/// misspelled "replications" silently running 1 trial would be worse).
+constexpr const char* kKnownKeys[] = {
+    "id",          "circuit",         "engine",  "workers",
+    "replications", "seed",           "vectors", "interval",
+    "sweep_vectors", "sweep_intervals", "deadline_ms", "pack",
+};
+
+}  // namespace
+
+std::size_t JobSpec::trial_count() const {
+  const std::size_t nv = sweep_vectors.empty() ? 1 : sweep_vectors.size();
+  const std::size_t ni = sweep_intervals.empty() ? 1 : sweep_intervals.size();
+  return static_cast<std::size_t>(replications) * nv * ni;
+}
+
+bool parse_job_spec(const Json& json, JobSpec* out, std::string* error) {
+  *out = JobSpec{};
+  if (!json.is_object()) {
+    *error = "job spec must be a JSON object";
+    return false;
+  }
+  // Fill the id first so even a reject can be attributed.
+  if (!string_field(json, "id", &out->id, error)) return false;
+
+  for (const auto& [key, value] : json.as_object()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : kKnownKeys) known = known || key == k;
+    if (!known) {
+      *error = "unknown field '" + key + "'";
+      return false;
+    }
+  }
+
+  if (!string_field(json, "circuit", &out->circuit, error)) return false;
+  if (out->circuit.empty()) {
+    *error = "field 'circuit' is required";
+    return false;
+  }
+  if (!string_field(json, "engine", &out->engine, error)) return false;
+
+  std::int64_t workers = out->workers;
+  std::int64_t replications = out->replications;
+  std::int64_t seed = static_cast<std::int64_t>(out->seed);
+  std::int64_t vectors = static_cast<std::int64_t>(out->vectors);
+  std::int64_t interval = out->interval;
+  std::int64_t deadline = out->deadline_ms;
+  if (!int_field(json, "workers", 1, 256, &workers, error) ||
+      !int_field(json, "replications", 1, 1 << 20, &replications, error) ||
+      !int_field(json, "seed", 0, (std::int64_t{1} << 53) - 1, &seed,
+                 error) ||
+      !int_field(json, "vectors", 1, 1 << 20, &vectors, error) ||
+      !int_field(json, "interval", 1, 1 << 30, &interval, error) ||
+      !int_field(json, "deadline_ms", 0, 86'400'000, &deadline, error)) {
+    return false;
+  }
+  out->workers = static_cast<int>(workers);
+  out->replications = static_cast<int>(replications);
+  out->seed = static_cast<std::uint64_t>(seed);
+  out->vectors = static_cast<std::size_t>(vectors);
+  out->interval = interval;
+  out->deadline_ms = static_cast<int>(deadline);
+
+  if (!int_array_field(json, "sweep_vectors", 1, 1 << 20, &out->sweep_vectors,
+                       error) ||
+      !int_array_field(json, "sweep_intervals", 1, 1 << 30,
+                       &out->sweep_intervals, error)) {
+    return false;
+  }
+  if (!bool_field(json, "pack", &out->pack, error)) return false;
+  return true;
+}
+
+bool parse_job_spec_line(std::string_view line, JobSpec* out,
+                         std::string* error) {
+  Json json;
+  if (!parse_json(line, &json, error)) return false;
+  return parse_job_spec(json, out, error);
+}
+
+std::vector<TrialSpec> expand_trials(const JobSpec& spec) {
+  const std::vector<std::size_t> vecs =
+      spec.sweep_vectors.empty() ? std::vector<std::size_t>{spec.vectors}
+                                 : spec.sweep_vectors;
+  const std::vector<std::int64_t> ivals =
+      spec.sweep_intervals.empty() ? std::vector<std::int64_t>{spec.interval}
+                                   : spec.sweep_intervals;
+  std::vector<TrialSpec> trials;
+  trials.reserve(spec.trial_count());
+  std::size_t index = 0;
+  for (std::size_t v : vecs) {
+    for (std::int64_t i : ivals) {
+      for (int r = 0; r < spec.replications; ++r) {
+        TrialSpec t;
+        t.index = index;
+        t.vectors = v;
+        t.interval = i;
+        // One seed per trial across the whole job, so sweep points never
+        // reuse a replication's stimulus stream.
+        t.seed = spec.seed + index;
+        trials.push_back(t);
+        ++index;
+      }
+    }
+  }
+  return trials;
+}
+
+bool load_job_circuit(const JobSpec& spec, circuit::Netlist* out,
+                      std::string* error) {
+  const std::string& s = spec.circuit;
+  if (s.rfind("gen:", 0) == 0) {
+    const std::string name = s.substr(4);
+    auto bits_of = [&name](std::size_t prefix, int lo, int hi) {
+      const int bits = std::atoi(name.c_str() + prefix);
+      return bits >= lo && bits <= hi ? bits : -1;
+    };
+    if (name.rfind("ks", 0) == 0) {
+      const int bits = bits_of(2, 1, 1024);
+      if (bits < 0) {
+        *error = "generator '" + name + "': ks<bits> needs bits in [1, 1024]";
+        return false;
+      }
+      *out = circuit::kogge_stone_adder(bits);
+      return true;
+    }
+    if (name.rfind("mul", 0) == 0) {
+      const int bits = bits_of(3, 1, 64);
+      if (bits < 0) {
+        *error = "generator '" + name + "': mul<bits> needs bits in [1, 64]";
+        return false;
+      }
+      *out = circuit::tree_multiplier(bits);
+      return true;
+    }
+    if (name.rfind("ripple", 0) == 0) {
+      const int bits = bits_of(6, 1, 4096);
+      if (bits < 0) {
+        *error =
+            "generator '" + name + "': ripple<bits> needs bits in [1, 4096]";
+        return false;
+      }
+      *out = circuit::ripple_carry_adder(bits);
+      return true;
+    }
+    *error = "unknown generator '" + name +
+             "' (ks<bits>, mul<bits>, ripple<bits>)";
+    return false;
+  }
+  std::ifstream in(s);
+  if (!in.good()) {
+    *error = "cannot open circuit file '" + s + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // parse_netlist aborts on malformed text; circuit files are operator
+  // assets (the untrusted surface is the JSON spec), see docs/SERVING.md.
+  *out = circuit::parse_netlist(buf.str());
+  return true;
+}
+
+}  // namespace hjdes::serve

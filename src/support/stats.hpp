@@ -10,6 +10,11 @@ namespace hjdes {
 
 /// Accumulated summary of a sample of real-valued observations.
 struct Summary {
+  /// Explicit "this summary holds data" tag. An empty sample used to be
+  /// distinguishable only by its all-zero sentinel values, which read as a
+  /// measured zero the moment a caller forgot the count check; consumers
+  /// must branch on `valid` (or `count`) before touching the numbers.
+  bool valid = false;
   std::size_t count = 0;
   double min = 0.0;
   double max = 0.0;
@@ -19,11 +24,24 @@ struct Summary {
   double median = 0.0;
 };
 
-/// Compute a Summary over `samples`. Empty input yields the all-zero
-/// Summary (count == 0) — callers reporting results must treat count == 0
-/// as "no data", never as a measured zero; bench::measure clamps its rep
-/// count to >= 1 precisely so published tables can't contain the sentinel.
+/// Compute a Summary over `samples`. Empty input yields the tagged empty
+/// Summary (valid == false, count == 0, numerics zero) — never a measured
+/// zero; bench::measure clamps its rep count to >= 1 so published tables
+/// always come from valid summaries.
 Summary summarize(const std::vector<double>& samples);
+
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom:
+/// exact to 3 decimals for dof <= 30, then a monotone interpolation that
+/// converges on the normal 1.960 asymptote. dof == 0 returns 0 (no interval
+/// exists from a single observation).
+double student_t95(std::size_t dof);
+
+/// Half-width of the 95% confidence interval of a mean over `n` samples
+/// with sample standard deviation `stddev`, using the Student-t critical
+/// value (correct for the small n the serve aggregator and Figure 7 see,
+/// where the 1.96 normal approximation is up to 6x too narrow). 0 when
+/// n < 2.
+double ci95_half_student_t(double stddev, std::size_t n);
 
 /// Online accumulator (Welford) for streaming use in long benches.
 class RunningStats {

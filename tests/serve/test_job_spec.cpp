@@ -1,0 +1,143 @@
+// serve/job_spec.hpp: parse/validate/expand of experiment job specs. The
+// spec is the daemon's untrusted input surface, so the reject paths get as
+// much coverage as the happy paths; expansion order is load-bearing (the
+// scheduler packs contiguous same-timeline runs) and pinned here.
+#include "serve/job_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace hjdes::serve {
+namespace {
+
+TEST(JobSpecParse, DefaultsAndFields) {
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(parse_job_spec_line(
+      R"({"id":"x","circuit":"gen:ks8","engine":"seq","workers":2,
+          "replications":5,"seed":7,"vectors":3,"interval":50,
+          "deadline_ms":1000,"pack":false})",
+      &spec, &err))
+      << err;
+  EXPECT_EQ(spec.id, "x");
+  EXPECT_EQ(spec.circuit, "gen:ks8");
+  EXPECT_EQ(spec.engine, "seq");
+  EXPECT_EQ(spec.workers, 2);
+  EXPECT_EQ(spec.replications, 5);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.vectors, 3u);
+  EXPECT_EQ(spec.interval, 50);
+  EXPECT_EQ(spec.deadline_ms, 1000);
+  EXPECT_FALSE(spec.pack);
+  EXPECT_EQ(spec.trial_count(), 5u);
+
+  // Minimal spec: only circuit is required, defaults cover the rest.
+  ASSERT_TRUE(parse_job_spec_line(R"({"circuit":"gen:mul4"})", &spec, &err));
+  EXPECT_TRUE(spec.id.empty());
+  EXPECT_EQ(spec.engine, "seq");
+  EXPECT_EQ(spec.trial_count(), 1u);
+  EXPECT_TRUE(spec.pack);
+}
+
+TEST(JobSpecParse, RejectsWithReason) {
+  JobSpec spec;
+  std::string err;
+  struct Case {
+    const char* text;
+    const char* needle;  // must appear in the reject reason
+  };
+  const Case cases[] = {
+      {R"([1,2,3])", "must be a JSON object"},
+      {R"({"id":"a"})", "'circuit' is required"},
+      {R"({"circuit":"gen:ks8","replicatons":4})", "unknown field"},
+      {R"({"circuit":"gen:ks8","replications":0})", "out of range"},
+      {R"({"circuit":"gen:ks8","replications":1.5})", "integer"},
+      {R"({"circuit":"gen:ks8","workers":1000})", "out of range"},
+      {R"({"circuit":"gen:ks8","pack":"yes"})", "boolean"},
+      {R"({"circuit":"gen:ks8","sweep_vectors":[]})", "empty array"},
+      {R"({"circuit":"gen:ks8","sweep_vectors":[0]})", "integers in"},
+      {R"({"circuit":5})", "must be a string"},
+  };
+  for (const Case& c : cases) {
+    err.clear();
+    EXPECT_FALSE(parse_job_spec_line(c.text, &spec, &err)) << c.text;
+    EXPECT_NE(err.find(c.needle), std::string::npos)
+        << c.text << " -> " << err;
+  }
+}
+
+TEST(JobSpecParse, IdSurvivesRejection) {
+  // A reject must stay attributable to the client's id.
+  JobSpec spec;
+  std::string err;
+  EXPECT_FALSE(parse_job_spec_line(R"({"id":"mine","workers":0})", &spec,
+                                   &err));
+  EXPECT_EQ(spec.id, "mine");
+}
+
+TEST(JobSpecExpand, SweepMajorReplicationMinorWithUniqueSeeds) {
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(parse_job_spec_line(
+      R"({"circuit":"gen:ks8","replications":3,"seed":100,
+          "sweep_vectors":[2,4],"sweep_intervals":[10,20]})",
+      &spec, &err))
+      << err;
+  EXPECT_EQ(spec.trial_count(), 12u);
+  const std::vector<TrialSpec> trials = expand_trials(spec);
+  ASSERT_EQ(trials.size(), 12u);
+
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, i);
+    seeds.insert(trials[i].seed);
+    // Replications of one sweep point are contiguous: trials i and i-1 in
+    // the same block of 3 share (vectors, interval). This is what lets the
+    // scheduler pack them into one 64-lane pass.
+    if (i % 3 != 0) {
+      EXPECT_EQ(trials[i].vectors, trials[i - 1].vectors);
+      EXPECT_EQ(trials[i].interval, trials[i - 1].interval);
+    }
+  }
+  EXPECT_EQ(seeds.size(), 12u) << "every trial needs its own seed";
+  EXPECT_EQ(trials.front().seed, 100u);
+  // All four sweep points appear, 3 trials each.
+  EXPECT_EQ(trials[0].vectors, 2u);
+  EXPECT_EQ(trials[0].interval, 10);
+  EXPECT_EQ(trials[3].interval, 20);
+  EXPECT_EQ(trials[6].vectors, 4u);
+  EXPECT_EQ(trials[11].vectors, 4u);
+  EXPECT_EQ(trials[11].interval, 20);
+}
+
+TEST(JobCircuit, GeneratorsAndRejects) {
+  JobSpec spec;
+  circuit::Netlist netlist;
+  std::string err;
+
+  spec.circuit = "gen:ks16";
+  ASSERT_TRUE(load_job_circuit(spec, &netlist, &err)) << err;
+  EXPECT_GT(netlist.node_count(), 0u);
+
+  spec.circuit = "gen:mul4";
+  ASSERT_TRUE(load_job_circuit(spec, &netlist, &err)) << err;
+  spec.circuit = "gen:ripple8";
+  ASSERT_TRUE(load_job_circuit(spec, &netlist, &err)) << err;
+
+  spec.circuit = "gen:frobnicator";
+  EXPECT_FALSE(load_job_circuit(spec, &netlist, &err));
+  EXPECT_NE(err.find("unknown generator"), std::string::npos);
+
+  spec.circuit = "gen:mul9999";  // over the mul cap
+  EXPECT_FALSE(load_job_circuit(spec, &netlist, &err));
+  EXPECT_NE(err.find("[1, 64]"), std::string::npos);
+
+  spec.circuit = "/nonexistent/circuit.netlist";
+  EXPECT_FALSE(load_job_circuit(spec, &netlist, &err));
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hjdes::serve

@@ -1,0 +1,101 @@
+// serve/json.hpp: the JSON value type, the recursive-descent parser, and the
+// string escaper. The parser fronts the daemon's untrusted stdin, so the
+// tests lean on rejection: every malformed input must produce an error with
+// a byte offset, never an abort or a silently wrong value.
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hjdes::serve {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  Json v;
+  std::string err;
+  ASSERT_TRUE(parse_json("null", &v, &err));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(parse_json("true", &v, &err));
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(parse_json("false", &v, &err));
+  EXPECT_FALSE(v.as_bool());
+  ASSERT_TRUE(parse_json("42", &v, &err));
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.0);
+  ASSERT_TRUE(parse_json("-17.5e2", &v, &err));
+  EXPECT_DOUBLE_EQ(v.as_number(), -1750.0);
+  ASSERT_TRUE(parse_json("\"hi\"", &v, &err));
+  EXPECT_EQ(v.as_string(), "hi");
+}
+
+TEST(JsonParse, Structures) {
+  Json v;
+  std::string err;
+  ASSERT_TRUE(parse_json(" [1, \"two\", [3], {\"k\": true}] ", &v, &err));
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 4u);
+  EXPECT_DOUBLE_EQ(v.as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(v.as_array()[1].as_string(), "two");
+  ASSERT_TRUE(v.as_array()[3].is_object());
+  const Json* k = v.as_array()[3].find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_TRUE(k->as_bool());
+
+  ASSERT_TRUE(parse_json("{\"a\":{\"b\":[{}]},\"c\":null}", &v, &err));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.as_object().size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  Json v;
+  std::string err;
+  ASSERT_TRUE(parse_json(R"("a\"b\\c\/d\n\tA")", &v, &err));
+  EXPECT_EQ(v.as_string(), "a\"b\\c/d\n\tA");
+  // Non-ASCII \u escapes decode to UTF-8.
+  ASSERT_TRUE(parse_json(R"("é")", &v, &err));
+  EXPECT_EQ(v.as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedWithOffset) {
+  Json v;
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1,]",        // trailing comma
+      "{\"a\" 1}",   // missing colon
+      "\"unterminated", // unterminated string
+      "01",          // leading zero
+      "nul",         // truncated keyword
+      "1 2",         // trailing garbage
+      "{\"a\":1,\"a\":2}",  // duplicate key
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(parse_json(text, &v, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  // Depth guard: deep nesting must be an error, not a stack overflow.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  Json v;
+  std::string err;
+  EXPECT_FALSE(parse_json(deep, &v, &err));
+  EXPECT_NE(err.find("nest"), std::string::npos);
+}
+
+TEST(JsonEscape, RoundTripsThroughParser) {
+  const std::string nasty = "quote \" slash \\ newline \n tab \t ctrl \x01";
+  const std::string quoted = "\"" + json_escape(nasty) + "\"";
+  Json v;
+  std::string err;
+  ASSERT_TRUE(parse_json(quoted, &v, &err)) << quoted << ": " << err;
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace hjdes::serve

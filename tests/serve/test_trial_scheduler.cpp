@@ -1,0 +1,210 @@
+// serve/trial_scheduler.hpp: admission, packed replication routing,
+// deadline degradation, and the load-bearing guarantee of the serve layer —
+// a trial retired through the scheduler (packed or scalar) is bit-identical
+// to the same trial run standalone through the sequential engine.
+#include "serve/trial_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/seq_engine.hpp"
+#include "des/sim_input.hpp"
+
+namespace hjdes::serve {
+namespace {
+
+/// Collects results from the scheduler's worker-thread callbacks.
+class Collector {
+ public:
+  void operator()(const JobResult& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_.push_back(r);
+  }
+  std::vector<JobResult> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return results_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<JobResult> results_;
+};
+
+JobSpec parse_or_die(const std::string& text) {
+  JobSpec spec;
+  std::string err;
+  EXPECT_TRUE(parse_job_spec_line(text, &spec, &err)) << err;
+  return spec;
+}
+
+TEST(TrialScheduler, AdmissionRejectsWithReasons) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 1;
+  config.max_trials_per_job = 10;
+  TrialScheduler scheduler(config,
+                           [collector](const JobResult& r) { (*collector)(r); });
+
+  Admission a = scheduler.submit(parse_or_die(
+      R"({"circuit":"gen:ks8","engine":"warpdrive"})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("unknown engine 'warpdrive'"), std::string::npos);
+
+  a = scheduler.submit(parse_or_die(
+      R"({"circuit":"gen:ks8","replications":11})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("cap is 10"), std::string::npos);
+
+  a = scheduler.submit(parse_or_die(R"({"circuit":"gen:nope"})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("unknown generator"), std::string::npos);
+
+  std::string id;
+  a = scheduler.submit_line("this is not json", &id);
+  EXPECT_FALSE(a.accepted);
+  EXPECT_TRUE(id.empty());
+  EXPECT_FALSE(a.reason.empty());
+
+  scheduler.drain();
+  // Rejected jobs never reach the callback.
+  EXPECT_TRUE(collector->take().empty());
+}
+
+TEST(TrialScheduler, QueueFullBouncesInsteadOfBlocking) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 1;
+  config.max_queued_jobs = 0;  // every submission is over the cap
+  TrialScheduler scheduler(config,
+                           [collector](const JobResult& r) { (*collector)(r); });
+  const Admission a =
+      scheduler.submit(parse_or_die(R"({"circuit":"gen:ks8"})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("queue full"), std::string::npos);
+}
+
+TEST(TrialScheduler, PackedTrialsAreBitIdenticalToStandaloneRuns) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 2;
+  config.keep_trials = true;
+  {
+    TrialScheduler scheduler(
+        config, [collector](const JobResult& r) { (*collector)(r); });
+    // 70 replications = one full 64-lane pass plus a 6-lane pass.
+    const Admission a = scheduler.submit(parse_or_die(
+        R"({"id":"identity","circuit":"gen:ks32","replications":70,
+            "vectors":3,"interval":80,"seed":500})"));
+    ASSERT_TRUE(a.accepted) << a.reason;
+    scheduler.drain();
+  }
+
+  std::vector<JobResult> results = collector->take();
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  EXPECT_EQ(r.id, "identity");
+  EXPECT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.trials, 70u);
+  EXPECT_EQ(r.completed, 70u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.packed_trials, 70u) << "replication batches must ride packed";
+  ASSERT_EQ(r.outcomes.size(), 70u);
+
+  // Every retired trial must checksum-match the same trial run standalone.
+  const circuit::Netlist netlist = circuit::kogge_stone_adder(32);
+  std::vector<TrialOutcome> outcomes = r.outcomes;
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const TrialOutcome& a, const TrialOutcome& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_EQ(outcomes[i].index, i);
+    EXPECT_TRUE(outcomes[i].ok);
+    EXPECT_TRUE(outcomes[i].packed);
+    const circuit::Stimulus stimulus =
+        circuit::random_stimulus(netlist, 3, 80, 500 + i);
+    const des::SimInput input(netlist, stimulus);
+    const des::SimResult reference = des::run_sequential(input);
+    EXPECT_EQ(outcomes[i].checksum, result_checksum(reference))
+        << "trial " << i << " diverged from its standalone run";
+    EXPECT_EQ(outcomes[i].events, reference.events_processed);
+  }
+}
+
+TEST(TrialScheduler, PackOptOutAndSweepSingletonsRunScalar) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 2;
+  config.keep_trials = true;
+  {
+    TrialScheduler scheduler(
+        config, [collector](const JobResult& r) { (*collector)(r); });
+    // pack:false forces the scalar path even for replications.
+    ASSERT_TRUE(scheduler
+                    .submit(parse_or_die(
+                        R"({"id":"scalar","circuit":"gen:ks16",
+                            "replications":4,"pack":false})"))
+                    .accepted);
+    // One replication per sweep point: nothing to pack (runs of length 1).
+    ASSERT_TRUE(scheduler
+                    .submit(parse_or_die(
+                        R"({"id":"sweep","circuit":"gen:ks16",
+                            "sweep_vectors":[2,3,4]})"))
+                    .accepted);
+    scheduler.drain();
+  }
+  std::vector<JobResult> results = collector->take();
+  ASSERT_EQ(results.size(), 2u);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.id;
+    EXPECT_EQ(r.packed_trials, 0u) << r.id;
+    EXPECT_EQ(r.failed, 0u) << r.id;
+    for (const TrialOutcome& o : r.outcomes) EXPECT_FALSE(o.packed);
+  }
+}
+
+TEST(TrialScheduler, DeadlineDegradesInsteadOfStalling) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 1;
+  config.poll_ms = 5;
+  {
+    TrialScheduler scheduler(
+        config, [collector](const JobResult& r) { (*collector)(r); });
+    // Six ~300ms scalar trials against a 1ms deadline on one worker: the
+    // monitor degrades the job while the first trial is still running, so
+    // later units are cancelled, earlier results survive.
+    const Admission a = scheduler.submit(parse_or_die(
+        R"({"id":"late","circuit":"gen:mul12","replications":6,
+            "pack":false,"deadline_ms":1})"));
+    ASSERT_TRUE(a.accepted) << a.reason;
+    scheduler.drain();
+  }
+  std::vector<JobResult> results = collector->take();
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  EXPECT_EQ(r.status, JobStatus::kDegraded);
+  EXPECT_NE(r.reason.find("deadline"), std::string::npos);
+  EXPECT_EQ(r.completed + r.failed, 6u);
+  EXPECT_GE(r.failed, 1u) << "deadline must cancel pending trials";
+  // The trials that did finish keep their statistics.
+  EXPECT_EQ(r.events_stats.count(), r.completed);
+}
+
+TEST(MakeRejected, ShapesAResultLine) {
+  const JobResult r = make_rejected("bad-job", "no such thing");
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  const std::string line = job_result_json(r);
+  EXPECT_NE(line.find("\"job\":\"bad-job\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"rejected\""), std::string::npos);
+  EXPECT_NE(line.find("no such thing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hjdes::serve

@@ -57,14 +57,23 @@ TEST(Rng, Uniform01InHalfOpenInterval) {
   }
 }
 
-TEST(Stats, EmptySampleIsZero) {
+TEST(Stats, EmptySampleIsTagged) {
+  // The tagged empty summary: all-zero numerics were indistinguishable from
+  // a measured zero; `valid` makes the emptiness explicit.
   Summary s = summarize({});
+  EXPECT_FALSE(s.valid);
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
 }
 
+TEST(Stats, NonEmptySampleIsValid) {
+  EXPECT_TRUE(summarize({1.0}).valid);
+  EXPECT_TRUE(summarize({0.0, 0.0}).valid);  // measured zeros are valid data
+}
+
 TEST(Stats, SingleSample) {
   Summary s = summarize({42.0});
+  EXPECT_TRUE(s.valid);
   EXPECT_EQ(s.count, 1u);
   EXPECT_EQ(s.min, 42.0);
   EXPECT_EQ(s.max, 42.0);
@@ -82,6 +91,34 @@ TEST(Stats, KnownSample) {
   EXPECT_NEAR(s.ci95_half, 1.96 * 2.138 / std::sqrt(8.0), 2e-3);
   EXPECT_EQ(s.min, 2.0);
   EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Stats, StudentTCriticalValues) {
+  EXPECT_EQ(student_t95(0), 0.0);  // no interval from one observation
+  EXPECT_NEAR(student_t95(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t95(7), 2.365, 1e-3);
+  EXPECT_NEAR(student_t95(19), 2.093, 1e-3);  // the paper's 20-run shape
+  EXPECT_NEAR(student_t95(30), 2.042, 1e-3);
+  // Beyond the table: monotone decreasing toward the normal asymptote.
+  EXPECT_NEAR(student_t95(40), 2.021, 2e-3);
+  EXPECT_NEAR(student_t95(120), 1.980, 2e-3);
+  double prev = student_t95(30);
+  for (std::size_t dof = 31; dof < 200; ++dof) {
+    const double t = student_t95(dof);
+    EXPECT_LE(t, prev) << dof;
+    EXPECT_GT(t, 1.959964) << dof;
+    prev = t;
+  }
+  EXPECT_NEAR(student_t95(1000000), 1.960, 1e-3);
+}
+
+TEST(Stats, StudentTCiHalfWidth) {
+  EXPECT_EQ(ci95_half_student_t(5.0, 0), 0.0);
+  EXPECT_EQ(ci95_half_student_t(5.0, 1), 0.0);
+  // n = 8 -> dof = 7: wider than the 1.96 normal approximation by t/z.
+  EXPECT_NEAR(ci95_half_student_t(2.138, 8), 2.365 * 2.138 / std::sqrt(8.0),
+              1e-3);
+  EXPECT_GT(ci95_half_student_t(1.0, 3), 1.96 / std::sqrt(3.0));
 }
 
 TEST(Stats, MedianOddCount) {

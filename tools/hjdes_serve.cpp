@@ -1,0 +1,233 @@
+// hjdes_serve — experiment-throughput daemon over the serve TrialScheduler
+// (docs/SERVING.md).
+//
+//   hjdes_serve [--workers N] [--pin none|compact|scatter]
+//               [--max-jobs N] [--max-trials N] [--no-pack] [--keep-trials]
+//               [--socket PATH] [--fault-rate PPM --fault-seed S]
+//               [--watchdog-ms MS] [--metrics-json FILE]
+//
+// Jobs arrive as line-delimited JSON objects (see serve/job_spec.hpp) on
+// stdin, or on a Unix domain socket with --socket. Each accepted job streams
+// back exactly one result line when its last trial retires; a rejected job
+// bounces immediately with status "rejected" and a reason. The daemon never
+// aborts on bad traffic — malformed JSON, unknown fields and over-cap jobs
+// are all reject lines — and a wedged job degrades at its deadline instead
+// of stalling the fleet, so the exit status is 0 whenever the daemon itself
+// stayed healthy.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "serve/trial_scheduler.hpp"
+#include "support/cli.hpp"
+#include "tool_common.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace hjdes;
+
+namespace {
+
+const FlagTable& serve_flags() {
+  static const FlagTable table = [] {
+    FlagTable t{
+        {"workers", "N", "scheduler worker threads (default 0 = auto)"},
+        {"pin", "POLICY", "worker pinning: none|compact|scatter"},
+        {"max-jobs", "N", "admission cap on jobs in flight (default 16)"},
+        {"max-trials", "N", "admission cap on trials per job (default 65536)"},
+        {"no-pack", "", "disable 64-lane packed replication routing"},
+        {"keep-trials", "", "include per-trial outcomes in result lines"},
+        {"socket", "PATH", "listen on a Unix domain socket instead of stdin"},
+        {"fault-rate", "PPM", "fault injection rate (needs -DHJDES_FAULT=ON)"},
+        {"fault-seed", "S", "fault injection seed"},
+        {"watchdog-ms", "MS", "stall watchdog period (0 = off)"},
+    };
+    t.add_all(tool::common_flags());
+    return t;
+  }();
+  return table;
+}
+
+/// Serializes result/reject lines onto one stream (results arrive from
+/// worker threads).
+class LineSink {
+ public:
+  virtual ~LineSink() = default;
+  virtual void write_line(const std::string& line) = 0;
+};
+
+class StdoutSink : public LineSink {
+ public:
+  void write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Feed one line-delimited job stream into the scheduler, writing reject
+/// lines inline; accepted jobs report through the scheduler callback.
+void submit_stream(serve::TrialScheduler& scheduler, std::istream& in,
+                   LineSink& sink) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string id;
+    const serve::Admission admission = scheduler.submit_line(line, &id);
+    if (!admission.accepted) {
+      sink.write_line(
+          serve::job_result_json(serve::make_rejected(id, admission.reason)));
+    }
+  }
+}
+
+#ifdef __unix__
+class FdSink : public LineSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+  void write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+      if (n <= 0) break;  // client went away; results are droppable
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+int serve_socket(const serve::SchedulerConfig& config,
+                 const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("hjdes_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "hjdes_serve: socket path too long: %s\n",
+                 path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror("hjdes_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "hjdes_serve: listening on %s\n", path.c_str());
+
+  // One client at a time: read its jobs, stream its results back, drain
+  // before the next accept so result lines never cross connections.
+  for (;;) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    {
+      FdSink sink(client);
+      serve::TrialScheduler scheduler(
+          config, [&sink](const serve::JobResult& r) {
+            sink.write_line(serve::job_result_json(r));
+          });
+      // Pull the socket through stdio for line framing.
+      FILE* stream = ::fdopen(::dup(client), "r");
+      if (stream != nullptr) {
+        char* buf = nullptr;
+        std::size_t cap = 0;
+        ssize_t len;
+        while ((len = ::getline(&buf, &cap, stream)) > 0) {
+          std::string line(buf, static_cast<std::size_t>(len));
+          while (!line.empty() &&
+                 (line.back() == '\n' || line.back() == '\r')) {
+            line.pop_back();
+          }
+          if (line.empty()) continue;
+          std::string id;
+          const serve::Admission admission =
+              scheduler.submit_line(line, &id);
+          if (!admission.accepted) {
+            sink.write_line(serve::job_result_json(
+                serve::make_rejected(id, admission.reason)));
+          }
+        }
+        std::free(buf);
+        std::fclose(stream);
+      }
+      scheduler.drain();
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+#endif  // __unix__
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  tool::warn_unknown_flags(cli, serve_flags());
+
+  serve::SchedulerConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers", 0));
+  config.max_queued_jobs =
+      static_cast<std::size_t>(cli.get_int("max-jobs", 16));
+  config.max_trials_per_job =
+      static_cast<std::size_t>(cli.get_int("max-trials", 65536));
+  config.pack = !cli.has("no-pack");
+  config.keep_trials = cli.has("keep-trials");
+  if (cli.has("pin") &&
+      !support::parse_pin_policy(cli.get("pin", ""), &config.pin)) {
+    std::fprintf(stderr, "error: unknown pin policy '%s'\n",
+                 cli.get("pin", "").c_str());
+    return 2;
+  }
+
+  auto watchdog = tool::arm_fault_harness(cli);
+
+  int rc = 0;
+  if (cli.has("socket")) {
+#ifdef __unix__
+    rc = serve_socket(config, cli.get("socket", ""));
+#else
+    std::fprintf(stderr, "error: --socket needs a Unix platform\n");
+    return 2;
+#endif
+  } else {
+    StdoutSink sink;
+    serve::TrialScheduler scheduler(
+        config, [&sink](const serve::JobResult& r) {
+          sink.write_line(serve::job_result_json(r));
+        });
+    std::fprintf(stderr, "hjdes_serve: %d workers, reading jobs from stdin\n",
+                 scheduler.workers());
+    submit_stream(scheduler, std::cin, sink);
+    scheduler.drain();
+  }
+
+  watchdog.reset();
+  tool::fault_epilogue();
+  if (!tool::dump_metrics_if_requested(cli)) return 1;
+  return rc;
+}

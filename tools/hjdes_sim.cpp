@@ -30,8 +30,10 @@
 #include "circuit/generators.hpp"
 #include "circuit/netlist_io.hpp"
 #include "des/engines.hpp"
+#include "des/packed_engine.hpp"
 #include "des/vcd_export.hpp"
 #include "part/partitioner.hpp"
+#include "serve/trial_scheduler.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 #include "tool_common.hpp"
@@ -49,6 +51,11 @@ const FlagTable& sim_flags() {
         {"interval", "T", "random stimulus spacing (default 100)"},
         {"seed", "S", "random stimulus seed (default 1)"},
         {"engine", "NAME", "engine to run (default hj)"},
+        {"lanes", "N", "fan a random stimulus out to N seeds (seed..seed+N-1)"
+                       " and retire them in one 64-lane packed pass"},
+        {"experiment", "FILE", "run a serve job spec (JSON) through the "
+                               "trial scheduler; see docs/SERVING.md"},
+        {"serve-workers", "N", "worker threads for --experiment (0 = auto)"},
         {"vcd", "FILE", "write the waveforms as VCD"},
         {"dot", "FILE", "write the netlist as DOT (colored by partition)"},
         {"profile", "", "print the available-parallelism profile"},
@@ -118,10 +125,50 @@ circuit::Stimulus load_stimulus(const std::string& path,
   return s;
 }
 
+/// --experiment FILE: run one serve job spec through the TrialScheduler and
+/// print its result line — the one-shot, no-daemon face of hjdes_serve.
+int run_experiment(const Cli& cli) {
+  const std::string path = cli.get("experiment", "");
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot open experiment spec %s\n",
+                 path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  serve::SchedulerConfig config;
+  config.workers = static_cast<int>(cli.get_int("serve-workers", 0));
+  serve::JobResult result;
+  {
+    serve::TrialScheduler scheduler(
+        config, [&result](const serve::JobResult& r) { result = r; });
+    std::printf("experiment: %s on %d workers\n", path.c_str(),
+                scheduler.workers());
+    std::string id;
+    const serve::Admission admission =
+        scheduler.submit_line(buf.str(), &id);
+    if (!admission.accepted) {
+      result = serve::make_rejected(id, admission.reason);
+    }
+    scheduler.drain();
+  }
+  std::printf("%s\n", serve::job_result_json(result).c_str());
+  tool::fault_epilogue();
+  if (!tool::dump_metrics_if_requested(cli)) return 1;
+  return result.status == serve::JobStatus::kRejected ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  if (cli.has("experiment")) {
+    tool::warn_unknown_flags(cli, sim_flags());
+    auto watchdog = tool::arm_fault_harness(cli);
+    return run_experiment(cli);
+  }
   if (!cli.has("circuit")) return usage(argv[0]);
   tool::warn_unknown_flags(cli, sim_flags());
 
@@ -185,6 +232,67 @@ int main(int argc, char** argv) {
   }
   des::SimInput input(netlist, stimulus);
   std::printf("stimulus: %zu initial events\n", input.total_initial_events());
+
+  // --lanes N: one bit-parallel pass retiring N stimulus lanes at once.
+  // Lane 0 is the stimulus above (file or random); lanes 1..N-1 re-seed the
+  // random generator, which keeps every timeline identical — the packed
+  // precondition. A file stimulus whose timeline differs from the random
+  // grid is reported as a packing error, not an abort.
+  if (cli.has("lanes")) {
+    const int lanes = static_cast<int>(cli.get_int("lanes", 0));
+    if (lanes < 1 || lanes > des::kPackedLanes) {
+      std::fprintf(stderr, "error: --lanes must be 1..%d, got %d\n",
+                   des::kPackedLanes, lanes);
+      return 2;
+    }
+    std::vector<circuit::Stimulus> fan;
+    fan.reserve(static_cast<std::size_t>(lanes));
+    fan.push_back(stimulus);
+    for (int L = 1; L < lanes; ++L) {
+      fan.push_back(circuit::random_stimulus(
+          netlist, static_cast<std::size_t>(cli.get_int("random-vectors", 4)),
+          cli.get_int("interval", 100),
+          static_cast<std::uint64_t>(cli.get_int("seed", 1)) +
+              static_cast<std::uint64_t>(L)));
+    }
+    std::vector<const circuit::Stimulus*> ptrs;
+    for (const circuit::Stimulus& s : fan) ptrs.push_back(&s);
+    const std::string lane_error = des::packed_lane_error(netlist, ptrs);
+    if (!lane_error.empty()) {
+      std::fprintf(stderr, "error: cannot pack %d lanes: %s\n", lanes,
+                   lane_error.c_str());
+      return 1;
+    }
+    Timer pt;
+    const des::PackedResult packed = des::run_packed(netlist, ptrs);
+    const double packed_ms = pt.millis();
+    std::uint64_t lane_events = 0;
+    for (const des::SimResult& r : packed.lanes) {
+      lane_events += r.events_processed;
+    }
+    std::printf("packed %d lanes: %.2f ms, %llu word-events -> %llu lane "
+                "events retired\n",
+                lanes, packed_ms,
+                static_cast<unsigned long long>(packed.word_events),
+                static_cast<unsigned long long>(lane_events));
+    if (cli.has("verify")) {
+      for (int L = 0; L < lanes; ++L) {
+        const des::SimInput lane_input(netlist, fan[static_cast<std::size_t>(L)]);
+        const des::SimResult ref = des::run_sequential(lane_input);
+        if (!des::same_behaviour(ref, packed.lanes[static_cast<std::size_t>(L)])) {
+          std::printf("verify: MISMATCH on lane %d — %s\n", L,
+                      des::diff_behaviour(
+                          ref, packed.lanes[static_cast<std::size_t>(L)])
+                          .c_str());
+          return 1;
+        }
+      }
+      std::printf("verify: OK (%d lanes bit-identical to sequential)\n",
+                  lanes);
+    }
+    if (!tool::dump_metrics_if_requested(cli)) return 1;
+    return 0;
+  }
 
   if (cli.has("profile")) {
     des::ParallelismProfile p = des::profile_parallelism(input);

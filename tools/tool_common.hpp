@@ -118,7 +118,8 @@ inline bool dump_metrics_if_requested(const Cli& cli) {
                  path.c_str());
     return false;
   }
-  std::printf("wrote metrics JSON to %s\n", path.c_str());
+  // stderr: hjdes_serve streams machine-readable results on stdout.
+  std::fprintf(stderr, "wrote metrics JSON to %s\n", path.c_str());
   return true;
 }
 

@@ -13,32 +13,35 @@
 #   4. hjcheck-instrumented test suite (ctest labels check/hj/des/galois/part)
 #   5. --check smoke run of hjdes_sim on a paper circuit, asserting zero
 #      violations in the exported metrics JSON
+#   6. hjverify schedule-exploration smoke (hjdes_explore): seeded schedules
+#      on a paper circuit with the invariant oracles armed, every run held
+#      bit-identical to sequential
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-check}"
 case "$build" in /*) ;; *) build="$repo/$build" ;; esac
 
-echo "==> [1/5] configure + build ($build, HJDES_CHECK=ON)"
+echo "==> [1/6] configure + build ($build, HJDES_CHECK=ON)"
 cmake -B "$build" -S "$repo" \
   -DHJDES_CHECK=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
   -DHJDES_BUILD_BENCH=OFF -DHJDES_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$build" -j >/dev/null
 
-echo "==> [2/5] concurrency lint"
+echo "==> [2/6] concurrency lint"
 python3 "$repo/scripts/lint_concurrency.py"
 
-echo "==> [3/5] clang-tidy curated gate"
+echo "==> [3/6] clang-tidy curated gate"
 # TIDY_FLAGS is word-split on purpose (e.g. TIDY_FLAGS=--require in CI).
 # shellcheck disable=SC2086
 python3 "$repo/scripts/run_clang_tidy.py" --build-dir "$build" ${TIDY_FLAGS:-}
 
-echo "==> [4/5] hjcheck-instrumented tests"
+echo "==> [4/6] hjcheck-instrumented tests"
 ctest --test-dir "$build" -L 'check|hj|des|galois|part' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [5/5] --check smoke run (hj engine, ks64)"
+echo "==> [5/6] --check smoke run (hj engine, ks64)"
 metrics="$(mktemp)"
 trap 'rm -f "$metrics"' EXIT
 "$build/tools/hjdes_sim" --circuit gen:ks64 --engine hj --workers 4 \
@@ -47,9 +50,14 @@ python3 - "$metrics" <<'EOF'
 import json, sys
 m = json.load(open(sys.argv[1]))
 c = m["counters"]
-for key in ("check.races", "check.lock_order_violations", "check.lock_leaks"):
+for key in ("check.races", "check.lock_order_violations", "check.lock_leaks",
+            "check.invariants"):
     assert c.get(key, 0) == 0, f"{key} = {c.get(key)} on a clean engine run"
 print("metrics: check.* counters all zero")
 EOF
+
+echo "==> [6/6] schedule-exploration smoke (mul12, 16 schedules/combination)"
+"$build/tools/hjdes_explore" --circuits mul12 --schedules 16 \
+  --explore-trace "$repo/hjdes-schedule.trace"
 
 echo "analyze.sh: all gates passed"

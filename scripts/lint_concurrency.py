@@ -17,9 +17,12 @@ Rules, all scoped to src/:
                           the source saying so. Use the named functions.
 
   no-mutex-hot-path       No std::mutex / std::shared_mutex /
-                          std::condition_variable in src/hj or src/des —
-                          the runtime's lock-free guarantees are the point of
-                          the reproduction. isolated.{hpp,cpp} are exempt
+                          std::condition_variable in src/hj, src/des,
+                          src/part, src/serve or src/fault — the runtime's
+                          lock-free guarantees are the point of the
+                          reproduction, and the engine-adjacent layers must
+                          justify every blocking primitive they keep.
+                          isolated.{hpp,cpp} are exempt
                           (HJlib `isolated` is specified as a striped-lock
                           global section); anything else needs an allowlist
                           entry justifying itself.
@@ -56,7 +59,7 @@ ATOMIC_DECL_RE = re.compile(r"std::atomic\s*<[^;(){}]*>\s+(\w+)")
 MUTEX_RE = re.compile(r"std::(?:mutex|recursive_mutex|timed_mutex|"
                       r"shared_mutex|condition_variable(?:_any)?)\b")
 
-MUTEX_SCOPE = ("src/hj/", "src/des/")
+MUTEX_SCOPE = ("src/hj/", "src/des/", "src/part/", "src/serve/", "src/fault/")
 MUTEX_EXEMPT = ("src/hj/isolated.hpp", "src/hj/isolated.cpp")
 
 

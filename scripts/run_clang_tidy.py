@@ -14,8 +14,9 @@ baseline survives unrelated edits) and compared against
 scripts/clang_tidy_baseline.txt:
 
   * a finding not in the baseline      -> NEW, fails the gate
-  * a baseline entry with no finding   -> stale, reported, never fails
-    (delete it via --update-baseline)
+  * a baseline entry with no finding   -> stale, also fails the gate: a
+    fixed finding must leave the baseline (--update-baseline) in the same
+    commit, or the baseline rots into a list nobody can trust
 
 --update-baseline rewrites the baseline to exactly the current findings;
 commit the diff together with a justification for any added entry.
@@ -143,10 +144,11 @@ def main() -> int:
     for f in new:
         print(f"NEW: {f}")
     for f in stale:
-        print(f"stale baseline entry (fixed? remove it): {f}")
+        print(f"STALE baseline entry (fixed — remove it with "
+              f"--update-baseline): {f}")
     print(f"run_clang_tidy: {len(findings)} finding(s), {len(new)} new, "
           f"{len(stale)} stale baseline entr(y|ies)")
-    return 1 if new else 0
+    return 1 if new or stale else 0
 
 
 if __name__ == "__main__":

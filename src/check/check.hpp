@@ -5,5 +5,6 @@
 
 #include "check/checked_cell.hpp"  // IWYU pragma: export
 #include "check/hb.hpp"            // IWYU pragma: export
+#include "check/invariant.hpp"     // IWYU pragma: export
 #include "check/lock_order.hpp"    // IWYU pragma: export
 #include "check/vector_clock.hpp"  // IWYU pragma: export

@@ -1,6 +1,8 @@
 #include "check/hb.hpp"
 
 #include <atomic>
+
+#include "check/invariant.hpp"
 #include <mutex>
 #include <utility>
 
@@ -17,7 +19,7 @@ namespace {
 // below stay exact however many violations occur.
 constexpr std::size_t kMaxMessages = 64;
 
-std::atomic<std::uint64_t> g_count_by_kind[3] = {};
+std::atomic<std::uint64_t> g_count_by_kind[4] = {};
 std::atomic<bool> g_abort_on_violation{false};
 
 #if defined(HJDES_CHECK_ENABLED)
@@ -40,15 +42,18 @@ const char* kind_name(ViolationKind kind) noexcept {
       return "lock-order";
     case ViolationKind::kLockLeak:
       return "lock-leak";
+    case ViolationKind::kInvariant:
+      return "invariant";
   }
   return "unknown";
 }
 
 obs::Counter& kind_counter(ViolationKind kind) {
-  static obs::Counter* counters[3] = {
+  static obs::Counter* counters[4] = {
       &obs::metrics().counter("check.races"),
       &obs::metrics().counter("check.lock_order_violations"),
       &obs::metrics().counter("check.lock_leaks"),
+      &obs::metrics().counter("check.invariants"),
   };
   return *counters[static_cast<std::size_t>(kind)];
 }
@@ -76,8 +81,13 @@ std::uint64_t lock_leak_count() noexcept {
   return g_count_by_kind[2].load(std::memory_order_relaxed);
 }
 
+std::uint64_t invariant_violation_count() noexcept {
+  return g_count_by_kind[3].load(std::memory_order_relaxed);
+}
+
 std::uint64_t violation_count() noexcept {
-  return race_count() + lock_order_violation_count() + lock_leak_count();
+  return race_count() + lock_order_violation_count() + lock_leak_count() +
+         invariant_violation_count();
 }
 
 void set_abort_on_violation(bool abort_on_violation) noexcept {
@@ -92,6 +102,7 @@ std::vector<std::string> violation_messages() {
 }
 
 void reset() {
+  invariant::reset_counts();
   std::scoped_lock lock(g_report_mu);
   for (auto& c : g_count_by_kind) c.store(0, std::memory_order_relaxed);
   messages().clear();
@@ -200,6 +211,7 @@ void adopt_birth(VectorClock* birth) {
 std::vector<std::string> violation_messages() { return messages(); }
 
 void reset() {
+  invariant::reset_counts();
   for (auto& c : g_count_by_kind) c.store(0, std::memory_order_relaxed);
   messages().clear();
 }
@@ -210,7 +222,8 @@ std::uint64_t print_report(std::FILE* out) {
   const std::uint64_t races = race_count();
   const std::uint64_t order = lock_order_violation_count();
   const std::uint64_t leaks = lock_leak_count();
-  const std::uint64_t total = races + order + leaks;
+  const std::uint64_t invariants = invariant_violation_count();
+  const std::uint64_t total = races + order + leaks + invariants;
   if (!compiled_in()) {
     std::fprintf(
         out, "hjcheck: not compiled in (configure with -DHJDES_CHECK=ON)\n");
@@ -222,14 +235,16 @@ std::uint64_t print_report(std::FILE* out) {
   kind_counter(ViolationKind::kRace).add(0);
   kind_counter(ViolationKind::kLockOrder).add(0);
   kind_counter(ViolationKind::kLockLeak).add(0);
+  kind_counter(ViolationKind::kInvariant).add(0);
 #endif
   std::fprintf(out,
                "hjcheck: %llu violation(s) — %llu race(s), %llu lock-order, "
-               "%llu lock-leak(s)\n",
+               "%llu lock-leak(s), %llu invariant(s)\n",
                static_cast<unsigned long long>(total),
                static_cast<unsigned long long>(races),
                static_cast<unsigned long long>(order),
-               static_cast<unsigned long long>(leaks));
+               static_cast<unsigned long long>(leaks),
+               static_cast<unsigned long long>(invariants));
   for (const std::string& m : violation_messages()) {
     std::fprintf(out, "  %s\n", m.c_str());
   }

@@ -40,6 +40,7 @@ enum class ViolationKind : std::uint8_t {
   kRace = 0,
   kLockOrder = 1,
   kLockLeak = 2,
+  kInvariant = 3,  ///< protocol-invariant oracle (check/invariant.hpp)
 };
 
 /// True when the library was built with HJDES_CHECK=ON.
@@ -50,6 +51,7 @@ std::uint64_t violation_count() noexcept;
 std::uint64_t race_count() noexcept;
 std::uint64_t lock_order_violation_count() noexcept;
 std::uint64_t lock_leak_count() noexcept;
+std::uint64_t invariant_violation_count() noexcept;
 
 /// Messages for the first violations of each run (capped; the counts above
 /// keep exact totals).

@@ -1,0 +1,64 @@
+#include "check/invariant.hpp"
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+
+namespace hjdes::check::invariant {
+
+namespace {
+
+constexpr const char* kOracleNames[kOracleCount] = {
+    "watermark", "fifo", "causality", "timewarp", "gvt", "admission",
+};
+
+std::atomic<std::uint64_t> g_count_by_oracle[kOracleCount] = {};
+
+#if defined(HJDES_CHECK_ENABLED)
+obs::Counter& oracle_counter(Oracle oracle) {
+  static obs::Counter* counters[kOracleCount] = {
+      &obs::metrics().counter("check.invariant.watermark"),
+      &obs::metrics().counter("check.invariant.fifo"),
+      &obs::metrics().counter("check.invariant.causality"),
+      &obs::metrics().counter("check.invariant.timewarp"),
+      &obs::metrics().counter("check.invariant.gvt"),
+      &obs::metrics().counter("check.invariant.admission"),
+  };
+  return *counters[static_cast<std::size_t>(oracle)];
+}
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace
+
+const char* oracle_name(Oracle oracle) noexcept {
+  const auto i = static_cast<std::size_t>(oracle);
+  return i < kOracleCount ? kOracleNames[i] : "unknown";
+}
+
+std::uint64_t count(Oracle oracle) noexcept {
+  const auto i = static_cast<std::size_t>(oracle);
+  return i < kOracleCount
+             ? g_count_by_oracle[i].load(std::memory_order_relaxed)
+             : 0;
+}
+
+void reset_counts() noexcept {
+  for (auto& c : g_count_by_oracle) c.store(0, std::memory_order_relaxed);
+}
+
+#if defined(HJDES_CHECK_ENABLED)
+
+void report(Oracle oracle, std::string message) {
+  const auto i = static_cast<std::size_t>(oracle);
+  if (i < kOracleCount) {
+    g_count_by_oracle[i].fetch_add(1, std::memory_order_relaxed);
+    oracle_counter(oracle).increment();
+  }
+  report_violation(ViolationKind::kInvariant,
+                   std::string(oracle_name(oracle)) + ": " +
+                       std::move(message));
+}
+
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace hjdes::check::invariant

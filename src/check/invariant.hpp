@@ -1,0 +1,80 @@
+#pragma once
+// hjverify protocol-invariant oracles: always-on (under -DHJDES_CHECK=ON)
+// runtime assertions of the properties the engine protocols are *supposed*
+// to guarantee, reported through the shared hjcheck violation machinery
+// (ViolationKind::kInvariant) so `--check`, print_report and the nonzero
+// tool exits all see them. Each oracle family also bumps its own
+// `check.invariant.<name>` obs counter so a metrics dump attributes a
+// violation to the protocol layer that broke.
+//
+// Catalog (docs/ANALYSIS.md has the full table):
+//   watermark  per-SPSC-edge watermark monotonicity in PartitionedEngine —
+//              a NULL watermark must strictly improve the edge's bound, and
+//              no event may arrive below the announced bound
+//   fifo       per-SPSC-edge event FIFO order (cross-shard events on one
+//              cut edge arrive in nondecreasing time order)
+//   causality  per-LP causality: no event executed below the LP's committed
+//              local watermark (the time of its last executed event)
+//   timewarp   rollback/anti-message pairing: every anti-message sent by a
+//              rollback resolves against a pending or processed positive,
+//              and the committed log is sorted at quiescence
+//   gvt        GVT soundness: no delivery below the committed GVT, and the
+//              GVT estimate never regresses
+//   admission  TrialScheduler accounting: completed + failed == admitted
+//              trials at job finish, packed routing never exceeds the trial
+//              count, and the active-job set respects the admission bound
+//
+// Cost model matches the rest of hjcheck: without HJDES_CHECK_ENABLED,
+// report() is an inline no-op and kEnabled is constexpr false, so engine
+// call sites guarded by `if constexpr` (or #if) fold away entirely.
+
+#include <cstdint>
+#include <string>
+
+#include "check/hb.hpp"
+
+namespace hjdes::check::invariant {
+
+enum class Oracle : std::uint8_t {
+  kWatermark = 0,  ///< per-edge watermark monotonicity (partitioned)
+  kFifo,           ///< per-edge event FIFO order (partitioned)
+  kCausality,      ///< per-LP local-watermark causality (partitioned)
+  kTimewarp,       ///< rollback/anti-message pairing + quiescent log order
+  kGvt,            ///< GVT soundness (timewarp)
+  kAdmission,      ///< TrialScheduler admission/packed-batch accounting
+  kCount_,         ///< sentinel, keep last
+};
+
+inline constexpr std::size_t kOracleCount =
+    static_cast<std::size_t>(Oracle::kCount_);
+
+/// Stable display name ("watermark", "fifo", ...) — keys the
+/// check.invariant.<name> obs counters and the docs/ANALYSIS.md table.
+const char* oracle_name(Oracle oracle) noexcept;
+
+/// Violations recorded for `oracle` since the last reset_counts(). Exists in
+/// every build (0 when hjcheck is off) so tests link either way.
+std::uint64_t count(Oracle oracle) noexcept;
+
+/// Zero the per-oracle tallies. check::reset() calls this, so tests that
+/// already bracket runs with check::reset() need nothing extra.
+void reset_counts() noexcept;
+
+#if defined(HJDES_CHECK_ENABLED)
+
+inline constexpr bool kEnabled = true;
+
+/// Record an invariant violation: per-oracle tally, check.invariant.<name>
+/// counter, and the shared report path (message capture, total counts,
+/// optional abort, nonzero --check exit).
+void report(Oracle oracle, std::string message);
+
+#else  // !HJDES_CHECK_ENABLED
+
+inline constexpr bool kEnabled = false;
+
+inline void report(Oracle, const std::string&) noexcept {}
+
+#endif  // HJDES_CHECK_ENABLED
+
+}  // namespace hjdes::check::invariant

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "check/checked_cell.hpp"
 #include "check/hb.hpp"
+#include "check/invariant.hpp"
 #include "circuit/gate.hpp"
 #include "fault/heartbeat.hpp"
 #include "fault/inject.hpp"
@@ -45,6 +47,15 @@ struct LpCore {
   std::uint8_t nulls_popped = 0;
   bool done = false;
   std::size_t next_initial = 0;
+#if defined(HJDES_CHECK_ENABLED)
+  // hjverify oracle shadows (check/invariant.hpp), updated only by the
+  // owning worker. oracle_wm/oracle_evt track the max watermark / event time
+  // seen per cross-shard edge (one driver per (node, port), so per-port ==
+  // per-edge); oracle_last_exec is the LP's committed local watermark.
+  Time oracle_wm[2] = {kNeverReceived, kNeverReceived};
+  Time oracle_evt[2] = {kNeverReceived, kNeverReceived};
+  Time oracle_last_exec = kNeverReceived;
+#endif
 };
 
 /// Merged-queue node storage (`--queue=heap|ladder`): one (time, port, seq)
@@ -268,6 +279,8 @@ class PartitionedEngine {
   // ---- side of, so no locks are ever taken).
 
   void worker_loop(Worker& w) {
+    // Stable schedule-exploration stream per shard (hjverify record/replay).
+    fault::sched::bind_thread(w.id);
     if (!pin_plan_.empty()) {
       support::pin_current_thread(pin_plan_[static_cast<std::size_t>(w.id)]);
     }
@@ -344,12 +357,55 @@ class PartitionedEngine {
         if (m.watermark != 0) {
           // Progressive NULL: advance the port's lower bound, queue nothing.
           LpCore& core = n.core.write();
+#if defined(HJDES_CHECK_ENABLED)
+          // Oracle: a NULL watermark must strictly improve the edge's bound
+          // (senders only announce improvements; FIFO channels preserve
+          // their order).
+          if (m.time <= core.oracle_wm[m.port]) {
+            check::invariant::report(
+                check::invariant::Oracle::kWatermark,
+                "non-improving watermark t=" + std::to_string(m.time) +
+                    " on cut edge to node " + std::to_string(m.target) +
+                    " port " + std::to_string(m.port) + " (announced bound " +
+                    std::to_string(core.oracle_wm[m.port]) + ")");
+          } else {
+            core.oracle_wm[m.port] = m.time;
+          }
+#endif
           if (m.time > core.last_received[m.port]) {
             core.last_received[m.port] = m.time;
             push_workset(w, m.target);
           }
           continue;
         }
+#if defined(HJDES_CHECK_ENABLED)
+        {
+          LpCore& core = n.core.write();
+          // Oracle: events on one cut edge arrive in FIFO (nondecreasing
+          // time) order ...
+          if (m.time < core.oracle_evt[m.port]) {
+            check::invariant::report(
+                check::invariant::Oracle::kFifo,
+                "events reordered on cut edge to node " +
+                    std::to_string(m.target) + " port " +
+                    std::to_string(m.port) + ": t=" + std::to_string(m.time) +
+                    " after t=" + std::to_string(core.oracle_evt[m.port]));
+          } else {
+            core.oracle_evt[m.port] = m.time;
+          }
+          // ... and never below the edge's announced watermark (a bound
+          // that an event then undercuts was a lie).
+          if (m.time < core.oracle_wm[m.port]) {
+            check::invariant::report(
+                check::invariant::Oracle::kWatermark,
+                "event t=" + std::to_string(m.time) +
+                    " below announced watermark " +
+                    std::to_string(core.oracle_wm[m.port]) +
+                    " on cut edge to node " + std::to_string(m.target) +
+                    " port " + std::to_string(m.port));
+          }
+        }
+#endif
         deliver(w, m.target, m.port, Event{m.time, m.value});
         push_workset(w, m.target);
       }
@@ -489,6 +545,16 @@ class PartitionedEngine {
       send_msg(w, e.dest, ChanMsg{cached_bound, e.target, e.port, 0, 1});
       e.last_watermark = cached_bound;
       ++w.watermarks;
+      // Injected protocol defect (hjverify true positive, corrupting site):
+      // follow the real announcement with a stale, strictly regressed bound
+      // on the same edge. Receivers ignore non-improving bounds, so results
+      // stay bit-identical — but the watermark-monotonicity oracle must
+      // flag it.
+      if (cached_bound > 0 &&
+          fault::should_inject(fault::Site::kWatermarkRegress)) {
+        send_msg(w, e.dest,
+                 ChanMsg{cached_bound - 1, e.target, e.port, 0, 1});
+      }
     }
   }
 
@@ -555,6 +621,20 @@ class PartitionedEngine {
   void process(Worker& w, NodeId id, LpNode& n, LpCore& core,
                std::uint8_t port, const Event& e) {
     ++w.events;
+#if defined(HJDES_CHECK_ENABLED)
+    // Oracle: per-LP causality — the merge rule must hand events to the
+    // gate in nondecreasing time order, i.e. never below the LP's committed
+    // local watermark (the time of its last executed event).
+    if (e.time < core.oracle_last_exec) {
+      check::invariant::report(
+          check::invariant::Oracle::kCausality,
+          "node " + std::to_string(id) + " executed event t=" +
+              std::to_string(e.time) + " below its committed watermark " +
+              std::to_string(core.oracle_last_exec));
+    } else {
+      core.oracle_last_exec = e.time;
+    }
+#endif
     const Netlist::Node& meta = netlist_.node(id);
     if (meta.kind == GateKind::Output) {
       result_.waveforms[static_cast<std::size_t>(n.output_index)].push_back(

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "check/checked_cell.hpp"
+#include "check/hb.hpp"
+#include "check/invariant.hpp"
 #include "circuit/gate.hpp"
 #include "fault/heartbeat.hpp"
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/binary_heap.hpp"
@@ -65,24 +70,56 @@ struct ProcessedRec {
   SmallVector<SentRec, 4> sent;
 };
 
-struct TwNode {
-  Spinlock lock;
+/// Everything a node's spinlock guards, wrapped in one checked_cell guard
+/// domain: hjcheck flags any touch that is not bracketed by the lock's
+/// TwGuard happens-before edges (the detector does not model Spinlock
+/// itself, so the guard publishes/acquires an explicit SyncClock).
+struct TwCore {
   BinaryHeap<TwMsg> pending;
   std::vector<ProcessedRec> processed;  ///< ascending in (ts, port, lseq)
   bool latch[2] = {false, false};
   std::uint64_t lseq_counter = 0;
   std::uint64_t send_counter = 0;
   std::size_t next_initial = 0;  ///< input nodes: events injected so far
-  std::int32_t output_index = -1;
   // Fossil-collected prefix: permanently committed, reclaimed from the log.
   std::uint64_t committed_freed = 0;
   std::vector<OutputRecord> waveform;  ///< output nodes: freed records
+};
+
+struct TwNode {
+  Spinlock lock;
+  check::SyncClock hb;  ///< release/acquire edges carried by the lock
+  check::checked_cell<TwCore> core;
+  std::int32_t output_index = -1;  ///< written once before the threads start
+
+  TwNode() { core.set_label("timewarp.node.core"); }
+};
+
+/// Lock + happens-before guard for one node: the Spinlock serializes, the
+/// SyncClock tells hjcheck about it (acquire just after locking, release
+/// just before unlocking), so checked_cell accesses inside are race-clean.
+class TwGuard {
+ public:
+  explicit TwGuard(TwNode& n) : node_(n) {
+    node_.lock.lock();
+    node_.hb.acquire();
+  }
+  ~TwGuard() {
+    node_.hb.release();
+    node_.lock.unlock();
+  }
+  TwGuard(const TwGuard&) = delete;
+  TwGuard& operator=(const TwGuard&) = delete;
+
+ private:
+  TwNode& node_;
 };
 
 struct TwLocalStats {
   std::uint64_t speculative = 0;
   std::uint64_t rollback_episodes = 0;
   std::uint64_t antis = 0;
+  std::uint64_t antis_resolved = 0;  ///< antis that reached deliver_anti
   std::uint64_t sweeps = 0;
   std::uint64_t fossil = 0;
   std::uint64_t since_sweep_check = 0;  ///< events since last counter flush
@@ -124,7 +161,10 @@ class TwEngine {
     const std::vector<int> pin_plan =
         support::pinning_plan(support::machine_topology(), cfg_.workers,
                               cfg_.pin);
+    start_hb_.release();  // order node/engine setup before every worker
     auto worker = [this, &pin_plan](int index) {
+      fault::sched::bind_thread(index);
+      start_hb_.acquire();
       if (!pin_plan.empty() && index > 0) {
         support::pin_current_thread(pin_plan[static_cast<std::size_t>(index)]);
       }
@@ -146,6 +186,10 @@ class TwEngine {
       c_antis_.add(stats.antis);
       c_sweeps_.add(stats.sweeps);
       c_fossil_.add(stats.fossil);
+      total_antis_.fetch_add(stats.antis, std::memory_order_relaxed);
+      total_antis_resolved_.fetch_add(stats.antis_resolved,
+                                      std::memory_order_relaxed);
+      end_hb_.release();
     };
 
     std::vector<std::thread> threads;
@@ -157,31 +201,82 @@ class TwEngine {
       worker(0);
     }
     for (auto& t : threads) t.join();
+    end_hb_.acquire();  // order every worker's final access before the scan
+
+#if defined(HJDES_CHECK_ENABLED)
+    // Rollback/anti-message pairing oracle: every anti-message a rollback
+    // produced must have reached deliver_anti by quiescence. A mismatch means
+    // a cancelled send was never annihilated downstream (kAntiDrop defect).
+    {
+      const std::uint64_t sent = total_antis_.load(std::memory_order_relaxed);
+      const std::uint64_t resolved =
+          total_antis_resolved_.load(std::memory_order_relaxed);
+      if (sent != resolved) {
+        check::invariant::report(
+            check::invariant::Oracle::kTimewarp,
+            std::to_string(sent - resolved) + " of " + std::to_string(sent) +
+                " anti-message(s) unresolved at quiescence (rollback sent "
+                "them, annihilation never ran)");
+      }
+    }
+#endif
 
     // Quiescence checks: nothing pending, every committed log is sorted.
+    // Under HJDES_CHECK these report through the hjverify timewarp oracle
+    // (so seeded protocol defects are diagnosed, not aborted on); otherwise
+    // they stay hard invariant aborts.
     SimResult result;
     result.waveforms.resize(netlist_.outputs().size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       TwNode& n = nodes_[i];
-      HJDES_CHECK(n.pending.empty(), "time warp finished with pending events");
+      TwCore& c = n.core.write();  // post-join scan, ordered by end_hb_
+#if defined(HJDES_CHECK_ENABLED)
+      if (!c.pending.empty()) {
+        check::invariant::report(
+            check::invariant::Oracle::kTimewarp,
+            "node " + std::to_string(i) + " finished with pending events");
+      }
+#else
+      HJDES_CHECK(c.pending.empty(), "time warp finished with pending events");
+#endif
       const GateKind kind = netlist_.kind(static_cast<NodeId>(i));
       if (kind == GateKind::Input) {
         const std::size_t total = input_.initial_events(
             static_cast<std::size_t>(input_index_[i])).size();
-        HJDES_CHECK(n.next_initial == total, "input node never finished");
+#if defined(HJDES_CHECK_ENABLED)
+        if (c.next_initial != total) {
+          check::invariant::report(
+              check::invariant::Oracle::kTimewarp,
+              "input node " + std::to_string(i) + " injected only " +
+                  std::to_string(c.next_initial) + " of " +
+                  std::to_string(total) + " initial events");
+        }
+#else
+        HJDES_CHECK(c.next_initial == total, "input node never finished");
+#endif
         result.events_processed += total;
         continue;
       }
-      result.events_processed += n.committed_freed + n.processed.size();
-      for (std::size_t k = 1; k < n.processed.size(); ++k) {
-        HJDES_CHECK(n.processed[k - 1].msg < n.processed[k].msg,
+      result.events_processed += c.committed_freed + c.processed.size();
+      for (std::size_t k = 1; k < c.processed.size(); ++k) {
+#if defined(HJDES_CHECK_ENABLED)
+        if (!(c.processed[k - 1].msg < c.processed[k].msg)) {
+          check::invariant::report(
+              check::invariant::Oracle::kTimewarp,
+              "node " + std::to_string(i) +
+                  ": committed event log is out of order");
+          break;
+        }
+#else
+        HJDES_CHECK(c.processed[k - 1].msg < c.processed[k].msg,
                     "committed event log is out of order");
+#endif
       }
       if (kind == GateKind::Output) {
         auto& wave = result.waveforms[static_cast<std::size_t>(n.output_index)];
-        wave = std::move(n.waveform);  // fossil-collected prefix
-        wave.reserve(wave.size() + n.processed.size());
-        for (const ProcessedRec& rec : n.processed) {
+        wave = std::move(c.waveform);  // fossil-collected prefix
+        wave.reserve(wave.size() + c.processed.size());
+        for (const ProcessedRec& rec : c.processed) {
           wave.push_back(OutputRecord{rec.msg.ts, rec.msg.value});
         }
       }
@@ -197,29 +292,33 @@ class TwEngine {
  private:
   TwNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
 
-  std::uint64_t make_id(NodeId sender, TwNode& n) {
+  std::uint64_t make_id(NodeId sender, TwCore& c) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender))
             << 32) |
-           n.send_counter++;
+           c.send_counter++;
   }
 
-  /// Undo the most recent processed event of `n` (caller holds n.lock):
-  /// restore the latch, cancel everything it sent, and optionally put the
-  /// message back into the pending set for re-execution.
-  void rollback_one(NodeId id, TwNode& n, bool requeue, TwLocalStats& stats) {
+  /// Undo the most recent processed event of node `id` (caller holds its
+  /// lock; `c` is its core): restore the latch, cancel everything it sent,
+  /// and optionally put the message back into the pending set.
+  void rollback_one(NodeId id, TwCore& c, bool requeue, TwLocalStats& stats) {
     obs::ScopedSpan span(obs::SpanKind::kRollback);
-    HJDES_DCHECK(!n.processed.empty(), "rollback on empty log");
-    ProcessedRec rec = std::move(n.processed.back());
-    n.processed.pop_back();
+    HJDES_DCHECK(!c.processed.empty(), "rollback on empty log");
+    ProcessedRec rec = std::move(c.processed.back());
+    c.processed.pop_back();
     if (netlist_.kind(id) != GateKind::Output) {
-      n.latch[rec.msg.port] = rec.prev_latch;
+      c.latch[rec.msg.port] = rec.prev_latch;
     }
     for (const SentRec& s : rec.sent) {
       ++stats.antis;
+      // Corrupting seeded defect (hjverify true positive): silently drop the
+      // anti-message, leaving the cancelled send alive downstream. Detected
+      // by the sent-vs-resolved pairing oracle at quiescence.
+      if (fault::should_inject(fault::Site::kAntiDrop)) continue;
       deliver_anti(s.target, s.id, stats);
     }
     if (requeue) {
-      n.pending.push(rec.msg);
+      c.pending.push(rec.msg);
       live_.fetch_add(1, std::memory_order_seq_cst);
     }
   }
@@ -230,19 +329,32 @@ class TwEngine {
                         std::uint8_t value, std::uint64_t id,
                         TwLocalStats& stats) {
     TwNode& n = node(target);
-    std::scoped_lock guard(n.lock);
+    TwGuard guard(n);
+    TwCore& c = n.core.write();
     note_delivery(ts);  // GVT: deliveries during a sweep window are counted
-    TwMsg msg{ts, value, port, id, n.lseq_counter++};
-    if (!n.processed.empty() && orders_after(n.processed.back().msg, msg)) {
+#if defined(HJDES_CHECK_ENABLED)
+    // GVT oracle: nothing below the committed bound may ever be delivered —
+    // fossil collection has permanently reclaimed that prefix.
+    const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
+    if (ts < gvt_now) {
+      check::invariant::report(
+          check::invariant::Oracle::kGvt,
+          "positive message t=" + std::to_string(ts) + " to node " +
+              std::to_string(target) + " is below committed GVT " +
+              std::to_string(gvt_now));
+    }
+#endif
+    TwMsg msg{ts, value, port, id, c.lseq_counter++};
+    if (!c.processed.empty() && orders_after(c.processed.back().msg, msg)) {
       // Straggler: roll the suffix that must re-execute after msg back into
       // the pending set.
       ++stats.rollback_episodes;
-      while (!n.processed.empty() &&
-             orders_after(n.processed.back().msg, msg)) {
-        rollback_one(target, n, /*requeue=*/true, stats);
+      while (!c.processed.empty() &&
+             orders_after(c.processed.back().msg, msg)) {
+        rollback_one(target, c, /*requeue=*/true, stats);
       }
     }
-    n.pending.push(msg);
+    c.pending.push(msg);
     live_.fetch_add(1, std::memory_order_seq_cst);
     workset_.push_global(target);
   }
@@ -251,14 +363,26 @@ class TwEngine {
   /// `target`, rolling back past it if it was already processed.
   void deliver_anti(NodeId target, std::uint64_t id, TwLocalStats& stats) {
     TwNode& n = node(target);
-    std::scoped_lock guard(n.lock);
+    TwGuard guard(n);
+    TwCore& c = n.core.write();
+    ++stats.antis_resolved;  // pairing oracle: this anti reached delivery
     Time found_ts = kNullTs;
-    if (n.pending.erase_first([id, &found_ts](const TwMsg& m) {
+    if (c.pending.erase_first([id, &found_ts](const TwMsg& m) {
           if (m.id != id) return false;
           found_ts = m.ts;
           return true;
         })) {
       note_delivery(found_ts);  // GVT: see deliver_positive
+#if defined(HJDES_CHECK_ENABLED)
+      const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
+      if (found_ts < gvt_now) {
+        check::invariant::report(
+            check::invariant::Oracle::kGvt,
+            "anti-message annihilated pending event t=" +
+                std::to_string(found_ts) + " below committed GVT " +
+                std::to_string(gvt_now));
+      }
+#endif
       live_.fetch_sub(1, std::memory_order_seq_cst);
       return;
     }
@@ -267,13 +391,39 @@ class TwEngine {
     // or after the cancelled one, so recording its timestamp covers them
     // for the in-flight GVT sweep.
     ++stats.rollback_episodes;
-    while (!n.processed.empty() && n.processed.back().msg.id != id) {
-      rollback_one(target, n, /*requeue=*/true, stats);
+    while (!c.processed.empty() && c.processed.back().msg.id != id) {
+      rollback_one(target, c, /*requeue=*/true, stats);
     }
-    HJDES_CHECK(!n.processed.empty(),
+#if defined(HJDES_CHECK_ENABLED)
+    if (c.processed.empty()) {
+      // Diagnosable protocol defect rather than an abort under hjverify: the
+      // referenced positive exists nowhere (double annihilation or a
+      // fossil-collected victim — both GVT-protocol violations).
+      check::invariant::report(
+          check::invariant::Oracle::kTimewarp,
+          "anti-message for event id " + std::to_string(id) + " at node " +
+              std::to_string(target) +
+              " found neither a pending nor a processed event");
+      workset_.push_global(target);
+      return;
+    }
+#else
+    HJDES_CHECK(!c.processed.empty(),
                 "anti-message found neither pending nor processed event");
-    note_delivery(n.processed.back().msg.ts);
-    rollback_one(target, n, /*requeue=*/false, stats);
+#endif
+    note_delivery(c.processed.back().msg.ts);
+#if defined(HJDES_CHECK_ENABLED)
+    const Time rb_ts = c.processed.back().msg.ts;
+    const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
+    if (rb_ts < gvt_now) {
+      check::invariant::report(
+          check::invariant::Oracle::kGvt,
+          "anti-message rolled back committed event t=" +
+              std::to_string(rb_ts) + " below committed GVT " +
+              std::to_string(gvt_now));
+    }
+#endif
+    rollback_one(target, c, /*requeue=*/false, stats);
     workset_.push_global(target);
   }
 
@@ -288,34 +438,35 @@ class TwEngine {
       return;
     }
 
-    std::scoped_lock guard(n.lock);
-    while (!n.pending.empty()) {
-      TwMsg msg = n.pending.pop();
+    TwGuard guard(n);
+    TwCore& c = n.core.write();
+    while (!c.pending.empty()) {
+      TwMsg msg = c.pending.pop();
       ++stats.speculative;
       ++stats.since_sweep_check;
       ProcessedRec rec;
       rec.msg = msg;
       rec.prev_latch = false;
       if (meta.kind != GateKind::Output) {
-        rec.prev_latch = n.latch[msg.port];
-        n.latch[msg.port] = msg.value != 0;
+        rec.prev_latch = c.latch[msg.port];
+        c.latch[msg.port] = msg.value != 0;
         const bool out =
-            circuit::gate_eval(meta.kind, n.latch[0], n.latch[1]);
+            circuit::gate_eval(meta.kind, c.latch[0], c.latch[1]);
         const Time ts_out = msg.ts + meta.delay;
         const auto value =
             static_cast<std::uint8_t>(out ? 1 : 0);
         for (const FanoutEdge& e : netlist_.fanout(id)) {
-          rec.sent.push_back(SentRec{e.target, e.port, make_id(id, n)});
+          rec.sent.push_back(SentRec{e.target, e.port, make_id(id, c)});
         }
-        n.processed.push_back(std::move(rec));
+        c.processed.push_back(std::move(rec));
         // Send after logging so a recursive rollback (via a downstream
         // anti-message chain) can never observe an unlogged send.
-        const ProcessedRec& logged = n.processed.back();
+        const ProcessedRec& logged = c.processed.back();
         for (const SentRec& s : logged.sent) {
           deliver_positive(s.target, s.port, ts_out, value, s.id, stats);
         }
       } else {
-        n.processed.push_back(std::move(rec));
+        c.processed.push_back(std::move(rec));
       }
       live_.fetch_sub(1, std::memory_order_seq_cst);
     }
@@ -327,11 +478,12 @@ class TwEngine {
   /// NULL messages exist in Time Warp — termination is global quiescence
   /// (live_ == 0, counting undelivered initial events).
   void inject_input(NodeId id, TwNode& n, TwLocalStats& stats) {
-    std::scoped_lock guard(n.lock);
+    TwGuard guard(n);
+    TwCore& c = n.core.write();
     const auto& events = input_.initial_events(static_cast<std::size_t>(
         input_index_[static_cast<std::size_t>(id)]));
-    if (n.next_initial >= events.size()) return;
-    if (cfg_.reverse_injection && n.next_initial == 0) {
+    if (c.next_initial >= events.size()) return;
+    if (cfg_.reverse_injection && c.next_initial == 0) {
       // Reversed delivery flips the arrival order of equal-timestamp events
       // on one port, which would change the committed tie order; require
       // strictly increasing trains in this mode.
@@ -344,18 +496,18 @@ class TwEngine {
         cfg_.input_batch == 0 ? events.size() : cfg_.input_batch;
     // Re-activate ourselves *before* delivering, so (with the LIFO workset)
     // downstream nodes drain between batches — maximizing mis-speculation.
-    if (events.size() - n.next_initial > batch) workset_.push_global(id);
+    if (events.size() - c.next_initial > batch) workset_.push_global(id);
     const std::size_t limit =
-        std::min(events.size(), n.next_initial + batch);
-    for (; n.next_initial < limit; ++n.next_initial) {
+        std::min(events.size(), c.next_initial + batch);
+    for (; c.next_initial < limit; ++c.next_initial) {
       const std::size_t idx = cfg_.reverse_injection
-                                  ? events.size() - 1 - n.next_initial
-                                  : n.next_initial;
+                                  ? events.size() - 1 - c.next_initial
+                                  : c.next_initial;
       const Event& e = events[idx];
       ++stats.speculative;
       for (const FanoutEdge& edge : netlist_.fanout(id)) {
         deliver_positive(edge.target, edge.port, e.time, e.value,
-                         make_id(id, n), stats);
+                         make_id(id, c), stats);
       }
       live_.fetch_sub(1, std::memory_order_seq_cst);  // one injection done
     }
@@ -411,19 +563,20 @@ class TwEngine {
     Time bound = kNullTs;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       TwNode& n = nodes_[i];
-      std::scoped_lock guard(n.lock);
-      if (!n.pending.empty()) {
-        bound = std::min(bound, n.pending.top().ts);
+      TwGuard guard(n);
+      const TwCore& c = n.core.read();
+      if (!c.pending.empty()) {
+        bound = std::min(bound, c.pending.top().ts);
       }
       if (netlist_.kind(static_cast<NodeId>(i)) == GateKind::Input) {
         const auto& events = input_.initial_events(static_cast<std::size_t>(
             input_index_[i]));
-        if (n.next_initial < events.size()) {
+        if (c.next_initial < events.size()) {
           // Remaining minimum: forward injection is time-sorted, reversed
           // injection leaves the oldest (smallest) events for last.
           bound = std::min(bound, cfg_.reverse_injection
                                       ? events.front().time
-                                      : events[n.next_initial].time);
+                                      : events[c.next_initial].time);
         }
       }
     }
@@ -437,6 +590,18 @@ class TwEngine {
       n.lock.unlock();
     }
     bound = std::min(bound, min_sent_.load(std::memory_order_seq_cst));
+#if defined(HJDES_CHECK_ENABLED)
+    // GVT monotonicity oracle: the committed bound may only advance.
+    {
+      const Time prev = gvt_.load(std::memory_order_seq_cst);
+      if (prev != kNeverReceived && bound < prev) {
+        check::invariant::report(
+            check::invariant::Oracle::kGvt,
+            "GVT regressed from " + std::to_string(prev) + " to " +
+                std::to_string(bound));
+      }
+    }
+#endif
     gvt_.store(bound, std::memory_order_seq_cst);
     if (bound > 0) fossil_collect(bound, stats);
   }
@@ -447,19 +612,20 @@ class TwEngine {
   void fossil_collect(Time bound, TwLocalStats& stats) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       TwNode& n = nodes_[i];
-      std::scoped_lock guard(n.lock);
+      TwGuard guard(n);
+      TwCore& c = n.core.write();
       std::size_t k = 0;
-      while (k < n.processed.size() && n.processed[k].msg.ts < bound) ++k;
+      while (k < c.processed.size() && c.processed[k].msg.ts < bound) ++k;
       if (k == 0) continue;
       if (n.output_index >= 0) {
         for (std::size_t j = 0; j < k; ++j) {
-          n.waveform.push_back(OutputRecord{n.processed[j].msg.ts,
-                                            n.processed[j].msg.value});
+          c.waveform.push_back(OutputRecord{c.processed[j].msg.ts,
+                                            c.processed[j].msg.value});
         }
       }
-      n.processed.erase(n.processed.begin(),
-                        n.processed.begin() + static_cast<std::ptrdiff_t>(k));
-      n.committed_freed += k;
+      c.processed.erase(c.processed.begin(),
+                        c.processed.begin() + static_cast<std::ptrdiff_t>(k));
+      c.committed_freed += k;
       stats.fossil += k;
     }
   }
@@ -477,6 +643,11 @@ class TwEngine {
   std::atomic<Time> min_sent_{kNullTs};
   std::atomic<Time> gvt_{kNeverReceived};
   std::atomic<std::uint64_t> events_since_gvt_{0};
+  // Anti-message pairing ledger (hjverify oracle; cheap enough to keep on).
+  std::atomic<std::uint64_t> total_antis_{0};
+  std::atomic<std::uint64_t> total_antis_resolved_{0};
+  check::SyncClock start_hb_;  ///< engine/node setup → worker start
+  check::SyncClock end_hb_;    ///< worker end → post-join result scan
   // Registry-backed statistics (see des/hj_engine.cpp for the scheme).
   obs::Counter& c_speculative_ =
       obs::metrics().counter("des.timewarp.speculative_events");

@@ -10,8 +10,9 @@ namespace hjdes::fault {
 namespace {
 
 constexpr const char* kSiteNames[kSiteCount] = {
-    "spsc_push", "arena_alloc", "batch_flush", "worker_yield",
-    "null_watermark",
+    "spsc_push",         "arena_alloc", "batch_flush",
+    "worker_yield",      "null_watermark",
+    "watermark_regress", "anti_drop",   "trial_miscount",
 };
 
 }  // namespace
@@ -19,6 +20,16 @@ constexpr const char* kSiteNames[kSiteCount] = {
 const char* site_name(Site site) noexcept {
   const auto i = static_cast<std::size_t>(site);
   return i < kSiteCount ? kSiteNames[i] : "unknown";
+}
+
+bool site_from_name(std::string_view name, Site* out) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) {
+      *out = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
 }
 
 bool compiled_in() noexcept { return kCompiledIn; }

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "fault/heartbeat.hpp"  // IWYU pragma: export
 #include "fault/inject.hpp"     // IWYU pragma: export
+#include "fault/schedule.hpp"   // IWYU pragma: export
 #include "fault/watchdog.hpp"   // IWYU pragma: export
 
 namespace hjdes::fault {
@@ -23,14 +25,21 @@ bool compiled_in() noexcept;
 /// Stable display name for `site` ("spsc_push", "arena_alloc", ...).
 const char* site_name(Site site) noexcept;
 
+/// Reverse lookup of site_name; false when `name` matches no site.
+bool site_from_name(std::string_view name, Site* out) noexcept;
+
 /// Install a fault plan: every site in `site_mask` (bit i = Site i) fires
 /// with probability rate_ppm / 1e6, drawn from per-thread streams seeded by
 /// `seed`. Rates above kMaxRatePpm are clamped (with a stderr warning) so
 /// retried transients always terminate. rate_ppm == 0 disables injection.
+/// The default mask arms only the benign (recoverable-transient) sites;
+/// the corrupting protocol-defect sites (kWatermarkRegress, kAntiDrop,
+/// kTrialMiscount) must be opted into explicitly — they exist as seeded
+/// true positives for the hjverify oracles, not as recoverable transients.
 /// Also honors the HJDES_WEDGE_SHARD environment variable (see wedge_shard).
 /// No-op (plus a stderr note when rate_ppm > 0) without HJDES_FAULT=ON.
 void configure(std::uint64_t seed, std::uint32_t rate_ppm,
-               std::uint32_t site_mask = 0xffffffffu);
+               std::uint32_t site_mask = kBenignSiteMask);
 
 /// Disable injection and un-wedge any wedged shard. Tallies are retained.
 void disable() noexcept;

@@ -9,18 +9,26 @@
 // This header is include-only and depends on nothing above src/support, so
 // the lowest-level primitives (SpscChannel, EventArena) can host injection
 // sites without a library cycle. Everything heavier — configuration,
-// metrics publication, the stall watchdog — lives in fault.hpp / the
-// hjdes_fault library.
+// metrics publication, the stall watchdog, schedule trace files — lives in
+// fault.hpp / schedule.hpp / the hjdes_fault library.
 //
-// Cost model (mirrors hjcheck): with the CMake option HJDES_FAULT off,
-// should_inject() is a constexpr `false` and every site folds away — the hot
-// paths carry zero injection overhead. With it on but the rate at 0 (the
-// default), each site costs one relaxed atomic load.
+// Cost model (mirrors hjcheck): with both CMake options HJDES_FAULT and
+// HJDES_CHECK off, should_inject() is a constexpr `false` and every site
+// folds away — the hot paths carry zero injection overhead. With either on
+// but nothing armed (the default), each site costs one relaxed atomic load.
 //
-// Determinism: decisions are drawn from per-thread xoshiro256** streams
-// seeded from (plan seed, thread enrollment ordinal), so a single-threaded
-// site sequence is exactly reproducible from the seed, and a multi-threaded
-// run re-rolls the same per-thread streams; only the interleaving varies.
+// Two decision sources share the same sites:
+//   fault plan   (HJDES_FAULT=ON) independent per-thread xoshiro256**
+//                streams seeded from (plan seed, thread enrollment ordinal):
+//                a single-threaded site sequence is exactly reproducible
+//                from the seed; only the interleaving varies across runs.
+//   scheduler    (HJDES_FAULT=ON or HJDES_CHECK=ON) the deterministic
+//                schedule-exploration controller (sched:: below): seeded
+//                per-ordinal decision streams that are *recorded* to a trace
+//                and *replayed* bit-exactly, driving the hjverify oracle
+//                explorations (hjdes_sim --explore/--replay, hjdes_explore).
+//                When the controller is active it owns every decision; the
+//                fault plan is consulted only when it is off.
 
 #include <atomic>
 #include <cstddef>
@@ -29,22 +37,61 @@
 #include "support/platform.hpp"
 #include "support/rng.hpp"
 
+#if defined(HJDES_FAULT_ENABLED) || defined(HJDES_CHECK_ENABLED)
+// The schedule-exploration controller compiles in whenever either analysis
+// layer does: the hjverify oracles (check) explore schedules through the
+// same sites the fault plan (fault) perturbs.
+#define HJDES_SCHED_ENABLED 1
+#include <mutex>
+#include <vector>
+
+#include "support/spinlock.hpp"
+#endif
+
 namespace hjdes::fault {
 
 /// Named injection sites in the hot paths. Names are stable: they key the
 /// `fault.injected.<site>` metrics and the --fault-sites mask documented in
-/// docs/ROBUSTNESS.md.
+/// docs/ROBUSTNESS.md. The first five are *benign* transients — every
+/// injection is recovered by a retry/fallback path, so runs stay
+/// bit-identical. The last three are *corrupting* protocol defects, the
+/// seeded true positives the hjverify oracles (check/invariant.hpp) must
+/// catch; they are excluded from the default plan mask.
 enum class Site : std::uint8_t {
-  kSpscPush = 0,    ///< SpscChannel::try_push reports a spurious full
-  kArenaAlloc,      ///< EventArena::allocate fails over to the global path
-  kBatchFlush,      ///< PartitionedEngine delays a cross-shard batch flush
-  kWorkerYield,     ///< forced preemption point in the hj runtime
-  kNullWatermark,   ///< PartitionedEngine drops (then retries) a watermark
-  kCount_,          ///< sentinel, keep last
+  kSpscPush = 0,      ///< SpscChannel::try_push reports a spurious full
+  kArenaAlloc,        ///< EventArena::allocate fails over to the global path
+  kBatchFlush,        ///< PartitionedEngine delays a cross-shard batch flush
+  kWorkerYield,       ///< forced preemption point in the hj runtime
+  kNullWatermark,     ///< PartitionedEngine drops (then retries) a watermark
+  kWatermarkRegress,  ///< CORRUPTING: re-announce a stale (regressed)
+                      ///< watermark on a cut edge (oracle: watermark)
+  kAntiDrop,          ///< CORRUPTING: a timewarp rollback drops one
+                      ///< anti-message (oracle: timewarp)
+  kTrialMiscount,     ///< CORRUPTING: TrialScheduler drops one completed
+                      ///< trial from the job tally (oracle: admission)
+  kCount_,            ///< sentinel, keep last
 };
 
 inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(
     Site::kCount_);
+
+/// Bit of `site` in a site mask.
+inline constexpr std::uint32_t site_bit(Site site) noexcept {
+  return 1u << static_cast<unsigned>(site);
+}
+
+/// The benign (recoverable-transient) sites: the default plan mask. Runs
+/// remain bit-identical under any rate of these.
+inline constexpr std::uint32_t kBenignSiteMask =
+    site_bit(Site::kSpscPush) | site_bit(Site::kArenaAlloc) |
+    site_bit(Site::kBatchFlush) | site_bit(Site::kWorkerYield) |
+    site_bit(Site::kNullWatermark);
+
+/// The corrupting (protocol-defect) sites. Only ever armed explicitly — by
+/// the seeded true-positive tests and oracle explorations.
+inline constexpr std::uint32_t kCorruptingSiteMask =
+    site_bit(Site::kWatermarkRegress) | site_bit(Site::kAntiDrop) |
+    site_bit(Site::kTrialMiscount);
 
 /// Probability scale of the plan rate: rate is faults per million decisions.
 inline constexpr std::uint32_t kRatePpmScale = 1'000'000;
@@ -56,6 +103,147 @@ inline constexpr std::uint32_t kRatePpmScale = 1'000'000;
 /// terminating with probability 1.
 inline constexpr std::uint32_t kMaxRatePpm = kRatePpmScale / 2;
 
+// ---------------------------------------------------------------------------
+// sched:: — the deterministic schedule-exploration controller (hjverify).
+//
+// A *schedule* is the full per-thread stream of yes/no answers the sites
+// receive during one run. In record mode the answers are drawn from seeded
+// per-ordinal streams and logged; in replay mode the logged streams are
+// consumed bit-exactly (the i-th decision of ordinal k replays identically).
+// Engines bind their workers to stable ordinals (shard id / worker index)
+// via bind_thread(), so the same ordinal draws the same stream across runs;
+// unbound threads never participate. Configuration, trace-file save/load
+// and the start/stop lifecycle live in fault/schedule.hpp (hjdes_fault).
+// ---------------------------------------------------------------------------
+namespace sched {
+
+/// Streams the controller distinguishes; engines cap workers far below this.
+inline constexpr std::size_t kMaxStreams = 64;
+
+enum class Mode : std::uint8_t { kOff = 0, kRecord = 1, kReplay = 2 };
+
+/// Decision strategies (docs/ANALYSIS.md):
+///   walk  every decision is an independent biased coin at the plan rate
+///   pct   PCT-style priority perturbation: each stream re-rolls its own
+///         rate at fixed burst boundaries, so some threads run long calm
+///         stretches while one is heavily perturbed
+enum class Strategy : std::uint8_t { kWalk = 0, kPct = 1 };
+
+#if defined(HJDES_SCHED_ENABLED)
+
+inline constexpr bool kCompiledIn = true;
+
+namespace detail {
+
+inline std::atomic<std::uint8_t> g_mode{0};
+inline std::atomic<std::uint8_t> g_strategy{0};
+inline std::atomic<std::uint32_t> g_rate_ppm{0};
+inline std::atomic<std::uint32_t> g_site_mask{0};
+inline std::atomic<std::uint64_t> g_seed{1};
+
+/// One stream re-rolls its PCT rate every this many decisions.
+inline constexpr std::uint64_t kPctBurst = 256;
+
+/// Per-ordinal decision stream. The spinlock keeps decisions well-defined
+/// even if a caller misbinds two live threads to one ordinal (the replay is
+/// then not meaningful, but never undefined behavior).
+struct HJDES_CACHE_ALIGNED Stream {
+  Spinlock mu;
+  Xoshiro256 rng{0};
+  std::uint32_t rate_ppm = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t injected = 0;
+  std::vector<std::uint8_t> bits;    ///< record log, one byte per decision
+  std::vector<std::uint8_t> replay;  ///< loaded trace being replayed
+  std::size_t replay_pos = 0;
+};
+
+// Leaked so thread_local destructors at process exit can still decide.
+inline Stream* streams() {
+  static Stream* s = new Stream[kMaxStreams];
+  return s;
+}
+
+inline std::int32_t& thread_ordinal() noexcept {
+  static thread_local std::int32_t ordinal = -1;
+  return ordinal;
+}
+
+/// PCT burst rate re-roll: mostly calm or baseline, occasionally a heavy
+/// burst — drawn from the stream's own RNG so it is deterministic per
+/// (seed, ordinal, burst index).
+inline std::uint32_t pct_roll(Xoshiro256& rng, std::uint32_t base) noexcept {
+  const std::uint64_t r = rng.below(8);
+  if (r < 3) return 0;
+  if (r < 6) return base;
+  const std::uint64_t heavy = (r == 6) ? std::uint64_t{base} * 4
+                                       : std::uint64_t{base} * 16;
+  return heavy > kMaxRatePpm ? kMaxRatePpm
+                             : static_cast<std::uint32_t>(heavy);
+}
+
+}  // namespace detail
+
+/// True while the controller owns the sites (record or replay running).
+inline bool active() noexcept {
+  return detail::g_mode.load(std::memory_order_relaxed) !=
+         static_cast<std::uint8_t>(Mode::kOff);
+}
+
+/// Bind the calling thread to decision stream `ordinal` (engine workers use
+/// their stable shard id / worker index). Out-of-range ordinals unbind; an
+/// unbound thread answers `false` at every site and records nothing.
+inline void bind_thread(std::int32_t ordinal) noexcept {
+  detail::thread_ordinal() =
+      (ordinal >= 0 && ordinal < static_cast<std::int32_t>(kMaxStreams))
+          ? ordinal
+          : -1;
+}
+
+/// One schedule decision at `site` for the calling thread. Record mode draws
+/// from the stream's seeded RNG and logs the answer; replay mode consumes
+/// the loaded log (false once exhausted).
+inline bool decide(Site site) noexcept {
+  const std::int32_t ordinal = detail::thread_ordinal();
+  if (ordinal < 0) return false;
+  if ((detail::g_site_mask.load(std::memory_order_relaxed) &
+       site_bit(site)) == 0) {
+    return false;
+  }
+  detail::Stream& s = detail::streams()[ordinal];
+  std::scoped_lock lock(s.mu);
+  bool fire = false;
+  if (detail::g_mode.load(std::memory_order_relaxed) ==
+      static_cast<std::uint8_t>(Mode::kReplay)) {
+    fire = s.replay_pos < s.replay.size() && s.replay[s.replay_pos] != 0;
+    ++s.replay_pos;
+  } else {
+    if (detail::g_strategy.load(std::memory_order_relaxed) ==
+            static_cast<std::uint8_t>(Strategy::kPct) &&
+        s.decisions % detail::kPctBurst == 0) {
+      s.rate_ppm = detail::pct_roll(
+          s.rng, detail::g_rate_ppm.load(std::memory_order_relaxed));
+    }
+    fire = s.rng.below(kRatePpmScale) < s.rate_ppm;
+    s.bits.push_back(fire ? 1 : 0);
+  }
+  ++s.decisions;
+  if (fire) ++s.injected;
+  return fire;
+}
+
+#else  // !HJDES_SCHED_ENABLED
+
+inline constexpr bool kCompiledIn = false;
+
+inline constexpr bool active() noexcept { return false; }
+inline void bind_thread(std::int32_t) noexcept {}
+inline constexpr bool decide(Site) noexcept { return false; }
+
+#endif  // HJDES_SCHED_ENABLED
+
+}  // namespace sched
+
 #if defined(HJDES_FAULT_ENABLED)
 
 namespace detail {
@@ -63,7 +251,7 @@ namespace detail {
 // Plan state, written by fault::configure()/disable() (fault.hpp) and read
 // by every site. Inline atomics so this header needs no library.
 inline std::atomic<std::uint32_t> g_rate_ppm{0};
-inline std::atomic<std::uint32_t> g_site_mask{0xffffffffu};
+inline std::atomic<std::uint32_t> g_site_mask{kBenignSiteMask};
 inline std::atomic<std::uint64_t> g_seed{1};
 inline std::atomic<std::uint64_t> g_plan_epoch{0};
 inline std::atomic<std::int32_t> g_wedged_shard{-1};
@@ -92,17 +280,21 @@ inline ThreadStream& thread_stream() noexcept {
 /// True when the fault layer is compiled in (HJDES_FAULT=ON).
 inline constexpr bool kCompiledIn = true;
 
-/// Decide whether a fault fires at `site`. Each firing is tallied for
-/// fault::injected()/publish_metrics(). Hot-path contract: one relaxed load
-/// when the plan is disabled.
+/// Decide whether a fault fires at `site`. The schedule controller, when
+/// active, owns the decision; otherwise the fault plan draws one and tallies
+/// it for fault::injected()/publish_metrics(). Hot-path contract: one
+/// relaxed load per source when nothing is armed.
 inline bool should_inject(Site site) noexcept {
+  if (sched::active()) [[unlikely]] {
+    return sched::decide(site);
+  }
   const std::uint32_t rate =
       detail::g_rate_ppm.load(std::memory_order_relaxed);
   if (rate == 0) [[likely]] {
     return false;
   }
   if ((detail::g_site_mask.load(std::memory_order_relaxed) &
-       (1u << static_cast<unsigned>(site))) == 0) {
+       site_bit(site)) == 0) {
     return false;
   }
   detail::ThreadStream& stream = detail::thread_stream();
@@ -132,7 +324,22 @@ inline bool shard_wedged(std::int32_t shard) noexcept {
   return detail::g_wedged_shard.load(std::memory_order_relaxed) == shard;
 }
 
-#else  // !HJDES_FAULT_ENABLED
+#elif defined(HJDES_CHECK_ENABLED)
+
+inline constexpr bool kCompiledIn = false;
+
+/// Without the fault plan the sites still exist for the schedule controller:
+/// one relaxed load while it is off, its decision stream while exploring.
+inline bool should_inject(Site site) noexcept {
+  if (!sched::active()) [[likely]] {
+    return false;
+  }
+  return sched::decide(site);
+}
+
+inline constexpr bool shard_wedged(std::int32_t) noexcept { return false; }
+
+#else  // !HJDES_FAULT_ENABLED && !HJDES_CHECK_ENABLED
 
 inline constexpr bool kCompiledIn = false;
 

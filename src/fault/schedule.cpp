@@ -1,0 +1,332 @@
+#include "fault/schedule.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hjdes::fault::sched {
+
+const char* strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kWalk:
+      return "walk";
+    case Strategy::kPct:
+      return "pct";
+  }
+  return "unknown";
+}
+
+bool strategy_from_name(std::string_view name, Strategy* out) noexcept {
+  if (name == "walk") {
+    *out = Strategy::kWalk;
+    return true;
+  }
+  if (name == "pct") {
+    *out = Strategy::kPct;
+    return true;
+  }
+  return false;
+}
+
+bool compiled_in() noexcept { return kCompiledIn; }
+
+#if defined(HJDES_SCHED_ENABLED)
+
+namespace {
+
+// Distinct stream seeding domain from the fault plan's, so a schedule
+// exploration and a fault plan with the same seed stay uncorrelated.
+constexpr std::uint64_t kStreamSalt = 0xd1b54a32d192ed03ULL;
+
+bool g_trace_loaded = false;
+Mode g_last_armed = Mode::kOff;
+
+void reset_streams_locked(std::uint64_t seed, Strategy strategy,
+                          std::uint32_t rate_ppm) {
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    detail::Stream& s = streams[k];
+    std::scoped_lock lock(s.mu);
+    std::uint64_t sm = seed + kStreamSalt * (static_cast<std::uint64_t>(k) + 1);
+    s.rng = Xoshiro256(splitmix64(sm));
+    // kWalk holds the plan rate; kPct re-rolls at its first decision.
+    s.rate_ppm =
+        strategy == Strategy::kWalk ? rate_ppm : 0;
+    s.decisions = 0;
+    s.injected = 0;
+    s.bits.clear();
+    s.replay_pos = 0;
+  }
+}
+
+}  // namespace
+
+Mode mode() noexcept {
+  return static_cast<Mode>(detail::g_mode.load(std::memory_order_relaxed));
+}
+
+bool start_record(std::uint64_t seed, Strategy strategy,
+                  std::uint32_t rate_ppm, std::uint32_t site_mask) {
+  if (rate_ppm > kMaxRatePpm) {
+    std::fprintf(stderr,
+                 "sched: clamping rate %u ppm to %u ppm (retried transients "
+                 "must terminate; see docs/ROBUSTNESS.md)\n",
+                 rate_ppm, kMaxRatePpm);
+    rate_ppm = kMaxRatePpm;
+  }
+  stop();
+  detail::g_seed.store(seed, std::memory_order_relaxed);
+  detail::g_strategy.store(static_cast<std::uint8_t>(strategy),
+                           std::memory_order_relaxed);
+  detail::g_rate_ppm.store(rate_ppm, std::memory_order_relaxed);
+  detail::g_site_mask.store(site_mask, std::memory_order_relaxed);
+  reset_streams_locked(seed, strategy, rate_ppm);
+  g_trace_loaded = false;
+  g_last_armed = Mode::kRecord;
+  detail::g_mode.store(static_cast<std::uint8_t>(Mode::kRecord),
+                       std::memory_order_release);
+  return true;
+}
+
+bool start_replay() {
+  if (!g_trace_loaded) {
+    std::fprintf(stderr, "sched: start_replay without a loaded trace\n");
+    return false;
+  }
+  stop();
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    detail::Stream& s = streams[k];
+    std::scoped_lock lock(s.mu);
+    s.decisions = 0;
+    s.injected = 0;
+    s.bits.clear();
+    s.replay_pos = 0;
+  }
+  g_last_armed = Mode::kReplay;
+  detail::g_mode.store(static_cast<std::uint8_t>(Mode::kReplay),
+                       std::memory_order_release);
+  return true;
+}
+
+void stop() noexcept {
+  detail::g_mode.store(static_cast<std::uint8_t>(Mode::kOff),
+                       std::memory_order_release);
+}
+
+std::uint64_t decisions_total() noexcept {
+  std::uint64_t sum = 0;
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    std::scoped_lock lock(streams[k].mu);
+    sum += streams[k].decisions;
+  }
+  return sum;
+}
+
+std::uint64_t injected_total() noexcept {
+  std::uint64_t sum = 0;
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    std::scoped_lock lock(streams[k].mu);
+    sum += streams[k].injected;
+  }
+  return sum;
+}
+
+bool save_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "hjdes-schedule-trace v1\n";
+  {
+    char meta[128];
+    std::snprintf(meta, sizeof meta,
+                  "meta seed=%" PRIu64 " strategy=%s rate=%u sites=%x\n",
+                  detail::g_seed.load(std::memory_order_relaxed),
+                  strategy_name(static_cast<Strategy>(
+                      detail::g_strategy.load(std::memory_order_relaxed))),
+                  detail::g_rate_ppm.load(std::memory_order_relaxed),
+                  detail::g_site_mask.load(std::memory_order_relaxed));
+    out << meta;
+  }
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    detail::Stream& s = streams[k];
+    std::scoped_lock lock(s.mu);
+    // In replay mode the log to persist is the one being replayed; after a
+    // record run it is the freshly recorded bits.
+    const std::vector<std::uint8_t>& bits =
+        s.bits.empty() ? s.replay : s.bits;
+    if (bits.empty() && s.decisions == 0) continue;
+    out << "stream " << k << ' ' << bits.size();
+    if (!bits.empty()) {
+      out << ' ';
+      for (std::size_t i = 0; i < bits.size(); i += 4) {
+        unsigned nibble = 0;
+        for (std::size_t j = 0; j < 4 && i + j < bits.size(); ++j) {
+          nibble |= (bits[i + j] != 0 ? 1u : 0u) << j;
+        }
+        out << "0123456789abcdef"[nibble];
+      }
+    }
+    out << '\n';
+  }
+  out << "end\n";
+  return static_cast<bool>(out);
+}
+
+bool load_trace(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+  std::ifstream in(path);
+  if (!in) return fail("cannot open");
+  std::string line;
+  if (!std::getline(in, line) || line != "hjdes-schedule-trace v1") {
+    return fail("not a v1 schedule trace (bad header)");
+  }
+  std::uint64_t seed = 0;
+  char strategy_buf[16] = {};
+  unsigned rate = 0;
+  unsigned mask = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(),
+                  "meta seed=%" SCNu64 " strategy=%15s rate=%u sites=%x",
+                  &seed, strategy_buf, &rate, &mask) != 4) {
+    return fail("malformed meta line");
+  }
+  Strategy strategy = Strategy::kWalk;
+  if (!strategy_from_name(strategy_buf, &strategy)) {
+    return fail(std::string("unknown strategy '") + strategy_buf + "'");
+  }
+  struct Loaded {
+    std::size_t ordinal;
+    std::vector<std::uint8_t> bits;
+  };
+  std::vector<Loaded> loaded;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    std::size_t ordinal = 0;
+    std::size_t count = 0;
+    std::string hex;
+    fields >> tag >> ordinal >> count;
+    if (tag != "stream" || fields.fail()) {
+      return fail("malformed stream line: " + line);
+    }
+    fields >> hex;  // absent for an empty stream
+    if (ordinal >= kMaxStreams) {
+      return fail("stream ordinal out of range: " + line);
+    }
+    if (hex.size() != (count + 3) / 4) {
+      return fail("stream bit count does not match payload: " + line);
+    }
+    Loaded l;
+    l.ordinal = ordinal;
+    l.bits.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const char c = hex[i / 4];
+      const int v = std::isdigit(static_cast<unsigned char>(c))
+                        ? c - '0'
+                        : (c >= 'a' && c <= 'f') ? c - 'a' + 10 : -1;
+      if (v < 0) return fail("bad hex digit in stream payload: " + line);
+      l.bits.push_back((static_cast<unsigned>(v) >> (i % 4)) & 1u);
+    }
+    loaded.push_back(std::move(l));
+  }
+  if (!saw_end) return fail("truncated trace (no 'end' line)");
+
+  stop();
+  detail::g_seed.store(seed, std::memory_order_relaxed);
+  detail::g_strategy.store(static_cast<std::uint8_t>(strategy),
+                           std::memory_order_relaxed);
+  detail::g_rate_ppm.store(rate, std::memory_order_relaxed);
+  detail::g_site_mask.store(mask, std::memory_order_relaxed);
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    detail::Stream& s = streams[k];
+    std::scoped_lock lock(s.mu);
+    s.replay.clear();
+    s.replay_pos = 0;
+    s.bits.clear();
+    s.decisions = 0;
+    s.injected = 0;
+  }
+  for (Loaded& l : loaded) {
+    detail::Stream& s = streams[l.ordinal];
+    std::scoped_lock lock(s.mu);
+    s.replay = std::move(l.bits);
+  }
+  g_trace_loaded = true;
+  return true;
+}
+
+std::string summary() {
+  std::uint64_t decisions = 0;
+  std::uint64_t injected = 0;
+  std::size_t active_streams = 0;
+  detail::Stream* streams = detail::streams();
+  for (std::size_t k = 0; k < kMaxStreams; ++k) {
+    std::scoped_lock lock(streams[k].mu);
+    if (streams[k].decisions == 0) continue;
+    ++active_streams;
+    decisions += streams[k].decisions;
+    injected += streams[k].injected;
+  }
+  if (decisions == 0) return {};
+  return std::string("sched: ") +
+         (g_last_armed == Mode::kReplay ? "replay" : "record") + '/' +
+         strategy_name(static_cast<Strategy>(
+             detail::g_strategy.load(std::memory_order_relaxed))) +
+         ' ' + std::to_string(active_streams) + "-stream(s) " +
+         std::to_string(decisions) + " decisions, " +
+         std::to_string(injected) + " injected";
+}
+
+#else  // !HJDES_SCHED_ENABLED
+
+Mode mode() noexcept { return Mode::kOff; }
+
+bool start_record(std::uint64_t /*seed*/, Strategy /*strategy*/,
+                  std::uint32_t /*rate_ppm*/, std::uint32_t /*site_mask*/) {
+  std::fprintf(stderr,
+               "sched: schedule exploration not compiled in (reconfigure "
+               "with -DHJDES_CHECK=ON or -DHJDES_FAULT=ON)\n");
+  return false;
+}
+
+bool start_replay() {
+  std::fprintf(stderr,
+               "sched: schedule replay not compiled in (reconfigure with "
+               "-DHJDES_CHECK=ON or -DHJDES_FAULT=ON)\n");
+  return false;
+}
+
+void stop() noexcept {}
+
+std::uint64_t decisions_total() noexcept { return 0; }
+std::uint64_t injected_total() noexcept { return 0; }
+
+bool save_trace(const std::string& /*path*/) { return false; }
+
+bool load_trace(const std::string& path, std::string* error) {
+  if (error != nullptr) {
+    *error = path + ": schedule exploration not compiled in (reconfigure "
+                    "with -DHJDES_CHECK=ON or -DHJDES_FAULT=ON)";
+  }
+  return false;
+}
+
+std::string summary() { return {}; }
+
+#endif  // HJDES_SCHED_ENABLED
+
+}  // namespace hjdes::fault::sched

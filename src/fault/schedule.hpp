@@ -1,0 +1,73 @@
+#pragma once
+// hjverify schedule-exploration lifecycle over the sched:: hot-path hooks in
+// fault/inject.hpp: start/stop record and replay, trace-file save/load, and
+// the totals the explore drivers report. See docs/ANALYSIS.md ("Schedule
+// exploration") for the workflow.
+//
+// A trace file is a self-describing text format so a violating schedule can
+// be attached to a CI artifact, read by a human, and replayed bit-exactly:
+//
+//   hjdes-schedule-trace v1
+//   meta seed=<u64> strategy=<walk|pct> rate=<ppm> sites=<hex mask>
+//   stream <ordinal> <decisions> <hex bits, 4 decisions per nibble, LSB
+//                                 first — absent for an empty stream>
+//   end
+//
+// The API exists in every build so tools and tests link either way; without
+// HJDES_FAULT=ON or HJDES_CHECK=ON (see HJDES_SCHED_ENABLED in inject.hpp),
+// start_record()/load_trace() fail with a message and the sites stay
+// constant-false.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/inject.hpp"  // IWYU pragma: export
+
+namespace hjdes::fault::sched {
+
+/// Runtime counterpart of the constexpr kCompiledIn (inject.hpp).
+bool compiled_in() noexcept;
+
+/// Stable display names ("walk" / "pct") and the reverse lookup.
+const char* strategy_name(Strategy strategy) noexcept;
+bool strategy_from_name(std::string_view name, Strategy* out) noexcept;
+
+/// Current controller mode (kOff when not compiled in).
+Mode mode() noexcept;
+
+/// Arm record mode: reset all decision streams, seed stream k from
+/// (seed, k), and start answering the sites in `site_mask` at `rate_ppm`
+/// (clamped to kMaxRatePpm) under `strategy`. Call while no engine threads
+/// are running. False (with a stderr note) when not compiled in.
+bool start_record(std::uint64_t seed, Strategy strategy,
+                  std::uint32_t rate_ppm, std::uint32_t site_mask);
+
+/// Arm replay mode over the streams loaded by load_trace(): each bound
+/// thread consumes its recorded decisions in order, bit-exactly. False when
+/// not compiled in or nothing was loaded.
+bool start_replay();
+
+/// Disarm the controller. Stream logs are retained for save_trace() and the
+/// totals below until the next start_record()/load_trace().
+void stop() noexcept;
+
+/// Decisions answered / answered-true across all streams since arming.
+std::uint64_t decisions_total() noexcept;
+std::uint64_t injected_total() noexcept;
+
+/// Write the recorded schedule to `path`. False on a write error (or when
+/// not compiled in).
+bool save_trace(const std::string& path);
+
+/// Load a trace file: restores the recorded (seed, strategy, rate, sites)
+/// configuration and every stream's decision log, ready for start_replay().
+/// On failure returns false and describes the problem in *error.
+bool load_trace(const std::string& path, std::string* error);
+
+/// One-line human summary of the armed exploration, e.g.
+/// "sched: record/walk 12-streams 4096 decisions, 83 injected". Empty when
+/// the controller never ran.
+std::string summary();
+
+}  // namespace hjdes::fault::sched

@@ -237,6 +237,7 @@ void Runtime::run(Thunk root) {
   Worker* self = workers_[0].get();
   tls_worker = self;
   tls_runtime = this;
+  fault::sched::bind_thread(0);  // caller acts as worker 0
   // The caller is worker 0: pin it only for the duration of this run and
   // restore its original affinity afterwards (ScopedAffinity dtor).
   support::ScopedAffinity pin_guard;
@@ -252,6 +253,7 @@ void Runtime::worker_main(int index) {
   Worker* self = workers_[static_cast<std::size_t>(index)].get();
   tls_worker = self;
   tls_runtime = this;
+  fault::sched::bind_thread(index);
   if (!pin_plan_.empty()) {
     support::pin_current_thread(pin_plan_[static_cast<std::size_t>(index)]);
   }

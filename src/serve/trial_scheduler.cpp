@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "check/checked_cell.hpp"
+#include "check/hb.hpp"
+#include "check/invariant.hpp"
 #include "circuit/stimulus.hpp"
 #include "des/engines.hpp"
 #include "des/packed_engine.hpp"
@@ -52,6 +55,28 @@ ServeMetrics& serve_metrics() {
 
 std::atomic<std::uint64_t> g_job_ordinal{0};
 
+/// std::mutex + SyncClock bundle: the mutex serializes, the SyncClock
+/// mirrors the edge into hjcheck's happens-before relation so checked_cell
+/// accesses under the lock are race-clean (the spinlock analogue is TwGuard
+/// in des/timewarp_engine.cpp).
+class HbLock {
+ public:
+  HbLock(std::mutex& mu, check::SyncClock& hb) : mu_(mu), hb_(hb) {
+    mu_.lock();
+    hb_.acquire();
+  }
+  ~HbLock() {
+    hb_.release();
+    mu_.unlock();
+  }
+  HbLock(const HbLock&) = delete;
+  HbLock& operator=(const HbLock&) = delete;
+
+ private:
+  std::mutex& mu_;
+  check::SyncClock& hb_;
+};
+
 }  // namespace
 
 struct TrialScheduler::Impl {
@@ -68,10 +93,18 @@ struct TrialScheduler::Impl {
     Clock::time_point deadline;
     bool has_deadline = false;
 
+    /// Running aggregate, wrapped so hjcheck verifies every access is
+    /// bracketed by HbLock(mu, hb).
+    struct Accounting {
+      JobResult result;
+      bool degraded = false;
+      std::size_t units_remaining = 0;
+    };
     std::mutex mu;
-    JobResult result;             // guarded by mu until the final unit
-    bool degraded = false;        // guarded by mu
-    std::size_t units_remaining = 0;  // guarded by mu
+    check::SyncClock hb;
+    check::checked_cell<Accounting> acct;  // guarded by mu
+
+    Job() { acct.set_label("serve.job.accounting"); }
   };
 
   /// A unit of worker work: one scalar trial, or a packed batch of up to 64
@@ -87,14 +120,20 @@ struct TrialScheduler::Impl {
   ResultCallback on_result;
   int worker_count = 0;
 
+  struct QueueState {
+    std::deque<WorkUnit> queue;
+    bool stopping = false;
+  };
   std::mutex queue_mu;
+  check::SyncClock queue_hb;
   std::condition_variable queue_cv;
-  std::deque<WorkUnit> queue;  // guarded by queue_mu
-  bool stopping = false;       // guarded by queue_mu
+  check::checked_cell<QueueState> qstate;  // guarded by queue_mu
 
   std::mutex jobs_mu;
+  check::SyncClock jobs_hb;
   std::condition_variable jobs_cv;
-  std::vector<std::shared_ptr<Job>> active;  // guarded by jobs_mu
+  check::checked_cell<std::vector<std::shared_ptr<Job>>>
+      active;  // guarded by jobs_mu
 
   std::vector<std::thread> workers;
   std::thread monitor;
@@ -103,6 +142,8 @@ struct TrialScheduler::Impl {
 
   explicit Impl(const SchedulerConfig& cfg, ResultCallback cb)
       : config(cfg), on_result(std::move(cb)) {
+    qstate.set_label("serve.queue");
+    active.set_label("serve.active_jobs");
     const support::MachineTopology& topo = support::machine_topology();
     worker_count = config.workers > 0
                        ? config.workers
@@ -112,7 +153,7 @@ struct TrialScheduler::Impl {
         support::pinning_plan(topo, worker_count, config.pin);
     for (int i = 0; i < worker_count; ++i) {
       const int cpu = i < static_cast<int>(plan.size()) ? plan[i] : -1;
-      workers.emplace_back([this, cpu] { worker_body(cpu); });
+      workers.emplace_back([this, i, cpu] { worker_body(i, cpu); });
     }
     monitor = std::thread([this] { monitor_body(); });
   }
@@ -120,8 +161,8 @@ struct TrialScheduler::Impl {
   ~Impl() {
     drain();
     {
-      std::lock_guard<std::mutex> lock(queue_mu);
-      stopping = true;
+      HbLock lock(queue_mu, queue_hb);
+      qstate.write().stopping = true;
     }
     queue_cv.notify_all();
     for (std::thread& w : workers) w.join();
@@ -131,12 +172,18 @@ struct TrialScheduler::Impl {
 
   void drain() {
     std::unique_lock<std::mutex> lock(jobs_mu);
-    jobs_cv.wait(lock, [this] { return active.empty(); });
+    // raw() in the predicate: the cv re-checks before the hjcheck acquire
+    // could run; the checked read happens once the wait returns.
+    jobs_cv.wait(lock, [this] { return active.raw().empty(); });
+    jobs_hb.acquire();
+    (void)active.read();
+    jobs_hb.release();
   }
 
   // --- worker side ---------------------------------------------------------
 
-  void worker_body(int cpu) {
+  void worker_body(int index, int cpu) {
+    fault::sched::bind_thread(index);
     if (cpu >= 0) support::pin_current_thread(cpu);
     // The warm half of "no per-trial cold start": one arena for the thread's
     // whole lifetime. Every trial executed here draws its queue storage from
@@ -147,10 +194,19 @@ struct TrialScheduler::Impl {
       WorkUnit unit;
       {
         std::unique_lock<std::mutex> lock(queue_mu);
-        queue_cv.wait(lock, [this] { return stopping || !queue.empty(); });
-        if (queue.empty()) break;  // stopping, nothing left
-        unit = std::move(queue.front());
-        queue.pop_front();
+        queue_cv.wait(lock, [this] {
+          const QueueState& q = qstate.raw();  // see drain()
+          return q.stopping || !q.queue.empty();
+        });
+        queue_hb.acquire();
+        QueueState& q = qstate.write();
+        if (q.queue.empty()) {  // stopping, nothing left
+          queue_hb.release();
+          break;
+        }
+        unit = std::move(q.queue.front());
+        q.queue.pop_front();
+        queue_hb.release();
       }
       execute(unit);
       fault::heartbeat();
@@ -161,8 +217,8 @@ struct TrialScheduler::Impl {
     Job& job = *unit.job;
     bool cancelled;
     {
-      std::lock_guard<std::mutex> lock(job.mu);
-      cancelled = job.degraded;
+      HbLock lock(job.mu, job.hb);
+      cancelled = job.acct.read().degraded;
     }
     if (cancelled) {
       record_cancelled(unit);
@@ -225,9 +281,11 @@ struct TrialScheduler::Impl {
     if (packed) serve_metrics().trials_packed.increment();
     serve_metrics().trial_us.record(
         static_cast<std::uint64_t>(ms * 1e3));
-    std::lock_guard<std::mutex> lock(job.mu);
-    JobResult& r = job.result;
-    r.completed += 1;
+    HbLock lock(job.mu, job.hb);
+    JobResult& r = job.acct.write().result;
+    // Corrupting seeded defect (hjverify true positive): lose one completed
+    // increment; the admission ledger oracle flags the job at retirement.
+    if (!fault::should_inject(fault::Site::kTrialMiscount)) r.completed += 1;
     if (packed) r.packed_trials += 1;
     r.events_stats.add(static_cast<double>(result.events_processed));
     r.ms_stats.add(ms);
@@ -247,14 +305,15 @@ struct TrialScheduler::Impl {
   void record_cancelled(const WorkUnit& unit) {
     Job& job = *unit.job;
     serve_metrics().trials_failed.add(unit.count);
-    std::lock_guard<std::mutex> lock(job.mu);
-    job.result.failed += unit.count;
+    HbLock lock(job.mu, job.hb);
+    JobResult& r = job.acct.write().result;
+    r.failed += unit.count;
     if (config.keep_trials) {
       for (std::size_t i = 0; i < unit.count; ++i) {
         TrialOutcome o;
         o.index = job.trials[unit.first + i].index;
         o.ok = false;
-        job.result.outcomes.push_back(o);
+        r.outcomes.push_back(o);
       }
     }
   }
@@ -264,15 +323,38 @@ struct TrialScheduler::Impl {
     JobResult finished;
     bool done = false;
     {
-      std::lock_guard<std::mutex> lock(job.mu);
-      if (--job.units_remaining == 0) {
+      HbLock lock(job.mu, job.hb);
+      Job::Accounting& a = job.acct.write();
+      if (--a.units_remaining == 0) {
         done = true;
-        job.result.status =
-            job.degraded ? JobStatus::kDegraded : JobStatus::kOk;
-        job.result.elapsed_ms =
+#if defined(HJDES_CHECK_ENABLED)
+        // Admission/accounting oracle: every admitted trial retires exactly
+        // once (completed or failed); packed retirements are a subset of
+        // completions. A mismatch means an increment was lost or doubled
+        // (the kTrialMiscount seeded defect).
+        if (a.result.completed + a.result.failed != a.result.trials) {
+          check::invariant::report(
+              check::invariant::Oracle::kAdmission,
+              "job '" + a.result.id + "' retired " +
+                  std::to_string(a.result.completed) + " completed + " +
+                  std::to_string(a.result.failed) + " failed of " +
+                  std::to_string(a.result.trials) + " admitted trial(s)");
+        }
+        if (a.result.packed_trials > a.result.completed) {
+          check::invariant::report(
+              check::invariant::Oracle::kAdmission,
+              "job '" + a.result.id + "': " +
+                  std::to_string(a.result.packed_trials) +
+                  " packed trial(s) exceed " +
+                  std::to_string(a.result.completed) + " completion(s)");
+        }
+#endif
+        a.result.status =
+            a.degraded ? JobStatus::kDegraded : JobStatus::kOk;
+        a.result.elapsed_ms =
             std::chrono::duration<double, std::milli>(Clock::now() - job.start)
                 .count();
-        finished = job.result;
+        finished = a.result;
       }
     }
     if (!done) return;
@@ -282,8 +364,8 @@ struct TrialScheduler::Impl {
     }
     if (on_result) on_result(finished);
     {
-      std::lock_guard<std::mutex> lock(jobs_mu);
-      std::erase(active, unit.job);
+      HbLock lock(jobs_mu, jobs_hb);
+      std::erase(active.write(), unit.job);
     }
     jobs_cv.notify_all();
   }
@@ -298,20 +380,21 @@ struct TrialScheduler::Impl {
       const Clock::time_point now = Clock::now();
       std::vector<std::shared_ptr<Job>> snapshot;
       {
-        std::lock_guard<std::mutex> lock(jobs_mu);
-        snapshot = active;
+        HbLock lock(jobs_mu, jobs_hb);
+        snapshot = active.read();
       }
       for (const std::shared_ptr<Job>& job : snapshot) {
         if (!job->has_deadline || now < job->deadline) continue;
-        std::lock_guard<std::mutex> lock(job->mu);
-        if (job->degraded) continue;
-        job->degraded = true;
+        HbLock lock(job->mu, job->hb);
+        Job::Accounting& a = job->acct.write();
+        if (a.degraded) continue;
+        a.degraded = true;
         // The heartbeat board beats only while a tool-level watchdog has it
         // armed; when it is, a frozen board distinguishes "wedged" from
         // "merely slow" in the degrade reason.
         const bool stalled =
             fault::watchdog_armed() && beats == last_beats;
-        job->result.reason =
+        a.result.reason =
             "deadline " + std::to_string(job->spec.deadline_ms) +
             "ms exceeded; pending trials cancelled" +
             (stalled ? " (fleet heartbeats stalled)" : "");
@@ -366,20 +449,11 @@ struct TrialScheduler::Impl {
       return reject(a);
     }
 
-    {
-      std::lock_guard<std::mutex> lock(jobs_mu);
-      if (active.size() >= config.max_queued_jobs) {
-        a.reason = "queue full (" + std::to_string(active.size()) +
-                   " jobs in flight, cap " +
-                   std::to_string(config.max_queued_jobs) + ")";
-        return reject(a);
-      }
-      active.push_back(job);
-    }
-
+    // Fully initialize the job before publishing it to the monitor (via
+    // `active`) and to the workers (via the queue); after publication only
+    // the HbLock-guarded accounting cell may be touched. The lock edges
+    // order these writes before every consumer.
     job->trials = expand_trials(job->spec);
-    job->result.id = job->spec.id;
-    job->result.trials = job->trials.size();
     job->start = Clock::now();
     if (job->spec.deadline_ms > 0) {
       job->has_deadline = true;
@@ -414,11 +488,55 @@ struct TrialScheduler::Impl {
       units.push_back(std::move(unit));
       i += run;
     }
-    job->units_remaining = units.size();
+    {
+      Job::Accounting& acct = job->acct.write();
+      acct.result.id = job->spec.id;
+      acct.result.trials = job->trials.size();
+      acct.units_remaining = units.size();
+    }
+#if defined(HJDES_CHECK_ENABLED)
+    // Packed-batch accounting oracle: the carved units must cover each
+    // admitted trial exactly once.
+    {
+      std::size_t covered = 0;
+      for (const WorkUnit& u : units) covered += u.count;
+      if (covered != job->trials.size()) {
+        check::invariant::report(
+            check::invariant::Oracle::kAdmission,
+            "job '" + job->spec.id + "': work units cover " +
+                std::to_string(covered) + " of " +
+                std::to_string(job->trials.size()) + " trial(s)");
+      }
+    }
+#endif
 
     {
-      std::lock_guard<std::mutex> lock(queue_mu);
-      for (WorkUnit& u : units) queue.push_back(std::move(u));
+      HbLock lock(jobs_mu, jobs_hb);
+      std::vector<std::shared_ptr<Job>>& act = active.write();
+      if (act.size() >= config.max_queued_jobs) {
+        a.reason = "queue full (" + std::to_string(act.size()) +
+                   " jobs in flight, cap " +
+                   std::to_string(config.max_queued_jobs) + ")";
+        return reject(a);
+      }
+      act.push_back(job);
+#if defined(HJDES_CHECK_ENABLED)
+      // Admission oracle: the in-flight set may never exceed the cap the
+      // guard above enforces.
+      if (act.size() > config.max_queued_jobs) {
+        check::invariant::report(
+            check::invariant::Oracle::kAdmission,
+            "admitted job '" + job->spec.id + "' overflows the queue cap (" +
+                std::to_string(act.size()) + " > " +
+                std::to_string(config.max_queued_jobs) + ")");
+      }
+#endif
+    }
+
+    {
+      HbLock lock(queue_mu, queue_hb);
+      QueueState& q = qstate.write();
+      for (WorkUnit& u : units) q.queue.push_back(std::move(u));
     }
     queue_cv.notify_all();
     serve_metrics().jobs_accepted.increment();

@@ -24,6 +24,7 @@ struct CleanCase {
 class CheckEnginesClean : public ::testing::TestWithParam<CleanCase> {};
 
 circuit::Netlist make_circuit(const std::string& name) {
+  if (name == "mul6") return circuit::tree_multiplier(6);
   if (name == "mul12") return circuit::tree_multiplier(12);
   if (name == "ks64") return circuit::kogge_stone_adder(64);
   if (name == "ks128") return circuit::kogge_stone_adder(128);
@@ -68,7 +69,14 @@ INSTANTIATE_TEST_SUITE_P(
                       CleanCase{"ks128", "galois"},
                       CleanCase{"mul12", "partitioned"},
                       CleanCase{"ks64", "partitioned"},
-                      CleanCase{"ks128", "partitioned"}),
+                      CleanCase{"ks128", "partitioned"},
+                      // Time Warp runs the 64-bit adder at full paper scale;
+                      // the multiplier is scaled to 6 bits because mul12's
+                      // rollback cascades under the checked build blow any
+                      // reasonable test budget (same scaling the timewarp
+                      // equivalence tests use).
+                      CleanCase{"ks64", "timewarp"},
+                      CleanCase{"mul6", "timewarp"}),
     [](const ::testing::TestParamInfo<CleanCase>& info) {
       return info.param.circuit + "_" + info.param.engine;
     });

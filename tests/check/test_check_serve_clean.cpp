@@ -1,0 +1,96 @@
+// The serve-layer hjcheck acceptance property: a TrialScheduler working the
+// paper circuits (12-bit tree multiplier, 64-bit Kogge-Stone adder) through
+// its full worker pool — scalar and packed routing, parallel per-trial
+// engines, the deadline monitor — must complete with ZERO reported
+// violations on the checked queue/job/accounting state. Meaningful mostly
+// under -DHJDES_CHECK=ON; without it the accounting half still runs.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "serve/trial_scheduler.hpp"
+
+namespace hjdes::serve {
+namespace {
+
+struct ServeCase {
+  std::string circuit;  ///< JobSpec circuit ("gen:...")
+  std::string engine;   ///< per-trial des engine
+  bool pack;            ///< allow 64-lane packed replication routing
+};
+
+class CheckServeClean : public ::testing::TestWithParam<ServeCase> {};
+
+TEST_P(CheckServeClean, ZeroViolationsThroughWorkerPool) {
+  const ServeCase& c = GetParam();
+
+  check::reset();
+  check::lockorder::reset_graph();
+
+  std::atomic<std::size_t> callbacks{0};
+  std::vector<JobResult> results(2);
+  {
+    SchedulerConfig config;
+    config.workers = 4;
+    config.poll_ms = 5;
+    TrialScheduler scheduler(config, [&](const JobResult& r) {
+      const std::size_t slot = callbacks.fetch_add(1);
+      ASSERT_LT(slot, results.size());
+      results[slot] = r;
+    });
+
+    // Two concurrent jobs keep the queue, the active-job set and the
+    // per-job accounting all contended at once.
+    for (int j = 0; j < 2; ++j) {
+      JobSpec spec;
+      spec.id = "clean-" + std::to_string(j);
+      spec.circuit = c.circuit;
+      spec.engine = c.engine;
+      spec.workers = c.engine == "seq" ? 1 : 2;
+      spec.replications = 6;
+      spec.seed = 17 + static_cast<std::uint64_t>(j);
+      spec.vectors = 2;
+      spec.interval = 60;
+      spec.pack = c.pack;
+      Admission admission = scheduler.submit(spec);
+      ASSERT_TRUE(admission.accepted) << admission.reason;
+    }
+    scheduler.drain();
+  }  // ~TrialScheduler joins the workers and the monitor
+
+  check::lockorder::verify_no_cycles();
+  EXPECT_EQ(check::violation_count(), 0u) << [] {
+    std::string all;
+    for (const std::string& m : check::violation_messages()) {
+      all += m;
+      all += '\n';
+    }
+    return all;
+  }();
+
+  ASSERT_EQ(callbacks.load(), 2u);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.reason;
+    EXPECT_EQ(r.completed, r.trials);
+    EXPECT_EQ(r.failed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCircuits, CheckServeClean,
+    ::testing::Values(ServeCase{"gen:mul12", "seq", true},
+                      ServeCase{"gen:mul12", "hj", false},
+                      ServeCase{"gen:ks64", "seq", true},
+                      ServeCase{"gen:ks64", "partitioned", false}),
+    [](const ::testing::TestParamInfo<ServeCase>& info) {
+      std::string name = info.param.circuit.substr(4) + "_" +
+                         info.param.engine +
+                         (info.param.pack ? "_packed" : "_scalar");
+      return name;
+    });
+
+}  // namespace
+}  // namespace hjdes::serve

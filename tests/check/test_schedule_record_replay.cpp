@@ -1,0 +1,185 @@
+// The hjverify schedule-exploration controller (fault/schedule.hpp):
+// record-mode decision streams must round-trip through a trace file and
+// replay bit-exactly, unmasked sites and unbound threads must never consume
+// a decision, and malformed trace files must be rejected with a reason.
+// Compiled in only under -DHJDES_CHECK=ON or -DHJDES_FAULT=ON; plain builds
+// skip every test here.
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/schedule.hpp"
+
+namespace hjdes::fault {
+namespace {
+
+class ScheduleRecordReplay : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!sched::compiled_in()) {
+      GTEST_SKIP() << "schedule controller not compiled in";
+    }
+    sched::bind_thread(0);
+  }
+  void TearDown() override {
+    if (sched::compiled_in()) sched::stop();
+    sched::bind_thread(0);
+  }
+
+  static std::string temp_trace(const char* name) {
+    return std::string(::testing::TempDir()) + name;
+  }
+
+  // Consult one site n times and capture the decision sequence.
+  static std::vector<bool> consult(Site site, int n) {
+    std::vector<bool> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(should_inject(site));
+    return out;
+  }
+};
+
+TEST_F(ScheduleRecordReplay, RecordedDecisionsReplayBitExactly) {
+  const std::string path = temp_trace("rr_roundtrip.trace");
+  ASSERT_TRUE(sched::start_record(42, sched::Strategy::kWalk, 500000,
+                                  site_bit(Site::kSpscPush)));
+  const std::vector<bool> recorded = consult(Site::kSpscPush, 256);
+  sched::stop();
+  EXPECT_EQ(sched::decisions_total(), 256u);
+
+  // At 50% over 256 decisions, both outcomes appear (P(miss) ~ 2^-255).
+  EXPECT_NE(std::count(recorded.begin(), recorded.end(), true), 0);
+  EXPECT_NE(std::count(recorded.begin(), recorded.end(), false), 0);
+
+  ASSERT_TRUE(sched::save_trace(path));
+  std::string error;
+  ASSERT_TRUE(sched::load_trace(path, &error)) << error;
+  ASSERT_TRUE(sched::start_replay());
+  const std::vector<bool> replayed = consult(Site::kSpscPush, 256);
+  sched::stop();
+  EXPECT_EQ(replayed, recorded);
+
+  // Past the end of the recorded stream, replay answers false.
+  ASSERT_TRUE(sched::load_trace(path, &error)) << error;
+  ASSERT_TRUE(sched::start_replay());
+  (void)consult(Site::kSpscPush, 256);
+  EXPECT_FALSE(should_inject(Site::kSpscPush));
+  sched::stop();
+}
+
+TEST_F(ScheduleRecordReplay, PctStrategyRoundTrips) {
+  const std::string path = temp_trace("rr_pct.trace");
+  ASSERT_TRUE(sched::start_record(7, sched::Strategy::kPct, 200000,
+                                  site_bit(Site::kWorkerYield)));
+  // Span several PCT bursts so at least one re-roll lands mid-sequence.
+  const std::vector<bool> recorded = consult(Site::kWorkerYield, 1024);
+  sched::stop();
+  ASSERT_TRUE(sched::save_trace(path));
+
+  std::string error;
+  ASSERT_TRUE(sched::load_trace(path, &error)) << error;
+  ASSERT_TRUE(sched::start_replay());
+  const std::vector<bool> replayed = consult(Site::kWorkerYield, 1024);
+  sched::stop();
+  EXPECT_EQ(replayed, recorded);
+}
+
+TEST_F(ScheduleRecordReplay, SameSeedSameSchedule) {
+  ASSERT_TRUE(sched::start_record(99, sched::Strategy::kWalk, 300000,
+                                  site_bit(Site::kBatchFlush)));
+  const std::vector<bool> first = consult(Site::kBatchFlush, 128);
+  sched::stop();
+  ASSERT_TRUE(sched::start_record(99, sched::Strategy::kWalk, 300000,
+                                  site_bit(Site::kBatchFlush)));
+  const std::vector<bool> second = consult(Site::kBatchFlush, 128);
+  sched::stop();
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(ScheduleRecordReplay, UnmaskedSiteDoesNotConsumeDecisions) {
+  ASSERT_TRUE(sched::start_record(1, sched::Strategy::kWalk, 500000,
+                                  site_bit(Site::kSpscPush)));
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(should_inject(Site::kWorkerYield));
+  }
+  EXPECT_EQ(sched::decisions_total(), 0u);
+  (void)consult(Site::kSpscPush, 8);
+  EXPECT_EQ(sched::decisions_total(), 8u);
+  sched::stop();
+}
+
+TEST_F(ScheduleRecordReplay, UnboundThreadNeverParticipates) {
+  ASSERT_TRUE(sched::start_record(1, sched::Strategy::kWalk, 500000,
+                                  site_bit(Site::kSpscPush)));
+  sched::bind_thread(-1);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(should_inject(Site::kSpscPush));
+  }
+  EXPECT_EQ(sched::decisions_total(), 0u);
+  sched::bind_thread(0);
+  sched::stop();
+}
+
+TEST_F(ScheduleRecordReplay, MultipleOrdinalsKeepSeparateStreams) {
+  const std::string path = temp_trace("rr_streams.trace");
+  ASSERT_TRUE(sched::start_record(5, sched::Strategy::kWalk, 500000,
+                                  site_bit(Site::kSpscPush)));
+  sched::bind_thread(0);
+  const std::vector<bool> rec0 = consult(Site::kSpscPush, 96);
+  sched::bind_thread(3);
+  const std::vector<bool> rec3 = consult(Site::kSpscPush, 40);
+  sched::stop();
+  ASSERT_TRUE(sched::save_trace(path));
+
+  std::string error;
+  ASSERT_TRUE(sched::load_trace(path, &error)) << error;
+  ASSERT_TRUE(sched::start_replay());
+  sched::bind_thread(0);
+  EXPECT_EQ(consult(Site::kSpscPush, 96), rec0);
+  sched::bind_thread(3);
+  EXPECT_EQ(consult(Site::kSpscPush, 40), rec3);
+  sched::stop();
+  sched::bind_thread(0);
+}
+
+TEST_F(ScheduleRecordReplay, LoadRejectsMissingAndMalformedTraces) {
+  std::string error;
+  EXPECT_FALSE(sched::load_trace(temp_trace("rr_nonexistent.trace"), &error));
+  EXPECT_FALSE(error.empty());
+
+  const std::string bad = temp_trace("rr_malformed.trace");
+  {
+    std::ofstream out(bad);
+    out << "not a schedule trace\n";
+  }
+  error.clear();
+  EXPECT_FALSE(sched::load_trace(bad, &error));
+  EXPECT_FALSE(error.empty());
+
+  const std::string truncated = temp_trace("rr_truncated.trace");
+  {
+    std::ofstream out(truncated);
+    out << "hjdes-schedule-trace v1\n"
+        << "meta seed=1 strategy=walk rate=100 sites=1\n"
+        << "stream 0 8 ff\n";  // missing "end"
+  }
+  error.clear();
+  EXPECT_FALSE(sched::load_trace(truncated, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ScheduleRecordReplay, SummaryNamesModeAndStrategy) {
+  ASSERT_TRUE(sched::start_record(2, sched::Strategy::kWalk, 250000,
+                                  site_bit(Site::kSpscPush)));
+  (void)consult(Site::kSpscPush, 16);
+  sched::stop();
+  const std::string s = sched::summary();
+  EXPECT_NE(s.find("record"), std::string::npos) << s;
+  EXPECT_NE(s.find("walk"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace hjdes::fault

@@ -1,0 +1,221 @@
+#pragma once
+// Deterministic schedule exploration shared by hjdes_sim (--explore /
+// --replay) and the hjdes_explore driver: run N seeded schedules with the
+// hjverify oracles armed, compare every run against the sequential
+// reference, and on the first violating schedule save the decision trace so
+// it can be replayed bit-exactly with --replay=<file>. See docs/ANALYSIS.md
+// ("Schedule exploration") for the workflow.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/check.hpp"
+#include "des/engines.hpp"
+#include "fault/fault.hpp"
+#include "support/cli.hpp"
+
+namespace hjdes::tool {
+
+/// Sites perturbed by default: the benign yield/flush/push points — they
+/// reorder work across threads without corrupting any protocol, so a clean
+/// engine must stay violation-free and bit-identical under all of them.
+inline std::uint32_t default_explore_sites() noexcept {
+  return fault::site_bit(fault::Site::kSpscPush) |
+         fault::site_bit(fault::Site::kBatchFlush) |
+         fault::site_bit(fault::Site::kWorkerYield);
+}
+
+struct ExploreOptions {
+  int schedules = 64;
+  std::uint64_t seed = 1;  ///< schedule s records under seed + s
+  fault::sched::Strategy strategy = fault::sched::Strategy::kWalk;
+  std::uint32_t rate_ppm = 200000;
+  std::uint32_t site_mask = 0;  ///< 0 = default_explore_sites()
+  std::string trace_path = "hjdes-schedule.trace";
+};
+
+/// The exploration-controller flags both tools understand (--explore itself
+/// and --schedules stay tool-specific).
+inline const FlagTable& explore_flags() {
+  static const FlagTable table{
+      {"explore-seed", "S", "base schedule seed (default 1)"},
+      {"explore-rate", "PPM", "perturbation rate per decision site "
+                              "(default 200000)"},
+      {"explore-strategy", "NAME", "walk or pct (default walk)"},
+      {"explore-sites", "SPEC", "comma-separated site names or 0xMASK "
+                                "(default spsc_push,batch_flush,worker_yield)"},
+      {"explore-trace", "FILE", "where to save a violating schedule "
+                                "(default hjdes-schedule.trace)"},
+      {"replay", "FILE", "replay a recorded schedule trace bit-exactly"},
+  };
+  return table;
+}
+
+/// "spsc_push,worker_yield" or "0x9" -> site mask. False + *error on junk.
+inline bool parse_site_spec(const std::string& spec, std::uint32_t* mask,
+                            std::string* error) {
+  if (spec.rfind("0x", 0) == 0 || spec.rfind("0X", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(spec.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || v == 0) {
+      *error = "bad --explore-sites mask '" + spec + "'";
+      return false;
+    }
+    *mask = static_cast<std::uint32_t>(v);
+    return true;
+  }
+  std::uint32_t m = 0;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string name = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    fault::Site site;
+    if (!fault::site_from_name(name, &site)) {
+      *error = "unknown fault site '" + name + "' in --explore-sites";
+      return false;
+    }
+    m |= fault::site_bit(site);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  *mask = m;
+  return true;
+}
+
+inline bool explore_options_from_cli(const Cli& cli, ExploreOptions* opt,
+                                     std::string* error) {
+  opt->seed = static_cast<std::uint64_t>(cli.get_int("explore-seed", 1));
+  opt->rate_ppm = static_cast<std::uint32_t>(
+      cli.get_int("explore-rate", static_cast<std::int64_t>(opt->rate_ppm)));
+  const std::string strat = cli.get("explore-strategy", "walk");
+  if (!fault::sched::strategy_from_name(strat, &opt->strategy)) {
+    *error = "unknown --explore-strategy '" + strat + "' (walk, pct)";
+    return false;
+  }
+  if (cli.has("explore-sites")) {
+    if (!parse_site_spec(cli.get("explore-sites", ""), &opt->site_mask,
+                         error)) {
+      return false;
+    }
+  }
+  opt->trace_path = cli.get("explore-trace", opt->trace_path);
+  return true;
+}
+
+/// One engine run with the full oracle battery armed: reset hjcheck, run,
+/// verify the lock graph, return the violation total.
+inline std::uint64_t checked_run(const des::SimInput& input,
+                                 const des::EngineInfo& engine,
+                                 const des::RunConfig& config,
+                                 des::SimResult* out) {
+  check::reset();
+  check::lockorder::reset_graph();
+  *out = engine.run(input, config);
+  check::lockorder::verify_no_cycles();
+  return check::violation_count();
+}
+
+inline void print_violation_messages() {
+  for (const std::string& m : check::violation_messages()) {
+    std::printf("  %s\n", m.c_str());
+  }
+}
+
+/// Explore opt.schedules seeded schedules of `engine` on `input`. Returns 0
+/// when every schedule is violation-free and bit-identical to sequential;
+/// on the first failure saves the trace to opt.trace_path and returns 1.
+/// Returns 2 when the schedule controller is not compiled in.
+inline int explore_circuit(const des::SimInput& input,
+                           const des::EngineInfo& engine,
+                           const des::RunConfig& config,
+                           const ExploreOptions& opt, const char* label) {
+  if (!fault::sched::compiled_in()) {
+    std::fprintf(stderr,
+                 "error: schedule exploration not compiled in (reconfigure "
+                 "with -DHJDES_CHECK=ON or -DHJDES_FAULT=ON)\n");
+    return 2;
+  }
+  const std::uint32_t sites =
+      opt.site_mask != 0 ? opt.site_mask : default_explore_sites();
+  const des::SimResult ref = des::run_sequential(input);
+  std::uint64_t decisions = 0;
+  std::uint64_t injected = 0;
+  for (int s = 0; s < opt.schedules; ++s) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(s);
+    fault::sched::start_record(seed, opt.strategy, opt.rate_ppm, sites);
+    des::SimResult result;
+    const std::uint64_t violations =
+        checked_run(input, engine, config, &result);
+    fault::sched::stop();
+    decisions += fault::sched::decisions_total();
+    injected += fault::sched::injected_total();
+    const bool mismatch = !des::same_behaviour(ref, result);
+    if (violations != 0 || mismatch) {
+      std::printf("explore[%s]: schedule %d (seed %llu) FAILED — "
+                  "%llu violation(s)%s\n",
+                  label, s, static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(violations),
+                  mismatch ? ", result diverges from sequential" : "");
+      print_violation_messages();
+      if (mismatch) {
+        std::printf("  %s\n", des::diff_behaviour(ref, result).c_str());
+      }
+      if (fault::sched::save_trace(opt.trace_path)) {
+        std::printf("  schedule trace saved to %s — replay bit-exactly "
+                    "with --replay=%s\n",
+                    opt.trace_path.c_str(), opt.trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write schedule trace to %s\n",
+                     opt.trace_path.c_str());
+      }
+      return 1;
+    }
+  }
+  std::printf("explore[%s]: %d schedules (%s, rate %u ppm) clean — "
+              "%llu decisions, %llu perturbations, bit-identical throughout\n",
+              label, opt.schedules,
+              fault::sched::strategy_name(opt.strategy), opt.rate_ppm,
+              static_cast<unsigned long long>(decisions),
+              static_cast<unsigned long long>(injected));
+  return 0;
+}
+
+/// Replay a recorded schedule trace bit-exactly and re-run the oracle
+/// battery. Exit codes mirror explore_circuit.
+inline int replay_circuit(const des::SimInput& input,
+                          const des::EngineInfo& engine,
+                          const des::RunConfig& config,
+                          const std::string& trace_path) {
+  if (!fault::sched::compiled_in()) {
+    std::fprintf(stderr,
+                 "error: schedule replay not compiled in (reconfigure with "
+                 "-DHJDES_CHECK=ON or -DHJDES_FAULT=ON)\n");
+    return 2;
+  }
+  std::string error;
+  if (!fault::sched::load_trace(trace_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!fault::sched::start_replay()) return 2;
+  des::SimResult result;
+  const std::uint64_t violations = checked_run(input, engine, config, &result);
+  fault::sched::stop();
+  const des::SimResult ref = des::run_sequential(input);
+  const bool mismatch = !des::same_behaviour(ref, result);
+  std::printf("replay[%s]: %llu decision(s) consumed, %llu violation(s)%s\n",
+              trace_path.c_str(),
+              static_cast<unsigned long long>(fault::sched::decisions_total()),
+              static_cast<unsigned long long>(violations),
+              mismatch ? ", result diverges from sequential" : "");
+  print_violation_messages();
+  if (mismatch) {
+    std::printf("  %s\n", des::diff_behaviour(ref, result).c_str());
+  }
+  return violations != 0 || mismatch ? 1 : 0;
+}
+
+}  // namespace hjdes::tool

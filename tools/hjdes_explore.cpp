@@ -1,0 +1,176 @@
+// hjdes_explore — deterministic schedule exploration over the paper
+// circuits.
+//
+//   hjdes_explore [--circuits LIST] [--engines LIST] [--schedules N]
+//                 [--workers N] [--vectors N] [--interval T] [--seed S]
+//                 [explore flags, see usage]
+//
+// For every (circuit, engine, strategy) combination this runs N seeded
+// schedules with the hjverify protocol oracles armed (tools/
+// explore_common.hpp): each run perturbs the engine's yield/flush/push
+// decision points from a recorded per-thread decision stream, re-checks
+// every invariant, and compares the result bit-for-bit against the
+// sequential engine. The first violating schedule is saved as a trace file
+// and the command to replay it bit-exactly is printed. Both strategies are
+// swept by default: "walk" (uniform biased coin) and "pct" (per-thread
+// priority perturbation — a few streams fire far more often than the rest).
+//
+// Defaults (2 circuits x 2 engines x 2 strategies x 16 schedules = 128
+// checked runs) fit the CI explore-smoke budget; --circuits mul12
+// --schedules 16 is the quick 64-run smoke.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/engines.hpp"
+#include "support/cli.hpp"
+#include "explore_common.hpp"
+#include "tool_common.hpp"
+
+using namespace hjdes;
+
+namespace {
+
+const FlagTable& explore_tool_flags() {
+  static const FlagTable table = [] {
+    FlagTable t{
+        {"circuits", "LIST", "comma-separated gen names (default mul12,ks64)"},
+        {"engines", "LIST", "comma-separated engines (default hj,partitioned)"},
+        {"schedules", "N", "schedules per (circuit, engine, strategy) "
+                           "combination (default 16)"},
+        {"workers", "N", "worker threads per run (default 4)"},
+        {"vectors", "N", "random stimulus vectors (default 2)"},
+        {"interval", "T", "random stimulus spacing (default 60)"},
+        {"seed", "S", "random stimulus seed (default 911)"},
+    };
+    t.add_all(tool::explore_flags());
+    t.add_all(tool::common_flags());
+    return t;
+  }();
+  return table;
+}
+
+int usage(const char* prog) {
+  std::fprintf(stderr, "usage: %s [options]\n%s", prog,
+               explore_tool_flags().usage().c_str());
+  return 2;
+}
+
+std::vector<std::string> split_list(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', pos);
+    out.push_back(spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+circuit::Netlist make_circuit(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name.rfind("ks", 0) == 0) {
+    return circuit::kogge_stone_adder(std::atoi(name.c_str() + 2));
+  }
+  if (name.rfind("mul", 0) == 0) {
+    return circuit::tree_multiplier(std::atoi(name.c_str() + 3));
+  }
+  if (name.rfind("ripple", 0) == 0) {
+    return circuit::ripple_carry_adder(std::atoi(name.c_str() + 6));
+  }
+  *ok = false;
+  return circuit::kogge_stone_adder(8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (cli.has("help")) return usage(argv[0]);
+  tool::warn_unknown_flags(cli, explore_tool_flags());
+
+  tool::ExploreOptions opt;
+  std::string error;
+  if (!tool::explore_options_from_cli(cli, &opt, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  opt.schedules = static_cast<int>(cli.get_int("schedules", 16));
+  if (opt.schedules < 1) {
+    std::fprintf(stderr, "error: --schedules needs at least 1\n");
+    return 2;
+  }
+
+  const std::vector<std::string> circuits =
+      split_list(cli.get("circuits", "mul12,ks64"));
+  const std::vector<std::string> engines =
+      split_list(cli.get("engines", "hj,partitioned"));
+  // --explore-strategy narrows the sweep to one strategy; the default sweeps
+  // both so uniform and priority-skewed interleavings are covered.
+  std::vector<fault::sched::Strategy> strategies;
+  if (cli.has("explore-strategy")) {
+    strategies.push_back(opt.strategy);
+  } else {
+    strategies = {fault::sched::Strategy::kWalk,
+                  fault::sched::Strategy::kPct};
+  }
+
+  des::RunConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers", 4));
+
+  int combos = 0;
+  for (const std::string& circuit_name : circuits) {
+    bool ok = false;
+    circuit::Netlist netlist = make_circuit(circuit_name, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "error: unknown circuit '%s' (ks<bits>, "
+                   "mul<bits>, ripple<bits>)\n", circuit_name.c_str());
+      return 2;
+    }
+    const circuit::Stimulus stimulus = circuit::random_stimulus(
+        netlist, static_cast<std::size_t>(cli.get_int("vectors", 2)),
+        cli.get_int("interval", 60),
+        static_cast<std::uint64_t>(cli.get_int("seed", 911)));
+    const des::SimInput input(netlist, stimulus);
+    for (const std::string& engine_name : engines) {
+      const des::EngineInfo* engine = des::find_engine(engine_name);
+      if (engine == nullptr) {
+        std::fprintf(stderr, "error: unknown engine '%s' (%s)\n",
+                     engine_name.c_str(), des::engine_list().c_str());
+        return 2;
+      }
+      for (fault::sched::Strategy strategy : strategies) {
+        tool::ExploreOptions combo = opt;
+        combo.strategy = strategy;
+        const std::string label =
+            circuit_name + "/" + engine_name + "/" +
+            fault::sched::strategy_name(strategy);
+        const int rc = tool::explore_circuit(input, *engine, config, combo,
+                                             label.c_str());
+        if (rc != 0) {
+          if (rc == 1) {
+            std::printf(
+                "replay with: hjdes_sim --circuit gen:%s --engine %s "
+                "--random-vectors %lld --interval %lld --seed %lld "
+                "--workers %d --replay=%s\n",
+                circuit_name.c_str(), engine_name.c_str(),
+                static_cast<long long>(cli.get_int("vectors", 2)),
+                static_cast<long long>(cli.get_int("interval", 60)),
+                static_cast<long long>(cli.get_int("seed", 911)),
+                config.workers, combo.trace_path.c_str());
+          }
+          return rc;
+        }
+        ++combos;
+      }
+    }
+  }
+  std::printf("explore: %d combination(s) x %d schedules clean\n", combos,
+              opt.schedules);
+  if (!tool::dump_metrics_if_requested(cli)) return 1;
+  return 0;
+}

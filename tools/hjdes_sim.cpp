@@ -36,6 +36,7 @@
 #include "serve/trial_scheduler.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
+#include "explore_common.hpp"
 #include "tool_common.hpp"
 
 using namespace hjdes;
@@ -60,7 +61,10 @@ const FlagTable& sim_flags() {
         {"dot", "FILE", "write the netlist as DOT (colored by partition)"},
         {"profile", "", "print the available-parallelism profile"},
         {"verify", "", "cross-check against the sequential engine"},
+        {"explore", "N", "run N seeded schedules with the hjverify oracles "
+                         "armed; save + report the first violating one"},
     };
+    t.add_all(tool::explore_flags());
     t.add_all(des::run_config_flags());
     t.add_all(tool::common_flags());
     return t;
@@ -232,6 +236,28 @@ int main(int argc, char** argv) {
   }
   des::SimInput input(netlist, stimulus);
   std::printf("stimulus: %zu initial events\n", input.total_initial_events());
+
+  // --explore=N / --replay=FILE: deterministic schedule exploration with the
+  // hjverify oracles armed (tools/explore_common.hpp).
+  if (cli.has("explore") || cli.has("replay")) {
+    tool::ExploreOptions opt;
+    std::string error;
+    if (!tool::explore_options_from_cli(cli, &opt, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    if (cli.has("replay")) {
+      return tool::replay_circuit(input, *engine, config,
+                                  cli.get("replay", ""));
+    }
+    opt.schedules = static_cast<int>(cli.get_int("explore", 64));
+    if (opt.schedules < 1) {
+      std::fprintf(stderr, "error: --explore needs at least 1 schedule\n");
+      return 2;
+    }
+    return tool::explore_circuit(input, *engine, config, opt,
+                                 engine_name.c_str());
+  }
 
   // --lanes N: one bit-parallel pass retiring N stimulus lanes at once.
   // Lane 0 is the stimulus above (file or random); lanes 1..N-1 re-seed the

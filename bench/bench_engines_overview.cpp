@@ -14,11 +14,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "des/lp_engines.hpp"
+#include "des/model_registry.hpp"
 #include "des/packed_engine.hpp"
 #include "serve/trial_scheduler.hpp"
 #include "support/event_arena.hpp"
@@ -259,6 +262,46 @@ void print_core_trajectory() {
         },
         reps);
     record("multiplier-12bit", "serve-sched-packed", ss, serve_events);
+  }
+
+  // Generic LP-model cells: PHOLD and M/M/1 through the workload-agnostic
+  // model interface (--model), sequential and hj at 4 workers. A model
+  // instance is single-use (a run consumes its state), so each iteration
+  // rebuilds from the registry — construction is a few allocations against
+  // tens of thousands of simulated events, so the cell still measures the
+  // engine. These cells gate the LP dispatch path the same way the circuit
+  // cells gate the event core.
+  {
+    struct ModelPoint {
+      const char* model;
+      const char* params;
+    };
+    for (const ModelPoint& mp :
+         {ModelPoint{"phold",
+                     "lps=256,pop=4,remote=50,lookahead=4,spread=16,end=1000"},
+          ModelPoint{"mm1", "stations=8,arrive=4,service=3,end=8000"}}) {
+      std::string error;
+      des::ModelResult last;
+      Summary sq = measure(
+          [&] {
+            std::unique_ptr<des::Model> m =
+                des::make_model(mp.model, mp.params, 1, &error);
+            last = des::run_model_sequential(*m);
+          },
+          reps);
+      record(mp.model, "lp-seq", sq, last.events_processed);
+
+      Summary sh = measure(
+          [&] {
+            std::unique_ptr<des::Model> m =
+                des::make_model(mp.model, mp.params, 1, &error);
+            des::ModelEngineConfig cfg;
+            cfg.workers = 4;
+            last = des::run_model_hj(*m, cfg);
+          },
+          reps);
+      record(mp.model, "lp-hj4", sh, last.events_processed);
+    }
   }
 
   std::printf("%s\n", t.render().c_str());

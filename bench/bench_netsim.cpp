@@ -69,34 +69,45 @@ void print_tables() {
   TextTable t;
   t.header({"workload", "engine", "min ms", "events", "nulls/event",
             "delivered"});
+  // Dispatch through the netsim registry (netsim/engines.hpp): the first
+  // entry is the sequential reference, every workers-honoring entry gets a
+  // scaling sweep cross-checked against it.
+  const ns::NetEngineInfo& reference = ns::engines().front();
   for (NetWorkload& w : net_workloads()) {
     ns::NetSimResult ref;
     Summary sg = measure(
-        [&] { ref = ns::run_global_list(w.topo, w.traffic, w.end_time); },
+        [&] {
+          ref = reference.run(w.topo, w.traffic, w.end_time,
+                              ns::NetEngineConfig{});
+        },
         reps);
-    t.row({w.name, "global list", TextTable::fmt(sg.min * 1e3),
+    t.row({w.name, std::string(reference.name), TextTable::fmt(sg.min * 1e3),
            TextTable::fmt_int(static_cast<long long>(ref.events_processed)),
            "-",
            TextTable::fmt_int(static_cast<long long>(ref.delivered_count()))});
-    for (int workers : worker_counts()) {
-      ns::NetSimResult r;
-      Summary sc = measure(
-          [&] {
-            r = ns::run_cmb(w.topo, w.traffic, w.end_time,
-                            ns::CmbConfig{.workers = workers});
-          },
-          reps);
-      const bool ok = ns::same_behaviour(ref, r);
-      t.row({w.name, "cmb w=" + std::to_string(workers) +
-                         (ok ? "" : " MISMATCH!"),
-             TextTable::fmt(sc.min * 1e3),
-             TextTable::fmt_int(static_cast<long long>(r.events_processed)),
-             TextTable::fmt(static_cast<double>(r.null_messages) /
-                                static_cast<double>(r.events_processed
-                                                        ? r.events_processed
-                                                        : 1),
-                            2),
-             TextTable::fmt_int(static_cast<long long>(r.delivered_count()))});
+    for (const ns::NetEngineInfo& eng : ns::engines()) {
+      if (!eng.honors_workers) continue;
+      for (int workers : worker_counts()) {
+        ns::NetSimResult r;
+        Summary sc = measure(
+            [&] {
+              r = eng.run(w.topo, w.traffic, w.end_time,
+                          ns::NetEngineConfig{.workers = workers});
+            },
+            reps);
+        const bool ok = ns::same_behaviour(ref, r);
+        t.row({w.name, std::string(eng.name) + " w=" +
+                           std::to_string(workers) + (ok ? "" : " MISMATCH!"),
+               TextTable::fmt(sc.min * 1e3),
+               TextTable::fmt_int(static_cast<long long>(r.events_processed)),
+               TextTable::fmt(static_cast<double>(r.null_messages) /
+                                  static_cast<double>(r.events_processed
+                                                          ? r.events_processed
+                                                          : 1),
+                              2),
+               TextTable::fmt_int(
+                   static_cast<long long>(r.delivered_count()))});
+      }
     }
   }
   std::printf("%s\n", t.render().c_str());

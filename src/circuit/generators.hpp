@@ -4,6 +4,7 @@
 // tests and ablations.
 
 #include <cstdint>
+#include <string_view>
 
 #include "circuit/netlist.hpp"
 
@@ -51,5 +52,12 @@ Netlist inverter_chain(int length);
 /// One input fanning out through `depth` levels of `fanout`-way buffer trees
 /// to fanout^depth outputs. Maximal available parallelism.
 Netlist buffer_tree(int depth, int fanout);
+
+/// Build a netlist from a generator spec — "ks<bits>" (Kogge-Stone adder),
+/// "mul<bits>" (tree multiplier) or "ripple<bits>" (ripple-carry adder), the
+/// names `hjdes_sim --circuit gen:NAME` accepts. Returns false on an unknown
+/// name or a non-positive width, leaving *out untouched. The single parser
+/// shared by the CLI tools and the circuit model factory.
+bool make_generated(std::string_view name, Netlist* out);
 
 }  // namespace hjdes::circuit

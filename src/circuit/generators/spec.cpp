@@ -1,0 +1,44 @@
+#include <string_view>
+
+#include "circuit/generators.hpp"
+
+namespace hjdes::circuit {
+namespace {
+
+/// Parse the decimal width after a generator prefix; 0 on malformed input.
+int width_after(std::string_view name, std::size_t prefix) {
+  int bits = 0;
+  if (prefix >= name.size()) return 0;
+  for (char c : name.substr(prefix)) {
+    if (c < '0' || c > '9') return 0;
+    bits = bits * 10 + (c - '0');
+    if (bits > 4096) return 0;  // reject absurd widths before allocating
+  }
+  return bits;
+}
+
+}  // namespace
+
+bool make_generated(std::string_view name, Netlist* out) {
+  if (name.rfind("ks", 0) == 0) {
+    const int bits = width_after(name, 2);
+    if (bits <= 0) return false;
+    *out = kogge_stone_adder(bits);
+    return true;
+  }
+  if (name.rfind("mul", 0) == 0) {
+    const int bits = width_after(name, 3);
+    if (bits <= 0) return false;
+    *out = tree_multiplier(bits);
+    return true;
+  }
+  if (name.rfind("ripple", 0) == 0) {
+    const int bits = width_after(name, 6);
+    if (bits <= 0) return false;
+    *out = ripple_carry_adder(bits);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hjdes::circuit

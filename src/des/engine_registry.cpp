@@ -1,6 +1,7 @@
 #include <optional>
 
 #include "des/engines.hpp"
+#include "des/lp_engines.hpp"
 #include "des/packed_engine.hpp"
 #include "support/event_arena.hpp"
 
@@ -71,16 +72,42 @@ SimResult run_partitioned_entry(const SimInput& input, const RunConfig& opt) {
   return run_partitioned(input, cfg);
 }
 
+// Generic logical-process entry points (des/lp_engines.hpp): map the shared
+// RunConfig knobs onto a ModelEngineConfig. Knobs with no LP-side meaning
+// were already validated away (run_config.cpp's --model rules).
+ModelEngineConfig model_config(const RunConfig& opt) {
+  ModelEngineConfig cfg;
+  cfg.workers = opt.workers;
+  cfg.parts = opt.parts;
+  cfg.partitioner = opt.partitioner;
+  cfg.pin = opt.pin;
+  return cfg;
+}
+
+ModelResult run_model_seq_entry(Model& model, const RunConfig& opt) {
+  return run_model_sequential(model, model_config(opt));
+}
+
+ModelResult run_model_hj_entry(Model& model, const RunConfig& opt) {
+  return run_model_hj(model, model_config(opt));
+}
+
+ModelResult run_model_partitioned_entry(Model& model, const RunConfig& opt) {
+  return run_model_partitioned(model, model_config(opt));
+}
+
 // Capability sets, named so the table below reads like the docs.
 constexpr EngineCaps kCapsNone{};
 constexpr EngineCaps kCapsSeq{.honors_arenas = true,
                               .honors_queue = true,
-                              .honors_bitparallel = true};
+                              .honors_bitparallel = true,
+                              .supports_models = true};
 constexpr EngineCaps kCapsHj{.honors_workers = true,
                              .honors_pinning = true,
                              .honors_arenas = true,
                              .honors_input_batch = true,
-                             .honors_queue = true};
+                             .honors_queue = true,
+                             .supports_models = true};
 constexpr EngineCaps kCapsWorkersOnly{.honors_workers = true};
 constexpr EngineCaps kCapsTimewarp{.honors_workers = true,
                                    .honors_pinning = true,
@@ -91,21 +118,23 @@ constexpr EngineCaps kCapsPartitioned{.honors_workers = true,
                                       .honors_pinning = true,
                                       .honors_batching = true,
                                       .honors_arenas = true,
-                                      .honors_queue = true};
+                                      .honors_queue = true,
+                                      .supports_models = true};
 
 constexpr EngineInfo kEngines[] = {
     {"seq", "Algorithm 1, per-port deques (reference)", kCapsSeq,
-     run_seq_entry},
+     run_seq_entry, run_model_seq_entry},
     {"seqpq", "Algorithm 1, per-node priority queue", kCapsNone,
      run_seqpq_entry},
-    {"hj", "Algorithm 2 on the hj runtime", kCapsHj, run_hj_entry},
+    {"hj", "Algorithm 2 on the hj runtime", kCapsHj, run_hj_entry,
+     run_model_hj_entry},
     {"galois", "Algorithm 3, optimistic galois runtime", kCapsWorkersOnly,
      run_galois_entry},
     {"actor", "actor-per-node engine", kCapsWorkersOnly, run_actor_entry},
     {"timewarp", "optimistic Time Warp engine", kCapsTimewarp,
      run_timewarp_entry},
     {"partitioned", "sharded logical-process engine over a graph partition",
-     kCapsPartitioned, run_partitioned_entry},
+     kCapsPartitioned, run_partitioned_entry, run_model_partitioned_entry},
 };
 
 }  // namespace

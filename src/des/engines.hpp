@@ -22,6 +22,7 @@
 #include "des/actor_engine.hpp"
 #include "des/galois_engine.hpp"
 #include "des/hj_engine.hpp"
+#include "des/model.hpp"
 #include "des/parallelism_profile.hpp"
 #include "des/partitioned_engine.hpp"
 #include "des/run_config.hpp"
@@ -39,6 +40,11 @@ struct EngineInfo {
   std::string_view summary;  ///< one-line description for --help output
   EngineCaps caps;           ///< which RunConfig knobs this engine honors
   SimResult (*run)(const SimInput&, const RunConfig&);
+  /// Generic logical-process entry point (des/model.hpp); nullptr for
+  /// engines that only run circuit netlists. Non-null iff
+  /// caps.supports_models — validate_run_config enforces the pairing for
+  /// callers, and the registry test pins it.
+  ModelResult (*run_model)(Model&, const RunConfig&) = nullptr;
 };
 
 /// Every engine, in presentation order (sequential baselines first).

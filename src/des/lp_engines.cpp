@@ -1,0 +1,395 @@
+#include "des/lp_engines.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "fault/heartbeat.hpp"
+#include "hj/forall.hpp"
+#include "hj/runtime.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+namespace {
+
+/// std::*_heap comparator for a min-heap in (time, rank, src, seq) order.
+struct MessageAfter {
+  bool operator()(const LpMessage& a, const LpMessage& b) const noexcept {
+    return lp_message_less(b, a);
+  }
+};
+
+/// bound = m + la without overflowing Time.
+Time safe_bound(Time m, Time la) noexcept {
+  return (la >= kNoEndTime - m) ? kNoEndTime : m + la;
+}
+
+/// Shared round machinery of the three engines. The engines differ only in
+/// who runs the per-LP loops and how the phases barrier; every mutation in
+/// process/deliver touches a single LP's slots, so LP loops parallelize
+/// freely within a phase.
+class ModelRun {
+ public:
+  explicit ModelRun(Model& model) : model_(model), n_(model.lp_count()) {
+    const std::string topo_error = validate_model_topology(model);
+    HJDES_CHECK(topo_error.empty(), topo_error.c_str());
+    end_ = model.end_time();
+    lookahead_ = model_min_lookahead(model);
+
+    const auto n = static_cast<std::size_t>(n_);
+    lps_.resize(n);
+    edge_start_.assign(n + 1, 0);
+    for (std::size_t lp = 0; lp < n; ++lp) {
+      edge_start_[lp + 1] =
+          edge_start_[lp] + model.neighbors(static_cast<LpId>(lp)).size();
+    }
+    outbox_.resize(edge_start_[n]);
+    in_edges_.resize(n);
+    for (std::size_t lp = 0; lp < n; ++lp) {
+      const auto edges = model.neighbors(static_cast<LpId>(lp));
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        in_edges_[static_cast<std::size_t>(edges[k].target)].push_back(
+            edge_start_[lp] + k);
+      }
+    }
+
+    // Deterministic seeding, in LP id order on one thread.
+    RunInitSink sink(*this);
+    for (LpId lp = 0; lp < n_; ++lp) {
+      sink.src = lp;
+      model.init(lp, sink);
+    }
+  }
+
+  LpId lp_count() const { return n_; }
+  Time lookahead() const { return lookahead_; }
+
+  /// Smallest pending message time over all LPs; kNoEndTime when drained.
+  Time global_min() const {
+    Time m = kNoEndTime;
+    for (const PerLp& s : lps_) {
+      if (!s.heap.empty()) m = std::min(m, s.heap.front().time);
+    }
+    return m;
+  }
+
+  Time lp_min(LpId lp) const {
+    const PerLp& s = lps_[static_cast<std::size_t>(lp)];
+    return s.heap.empty() ? kNoEndTime : s.heap.front().time;
+  }
+
+  /// Phase A: handle every message of `lp` below `bound`, buffering sends
+  /// into this LP's per-edge outboxes. Safe to run concurrently across LPs.
+  /// Returns the number of messages handled.
+  std::uint64_t process_lp(LpId lp, Time bound) {
+    PerLp& s = lps_[static_cast<std::size_t>(lp)];
+    if (s.heap.empty() || s.heap.front().time >= bound) return 0;
+    RunSendContext ctx(*this, s, lp);
+    std::uint64_t handled = 0;
+    do {
+      std::pop_heap(s.heap.begin(), s.heap.end(), MessageAfter{});
+      const LpMessage msg = s.heap.back();
+      s.heap.pop_back();
+      ctx.now = msg.time;
+      model_.on_message(lp, msg, ctx);
+      ++s.processed;
+      ++handled;
+      fault::heartbeat();  // a handled message is forward progress
+    } while (!s.heap.empty() && s.heap.front().time < bound);
+    return handled;
+  }
+
+  /// Phase B: drain every in-edge outbox of `lp` into its pending heap.
+  /// Reads boxes other LPs' phase-A calls wrote — the engines barrier
+  /// between the phases.
+  void deliver_lp(LpId lp) {
+    PerLp& s = lps_[static_cast<std::size_t>(lp)];
+    for (std::size_t edge : in_edges_[static_cast<std::size_t>(lp)]) {
+      for (const LpMessage& msg : outbox_[edge]) {
+        s.heap.push_back(msg);
+        std::push_heap(s.heap.begin(), s.heap.end(), MessageAfter{});
+      }
+      outbox_[edge].clear();
+    }
+  }
+
+  /// Combine per-LP checksums and counters into the engine's result.
+  ModelResult finish(std::uint64_t rounds) const {
+    ModelResult result;
+    result.rounds = rounds;
+    for (const PerLp& s : lps_) {
+      result.events_processed += s.processed;
+      result.messages_sent += s.sent;
+    }
+    std::uint64_t h = kModelChecksumSeed;
+    for (LpId lp = 0; lp < n_; ++lp) {
+      h = model_checksum_mix(h, model_.lp_checksum(lp));
+    }
+    result.checksum = model_checksum_mix(h, result.events_processed);
+    return result;
+  }
+
+ private:
+  /// Hot per-LP slots, cache-line separated so neighboring LPs owned by
+  /// different workers never false-share.
+  struct HJDES_CACHE_ALIGNED PerLp {
+    std::vector<LpMessage> heap;  ///< pending messages, MessageAfter order
+    std::uint32_t seq = 0;        ///< per-sender message counter
+    std::uint64_t processed = 0;
+    std::uint64_t sent = 0;
+  };
+
+  class RunInitSink final : public InitSink {
+   public:
+    explicit RunInitSink(ModelRun& run) : run_(run) {}
+
+    void send_at(LpId target, Time time, std::int32_t rank,
+                 std::int64_t payload) override {
+      HJDES_CHECK(target >= 0 && target < run_.n_,
+                  "model init message target out of range");
+      HJDES_CHECK(time >= 0, "model init message before time 0");
+      if (time >= run_.end_) return;  // dropped at the horizon, like sends
+      PerLp& sender = run_.lps_[static_cast<std::size_t>(src)];
+      PerLp& dest = run_.lps_[static_cast<std::size_t>(target)];
+      dest.heap.push_back(LpMessage{time, payload, src, rank, sender.seq++});
+      std::push_heap(dest.heap.begin(), dest.heap.end(), MessageAfter{});
+      ++sender.sent;
+    }
+
+    LpId src = 0;
+
+   private:
+    ModelRun& run_;
+  };
+
+  class RunSendContext final : public SendContext {
+   public:
+    RunSendContext(ModelRun& run, PerLp& sender, LpId lp)
+        : run_(run),
+          sender_(sender),
+          lp_(lp),
+          edges_(run.model_.neighbors(lp)),
+          boxes_(run.outbox_.data() +
+                 run.edge_start_[static_cast<std::size_t>(lp)]) {}
+
+    void send(std::size_t edge, Time delay, std::int64_t payload) override {
+      HJDES_CHECK(edge < edges_.size(), "model send on an undeclared edge");
+      const LpNeighbor& nb = edges_[edge];
+      HJDES_CHECK(delay >= nb.lookahead,
+                  "model send below the edge's declared lookahead");
+      const Time time = now + delay;
+      if (time >= run_.end_) return;  // horizon drop, same in every engine
+      boxes_[edge].push_back(
+          LpMessage{time, payload, lp_, nb.rank, sender_.seq++});
+      ++sender_.sent;
+    }
+
+    Time now = 0;
+
+   private:
+    ModelRun& run_;
+    PerLp& sender_;
+    const LpId lp_;
+    const std::span<const LpNeighbor> edges_;
+    std::vector<LpMessage>* const boxes_;
+  };
+
+  Model& model_;
+  const LpId n_;
+  Time end_ = kNoEndTime;
+  Time lookahead_ = kNoEndTime;
+
+  std::vector<PerLp> lps_;
+  /// CSR of out-edges: LP lp's edge k buffers into outbox_[edge_start_[lp]+k].
+  std::vector<std::size_t> edge_start_;
+  std::vector<std::vector<LpMessage>> outbox_;
+  /// Per-LP list of global out-edge indices that target it.
+  std::vector<std::vector<std::size_t>> in_edges_;
+};
+
+/// Sense-reversing spin barrier for the partitioned engine's phases. The
+/// last arriver runs `last` (the serial round bookkeeping) before releasing;
+/// plain data written inside `last` is ordered for the waiters by the
+/// release store of the epoch and their acquire loads of it.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  template <typename LastFn>
+  void arrive(LastFn&& last) {
+    const std::uint32_t epoch = epoch_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      last();
+      epoch_.store(epoch + 1, std::memory_order_release);
+    } else {
+      while (epoch_.load(std::memory_order_acquire) == epoch) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int parties_;
+  HJDES_CACHE_ALIGNED std::atomic<int> arrived_{0};
+  HJDES_CACHE_ALIGNED std::atomic<std::uint32_t> epoch_{0};
+};
+
+}  // namespace
+
+ModelResult run_model_sequential(Model& model,
+                                 const ModelEngineConfig& config) {
+  ModelRun run(model);
+  const Time la = run.lookahead();
+  std::uint64_t rounds = 0;
+  for (;;) {
+    const Time m = run.global_min();
+    if (m == kNoEndTime) break;
+    const Time bound = safe_bound(m, la);
+    ModelRoundSample sample{bound, 0, 0};
+    for (LpId lp = 0; lp < run.lp_count(); ++lp) {
+      const std::uint64_t handled = run.process_lp(lp, bound);
+      if (handled > 0) ++sample.active_lps;
+      sample.events += handled;
+    }
+    for (LpId lp = 0; lp < run.lp_count(); ++lp) run.deliver_lp(lp);
+    ++rounds;
+    if (config.round_samples != nullptr) {
+      config.round_samples->push_back(sample);
+    }
+  }
+  return run.finish(rounds);
+}
+
+ModelResult run_model_hj(Model& model, const ModelEngineConfig& config) {
+  ModelRun run(model);
+  const Time la = run.lookahead();
+  const auto n = static_cast<std::int64_t>(run.lp_count());
+  const int workers = std::max(1, config.workers);
+  const std::int64_t grain = std::max<std::int64_t>(1, n / (workers * 8));
+
+  hj::Runtime runtime(
+      hj::RuntimeConfig{.workers = workers, .pin = config.pin});
+  std::uint64_t rounds = 0;
+  runtime.run([&] {
+    for (;;) {
+      const Time m = run.global_min();
+      if (m == kNoEndTime) break;
+      const Time bound = safe_bound(m, la);
+      hj::forall(
+          0, n,
+          [&](std::int64_t lp) {
+            run.process_lp(static_cast<LpId>(lp), bound);
+          },
+          grain);
+      hj::forall(
+          0, n, [&](std::int64_t lp) { run.deliver_lp(static_cast<LpId>(lp)); },
+          grain);
+      ++rounds;
+    }
+  });
+  return run.finish(rounds);
+}
+
+ModelResult run_model_partitioned(Model& model,
+                                  const ModelEngineConfig& config) {
+  ModelRun run(model);
+  const Time la = run.lookahead();
+  const int threads = std::max(1, config.workers);
+  const std::int32_t parts =
+      config.parts > 0 ? config.parts : static_cast<std::int32_t>(threads);
+
+  // Shard the LP population along the model's topology; shard s runs on
+  // thread s % threads, so parts > threads multiplexes cleanly.
+  const part::TopologyView view = model_topology_view(model);
+  const part::Partition partition =
+      part::make_partition(view, parts, config.partitioner);
+  part::validate_partition(static_cast<std::size_t>(run.lp_count()),
+                           partition);
+  std::vector<std::vector<LpId>> mine(static_cast<std::size_t>(threads));
+  for (LpId lp = 0; lp < run.lp_count(); ++lp) {
+    const auto shard =
+        static_cast<std::size_t>(partition.part_of[static_cast<std::size_t>(lp)]);
+    mine[shard % static_cast<std::size_t>(threads)].push_back(lp);
+  }
+
+  const std::vector<int> pin_plan = support::pinning_plan(
+      support::machine_topology(), threads, config.pin);
+
+  // Round state, written only by the last barrier arriver and read by every
+  // thread after the epoch release — no atomics needed beyond the barrier.
+  struct HJDES_CACHE_ALIGNED MinSlot {
+    Time value = kNoEndTime;
+  };
+  std::vector<MinSlot> shard_min(static_cast<std::size_t>(threads));
+  Time bound = 0;
+  bool done = false;
+  std::uint64_t rounds = 0;
+  {
+    const Time m = run.global_min();
+    if (m == kNoEndTime) {
+      done = true;
+    } else {
+      bound = safe_bound(m, la);
+    }
+  }
+  SpinBarrier barrier(threads);
+
+  auto worker = [&](int t) {
+    if (!pin_plan.empty()) {
+      support::pin_current_thread(pin_plan[static_cast<std::size_t>(t)]);
+    }
+    const std::vector<LpId>& owned = mine[static_cast<std::size_t>(t)];
+    while (!done) {
+      for (LpId lp : owned) run.process_lp(lp, bound);
+      barrier.arrive([] {});
+      Time local = kNoEndTime;
+      for (LpId lp : owned) {
+        run.deliver_lp(lp);
+        local = std::min(local, run.lp_min(lp));
+      }
+      shard_min[static_cast<std::size_t>(t)].value = local;
+      barrier.arrive([&] {
+        ++rounds;
+        Time m = kNoEndTime;
+        for (const MinSlot& slot : shard_min) m = std::min(m, slot.value);
+        if (m == kNoEndTime) {
+          done = true;
+        } else {
+          bound = safe_bound(m, la);
+        }
+      });
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& th : pool) th.join();
+  return run.finish(rounds);
+}
+
+part::TopologyView model_topology_view(const Model& model) {
+  part::TopologyView view;
+  view.nodes = model.lp_count();
+  const auto n = static_cast<std::size_t>(view.nodes);
+  view.arc_start.assign(n + 1, 0);
+  std::vector<bool> has_in(n, false);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    view.arc_start[lp] = view.arc_target.size();
+    for (const LpNeighbor& e : model.neighbors(static_cast<LpId>(lp))) {
+      if (e.target == static_cast<LpId>(lp)) continue;  // self-schedule edge
+      view.arc_target.push_back(e.target);
+      has_in[static_cast<std::size_t>(e.target)] = true;
+    }
+  }
+  view.arc_start[n] = view.arc_target.size();
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    if (!has_in[lp]) view.roots.push_back(static_cast<std::int32_t>(lp));
+  }
+  return view;
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,72 @@
+#pragma once
+// Window-synchronous conservative engines over the generic des::Model LP
+// interface (model.hpp). All three run the same bounded-lag round:
+//
+//   m     = smallest pending message time over all LPs
+//   bound = m + L, where L = the model's global minimum edge lookahead
+//
+// Every message with time < bound is safe to process: anything sent while
+// the round runs has time >= sender's current time + edge lookahead >=
+// m + L = bound, so it cannot land inside the window. A round processes
+// each LP's safe messages in (time, rank, src, seq) order, barriers, then
+// delivers the round's sends into the destination queues — identical state
+// evolution whether the LP loop runs on one thread (sequential), on the hj
+// work-stealing runtime (forall per round), or on persistent shard threads
+// over a graph partition (partitioned). That is what makes
+// ModelResult::checksum bit-identical across the three engines.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/model.hpp"
+#include "part/partitioner.hpp"
+#include "part/topology_view.hpp"
+#include "support/topology.hpp"
+
+namespace hjdes::des {
+
+/// Per-round occupancy sample, filled by run_model_sequential when
+/// ModelEngineConfig::round_samples is set (the model parallelism profile).
+struct ModelRoundSample {
+  Time bound = 0;               ///< the round's safe-window upper bound
+  std::uint32_t active_lps = 0; ///< LPs that processed >= 1 message
+  std::uint64_t events = 0;     ///< messages processed this round
+};
+
+/// Knobs of the generic engines (the subset of RunConfig they honor).
+struct ModelEngineConfig {
+  /// Worker threads (hj: runtime workers; partitioned: shard threads).
+  int workers = 4;
+
+  /// Partitioned: shard count; 0 = one shard per worker. Shard s runs on
+  /// thread s % workers.
+  std::int32_t parts = 0;
+
+  /// Partitioned: partitioner over the model's topology view.
+  part::PartitionerKind partitioner = part::PartitionerKind::kMultilevel;
+
+  /// Worker -> core placement.
+  support::PinPolicy pin = support::PinPolicy::kNone;
+
+  /// When non-null, run_model_sequential appends one sample per round
+  /// (ignored by the parallel engines — the profiler is a sequential tool).
+  std::vector<ModelRoundSample>* round_samples = nullptr;
+};
+
+/// Reference engine: one thread drives the rounds.
+ModelResult run_model_sequential(Model& model,
+                                 const ModelEngineConfig& config = {});
+
+/// The round's LP loops as hj::forall over the work-stealing runtime.
+ModelResult run_model_hj(Model& model, const ModelEngineConfig& config);
+
+/// Persistent shard threads over a partition of the model's topology,
+/// synchronized by a sense-reversing barrier per phase.
+ModelResult run_model_partitioned(Model& model,
+                                  const ModelEngineConfig& config);
+
+/// The model's static topology as a partitioner view: one arc per out-edge
+/// (self-edges dropped), roots = LPs with no incoming non-self edge.
+part::TopologyView model_topology_view(const Model& model);
+
+}  // namespace hjdes::des

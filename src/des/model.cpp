@@ -1,0 +1,40 @@
+#include "des/model.hpp"
+
+#include <algorithm>
+
+namespace hjdes::des {
+
+std::string validate_model_topology(const Model& model) {
+  const LpId n = model.lp_count();
+  if (n < 1) {
+    return "model '" + std::string(model.name()) + "' has no LPs";
+  }
+  for (LpId lp = 0; lp < n; ++lp) {
+    for (const LpNeighbor& e : model.neighbors(lp)) {
+      if (e.target < 0 || e.target >= n) {
+        return "model '" + std::string(model.name()) + "': LP " +
+               std::to_string(lp) + " has an out-of-range edge target " +
+               std::to_string(e.target);
+      }
+      if (e.lookahead < 1) {
+        return "model '" + std::string(model.name()) + "': edge " +
+               std::to_string(lp) + " -> " + std::to_string(e.target) +
+               " has lookahead " + std::to_string(e.lookahead) +
+               " (every edge needs lookahead >= 1)";
+      }
+    }
+  }
+  return {};
+}
+
+Time model_min_lookahead(const Model& model) {
+  Time min_la = kNoEndTime;
+  for (LpId lp = 0; lp < model.lp_count(); ++lp) {
+    for (const LpNeighbor& e : model.neighbors(lp)) {
+      min_la = std::min(min_la, e.lookahead);
+    }
+  }
+  return min_la;
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,163 @@
+#pragma once
+// The workload-agnostic logical-process (LP) abstraction every generic
+// engine dispatches through (docs/WORKLOADS.md is the full contract). A
+// Model owns a fixed population of LPs, each with private state, a static
+// out-neighbor list with a per-edge lookahead, a deterministic init phase,
+// a timestamped-message handler, and a per-LP checksum. The shape mirrors
+// ROOT-Sim's ProcessEvent/ScheduleNewEvent seam: the engines own event
+// storage, ordering and synchronization; the model owns state transitions.
+//
+// Determinism rules (the reason seq/hj/partitioned produce bit-identical
+// checksums):
+//
+//  * every LP processes its messages in (time, rank, src, seq) order — rank
+//    is the receiving edge's channel rank (the input port for circuits),
+//    seq a per-sender counter assigned in the sender's own deterministic
+//    processing order. (src, seq) is unique, so the key is a total order;
+//  * handlers may read and write only their own LP's state, and may send
+//    only along declared out-edges with delay >= that edge's lookahead;
+//  * every edge lookahead is >= 1, so a window-synchronous engine can
+//    process all messages below (global min time + global min lookahead)
+//    in parallel: nothing sent inside the window can land inside it;
+//  * messages whose receive time would reach end_time() are dropped at send
+//    time by every engine, so event counts agree across engines.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "des/event.hpp"
+
+namespace hjdes::des {
+
+/// Logical-process id, dense in [0, Model::lp_count()).
+using LpId = std::int32_t;
+
+/// One timestamped message between LPs. `rank` identifies the receiving
+/// edge's channel (delivery order key, model-chosen); `seq` is the sender's
+/// running message counter.
+struct LpMessage {
+  Time time = 0;
+  std::int64_t payload = 0;
+  LpId src = 0;
+  std::int32_t rank = 0;
+  std::uint32_t seq = 0;
+};
+
+/// Total processing order of messages arriving at one LP.
+constexpr bool lp_message_less(const LpMessage& a,
+                               const LpMessage& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+/// One static out-edge of an LP. `lookahead` is the minimum delay of any
+/// message sent along it (>= 1); `rank` is the channel rank messages on this
+/// edge carry at the receiver (a circuit's input port number).
+struct LpNeighbor {
+  LpId target = 0;
+  Time lookahead = 1;
+  std::int32_t rank = 0;
+};
+
+/// Init-phase sink: Model::init(lp, sink) seeds the simulation through it.
+/// Init messages may target any LP (circuit stimulus lands directly on the
+/// first gates) and carry absolute times; they are attributed to the LP
+/// being initialized.
+class InitSink {
+ public:
+  virtual void send_at(LpId target, Time time, std::int32_t rank,
+                       std::int64_t payload) = 0;
+
+ protected:
+  ~InitSink() = default;
+};
+
+/// Handler-phase sink: sends go along the sending LP's declared out-edges.
+/// `edge` indexes Model::neighbors(lp); `delay` is relative to the message
+/// being processed and must be >= that edge's lookahead.
+class SendContext {
+ public:
+  virtual void send(std::size_t edge, Time delay, std::int64_t payload) = 0;
+
+ protected:
+  ~SendContext() = default;
+};
+
+/// A simulation workload: LP population, topology, and state transitions.
+/// One instance is one run — engines mutate the model's LP states in place,
+/// so cross-engine comparisons construct a fresh instance per engine.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Workload name ("circuit", "phold", "mm1", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Number of LPs; ids are dense in [0, lp_count()).
+  virtual LpId lp_count() const = 0;
+
+  /// Static out-edges of `lp`. Must not change over the model's lifetime
+  /// (engines precompute reverse adjacency from it) and every edge must
+  /// have lookahead >= 1. Self-edges are how an LP schedules itself.
+  virtual std::span<const LpNeighbor> neighbors(LpId lp) const = 0;
+
+  /// Simulation horizon: messages landing at or after this time are dropped
+  /// at send time. kNoEndTime = run until the event population drains
+  /// (feed-forward workloads such as circuits).
+  virtual Time end_time() const = 0;
+
+  /// Deterministic seeding of `lp` (called once per LP, in id order, before
+  /// any message is processed). May touch only lp's state.
+  virtual void init(LpId lp, InitSink& sink) = 0;
+
+  /// Process one message addressed to `lp`. May touch only lp's state and
+  /// send along lp's out-edges; called concurrently for different LPs by
+  /// the parallel engines.
+  virtual void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) = 0;
+
+  /// Checksum of lp's final state; combined over all LPs in id order into
+  /// ModelResult::checksum, the cross-engine bit-identity oracle.
+  virtual std::uint64_t lp_checksum(LpId lp) const = 0;
+};
+
+/// Open horizon: run until no messages remain.
+inline constexpr Time kNoEndTime = std::numeric_limits<Time>::max();
+
+/// What a generic engine returns. `checksum` folds every LP's final-state
+/// checksum and the event count, so two runs agree iff every LP saw the
+/// same messages in the same order.
+struct ModelResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t events_processed = 0;  ///< on_message calls
+  std::uint64_t messages_sent = 0;     ///< enqueued (horizon drops excluded)
+  std::uint64_t rounds = 0;            ///< synchronization windows executed
+};
+
+/// FNV-1a step shared by the checksum plumbing.
+constexpr std::uint64_t model_checksum_mix(std::uint64_t h,
+                                           std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Seed of the checksum chain (FNV-1a offset basis).
+inline constexpr std::uint64_t kModelChecksumSeed = 0xcbf29ce484222325ull;
+
+/// Validate the static topology: every edge target in range, every
+/// lookahead >= 1, at least one LP. Returns an empty string when valid, a
+/// human-readable reason otherwise.
+std::string validate_model_topology(const Model& model);
+
+/// Smallest lookahead over all edges — the conservative engines' window
+/// width. Returns kNoEndTime for an edgeless model (any window is safe).
+Time model_min_lookahead(const Model& model);
+
+}  // namespace hjdes::des

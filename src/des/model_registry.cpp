@@ -1,0 +1,238 @@
+#include "des/model_registry.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "circuit/generators.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/models/circuit_model.hpp"
+#include "des/models/mm1.hpp"
+#include "des/models/phold.hpp"
+
+namespace hjdes::des {
+
+bool ModelParams::parse(std::string_view text, ModelParams* out,
+                        std::string* error) {
+  out->entries_.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      *error = "malformed --model-params entry '" + std::string(item) +
+               "' (expected key=value)";
+      return false;
+    }
+    const std::string key(item.substr(0, eq));
+    if (out->entries_.count(key) != 0) {
+      *error = "duplicate --model-params key '" + key + "'";
+      return false;
+    }
+    out->entries_.emplace(key, std::string(item.substr(eq + 1)));
+  }
+  return true;
+}
+
+bool ModelParams::has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string ModelParams::get(std::string_view key,
+                             std::string_view fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t ModelParams::get_int(std::string_view key, std::int64_t fallback,
+                                  std::string* error) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& text = it->second;
+  std::int64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    *error += std::string(error->empty() ? "" : "; ") + "--model-params key '" +
+              std::string(key) + "' needs an integer (got '" + text + "')";
+    return fallback;
+  }
+  return value;
+}
+
+void ModelParams::set(std::string_view key, std::string_view value) {
+  entries_[std::string(key)] = std::string(value);
+}
+
+std::string ModelParams::unknown_key(
+    std::span<const std::string_view> known) const {
+  for (const auto& [key, value] : entries_) {
+    bool found = false;
+    for (std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return key;
+  }
+  return {};
+}
+
+namespace {
+
+/// Shared preamble of every factory: reject unknown keys.
+bool reject_unknown(const ModelParams& params,
+                    std::span<const std::string_view> known,
+                    std::string_view model, std::string_view help,
+                    std::string* error) {
+  const std::string stray = params.unknown_key(known);
+  if (stray.empty()) return false;
+  *error = "model '" + std::string(model) + "' does not take parameter '" +
+           stray + "' (accepted: " + std::string(help) + ")";
+  return true;
+}
+
+constexpr std::string_view kPholdHelp =
+    "lps=N,pop=N,remote=PCT,lookahead=T,spread=T,end=T,seed=S";
+
+std::unique_ptr<Model> create_phold(const ModelParams& params,
+                                    std::string* error) {
+  static constexpr std::array<std::string_view, 7> kKnown = {
+      "lps", "pop", "remote", "lookahead", "spread", "end", "seed"};
+  if (reject_unknown(params, kKnown, "phold", kPholdHelp, error)) {
+    return nullptr;
+  }
+  PholdParams p;
+  p.lps = static_cast<std::int32_t>(params.get_int("lps", p.lps, error));
+  p.pop = static_cast<std::int32_t>(params.get_int("pop", p.pop, error));
+  p.remote_pct = static_cast<std::int32_t>(
+      params.get_int("remote", p.remote_pct, error));
+  p.lookahead = params.get_int("lookahead", p.lookahead, error);
+  p.spread = params.get_int("spread", p.spread, error);
+  p.end = params.get_int("end", p.end, error);
+  p.seed = static_cast<std::uint64_t>(params.get_int(
+      "seed", static_cast<std::int64_t>(p.seed), error));
+  if (!error->empty()) return nullptr;
+  if (p.lps < 1 || p.pop < 0 || p.remote_pct < 0 || p.remote_pct > 100 ||
+      p.lookahead < 1 || p.spread < 1 || p.end < 1) {
+    *error = "phold parameters out of range (need lps>=1, pop>=0, remote in "
+             "[0,100], lookahead>=1, spread>=1, end>=1)";
+    return nullptr;
+  }
+  return std::make_unique<PholdModel>(p);
+}
+
+constexpr std::string_view kMm1Help =
+    "stations=N,arrive=T,service=T,end=T,seed=S";
+
+std::unique_ptr<Model> create_mm1(const ModelParams& params,
+                                  std::string* error) {
+  static constexpr std::array<std::string_view, 5> kKnown = {
+      "stations", "arrive", "service", "end", "seed"};
+  if (reject_unknown(params, kKnown, "mm1", kMm1Help, error)) return nullptr;
+  Mm1Params p;
+  p.stations = static_cast<std::int32_t>(
+      params.get_int("stations", p.stations, error));
+  p.arrive_mean = params.get_int("arrive", p.arrive_mean, error);
+  p.service_mean = params.get_int("service", p.service_mean, error);
+  p.end = params.get_int("end", p.end, error);
+  p.seed = static_cast<std::uint64_t>(params.get_int(
+      "seed", static_cast<std::int64_t>(p.seed), error));
+  if (!error->empty()) return nullptr;
+  if (p.stations < 1 || p.arrive_mean < 1 || p.service_mean < 1 ||
+      p.end < 1) {
+    *error = "mm1 parameters out of range (need stations>=1, arrive>=1, "
+             "service>=1, end>=1)";
+    return nullptr;
+  }
+  return std::make_unique<Mm1Model>(p);
+}
+
+constexpr std::string_view kCircuitHelp =
+    "circuit=gen:NAME,vectors=N,interval=T,seed=S";
+
+std::unique_ptr<Model> create_circuit(const ModelParams& params,
+                                      std::string* error) {
+  static constexpr std::array<std::string_view, 4> kKnown = {
+      "circuit", "vectors", "interval", "seed"};
+  if (reject_unknown(params, kKnown, "circuit", kCircuitHelp, error)) {
+    return nullptr;
+  }
+  const std::string spec = params.get("circuit", "gen:ks32");
+  if (spec.rfind("gen:", 0) != 0) {
+    *error = "circuit model parameter 'circuit' must be a generator spec "
+             "(gen:ks<bits>|gen:mul<bits>|gen:ripple<bits>); file netlists "
+             "go through hjdes_sim --circuit";
+    return nullptr;
+  }
+  circuit::Netlist netlist;
+  if (!circuit::make_generated(spec.substr(4), &netlist)) {
+    *error = "unknown circuit generator '" + spec + "'";
+    return nullptr;
+  }
+  const std::int64_t vectors = params.get_int("vectors", 4, error);
+  const std::int64_t interval = params.get_int("interval", 10, error);
+  const std::int64_t seed = params.get_int("seed", 1, error);
+  if (!error->empty()) return nullptr;
+  if (vectors < 1 || interval < 1) {
+    *error = "circuit model needs vectors>=1 and interval>=1";
+    return nullptr;
+  }
+  const circuit::Stimulus stimulus = circuit::random_stimulus(
+      netlist, static_cast<std::size_t>(vectors), interval,
+      static_cast<std::uint64_t>(seed));
+  return std::make_unique<CircuitModel>(std::move(netlist), stimulus);
+}
+
+constexpr ModelInfo kModels[] = {
+    {"circuit", "gate-level logic simulation (generated netlist + stimulus)",
+     kCircuitHelp, create_circuit},
+    {"phold", "PHOLD synthetic PDES stress: bouncing message population",
+     kPholdHelp, create_phold},
+    {"mm1", "M/M/1 tandem queueing network (source -> stations -> sink)",
+     kMm1Help, create_mm1},
+};
+
+}  // namespace
+
+std::span<const ModelInfo> models() { return kModels; }
+
+const ModelInfo* find_model(std::string_view name) {
+  for (const ModelInfo& m : kModels) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string model_list() {
+  std::string out;
+  for (const ModelInfo& m : kModels) {
+    if (!out.empty()) out += '|';
+    out += m.name;
+  }
+  return out;
+}
+
+std::unique_ptr<Model> make_model(std::string_view name,
+                                  std::string_view params_text,
+                                  std::uint64_t default_seed,
+                                  std::string* error) {
+  const ModelInfo* info = find_model(name);
+  if (info == nullptr) {
+    *error = "unknown model '" + std::string(name) + "' (" + model_list() +
+             ")";
+    return nullptr;
+  }
+  ModelParams params;
+  if (!ModelParams::parse(params_text, &params, error)) return nullptr;
+  if (!params.has("seed")) {
+    params.set("seed", std::to_string(default_seed));
+  }
+  return info->create(params, error);
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,76 @@
+#pragma once
+// Name -> model-factory registry, the --model= analog of des/engines.hpp:
+// one mapping shared by the CLI tools, the serve layer and the benches, so
+// adding a workload here is all it takes to appear everywhere. Factories
+// consume a parsed "k=v,k=v" parameter string and report malformed input as
+// a returned error message instead of aborting — user-facing layers
+// (hjdes_sim, JobSpec validation) surface it verbatim.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "des/model.hpp"
+
+namespace hjdes::des {
+
+/// Parsed --model-params ("k=v,k=v", keys unique). Factories validate the
+/// keys they know and reject the rest, so typos fail loudly.
+class ModelParams {
+ public:
+  /// Parse `text`; false + *error on malformed syntax (empty text is fine).
+  static bool parse(std::string_view text, ModelParams* out,
+                    std::string* error);
+
+  bool has(std::string_view key) const;
+  std::string get(std::string_view key, std::string_view fallback) const;
+
+  /// Integer value of `key`, or `fallback` when absent. A present but
+  /// non-integer value appends to *error and returns `fallback`.
+  std::int64_t get_int(std::string_view key, std::int64_t fallback,
+                       std::string* error) const;
+
+  void set(std::string_view key, std::string_view value);
+
+  /// The first key not in `known`, or empty — factories' typo check.
+  std::string unknown_key(std::span<const std::string_view> known) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+/// One registry entry.
+struct ModelInfo {
+  std::string_view name;         ///< CLI name ("phold", "mm1", "circuit")
+  std::string_view summary;      ///< one-line description for --help output
+  std::string_view params_help;  ///< accepted --model-params keys
+  /// Build a fresh instance; nullptr + *error on invalid parameters.
+  std::unique_ptr<Model> (*create)(const ModelParams& params,
+                                   std::string* error);
+};
+
+/// Every model, in presentation order.
+std::span<const ModelInfo> models();
+
+/// Look up a model by CLI name; nullptr when unknown.
+const ModelInfo* find_model(std::string_view name);
+
+/// "circuit|phold|mm1" — for usage strings and error messages.
+std::string model_list();
+
+/// Parse `params_text`, inject `default_seed` when the params carry no
+/// "seed" key, and build the named model. nullptr + *error on an unknown
+/// name, malformed params, or factory rejection.
+std::unique_ptr<Model> make_model(std::string_view name,
+                                  std::string_view params_text,
+                                  std::uint64_t default_seed,
+                                  std::string* error);
+
+}  // namespace hjdes::des

@@ -1,0 +1,121 @@
+#include "des/models/circuit_model.hpp"
+
+#include <utility>
+
+#include "circuit/gate.hpp"
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+
+using circuit::FanoutEdge;
+using circuit::GateKind;
+using circuit::NodeId;
+
+CircuitModel::CircuitModel(circuit::Netlist netlist,
+                           const circuit::Stimulus& stimulus)
+    : netlist_(std::move(netlist)) {
+  const std::size_t n = netlist_.node_count();
+  HJDES_CHECK(stimulus.initial.size() == netlist_.inputs().size(),
+              "stimulus size != circuit input count");
+
+  edge_start_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    edge_start_[u] = edges_.size();
+    const GateKind kind = netlist_.kinds()[u];
+    if (kind == GateKind::Input || kind == GateKind::Output) {
+      // Inputs send only at init; outputs absorb. Neither may declare
+      // runtime edges, whose lookahead (= the node's delay) would be 0.
+      HJDES_CHECK(kind == GateKind::Input ||
+                      netlist_.fanout(static_cast<NodeId>(u)).empty(),
+                  "circuit model: an Output node with fanout");
+      continue;
+    }
+    const Time delay = netlist_.delays()[u];
+    for (const FanoutEdge& e : netlist_.fanout(static_cast<NodeId>(u))) {
+      edges_.push_back(LpNeighbor{e.target, delay, e.port});
+    }
+  }
+  edge_start_[n] = edges_.size();
+
+  initial_.resize(netlist_.inputs().size());
+  for (std::size_t i = 0; i < stimulus.initial.size(); ++i) {
+    Time last = 0;
+    for (const circuit::SignalChange& change : stimulus.initial[i]) {
+      HJDES_CHECK(change.time >= last && change.time >= 0,
+                  "circuit model stimulus must be time-sorted per input");
+      last = change.time;
+      initial_[i].push_back(
+          Event{change.time, static_cast<std::uint8_t>(change.value ? 1 : 0)});
+    }
+  }
+
+  latch_.assign(2 * n, 0);
+  output_index_.assign(n, -1);
+  input_index_.assign(n, -1);
+  waveforms_.resize(netlist_.outputs().size());
+  for (std::size_t i = 0; i < netlist_.outputs().size(); ++i) {
+    output_index_[static_cast<std::size_t>(netlist_.outputs()[i])] =
+        static_cast<std::int32_t>(i);
+  }
+  for (std::size_t i = 0; i < netlist_.inputs().size(); ++i) {
+    input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+std::span<const LpNeighbor> CircuitModel::neighbors(LpId lp) const {
+  const auto i = static_cast<std::size_t>(lp);
+  return {edges_.data() + edge_start_[i], edge_start_[i + 1] - edge_start_[i]};
+}
+
+void CircuitModel::init(LpId lp, InitSink& sink) {
+  const auto i = static_cast<std::size_t>(lp);
+  if (input_index_[i] < 0) return;
+  // Stimulus lands directly on the input's fanout targets, at the original
+  // times — exactly what the classic engines' zero-delay forwarding does.
+  const auto& events = initial_[static_cast<std::size_t>(input_index_[i])];
+  for (const Event& e : events) {
+    for (const FanoutEdge& edge : netlist_.fanout(lp)) {
+      sink.send_at(edge.target, e.time, edge.port,
+                   static_cast<std::int64_t>(e.value));
+    }
+  }
+}
+
+void CircuitModel::on_message(LpId lp, const LpMessage& msg,
+                              SendContext& ctx) {
+  const auto i = static_cast<std::size_t>(lp);
+  if (output_index_[i] >= 0) {
+    waveforms_[static_cast<std::size_t>(output_index_[i])].push_back(
+        OutputRecord{msg.time, static_cast<std::uint8_t>(msg.payload != 0)});
+    return;
+  }
+  const GateKind kind = netlist_.kinds()[i];
+  latch_[2 * i + static_cast<std::size_t>(msg.rank)] =
+      msg.payload != 0 ? 1 : 0;
+  const bool out =
+      circuit::gate_eval(kind, latch_[2 * i] != 0, latch_[2 * i + 1] != 0);
+  const Time delay = netlist_.delays()[i];
+  const std::size_t degree = edge_start_[i + 1] - edge_start_[i];
+  for (std::size_t edge = 0; edge < degree; ++edge) {
+    ctx.send(edge, delay, out ? 1 : 0);
+  }
+}
+
+std::uint64_t CircuitModel::lp_checksum(LpId lp) const {
+  const auto i = static_cast<std::size_t>(lp);
+  std::uint64_t h = kModelChecksumSeed;
+  if (output_index_[i] >= 0) {
+    const auto& records =
+        waveforms_[static_cast<std::size_t>(output_index_[i])];
+    for (const OutputRecord& r : records) {
+      h = model_checksum_mix(h, static_cast<std::uint64_t>(r.time));
+      h = model_checksum_mix(h, r.value);
+    }
+    return h;
+  }
+  h = model_checksum_mix(h, latch_[2 * i]);
+  return model_checksum_mix(h, latch_[2 * i + 1]);
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,64 @@
+#pragma once
+// The existing gate-level circuit simulation re-expressed as one des::Model:
+// every netlist node is an LP, fanout edges carry lookahead = the driving
+// gate's constant delay and rank = the driven input port, and the stimulus
+// arrives as init-phase messages delivered straight to the input nodes'
+// fanout targets (input nodes forward with zero delay in the classic
+// engines, so modeling them as runtime senders would need lookahead 0 —
+// init messages side-step that without changing any arrival time).
+//
+// This is the compatibility witness of the LP API: test_models checks that
+// the waveforms it records through the generic engines match
+// des::run_sequential bit for bit. The classic circuit engines
+// (seq/hj/partitioned over SimInput) remain the production path for
+// --model=circuit runs; this model is how circuits ride the same harness
+// as PHOLD and M/M/1.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/stimulus.hpp"
+#include "des/model.hpp"
+#include "des/sim_result.hpp"
+
+namespace hjdes::des {
+
+class CircuitModel final : public Model {
+ public:
+  /// Takes ownership of the netlist; `stimulus` is validated and copied the
+  /// same way SimInput does (per-input times non-decreasing).
+  CircuitModel(circuit::Netlist netlist, const circuit::Stimulus& stimulus);
+
+  std::string_view name() const override { return "circuit"; }
+  LpId lp_count() const override {
+    return static_cast<LpId>(netlist_.node_count());
+  }
+  std::span<const LpNeighbor> neighbors(LpId lp) const override;
+  Time end_time() const override { return kNoEndTime; }
+  void init(LpId lp, InitSink& sink) override;
+  void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) override;
+  std::uint64_t lp_checksum(LpId lp) const override;
+
+  /// Recorded output waveforms, index-compatible with SimResult::waveforms.
+  const std::vector<std::vector<OutputRecord>>& waveforms() const {
+    return waveforms_;
+  }
+
+  const circuit::Netlist& netlist() const { return netlist_; }
+
+ private:
+  circuit::Netlist netlist_;
+  std::vector<std::vector<Event>> initial_;  ///< per input index, time-sorted
+
+  /// Per-LP out-edges (empty for Input/Output nodes), CSR-packed.
+  std::vector<LpNeighbor> edges_;
+  std::vector<std::size_t> edge_start_;
+
+  std::vector<std::uint8_t> latch_;          ///< port values, 2 per node
+  std::vector<std::int32_t> output_index_;   ///< node -> waveform slot or -1
+  std::vector<std::int32_t> input_index_;    ///< node -> stimulus slot or -1
+  std::vector<std::vector<OutputRecord>> waveforms_;
+};
+
+}  // namespace hjdes::des

@@ -1,0 +1,116 @@
+#include "des/models/mm1.hpp"
+
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+namespace {
+
+// Edge layout per non-sink LP: edge 0 = the self timer (rank 0, so a
+// same-time completion processes before a same-time arrival — any fixed
+// choice works, it just has to be the same in every engine), edge 1 = the
+// forward customer hand-off (rank 1).
+constexpr std::size_t kSelfEdge = 0;
+constexpr std::size_t kForwardEdge = 1;
+
+}  // namespace
+
+Mm1Model::Mm1Model(const Mm1Params& params) : params_(params) {
+  HJDES_CHECK(params_.stations >= 1, "mm1 needs stations >= 1");
+  HJDES_CHECK(params_.arrive_mean >= 1, "mm1 needs arrive_mean >= 1");
+  HJDES_CHECK(params_.service_mean >= 1, "mm1 needs service_mean >= 1");
+  HJDES_CHECK(params_.end >= 1, "mm1 needs end >= 1");
+
+  const auto n = static_cast<std::size_t>(lp_count());
+  edge_start_.assign(n + 1, 0);
+  for (LpId lp = 0; lp < lp_count(); ++lp) {
+    edge_start_[static_cast<std::size_t>(lp)] = edges_.size();
+    if (lp == lp_count() - 1) continue;  // the sink absorbs
+    edges_.push_back(LpNeighbor{lp, /*lookahead=*/1, /*rank=*/0});
+    edges_.push_back(LpNeighbor{lp + 1, /*lookahead=*/1, /*rank=*/1});
+  }
+  edge_start_[n] = edges_.size();
+
+  state_.resize(n);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    state_[lp].rng =
+        Xoshiro256(params_.seed + 0x9e3779b97f4a7c15ull * (lp + 1));
+  }
+}
+
+std::span<const LpNeighbor> Mm1Model::neighbors(LpId lp) const {
+  const auto i = static_cast<std::size_t>(lp);
+  return {edges_.data() + edge_start_[i], edge_start_[i + 1] - edge_start_[i]};
+}
+
+Time Mm1Model::sample_geometric(Xoshiro256& rng, std::int64_t mean) {
+  Time t = 1;
+  while (rng.below(static_cast<std::uint64_t>(mean)) != 0) ++t;
+  return t;
+}
+
+void Mm1Model::init(LpId lp, InitSink& sink) {
+  if (lp != 0) return;  // only the source self-starts
+  LpState& s = state_[0];
+  const Time first = sample_geometric(s.rng, params_.arrive_mean);
+  sink.send_at(/*target=*/0, first, /*rank=*/0, /*payload=*/0);
+}
+
+void Mm1Model::on_message(LpId lp, const LpMessage& msg, SendContext& ctx) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.time));
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.payload));
+
+  if (lp == 0) {
+    // Arrival tick: emit a customer stamped with its creation time, then
+    // schedule the next tick.
+    ++s.departures;
+    ctx.send(kForwardEdge, 1, msg.time);
+    ctx.send(kSelfEdge, sample_geometric(s.rng, params_.arrive_mean), 0);
+    return;
+  }
+  if (lp == lp_count() - 1) {
+    // Sink: fold the customer's end-to-end latency, in completion order.
+    ++s.arrivals;
+    s.acc = model_checksum_mix(
+        s.acc, static_cast<std::uint64_t>(msg.time - msg.payload));
+    return;
+  }
+
+  if (msg.src == lp) {
+    // Service completion: hand the customer to the next hop, then pull the
+    // head of the FIFO into service.
+    ++s.departures;
+    ctx.send(kForwardEdge, 1, s.in_service);
+    if (s.fifo.empty()) {
+      s.busy = false;
+    } else {
+      s.in_service = s.fifo.front();
+      s.fifo.erase(s.fifo.begin());
+      ctx.send(kSelfEdge, sample_geometric(s.rng, params_.service_mean), 0);
+    }
+    return;
+  }
+
+  // Customer arrival at a station.
+  ++s.arrivals;
+  if (s.busy) {
+    s.fifo.push_back(msg.payload);
+  } else {
+    s.busy = true;
+    s.in_service = msg.payload;
+    ctx.send(kSelfEdge, sample_geometric(s.rng, params_.service_mean), 0);
+  }
+}
+
+std::uint64_t Mm1Model::lp_checksum(LpId lp) const {
+  const LpState& s = state_[static_cast<std::size_t>(lp)];
+  std::uint64_t h = s.acc;
+  h = model_checksum_mix(h, s.arrivals);
+  h = model_checksum_mix(h, s.departures);
+  h = model_checksum_mix(h, s.busy ? 1 : 0);
+  h = model_checksum_mix(h, static_cast<std::uint64_t>(s.in_service));
+  h = model_checksum_mix(h, s.fifo.size());
+  return h;
+}
+
+}  // namespace hjdes::des

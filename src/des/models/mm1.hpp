@@ -1,0 +1,67 @@
+#pragma once
+// An M/M/1 tandem queueing network on the LP interface: one source LP feeds
+// a chain of single-server FIFO stations; the last station forwards into an
+// absorbing sink LP. Interarrival and service times are discrete-geometric
+// draws (the integer analog of the exponential — memoryless, mean
+// configurable), sampled from per-LP xoshiro256** streams so every engine
+// sees identical draws.
+//
+// LP layout: 0 = source, 1..stations = stations, stations+1 = sink.
+// Edges (all lookahead 1, the minimum delay of any transfer):
+//   source:  self (next-arrival timer), -> station 1 (customer hand-off)
+//   station: self (service-completion timer), -> next station / sink
+//   sink:    none (absorbs)
+// Message payloads carry the customer's creation time, so the sink's
+// checksum folds every customer's end-to-end latency in completion order.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/model.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::des {
+
+struct Mm1Params {
+  std::int32_t stations = 4;    ///< queueing stations in the chain
+  std::int64_t arrive_mean = 8; ///< mean interarrival time (>= 2)
+  std::int64_t service_mean = 6;  ///< mean service time (>= 2, < arrive_mean
+                                  ///< for a stable queue)
+  Time end = 4000;              ///< simulation horizon
+  std::uint64_t seed = 1;
+};
+
+class Mm1Model final : public Model {
+ public:
+  explicit Mm1Model(const Mm1Params& params);
+
+  std::string_view name() const override { return "mm1"; }
+  LpId lp_count() const override { return params_.stations + 2; }
+  std::span<const LpNeighbor> neighbors(LpId lp) const override;
+  Time end_time() const override { return params_.end; }
+  void init(LpId lp, InitSink& sink) override;
+  void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) override;
+  std::uint64_t lp_checksum(LpId lp) const override;
+
+ private:
+  struct LpState {
+    Xoshiro256 rng{0};
+    std::vector<std::int64_t> fifo;  ///< waiting customers (creation times)
+    bool busy = false;               ///< a customer is in service
+    std::int64_t in_service = 0;     ///< its creation time
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t acc = kModelChecksumSeed;
+  };
+
+  /// Geometric draw with the given mean: 1 + (failures before a success of
+  /// probability 1/mean) — integer, memoryless, always >= 1.
+  static Time sample_geometric(Xoshiro256& rng, std::int64_t mean);
+
+  Mm1Params params_;
+  std::vector<LpNeighbor> edges_;
+  std::vector<std::size_t> edge_start_;
+  std::vector<LpState> state_;
+};
+
+}  // namespace hjdes::des

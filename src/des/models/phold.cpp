@@ -1,0 +1,77 @@
+#include "des/models/phold.hpp"
+
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+
+PholdModel::PholdModel(const PholdParams& params) : params_(params) {
+  HJDES_CHECK(params_.lps >= 1, "phold needs lps >= 1");
+  HJDES_CHECK(params_.pop >= 0, "phold needs pop >= 0");
+  HJDES_CHECK(params_.remote_pct >= 0 && params_.remote_pct <= 100,
+              "phold remote_pct must be in [0, 100]");
+  HJDES_CHECK(params_.lookahead >= 1, "phold needs lookahead >= 1");
+  HJDES_CHECK(params_.spread >= 1, "phold needs spread >= 1");
+  HJDES_CHECK(params_.end >= 1, "phold needs end >= 1");
+
+  const auto n = static_cast<std::size_t>(params_.lps);
+  edges_.reserve(n * kEdgesPerLp);
+  const auto wrap = [&](std::int64_t v) {
+    const std::int64_t m = v % params_.lps;
+    return static_cast<LpId>(m < 0 ? m + params_.lps : m);
+  };
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    const auto id = static_cast<std::int64_t>(lp);
+    // rank disambiguates parallel edges at a common receiver (e.g. lps <= 3
+    // make several ring offsets alias); receivers sort on it first, so it
+    // only needs to be deterministic, which the edge index is.
+    edges_.push_back(LpNeighbor{static_cast<LpId>(lp), params_.lookahead, 0});
+    edges_.push_back(LpNeighbor{wrap(id - 1), params_.lookahead, 1});
+    edges_.push_back(LpNeighbor{wrap(id + 1), params_.lookahead, 2});
+    edges_.push_back(LpNeighbor{wrap(id + 2), params_.lookahead, 3});
+  }
+  state_.resize(n);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    // Distinct stream per LP: the Xoshiro constructor splitmix-expands the
+    // combined seed, so neighboring LPs do not share correlated draws.
+    state_[lp].rng =
+        Xoshiro256(params_.seed + 0x9e3779b97f4a7c15ull * (lp + 1));
+  }
+}
+
+std::span<const LpNeighbor> PholdModel::neighbors(LpId lp) const {
+  return {edges_.data() + static_cast<std::size_t>(lp) * kEdgesPerLp,
+          kEdgesPerLp};
+}
+
+void PholdModel::init(LpId lp, InitSink& sink) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  for (std::int32_t i = 0; i < params_.pop; ++i) {
+    const Time at = static_cast<Time>(
+        s.rng.below(static_cast<std::uint64_t>(params_.spread)));
+    sink.send_at(lp, at, /*rank=*/0, static_cast<std::int64_t>(s.rng()));
+  }
+}
+
+void PholdModel::on_message(LpId lp, const LpMessage& msg, SendContext& ctx) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  ++s.received;
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.time));
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.payload));
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.src));
+
+  // The hold: re-send the message after lookahead + uniform[0, spread).
+  const bool remote =
+      s.rng.below(100) < static_cast<std::uint64_t>(params_.remote_pct);
+  const std::size_t edge = remote ? 1 + s.rng.below(kEdgesPerLp - 1) : 0;
+  const Time delay =
+      params_.lookahead + static_cast<Time>(s.rng.below(
+                              static_cast<std::uint64_t>(params_.spread)));
+  ctx.send(edge, delay, static_cast<std::int64_t>(s.rng()));
+}
+
+std::uint64_t PholdModel::lp_checksum(LpId lp) const {
+  const LpState& s = state_[static_cast<std::size_t>(lp)];
+  return model_checksum_mix(s.acc, s.received);
+}
+
+}  // namespace hjdes::des

@@ -1,0 +1,59 @@
+#pragma once
+// PHOLD [Fujimoto 1990], the canonical PDES stress workload: a fixed
+// population of in-flight messages bounces between LPs forever, each handled
+// message spawning exactly one successor after a random hold time. There is
+// no exploitable structure — the model exists to measure an engine's raw
+// synchronization cost at a configurable lookahead and remote fraction.
+//
+// Topology: every LP has a self-edge plus ring edges to lp-1, lp+1 and
+// lp+2 (wrapping), all with the configured lookahead. A handled message
+// re-sends to self with probability (100 - remote_pct)/100, otherwise to a
+// uniformly random ring neighbor. Hold time = lookahead + uniform[0,
+// spread). All randomness is per-LP xoshiro256** streams seeded from
+// (seed, lp), so every engine sees identical draws.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/model.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::des {
+
+struct PholdParams {
+  std::int32_t lps = 256;     ///< LP population
+  std::int32_t pop = 4;       ///< initial in-flight messages per LP
+  std::int32_t remote_pct = 50;  ///< % of sends that leave the LP (0..100)
+  Time lookahead = 4;         ///< minimum hold time (every edge's lookahead)
+  Time spread = 16;           ///< hold time = lookahead + uniform[0, spread)
+  Time end = 1000;            ///< simulation horizon
+  std::uint64_t seed = 1;
+};
+
+class PholdModel final : public Model {
+ public:
+  explicit PholdModel(const PholdParams& params);
+
+  std::string_view name() const override { return "phold"; }
+  LpId lp_count() const override { return params_.lps; }
+  std::span<const LpNeighbor> neighbors(LpId lp) const override;
+  Time end_time() const override { return params_.end; }
+  void init(LpId lp, InitSink& sink) override;
+  void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) override;
+  std::uint64_t lp_checksum(LpId lp) const override;
+
+ private:
+  struct LpState {
+    Xoshiro256 rng{0};
+    std::uint64_t received = 0;
+    std::uint64_t acc = kModelChecksumSeed;  ///< order-sensitive history mix
+  };
+
+  PholdParams params_;
+  std::vector<LpNeighbor> edges_;  ///< kEdgesPerLp per LP, CSR-packed
+  std::vector<LpState> state_;
+
+  static constexpr std::size_t kEdgesPerLp = 4;  ///< self, -1, +1, +2
+};
+
+}  // namespace hjdes::des

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "circuit/gate.hpp"
+#include "des/lp_engines.hpp"
 #include "des/port_merge.hpp"
 #include "support/platform.hpp"
 #include "support/ring_deque.hpp"
@@ -155,6 +156,19 @@ ParallelismProfile profile_parallelism(const SimInput& input) {
 
   for (const ProfNode& n : nodes) {
     HJDES_CHECK(n.done, "profiler drained with an unfinished node");
+  }
+  return profile;
+}
+
+ParallelismProfile profile_model_parallelism(Model& model) {
+  std::vector<ModelRoundSample> samples;
+  ModelEngineConfig cfg;
+  cfg.round_samples = &samples;
+  run_model_sequential(model, cfg);
+  ParallelismProfile profile;
+  profile.rounds.reserve(samples.size());
+  for (const ModelRoundSample& s : samples) {
+    profile.rounds.push_back(ProfileRound{s.active_lps, s.events});
   }
   return profile;
 }

@@ -31,4 +31,13 @@ struct ParallelismProfile {
 /// Profile the available parallelism of simulating `input`.
 ParallelismProfile profile_parallelism(const SimInput& input);
 
+class Model;
+
+/// Profile a generic LP model (des/model.hpp): one round per conservative
+/// window of the sequential model engine, active_nodes = LPs that processed
+/// at least one message in the window. Works for every registered model —
+/// the window rounds ARE the model engines' parallel grain, so the profile
+/// reads directly as available parallelism.
+ParallelismProfile profile_model_parallelism(Model& model);
+
 }  // namespace hjdes::des

@@ -1,5 +1,6 @@
 #include "des/run_config.hpp"
 
+#include "des/model_registry.hpp"
 #include "fault/fault.hpp"
 #include "support/cli.hpp"
 
@@ -74,6 +75,51 @@ RunValidation validate_run_config(const RunConfig& config,
     v.errors.push_back("--bitparallel must be 0 (scalar) or 64 (one machine "
                        "word of lanes); got " +
                        std::to_string(config.bitparallel));
+  }
+
+  // Workload model: the name must exist, the engine must implement the
+  // generic LP interface for anything non-circuit, and circuit-only knobs
+  // must not sneak onto an LP model.
+  if (find_model(config.model) == nullptr) {
+    v.errors.push_back("unknown --model '" + config.model + "' (" +
+                       model_list() + ")");
+  }
+  if (config.model != "circuit") {
+    if (!caps.supports_models) {
+      v.errors.push_back("engine '" + std::string(engine_name) +
+                         "' runs circuit netlists only and cannot run "
+                         "--model=" + config.model);
+    }
+    if (config.queue_kind != defaults.queue_kind) {
+      v.errors.push_back(
+          "--queue=" + std::string(queue_kind_name(config.queue_kind)) +
+          " swaps the circuit event core and does not apply to --model=" +
+          config.model + " (engine '" + std::string(engine_name) + "')");
+    }
+    if (config.bitparallel != defaults.bitparallel) {
+      v.errors.push_back(
+          "--bitparallel=" + std::to_string(config.bitparallel) +
+          " packs circuit stimulus lanes and does not apply to --model=" +
+          config.model + " (engine '" + std::string(engine_name) + "')");
+    }
+    if (config.batch != defaults.batch ||
+        config.channel_capacity != defaults.channel_capacity) {
+      v.warnings.push_back("--batch / --channel-capacity tune the circuit "
+                           "channel layer and are ignored under --model=" +
+                           config.model);
+    }
+    if (config.arenas != defaults.arenas) {
+      v.warnings.push_back(
+          "--no-arenas is ignored under --model=" + config.model);
+    }
+    if (config.input_batch != defaults.input_batch) {
+      v.warnings.push_back(
+          "--input-batch is ignored under --model=" + config.model);
+    }
+  } else if (!config.model_params.empty()) {
+    v.errors.push_back("--model-params requires a non-circuit --model; "
+                       "circuit stimulus is configured via "
+                       "--vectors/--interval/--seed");
   }
 
   // Hard errors, not warnings: --queue/--bitparallel swap the hot-path event
@@ -151,6 +197,8 @@ RunConfig run_config_from_cli(const Cli& cli, const EngineCaps& caps,
   }
   config.bitparallel = static_cast<int>(
       cli.get_int("bitparallel", config.bitparallel));
+  config.model = cli.get("model", config.model);
+  config.model_params = cli.get("model-params", config.model_params);
   config.fault_rate_ppm = static_cast<int>(
       cli.get_int("fault-rate", config.fault_rate_ppm));
   config.fault_seed = static_cast<std::uint64_t>(cli.get_int(
@@ -182,6 +230,10 @@ const FlagTable& run_config_flags() {
                         "(default: engine's native structure)"},
       {"bitparallel", "N", "bit-parallel gate evaluation lanes: 0 (scalar) "
                            "or 64 (seq engine only)"},
+      {"model", "NAME", "workload: circuit (default) or a generic LP model "
+                        "(phold|mm1)"},
+      {"model-params", "K=V,...", "parameters of a non-circuit --model "
+                                  "(see hjdes_sim --list-models)"},
       {"fault-rate", "PPM", "seeded fault injections per million decisions "
                             "(needs -DHJDES_FAULT=ON; default 0 = off)"},
       {"fault-seed", "S", "seed of the fault-injection streams (default 1)"},

@@ -62,6 +62,19 @@ struct RunConfig {
   /// and 64 are valid; engines without honors_bitparallel hard-error.
   int bitparallel = 0;
 
+  /// Workload model (--model=circuit|phold|mm1). "circuit" is the classic
+  /// netlist path every engine implements; anything else dispatches through
+  /// the generic LP interface (des/model.hpp) and hard-errors on engines
+  /// without supports_models, and on circuit-only knobs (--queue,
+  /// --bitparallel) — those swap the circuit event core and have no meaning
+  /// for an LP model.
+  std::string model = "circuit";
+
+  /// Parameters of a non-circuit model ("k=v,k=v", --model-params). Setting
+  /// this while --model=circuit is a hard error: circuit stimulus comes
+  /// from --vectors/--interval/--seed.
+  std::string model_params;
+
   // Harness-level robustness knobs (src/fault, docs/ROBUSTNESS.md). These
   // configure the process-wide fault plan and stall watchdog rather than any
   // single engine, so no EngineCaps bit guards them.
@@ -90,6 +103,9 @@ struct EngineCaps {
   bool honors_input_batch = false;
   bool honors_queue = false;
   bool honors_bitparallel = false;
+  /// Engine implements the generic LP interface (des/model.hpp) and can run
+  /// non-circuit workloads (--model=phold|mm1) via EngineInfo::run_model.
+  bool supports_models = false;
 };
 
 /// Validation outcome: errors abort the run, warnings are printed and the

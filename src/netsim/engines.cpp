@@ -1,0 +1,44 @@
+#include "netsim/engines.hpp"
+
+namespace hjdes::netsim {
+namespace {
+
+NetSimResult run_global_entry(const Topology& topology, const Traffic& traffic,
+                              Time end_time, const NetEngineConfig&) {
+  return run_global_list(topology, traffic, end_time);
+}
+
+NetSimResult run_cmb_entry(const Topology& topology, const Traffic& traffic,
+                           Time end_time, const NetEngineConfig& config) {
+  return run_cmb(topology, traffic, end_time,
+                 CmbConfig{.workers = config.workers});
+}
+
+constexpr NetEngineInfo kEngines[] = {
+    {"global", "sequential global event list (reference)", false,
+     run_global_entry},
+    {"cmb", "conservative null-message engine on the hj runtime", true,
+     run_cmb_entry},
+};
+
+}  // namespace
+
+std::span<const NetEngineInfo> engines() { return kEngines; }
+
+const NetEngineInfo* find_engine(std::string_view name) {
+  for (const NetEngineInfo& e : kEngines) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string engine_list() {
+  std::string out;
+  for (const NetEngineInfo& e : kEngines) {
+    if (!out.empty()) out += '|';
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace hjdes::netsim

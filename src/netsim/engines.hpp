@@ -20,6 +20,10 @@
 //   local clocks provably reach end_time. Runs on the hj runtime with
 //   actor-style node activation.
 
+#include <span>
+#include <string>
+#include <string_view>
+
 #include "netsim/result.hpp"
 #include "netsim/topology.hpp"
 #include "netsim/traffic.hpp"
@@ -39,5 +43,38 @@ struct CmbConfig {
 /// per-packet records bit-identical to run_global_list.
 NetSimResult run_cmb(const Topology& topology, const Traffic& traffic,
                      Time end_time, const CmbConfig& config);
+
+// Engine registry, mirroring des/engines.hpp so tools and benches dispatch
+// by name through one table per domain. It deliberately stays a SEPARATE
+// table rather than folding into des::engines(): a netsim engine consumes
+// (Topology, Traffic, end_time) and yields per-packet NetSimResult records —
+// not a des::Model. The queueing workloads that DO fit the generic LP
+// interface live in des/models/ (--model=mm1); netsim keeps the open-network
+// packet semantics (cyclic routes, progressive null messages) the LP window
+// engines cannot express without losing the CMB comparison this subsystem
+// exists for. See docs/WORKLOADS.md.
+
+/// Knobs a netsim engine consumes (the domain has exactly one so far).
+struct NetEngineConfig {
+  int workers = 1;  ///< ignored by the sequential reference engine
+};
+
+/// One registry entry.
+struct NetEngineInfo {
+  std::string_view name;     ///< CLI name ("global", "cmb")
+  std::string_view summary;  ///< one-line description for --help output
+  bool honors_workers;       ///< false => --workers draws a warning upstream
+  NetSimResult (*run)(const Topology&, const Traffic&, Time end_time,
+                      const NetEngineConfig&);
+};
+
+/// Every netsim engine, reference first.
+std::span<const NetEngineInfo> engines();
+
+/// Look up an engine by CLI name; nullptr when unknown.
+const NetEngineInfo* find_engine(std::string_view name);
+
+/// "global|cmb" — for usage strings.
+std::string engine_list();
 
 }  // namespace hjdes::netsim

@@ -22,14 +22,18 @@ double PartitionStats::imbalance() const {
   return static_cast<double>(max_part_nodes()) / ideal - 1.0;
 }
 
-void validate_partition(const circuit::Netlist& netlist, const Partition& p) {
+void validate_partition(std::size_t node_count, const Partition& p) {
   HJDES_CHECK(p.parts >= 1, "partition must have at least one part");
-  HJDES_CHECK(p.part_of.size() == netlist.node_count(),
+  HJDES_CHECK(p.part_of.size() == node_count,
               "partition assignment size != node count");
   for (std::int32_t part : p.part_of) {
     HJDES_CHECK(part >= 0 && part < p.parts,
                 "partition assignment out of range");
   }
+}
+
+void validate_partition(const circuit::Netlist& netlist, const Partition& p) {
+  validate_partition(netlist.node_count(), p);
 }
 
 PartitionStats partition_stats(const circuit::Netlist& netlist,

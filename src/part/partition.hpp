@@ -39,8 +39,12 @@ struct PartitionStats {
   double imbalance() const;
 };
 
-/// Abort (HJDES_CHECK) unless `p` is a complete, in-range assignment for
-/// `netlist`: parts >= 1, one entry per node, every entry in [0, parts).
+/// Abort (HJDES_CHECK) unless `p` is a complete, in-range assignment for a
+/// graph of `node_count` nodes: parts >= 1, one entry per node, every entry
+/// in [0, parts).
+void validate_partition(std::size_t node_count, const Partition& p);
+
+/// Netlist convenience overload of the above.
 void validate_partition(const circuit::Netlist& netlist, const Partition& p);
 
 /// Count cut edges and per-partition node populations. Validates first.

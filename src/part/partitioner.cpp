@@ -11,9 +11,7 @@
 namespace hjdes::part {
 namespace {
 
-using circuit::FanoutEdge;
 using circuit::Netlist;
-using circuit::NodeId;
 
 // ------------------------------------------------------------------ shared --
 
@@ -83,14 +81,14 @@ void build_csr(std::size_t n,
   g->n = n;
 }
 
-/// Level 0: the netlist viewed as an undirected multigraph.
-LevelGraph netlist_graph(const Netlist& netlist) {
-  const std::size_t n = netlist.node_count();
+/// Level 0: the workload topology viewed as an undirected multigraph.
+LevelGraph level0_graph(const TopologyView& view) {
+  const auto n = static_cast<std::size_t>(view.nodes);
   std::vector<std::pair<std::int64_t, std::int64_t>> arcs;
-  arcs.reserve(netlist.edge_count() * 2);
+  arcs.reserve(view.arc_count() * 2);
   for (std::size_t u = 0; u < n; ++u) {
-    for (const FanoutEdge& e : netlist.fanout(static_cast<NodeId>(u))) {
-      const auto v = static_cast<std::size_t>(e.target);
+    for (std::int32_t target : view.arcs(static_cast<std::int32_t>(u))) {
+      const auto v = static_cast<std::size_t>(target);
       arcs.emplace_back(static_cast<std::int64_t>(u * n + v), 1);
       arcs.emplace_back(static_cast<std::int64_t>(v * n + u), 1);
     }
@@ -249,37 +247,39 @@ void refine(const LevelGraph& g, std::int32_t parts,
 
 }  // namespace
 
-Partition partition_round_robin(const Netlist& netlist, std::int32_t parts) {
+Partition partition_round_robin(const TopologyView& view,
+                                std::int32_t parts) {
   HJDES_CHECK(parts >= 1, "parts must be >= 1");
   Partition p;
   p.parts = parts;
-  p.part_of.resize(netlist.node_count());
-  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+  p.part_of.resize(static_cast<std::size_t>(view.nodes));
+  for (std::size_t i = 0; i < p.part_of.size(); ++i) {
     p.part_of[i] = static_cast<std::int32_t>(i % static_cast<std::size_t>(parts));
   }
   return p;
 }
 
-Partition partition_bfs(const Netlist& netlist, std::int32_t parts) {
+Partition partition_bfs(const TopologyView& view, std::int32_t parts) {
   HJDES_CHECK(parts >= 1, "parts must be >= 1");
-  const std::size_t n = netlist.node_count();
-  // Multi-source BFS from the circuit inputs over fanout edges — the wave
-  // order a signal front would visit gates in.
+  const auto n = static_cast<std::size_t>(view.nodes);
+  // Multi-source BFS from the topology's roots over its arcs — the wave
+  // order a signal front would visit nodes in.
   std::vector<std::int32_t> order;
   order.reserve(n);
   std::vector<bool> seen(n, false);
   RingDeque<std::int32_t> frontier;
-  for (NodeId id : netlist.inputs()) {
+  for (std::int32_t id : view.roots) {
+    if (seen[static_cast<std::size_t>(id)]) continue;
     seen[static_cast<std::size_t>(id)] = true;
     frontier.push_back(id);
   }
   while (!frontier.empty()) {
     const std::int32_t u = frontier.pop_front();
     order.push_back(u);
-    for (const FanoutEdge& e : netlist.fanout(u)) {
-      if (!seen[static_cast<std::size_t>(e.target)]) {
-        seen[static_cast<std::size_t>(e.target)] = true;
-        frontier.push_back(e.target);
+    for (std::int32_t target : view.arcs(u)) {
+      if (!seen[static_cast<std::size_t>(target)]) {
+        seen[static_cast<std::size_t>(target)] = true;
+        frontier.push_back(target);
       }
     }
   }
@@ -294,19 +294,19 @@ Partition partition_bfs(const Netlist& netlist, std::int32_t parts) {
   return p;
 }
 
-Partition partition_multilevel(const Netlist& netlist, std::int32_t parts,
+Partition partition_multilevel(const TopologyView& view, std::int32_t parts,
                                const MultilevelOptions& options) {
   HJDES_CHECK(parts >= 1, "parts must be >= 1");
   Partition result;
   result.parts = parts;
   if (parts == 1) {
-    result.part_of.assign(netlist.node_count(), 0);
+    result.part_of.assign(static_cast<std::size_t>(view.nodes), 0);
     return result;
   }
 
   Xoshiro256 rng(options.seed);
   std::vector<LevelGraph> levels;
-  levels.push_back(netlist_graph(netlist));
+  levels.push_back(level0_graph(view));
   const std::size_t target = std::max<std::size_t>(
       static_cast<std::size_t>(parts) * options.coarsen_factor, 64);
   while (levels.back().n > target) {
@@ -340,18 +340,36 @@ Partition partition_multilevel(const Netlist& netlist, std::int32_t parts,
   return result;
 }
 
-Partition make_partition(const Netlist& netlist, std::int32_t parts,
+Partition make_partition(const TopologyView& view, std::int32_t parts,
                          PartitionerKind kind) {
   switch (kind) {
     case PartitionerKind::kRoundRobin:
-      return partition_round_robin(netlist, parts);
+      return partition_round_robin(view, parts);
     case PartitionerKind::kBfs:
-      return partition_bfs(netlist, parts);
+      return partition_bfs(view, parts);
     case PartitionerKind::kMultilevel:
-      return partition_multilevel(netlist, parts);
+      return partition_multilevel(view, parts);
   }
   HJDES_CHECK(false, "unknown partitioner kind");
   return {};
+}
+
+Partition partition_round_robin(const Netlist& netlist, std::int32_t parts) {
+  return partition_round_robin(topology_view(netlist), parts);
+}
+
+Partition partition_bfs(const Netlist& netlist, std::int32_t parts) {
+  return partition_bfs(topology_view(netlist), parts);
+}
+
+Partition partition_multilevel(const Netlist& netlist, std::int32_t parts,
+                               const MultilevelOptions& options) {
+  return partition_multilevel(topology_view(netlist), parts, options);
+}
+
+Partition make_partition(const Netlist& netlist, std::int32_t parts,
+                         PartitionerKind kind) {
+  return make_partition(topology_view(netlist), parts, kind);
 }
 
 std::string_view partitioner_name(PartitionerKind kind) noexcept {

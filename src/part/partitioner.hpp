@@ -1,25 +1,33 @@
 #pragma once
-// Graph partitioners over circuit netlists. Three algorithms, in increasing
-// quality order:
+// Graph partitioners over workload topologies. Three algorithms, in
+// increasing quality order:
 //
 //   round-robin — node i goes to partition i % k. No locality at all; the
 //                 baseline the better partitioners are measured against.
-//   bfs         — breadth-first order from the circuit inputs, chopped into
-//                 k equal contiguous blocks. Cheap and respects the
-//                 level structure of a circuit, so most fanout edges stay
-//                 inside a block.
+//   bfs         — breadth-first order from the topology's roots (circuit
+//                 inputs, model sources), chopped into k equal contiguous
+//                 blocks. Cheap and respects the level structure of a
+//                 feed-forward workload, so most arcs stay inside a block.
 //   multilevel  — the METIS recipe [Karypis & Kumar 1998] scaled to netlist
 //                 sizes: coarsen by heavy-edge matching until the graph is
 //                 small, partition the coarse graph by weighted BFS blocks,
 //                 then project back level by level, running a greedy
 //                 KL/FM-style boundary refinement at each level.
 //
-// All partitioners are deterministic for a given (netlist, parts, options).
+// The core algorithms consume a part::TopologyView (topology_view.hpp), so
+// any workload that can describe itself as a directed graph — a
+// circuit::Netlist or a des::Model — partitions through the same code. The
+// Netlist overloads below are thin wrappers over topology_view(netlist) and
+// produce bit-identical assignments to the historical netlist-only
+// partitioners.
+//
+// All partitioners are deterministic for a given (topology, parts, options).
 
 #include <cstdint>
 #include <string_view>
 
 #include "part/partition.hpp"
+#include "part/topology_view.hpp"
 
 namespace hjdes::part {
 
@@ -42,6 +50,18 @@ struct MultilevelOptions {
   std::uint64_t seed = 1;
 };
 
+Partition partition_round_robin(const TopologyView& view, std::int32_t parts);
+
+Partition partition_bfs(const TopologyView& view, std::int32_t parts);
+
+Partition partition_multilevel(const TopologyView& view, std::int32_t parts,
+                               const MultilevelOptions& options = {});
+
+/// Dispatch by kind (multilevel uses default options).
+Partition make_partition(const TopologyView& view, std::int32_t parts,
+                         PartitionerKind kind);
+
+// Netlist convenience wrappers: partition topology_view(netlist).
 Partition partition_round_robin(const circuit::Netlist& netlist,
                                 std::int32_t parts);
 
@@ -51,7 +71,6 @@ Partition partition_multilevel(const circuit::Netlist& netlist,
                                std::int32_t parts,
                                const MultilevelOptions& options = {});
 
-/// Dispatch by kind (multilevel uses default options).
 Partition make_partition(const circuit::Netlist& netlist, std::int32_t parts,
                          PartitionerKind kind);
 

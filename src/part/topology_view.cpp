@@ -1,0 +1,22 @@
+#include "part/topology_view.hpp"
+
+namespace hjdes::part {
+
+TopologyView topology_view(const circuit::Netlist& netlist) {
+  TopologyView view;
+  view.nodes = static_cast<std::int32_t>(netlist.node_count());
+  view.arc_start.assign(netlist.node_count() + 1, 0);
+  view.arc_target.reserve(netlist.edge_count());
+  for (std::size_t u = 0; u < netlist.node_count(); ++u) {
+    view.arc_start[u] = view.arc_target.size();
+    for (const circuit::FanoutEdge& e :
+         netlist.fanout(static_cast<circuit::NodeId>(u))) {
+      view.arc_target.push_back(e.target);
+    }
+  }
+  view.arc_start[netlist.node_count()] = view.arc_target.size();
+  view.roots.assign(netlist.inputs().begin(), netlist.inputs().end());
+  return view;
+}
+
+}  // namespace hjdes::part

@@ -1,0 +1,41 @@
+#pragma once
+// Workload-neutral directed-graph view consumed by the partitioners. The
+// partitioning algorithms only ever need three things from a workload: how
+// many nodes there are, the directed arcs between them, and a set of BFS
+// roots (the "signal sources" a wavefront order should start from). A
+// TopologyView carries exactly that, so circuits (circuit::Netlist) and
+// logical-process models (des::Model) share one partitioner implementation
+// instead of each growing their own.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace hjdes::part {
+
+/// CSR adjacency of a directed graph plus BFS roots. Arc order is the
+/// workload's natural emission order, which keeps the partitioners
+/// deterministic for a given source object.
+struct TopologyView {
+  std::int32_t nodes = 0;
+  std::vector<std::size_t> arc_start;    ///< size nodes + 1
+  std::vector<std::int32_t> arc_target;  ///< out-neighbors, CSR-packed
+  std::vector<std::int32_t> roots;       ///< BFS seeds (may be empty)
+
+  std::size_t arc_count() const { return arc_target.size(); }
+
+  /// Out-neighbors of node `u`.
+  std::span<const std::int32_t> arcs(std::int32_t u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {arc_target.data() + arc_start[i], arc_start[i + 1] - arc_start[i]};
+  }
+};
+
+/// The netlist as a TopologyView: one arc per fanout edge (in fanout order),
+/// roots = the circuit inputs. partition_*(netlist, ...) routes through this,
+/// so the view is bit-compatible with the historical netlist partitions.
+TopologyView topology_view(const circuit::Netlist& netlist);
+
+}  // namespace hjdes::part

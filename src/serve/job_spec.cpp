@@ -84,17 +84,45 @@ bool int_array_field(const Json& obj, const char* key, std::int64_t lo,
   return true;
 }
 
+bool string_array_field(const Json& obj, const char* key,
+                        std::vector<std::string>* out, std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_array()) {
+    *error = std::string("field '") + key + "' must be an array of strings";
+    return false;
+  }
+  out->clear();
+  for (const Json& item : v->as_array()) {
+    if (!item.is_string()) {
+      *error = std::string("field '") + key + "' entries must be strings";
+      return false;
+    }
+    out->push_back(item.as_string());
+  }
+  if (out->empty()) {
+    *error = std::string("field '") + key + "' must not be an empty array";
+    return false;
+  }
+  return true;
+}
+
 /// Keys a job spec may carry; anything else is a reject (typo safety: a
 /// misspelled "replications" silently running 1 trial would be worse).
 constexpr const char* kKnownKeys[] = {
     "id",          "circuit",         "engine",  "workers",
     "replications", "seed",           "vectors", "interval",
     "sweep_vectors", "sweep_intervals", "deadline_ms", "pack",
+    "model",       "model_params",    "sweep_params",
 };
 
 }  // namespace
 
 std::size_t JobSpec::trial_count() const {
+  if (model != "circuit") {
+    const std::size_t np = sweep_params.empty() ? 1 : sweep_params.size();
+    return static_cast<std::size_t>(replications) * np;
+  }
   const std::size_t nv = sweep_vectors.empty() ? 1 : sweep_vectors.size();
   const std::size_t ni = sweep_intervals.empty() ? 1 : sweep_intervals.size();
   return static_cast<std::size_t>(replications) * nv * ni;
@@ -120,9 +148,35 @@ bool parse_job_spec(const Json& json, JobSpec* out, std::string* error) {
   }
 
   if (!string_field(json, "circuit", &out->circuit, error)) return false;
-  if (out->circuit.empty()) {
-    *error = "field 'circuit' is required";
+  if (!string_field(json, "model", &out->model, error)) return false;
+  if (!string_field(json, "model_params", &out->model_params, error)) {
     return false;
+  }
+  if (!string_array_field(json, "sweep_params", &out->sweep_params, error)) {
+    return false;
+  }
+  if (out->model == "circuit") {
+    if (out->circuit.empty()) {
+      *error = "field 'circuit' is required";
+      return false;
+    }
+    if (!out->model_params.empty() || !out->sweep_params.empty()) {
+      *error = "fields 'model_params'/'sweep_params' require a non-circuit "
+               "'model'";
+      return false;
+    }
+  } else {
+    // Non-circuit jobs take model parameters, not circuit stimulus knobs —
+    // a present-but-inert stimulus field would make the sweep a lie.
+    for (const char* key : {"circuit", "vectors", "interval", "sweep_vectors",
+                            "sweep_intervals"}) {
+      if (json.find(key) != nullptr) {
+        *error = std::string("field '") + key +
+                 "' applies to circuit jobs only (model '" + out->model +
+                 "' takes 'model_params'/'sweep_params')";
+        return false;
+      }
+    }
   }
   if (!string_field(json, "engine", &out->engine, error)) return false;
 
@@ -166,6 +220,25 @@ bool parse_job_spec_line(std::string_view line, JobSpec* out,
 }
 
 std::vector<TrialSpec> expand_trials(const JobSpec& spec) {
+  if (spec.model != "circuit") {
+    const std::vector<std::string> points =
+        spec.sweep_params.empty() ? std::vector<std::string>{spec.model_params}
+                                  : spec.sweep_params;
+    std::vector<TrialSpec> trials;
+    trials.reserve(spec.trial_count());
+    std::size_t index = 0;
+    for (const std::string& params : points) {
+      for (int r = 0; r < spec.replications; ++r) {
+        TrialSpec t;
+        t.index = index;
+        t.params = params;
+        t.seed = spec.seed + index;
+        trials.push_back(std::move(t));
+        ++index;
+      }
+    }
+    return trials;
+  }
   const std::vector<std::size_t> vecs =
       spec.sweep_vectors.empty() ? std::vector<std::size_t>{spec.vectors}
                                  : spec.sweep_vectors;

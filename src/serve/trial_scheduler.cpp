@@ -14,6 +14,7 @@
 #include "check/invariant.hpp"
 #include "circuit/stimulus.hpp"
 #include "des/engines.hpp"
+#include "des/model_registry.hpp"
 #include "des/packed_engine.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -233,6 +234,10 @@ struct TrialScheduler::Impl {
   void run_scalar_unit(const WorkUnit& unit) {
     Job& job = *unit.job;
     const TrialSpec& trial = job.trials[unit.first];
+    if (job.spec.model != "circuit") {
+      run_model_trial(job, trial);
+      return;
+    }
     const circuit::Stimulus stimulus = circuit::random_stimulus(
         job.netlist, trial.vectors, trial.interval, trial.seed);
     const des::SimInput input(job.netlist, stimulus);
@@ -244,7 +249,38 @@ struct TrialScheduler::Impl {
         job.engine->name == "seq" ? des::run_sequential(input)
                                   : job.engine->run(input, job.run_config);
     const double ms = timer.millis();
-    record_trial(job, trial, result, ms, /*packed=*/false);
+    const std::uint64_t checksum =
+        config.keep_trials ? result_checksum(result) : 0;
+    record_trial(job, trial, result.events_processed, checksum, ms,
+                 /*packed=*/false);
+  }
+
+  void run_model_trial(Job& job, const TrialSpec& trial) {
+    // Admission already dry-built every sweep point, so a failure here
+    // would be a registry bug, not client input; count it as a failed
+    // trial rather than aborting the worker.
+    std::string error;
+    std::unique_ptr<des::Model> model = des::make_model(
+        job.spec.model, trial.params, trial.seed, &error);
+    if (model == nullptr) {
+      serve_metrics().trials_failed.increment();
+      HbLock lock(job.mu, job.hb);
+      JobResult& r = job.acct.write().result;
+      r.failed += 1;
+      if (config.keep_trials) {
+        TrialOutcome o;
+        o.index = trial.index;
+        o.ok = false;
+        r.outcomes.push_back(o);
+      }
+      return;
+    }
+    Timer timer;
+    const des::ModelResult result = job.engine->run_model(*model,
+                                                          job.run_config);
+    const double ms = timer.millis();
+    record_trial(job, trial, result.events_processed, result.checksum, ms,
+                 /*packed=*/false);
   }
 
   void run_packed_unit(const WorkUnit& unit) {
@@ -268,15 +304,15 @@ struct TrialScheduler::Impl {
     const double ms = timer.millis() / static_cast<double>(unit.count);
     serve_metrics().packed_passes.increment();
     for (std::size_t i = 0; i < unit.count; ++i) {
-      record_trial(job, job.trials[unit.first + i], packed.lanes[i], ms,
+      const des::SimResult& lane = packed.lanes[i];
+      record_trial(job, job.trials[unit.first + i], lane.events_processed,
+                   config.keep_trials ? result_checksum(lane) : 0, ms,
                    /*packed=*/true);
     }
   }
 
-  void record_trial(Job& job, const TrialSpec& trial,
-                    const des::SimResult& result, double ms, bool packed) {
-    const std::uint64_t checksum =
-        config.keep_trials ? result_checksum(result) : 0;
+  void record_trial(Job& job, const TrialSpec& trial, std::uint64_t events,
+                    std::uint64_t checksum, double ms, bool packed) {
     serve_metrics().trials_completed.increment();
     if (packed) serve_metrics().trials_packed.increment();
     serve_metrics().trial_us.record(
@@ -287,16 +323,16 @@ struct TrialScheduler::Impl {
     // increment; the admission ledger oracle flags the job at retirement.
     if (!fault::should_inject(fault::Site::kTrialMiscount)) r.completed += 1;
     if (packed) r.packed_trials += 1;
-    r.events_stats.add(static_cast<double>(result.events_processed));
+    r.events_stats.add(static_cast<double>(events));
     r.ms_stats.add(ms);
-    r.total_events += result.events_processed;
+    r.total_events += events;
     if (config.keep_trials) {
       TrialOutcome o;
       o.index = trial.index;
       o.ok = true;
       o.packed = packed;
       o.ms = ms;
-      o.events = result.events_processed;
+      o.events = events;
       o.checksum = checksum;
       r.outcomes.push_back(o);
     }
@@ -435,17 +471,50 @@ struct TrialScheduler::Impl {
                        g_job_ordinal.fetch_add(1, std::memory_order_relaxed));
     }
     std::string error;
-    if (!load_job_circuit(spec, &job->netlist, &error)) {
-      a.reason = error;
-      return reject(a);
+    if (spec.model == "circuit") {
+      if (!load_job_circuit(spec, &job->netlist, &error)) {
+        a.reason = error;
+        return reject(a);
+      }
+    } else {
+      // Dry-build every sweep point now so bad model parameters bounce at
+      // admission with the factory's reason, never on a worker. Replications
+      // vary only the injected seed, so one build per point suffices —
+      // a point that pins "seed" itself would collapse its replications
+      // into identical trials, so that is a reject too.
+      const std::vector<std::string> points =
+          spec.sweep_params.empty()
+              ? std::vector<std::string>{spec.model_params}
+              : spec.sweep_params;
+      for (const std::string& point : points) {
+        des::ModelParams params;
+        if (des::ModelParams::parse(point, &params, &error) &&
+            params.has("seed")) {
+          a.reason = "model params '" + point + "' must not pin 'seed' "
+                     "(per-trial seeds come from the job's 'seed' field)";
+          return reject(a);
+        }
+        if (des::make_model(spec.model, point, spec.seed, &error) ==
+            nullptr) {
+          a.reason = error;
+          return reject(a);
+        }
+      }
     }
 
     job->engine = engine;
     job->run_config.workers = spec.workers;
+    job->run_config.model = spec.model;
+    job->run_config.model_params = spec.model_params;
     des::RunValidation validation = des::validate_run_config(
         job->run_config, engine->caps, engine->name);
     if (!validation.ok()) {
       a.reason = validation.errors.front();
+      return reject(a);
+    }
+    if (spec.model != "circuit" && engine->run_model == nullptr) {
+      a.reason = "engine '" + spec.engine + "' cannot run model '" +
+                 spec.model + "'";
       return reject(a);
     }
 
@@ -464,9 +533,11 @@ struct TrialScheduler::Impl {
     // Carve the trial list into work units. Replications inside one sweep
     // point are contiguous and share a stimulus timeline, so runs of >= 2
     // trials with equal (vectors, interval) ride the 64-lane packed core
-    // when the job, the scheduler and the engine all allow it.
-    const bool packable =
-        config.pack && job->spec.pack && engine->caps.honors_bitparallel;
+    // when the job, the scheduler and the engine all allow it. Model jobs
+    // are never packable: the lanes trick packs circuit stimulus bits.
+    const bool packable = config.pack && job->spec.pack &&
+                          engine->caps.honors_bitparallel &&
+                          job->spec.model == "circuit";
     std::vector<WorkUnit> units;
     std::size_t i = 0;
     const std::size_t n = job->trials.size();

@@ -247,6 +247,104 @@ TEST(RunConfig, HonoringEngineAcceptsQueueAndBitparallel) {
   EXPECT_TRUE(v.warnings.empty());
 }
 
+// --model validation: the name must exist, circuit-only engines and knobs
+// must hard-error with messages naming flag + engine + model, and the CLI
+// mapping must carry the new flags.
+TEST(RunConfig, UnknownModelNameIsAnErrorListingTheRegistry) {
+  RunConfig config;
+  config.model = "nosuch";
+  const RunValidation v = validate_run_config(config, all_caps(), "seq");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--model"));
+  EXPECT_TRUE(mentions(v.errors, "nosuch"));
+  EXPECT_TRUE(mentions(v.errors, "phold"));
+}
+
+TEST(RunConfig, NonCircuitModelOnCircuitOnlyEngineIsAHardError) {
+  RunConfig config;
+  config.model = "phold";
+  const RunValidation v =
+      validate_run_config(config, EngineCaps{}, "timewarp");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "'timewarp'"));
+  EXPECT_TRUE(mentions(v.errors, "phold"));
+}
+
+TEST(RunConfig, BitparallelOnAModelErrorsNamingFlagEngineAndModel) {
+  EngineCaps caps = all_caps();
+  caps.supports_models = true;
+  RunConfig config;
+  config.model = "phold";
+  config.bitparallel = 64;
+  const RunValidation v = validate_run_config(config, caps, "seq");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--bitparallel"));
+  EXPECT_TRUE(mentions(v.errors, "'seq'"));
+  EXPECT_TRUE(mentions(v.errors, "phold"));
+}
+
+TEST(RunConfig, QueueOnAModelErrorsNamingFlagEngineAndModel) {
+  EngineCaps caps = all_caps();
+  caps.supports_models = true;
+  RunConfig config;
+  config.model = "mm1";
+  config.queue_kind = QueueKind::kLadder;
+  const RunValidation v = validate_run_config(config, caps, "hj");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--queue"));
+  EXPECT_TRUE(mentions(v.errors, "'hj'"));
+  EXPECT_TRUE(mentions(v.errors, "mm1"));
+}
+
+TEST(RunConfig, ModelParamsOnTheCircuitModelIsAnError) {
+  RunConfig config;
+  config.model_params = "lps=64";
+  const RunValidation v = validate_run_config(config, all_caps(), "seq");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(mentions(v.errors, "--model-params"));
+}
+
+TEST(RunConfig, ModelSupportingEngineAcceptsModelsCleanly) {
+  EngineCaps caps = all_caps();
+  caps.supports_models = true;
+  RunConfig config;
+  config.model = "phold";
+  config.model_params = "lps=64";
+  const RunValidation v = validate_run_config(config, caps, "seq");
+  EXPECT_TRUE(v.ok());
+  EXPECT_TRUE(v.warnings.empty());
+}
+
+TEST(RunConfig, CliMapsModelFlags) {
+  const char* argv[] = {"prog", "--model=phold",
+                        "--model-params=lps=128,end=500"};
+  Cli cli(static_cast<int>(std::size(argv)), argv);
+  EngineCaps caps = all_caps();
+  caps.supports_models = true;
+  RunValidation v;
+  const RunConfig config = run_config_from_cli(cli, caps, "seq", &v);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(config.model, "phold");
+  EXPECT_EQ(config.model_params, "lps=128,end=500");
+  EXPECT_TRUE(run_config_flags().known("model"));
+  EXPECT_TRUE(run_config_flags().known("model-params"));
+}
+
+TEST(RunConfig, RegistryModelCapsMatchTheEngines) {
+  for (const char* name : {"seq", "hj", "partitioned"}) {
+    const EngineInfo* e = find_engine(name);
+    ASSERT_NE(e, nullptr) << name;
+    EXPECT_TRUE(e->caps.supports_models) << name;
+    EXPECT_NE(e->run_model, nullptr) << name;
+  }
+  for (const char* name : {"seqpq", "galois", "actor", "timewarp"}) {
+    const EngineInfo* e = find_engine(name);
+    ASSERT_NE(e, nullptr) << name;
+    EXPECT_FALSE(e->caps.supports_models) << name;
+    EXPECT_EQ(e->run_model, nullptr) << name;
+  }
+}
+
 TEST(RunConfig, UnknownFlagDetectionViaFlagTable) {
   const char* argv[] = {"prog", "--workers=2", "--warp-speed=9"};
   Cli cli(static_cast<int>(std::size(argv)), argv);

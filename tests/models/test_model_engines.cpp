@@ -1,0 +1,134 @@
+// Cross-engine bit-identity matrix for the generic LP engines: for every
+// (model, parameter point) pair, sequential, hj and partitioned must agree on
+// the full ModelResult — checksum (the state-history oracle), event count,
+// message count and round count. This is the LP-interface analog of
+// des/test_engine_equivalence.cpp, and the acceptance gate for --model
+// workloads: a scheduling bug in a parallel engine perturbs some LP's
+// processing order and shows up as a checksum mismatch here.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/engines.hpp"
+#include "des/lp_engines.hpp"
+#include "des/model_registry.hpp"
+
+namespace hjdes::des {
+namespace {
+
+struct MatrixPoint {
+  const char* model;
+  const char* params;
+};
+
+// >= 3 parameter points per model: small/contended, default-ish, and a
+// stress point (high remote fraction / long chain) per the issue matrix.
+const MatrixPoint kMatrix[] = {
+    {"phold", "lps=64,pop=2,remote=10,lookahead=2,spread=8,end=400"},
+    {"phold", "lps=256,pop=4,remote=50,lookahead=4,spread=16,end=500"},
+    {"phold", "lps=128,pop=8,remote=90,lookahead=1,spread=4,end=300"},
+    {"phold", "lps=33,pop=3,remote=100,lookahead=7,spread=1,end=600"},
+    {"mm1", "stations=1,arrive=4,service=3,end=2000"},
+    {"mm1", "stations=4,arrive=8,service=6,end=4000"},
+    {"mm1", "stations=12,arrive=5,service=4,end=3000"},
+};
+
+std::unique_ptr<Model> build(const MatrixPoint& point, std::uint64_t seed) {
+  std::string error;
+  std::unique_ptr<Model> model =
+      make_model(point.model, point.params, seed, &error);
+  EXPECT_NE(model, nullptr) << point.model << "(" << point.params
+                            << "): " << error;
+  return model;
+}
+
+void expect_same(const ModelResult& ref, const ModelResult& got,
+                 const MatrixPoint& point, const char* engine) {
+  EXPECT_EQ(got.checksum, ref.checksum)
+      << engine << " diverged on " << point.model << "(" << point.params
+      << ")";
+  EXPECT_EQ(got.events_processed, ref.events_processed) << engine;
+  EXPECT_EQ(got.messages_sent, ref.messages_sent) << engine;
+  EXPECT_EQ(got.rounds, ref.rounds) << engine;
+}
+
+TEST(ModelEngines, SeqHjPartitionedAreBitIdenticalAcrossTheMatrix) {
+  for (const MatrixPoint& point : kMatrix) {
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      std::unique_ptr<Model> seq_model = build(point, seed);
+      const ModelResult ref = run_model_sequential(*seq_model);
+      ASSERT_GT(ref.events_processed, 0u)
+          << point.model << "(" << point.params << ") ran nothing";
+
+      ModelEngineConfig cfg;
+      cfg.workers = 4;
+      std::unique_ptr<Model> hj_model = build(point, seed);
+      expect_same(ref, run_model_hj(*hj_model, cfg), point, "hj");
+
+      for (const std::int32_t parts : {0, 3}) {
+        ModelEngineConfig pcfg = cfg;
+        pcfg.parts = parts;
+        std::unique_ptr<Model> part_model = build(point, seed);
+        expect_same(ref, run_model_partitioned(*part_model, pcfg), point,
+                    "partitioned");
+      }
+    }
+  }
+}
+
+TEST(ModelEngines, DifferentSeedsProduceDifferentChecksums) {
+  const MatrixPoint point = kMatrix[1];
+  std::unique_ptr<Model> a = build(point, 1);
+  std::unique_ptr<Model> b = build(point, 2);
+  EXPECT_NE(run_model_sequential(*a).checksum,
+            run_model_sequential(*b).checksum);
+}
+
+TEST(ModelEngines, PartitionerChoiceDoesNotChangeTheResult) {
+  const MatrixPoint point = kMatrix[2];
+  std::unique_ptr<Model> seq_model = build(point, 3);
+  const ModelResult ref = run_model_sequential(*seq_model);
+  for (const part::PartitionerKind kind :
+       {part::PartitionerKind::kRoundRobin, part::PartitionerKind::kBfs,
+        part::PartitionerKind::kMultilevel}) {
+    ModelEngineConfig cfg;
+    cfg.workers = 3;
+    cfg.partitioner = kind;
+    std::unique_ptr<Model> model = build(point, 3);
+    expect_same(ref, run_model_partitioned(*model, cfg), point,
+                "partitioned");
+  }
+}
+
+// The registry's run_model entries must dispatch to the same engines, with
+// the supports_models cap and the function pointer paired on every entry.
+TEST(ModelEngines, RegistryEntriesDispatchAndPairWithTheCap) {
+  int model_capable = 0;
+  for (const EngineInfo& e : engines()) {
+    EXPECT_EQ(e.run_model != nullptr, e.caps.supports_models)
+        << "engine '" << e.name
+        << "': run_model and supports_models must agree";
+    if (e.run_model != nullptr) ++model_capable;
+  }
+  EXPECT_GE(model_capable, 3) << "seq, hj and partitioned at minimum";
+
+  const MatrixPoint point = kMatrix[0];
+  std::unique_ptr<Model> seq_model = build(point, 5);
+  const ModelResult ref = run_model_sequential(*seq_model);
+  RunConfig config;
+  config.model = point.model;
+  config.model_params = point.params;
+  config.workers = 2;
+  for (const char* name : {"seq", "hj", "partitioned"}) {
+    const EngineInfo* engine = find_engine(name);
+    ASSERT_NE(engine, nullptr) << name;
+    ASSERT_NE(engine->run_model, nullptr) << name;
+    std::unique_ptr<Model> model = build(point, 5);
+    expect_same(ref, engine->run_model(*model, config), point, name);
+  }
+}
+
+}  // namespace
+}  // namespace hjdes::des

@@ -1,0 +1,223 @@
+// The generic LP abstraction (des/model.hpp) and its registry: parameter
+// parsing rejects what the factories cannot build, every registered model
+// passes topology validation, and the CircuitModel compatibility witness
+// reproduces des::run_sequential's waveforms bit for bit through the generic
+// sequential engine.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "des/lp_engines.hpp"
+#include "des/model_registry.hpp"
+#include "des/models/circuit_model.hpp"
+#include "des/models/mm1.hpp"
+#include "des/models/phold.hpp"
+#include "des/seq_engine.hpp"
+#include "des/sim_input.hpp"
+
+namespace hjdes::des {
+namespace {
+
+TEST(ModelParams, ParsesKeyValueList) {
+  ModelParams p;
+  std::string error;
+  ASSERT_TRUE(ModelParams::parse("lps=64,end=100,,", &p, &error)) << error;
+  EXPECT_TRUE(p.has("lps"));
+  EXPECT_EQ(p.get_int("lps", 0, &error), 64);
+  EXPECT_EQ(p.get_int("end", 0, &error), 100);
+  EXPECT_EQ(p.get_int("missing", 7, &error), 7);
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST(ModelParams, RejectsMalformedAndDuplicateEntries) {
+  ModelParams p;
+  std::string error;
+  EXPECT_FALSE(ModelParams::parse("lps", &p, &error));
+  EXPECT_NE(error.find("lps"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(ModelParams::parse("a=1,a=2", &p, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ModelParams, NonIntegerValueReportsTheKey) {
+  ModelParams p;
+  std::string error;
+  ASSERT_TRUE(ModelParams::parse("lps=many", &p, &error));
+  (void)p.get_int("lps", 1, &error);
+  EXPECT_NE(error.find("lps"), std::string::npos);
+  EXPECT_NE(error.find("many"), std::string::npos);
+}
+
+TEST(ModelRegistry, ListsEveryModelAndFindsByName) {
+  EXPECT_GE(models().size(), 3u);
+  for (const ModelInfo& m : models()) {
+    EXPECT_EQ(find_model(m.name), &m);
+    EXPECT_NE(model_list().find(m.name), std::string::npos);
+  }
+  EXPECT_EQ(find_model("nosuch"), nullptr);
+}
+
+TEST(ModelRegistry, UnknownModelNameListsTheRegistry) {
+  std::string error;
+  EXPECT_EQ(make_model("nosuch", "", 1, &error), nullptr);
+  EXPECT_NE(error.find("nosuch"), std::string::npos);
+  EXPECT_NE(error.find("phold"), std::string::npos);
+}
+
+TEST(ModelRegistry, UnknownParameterKeyIsRejectedWithTheAcceptedList) {
+  std::string error;
+  EXPECT_EQ(make_model("phold", "lsp=64", 1, &error), nullptr);
+  EXPECT_NE(error.find("lsp"), std::string::npos);
+  EXPECT_NE(error.find("lps="), std::string::npos) << "names the accepted keys";
+}
+
+TEST(ModelRegistry, OutOfRangeParametersAreRejected) {
+  std::string error;
+  EXPECT_EQ(make_model("phold", "remote=101", 1, &error), nullptr);
+  EXPECT_NE(error.find("remote"), std::string::npos);
+  error.clear();
+  EXPECT_EQ(make_model("mm1", "stations=0", 1, &error), nullptr);
+  EXPECT_NE(error.find("stations"), std::string::npos);
+}
+
+TEST(ModelRegistry, DefaultSeedIsInjectedOnlyWhenAbsent) {
+  std::string error;
+  std::unique_ptr<Model> a = make_model("phold", "lps=32,end=200", 5, &error);
+  std::unique_ptr<Model> b = make_model("phold", "lps=32,end=200,seed=5",
+                                        999, &error);
+  std::unique_ptr<Model> c = make_model("phold", "lps=32,end=200", 6, &error);
+  ASSERT_NE(a, nullptr) << error;
+  ASSERT_NE(b, nullptr) << error;
+  ASSERT_NE(c, nullptr) << error;
+  const std::uint64_t ca = run_model_sequential(*a).checksum;
+  const std::uint64_t cb = run_model_sequential(*b).checksum;
+  const std::uint64_t cc = run_model_sequential(*c).checksum;
+  EXPECT_EQ(ca, cb) << "explicit seed=5 must equal injected default 5";
+  EXPECT_NE(ca, cc) << "different seeds must change the run";
+}
+
+TEST(ModelTopology, EveryRegisteredModelValidates) {
+  std::string error;
+  for (const ModelInfo& m : models()) {
+    std::unique_ptr<Model> model = make_model(m.name, "", 1, &error);
+    ASSERT_NE(model, nullptr) << m.name << ": " << error;
+    EXPECT_EQ(validate_model_topology(*model), "") << m.name;
+    EXPECT_GE(model_min_lookahead(*model), 1) << m.name;
+  }
+}
+
+// A deliberately broken model, to pin the validator's reasons.
+class BrokenModel final : public Model {
+ public:
+  explicit BrokenModel(LpNeighbor edge) : edge_(edge) {}
+  std::string_view name() const override { return "broken"; }
+  LpId lp_count() const override { return 2; }
+  std::span<const LpNeighbor> neighbors(LpId lp) const override {
+    return lp == 0 ? std::span<const LpNeighbor>(&edge_, 1)
+                   : std::span<const LpNeighbor>();
+  }
+  Time end_time() const override { return 10; }
+  void init(LpId, InitSink&) override {}
+  void on_message(LpId, const LpMessage&, SendContext&) override {}
+  std::uint64_t lp_checksum(LpId) const override { return 0; }
+
+ private:
+  LpNeighbor edge_;
+};
+
+TEST(ModelTopology, ValidatorNamesOutOfRangeTargetsAndBadLookahead) {
+  const std::string bad_target =
+      validate_model_topology(BrokenModel({.target = 7}));
+  EXPECT_NE(bad_target.find("target"), std::string::npos) << bad_target;
+  const std::string bad_lookahead = validate_model_topology(
+      BrokenModel({.target = 1, .lookahead = 0}));
+  EXPECT_NE(bad_lookahead.find("lookahead"), std::string::npos)
+      << bad_lookahead;
+}
+
+TEST(ModelTopology, ViewSkipsSelfEdgesAndFindsRoots) {
+  PholdParams p;
+  p.lps = 16;
+  PholdModel phold(p);
+  const part::TopologyView view = model_topology_view(phold);
+  EXPECT_EQ(view.nodes, 16);
+  // 4 edges per LP, one of which is the dropped self-edge.
+  EXPECT_EQ(view.arc_count(), 16u * 3u);
+  EXPECT_TRUE(view.roots.empty()) << "a ring has no zero-in-degree LP";
+
+  Mm1Params m;
+  Mm1Model mm1(m);
+  const part::TopologyView mview = model_topology_view(mm1);
+  ASSERT_EQ(mview.roots.size(), 1u) << "the source is the only root";
+  EXPECT_EQ(mview.roots.front(), 0);
+}
+
+TEST(Phold, TopologyShapeMatchesTheSpec) {
+  PholdParams p;
+  p.lps = 8;
+  p.lookahead = 3;
+  PholdModel model(p);
+  ASSERT_EQ(model.lp_count(), 8);
+  const std::span<const LpNeighbor> edges = model.neighbors(0);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[0].target, 0) << "edge 0 is the self-edge";
+  EXPECT_EQ(edges[1].target, 7) << "wrap to lp-1";
+  EXPECT_EQ(edges[2].target, 1);
+  EXPECT_EQ(edges[3].target, 2);
+  for (const LpNeighbor& e : edges) EXPECT_EQ(e.lookahead, 3);
+}
+
+TEST(Mm1, ConservationHoldsAtTheHorizon) {
+  std::string error;
+  std::unique_ptr<Model> model =
+      make_model("mm1", "stations=3,arrive=6,service=4,end=3000", 2, &error);
+  ASSERT_NE(model, nullptr) << error;
+  const ModelResult r = run_model_sequential(*model);
+  EXPECT_GT(r.events_processed, 0u);
+  // Identical reconstruction => identical run: the checksum is a pure
+  // function of (params, seed).
+  std::unique_ptr<Model> again =
+      make_model("mm1", "stations=3,arrive=6,service=4,end=3000", 2, &error);
+  EXPECT_EQ(run_model_sequential(*again).checksum, r.checksum);
+}
+
+TEST(CircuitModel, WaveformsMatchTheClassicSequentialEngine) {
+  for (const char* spec : {"ks8", "mul4", "ripple6"}) {
+    circuit::Netlist netlist;
+    ASSERT_TRUE(circuit::make_generated(spec, &netlist)) << spec;
+    const circuit::Stimulus stimulus =
+        circuit::random_stimulus(netlist, 6, 10, 42);
+    const SimInput input(netlist, stimulus);
+    const SimResult ref = run_sequential(input);
+
+    circuit::Netlist copy = netlist;
+    CircuitModel model(std::move(copy), stimulus);
+    const ModelResult through_lp = run_model_sequential(model);
+    EXPECT_GT(through_lp.events_processed, 0u);
+    ASSERT_EQ(model.waveforms().size(), ref.waveforms.size()) << spec;
+    for (std::size_t i = 0; i < ref.waveforms.size(); ++i) {
+      ASSERT_EQ(model.waveforms()[i].size(), ref.waveforms[i].size())
+          << spec << " output " << i;
+      for (std::size_t j = 0; j < ref.waveforms[i].size(); ++j) {
+        EXPECT_EQ(model.waveforms()[i][j].time, ref.waveforms[i][j].time);
+        EXPECT_EQ(model.waveforms()[i][j].value, ref.waveforms[i][j].value);
+      }
+    }
+  }
+}
+
+TEST(Generators, MakeGeneratedParsesTheSpecFamily) {
+  circuit::Netlist n;
+  EXPECT_TRUE(circuit::make_generated("ks16", &n));
+  EXPECT_TRUE(circuit::make_generated("mul4", &n));
+  EXPECT_TRUE(circuit::make_generated("ripple8", &n));
+  EXPECT_FALSE(circuit::make_generated("ks", &n)) << "missing width";
+  EXPECT_FALSE(circuit::make_generated("ks16x", &n)) << "trailing junk";
+  EXPECT_FALSE(circuit::make_generated("ks99999", &n)) << "absurd width";
+  EXPECT_FALSE(circuit::make_generated("mesh8", &n)) << "unknown family";
+}
+
+}  // namespace
+}  // namespace hjdes::des

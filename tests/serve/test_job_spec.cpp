@@ -112,6 +112,75 @@ TEST(JobSpecExpand, SweepMajorReplicationMinorWithUniqueSeeds) {
   EXPECT_EQ(trials[11].interval, 20);
 }
 
+TEST(JobSpecParse, ModelJobsCarryParamsAndSweepAxis) {
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(parse_job_spec_line(
+      R"({"id":"p","model":"phold","engine":"partitioned","replications":2,
+          "seed":50,"model_params":"lps=64,end=400",
+          "sweep_params":["lps=64,end=400","lps=128,end=400"]})",
+      &spec, &err))
+      << err;
+  EXPECT_EQ(spec.model, "phold");
+  EXPECT_EQ(spec.model_params, "lps=64,end=400");
+  ASSERT_EQ(spec.sweep_params.size(), 2u);
+  EXPECT_EQ(spec.trial_count(), 4u);
+
+  const std::vector<TrialSpec> trials = expand_trials(spec);
+  ASSERT_EQ(trials.size(), 4u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, i);
+    seeds.insert(trials[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), 4u) << "every trial needs its own seed";
+  EXPECT_EQ(trials.front().seed, 50u);
+  // Sweep-major, replication-minor: the two replications of a point are
+  // contiguous and share its params string.
+  EXPECT_EQ(trials[0].params, "lps=64,end=400");
+  EXPECT_EQ(trials[1].params, "lps=64,end=400");
+  EXPECT_EQ(trials[2].params, "lps=128,end=400");
+  EXPECT_EQ(trials[3].params, "lps=128,end=400");
+
+  // Without a sweep axis, the base params cover every replication.
+  ASSERT_TRUE(parse_job_spec_line(
+      R"({"model":"mm1","model_params":"stations=2","replications":3})",
+      &spec, &err))
+      << err;
+  EXPECT_EQ(spec.trial_count(), 3u);
+  const std::vector<TrialSpec> base = expand_trials(spec);
+  ASSERT_EQ(base.size(), 3u);
+  for (const TrialSpec& t : base) EXPECT_EQ(t.params, "stations=2");
+}
+
+TEST(JobSpecParse, ModelAndCircuitFieldsDoNotMix) {
+  JobSpec spec;
+  std::string err;
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {R"({"model":"phold","circuit":"gen:ks8"})", "circuit jobs only"},
+      {R"({"model":"phold","vectors":4})", "circuit jobs only"},
+      {R"({"model":"phold","interval":10})", "circuit jobs only"},
+      {R"({"model":"phold","sweep_vectors":[2]})", "circuit jobs only"},
+      {R"({"model":"phold","sweep_intervals":[5]})", "circuit jobs only"},
+      {R"({"model":"circuit","circuit":"gen:ks8","model_params":"lps=4"})",
+       "non-circuit"},
+      {R"({"circuit":"gen:ks8","sweep_params":["a=1"]})", "non-circuit"},
+      {R"({"model":"phold","sweep_params":[]})", "empty array"},
+      {R"({"model":"phold","sweep_params":[3]})", "must be strings"},
+      {R"({"model":7})", "must be a string"},
+  };
+  for (const Case& c : cases) {
+    err.clear();
+    EXPECT_FALSE(parse_job_spec_line(c.text, &spec, &err)) << c.text;
+    EXPECT_NE(err.find(c.needle), std::string::npos)
+        << c.text << " -> " << err;
+  }
+}
+
 TEST(JobCircuit, GeneratorsAndRejects) {
   JobSpec spec;
   circuit::Netlist netlist;

@@ -13,6 +13,8 @@
 
 #include "circuit/generators.hpp"
 #include "circuit/stimulus.hpp"
+#include "des/lp_engines.hpp"
+#include "des/model_registry.hpp"
 #include "des/seq_engine.hpp"
 #include "des/sim_input.hpp"
 
@@ -195,6 +197,100 @@ TEST(TrialScheduler, DeadlineDegradesInsteadOfStalling) {
   EXPECT_GE(r.failed, 1u) << "deadline must cancel pending trials";
   // The trials that did finish keep their statistics.
   EXPECT_EQ(r.events_stats.count(), r.completed);
+}
+
+TEST(TrialScheduler, ModelJobsCompleteWithFullAccounting) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 2;
+  config.keep_trials = true;
+  {
+    TrialScheduler scheduler(
+        config, [collector](const JobResult& r) { (*collector)(r); });
+    const Admission a = scheduler.submit(parse_or_die(
+        R"({"id":"phold-sweep","model":"phold","engine":"partitioned",
+            "workers":2,"replications":2,"seed":40,
+            "sweep_params":["lps=64,end=300","lps=96,end=300"]})"));
+    ASSERT_TRUE(a.accepted) << a.reason;
+    scheduler.drain();
+  }
+  std::vector<JobResult> results = collector->take();
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  EXPECT_EQ(r.id, "phold-sweep");
+  EXPECT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.trials, 4u);
+  EXPECT_EQ(r.completed, 4u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.packed_trials, 0u) << "model trials never ride the lane packer";
+  EXPECT_EQ(r.events_stats.count(), 4u);
+
+  // Every retired trial must checksum-match its standalone sequential run:
+  // same params string, seed = job seed + trial index.
+  const JobSpec spec = parse_or_die(
+      R"({"model":"phold","replications":2,"seed":40,
+          "sweep_params":["lps=64,end=300","lps=96,end=300"]})");
+  const std::vector<TrialSpec> trials = expand_trials(spec);
+  std::vector<TrialOutcome> outcomes = r.outcomes;
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const TrialOutcome& a, const TrialOutcome& b) {
+              return a.index < b.index;
+            });
+  ASSERT_EQ(outcomes.size(), trials.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok);
+    EXPECT_FALSE(outcomes[i].packed);
+    std::string error;
+    std::unique_ptr<des::Model> model = des::make_model(
+        "phold", trials[i].params, trials[i].seed, &error);
+    ASSERT_NE(model, nullptr) << error;
+    const des::ModelResult reference = des::run_model_sequential(*model);
+    EXPECT_EQ(outcomes[i].checksum, reference.checksum)
+        << "trial " << i << " diverged from its standalone run";
+    EXPECT_EQ(outcomes[i].events, reference.events_processed);
+  }
+}
+
+TEST(TrialScheduler, ModelJobAdmissionRejectsWithReasons) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 1;
+  TrialScheduler scheduler(config,
+                           [collector](const JobResult& r) { (*collector)(r); });
+
+  // Unknown model name.
+  Admission a = scheduler.submit(parse_or_die(R"({"model":"nosuch"})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("nosuch"), std::string::npos);
+
+  // Bad parameters bounce at admission with the factory's reason, never on
+  // a worker — including a bad point deep in the sweep axis.
+  a = scheduler.submit(parse_or_die(
+      R"({"model":"phold","model_params":"lps=0"})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("lps"), std::string::npos);
+  a = scheduler.submit(parse_or_die(
+      R"({"model":"mm1","sweep_params":["stations=2","stations=0"]})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("stations"), std::string::npos);
+
+  // A sweep point pinning 'seed' would collapse the replications into
+  // identical runs.
+  a = scheduler.submit(parse_or_die(
+      R"({"model":"phold","replications":3,
+          "sweep_params":["lps=32,seed=9"]})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("seed"), std::string::npos);
+
+  // An engine without the supports_models cap cannot take a model job.
+  a = scheduler.submit(parse_or_die(
+      R"({"model":"phold","engine":"timewarp"})"));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.reason.find("timewarp"), std::string::npos);
+  EXPECT_NE(a.reason.find("phold"), std::string::npos);
+
+  scheduler.drain();
+  EXPECT_TRUE(collector->take().empty());
 }
 
 TEST(MakeRejected, ShapesAResultLine) {

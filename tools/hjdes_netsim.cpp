@@ -29,7 +29,7 @@ const FlagTable& netsim_flags() {
         {"packets", "N", "injected packets (default 10000)"},
         {"horizon", "T", "injection horizon (default 10000)"},
         {"seed", "S", "traffic seed (default 1)"},
-        {"engine", "NAME", "global|cmb (default cmb)"},
+        {"engine", "NAME", netsim::engine_list() + " (default cmb)"},
         {"workers", "N", "cmb worker threads (default 4)"},
         {"hotspot", "", "all-to-one traffic instead of uniform"},
         {"verify", "", "cross-check against the global event list"},
@@ -57,6 +57,17 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const std::string engine = cli.get("engine", "cmb");
   const int workers = static_cast<int>(cli.get_int("workers", 4));
+  const NetEngineInfo* info = netsim::find_engine(engine);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown engine '%s' (%s)\nusage:\n%s",
+                 engine.c_str(), netsim::engine_list().c_str(),
+                 netsim_flags().usage().c_str());
+    return 2;
+  }
+  if (!info->honors_workers && cli.has("workers")) {
+    std::fprintf(stderr, "warning: engine '%s' ignores --workers\n",
+                 engine.c_str());
+  }
 
   Topology topo = kind == "ring"   ? ring_topology(size * size, 2, 3)
                   : kind == "star" ? star_topology(size * size, 2, 3)
@@ -88,16 +99,8 @@ int main(int argc, char** argv) {
   tool::start_trace_if_requested(cli);
   auto watchdog = tool::arm_fault_harness(cli);
   Timer t;
-  NetSimResult r;
-  if (engine == "global") {
-    r = run_global_list(topo, traffic, end_time);
-  } else if (engine == "cmb") {
-    r = run_cmb(topo, traffic, end_time, CmbConfig{.workers = workers});
-  } else {
-    std::fprintf(stderr, "unknown engine '%s' (global|cmb)\nusage:\n%s",
-                 engine.c_str(), netsim_flags().usage().c_str());
-    return 2;
-  }
+  NetSimResult r = info->run(topo, traffic, end_time,
+                             NetEngineConfig{.workers = workers});
   const double secs = t.seconds();
   watchdog.reset();  // disarm before the single-threaded epilogue
   tool::fault_epilogue();

@@ -1,10 +1,18 @@
-// hjdes_sim — command-line logic circuit simulator over the hjdes engines.
+// hjdes_sim — command-line discrete-event simulator over the hjdes engines.
 //
 //   hjdes_sim --circuit <file|gen:NAME> [--stimulus <file>]
 //             [--random-vectors N --interval T --seed S]
 //             [--engine NAME] [shared RunConfig flags, see usage]
 //             [--vcd out.vcd] [--dot out.dot] [--profile] [--verify]
 //             [--trace out.json] [--metrics-json out.json] [--check]
+//   hjdes_sim --model phold --model-params lps=512,pop=8 [--engine NAME]
+//             [--profile] [--verify] [--seed S]
+//   hjdes_sim --list-models
+//
+// --model selects a workload from the model registry (des/model_registry.hpp)
+// and runs it through the engine's generic logical-process entry point; see
+// docs/WORKLOADS.md. Circuit-only flags (--vcd/--dot/--lanes/--explore/
+// --replay/--stimulus) are rejected on non-circuit models.
 //
 // Engine names come from the des engine registry (des::engines()). The
 // shared runtime knobs (--workers/--parts/--pin/--batch/...) are mapped and
@@ -23,13 +31,16 @@
 // '#' comments; per-input times must be non-decreasing.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "circuit/dot_export.hpp"
+#include "des/lp_engines.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist_io.hpp"
 #include "des/engines.hpp"
+#include "des/model_registry.hpp"
 #include "des/packed_engine.hpp"
 #include "des/vcd_export.hpp"
 #include "part/partitioner.hpp"
@@ -63,6 +74,7 @@ const FlagTable& sim_flags() {
         {"verify", "", "cross-check against the sequential engine"},
         {"explore", "N", "run N seeded schedules with the hjverify oracles "
                          "armed; save + report the first violating one"},
+        {"list-models", "", "list the registered --model workloads and exit"},
     };
     t.add_all(tool::explore_flags());
     t.add_all(des::run_config_flags());
@@ -73,8 +85,11 @@ const FlagTable& sim_flags() {
 }
 
 int usage(const char* prog) {
-  std::fprintf(stderr, "usage: %s --circuit <file|gen:NAME> [options]\n%s",
-               prog, sim_flags().usage().c_str());
+  std::fprintf(stderr,
+               "usage: %s --circuit <file|gen:NAME> [options]\n"
+               "       %s --model <%s> [--model-params K=V,...] [options]\n%s",
+               prog, prog, des::model_list().c_str(),
+               sim_flags().usage().c_str());
   std::fprintf(stderr, "  engines (--engine %s):\n",
                des::engine_list().c_str());
   for (const des::EngineInfo& e : des::engines()) {
@@ -86,16 +101,10 @@ int usage(const char* prog) {
 
 circuit::Netlist load_circuit(const std::string& spec) {
   if (spec.rfind("gen:", 0) == 0) {
-    const std::string name = spec.substr(4);
-    auto bits_of = [&name](std::size_t prefix) {
-      return std::atoi(name.c_str() + prefix);
-    };
-    if (name.rfind("ks", 0) == 0) return circuit::kogge_stone_adder(bits_of(2));
-    if (name.rfind("mul", 0) == 0) return circuit::tree_multiplier(bits_of(3));
-    if (name.rfind("ripple", 0) == 0) {
-      return circuit::ripple_carry_adder(bits_of(6));
-    }
-    HJDES_CHECK(false, "unknown generator (ks<bits>, mul<bits>, ripple<bits>)");
+    circuit::Netlist netlist;
+    HJDES_CHECK(circuit::make_generated(spec.substr(4), &netlist),
+                "unknown generator (ks<bits>, mul<bits>, ripple<bits>)");
+    return netlist;
   }
   std::ifstream in(spec);
   HJDES_CHECK(in.good(), "cannot open circuit file");
@@ -164,24 +173,119 @@ int run_experiment(const Cli& cli) {
   return result.status == serve::JobStatus::kRejected ? 1 : 0;
 }
 
+/// --model=<non-circuit>: build the workload from the model registry and run
+/// it through the engine's generic logical-process entry point.
+int run_model_workload(const Cli& cli, const des::EngineInfo& engine,
+                       const std::string& engine_name,
+                       const des::RunConfig& config) {
+  // Tool flags that only mean something for a circuit netlist.
+  static constexpr const char* kCircuitOnly[] = {
+      "circuit", "stimulus", "random-vectors", "interval", "lanes",
+      "vcd",     "dot",      "explore",        "replay"};
+  for (const char* flag : kCircuitOnly) {
+    if (cli.has(flag)) {
+      std::fprintf(stderr,
+                   "error: --%s applies to circuit simulation only and "
+                   "cannot be used with --model=%s\n",
+                   flag, config.model.c_str());
+      return 2;
+    }
+  }
+  if (engine.run_model == nullptr) {
+    // validate_run_config already rejects this; belt and braces.
+    std::fprintf(stderr, "error: engine '%s' cannot run --model=%s\n",
+                 engine_name.c_str(), config.model.c_str());
+    return 2;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto fresh_model = [&](std::string* error) {
+    return des::make_model(config.model, config.model_params, seed, error);
+  };
+  std::string error;
+  std::unique_ptr<des::Model> model = fresh_model(&error);
+  if (model == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("model %s: %d LPs, min lookahead %lld\n",
+              std::string(model->name()).c_str(), model->lp_count(),
+              static_cast<long long>(des::model_min_lookahead(*model)));
+
+  if (cli.has("profile")) {
+    // Running an engine mutates LP state, so the profile gets its own
+    // instance (identical by the determinism contract).
+    std::unique_ptr<des::Model> probe = fresh_model(&error);
+    des::ParallelismProfile p = des::profile_model_parallelism(*probe);
+    std::printf("available parallelism: peak %llu, average %.1f over %zu "
+                "rounds\n",
+                static_cast<unsigned long long>(p.peak_parallelism()),
+                p.average_parallelism(), p.rounds.size());
+  }
+
+  tool::start_trace_if_requested(cli);
+  auto watchdog = tool::arm_fault_harness(config.fault_seed,
+                                          config.fault_rate_ppm,
+                                          config.watchdog_ms);
+  Timer t;
+  const des::ModelResult result = engine.run_model(*model, config);
+  const double secs = t.seconds();
+  watchdog.reset();  // disarm before the single-threaded epilogue
+  tool::fault_epilogue();
+  if (!tool::finish_trace_if_requested(cli)) return 1;
+
+  std::printf("engine %s (%d workers, pin %s): %.2f ms, %llu events over "
+              "%llu rounds, checksum %016llx\n",
+              engine_name.c_str(), config.workers,
+              std::string(support::pin_policy_name(config.pin)).c_str(),
+              secs * 1e3,
+              static_cast<unsigned long long>(result.events_processed),
+              static_cast<unsigned long long>(result.rounds),
+              static_cast<unsigned long long>(result.checksum));
+
+  if (cli.has("verify") && engine_name != "seq") {
+    std::unique_ptr<des::Model> ref_model = fresh_model(&error);
+    const des::ModelResult ref = des::run_model_sequential(*ref_model);
+    if (ref.checksum == result.checksum &&
+        ref.events_processed == result.events_processed) {
+      std::printf("verify: OK (checksum identical to sequential)\n");
+    } else {
+      std::printf("verify: MISMATCH — sequential checksum %016llx over %llu "
+                  "events\n",
+                  static_cast<unsigned long long>(ref.checksum),
+                  static_cast<unsigned long long>(ref.events_processed));
+      return 1;
+    }
+  }
+
+  const std::uint64_t check_violations = tool::check_report_if_requested(cli);
+  if (!tool::dump_metrics_if_requested(cli)) return 1;
+  return check_violations != 0 ? 1 : 0;
+}
+
+int list_models() {
+  std::printf("models (--model NAME --model-params K=V,...):\n");
+  for (const des::ModelInfo& m : des::models()) {
+    std::printf("  %-10s %.*s\n             params: %.*s\n",
+                std::string(m.name).c_str(),
+                static_cast<int>(m.summary.size()), m.summary.data(),
+                static_cast<int>(m.params_help.size()), m.params_help.data());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  if (cli.has("list-models")) return list_models();
   if (cli.has("experiment")) {
     tool::warn_unknown_flags(cli, sim_flags());
     auto watchdog = tool::arm_fault_harness(cli);
     return run_experiment(cli);
   }
-  if (!cli.has("circuit")) return usage(argv[0]);
+  if (!cli.has("circuit") && !cli.has("model")) return usage(argv[0]);
   tool::warn_unknown_flags(cli, sim_flags());
-
-  circuit::Netlist netlist = load_circuit(cli.get("circuit", ""));
-  std::printf("circuit: %zu nodes, %zu edges, %zu inputs, %zu outputs, "
-              "depth %zu\n",
-              netlist.node_count(), netlist.edge_count(),
-              netlist.inputs().size(), netlist.outputs().size(),
-              netlist.depth());
 
   const std::string engine_name = cli.get("engine", "hj");
   const des::EngineInfo* engine = des::find_engine(engine_name);
@@ -199,6 +303,20 @@ int main(int argc, char** argv) {
     }
     return 2;
   }
+
+  // Non-circuit workloads run through the generic LP interface and skip the
+  // whole netlist path.
+  if (config.model != "circuit") {
+    return run_model_workload(cli, *engine, engine_name, config);
+  }
+  if (!cli.has("circuit")) return usage(argv[0]);
+
+  circuit::Netlist netlist = load_circuit(cli.get("circuit", ""));
+  std::printf("circuit: %zu nodes, %zu edges, %zu inputs, %zu outputs, "
+              "depth %zu\n",
+              netlist.node_count(), netlist.edge_count(),
+              netlist.inputs().size(), netlist.outputs().size(),
+              netlist.depth());
 
   // With the partitioned engine, compute the assignment up front so the DOT
   // export can color it and the run reuses the identical shards.

@@ -265,21 +265,30 @@ void print_core_trajectory() {
   }
 
   // Generic LP-model cells: PHOLD and M/M/1 through the workload-agnostic
-  // model interface (--model), sequential and hj at 4 workers. A model
-  // instance is single-use (a run consumes its state), so each iteration
-  // rebuilds from the registry — construction is a few allocations against
-  // tens of thousands of simulated events, so the cell still measures the
-  // engine. These cells gate the LP dispatch path the same way the circuit
-  // cells gate the event core.
+  // model interface (--model), sequential, hj, partitioned and Time Warp at
+  // 4 workers. A model instance is single-use (a run consumes its state), so
+  // each iteration rebuilds from the registry — construction is a few
+  // allocations against tens of thousands of simulated events, so the cell
+  // still measures the engine. These cells gate the LP dispatch path the
+  // same way the circuit cells gate the event core. The lookahead=1 PHOLD
+  // point is the optimistic engine's headline: with a sparse event
+  // population the conservative engines degrade to thousands of one-tick
+  // windows with only a handful of events each — pure round-synchronization
+  // cost — while Time Warp's speculation runs straight through; the lp-tw4
+  // cell must beat lp-part4 on that row. The lookahead=1 cells are keyed
+  // "phold-la1" so both PHOLD points coexist in the JSON.
   {
     struct ModelPoint {
+      const char* key;
       const char* model;
       const char* params;
     };
     for (const ModelPoint& mp :
-         {ModelPoint{"phold",
+         {ModelPoint{"phold", "phold",
                      "lps=256,pop=4,remote=50,lookahead=4,spread=16,end=1000"},
-          ModelPoint{"mm1", "stations=8,arrive=4,service=3,end=8000"}}) {
+          ModelPoint{"phold-la1", "phold",
+                     "lps=64,pop=2,remote=80,lookahead=1,spread=32,end=4000"},
+          ModelPoint{"mm1", "mm1", "stations=8,arrive=4,service=3,end=8000"}}) {
       std::string error;
       des::ModelResult last;
       Summary sq = measure(
@@ -289,7 +298,7 @@ void print_core_trajectory() {
             last = des::run_model_sequential(*m);
           },
           reps);
-      record(mp.model, "lp-seq", sq, last.events_processed);
+      record(mp.key, "lp-seq", sq, last.events_processed);
 
       Summary sh = measure(
           [&] {
@@ -300,7 +309,29 @@ void print_core_trajectory() {
             last = des::run_model_hj(*m, cfg);
           },
           reps);
-      record(mp.model, "lp-hj4", sh, last.events_processed);
+      record(mp.key, "lp-hj4", sh, last.events_processed);
+
+      Summary sp = measure(
+          [&] {
+            std::unique_ptr<des::Model> m =
+                des::make_model(mp.model, mp.params, 1, &error);
+            des::ModelEngineConfig cfg;
+            cfg.workers = 4;
+            last = des::run_model_partitioned(*m, cfg);
+          },
+          reps);
+      record(mp.key, "lp-part4", sp, last.events_processed);
+
+      Summary st = measure(
+          [&] {
+            std::unique_ptr<des::Model> m =
+                des::make_model(mp.model, mp.params, 1, &error);
+            des::ModelEngineConfig cfg;
+            cfg.workers = 4;
+            last = des::run_model_timewarp(*m, cfg);
+          },
+          reps);
+      record(mp.key, "lp-tw4", st, last.events_processed);
     }
   }
 

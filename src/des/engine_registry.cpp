@@ -96,6 +96,14 @@ ModelResult run_model_partitioned_entry(Model& model, const RunConfig& opt) {
   return run_model_partitioned(model, model_config(opt));
 }
 
+ModelResult run_model_timewarp_entry(Model& model, const RunConfig& opt) {
+  return run_model_timewarp(model, model_config(opt));
+}
+
+ModelResult run_model_actor_entry(Model& model, const RunConfig& opt) {
+  return run_model_actor(model, model_config(opt));
+}
+
 // Capability sets, named so the table below reads like the docs.
 constexpr EngineCaps kCapsNone{};
 constexpr EngineCaps kCapsSeq{.honors_arenas = true,
@@ -109,9 +117,12 @@ constexpr EngineCaps kCapsHj{.honors_workers = true,
                              .honors_queue = true,
                              .supports_models = true};
 constexpr EngineCaps kCapsWorkersOnly{.honors_workers = true};
+constexpr EngineCaps kCapsActor{.honors_workers = true,
+                                .supports_models = true};
 constexpr EngineCaps kCapsTimewarp{.honors_workers = true,
                                    .honors_pinning = true,
-                                   .honors_input_batch = true};
+                                   .honors_input_batch = true,
+                                   .supports_models = true};
 constexpr EngineCaps kCapsPartitioned{.honors_workers = true,
                                       .honors_parts = true,
                                       .honors_partitioner = true,
@@ -130,9 +141,10 @@ constexpr EngineInfo kEngines[] = {
      run_model_hj_entry},
     {"galois", "Algorithm 3, optimistic galois runtime", kCapsWorkersOnly,
      run_galois_entry},
-    {"actor", "actor-per-node engine", kCapsWorkersOnly, run_actor_entry},
+    {"actor", "actor-per-node engine", kCapsActor, run_actor_entry,
+     run_model_actor_entry},
     {"timewarp", "optimistic Time Warp engine", kCapsTimewarp,
-     run_timewarp_entry},
+     run_timewarp_entry, run_model_timewarp_entry},
     {"partitioned", "sharded logical-process engine over a graph partition",
      kCapsPartitioned, run_partitioned_entry, run_model_partitioned_entry},
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fault/heartbeat.hpp"
+#include "fault/inject.hpp"
 #include "hj/forall.hpp"
 #include "hj/runtime.hpp"
 #include "support/platform.hpp"
@@ -337,6 +338,7 @@ ModelResult run_model_partitioned(Model& model,
   SpinBarrier barrier(threads);
 
   auto worker = [&](int t) {
+    fault::sched::bind_thread(t);  // deterministic per-shard fault streams
     if (!pin_plan.empty()) {
       support::pin_current_thread(pin_plan[static_cast<std::size_t>(t)]);
     }

@@ -51,6 +51,20 @@ struct ModelEngineConfig {
   /// When non-null, run_model_sequential appends one sample per round
   /// (ignored by the parallel engines — the profiler is a sequential tool).
   std::vector<ModelRoundSample>* round_samples = nullptr;
+
+  // Optimistic-engine knobs (run_model_timewarp / run_model_actor). None of
+  // them change the committed result — only how much speculation the run
+  // buys it with.
+
+  /// Events processed between asynchronous GVT sweeps; 0 disables GVT and
+  /// fossil collection (logs and checkpoints are then retained to the end).
+  std::size_t gvt_interval = 8192;
+
+  /// Processed events per sparse state checkpoint. Rollback restores the
+  /// newest checkpoint at or before the target and coast-forwards the
+  /// logged messages in between, so larger intervals trade checkpoint
+  /// bandwidth for replay work.
+  std::size_t checkpoint_interval = 8;
 };
 
 /// Reference engine: one thread drives the rounds.
@@ -64,6 +78,18 @@ ModelResult run_model_hj(Model& model, const ModelEngineConfig& config);
 /// synchronized by a sense-reversing barrier per phase.
 ModelResult run_model_partitioned(Model& model,
                                   const ModelEngineConfig& config);
+
+/// Optimistic (Time Warp) execution over a reversible model: per-LP
+/// speculation with sparse state checkpoints, anti-message cancellation,
+/// an asynchronous GVT sweep driving fossil collection, and a per-LP
+/// adaptive optimism quota. Requires Model::reversible(); the committed
+/// result is bit-identical to run_model_sequential. rounds = GVT sweeps.
+ModelResult run_model_timewarp(Model& model, const ModelEngineConfig& config);
+
+/// The same optimistic core under actor-mailbox scheduling: every LP is
+/// owned by a fixed worker (lp mod workers) and activations post to the
+/// owner's mailbox instead of a shared workset.
+ModelResult run_model_actor(Model& model, const ModelEngineConfig& config);
 
 /// The model's static topology as a partitioner view: one arc per out-edge
 /// (self-edges dropped), roots = LPs with no incoming non-self edge.

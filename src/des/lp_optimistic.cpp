@@ -1,0 +1,998 @@
+// Optimistic (Time Warp) engines over the generic des::Model LP interface:
+// run_model_timewarp (shared chunked workset) and run_model_actor (static
+// LP ownership + per-worker mailboxes) share one speculative core.
+//
+// The circuit TwEngine (timewarp_engine.cpp) delivers messages synchronously
+// under the *source* node's lock — sound only because circuits are DAGs.
+// Model topologies (PHOLD and PCS rings, tandem queues with self-edges) are
+// cyclic, so that nesting would deadlock. The model core therefore buffers
+// every outgoing message — positives and anti-messages alike — in a
+// per-worker outbox and delivers one-target-lock-at-a-time with no lock
+// held. GVT stays sound through a per-worker in-flight slot: before the lock
+// that generated an outbox message is released, the worker publishes the
+// minimum timestamp over its outbox (seq_cst); the slot only resets to
+// kNullTs once the outbox drains. A sweep reads per-LP pending minima under
+// their locks, then the in-flight slots, then clears the active flag and
+// lock-walks every LP so deliveries recorded during the window (note_delivery
+// under the target's lock) are flushed into min_sent_. Any unprocessed
+// message is then covered: it is in some pending set (read), in some outbox
+// (slot), or was delivered during the window (min_sent_) — chains bottom out
+// at init-seeded messages, which all sit in pending sets before workers
+// start.
+//
+// Rollback restores per-LP model state from sparse checkpoints (every
+// checkpoint_interval processed events) and coast-forwards the logged
+// messages in between through a discarding send context, which re-advances
+// the per-sender wire `seq` counter exactly as the original execution did.
+// Wire keys (time, rank, src, seq) therefore re-generate identically after a
+// rollback, the committed per-LP order is the same (time, rank, src, seq)
+// sort every conservative engine uses, and the final checksum is
+// bit-identical to run_model_sequential. Anti-messages need an identity that
+// survives that determinism, so they cancel by an engine-side `uid` drawn
+// from a per-LP counter that is never rolled back.
+
+#include "des/lp_engines.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/checked_cell.hpp"
+#include "check/hb.hpp"
+#include "check/invariant.hpp"
+#include "des/event.hpp"
+#include "fault/heartbeat.hpp"
+#include "fault/inject.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/binary_heap.hpp"
+#include "support/chunked_workset.hpp"
+#include "support/platform.hpp"
+#include "support/small_vector.hpp"
+#include "support/spinlock.hpp"
+#include "support/topology.hpp"
+
+namespace hjdes::des {
+namespace {
+
+/// A positive message plus the engine-side identity anti-messages cancel by.
+/// The wire key (time, rank, src, seq) drives the committed order; `uid`
+/// exists because rollback restores the sender's seq counter, which makes
+/// wire keys transiently non-unique while a cancelled original and its
+/// reissue are both in flight.
+struct OptMsg {
+  LpMessage msg;
+  std::uint64_t uid = 0;
+};
+
+struct OptMsgLess {
+  bool operator()(const OptMsg& a, const OptMsg& b) const noexcept {
+    return lp_message_less(a.msg, b.msg);
+  }
+};
+
+/// One message an LP sent while processing an event: enough to cancel it
+/// (target + uid) and to hold GVT down while the anti-message is in flight
+/// (the cancelled receive time `ts`).
+struct OptSent {
+  LpId target;
+  Time ts;
+  std::uint64_t uid;
+};
+
+/// A processed event together with everything needed to roll it back.
+struct OptProcessed {
+  OptMsg m;
+  SmallVector<OptSent, 4> sent;
+};
+
+/// Sparse model-state snapshot: the LP's serialized state *before* the
+/// processed-log entry with absolute index `index` ran, plus the wire seq
+/// counter at that point. Rollback restores the newest checkpoint at or
+/// before the target and coast-forwards the logged entries in between.
+struct OptCheckpoint {
+  std::uint64_t index;
+  std::uint32_t seq;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Everything an LP's spinlock guards, in one checked_cell guard domain
+/// (same scheme as timewarp_engine.cpp's TwCore).
+struct OptCore {
+  BinaryHeap<OptMsg, OptMsgLess> pending;
+  std::vector<OptProcessed> processed;  ///< ascending in (time,rank,src,seq)
+  std::vector<OptCheckpoint> checkpoints;
+  /// Anti-messages that raced ahead of their positives: the positive is
+  /// annihilated in flight when it arrives. Non-empty at quiescence is a
+  /// protocol defect (a positive vanished), reported via the timewarp oracle.
+  std::vector<std::uint64_t> poison;
+  std::uint32_t seq = 0;           ///< wire seq; restored on rollback
+  std::uint64_t uid_counter = 0;   ///< anti identity; never restored
+  std::uint64_t committed = 0;     ///< fossil-freed prefix length
+  std::uint64_t committed_sent = 0;  ///< sends inside the freed prefix
+  std::uint64_t init_sent = 0;     ///< init-phase sends (never rolled back)
+  std::uint32_t quota = 8;         ///< adaptive optimism window (msgs/visit)
+};
+
+struct OptLp {
+  Spinlock lock;
+  check::SyncClock hb;
+  check::checked_cell<OptCore> core;
+
+  OptLp() { core.set_label("lp_optimistic.core"); }
+};
+
+class OptGuard {
+ public:
+  explicit OptGuard(OptLp& n) : lp_(n) {
+    lp_.lock.lock();
+    lp_.hb.acquire();
+  }
+  ~OptGuard() {
+    lp_.hb.release();
+    lp_.lock.unlock();
+  }
+  OptGuard(const OptGuard&) = delete;
+  OptGuard& operator=(const OptGuard&) = delete;
+
+ private:
+  OptLp& lp_;
+};
+
+/// One buffered delivery in a worker's outbox. For an anti-message,
+/// m.msg.time carries the cancelled receive time (the GVT cover) and m.uid
+/// the identity to annihilate; the rest of m is unused.
+struct OutItem {
+  LpId target;
+  bool anti;
+  OptMsg m;
+};
+
+struct OptLocalStats {
+  std::uint64_t speculative = 0;
+  std::uint64_t rollback_episodes = 0;
+  std::uint64_t antis = 0;
+  std::uint64_t antis_resolved = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t fossil = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t since_sweep_check = 0;
+  std::uint64_t since_sweep_rollbacks = 0;
+};
+
+/// Adaptive optimism window bounds: a rollback halves an LP's per-visit
+/// drain quota (floor 1), a visit that ends clean earns one back (cap 64).
+/// This is the throttle that keeps glitch-cascade-style event explosions
+/// bounded — an LP that keeps mis-speculating degrades to near-conservative
+/// one-message steps instead of flooding its fanout.
+constexpr std::uint32_t kQuotaMin = 1;
+constexpr std::uint32_t kQuotaMax = 64;
+
+class OptRun {
+ public:
+  enum class Mode { kWorkset, kActor };
+
+  OptRun(Model& model, const ModelEngineConfig& config, Mode mode)
+      : model_(model),
+        cfg_(config),
+        mode_(mode),
+        n_(model.lp_count()),
+        workers_(std::max(1, config.workers)),
+        ckpt_interval_(std::max<std::size_t>(1, config.checkpoint_interval)),
+        lps_(static_cast<std::size_t>(model.lp_count())),
+        inflight_(static_cast<std::size_t>(std::max(1, config.workers))),
+        mailboxes_(static_cast<std::size_t>(std::max(1, config.workers))) {
+    const std::string topo_error = validate_model_topology(model);
+    HJDES_CHECK(topo_error.empty(), topo_error.c_str());
+    HJDES_CHECK(model.reversible(),
+                "optimistic model engines need a reversible model "
+                "(Model::save_lp/restore_lp)");
+    end_ = model.end_time();
+    const Time la = model_min_lookahead(model);
+    const Time quantum = (la == kNoEndTime) ? 1 : std::max<Time>(1, la);
+    window_min_ = 4 * quantum;
+    window_.store(32 * quantum, std::memory_order_relaxed);
+    // GVT disabled means nothing ever advances the window's anchor — run
+    // unthrottled rather than parking LPs forever.
+    horizon_.store(cfg_.gvt_interval == 0
+                       ? kNoEndTime
+                       : window_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+
+    // Deterministic seeding, in LP id order on one thread — identical wire
+    // (seq) numbering to ModelRun's RunInitSink.
+    OptInitSink sink(*this);
+    for (LpId lp = 0; lp < n_; ++lp) {
+      sink.src = lp;
+      model.init(lp, sink);
+    }
+    live_.store(sink.delivered, std::memory_order_seq_cst);
+  }
+
+  ModelResult run() {
+    for (LpId lp = 0; lp < n_; ++lp) {
+      if (!lps_[static_cast<std::size_t>(lp)].core.write().pending.empty()) {
+        seed_schedule(lp);
+      }
+    }
+
+    const std::vector<int> pin_plan = support::pinning_plan(
+        support::machine_topology(), workers_, cfg_.pin);
+    start_hb_.release();
+    auto worker_fn = [this, &pin_plan](int index) {
+      fault::sched::bind_thread(index);
+      start_hb_.acquire();
+      if (!pin_plan.empty() && index > 0) {
+        support::pin_current_thread(pin_plan[static_cast<std::size_t>(index)]);
+      }
+      Worker w;
+      w.index = index;
+      typename ChunkedWorkset<LpId>::ThreadSlot slot(workset_);
+      w.slot = &slot;
+      if (mode_ == Mode::kWorkset) {
+        workset_loop(w);
+      } else {
+        actor_loop(w);
+      }
+      c_speculative_.add(w.stats.speculative);
+      c_rollbacks_.add(w.stats.rollback_episodes);
+      c_antis_.add(w.stats.antis);
+      c_sweeps_.add(w.stats.sweeps);
+      c_fossil_.add(w.stats.fossil);
+      c_checkpoints_.add(w.stats.checkpoints);
+      total_antis_.fetch_add(w.stats.antis, std::memory_order_relaxed);
+      total_antis_resolved_.fetch_add(w.stats.antis_resolved,
+                                      std::memory_order_relaxed);
+      total_sweeps_.fetch_add(w.stats.sweeps, std::memory_order_relaxed);
+      end_hb_.release();
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 1; i < workers_; ++i) threads.emplace_back(worker_fn, i);
+    {
+      support::ScopedAffinity pin_guard;
+      if (!pin_plan.empty()) pin_guard.pin(pin_plan[0]);
+      worker_fn(0);
+    }
+    for (auto& t : threads) t.join();
+    end_hb_.acquire();
+
+    return finish();
+  }
+
+ private:
+  // ----------------------------------------------------- worker plumbing --
+
+  struct Worker {
+    int index = 0;
+    OptLocalStats stats;
+    std::vector<OutItem> outbox;
+    std::size_t outbox_pos = 0;
+    Time outbox_min = kNullTs;
+    typename ChunkedWorkset<LpId>::ThreadSlot* slot = nullptr;
+  };
+
+  struct HJDES_CACHE_ALIGNED InflightSlot {
+    std::atomic<Time> value{kNullTs};
+  };
+
+  struct HJDES_CACHE_ALIGNED Mailbox {
+    Spinlock lock;
+    std::vector<LpId> box;
+  };
+
+  OptLp& node(LpId lp) { return lps_[static_cast<std::size_t>(lp)]; }
+
+  /// Publish the worker's in-flight cover. Must run before the lock that
+  /// generated the newest outbox entries is released (GVT soundness).
+  void publish_inflight(Worker& w) {
+    inflight_[static_cast<std::size_t>(w.index)].value.store(
+        w.outbox_min, std::memory_order_seq_cst);
+  }
+
+  /// Buffer a positive send. Its live count lands with the parent event's
+  /// single fetch_add(nsent - 1) after all children are buffered, so the
+  /// counter never transiently hits zero while work exists.
+  void buffer_positive(Worker& w, LpId target, const OptMsg& m) {
+    w.outbox.push_back(OutItem{target, false, m});
+    w.outbox_min = std::min(w.outbox_min, m.msg.time);
+  }
+
+  void buffer_anti(Worker& w, const OptSent& s) {
+    ++w.stats.antis;
+    // Corrupting seeded defect (hjverify true positive): drop the
+    // anti-message, leaving the cancelled send alive downstream. The
+    // sent-vs-resolved pairing oracle flags it at quiescence; decrementing
+    // nothing here would instead wedge termination, so the dropped anti is
+    // simply never counted live.
+    if (fault::should_inject(fault::Site::kAntiDrop)) return;
+    OptMsg m;
+    m.msg.time = s.ts;
+    m.uid = s.uid;
+    w.outbox.push_back(OutItem{s.target, true, m});
+    w.outbox_min = std::min(w.outbox_min, s.ts);
+    live_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Activate an LP: shared workset (timewarp) or the owner's mailbox
+  /// (actor). Stale activations are harmless; lost ones are not, so every
+  /// delivery and requeue schedules its target.
+  void schedule(LpId lp, Worker& w) {
+    if (mode_ == Mode::kWorkset) {
+      w.slot->push(lp);
+      return;
+    }
+    Mailbox& mb = mailboxes_[static_cast<std::size_t>(owner(lp))];
+    mb.lock.lock();
+    mb.box.push_back(lp);
+    mb.lock.unlock();
+  }
+
+  /// Initial activations run before the workers exist.
+  void seed_schedule(LpId lp) {
+    if (mode_ == Mode::kWorkset) {
+      workset_.push_global(lp);
+    } else {
+      mailboxes_[static_cast<std::size_t>(owner(lp))].box.push_back(lp);
+    }
+  }
+
+  int owner(LpId lp) const {
+    return static_cast<int>(static_cast<std::size_t>(lp) %
+                            static_cast<std::size_t>(workers_));
+  }
+
+  void workset_loop(Worker& w) {
+    for (;;) {
+      auto lp = w.slot->pop();
+      if (lp.has_value()) {
+        run_lp(*lp, w);
+        drain_outbox(w);
+        fault::heartbeat();
+        maybe_sweep(w);
+        continue;
+      }
+      if (live_.load(std::memory_order_seq_cst) == 0) break;
+      // Idle with work still live: everything runnable may be parked beyond
+      // the optimism horizon. Force a sweep so GVT (= the parked frontier)
+      // advances and wakes them; losers of the claim just spin-yield.
+      idle_sweep(w);
+      std::this_thread::yield();
+    }
+  }
+
+  void actor_loop(Worker& w) {
+    Mailbox& mine = mailboxes_[static_cast<std::size_t>(w.index)];
+    std::vector<LpId> local;
+    for (;;) {
+      local.clear();
+      mine.lock.lock();
+      std::swap(local, mine.box);
+      mine.lock.unlock();
+      if (!local.empty()) {
+        for (LpId lp : local) {
+          run_lp(lp, w);
+          drain_outbox(w);
+          fault::heartbeat();
+          maybe_sweep(w);
+        }
+        continue;
+      }
+      if (live_.load(std::memory_order_seq_cst) == 0) break;
+      idle_sweep(w);  // see workset_loop
+      std::this_thread::yield();
+    }
+  }
+
+  // -------------------------------------------------------- speculation --
+
+  std::uint64_t make_uid(LpId src, OptCore& c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           c.uid_counter++;
+  }
+
+  /// Optimistically process up to the LP's adaptive quota of pending
+  /// messages in (time, rank, src, seq) order, buffering sends into the
+  /// worker's outbox. Re-activates the LP when pending remains.
+  void run_lp(LpId lp, Worker& w) {
+    OptLp& n = node(lp);
+    // Bounded optimism window: nothing beyond gvt + window speculates. LPs
+    // whose next message is past the horizon park (no self-reschedule); the
+    // next sweep advances the horizon and wakes them, and idle workers force
+    // sweeps, so parking can never deadlock — the frontier LP is always
+    // inside the window by construction (horizon > gvt >= its next time).
+    const Time horizon = horizon_.load(std::memory_order_relaxed);
+    bool more = false;
+    {
+      OptGuard guard(n);
+      OptCore& c = n.core.write();
+      if (c.pending.empty()) return;
+      OptSendContext ctx(*this, c, lp, w);
+      std::uint32_t budget = c.quota;
+      while (budget-- > 0 && !c.pending.empty() &&
+             c.pending.top().msg.time < horizon) {
+        const std::uint64_t abs =
+            c.committed + static_cast<std::uint64_t>(c.processed.size());
+        // After a rollback onto a boundary the retained checkpoint already
+        // describes this position — keep indices strictly ascending.
+        if (abs % ckpt_interval_ == 0 &&
+            (c.checkpoints.empty() || c.checkpoints.back().index < abs)) {
+          take_checkpoint(lp, c, abs, w);
+        }
+        OptMsg m = c.pending.pop();
+        ++w.stats.speculative;
+        ++w.stats.since_sweep_check;
+        c.processed.emplace_back();
+        OptProcessed& rec = c.processed.back();
+        rec.m = m;
+        ctx.rec = &rec;
+        ctx.now = m.msg.time;
+        ctx.nsent = 0;
+        model_.on_message(lp, m.msg, ctx);
+        // One conservative update per event: children were buffered (+1
+        // each) before the processed message's own -1 lands.
+        live_.fetch_add(ctx.nsent - 1, std::memory_order_seq_cst);
+      }
+      // Reschedule only when the budget cut us off; a parked LP (next
+      // message beyond the horizon) is woken by the sweep instead. Either
+      // way the visit ended clean, so the quota earns one back.
+      more = !c.pending.empty() && c.pending.top().msg.time < horizon;
+      if (!more && c.quota < kQuotaMax) ++c.quota;
+      publish_inflight(w);
+    }
+    if (more) schedule(lp, w);
+  }
+
+  void take_checkpoint(LpId lp, OptCore& c, std::uint64_t abs, Worker& w) {
+    c.checkpoints.emplace_back();
+    OptCheckpoint& cp = c.checkpoints.back();
+    cp.index = abs;
+    cp.seq = c.seq;
+    model_.save_lp(lp, cp.bytes);
+    ++w.stats.checkpoints;
+  }
+
+  /// Deliver everything buffered so far. Holds no lock between deliveries;
+  /// deliveries that trigger rollbacks append more items (and re-publish the
+  /// in-flight cover before their target lock drops), so loop to a fixpoint.
+  void drain_outbox(Worker& w) {
+    while (w.outbox_pos < w.outbox.size()) {
+      const OutItem item = w.outbox[w.outbox_pos++];
+      if (item.anti) {
+        deliver_anti(item.target, item.m.uid, item.m.msg.time, w);
+      } else {
+        deliver_positive(item.target, item.m, w);
+      }
+    }
+    w.outbox.clear();
+    w.outbox_pos = 0;
+    w.outbox_min = kNullTs;
+    publish_inflight(w);
+  }
+
+  void deliver_positive(LpId target, const OptMsg& in, Worker& w) {
+    OptLp& n = node(target);
+    bool sched = false;
+    {
+      OptGuard guard(n);
+      OptCore& c = n.core.write();
+      note_delivery(in.msg.time);
+#if defined(HJDES_CHECK_ENABLED)
+      const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
+      if (in.msg.time < gvt_now) {
+        check::invariant::report(
+            check::invariant::Oracle::kGvt,
+            "positive message t=" + std::to_string(in.msg.time) + " to LP " +
+                std::to_string(target) + " is below committed GVT " +
+                std::to_string(gvt_now));
+      }
+#endif
+      // An anti-message that raced ahead annihilates the positive here.
+      const auto poisoned =
+          std::find(c.poison.begin(), c.poison.end(), in.uid);
+      if (poisoned != c.poison.end()) {
+        c.poison.erase(poisoned);
+        live_.fetch_sub(1, std::memory_order_seq_cst);
+        return;
+      }
+      // Straggler test: only strictly-earlier keys force a rollback. The
+      // suffix that must re-execute is found in one binary search, so a
+      // cascade of glitched entries rolls back as a single coalesced
+      // episode instead of one rollback per entry.
+      const auto first_after = std::partition_point(
+          c.processed.begin(), c.processed.end(),
+          [&in](const OptProcessed& e) {
+            return !lp_message_less(in.msg, e.m.msg);
+          });
+      if (first_after != c.processed.end()) {
+        ++w.stats.rollback_episodes;
+        ++w.stats.since_sweep_rollbacks;
+        rollback_to(target, c,
+                    c.committed + static_cast<std::uint64_t>(
+                                      first_after - c.processed.begin()),
+                    /*annihilate=*/false, /*annihilate_uid=*/0, w);
+      }
+      c.pending.push(in);
+      sched = true;
+    }
+    if (sched) schedule(target, w);
+  }
+
+  void deliver_anti(LpId target, std::uint64_t uid, Time cover_ts, Worker& w) {
+    OptLp& n = node(target);
+    bool sched = false;
+    {
+      OptGuard guard(n);
+      OptCore& c = n.core.write();
+      ++w.stats.antis_resolved;
+      note_delivery(cover_ts);
+#if defined(HJDES_CHECK_ENABLED)
+      const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
+      if (cover_ts < gvt_now) {
+        check::invariant::report(
+            check::invariant::Oracle::kGvt,
+            "anti-message t=" + std::to_string(cover_ts) + " to LP " +
+                std::to_string(target) + " is below committed GVT " +
+                std::to_string(gvt_now));
+      }
+#endif
+      if (c.pending.erase_first(
+              [uid](const OptMsg& m) { return m.uid == uid; })) {
+        // Annihilated while still pending: the anti and the positive die.
+        live_.fetch_sub(2, std::memory_order_seq_cst);
+        return;
+      }
+      bool found = false;
+      for (std::size_t k = c.processed.size(); k-- > 0;) {
+        if (c.processed[k].m.uid == uid) {
+          ++w.stats.rollback_episodes;
+          ++w.stats.since_sweep_rollbacks;
+          rollback_to(target, c, c.committed + static_cast<std::uint64_t>(k),
+                      /*annihilate=*/true, uid, w);
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        live_.fetch_sub(1, std::memory_order_seq_cst);  // the anti itself
+        sched = true;
+      } else {
+        // The positive is still in flight: poison its uid so it is
+        // annihilated on arrival. The anti is resolved now; the positive's
+        // live count carries the pair until it lands.
+        c.poison.push_back(uid);
+        live_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    if (sched) schedule(target, w);
+  }
+
+  /// Roll `target`'s log back so entries with absolute index >= abs_to leave
+  /// it: cancel their sends (coalesced into the worker's outbox), requeue
+  /// their messages (except the annihilated one), restore model state from
+  /// the newest checkpoint at or before abs_to, and coast-forward the
+  /// retained entries above it. Caller holds the LP's lock.
+  void rollback_to(LpId target, OptCore& c, std::uint64_t abs_to,
+                   bool annihilate, std::uint64_t annihilate_uid, Worker& w) {
+    obs::ScopedSpan span(obs::SpanKind::kRollback);
+    HJDES_DCHECK(abs_to >= c.committed, "rollback below the fossil horizon");
+    const std::size_t keep =
+        static_cast<std::size_t>(abs_to - c.committed);
+    c.quota = std::max(kQuotaMin, c.quota / 2);
+    while (c.processed.size() > keep) {
+      OptProcessed rec = std::move(c.processed.back());
+      c.processed.pop_back();
+      for (const OptSent& s : rec.sent) buffer_anti(w, s);
+      if (annihilate && rec.m.uid == annihilate_uid) continue;
+      c.pending.push(rec.m);
+      live_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    while (!c.checkpoints.empty() && c.checkpoints.back().index > abs_to) {
+      c.checkpoints.pop_back();
+    }
+    HJDES_CHECK(!c.checkpoints.empty(),
+                "rollback found no checkpoint at or below its target");
+    const OptCheckpoint& base = c.checkpoints.back();
+    model_.restore_lp(target, base.bytes);
+    c.seq = base.seq;
+    // Coast-forward: replay the retained entries above the base through a
+    // discarding context, re-advancing seq exactly as the live run did.
+    CoastContext coast(*this, c, target);
+    for (std::uint64_t abs = base.index; abs < abs_to; ++abs) {
+      const OptProcessed& rec =
+          c.processed[static_cast<std::size_t>(abs - c.committed)];
+      coast.now = rec.m.msg.time;
+      model_.on_message(target, rec.m.msg, coast);
+    }
+    publish_inflight(w);
+  }
+
+  // ------------------------------------------------------- GVT & fossil --
+
+  /// Record a delivery for an in-flight GVT sweep (target's lock held).
+  void note_delivery(Time ts) {
+    if (!sweep_active_.load(std::memory_order_seq_cst)) return;
+    Time cur = min_sent_.load(std::memory_order_seq_cst);
+    while (ts < cur && !min_sent_.compare_exchange_weak(
+                           cur, ts, std::memory_order_seq_cst)) {
+    }
+  }
+
+  void maybe_sweep(Worker& w) {
+    if (cfg_.gvt_interval == 0) return;
+    if (w.stats.since_sweep_check != 0) {
+      events_since_gvt_.fetch_add(w.stats.since_sweep_check,
+                                  std::memory_order_relaxed);
+      w.stats.since_sweep_check = 0;
+    }
+    if (w.stats.since_sweep_rollbacks != 0) {
+      rollbacks_since_gvt_.fetch_add(w.stats.since_sweep_rollbacks,
+                                     std::memory_order_relaxed);
+      w.stats.since_sweep_rollbacks = 0;
+    }
+    if (events_since_gvt_.load(std::memory_order_relaxed) <
+        cfg_.gvt_interval) {
+      return;
+    }
+    // Benign seeded transient: a due sweep is postponed one claim round —
+    // GVT merely lags, nothing commits early, results are unchanged.
+    if (fault::should_inject(fault::Site::kGvtDelay)) return;
+    bool expected = false;
+    if (!sweep_claim_.compare_exchange_strong(expected, true,
+                                              std::memory_order_seq_cst)) {
+      return;
+    }
+    sweep(w);
+    sweep_claim_.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Idle-forced sweep: when a worker finds no runnable LP but work is still
+  /// live, every runnable LP may be parked beyond the optimism horizon. A
+  /// sweep advances GVT to the parked frontier and wakes them, so parking
+  /// can never deadlock. Bypasses the event-count threshold.
+  void idle_sweep(Worker& w) {
+    if (cfg_.gvt_interval == 0) return;  // horizon pinned at kNoEndTime
+    bool expected = false;
+    if (!sweep_claim_.compare_exchange_strong(expected, true,
+                                              std::memory_order_seq_cst)) {
+      return;
+    }
+    sweep(w);
+    sweep_claim_.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Two-cut GVT: pending minima under each LP's lock, then the per-worker
+  /// in-flight covers, then (after clearing the flag) a lock-walk flush of
+  /// every delivery recorded during the window. See the file header for the
+  /// soundness argument on cyclic topologies.
+  void sweep(Worker& w) {
+    obs::ScopedSpan span(obs::SpanKind::kGvtSweep);
+    ++w.stats.sweeps;
+
+    // Adapt the optimism window on the rollback rate since the last sweep:
+    // heavy mis-speculation (>1 rollback per 8 events) halves it, near-clean
+    // execution (<1 per 64) doubles it. The window bottoms out at a few
+    // lookahead quanta so the frontier LP always has room to run.
+    const std::uint64_t ev = events_since_gvt_.exchange(
+        0, std::memory_order_relaxed);
+    const std::uint64_t rb = rollbacks_since_gvt_.exchange(
+        0, std::memory_order_relaxed);
+    Time win = window_.load(std::memory_order_relaxed);
+    if (rb * 2 > ev) {
+      win = window_min_;  // catastrophic storm: go near-conservative now
+    } else if (rb * 8 > ev) {
+      win = std::max<Time>(window_min_, win / 2);
+    } else if (rb * 64 < ev && win < kNullTs / 4) {
+      win *= 2;
+    }
+    window_.store(win, std::memory_order_relaxed);
+
+    min_sent_.store(kNullTs, std::memory_order_seq_cst);
+    sweep_active_.store(true, std::memory_order_seq_cst);
+
+    Time bound = kNullTs;
+    wake_scratch_.clear();
+    for (LpId lp = 0; lp < n_; ++lp) {
+      OptLp& n = node(lp);
+      OptGuard guard(n);
+      const OptCore& c = n.core.read();
+      if (!c.pending.empty()) {
+        const Time top = c.pending.top().msg.time;
+        bound = std::min(bound, top);
+        wake_scratch_.emplace_back(lp, top);
+      }
+    }
+    for (const InflightSlot& slot : inflight_) {
+      bound = std::min(bound, slot.value.load(std::memory_order_seq_cst));
+    }
+
+    sweep_active_.store(false, std::memory_order_seq_cst);
+    for (auto& n : lps_) {
+      n.lock.lock();
+      n.lock.unlock();
+    }
+    bound = std::min(bound, min_sent_.load(std::memory_order_seq_cst));
+    // Corrupting seeded defect (hjverify true positive): publish an inflated
+    // bound, so fossil collection frees entries a straggler or anti-message
+    // may still need — detected by the GVT/timewarp oracles downstream.
+    if (fault::should_inject(fault::Site::kGvtRush)) bound += 64;
+#if defined(HJDES_CHECK_ENABLED)
+    {
+      const Time prev = gvt_.load(std::memory_order_seq_cst);
+      if (prev != kNeverReceived && bound < prev) {
+        check::invariant::report(
+            check::invariant::Oracle::kGvt,
+            "GVT regressed from " + std::to_string(prev) + " to " +
+                std::to_string(bound));
+      }
+    }
+#endif
+    gvt_.store(bound, std::memory_order_seq_cst);
+
+    // Publish the new horizon, then wake every LP whose next message now
+    // falls inside it. The store-before-schedule order plus the workset /
+    // mailbox synchronization makes the widened horizon visible to whoever
+    // pops the wakeup; an LP that received newer work since the scan was
+    // already scheduled by its deliverer, and a duplicate wake of a running
+    // or empty LP is a harmless no-op visit.
+    if (cfg_.gvt_interval != 0) {
+      const Time anchor = (bound == kNullTs) ? 0 : std::max<Time>(bound, 0);
+      const Time horizon =
+          (win >= kNoEndTime - anchor) ? kNoEndTime : anchor + win;
+      horizon_.store(horizon, std::memory_order_seq_cst);
+      for (const auto& [lp, top] : wake_scratch_) {
+        if (top < horizon) schedule(lp, w);
+      }
+    }
+
+    if (bound > 0) fossil_collect(bound, w);
+  }
+
+  /// Reclaim committed log entries below `bound`, aligned down to a
+  /// checkpoint boundary so coast-forward replay never needs a freed entry.
+  /// The surviving base checkpoint's index becomes the new committed count.
+  void fossil_collect(Time bound, Worker& w) {
+    for (LpId lp = 0; lp < n_; ++lp) {
+      OptLp& n = node(lp);
+      OptGuard guard(n);
+      OptCore& c = n.core.write();
+      std::size_t k = 0;
+      while (k < c.processed.size() && c.processed[k].m.msg.time < bound) ++k;
+      if (k == 0) continue;
+      const std::uint64_t cut = c.committed + static_cast<std::uint64_t>(k);
+      std::size_t base = c.checkpoints.size();
+      while (base > 0 && c.checkpoints[base - 1].index > cut) --base;
+      if (base == 0) continue;  // no aligned prefix to free yet
+      const std::uint64_t new_committed = c.checkpoints[base - 1].index;
+      if (new_committed <= c.committed) continue;
+      const auto n_free =
+          static_cast<std::size_t>(new_committed - c.committed);
+      for (std::size_t j = 0; j < n_free; ++j) {
+        c.committed_sent += c.processed[j].sent.size();
+      }
+      c.processed.erase(
+          c.processed.begin(),
+          c.processed.begin() + static_cast<std::ptrdiff_t>(n_free));
+      c.checkpoints.erase(
+          c.checkpoints.begin(),
+          c.checkpoints.begin() + static_cast<std::ptrdiff_t>(base - 1));
+      c.committed = new_committed;
+      w.stats.fossil += n_free;
+    }
+  }
+
+  // ------------------------------------------------------------ plumbing --
+
+  /// Init-phase sink: same wire semantics as ModelRun::RunInitSink (range
+  /// and time checks, horizon drop before seq advances), delivering straight
+  /// into the destination pending sets.
+  class OptInitSink final : public InitSink {
+   public:
+    explicit OptInitSink(OptRun& run) : run_(run) {}
+
+    void send_at(LpId target, Time time, std::int32_t rank,
+                 std::int64_t payload) override {
+      HJDES_CHECK(target >= 0 && target < run_.n_,
+                  "model init message target out of range");
+      HJDES_CHECK(time >= 0, "model init message before time 0");
+      if (time >= run_.end_) return;  // dropped at the horizon, like sends
+      OptCore& sender = run_.node(src).core.write();
+      OptCore& dest = run_.node(target).core.write();
+      dest.pending.push(OptMsg{LpMessage{time, payload, src, rank,
+                                         sender.seq++},
+                               run_.make_uid(src, sender)});
+      ++sender.init_sent;
+      ++delivered;
+    }
+
+    LpId src = 0;
+    std::int64_t delivered = 0;
+
+   private:
+    OptRun& run_;
+  };
+
+  /// Live send context: logs a SentRec and buffers the positive into the
+  /// worker's outbox. Wire behavior (checks, horizon drop, seq advance)
+  /// matches ModelRun::RunSendContext exactly.
+  class OptSendContext final : public SendContext {
+   public:
+    OptSendContext(OptRun& run, OptCore& core, LpId lp, Worker& w)
+        : run_(run), core_(core), lp_(lp), w_(w),
+          edges_(run.model_.neighbors(lp)) {}
+
+    void send(std::size_t edge, Time delay, std::int64_t payload) override {
+      HJDES_CHECK(edge < edges_.size(), "model send on an undeclared edge");
+      const LpNeighbor& nb = edges_[edge];
+      HJDES_CHECK(delay >= nb.lookahead,
+                  "model send below the edge's declared lookahead");
+      const Time time = now + delay;
+      if (time >= run_.end_) return;  // horizon drop, same in every engine
+      const OptMsg m{LpMessage{time, payload, lp_, nb.rank, core_.seq++},
+                     run_.make_uid(lp_, core_)};
+      rec->sent.push_back(OptSent{nb.target, time, m.uid});
+      run_.buffer_positive(w_, nb.target, m);
+      ++nsent;
+    }
+
+    Time now = 0;
+    std::int64_t nsent = 0;
+    OptProcessed* rec = nullptr;
+
+   private:
+    OptRun& run_;
+    OptCore& core_;
+    const LpId lp_;
+    Worker& w_;
+    const std::span<const LpNeighbor> edges_;
+  };
+
+  /// Coast-forward context: replays a logged event's sends for their seq
+  /// effects only — the messages are already out (their SentRecs live in the
+  /// log), so nothing is emitted, but seq must advance exactly as the
+  /// original execution did, horizon drops included.
+  class CoastContext final : public SendContext {
+   public:
+    CoastContext(OptRun& run, OptCore& core, LpId lp)
+        : run_(run), core_(core), edges_(run.model_.neighbors(lp)) {}
+
+    void send(std::size_t edge, Time delay, std::int64_t) override {
+      HJDES_CHECK(edge < edges_.size(), "model send on an undeclared edge");
+      const Time time = now + delay;
+      if (time >= run_.end_) return;
+      ++core_.seq;
+    }
+
+    Time now = 0;
+
+   private:
+    OptRun& run_;
+    OptCore& core_;
+    const std::span<const LpNeighbor> edges_;
+  };
+
+  ModelResult finish() {
+#if defined(HJDES_CHECK_ENABLED)
+    {
+      const std::uint64_t sent = total_antis_.load(std::memory_order_relaxed);
+      const std::uint64_t resolved =
+          total_antis_resolved_.load(std::memory_order_relaxed);
+      if (sent != resolved) {
+        check::invariant::report(
+            check::invariant::Oracle::kTimewarp,
+            std::to_string(sent - resolved) + " of " + std::to_string(sent) +
+                " anti-message(s) unresolved at quiescence (rollback sent "
+                "them, annihilation never ran)");
+      }
+    }
+#endif
+    ModelResult result;
+    result.rounds = total_sweeps_.load(std::memory_order_relaxed);
+    for (LpId lp = 0; lp < n_; ++lp) {
+      OptCore& c = node(lp).core.write();  // post-join scan, via end_hb_
+#if defined(HJDES_CHECK_ENABLED)
+      if (!c.pending.empty()) {
+        check::invariant::report(
+            check::invariant::Oracle::kTimewarp,
+            "LP " + std::to_string(lp) + " finished with pending messages");
+      }
+      if (!c.poison.empty()) {
+        check::invariant::report(
+            check::invariant::Oracle::kTimewarp,
+            "LP " + std::to_string(lp) + " finished with " +
+                std::to_string(c.poison.size()) +
+                " poisoned uid(s) whose positive never arrived");
+      }
+      for (std::size_t k = 1; k < c.processed.size(); ++k) {
+        if (!lp_message_less(c.processed[k - 1].m.msg,
+                             c.processed[k].m.msg)) {
+          check::invariant::report(
+              check::invariant::Oracle::kTimewarp,
+              "LP " + std::to_string(lp) +
+                  ": committed event log is out of order");
+          break;
+        }
+      }
+#else
+      HJDES_CHECK(c.pending.empty(),
+                  "optimistic model run finished with pending messages");
+      HJDES_CHECK(c.poison.empty(),
+                  "optimistic model run finished with unmatched antis");
+      for (std::size_t k = 1; k < c.processed.size(); ++k) {
+        HJDES_CHECK(lp_message_less(c.processed[k - 1].m.msg,
+                                    c.processed[k].m.msg),
+                    "committed event log is out of order");
+      }
+#endif
+      result.events_processed +=
+          c.committed + static_cast<std::uint64_t>(c.processed.size());
+      std::uint64_t sent = c.committed_sent + c.init_sent;
+      for (const OptProcessed& rec : c.processed) sent += rec.sent.size();
+      result.messages_sent += sent;
+    }
+    std::uint64_t h = kModelChecksumSeed;
+    for (LpId lp = 0; lp < n_; ++lp) {
+      h = model_checksum_mix(h, model_.lp_checksum(lp));
+    }
+    result.checksum = model_checksum_mix(h, result.events_processed);
+    return result;
+  }
+
+  Model& model_;
+  const ModelEngineConfig cfg_;
+  const Mode mode_;
+  const LpId n_;
+  const int workers_;
+  const std::size_t ckpt_interval_;
+  Time end_ = kNoEndTime;
+
+  std::vector<OptLp> lps_;
+  std::vector<InflightSlot> inflight_;
+  std::vector<Mailbox> mailboxes_;
+  ChunkedWorkset<LpId> workset_;
+
+  HJDES_CACHE_ALIGNED std::atomic<std::int64_t> live_{0};
+  HJDES_CACHE_ALIGNED std::atomic<bool> sweep_active_{false};
+  std::atomic<bool> sweep_claim_{false};
+  std::atomic<Time> min_sent_{kNullTs};
+  std::atomic<Time> gvt_{kNeverReceived};
+  std::atomic<std::uint64_t> events_since_gvt_{0};
+  std::atomic<std::uint64_t> rollbacks_since_gvt_{0};
+  // Bounded optimism window: LPs park when their next message lies at or
+  // beyond gvt + window_; sweeps re-anchor the horizon and wake them.
+  std::atomic<Time> horizon_{0};
+  std::atomic<Time> window_{0};
+  Time window_min_ = 1;
+  // Touched only by the sweep_claim_ holder.
+  std::vector<std::pair<LpId, Time>> wake_scratch_;
+  std::atomic<std::uint64_t> total_antis_{0};
+  std::atomic<std::uint64_t> total_antis_resolved_{0};
+  std::atomic<std::uint64_t> total_sweeps_{0};
+  check::SyncClock start_hb_;
+  check::SyncClock end_hb_;
+  obs::Counter& c_speculative_ =
+      obs::metrics().counter("des.tw.speculative_events");
+  obs::Counter& c_rollbacks_ = obs::metrics().counter("des.tw.rollbacks");
+  obs::Counter& c_antis_ = obs::metrics().counter("des.tw.anti_messages");
+  obs::Counter& c_sweeps_ = obs::metrics().counter("des.tw.gvt_sweeps");
+  obs::Counter& c_fossil_ = obs::metrics().counter("des.tw.fossil_collected");
+  obs::Counter& c_checkpoints_ =
+      obs::metrics().counter("des.tw.checkpoints");
+};
+
+}  // namespace
+
+ModelResult run_model_timewarp(Model& model, const ModelEngineConfig& config) {
+  return OptRun(model, config, OptRun::Mode::kWorkset).run();
+}
+
+ModelResult run_model_actor(Model& model, const ModelEngineConfig& config) {
+  return OptRun(model, config, OptRun::Mode::kActor).run();
+}
+
+}  // namespace hjdes::des

@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "support/platform.hpp"
+
 namespace hjdes::des {
+
+void Model::save_lp(LpId, std::vector<std::uint8_t>&) const {
+  HJDES_CHECK(false,
+              "save_lp called on an irreversible model (override "
+              "reversible/save_lp/restore_lp for the optimistic engines)");
+}
+
+void Model::restore_lp(LpId, std::span<const std::uint8_t>) {
+  HJDES_CHECK(false, "restore_lp called on an irreversible model");
+}
+
+std::uint64_t StateReader::u64() {
+  HJDES_CHECK(pos_ + 8 <= bytes_.size(),
+              "model state image underflow (save_lp/restore_lp disagree)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
 
 std::string validate_model_topology(const Model& model) {
   const LpId n = model.lp_count();

@@ -27,6 +27,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "des/event.hpp"
 
@@ -123,6 +124,26 @@ class Model {
   /// Checksum of lp's final state; combined over all LPs in id order into
   /// ModelResult::checksum, the cross-engine bit-identity oracle.
   virtual std::uint64_t lp_checksum(LpId lp) const = 0;
+
+  // Reversibility hooks for the optimistic engines (run_model_timewarp /
+  // run_model_actor). A reversible model can serialize one LP's complete
+  // state into bytes and later restore it bit-exactly; the engines take
+  // sparse checkpoints of these images and coast-forward by replaying
+  // on_message with sends suppressed, so restore + replay must reproduce
+  // exactly the state the original execution had (include the RNG!).
+
+  /// True when save_lp/restore_lp are implemented. The optimistic engines
+  /// refuse models that stay irreversible (the conservative engines never
+  /// call these hooks).
+  virtual bool reversible() const { return false; }
+
+  /// Append a byte-exact image of lp's state to `out`. Only meaningful when
+  /// reversible(); the default aborts.
+  virtual void save_lp(LpId lp, std::vector<std::uint8_t>& out) const;
+
+  /// Restore lp's state from an image save_lp produced. Appended waveform /
+  /// log style state must truncate back to the saved length.
+  virtual void restore_lp(LpId lp, std::span<const std::uint8_t> bytes);
 };
 
 /// Open horizon: run until no messages remain.
@@ -150,6 +171,28 @@ constexpr std::uint64_t model_checksum_mix(std::uint64_t h,
 
 /// Seed of the checksum chain (FNV-1a offset basis).
 inline constexpr std::uint64_t kModelChecksumSeed = 0xcbf29ce484222325ull;
+
+/// Little-endian u64 append — the shared building block of save_lp images.
+inline void state_put_u64(std::vector<std::uint8_t>& out,
+                          std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Cursor over a save_lp image for restore_lp. Reading past the end is a
+/// model bug (checked), not silent corruption.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64();
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
 
 /// Validate the static topology: every edge target in range, every
 /// lookahead >= 1, at least one LP. Returns an empty string when valid, a

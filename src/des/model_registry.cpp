@@ -7,6 +7,7 @@
 #include "circuit/stimulus.hpp"
 #include "des/models/circuit_model.hpp"
 #include "des/models/mm1.hpp"
+#include "des/models/pcs.hpp"
 #include "des/models/phold.hpp"
 
 namespace hjdes::des {
@@ -152,6 +153,35 @@ std::unique_ptr<Model> create_mm1(const ModelParams& params,
   return std::make_unique<Mm1Model>(p);
 }
 
+constexpr std::string_view kPcsHelp =
+    "cells=N,channels=N,arrive=T,hold=T,handoff=PCT,end=T,seed=S";
+
+std::unique_ptr<Model> create_pcs(const ModelParams& params,
+                                  std::string* error) {
+  static constexpr std::array<std::string_view, 7> kKnown = {
+      "cells", "channels", "arrive", "hold", "handoff", "end", "seed"};
+  if (reject_unknown(params, kKnown, "pcs", kPcsHelp, error)) return nullptr;
+  PcsParams p;
+  p.cells = static_cast<std::int32_t>(params.get_int("cells", p.cells, error));
+  p.channels = static_cast<std::int32_t>(
+      params.get_int("channels", p.channels, error));
+  p.arrive_mean = params.get_int("arrive", p.arrive_mean, error);
+  p.hold_mean = params.get_int("hold", p.hold_mean, error);
+  p.handoff_pct = static_cast<std::int32_t>(
+      params.get_int("handoff", p.handoff_pct, error));
+  p.end = params.get_int("end", p.end, error);
+  p.seed = static_cast<std::uint64_t>(params.get_int(
+      "seed", static_cast<std::int64_t>(p.seed), error));
+  if (!error->empty()) return nullptr;
+  if (p.cells < 1 || p.channels < 1 || p.arrive_mean < 1 || p.hold_mean < 1 ||
+      p.handoff_pct < 0 || p.handoff_pct > 100 || p.end < 1) {
+    *error = "pcs parameters out of range (need cells>=1, channels>=1, "
+             "arrive>=1, hold>=1, handoff in [0,100], end>=1)";
+    return nullptr;
+  }
+  return std::make_unique<PcsModel>(p);
+}
+
 constexpr std::string_view kCircuitHelp =
     "circuit=gen:NAME,vectors=N,interval=T,seed=S";
 
@@ -195,6 +225,8 @@ constexpr ModelInfo kModels[] = {
      kPholdHelp, create_phold},
     {"mm1", "M/M/1 tandem queueing network (source -> stations -> sink)",
      kMm1Help, create_mm1},
+    {"pcs", "PCS cellphone handoff: ring of radio cells trading calls",
+     kPcsHelp, create_pcs},
 };
 
 }  // namespace
@@ -220,7 +252,8 @@ std::string model_list() {
 std::unique_ptr<Model> make_model(std::string_view name,
                                   std::string_view params_text,
                                   std::uint64_t default_seed,
-                                  std::string* error) {
+                                  std::string* error,
+                                  bool seed_is_explicit) {
   const ModelInfo* info = find_model(name);
   if (info == nullptr) {
     *error = "unknown model '" + std::string(name) + "' (" + model_list() +
@@ -231,6 +264,13 @@ std::unique_ptr<Model> make_model(std::string_view name,
   if (!ModelParams::parse(params_text, &params, error)) return nullptr;
   if (!params.has("seed")) {
     params.set("seed", std::to_string(default_seed));
+  } else if (seed_is_explicit &&
+             params.get("seed", "") != std::to_string(default_seed)) {
+    *error = std::string(kSeedConflictError) + ": model params pin seed=" +
+             params.get("seed", "") + " but an explicit seed " +
+             std::to_string(default_seed) +
+             " was also supplied; drop one of the two";
+    return nullptr;
   }
   return info->create(params, error);
 }

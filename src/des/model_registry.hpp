@@ -62,15 +62,26 @@ std::span<const ModelInfo> models();
 /// Look up a model by CLI name; nullptr when unknown.
 const ModelInfo* find_model(std::string_view name);
 
-/// "circuit|phold|mm1" — for usage strings and error messages.
+/// "circuit|phold|mm1|pcs" — for usage strings and error messages.
 std::string model_list();
+
+/// Stable prefix of the seed-ambiguity rejection below — callers and tests
+/// match on it instead of the full sentence.
+inline constexpr std::string_view kSeedConflictError = "seed-conflict";
 
 /// Parse `params_text`, inject `default_seed` when the params carry no
 /// "seed" key, and build the named model. nullptr + *error on an unknown
 /// name, malformed params, or factory rejection.
+///
+/// `seed_is_explicit` marks `default_seed` as user-chosen (an explicit
+/// --seed flag, a serve-layer per-trial seed) rather than a tool default.
+/// Combining that with a params-pinned "seed=K" is ambiguous — one of the
+/// two would silently win — so it is rejected with a kSeedConflictError
+/// message instead of overwriting either.
 std::unique_ptr<Model> make_model(std::string_view name,
                                   std::string_view params_text,
                                   std::uint64_t default_seed,
-                                  std::string* error);
+                                  std::string* error,
+                                  bool seed_is_explicit = false);
 
 }  // namespace hjdes::des

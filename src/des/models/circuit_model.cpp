@@ -102,6 +102,33 @@ void CircuitModel::on_message(LpId lp, const LpMessage& msg,
   }
 }
 
+void CircuitModel::save_lp(LpId lp, std::vector<std::uint8_t>& out) const {
+  const auto i = static_cast<std::size_t>(lp);
+  if (output_index_[i] >= 0) {
+    state_put_u64(out,
+                  waveforms_[static_cast<std::size_t>(output_index_[i])].size());
+    return;
+  }
+  state_put_u64(out, latch_[2 * i]);
+  state_put_u64(out, latch_[2 * i + 1]);
+}
+
+void CircuitModel::restore_lp(LpId lp, std::span<const std::uint8_t> bytes) {
+  const auto i = static_cast<std::size_t>(lp);
+  StateReader in(bytes);
+  if (output_index_[i] >= 0) {
+    auto& wave = waveforms_[static_cast<std::size_t>(output_index_[i])];
+    const std::uint64_t keep = in.u64();
+    HJDES_CHECK(keep <= wave.size(),
+                "circuit model restore: waveform shorter than its checkpoint");
+    wave.resize(keep);
+  } else {
+    latch_[2 * i] = static_cast<std::uint8_t>(in.u64());
+    latch_[2 * i + 1] = static_cast<std::uint8_t>(in.u64());
+  }
+  HJDES_CHECK(in.done(), "circuit state image has trailing bytes");
+}
+
 std::uint64_t CircuitModel::lp_checksum(LpId lp) const {
   const auto i = static_cast<std::size_t>(lp);
   std::uint64_t h = kModelChecksumSeed;

@@ -39,6 +39,11 @@ class CircuitModel final : public Model {
   void init(LpId lp, InitSink& sink) override;
   void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) override;
   std::uint64_t lp_checksum(LpId lp) const override;
+  bool reversible() const override { return true; }
+  /// Gate LPs save their two input latches; output LPs save the waveform
+  /// length (the record log is append-only, so restore truncates it).
+  void save_lp(LpId lp, std::vector<std::uint8_t>& out) const override;
+  void restore_lp(LpId lp, std::span<const std::uint8_t> bytes) override;
 
   /// Recorded output waveforms, index-compatible with SimResult::waveforms.
   const std::vector<std::vector<OutputRecord>>& waveforms() const {

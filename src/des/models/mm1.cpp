@@ -102,6 +102,38 @@ void Mm1Model::on_message(LpId lp, const LpMessage& msg, SendContext& ctx) {
   }
 }
 
+void Mm1Model::save_lp(LpId lp, std::vector<std::uint8_t>& out) const {
+  const LpState& s = state_[static_cast<std::size_t>(lp)];
+  std::uint64_t rng[4];
+  s.rng.save_state(rng);
+  for (const std::uint64_t w : rng) state_put_u64(out, w);
+  state_put_u64(out, s.fifo.size());
+  for (const std::int64_t v : s.fifo) {
+    state_put_u64(out, static_cast<std::uint64_t>(v));
+  }
+  state_put_u64(out, s.busy ? 1 : 0);
+  state_put_u64(out, static_cast<std::uint64_t>(s.in_service));
+  state_put_u64(out, s.arrivals);
+  state_put_u64(out, s.departures);
+  state_put_u64(out, s.acc);
+}
+
+void Mm1Model::restore_lp(LpId lp, std::span<const std::uint8_t> bytes) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  StateReader in(bytes);
+  std::uint64_t rng[4];
+  for (std::uint64_t& w : rng) w = in.u64();
+  s.rng.load_state(rng);
+  s.fifo.resize(in.u64());
+  for (std::int64_t& v : s.fifo) v = static_cast<std::int64_t>(in.u64());
+  s.busy = in.u64() != 0;
+  s.in_service = static_cast<std::int64_t>(in.u64());
+  s.arrivals = in.u64();
+  s.departures = in.u64();
+  s.acc = in.u64();
+  HJDES_CHECK(in.done(), "mm1 state image has trailing bytes");
+}
+
 std::uint64_t Mm1Model::lp_checksum(LpId lp) const {
   const LpState& s = state_[static_cast<std::size_t>(lp)];
   std::uint64_t h = s.acc;

@@ -1,0 +1,172 @@
+#include "des/models/pcs.hpp"
+
+#include "support/platform.hpp"
+
+namespace hjdes::des {
+namespace {
+
+// Message payload encoding: low 3 bits = kind, the rest = kind-specific
+// data (a handoff's remaining call duration). Every engine sees the same
+// payloads, so the encoding is part of the checksum-visible wire format.
+constexpr std::int64_t kArrivalTick = 0;  ///< self: next call attempt
+constexpr std::int64_t kCallEnd = 1;      ///< self: release one channel
+constexpr std::int64_t kHandoff = 2;      ///< neighbor: mid-call roam-in
+
+constexpr std::size_t kSelfEdge = 0;
+constexpr std::size_t kLeftEdge = 1;
+constexpr std::size_t kRightEdge = 2;
+
+constexpr std::int64_t pack(std::int64_t kind, std::int64_t data) {
+  return kind | (data << 3);
+}
+
+}  // namespace
+
+PcsModel::PcsModel(const PcsParams& params) : params_(params) {
+  HJDES_CHECK(params_.cells >= 1, "pcs needs cells >= 1");
+  HJDES_CHECK(params_.channels >= 1, "pcs needs channels >= 1");
+  HJDES_CHECK(params_.arrive_mean >= 1, "pcs needs arrive_mean >= 1");
+  HJDES_CHECK(params_.hold_mean >= 1, "pcs needs hold_mean >= 1");
+  HJDES_CHECK(params_.handoff_pct >= 0 && params_.handoff_pct <= 100,
+              "pcs handoff_pct must be in [0, 100]");
+  HJDES_CHECK(params_.end >= 1, "pcs needs end >= 1");
+
+  const auto n = static_cast<std::size_t>(params_.cells);
+  const auto wrap = [&](std::int64_t v) {
+    const std::int64_t m = v % params_.cells;
+    return static_cast<LpId>(m < 0 ? m + params_.cells : m);
+  };
+  edges_.reserve(n * kEdgesPerCell);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    const auto id = static_cast<std::int64_t>(lp);
+    edges_.push_back(LpNeighbor{static_cast<LpId>(lp), /*lookahead=*/1, 0});
+    edges_.push_back(LpNeighbor{wrap(id - 1), /*lookahead=*/1, 1});
+    edges_.push_back(LpNeighbor{wrap(id + 1), /*lookahead=*/1, 2});
+  }
+  state_.resize(n);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    state_[lp].rng =
+        Xoshiro256(params_.seed + 0x9e3779b97f4a7c15ull * (lp + 1));
+  }
+}
+
+std::span<const LpNeighbor> PcsModel::neighbors(LpId lp) const {
+  return {edges_.data() + static_cast<std::size_t>(lp) * kEdgesPerCell,
+          kEdgesPerCell};
+}
+
+Time PcsModel::sample_geometric(Xoshiro256& rng, std::int64_t mean) {
+  Time t = 1;
+  while (rng.below(static_cast<std::uint64_t>(mean)) != 0) ++t;
+  return t;
+}
+
+void PcsModel::init(LpId lp, InitSink& sink) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  const Time first = sample_geometric(s.rng, params_.arrive_mean);
+  sink.send_at(lp, first, /*rank=*/0, pack(kArrivalTick, 0));
+}
+
+void PcsModel::start_call(LpState& s, Time hold, SendContext& ctx) {
+  const bool roams = hold >= 2 && s.rng.below(100) <
+                                      static_cast<std::uint64_t>(
+                                          params_.handoff_pct);
+  if (!roams) {
+    ctx.send(kSelfEdge, hold, pack(kCallEnd, 0));
+    return;
+  }
+  // The handset leaves after `leave` in [1, hold-1]; this cell's channel
+  // frees then, and the call lands on a neighbor with the remainder. Both
+  // messages go out now — delays >= 1 keep every edge's lookahead honest.
+  const Time leave =
+      1 + static_cast<Time>(s.rng.below(static_cast<std::uint64_t>(hold - 1)));
+  const std::size_t edge = s.rng.coin() ? kLeftEdge : kRightEdge;
+  ++s.handoffs_out;
+  ctx.send(kSelfEdge, leave, pack(kCallEnd, 0));
+  ctx.send(edge, leave, pack(kHandoff, hold - leave));
+}
+
+void PcsModel::on_message(LpId lp, const LpMessage& msg, SendContext& ctx) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.time));
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.payload));
+  s.acc = model_checksum_mix(s.acc, static_cast<std::uint64_t>(msg.src));
+
+  const std::int64_t kind = msg.payload & 7;
+  const std::int64_t data = msg.payload >> 3;
+  switch (kind) {
+    case kArrivalTick: {
+      ctx.send(kSelfEdge, sample_geometric(s.rng, params_.arrive_mean),
+               pack(kArrivalTick, 0));
+      if (s.busy < params_.channels) {
+        ++s.busy;
+        ++s.placed;
+        start_call(s, sample_geometric(s.rng, params_.hold_mean), ctx);
+      } else {
+        ++s.blocked;
+      }
+      return;
+    }
+    case kCallEnd: {
+      HJDES_CHECK(s.busy > 0, "pcs call end with no channel in use");
+      --s.busy;
+      return;
+    }
+    case kHandoff: {
+      ++s.handoffs_in;
+      if (s.busy < params_.channels) {
+        ++s.busy;
+        const Time remaining = data > 0 ? static_cast<Time>(data) : Time{1};
+        ctx.send(kSelfEdge, remaining, pack(kCallEnd, 0));
+      } else {
+        ++s.dropped;
+      }
+      return;
+    }
+    default:
+      HJDES_CHECK(false, "pcs message with an unknown kind");
+  }
+}
+
+std::uint64_t PcsModel::lp_checksum(LpId lp) const {
+  const LpState& s = state_[static_cast<std::size_t>(lp)];
+  std::uint64_t h = s.acc;
+  h = model_checksum_mix(h, static_cast<std::uint64_t>(s.busy));
+  h = model_checksum_mix(h, s.placed);
+  h = model_checksum_mix(h, s.blocked);
+  h = model_checksum_mix(h, s.dropped);
+  h = model_checksum_mix(h, s.handoffs_out);
+  return model_checksum_mix(h, s.handoffs_in);
+}
+
+void PcsModel::save_lp(LpId lp, std::vector<std::uint8_t>& out) const {
+  const LpState& s = state_[static_cast<std::size_t>(lp)];
+  std::uint64_t rng[4];
+  s.rng.save_state(rng);
+  for (const std::uint64_t w : rng) state_put_u64(out, w);
+  state_put_u64(out, static_cast<std::uint64_t>(s.busy));
+  state_put_u64(out, s.placed);
+  state_put_u64(out, s.blocked);
+  state_put_u64(out, s.dropped);
+  state_put_u64(out, s.handoffs_out);
+  state_put_u64(out, s.handoffs_in);
+  state_put_u64(out, s.acc);
+}
+
+void PcsModel::restore_lp(LpId lp, std::span<const std::uint8_t> bytes) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  StateReader in(bytes);
+  std::uint64_t rng[4];
+  for (std::uint64_t& w : rng) w = in.u64();
+  s.rng.load_state(rng);
+  s.busy = static_cast<std::int32_t>(in.u64());
+  s.placed = in.u64();
+  s.blocked = in.u64();
+  s.dropped = in.u64();
+  s.handoffs_out = in.u64();
+  s.handoffs_in = in.u64();
+  s.acc = in.u64();
+  HJDES_CHECK(in.done(), "pcs state image has trailing bytes");
+}
+
+}  // namespace hjdes::des

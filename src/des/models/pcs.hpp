@@ -1,0 +1,81 @@
+#pragma once
+// PCS — the personal-communication-service cellphone workload (the standard
+// ROOT-Sim stress model): a ring of radio cells, each with a fixed channel
+// budget, serving stochastically arriving calls. A call holds one channel
+// for a geometric duration; with configurable probability the handset roams
+// mid-call and the call *hands off* to a neighboring cell, which must find a
+// free channel of its own or drop the call. Blocked and dropped calls are
+// the model's figure of merit — and the handoff traffic is what makes PCS a
+// PDES stress: unlike PHOLD's uniform bounce, load is bursty and
+// neighbor-coupled, so optimistic engines see realistic straggler patterns.
+//
+// Topology: cells form a ring; every cell has a self-edge (rank 0, call
+// timers) plus edges to cell-1 (rank 1) and cell+1 (rank 2) carrying
+// handoffs. All edges have lookahead 1 — every timer and every handoff
+// travel time is >= 1 tick. All randomness is per-cell xoshiro256** streams
+// seeded from (seed, cell), so every engine sees identical draws, and the
+// whole LP state (rng + channel occupancy + tallies) serializes for the
+// optimistic engines' checkpoints.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/model.hpp"
+#include "support/rng.hpp"
+
+namespace hjdes::des {
+
+struct PcsParams {
+  std::int32_t cells = 64;       ///< ring of radio cells
+  std::int32_t channels = 8;     ///< channel budget per cell
+  std::int64_t arrive_mean = 12; ///< mean call interarrival time per cell
+  std::int64_t hold_mean = 30;   ///< mean call duration
+  std::int32_t handoff_pct = 25; ///< % of placed calls that hand off (0..100)
+  Time end = 2000;               ///< simulation horizon
+  std::uint64_t seed = 1;
+};
+
+class PcsModel final : public Model {
+ public:
+  explicit PcsModel(const PcsParams& params);
+
+  std::string_view name() const override { return "pcs"; }
+  LpId lp_count() const override { return params_.cells; }
+  std::span<const LpNeighbor> neighbors(LpId lp) const override;
+  Time end_time() const override { return params_.end; }
+  void init(LpId lp, InitSink& sink) override;
+  void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) override;
+  std::uint64_t lp_checksum(LpId lp) const override;
+  bool reversible() const override { return true; }
+  void save_lp(LpId lp, std::vector<std::uint8_t>& out) const override;
+  void restore_lp(LpId lp, std::span<const std::uint8_t> bytes) override;
+
+ private:
+  struct LpState {
+    Xoshiro256 rng{0};
+    std::int32_t busy = 0;         ///< channels currently in use
+    std::uint64_t placed = 0;      ///< calls granted a channel here
+    std::uint64_t blocked = 0;     ///< arrivals refused (all channels busy)
+    std::uint64_t dropped = 0;     ///< handoffs refused
+    std::uint64_t handoffs_out = 0;
+    std::uint64_t handoffs_in = 0;
+    std::uint64_t acc = kModelChecksumSeed;  ///< order-sensitive history mix
+  };
+
+  /// Geometric draw with the given mean: 1 + failures before a 1/mean
+  /// success — integer, memoryless, always >= 1 (a valid delay on every
+  /// lookahead-1 edge).
+  static Time sample_geometric(Xoshiro256& rng, std::int64_t mean);
+
+  /// Grant a channel for a call of duration `hold`: schedule its end timer
+  /// and, for roaming calls, the mid-call handoff that supersedes it.
+  void start_call(LpState& s, Time hold, SendContext& ctx);
+
+  PcsParams params_;
+  std::vector<LpNeighbor> edges_;  ///< 3 per cell: self, left, right
+  std::vector<LpState> state_;
+
+  static constexpr std::size_t kEdgesPerCell = 3;
+};
+
+}  // namespace hjdes::des

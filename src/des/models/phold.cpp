@@ -74,4 +74,24 @@ std::uint64_t PholdModel::lp_checksum(LpId lp) const {
   return model_checksum_mix(s.acc, s.received);
 }
 
+void PholdModel::save_lp(LpId lp, std::vector<std::uint8_t>& out) const {
+  const LpState& s = state_[static_cast<std::size_t>(lp)];
+  std::uint64_t rng[4];
+  s.rng.save_state(rng);
+  for (const std::uint64_t w : rng) state_put_u64(out, w);
+  state_put_u64(out, s.received);
+  state_put_u64(out, s.acc);
+}
+
+void PholdModel::restore_lp(LpId lp, std::span<const std::uint8_t> bytes) {
+  LpState& s = state_[static_cast<std::size_t>(lp)];
+  StateReader in(bytes);
+  std::uint64_t rng[4];
+  for (std::uint64_t& w : rng) w = in.u64();
+  s.rng.load_state(rng);
+  s.received = in.u64();
+  s.acc = in.u64();
+  HJDES_CHECK(in.done(), "phold state image has trailing bytes");
+}
+
 }  // namespace hjdes::des

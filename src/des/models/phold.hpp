@@ -41,6 +41,9 @@ class PholdModel final : public Model {
   void init(LpId lp, InitSink& sink) override;
   void on_message(LpId lp, const LpMessage& msg, SendContext& ctx) override;
   std::uint64_t lp_checksum(LpId lp) const override;
+  bool reversible() const override { return true; }
+  void save_lp(LpId lp, std::vector<std::uint8_t>& out) const override;
+  void restore_lp(LpId lp, std::span<const std::uint8_t> bytes) override;
 
  private:
   struct LpState {

@@ -231,7 +231,7 @@ const FlagTable& run_config_flags() {
       {"bitparallel", "N", "bit-parallel gate evaluation lanes: 0 (scalar) "
                            "or 64 (seq engine only)"},
       {"model", "NAME", "workload: circuit (default) or a generic LP model "
-                        "(phold|mm1)"},
+                        "(phold|mm1|pcs)"},
       {"model-params", "K=V,...", "parameters of a non-circuit --model "
                                   "(see hjdes_sim --list-models)"},
       {"fault-rate", "PPM", "seeded fault injections per million decisions "

@@ -62,7 +62,7 @@ struct RunConfig {
   /// and 64 are valid; engines without honors_bitparallel hard-error.
   int bitparallel = 0;
 
-  /// Workload model (--model=circuit|phold|mm1). "circuit" is the classic
+  /// Workload model (--model=circuit|phold|mm1|pcs). "circuit" is the classic
   /// netlist path every engine implements; anything else dispatches through
   /// the generic LP interface (des/model.hpp) and hard-errors on engines
   /// without supports_models, and on circuit-only knobs (--queue,
@@ -104,7 +104,7 @@ struct EngineCaps {
   bool honors_queue = false;
   bool honors_bitparallel = false;
   /// Engine implements the generic LP interface (des/model.hpp) and can run
-  /// non-circuit workloads (--model=phold|mm1) via EngineInfo::run_model.
+  /// non-circuit workloads (--model=phold|mm1|pcs) via EngineInfo::run_model.
   bool supports_models = false;
 };
 

@@ -123,6 +123,7 @@ struct TwLocalStats {
   std::uint64_t sweeps = 0;
   std::uint64_t fossil = 0;
   std::uint64_t since_sweep_check = 0;  ///< events since last counter flush
+  std::uint64_t since_sweep_rollbacks = 0;  ///< rollbacks since last flush
 };
 
 class TwEngine {
@@ -142,6 +143,31 @@ class TwEngine {
       input_index_[static_cast<std::size_t>(netlist_.inputs()[i])] =
           static_cast<std::int32_t>(i);
     }
+    // Bounded optimism window, in units of the smallest gate delay: one
+    // quantum is one logic level, so the window caps how many levels a
+    // speculative wavefront can race ahead of the committed frontier. That
+    // is what keeps glitch cascades bounded on deep circuits — the cascade
+    // volume is exponential in levels-ahead, not in circuit size.
+    Time min_delay = kNullTs;
+    for (std::size_t i = 0; i < netlist_.node_count(); ++i) {
+      const Netlist::Node& meta = netlist_.node(static_cast<NodeId>(i));
+      if (meta.kind == GateKind::Input || meta.kind == GateKind::Output) {
+        continue;
+      }
+      if (meta.delay > 0) min_delay = std::min(min_delay, meta.delay);
+    }
+    const Time quantum = (min_delay == kNullTs) ? 1 : min_delay;
+    // Floor of one logic level: under a sustained rollback storm the engine
+    // degrades to near-conservative level-by-level execution, which caps
+    // the cascade amplification at one fanout step per committed event.
+    window_min_ = quantum;
+    window_.store(32 * quantum, std::memory_order_relaxed);
+    // GVT disabled means nothing ever advances the window's anchor — run
+    // unthrottled rather than parking nodes forever.
+    horizon_.store(cfg_.gvt_interval == 0
+                       ? kNullTs
+                       : window_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   }
 
   SimResult run() {
@@ -179,6 +205,10 @@ class TwEngine {
           continue;
         }
         if (live_.load(std::memory_order_seq_cst) == 0) break;
+        // Idle with work still live: every runnable node may be parked
+        // beyond the optimism horizon. Force a sweep so GVT advances to the
+        // parked frontier and wakes them; claim losers just spin-yield.
+        idle_sweep(stats);
         std::this_thread::yield();
       }
       c_speculative_.add(stats.speculative);
@@ -299,9 +329,15 @@ class TwEngine {
   }
 
   /// Undo the most recent processed event of node `id` (caller holds its
-  /// lock; `c` is its core): restore the latch, cancel everything it sent,
-  /// and optionally put the message back into the pending set.
-  void rollback_one(NodeId id, TwCore& c, bool requeue, TwLocalStats& stats) {
+  /// lock; `c` is its core): restore the latch, collect everything it sent
+  /// into `cancelled` for a coalesced flush, and optionally put the message
+  /// back into the pending set. Anti-messages are NOT delivered here — the
+  /// caller flushes them per target via cancel_sends once the whole rollback
+  /// suffix is unwound, so a cascade acquires each downstream lock once
+  /// instead of once per cancelled send.
+  void rollback_one(NodeId id, TwCore& c, bool requeue,
+                    SmallVector<SentRec, 16>& cancelled,
+                    TwLocalStats& stats) {
     obs::ScopedSpan span(obs::SpanKind::kRollback);
     HJDES_DCHECK(!c.processed.empty(), "rollback on empty log");
     ProcessedRec rec = std::move(c.processed.back());
@@ -315,12 +351,36 @@ class TwEngine {
       // anti-message, leaving the cancelled send alive downstream. Detected
       // by the sent-vs-resolved pairing oracle at quiescence.
       if (fault::should_inject(fault::Site::kAntiDrop)) continue;
-      deliver_anti(s.target, s.id, stats);
+      cancelled.push_back(s);
     }
     if (requeue) {
       c.pending.push(rec.msg);
       live_.fetch_add(1, std::memory_order_seq_cst);
     }
+  }
+
+  /// Deliver the collected anti-messages of one rollback episode, grouped
+  /// per target (one lock acquisition and one pass per downstream node).
+  /// Caller may hold the rolled-back node's lock; every target is strictly
+  /// downstream in the DAG, so the acquisition order stays acyclic.
+  void cancel_sends(SmallVector<SentRec, 16>& cancelled,
+                    TwLocalStats& stats) {
+    if (cancelled.empty()) return;
+    std::sort(cancelled.begin(), cancelled.end(),
+              [](const SentRec& a, const SentRec& b) {
+                return a.target < b.target;
+              });
+    std::size_t i = 0;
+    while (i < cancelled.size()) {
+      std::size_t j = i + 1;
+      while (j < cancelled.size() &&
+             cancelled[j].target == cancelled[i].target) {
+        ++j;
+      }
+      deliver_antis(cancelled[i].target, &cancelled[i], j - i, stats);
+      i = j;
+    }
+    cancelled.clear();
   }
 
   /// Deliver a positive message. Acquires the target's lock (strictly
@@ -346,89 +406,110 @@ class TwEngine {
 #endif
     TwMsg msg{ts, value, port, id, c.lseq_counter++};
     if (!c.processed.empty() && orders_after(c.processed.back().msg, msg)) {
-      // Straggler: roll the suffix that must re-execute after msg back into
-      // the pending set.
+      // Straggler: roll the whole suffix that must re-execute after msg back
+      // into the pending set as one coalesced episode, then flush the
+      // collected anti-messages per downstream target.
       ++stats.rollback_episodes;
+      ++stats.since_sweep_rollbacks;
+      SmallVector<SentRec, 16> cancelled;
       while (!c.processed.empty() &&
              orders_after(c.processed.back().msg, msg)) {
-        rollback_one(target, c, /*requeue=*/true, stats);
+        rollback_one(target, c, /*requeue=*/true, cancelled, stats);
       }
+      cancel_sends(cancelled, stats);
     }
     c.pending.push(msg);
     live_.fetch_add(1, std::memory_order_seq_cst);
     workset_.push_global(target);
   }
 
-  /// Deliver an anti-message: annihilate the positive message `id` at
-  /// `target`, rolling back past it if it was already processed.
-  void deliver_anti(NodeId target, std::uint64_t id, TwLocalStats& stats) {
+  /// Deliver a batch of anti-messages addressed to one target under a single
+  /// lock acquisition: annihilate each positive message by id, rolling back
+  /// past it if it was already processed. Cancellations produced by nested
+  /// rollbacks are themselves coalesced per downstream target.
+  void deliver_antis(NodeId target, const SentRec* recs, std::size_t count,
+                     TwLocalStats& stats) {
     TwNode& n = node(target);
     TwGuard guard(n);
     TwCore& c = n.core.write();
-    ++stats.antis_resolved;  // pairing oracle: this anti reached delivery
-    Time found_ts = kNullTs;
-    if (c.pending.erase_first([id, &found_ts](const TwMsg& m) {
-          if (m.id != id) return false;
-          found_ts = m.ts;
-          return true;
-        })) {
-      note_delivery(found_ts);  // GVT: see deliver_positive
+    SmallVector<SentRec, 16> cancelled;  // sends undone by nested rollbacks
+    bool rolled_back = false;
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::uint64_t id = recs[r].id;
+      ++stats.antis_resolved;  // pairing oracle: this anti reached delivery
+      Time found_ts = kNullTs;
+      if (c.pending.erase_first([id, &found_ts](const TwMsg& m) {
+            if (m.id != id) return false;
+            found_ts = m.ts;
+            return true;
+          })) {
+        note_delivery(found_ts);  // GVT: see deliver_positive
 #if defined(HJDES_CHECK_ENABLED)
+        const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
+        if (found_ts < gvt_now) {
+          check::invariant::report(
+              check::invariant::Oracle::kGvt,
+              "anti-message annihilated pending event t=" +
+                  std::to_string(found_ts) + " below committed GVT " +
+                  std::to_string(gvt_now));
+        }
+#endif
+        live_.fetch_sub(1, std::memory_order_seq_cst);
+        continue;
+      }
+      // The positive was processed: roll back until it is the newest entry,
+      // then undo it without requeueing. Requeued suffix events all order at
+      // or after the cancelled one, so recording its timestamp covers them
+      // for the in-flight GVT sweep.
+      ++stats.rollback_episodes;
+      ++stats.since_sweep_rollbacks;
+      while (!c.processed.empty() && c.processed.back().msg.id != id) {
+        rollback_one(target, c, /*requeue=*/true, cancelled, stats);
+      }
+#if defined(HJDES_CHECK_ENABLED)
+      if (c.processed.empty()) {
+        // Diagnosable protocol defect rather than an abort under hjverify:
+        // the referenced positive exists nowhere (double annihilation or a
+        // fossil-collected victim — both GVT-protocol violations).
+        check::invariant::report(
+            check::invariant::Oracle::kTimewarp,
+            "anti-message for event id " + std::to_string(id) + " at node " +
+                std::to_string(target) +
+                " found neither a pending nor a processed event");
+        rolled_back = true;
+        continue;
+      }
+#else
+      HJDES_CHECK(!c.processed.empty(),
+                  "anti-message found neither pending nor processed event");
+#endif
+      note_delivery(c.processed.back().msg.ts);
+#if defined(HJDES_CHECK_ENABLED)
+      const Time rb_ts = c.processed.back().msg.ts;
       const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
-      if (found_ts < gvt_now) {
+      if (rb_ts < gvt_now) {
         check::invariant::report(
             check::invariant::Oracle::kGvt,
-            "anti-message annihilated pending event t=" +
-                std::to_string(found_ts) + " below committed GVT " +
+            "anti-message rolled back committed event t=" +
+                std::to_string(rb_ts) + " below committed GVT " +
                 std::to_string(gvt_now));
       }
 #endif
-      live_.fetch_sub(1, std::memory_order_seq_cst);
-      return;
+      rollback_one(target, c, /*requeue=*/false, cancelled, stats);
+      rolled_back = true;
     }
-    // The positive was processed: roll back until it is the newest entry,
-    // then undo it without requeueing. Requeued suffix events all order at
-    // or after the cancelled one, so recording its timestamp covers them
-    // for the in-flight GVT sweep.
-    ++stats.rollback_episodes;
-    while (!c.processed.empty() && c.processed.back().msg.id != id) {
-      rollback_one(target, c, /*requeue=*/true, stats);
-    }
-#if defined(HJDES_CHECK_ENABLED)
-    if (c.processed.empty()) {
-      // Diagnosable protocol defect rather than an abort under hjverify: the
-      // referenced positive exists nowhere (double annihilation or a
-      // fossil-collected victim — both GVT-protocol violations).
-      check::invariant::report(
-          check::invariant::Oracle::kTimewarp,
-          "anti-message for event id " + std::to_string(id) + " at node " +
-              std::to_string(target) +
-              " found neither a pending nor a processed event");
-      workset_.push_global(target);
-      return;
-    }
-#else
-    HJDES_CHECK(!c.processed.empty(),
-                "anti-message found neither pending nor processed event");
-#endif
-    note_delivery(c.processed.back().msg.ts);
-#if defined(HJDES_CHECK_ENABLED)
-    const Time rb_ts = c.processed.back().msg.ts;
-    const Time gvt_now = gvt_.load(std::memory_order_seq_cst);
-    if (rb_ts < gvt_now) {
-      check::invariant::report(
-          check::invariant::Oracle::kGvt,
-          "anti-message rolled back committed event t=" +
-              std::to_string(rb_ts) + " below committed GVT " +
-              std::to_string(gvt_now));
-    }
-#endif
-    rollback_one(target, c, /*requeue=*/false, stats);
-    workset_.push_global(target);
+    // Flush nested cancellations while still holding this node's lock:
+    // every one of their targets is strictly downstream, so the lock order
+    // stays acyclic exactly as with the old one-anti-at-a-time recursion.
+    cancel_sends(cancelled, stats);
+    if (rolled_back) workset_.push_global(target);
   }
 
-  /// Drain one logical process: optimistically execute everything pending,
-  /// in (ts, port, lseq) order.
+  /// Drain one logical process in (ts, port, lseq) order, up to the
+  /// optimism horizon. Messages at or beyond gvt + window stay parked in the
+  /// pending set — the node is NOT rescheduled for them; the GVT sweep that
+  /// advances the horizon wakes it (and idle workers force sweeps, so
+  /// parking can never deadlock).
   void run_lp(NodeId id, TwLocalStats& stats) {
     TwNode& n = node(id);
     const Netlist::Node& meta = netlist_.node(id);
@@ -438,9 +519,10 @@ class TwEngine {
       return;
     }
 
+    const Time horizon = horizon_.load(std::memory_order_relaxed);
     TwGuard guard(n);
     TwCore& c = n.core.write();
-    while (!c.pending.empty()) {
+    while (!c.pending.empty() && c.pending.top().ts < horizon) {
       TwMsg msg = c.pending.pop();
       ++stats.speculative;
       ++stats.since_sweep_check;
@@ -534,16 +616,38 @@ class TwEngine {
                                   std::memory_order_relaxed);
       stats.since_sweep_check = 0;
     }
+    if (stats.since_sweep_rollbacks != 0) {
+      rollbacks_since_gvt_.fetch_add(stats.since_sweep_rollbacks,
+                                     std::memory_order_relaxed);
+      stats.since_sweep_rollbacks = 0;
+    }
     if (events_since_gvt_.load(std::memory_order_relaxed) <
         cfg_.gvt_interval) {
       return;
     }
+    // Benign seeded transient: a due sweep is postponed one claim round —
+    // GVT merely lags, nothing commits early, results are unchanged.
+    if (fault::should_inject(fault::Site::kGvtDelay)) return;
     bool expected = false;
     if (!sweep_claim_.compare_exchange_strong(expected, true,
                                               std::memory_order_seq_cst)) {
       return;  // another worker is sweeping
     }
-    events_since_gvt_.store(0, std::memory_order_relaxed);
+    sweep(stats);
+    sweep_claim_.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Idle-forced sweep: when a worker finds no runnable node but work is
+  /// still live, every runnable node may be parked beyond the optimism
+  /// horizon. A sweep advances GVT to the parked frontier and wakes them.
+  /// Bypasses the event-count threshold.
+  void idle_sweep(TwLocalStats& stats) {
+    if (cfg_.gvt_interval == 0) return;  // horizon pinned at kNullTs
+    bool expected = false;
+    if (!sweep_claim_.compare_exchange_strong(expected, true,
+                                              std::memory_order_seq_cst)) {
+      return;
+    }
     sweep(stats);
     sweep_claim_.store(false, std::memory_order_seq_cst);
   }
@@ -557,16 +661,38 @@ class TwEngine {
   void sweep(TwLocalStats& stats) {
     obs::ScopedSpan span(obs::SpanKind::kGvtSweep);
     ++stats.sweeps;
+
+    // Adapt the optimism window on the rollback rate since the last sweep:
+    // heavy mis-speculation (>1 rollback per 8 events) halves it, near-clean
+    // execution (<1 per 64) doubles it. The floor of a few logic levels
+    // keeps the frontier node runnable.
+    const std::uint64_t ev =
+        events_since_gvt_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t rb =
+        rollbacks_since_gvt_.exchange(0, std::memory_order_relaxed);
+    Time win = window_.load(std::memory_order_relaxed);
+    if (rb * 2 > ev) {
+      win = window_min_;  // catastrophic storm: go near-conservative now
+    } else if (rb * 8 > ev) {
+      win = std::max<Time>(window_min_, win / 2);
+    } else if (rb * 64 < ev && win < kNullTs / 4) {
+      win *= 2;
+    }
+    window_.store(win, std::memory_order_relaxed);
+
     min_sent_.store(kNullTs, std::memory_order_seq_cst);
     sweep_active_.store(true, std::memory_order_seq_cst);
 
     Time bound = kNullTs;
+    wake_scratch_.clear();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       TwNode& n = nodes_[i];
       TwGuard guard(n);
       const TwCore& c = n.core.read();
       if (!c.pending.empty()) {
-        bound = std::min(bound, c.pending.top().ts);
+        const Time top = c.pending.top().ts;
+        bound = std::min(bound, top);
+        wake_scratch_.emplace_back(static_cast<NodeId>(i), top);
       }
       if (netlist_.kind(static_cast<NodeId>(i)) == GateKind::Input) {
         const auto& events = input_.initial_events(static_cast<std::size_t>(
@@ -590,6 +716,10 @@ class TwEngine {
       n.lock.unlock();
     }
     bound = std::min(bound, min_sent_.load(std::memory_order_seq_cst));
+    // Corrupting seeded defect (hjverify true positive): publish an inflated
+    // bound, so fossil collection frees entries a straggler or anti-message
+    // may still need — detected by the GVT/timewarp oracles downstream.
+    if (fault::should_inject(fault::Site::kGvtRush)) bound += 64;
 #if defined(HJDES_CHECK_ENABLED)
     // GVT monotonicity oracle: the committed bound may only advance.
     {
@@ -603,6 +733,23 @@ class TwEngine {
     }
 #endif
     gvt_.store(bound, std::memory_order_seq_cst);
+
+    // Publish the new horizon, then wake every node whose next pending
+    // message now falls inside it. The store-before-push order plus the
+    // workset synchronization makes the widened horizon visible to whoever
+    // pops the wakeup; a node that received newer work since the scan was
+    // already pushed by its deliverer, and a redundant wake of an empty or
+    // already-queued node is a harmless no-op visit.
+    if (cfg_.gvt_interval != 0) {
+      const Time anchor = (bound == kNullTs) ? 0 : std::max<Time>(bound, 0);
+      const Time horizon =
+          (win >= kNullTs - anchor) ? kNullTs : anchor + win;
+      horizon_.store(horizon, std::memory_order_seq_cst);
+      for (const auto& [id, top] : wake_scratch_) {
+        if (top < horizon) workset_.push_global(id);
+      }
+    }
+
     if (bound > 0) fossil_collect(bound, stats);
   }
 
@@ -643,6 +790,14 @@ class TwEngine {
   std::atomic<Time> min_sent_{kNullTs};
   std::atomic<Time> gvt_{kNeverReceived};
   std::atomic<std::uint64_t> events_since_gvt_{0};
+  std::atomic<std::uint64_t> rollbacks_since_gvt_{0};
+  // Bounded optimism window: nodes park when their next message lies at or
+  // beyond gvt + window_; sweeps re-anchor the horizon and wake them.
+  std::atomic<Time> horizon_{0};
+  std::atomic<Time> window_{0};
+  Time window_min_ = 1;
+  // Touched only by the sweep_claim_ holder.
+  std::vector<std::pair<NodeId, Time>> wake_scratch_;
   // Anti-message pairing ledger (hjverify oracle; cheap enough to keep on).
   std::atomic<std::uint64_t> total_antis_{0};
   std::atomic<std::uint64_t> total_antis_resolved_{0};

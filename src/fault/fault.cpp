@@ -13,6 +13,7 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "spsc_push",         "arena_alloc", "batch_flush",
     "worker_yield",      "null_watermark",
     "watermark_regress", "anti_drop",   "trial_miscount",
+    "gvt_delay",         "gvt_rush",
 };
 
 }  // namespace

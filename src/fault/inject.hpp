@@ -52,11 +52,11 @@ namespace hjdes::fault {
 
 /// Named injection sites in the hot paths. Names are stable: they key the
 /// `fault.injected.<site>` metrics and the --fault-sites mask documented in
-/// docs/ROBUSTNESS.md. The first five are *benign* transients — every
+/// docs/ROBUSTNESS.md. Sites split into *benign* transients (every
 /// injection is recovered by a retry/fallback path, so runs stay
-/// bit-identical. The last three are *corrupting* protocol defects, the
-/// seeded true positives the hjverify oracles (check/invariant.hpp) must
-/// catch; they are excluded from the default plan mask.
+/// bit-identical; see kBenignSiteMask) and *corrupting* protocol defects,
+/// the seeded true positives the hjverify oracles (check/invariant.hpp)
+/// must catch; the corrupting set is excluded from the default plan mask.
 enum class Site : std::uint8_t {
   kSpscPush = 0,      ///< SpscChannel::try_push reports a spurious full
   kArenaAlloc,        ///< EventArena::allocate fails over to the global path
@@ -69,6 +69,11 @@ enum class Site : std::uint8_t {
                       ///< anti-message (oracle: timewarp)
   kTrialMiscount,     ///< CORRUPTING: TrialScheduler drops one completed
                       ///< trial from the job tally (oracle: admission)
+  kGvtDelay,          ///< a due GVT sweep is postponed one claim round
+                      ///< (benign: the next claim retries)
+  kGvtRush,           ///< CORRUPTING: a GVT sweep publishes an inflated
+                      ///< bound, so fossil collection runs ahead of safety
+                      ///< (oracle: gvt)
   kCount_,            ///< sentinel, keep last
 };
 
@@ -85,13 +90,13 @@ inline constexpr std::uint32_t site_bit(Site site) noexcept {
 inline constexpr std::uint32_t kBenignSiteMask =
     site_bit(Site::kSpscPush) | site_bit(Site::kArenaAlloc) |
     site_bit(Site::kBatchFlush) | site_bit(Site::kWorkerYield) |
-    site_bit(Site::kNullWatermark);
+    site_bit(Site::kNullWatermark) | site_bit(Site::kGvtDelay);
 
 /// The corrupting (protocol-defect) sites. Only ever armed explicitly — by
 /// the seeded true-positive tests and oracle explorations.
 inline constexpr std::uint32_t kCorruptingSiteMask =
     site_bit(Site::kWatermarkRegress) | site_bit(Site::kAntiDrop) |
-    site_bit(Site::kTrialMiscount);
+    site_bit(Site::kTrialMiscount) | site_bit(Site::kGvtRush);
 
 /// Probability scale of the plan rate: rate is faults per million decisions.
 inline constexpr std::uint32_t kRatePpmScale = 1'000'000;

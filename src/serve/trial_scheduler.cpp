@@ -490,7 +490,8 @@ struct TrialScheduler::Impl {
         des::ModelParams params;
         if (des::ModelParams::parse(point, &params, &error) &&
             params.has("seed")) {
-          a.reason = "model params '" + point + "' must not pin 'seed' "
+          a.reason = std::string(des::kSeedConflictError) +
+                     ": model params '" + point + "' must not pin 'seed' "
                      "(per-trial seeds come from the job's 'seed' field)";
           return reject(a);
         }

@@ -64,6 +64,16 @@ class Xoshiro256 {
     return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
   }
 
+  /// Snapshot / restore of the raw 256-bit state — reversible models
+  /// checkpoint their per-LP streams with these so a rollback replays the
+  /// exact draw sequence. A loaded state resumes the stream bit-exactly.
+  void save_state(std::uint64_t out[4]) const noexcept {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void load_state(const std::uint64_t in[4]) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

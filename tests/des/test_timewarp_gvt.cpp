@@ -65,17 +65,23 @@ TEST(TimeWarpGvt, SweepCadenceFollowsInterval) {
   Stimulus s = circuit::random_stimulus(nl, 40, 8, 99);
   SimInput input(nl, s);
 
+  // With an astronomically large interval the event-count trigger never
+  // fires, but the optimism window still forces the occasional sweep: a
+  // worker whose frontier parks beyond the horizon must advance GVT to make
+  // progress. Those forced sweeps are rare, so the cadence stays far below
+  // the dense configuration's. (gvt_interval = 0 disables sweeps *and* the
+  // window outright — DisabledGvtStillMatches pins that contract.)
   TimeWarpConfig sparse;
   sparse.workers = 1;
   sparse.gvt_interval = 1u << 30;  // effectively never
   SimResult r_sparse = run_timewarp(input, sparse);
-  EXPECT_EQ(r_sparse.gvt_sweeps, 0u);
 
   TimeWarpConfig dense;
   dense.workers = 1;
   dense.gvt_interval = 1000;
   SimResult r_dense = run_timewarp(input, dense);
   EXPECT_GT(r_dense.gvt_sweeps, 1u);
+  EXPECT_LT(r_sparse.gvt_sweeps, r_dense.gvt_sweeps);
   EXPECT_TRUE(same_behaviour(r_sparse, r_dense))
       << diff_behaviour(r_sparse, r_dense);
 }

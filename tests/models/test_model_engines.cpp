@@ -33,6 +33,10 @@ const MatrixPoint kMatrix[] = {
     {"mm1", "stations=1,arrive=4,service=3,end=2000"},
     {"mm1", "stations=4,arrive=8,service=6,end=4000"},
     {"mm1", "stations=12,arrive=5,service=4,end=3000"},
+    {"pcs", "cells=32,channels=4,arrive=8,hold=20,handoff=30,end=1500"},
+    {"pcs", "cells=96,channels=8,arrive=12,hold=30,handoff=60,end=1000"},
+    {"pcs", "cells=7,channels=2,arrive=5,hold=40,handoff=100,end=2000"},
+    {"circuit", "circuit=gen:ks32,vectors=2,interval=40"},
 };
 
 std::unique_ptr<Model> build(const MatrixPoint& point, std::uint64_t seed) {
@@ -78,6 +82,77 @@ TEST(ModelEngines, SeqHjPartitionedAreBitIdenticalAcrossTheMatrix) {
   }
 }
 
+// The optimistic engines must commit exactly the sequential history:
+// checksum, event count and message count are compared; `rounds` is NOT —
+// for timewarp/actor it reports GVT sweeps, whose count is legitimately
+// schedule-dependent (speculation and idle-forced sweeps vary run to run).
+void expect_same_committed(const ModelResult& ref, const ModelResult& got,
+                           const MatrixPoint& point, const char* engine,
+                           int workers) {
+  EXPECT_EQ(got.checksum, ref.checksum)
+      << engine << " (workers=" << workers << ") diverged on " << point.model
+      << "(" << point.params << ")";
+  EXPECT_EQ(got.events_processed, ref.events_processed)
+      << engine << " workers=" << workers;
+  EXPECT_EQ(got.messages_sent, ref.messages_sent)
+      << engine << " workers=" << workers;
+}
+
+TEST(ModelEngines, TimewarpAndActorAreBitIdenticalAcrossTheMatrix) {
+  for (const MatrixPoint& point : kMatrix) {
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      std::unique_ptr<Model> seq_model = build(point, seed);
+      const ModelResult ref = run_model_sequential(*seq_model);
+      ASSERT_GT(ref.events_processed, 0u)
+          << point.model << "(" << point.params << ") ran nothing";
+
+      for (const int workers : {1, 2, 5}) {
+        ModelEngineConfig cfg;
+        cfg.workers = workers;
+        std::unique_ptr<Model> tw_model = build(point, seed);
+        expect_same_committed(ref, run_model_timewarp(*tw_model, cfg), point,
+                              "timewarp", workers);
+        std::unique_ptr<Model> actor_model = build(point, seed);
+        expect_same_committed(ref, run_model_actor(*actor_model, cfg), point,
+                              "actor", workers);
+      }
+    }
+  }
+}
+
+// Sparse checkpointing must be an implementation detail: any checkpoint
+// stride (including 1 = eager and a stride larger than most LP logs, which
+// forces long coast-forward replays) commits the identical history.
+TEST(ModelEngines, CheckpointStrideDoesNotChangeTheResult) {
+  const MatrixPoint point = kMatrix[2];  // lookahead=1: rollback-heavy
+  std::unique_ptr<Model> seq_model = build(point, 3);
+  const ModelResult ref = run_model_sequential(*seq_model);
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{64}}) {
+    ModelEngineConfig cfg;
+    cfg.workers = 4;
+    cfg.checkpoint_interval = stride;
+    std::unique_ptr<Model> model = build(point, 3);
+    expect_same_committed(ref, run_model_timewarp(*model, cfg), point,
+                          "timewarp", 4);
+  }
+}
+
+// GVT off (gvt_interval = 0) disables the optimism window and fossil
+// collection entirely — unthrottled speculation must still converge to the
+// same committed history on a small instance.
+TEST(ModelEngines, TimewarpWithGvtDisabledStillConverges) {
+  const MatrixPoint point = kMatrix[4];  // single-station mm1: tiny
+  std::unique_ptr<Model> seq_model = build(point, 9);
+  const ModelResult ref = run_model_sequential(*seq_model);
+  ModelEngineConfig cfg;
+  cfg.workers = 2;
+  cfg.gvt_interval = 0;
+  std::unique_ptr<Model> model = build(point, 9);
+  expect_same_committed(ref, run_model_timewarp(*model, cfg), point,
+                        "timewarp", 2);
+}
+
 TEST(ModelEngines, DifferentSeedsProduceDifferentChecksums) {
   const MatrixPoint point = kMatrix[1];
   std::unique_ptr<Model> a = build(point, 1);
@@ -112,7 +187,8 @@ TEST(ModelEngines, RegistryEntriesDispatchAndPairWithTheCap) {
         << "': run_model and supports_models must agree";
     if (e.run_model != nullptr) ++model_capable;
   }
-  EXPECT_GE(model_capable, 3) << "seq, hj and partitioned at minimum";
+  EXPECT_GE(model_capable, 5)
+      << "seq, hj, partitioned, timewarp and actor at minimum";
 
   const MatrixPoint point = kMatrix[0];
   std::unique_ptr<Model> seq_model = build(point, 5);
@@ -127,6 +203,16 @@ TEST(ModelEngines, RegistryEntriesDispatchAndPairWithTheCap) {
     ASSERT_NE(engine->run_model, nullptr) << name;
     std::unique_ptr<Model> model = build(point, 5);
     expect_same(ref, engine->run_model(*model, config), point, name);
+  }
+  // Optimistic registry rows: committed history identical, rounds excluded
+  // (they report GVT sweeps — see expect_same_committed).
+  for (const char* name : {"timewarp", "actor"}) {
+    const EngineInfo* engine = find_engine(name);
+    ASSERT_NE(engine, nullptr) << name;
+    ASSERT_NE(engine->run_model, nullptr) << name;
+    std::unique_ptr<Model> model = build(point, 5);
+    expect_same_committed(ref, engine->run_model(*model, config), point,
+                          name, 2);
   }
 }
 

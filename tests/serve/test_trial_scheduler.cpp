@@ -251,6 +251,45 @@ TEST(TrialScheduler, ModelJobsCompleteWithFullAccounting) {
   }
 }
 
+// The optimistic engine behind a serve job: admission passes (timewarp now
+// carries the supports_models cap), every trial retires, and each committed
+// history checksum-matches its standalone sequential run — rollback and
+// re-execution inside a worker must never leak into the result a client sees.
+TEST(TrialScheduler, TimewarpModelJobCommitsTheSequentialHistory) {
+  auto collector = std::make_shared<Collector>();
+  SchedulerConfig config;
+  config.workers = 2;
+  config.keep_trials = true;
+  {
+    TrialScheduler scheduler(
+        config, [collector](const JobResult& r) { (*collector)(r); });
+    const Admission a = scheduler.submit(parse_or_die(
+        R"({"id":"phold-tw","model":"phold","engine":"timewarp",
+            "workers":2,"replications":3,"seed":11,
+            "model_params":"lps=64,pop=2,remote=40,lookahead=2,end=300"})"));
+    ASSERT_TRUE(a.accepted) << a.reason;
+    scheduler.drain();
+  }
+  std::vector<JobResult> results = collector->take();
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  EXPECT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.completed, 3u);
+  EXPECT_EQ(r.failed, 0u);
+  for (const TrialOutcome& outcome : r.outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    std::string error;
+    std::unique_ptr<des::Model> model = des::make_model(
+        "phold", "lps=64,pop=2,remote=40,lookahead=2,end=300",
+        11 + outcome.index, &error);
+    ASSERT_NE(model, nullptr) << error;
+    const des::ModelResult reference = des::run_model_sequential(*model);
+    EXPECT_EQ(outcome.checksum, reference.checksum)
+        << "trial " << outcome.index << " diverged from its sequential run";
+    EXPECT_EQ(outcome.events, reference.events_processed);
+  }
+}
+
 TEST(TrialScheduler, ModelJobAdmissionRejectsWithReasons) {
   auto collector = std::make_shared<Collector>();
   SchedulerConfig config;
@@ -283,10 +322,11 @@ TEST(TrialScheduler, ModelJobAdmissionRejectsWithReasons) {
   EXPECT_NE(a.reason.find("seed"), std::string::npos);
 
   // An engine without the supports_models cap cannot take a model job.
+  // (timewarp grew the cap, so galois is the remaining counterexample.)
   a = scheduler.submit(parse_or_die(
-      R"({"model":"phold","engine":"timewarp"})"));
+      R"({"model":"phold","engine":"galois"})"));
   EXPECT_FALSE(a.accepted);
-  EXPECT_NE(a.reason.find("timewarp"), std::string::npos);
+  EXPECT_NE(a.reason.find("galois"), std::string::npos);
   EXPECT_NE(a.reason.find("phold"), std::string::npos);
 
   scheduler.drain();

@@ -199,8 +199,12 @@ int run_model_workload(const Cli& cli, const des::EngineInfo& engine,
   }
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // An explicit --seed that disagrees with a pinned seed= in --model-params
+  // is a named error (kSeedConflictError), not a silent overwrite.
+  const bool seed_explicit = cli.has("seed");
   auto fresh_model = [&](std::string* error) {
-    return des::make_model(config.model, config.model_params, seed, error);
+    return des::make_model(config.model, config.model_params, seed, error,
+                           seed_explicit);
   };
   std::string error;
   std::unique_ptr<des::Model> model = fresh_model(&error);
